@@ -1,0 +1,802 @@
+//! The tape: eagerly evaluated ops, reverse-mode gradient accumulation.
+
+use qpinn_tensor::Tensor;
+
+/// Handle to a node on a [`Graph`]. Cheap to copy; only meaningful for the
+/// graph that created it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Var(pub(crate) usize);
+
+/// A user-defined primitive: the forward value is supplied by the caller,
+/// the vector-Jacobian product by this trait. Used to splice external
+/// differentiable systems (e.g. the quantum-circuit layer) into the tape.
+pub trait CustomOp: Send + Sync {
+    /// Human-readable name for diagnostics.
+    fn name(&self) -> &str;
+
+    /// Given the input values, the forward output, and the incoming
+    /// gradient, return one cotangent per input (`None` for inputs that do
+    /// not need gradients).
+    fn backward(
+        &self,
+        inputs: &[&Tensor],
+        output: &Tensor,
+        out_grad: &Tensor,
+    ) -> Vec<Option<Tensor>>;
+}
+
+enum Op {
+    Input,
+    Constant,
+    Add(usize, usize),
+    Sub(usize, usize),
+    Mul(usize, usize),
+    Div(usize, usize),
+    Neg(usize),
+    Scale(usize, f64),
+    AddScalar(usize, #[allow(dead_code)] f64),
+    Matmul(usize, usize),
+    AddBias(usize, usize),
+    Tanh(usize),
+    Sin(usize),
+    Cos(usize),
+    Exp(usize),
+    Sqrt(usize),
+    Square(usize),
+    Recip(usize),
+    Powi(usize, i32),
+    Sum(usize),
+    Mean(usize),
+    Mse(usize),
+    WeightedMse(usize, usize),
+    Hstack(Vec<usize>),
+    ColSlice(usize, usize),
+    MeanGroups(usize, usize),
+    Custom {
+        op: Box<dyn CustomOp>,
+        inputs: Vec<usize>,
+    },
+}
+
+struct Node {
+    op: Op,
+    value: Tensor,
+    needs_grad: bool,
+}
+
+/// A define-by-run tape. Values are computed eagerly as ops are recorded;
+/// [`Graph::backward`] produces gradients in one reverse sweep.
+#[derive(Default)]
+pub struct Graph {
+    nodes: Vec<Node>,
+}
+
+/// Gradients produced by [`Graph::backward`], indexed by [`Var`].
+pub struct Grads {
+    g: Vec<Option<Tensor>>,
+}
+
+impl Grads {
+    /// The gradient of the loss with respect to `v`, if it was required and
+    /// reached by the reverse sweep.
+    pub fn get(&self, v: Var) -> Option<&Tensor> {
+        self.g.get(v.0).and_then(|o| o.as_ref())
+    }
+
+    /// Remove and return the gradient for `v` (avoids a clone when handing
+    /// gradients to an optimizer).
+    pub fn take(&mut self, v: Var) -> Option<Tensor> {
+        self.g.get_mut(v.0).and_then(|o| o.take())
+    }
+}
+
+impl Graph {
+    /// An empty tape.
+    pub fn new() -> Self {
+        Graph { nodes: Vec::new() }
+    }
+
+    /// Number of recorded nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when no ops have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    fn push(&mut self, op: Op, value: Tensor, needs_grad: bool) -> Var {
+        self.nodes.push(Node {
+            op,
+            value,
+            needs_grad,
+        });
+        Var(self.nodes.len() - 1)
+    }
+
+    fn ng(&self, id: usize) -> bool {
+        self.nodes[id].needs_grad
+    }
+
+    /// Record a differentiable leaf (a parameter or an input we want
+    /// gradients for).
+    pub fn input(&mut self, t: Tensor) -> Var {
+        self.push(Op::Input, t, true)
+    }
+
+    /// Record a non-differentiable leaf (data, fixed weights, collocation
+    /// coordinates).
+    pub fn constant(&mut self, t: Tensor) -> Var {
+        self.push(Op::Constant, t, false)
+    }
+
+    /// Convenience: a scalar constant.
+    pub fn constant_scalar(&mut self, v: f64) -> Var {
+        self.constant(Tensor::scalar(v))
+    }
+
+    /// The forward value of a node.
+    pub fn value(&self, v: Var) -> &Tensor {
+        &self.nodes[v.0].value
+    }
+
+    // ----- arithmetic -----
+
+    /// Elementwise sum.
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).add(self.value(b));
+        let ng = self.ng(a.0) || self.ng(b.0);
+        self.push(Op::Add(a.0, b.0), v, ng)
+    }
+
+    /// Elementwise difference.
+    pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).sub(self.value(b));
+        let ng = self.ng(a.0) || self.ng(b.0);
+        self.push(Op::Sub(a.0, b.0), v, ng)
+    }
+
+    /// Elementwise product.
+    pub fn mul(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).mul(self.value(b));
+        let ng = self.ng(a.0) || self.ng(b.0);
+        self.push(Op::Mul(a.0, b.0), v, ng)
+    }
+
+    /// Elementwise quotient.
+    pub fn div(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).div(self.value(b));
+        let ng = self.ng(a.0) || self.ng(b.0);
+        self.push(Op::Div(a.0, b.0), v, ng)
+    }
+
+    /// Negation.
+    pub fn neg(&mut self, a: Var) -> Var {
+        let v = self.value(a).neg();
+        let ng = self.ng(a.0);
+        self.push(Op::Neg(a.0), v, ng)
+    }
+
+    /// Multiply by a compile-time constant.
+    pub fn scale(&mut self, a: Var, c: f64) -> Var {
+        let v = self.value(a).scale(c);
+        let ng = self.ng(a.0);
+        self.push(Op::Scale(a.0, c), v, ng)
+    }
+
+    /// Add a constant to every element.
+    pub fn add_scalar(&mut self, a: Var, c: f64) -> Var {
+        let v = self.value(a).add_scalar(c);
+        let ng = self.ng(a.0);
+        self.push(Op::AddScalar(a.0, c), v, ng)
+    }
+
+    /// Matrix product `a · b`.
+    pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).matmul(self.value(b));
+        let ng = self.ng(a.0) || self.ng(b.0);
+        self.push(Op::Matmul(a.0, b.0), v, ng)
+    }
+
+    /// Broadcast-add a `[n]` bias to each row of an `[m, n]` tensor.
+    pub fn add_bias(&mut self, x: Var, b: Var) -> Var {
+        let v = self.value(x).add_row_broadcast(self.value(b));
+        let ng = self.ng(x.0) || self.ng(b.0);
+        self.push(Op::AddBias(x.0, b.0), v, ng)
+    }
+
+    // ----- nonlinearities -----
+
+    /// Elementwise tanh.
+    pub fn tanh(&mut self, a: Var) -> Var {
+        let v = self.value(a).tanh();
+        let ng = self.ng(a.0);
+        self.push(Op::Tanh(a.0), v, ng)
+    }
+
+    /// Elementwise sine.
+    pub fn sin(&mut self, a: Var) -> Var {
+        let v = self.value(a).sin();
+        let ng = self.ng(a.0);
+        self.push(Op::Sin(a.0), v, ng)
+    }
+
+    /// Elementwise cosine.
+    pub fn cos(&mut self, a: Var) -> Var {
+        let v = self.value(a).cos();
+        let ng = self.ng(a.0);
+        self.push(Op::Cos(a.0), v, ng)
+    }
+
+    /// Elementwise natural exponential.
+    pub fn exp(&mut self, a: Var) -> Var {
+        let v = self.value(a).exp();
+        let ng = self.ng(a.0);
+        self.push(Op::Exp(a.0), v, ng)
+    }
+
+    /// Elementwise square root.
+    pub fn sqrt(&mut self, a: Var) -> Var {
+        let v = self.value(a).sqrt();
+        let ng = self.ng(a.0);
+        self.push(Op::Sqrt(a.0), v, ng)
+    }
+
+    /// Elementwise square.
+    pub fn square(&mut self, a: Var) -> Var {
+        let v = self.value(a).square();
+        let ng = self.ng(a.0);
+        self.push(Op::Square(a.0), v, ng)
+    }
+
+    /// Elementwise reciprocal.
+    pub fn recip(&mut self, a: Var) -> Var {
+        let v = self.value(a).recip();
+        let ng = self.ng(a.0);
+        self.push(Op::Recip(a.0), v, ng)
+    }
+
+    /// Elementwise integer power.
+    pub fn powi(&mut self, a: Var, n: i32) -> Var {
+        let v = self.value(a).powi(n);
+        let ng = self.ng(a.0);
+        self.push(Op::Powi(a.0, n), v, ng)
+    }
+
+    // ----- reductions -----
+
+    /// Sum of all elements, as a scalar node.
+    pub fn sum(&mut self, a: Var) -> Var {
+        let v = Tensor::scalar(self.value(a).sum());
+        let ng = self.ng(a.0);
+        self.push(Op::Sum(a.0), v, ng)
+    }
+
+    /// Mean of all elements, as a scalar node.
+    pub fn mean(&mut self, a: Var) -> Var {
+        let v = Tensor::scalar(self.value(a).mean());
+        let ng = self.ng(a.0);
+        self.push(Op::Mean(a.0), v, ng)
+    }
+
+    /// Mean of squares — the MSE reduction, fused for efficiency.
+    pub fn mse(&mut self, a: Var) -> Var {
+        let v = Tensor::scalar(self.value(a).mse());
+        let ng = self.ng(a.0);
+        self.push(Op::Mse(a.0), v, ng)
+    }
+
+    /// Weighted mean of squares `mean(w ⊙ a²)` with per-element weights `w`
+    /// (gradient flows to `a` only; `w` is treated as constant even if it
+    /// requires gradients elsewhere).
+    pub fn weighted_mse(&mut self, a: Var, w: Var) -> Var {
+        let av = self.value(a);
+        let wv = self.value(w);
+        assert_eq!(av.shape(), wv.shape(), "weighted_mse shapes");
+        let v = Tensor::scalar(av.square().mul(wv).mean());
+        let ng = self.ng(a.0);
+        self.push(Op::WeightedMse(a.0, w.0), v, ng)
+    }
+
+    /// Horizontally stack rank-2 nodes with equal row counts.
+    pub fn hstack(&mut self, parts: &[Var]) -> Var {
+        let vals: Vec<&Tensor> = parts.iter().map(|p| self.value(*p)).collect();
+        let v = Tensor::hstack(&vals);
+        let ng = parts.iter().any(|p| self.ng(p.0));
+        self.push(Op::Hstack(parts.iter().map(|p| p.0).collect()), v, ng)
+    }
+
+    /// Extract column `col` of a rank-2 node as an `[m, 1]` node.
+    ///
+    /// # Panics
+    /// Panics when `col` is out of range.
+    pub fn col(&mut self, a: Var, col: usize) -> Var {
+        let av = self.value(a);
+        let (m, n) = (av.shape().nrows(), av.shape().ncols());
+        assert!(col < n, "column {col} out of range for {}", av.shape());
+        let data: Vec<f64> = (0..m).map(|i| av.data()[i * n + col]).collect();
+        let v = Tensor::from_vec([m, 1], data);
+        let ng = self.ng(a.0);
+        self.push(Op::ColSlice(a.0, col), v, ng)
+    }
+
+    /// Average consecutive groups of `group_size` rows of an `[K·gs, 1]`
+    /// column, producing `[K, 1]` — used for per-time-slice integrals on
+    /// structured collocation grids.
+    ///
+    /// # Panics
+    /// Panics when the row count is not a multiple of `group_size`.
+    pub fn mean_groups(&mut self, a: Var, group_size: usize) -> Var {
+        let av = self.value(a);
+        let m = av.shape().nrows();
+        assert_eq!(av.shape().ncols(), 1, "mean_groups expects a column");
+        assert!(group_size > 0 && m.is_multiple_of(group_size), "group size {group_size} vs {m} rows");
+        let k = m / group_size;
+        let data: Vec<f64> = (0..k)
+            .map(|g| {
+                av.data()[g * group_size..(g + 1) * group_size]
+                    .iter()
+                    .sum::<f64>()
+                    / group_size as f64
+            })
+            .collect();
+        let v = Tensor::from_vec([k, 1], data);
+        let ng = self.ng(a.0);
+        self.push(Op::MeanGroups(a.0, group_size), v, ng)
+    }
+
+    /// Record a custom primitive with a caller-computed forward value.
+    pub fn custom(&mut self, op: Box<dyn CustomOp>, inputs: &[Var], value: Tensor) -> Var {
+        let ng = inputs.iter().any(|p| self.ng(p.0));
+        self.push(
+            Op::Custom {
+                op,
+                inputs: inputs.iter().map(|p| p.0).collect(),
+            },
+            value,
+            ng,
+        )
+    }
+
+    // ----- composites -----
+
+    /// `1 - a²`, the derivative of tanh given its output.
+    pub fn one_minus_square(&mut self, a: Var) -> Var {
+        let s = self.square(a);
+        let n = self.neg(s);
+        self.add_scalar(n, 1.0)
+    }
+
+    /// Linear combination `Σ cᵢ·aᵢ` of equally shaped nodes.
+    ///
+    /// # Panics
+    /// Panics when `terms` is empty.
+    pub fn lincomb(&mut self, terms: &[(f64, Var)]) -> Var {
+        assert!(!terms.is_empty(), "lincomb of nothing");
+        let mut acc = self.scale(terms[0].1, terms[0].0);
+        for &(c, v) in &terms[1..] {
+            let s = self.scale(v, c);
+            acc = self.add(acc, s);
+        }
+        acc
+    }
+
+    // ----- reverse sweep -----
+
+    fn accumulate(slot: &mut Option<Tensor>, delta: Tensor) {
+        match slot {
+            Some(t) => t.axpy(1.0, &delta),
+            None => *slot = Some(delta),
+        }
+    }
+
+    /// Run the reverse sweep from `loss` (which must hold exactly one
+    /// element) and return gradients for all reachable differentiable nodes.
+    ///
+    /// # Panics
+    /// Panics when `loss` is not a single-element tensor.
+    pub fn backward(&self, loss: Var) -> Grads {
+        assert_eq!(
+            self.value(loss).len(),
+            1,
+            "backward from non-scalar of shape {}",
+            self.value(loss).shape()
+        );
+        let n = self.nodes.len();
+        let mut g: Vec<Option<Tensor>> = (0..n).map(|_| None).collect();
+        g[loss.0] = Some(Tensor::from_vec(
+            self.value(loss).shape().clone(),
+            vec![1.0],
+        ));
+
+        for id in (0..=loss.0).rev() {
+            if !self.nodes[id].needs_grad {
+                g[id] = None;
+                continue;
+            }
+            let Some(out_grad) = g[id].take() else {
+                continue;
+            };
+            let node = &self.nodes[id];
+            match &node.op {
+                Op::Input | Op::Constant => {
+                    g[id] = Some(out_grad);
+                }
+                Op::Add(a, b) => {
+                    if self.ng(*a) {
+                        Self::accumulate(&mut g[*a], out_grad.clone());
+                    }
+                    if self.ng(*b) {
+                        Self::accumulate(&mut g[*b], out_grad);
+                    }
+                }
+                Op::Sub(a, b) => {
+                    if self.ng(*a) {
+                        Self::accumulate(&mut g[*a], out_grad.clone());
+                    }
+                    if self.ng(*b) {
+                        Self::accumulate(&mut g[*b], out_grad.neg());
+                    }
+                }
+                Op::Mul(a, b) => {
+                    if self.ng(*a) {
+                        Self::accumulate(&mut g[*a], out_grad.mul(&self.nodes[*b].value));
+                    }
+                    if self.ng(*b) {
+                        Self::accumulate(&mut g[*b], out_grad.mul(&self.nodes[*a].value));
+                    }
+                }
+                Op::Div(a, b) => {
+                    let bv = &self.nodes[*b].value;
+                    if self.ng(*a) {
+                        Self::accumulate(&mut g[*a], out_grad.div(bv));
+                    }
+                    if self.ng(*b) {
+                        // d(a/b)/db = -a/b² = -value/b
+                        let d = out_grad.mul(&node.value).div(bv).neg();
+                        Self::accumulate(&mut g[*b], d);
+                    }
+                }
+                Op::Neg(a) => {
+                    Self::accumulate(&mut g[*a], out_grad.neg());
+                }
+                Op::Scale(a, c) => {
+                    Self::accumulate(&mut g[*a], out_grad.scale(*c));
+                }
+                Op::AddScalar(a, _) => {
+                    Self::accumulate(&mut g[*a], out_grad);
+                }
+                Op::Matmul(a, b) => {
+                    if self.ng(*a) {
+                        Self::accumulate(&mut g[*a], out_grad.matmul_nt(&self.nodes[*b].value));
+                    }
+                    if self.ng(*b) {
+                        Self::accumulate(&mut g[*b], self.nodes[*a].value.matmul_tn(&out_grad));
+                    }
+                }
+                Op::AddBias(x, b) => {
+                    if self.ng(*x) {
+                        Self::accumulate(&mut g[*x], out_grad.clone());
+                    }
+                    if self.ng(*b) {
+                        Self::accumulate(&mut g[*b], out_grad.sum_rows());
+                    }
+                }
+                Op::Tanh(a) => {
+                    // d tanh = 1 - tanh², using the stored output.
+                    let d = node.value.map(|t| 1.0 - t * t);
+                    Self::accumulate(&mut g[*a], out_grad.mul(&d));
+                }
+                Op::Sin(a) => {
+                    let d = self.nodes[*a].value.cos();
+                    Self::accumulate(&mut g[*a], out_grad.mul(&d));
+                }
+                Op::Cos(a) => {
+                    let d = self.nodes[*a].value.sin().neg();
+                    Self::accumulate(&mut g[*a], out_grad.mul(&d));
+                }
+                Op::Exp(a) => {
+                    Self::accumulate(&mut g[*a], out_grad.mul(&node.value));
+                }
+                Op::Sqrt(a) => {
+                    // d√x = 1/(2√x), using the stored output.
+                    let d = node.value.map(|s| 0.5 / s);
+                    Self::accumulate(&mut g[*a], out_grad.mul(&d));
+                }
+                Op::Square(a) => {
+                    let d = self.nodes[*a].value.scale(2.0);
+                    Self::accumulate(&mut g[*a], out_grad.mul(&d));
+                }
+                Op::Recip(a) => {
+                    // d(1/x) = -1/x² = -value².
+                    let d = node.value.square().neg();
+                    Self::accumulate(&mut g[*a], out_grad.mul(&d));
+                }
+                Op::Powi(a, k) => {
+                    let kk = *k;
+                    let d = self.nodes[*a].value.map(move |x| kk as f64 * x.powi(kk - 1));
+                    Self::accumulate(&mut g[*a], out_grad.mul(&d));
+                }
+                Op::Sum(a) => {
+                    let s = out_grad.item();
+                    Self::accumulate(
+                        &mut g[*a],
+                        Tensor::full(self.nodes[*a].value.shape().clone(), s),
+                    );
+                }
+                Op::Mean(a) => {
+                    let len = self.nodes[*a].value.len().max(1);
+                    let s = out_grad.item() / len as f64;
+                    Self::accumulate(
+                        &mut g[*a],
+                        Tensor::full(self.nodes[*a].value.shape().clone(), s),
+                    );
+                }
+                Op::Mse(a) => {
+                    let len = self.nodes[*a].value.len().max(1);
+                    let c = 2.0 * out_grad.item() / len as f64;
+                    Self::accumulate(&mut g[*a], self.nodes[*a].value.scale(c));
+                }
+                Op::WeightedMse(a, w) => {
+                    let len = self.nodes[*a].value.len().max(1);
+                    let c = 2.0 * out_grad.item() / len as f64;
+                    let d = self.nodes[*a].value.mul(&self.nodes[*w].value).scale(c);
+                    Self::accumulate(&mut g[*a], d);
+                }
+                Op::Hstack(parts) => {
+                    let m = node.value.shape().nrows();
+                    let mut col0 = 0usize;
+                    let total = node.value.shape().ncols();
+                    for &p in parts {
+                        let nc = self.nodes[p].value.shape().ncols();
+                        if self.ng(p) {
+                            let mut part = vec![0.0; m * nc];
+                            let gd = out_grad.data();
+                            for i in 0..m {
+                                part[i * nc..(i + 1) * nc].copy_from_slice(
+                                    &gd[i * total + col0..i * total + col0 + nc],
+                                );
+                            }
+                            Self::accumulate(&mut g[p], Tensor::from_vec([m, nc], part));
+                        }
+                        col0 += nc;
+                    }
+                }
+                Op::ColSlice(a, col) => {
+                    let src = &self.nodes[*a].value;
+                    let (m, n) = (src.shape().nrows(), src.shape().ncols());
+                    let mut full = vec![0.0; m * n];
+                    for i in 0..m {
+                        full[i * n + col] = out_grad.data()[i];
+                    }
+                    Self::accumulate(&mut g[*a], Tensor::from_vec([m, n], full));
+                }
+                Op::MeanGroups(a, gs) => {
+                    let m = self.nodes[*a].value.shape().nrows();
+                    let k = m / gs;
+                    let mut full = vec![0.0; m];
+                    for gi in 0..k {
+                        let s = out_grad.data()[gi] / *gs as f64;
+                        for v in full[gi * gs..(gi + 1) * gs].iter_mut() {
+                            *v = s;
+                        }
+                    }
+                    Self::accumulate(&mut g[*a], Tensor::from_vec([m, 1], full));
+                }
+                Op::Custom { op, inputs } => {
+                    let in_vals: Vec<&Tensor> =
+                        inputs.iter().map(|&i| &self.nodes[i].value).collect();
+                    let cotangents = op.backward(&in_vals, &node.value, &out_grad);
+                    assert_eq!(
+                        cotangents.len(),
+                        inputs.len(),
+                        "custom op {} returned {} cotangents for {} inputs",
+                        op.name(),
+                        cotangents.len(),
+                        inputs.len()
+                    );
+                    for (&i, ct) in inputs.iter().zip(cotangents) {
+                        if let Some(ct) = ct {
+                            if self.ng(i) {
+                                Self::accumulate(&mut g[i], ct);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Grads { g }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_chain() {
+        // f(x) = mean((tanh(2x + 1))²); check value and gradient vs manual.
+        let mut g = Graph::new();
+        let x = g.input(Tensor::from_slice(&[0.3, -0.7]));
+        let two_x = g.scale(x, 2.0);
+        let z = g.add_scalar(two_x, 1.0);
+        let t = g.tanh(z);
+        let loss = g.mse(t);
+        let want: f64 = [0.3f64, -0.7]
+            .iter()
+            .map(|&xi| (2.0 * xi + 1.0).tanh().powi(2))
+            .sum::<f64>()
+            / 2.0;
+        assert!((g.value(loss).item() - want).abs() < 1e-14);
+        let grads = g.backward(loss);
+        let gx = grads.get(x).unwrap();
+        for (i, &xi) in [0.3f64, -0.7].iter().enumerate() {
+            let t = (2.0 * xi + 1.0).tanh();
+            let manual = 2.0 * t * (1.0 - t * t) * 2.0 / 2.0;
+            assert!((gx.data()[i] - manual).abs() < 1e-12, "i={i}");
+        }
+    }
+
+    #[test]
+    fn matmul_gradients() {
+        // loss = sum(A·B); dA = 1·Bᵀ, dB = Aᵀ·1.
+        let mut g = Graph::new();
+        let a = g.input(Tensor::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]));
+        let b = g.input(Tensor::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]));
+        let c = g.matmul(a, b);
+        let loss = g.sum(c);
+        let grads = g.backward(loss);
+        let ga = grads.get(a).unwrap();
+        // row sums of B = [11, 15]
+        assert_eq!(ga.row(0), &[11.0, 15.0]);
+        assert_eq!(ga.row(1), &[11.0, 15.0]);
+        let gb = grads.get(b).unwrap();
+        // column sums of A = [4, 6] replicated per row of B
+        assert_eq!(gb.row(0), &[4.0, 4.0]);
+        assert_eq!(gb.row(1), &[6.0, 6.0]);
+    }
+
+    #[test]
+    fn bias_gradient_is_row_sum() {
+        let mut g = Graph::new();
+        let x = g.constant(Tensor::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]));
+        let b = g.input(Tensor::from_slice(&[0.5, -0.5]));
+        let y = g.add_bias(x, b);
+        let loss = g.sum(y);
+        let grads = g.backward(loss);
+        assert_eq!(grads.get(b).unwrap().data(), &[3.0, 3.0]);
+        assert!(grads.get(x).is_none(), "constant must get no gradient");
+    }
+
+    #[test]
+    fn fanout_accumulates() {
+        // y = x·x (as mul of the same node) → dy/dx = 2x.
+        let mut g = Graph::new();
+        let x = g.input(Tensor::from_slice(&[3.0]));
+        let y = g.mul(x, x);
+        let loss = g.sum(y);
+        let grads = g.backward(loss);
+        assert!((grads.get(x).unwrap().data()[0] - 6.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn hstack_splits_gradient() {
+        let mut g = Graph::new();
+        let a = g.input(Tensor::column(&[1.0, 2.0]));
+        let b = g.input(Tensor::column(&[3.0, 4.0]));
+        let s = g.hstack(&[a, b]);
+        let sq = g.square(s);
+        let loss = g.sum(sq);
+        let grads = g.backward(loss);
+        assert_eq!(grads.get(a).unwrap().data(), &[2.0, 4.0]);
+        assert_eq!(grads.get(b).unwrap().data(), &[6.0, 8.0]);
+    }
+
+    #[test]
+    fn weighted_mse_value_and_gradient() {
+        let mut g = Graph::new();
+        let r = g.input(Tensor::from_slice(&[1.0, -2.0]));
+        let w = g.constant(Tensor::from_slice(&[2.0, 0.5]));
+        let loss = g.weighted_mse(r, w);
+        // (2·1 + 0.5·4)/2 = 2.0
+        assert!((g.value(loss).item() - 2.0).abs() < 1e-14);
+        let grads = g.backward(loss);
+        // d/dr_i = 2 w_i r_i / n
+        assert_eq!(grads.get(r).unwrap().data(), &[2.0, -1.0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn backward_from_vector_panics() {
+        let mut g = Graph::new();
+        let x = g.input(Tensor::from_slice(&[1.0, 2.0]));
+        let y = g.square(x);
+        let _ = g.backward(y);
+    }
+
+    #[test]
+    fn div_and_transcendental_gradients() {
+        // f = sum(sin(x)/exp(x)); f' = (cos - sin)/exp.
+        let mut g = Graph::new();
+        let x = g.input(Tensor::from_slice(&[0.4, 1.2]));
+        let s = g.sin(x);
+        let e = g.exp(x);
+        let q = g.div(s, e);
+        let loss = g.sum(q);
+        let grads = g.backward(loss);
+        for (i, &xi) in [0.4f64, 1.2].iter().enumerate() {
+            let manual = (xi.cos() - xi.sin()) / xi.exp();
+            assert!(
+                (grads.get(x).unwrap().data()[i] - manual).abs() < 1e-12,
+                "i={i}"
+            );
+        }
+    }
+
+    #[test]
+    fn custom_op_roundtrip() {
+        struct Double;
+        impl CustomOp for Double {
+            fn name(&self) -> &str {
+                "double"
+            }
+            fn backward(
+                &self,
+                _inputs: &[&Tensor],
+                _output: &Tensor,
+                out_grad: &Tensor,
+            ) -> Vec<Option<Tensor>> {
+                vec![Some(out_grad.scale(2.0))]
+            }
+        }
+        let mut g = Graph::new();
+        let x = g.input(Tensor::from_slice(&[1.5, 2.5]));
+        let fwd = g.value(x).scale(2.0);
+        let y = g.custom(Box::new(Double), &[x], fwd);
+        let loss = g.sum(y);
+        let grads = g.backward(loss);
+        assert_eq!(grads.get(x).unwrap().data(), &[2.0, 2.0]);
+    }
+
+    #[test]
+    fn col_slice_forward_and_backward() {
+        let mut g = Graph::new();
+        let x = g.input(Tensor::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]));
+        let c1 = g.col(x, 1);
+        assert_eq!(g.value(c1).data(), &[2.0, 4.0]);
+        assert_eq!(g.value(c1).shape().dims(), &[2, 1]);
+        let sq = g.square(c1);
+        let loss = g.sum(sq);
+        let grads = g.backward(loss);
+        let gx = grads.get(x).unwrap();
+        assert_eq!(gx.row(0), &[0.0, 4.0]);
+        assert_eq!(gx.row(1), &[0.0, 8.0]);
+    }
+
+    #[test]
+    fn mean_groups_forward_and_backward() {
+        let mut g = Graph::new();
+        let x = g.input(Tensor::column(&[1.0, 3.0, 10.0, 20.0]));
+        let m = g.mean_groups(x, 2);
+        assert_eq!(g.value(m).data(), &[2.0, 15.0]);
+        let sq = g.square(m);
+        let loss = g.sum(sq);
+        let grads = g.backward(loss);
+        // d/dx_i = 2·mean_g · (1/gs)
+        assert_eq!(grads.get(x).unwrap().data(), &[2.0, 2.0, 15.0, 15.0]);
+    }
+
+    #[test]
+    fn lincomb_matches_manual() {
+        let mut g = Graph::new();
+        let a = g.input(Tensor::from_slice(&[1.0, 2.0]));
+        let b = g.input(Tensor::from_slice(&[3.0, 4.0]));
+        let l = g.lincomb(&[(2.0, a), (-1.0, b)]);
+        assert_eq!(g.value(l).data(), &[-1.0, 0.0]);
+        let loss = g.sum(l);
+        let grads = g.backward(loss);
+        assert_eq!(grads.get(a).unwrap().data(), &[2.0, 2.0]);
+        assert_eq!(grads.get(b).unwrap().data(), &[-1.0, -1.0]);
+    }
+}

@@ -1,0 +1,350 @@
+//! Taylor-mode jets: propagate `(value, ∂/∂cᵢ, ∂²/∂cᵢ²)` per coordinate
+//! through a computation as ordinary tape ops.
+//!
+//! A [`Jet`] bundles the batched value of a quantity together with its first
+//! and (diagonal) second derivatives with respect to each of `k` input
+//! coordinates. Every component is itself a differentiable [`Var`], so
+//! after assembling a PDE residual from jet components, a single
+//! [`Graph::backward`] pass yields exact parameter gradients of the
+//! residual loss.
+//!
+//! Only diagonal second derivatives are tracked — exactly what
+//! Laplacian-type operators (∂²/∂x², ∂²/∂y²) need. Mixed spatial
+//! derivatives are not required by the Schrödinger systems implemented
+//! here.
+
+use crate::{Graph, Var};
+
+/// A batched quantity with per-coordinate first and second derivatives.
+///
+/// All component tensors share the shape `[batch, width]`.
+#[derive(Clone, Debug)]
+pub struct Jet {
+    /// The value.
+    pub v: Var,
+    /// First derivatives, one per tracked coordinate.
+    pub d: Vec<Var>,
+    /// Diagonal second derivatives, one per tracked coordinate.
+    pub dd: Vec<Var>,
+}
+
+impl Jet {
+    /// Number of tracked coordinates.
+    pub fn n_coords(&self) -> usize {
+        self.d.len()
+    }
+
+    /// Seed a jet for input coordinate `coord` out of `n_coords`: the value
+    /// column itself, unit first derivative along its own coordinate, zero
+    /// elsewhere, zero second derivatives.
+    pub fn seed_coordinate(g: &mut Graph, column: Var, coord: usize, n_coords: usize) -> Jet {
+        let shape = g.value(column).shape().clone();
+        let ones = g.constant(qpinn_tensor::Tensor::ones(shape.clone()));
+        let zeros = g.constant(qpinn_tensor::Tensor::zeros(shape));
+        let d = (0..n_coords)
+            .map(|i| if i == coord { ones } else { zeros })
+            .collect();
+        let dd = vec![zeros; n_coords];
+        Jet {
+            v: column,
+            d,
+            dd,
+        }
+    }
+
+    /// A jet that is constant with respect to all tracked coordinates.
+    pub fn constant(g: &mut Graph, value: Var, n_coords: usize) -> Jet {
+        let shape = g.value(value).shape().clone();
+        let zeros = g.constant(qpinn_tensor::Tensor::zeros(shape));
+        Jet {
+            v: value,
+            d: vec![zeros; n_coords],
+            dd: vec![zeros; n_coords],
+        }
+    }
+
+    /// Apply a linear map slot-wise: `f` must be linear for the result to be
+    /// a valid jet (used by dense layers: matmul and bias are linear).
+    pub fn map_linear(&self, g: &mut Graph, mut f: impl FnMut(&mut Graph, Var) -> Var) -> Jet {
+        Jet {
+            v: f(g, self.v),
+            d: self.d.iter().map(|&x| f(g, x)).collect(),
+            dd: self.dd.iter().map(|&x| f(g, x)).collect(),
+        }
+    }
+
+    /// Jet sum.
+    pub fn add(&self, g: &mut Graph, other: &Jet) -> Jet {
+        assert_eq!(self.n_coords(), other.n_coords());
+        Jet {
+            v: g.add(self.v, other.v),
+            d: self
+                .d
+                .iter()
+                .zip(&other.d)
+                .map(|(&a, &b)| g.add(a, b))
+                .collect(),
+            dd: self
+                .dd
+                .iter()
+                .zip(&other.dd)
+                .map(|(&a, &b)| g.add(a, b))
+                .collect(),
+        }
+    }
+
+    /// Jet difference.
+    pub fn sub(&self, g: &mut Graph, other: &Jet) -> Jet {
+        assert_eq!(self.n_coords(), other.n_coords());
+        Jet {
+            v: g.sub(self.v, other.v),
+            d: self
+                .d
+                .iter()
+                .zip(&other.d)
+                .map(|(&a, &b)| g.sub(a, b))
+                .collect(),
+            dd: self
+                .dd
+                .iter()
+                .zip(&other.dd)
+                .map(|(&a, &b)| g.sub(a, b))
+                .collect(),
+        }
+    }
+
+    /// Jet product (Leibniz to second order):
+    /// `(fg)' = f'g + fg'`, `(fg)'' = f''g + 2f'g' + fg''`.
+    pub fn mul(&self, g: &mut Graph, other: &Jet) -> Jet {
+        assert_eq!(self.n_coords(), other.n_coords());
+        let v = g.mul(self.v, other.v);
+        let mut d = Vec::with_capacity(self.n_coords());
+        let mut dd = Vec::with_capacity(self.n_coords());
+        for i in 0..self.n_coords() {
+            let fg_p = g.mul(self.d[i], other.v);
+            let f_gp = g.mul(self.v, other.d[i]);
+            d.push(g.add(fg_p, f_gp));
+            let fpp_g = g.mul(self.dd[i], other.v);
+            let fp_gp = g.mul(self.d[i], other.d[i]);
+            let two_fp_gp = g.scale(fp_gp, 2.0);
+            let f_gpp = g.mul(self.v, other.dd[i]);
+            let s1 = g.add(fpp_g, two_fp_gp);
+            dd.push(g.add(s1, f_gpp));
+        }
+        Jet { v, d, dd }
+    }
+
+    /// Scale by a constant.
+    pub fn scale(&self, g: &mut Graph, c: f64) -> Jet {
+        self.map_linear(g, |g, x| g.scale(x, c))
+    }
+
+    /// Apply a smooth elementwise nonlinearity given its first and second
+    /// derivative (expressed as tape functions of the *pre-activation*):
+    ///
+    /// `u = σ(z)`, `u' = σ'(z)·z'`, `u'' = σ''(z)·(z')² + σ'(z)·z''`.
+    pub fn apply_nonlinearity(
+        &self,
+        g: &mut Graph,
+        sigma: impl Fn(&mut Graph, Var) -> Var,
+        sigma_p: impl Fn(&mut Graph, Var) -> Var,
+        sigma_pp: impl Fn(&mut Graph, Var) -> Var,
+    ) -> Jet {
+        let u = sigma(g, self.v);
+        let sp = sigma_p(g, self.v);
+        let spp = sigma_pp(g, self.v);
+        let mut d = Vec::with_capacity(self.n_coords());
+        let mut dd = Vec::with_capacity(self.n_coords());
+        for i in 0..self.n_coords() {
+            d.push(g.mul(sp, self.d[i]));
+            let zp_sq = g.square(self.d[i]);
+            let t1 = g.mul(spp, zp_sq);
+            let t2 = g.mul(sp, self.dd[i]);
+            dd.push(g.add(t1, t2));
+        }
+        Jet { v: u, d, dd }
+    }
+
+    /// Tanh nonlinearity with derivatives expressed through the output:
+    /// `σ' = 1 − u²`, `σ'' = −2u(1 − u²)`.
+    pub fn tanh(&self, g: &mut Graph) -> Jet {
+        let u = g.tanh(self.v);
+        let sp = g.one_minus_square(u);
+        let minus_two_u = g.scale(u, -2.0);
+        let spp = g.mul(minus_two_u, sp);
+        let mut d = Vec::with_capacity(self.n_coords());
+        let mut dd = Vec::with_capacity(self.n_coords());
+        for i in 0..self.n_coords() {
+            d.push(g.mul(sp, self.d[i]));
+            let zp_sq = g.square(self.d[i]);
+            let t1 = g.mul(spp, zp_sq);
+            let t2 = g.mul(sp, self.dd[i]);
+            dd.push(g.add(t1, t2));
+        }
+        Jet { v: u, d, dd }
+    }
+
+    /// Sine nonlinearity: `σ' = cos`, `σ'' = −sin`.
+    pub fn sin(&self, g: &mut Graph) -> Jet {
+        self.apply_nonlinearity(
+            g,
+            |g, z| g.sin(z),
+            |g, z| g.cos(z),
+            |g, z| {
+                let s = g.sin(z);
+                g.neg(s)
+            },
+        )
+    }
+
+    /// Cosine nonlinearity: `σ' = −sin`, `σ'' = −cos`.
+    pub fn cos(&self, g: &mut Graph) -> Jet {
+        self.apply_nonlinearity(
+            g,
+            |g, z| g.cos(z),
+            |g, z| {
+                let s = g.sin(z);
+                g.neg(s)
+            },
+            |g, z| {
+                let c = g.cos(z);
+                g.neg(c)
+            },
+        )
+    }
+
+    /// Square: `u = v²` via the product rule.
+    pub fn square(&self, g: &mut Graph) -> Jet {
+        self.mul(g, &self.clone())
+    }
+
+    /// Slice one column out of every slot: the jet of a single output
+    /// field from a multi-field network head.
+    pub fn col(&self, g: &mut Graph, col: usize) -> Jet {
+        Jet {
+            v: g.col(self.v, col),
+            d: self.d.iter().map(|&s| g.col(s, col)).collect(),
+            dd: self.dd.iter().map(|&s| g.col(s, col)).collect(),
+        }
+    }
+
+    /// Horizontally stack jets slot-wise (all parts must track the same
+    /// coordinates and have equal row counts).
+    ///
+    /// # Panics
+    /// Panics when `parts` is empty or coordinate counts disagree.
+    pub fn hstack(g: &mut Graph, parts: &[&Jet]) -> Jet {
+        assert!(!parts.is_empty(), "hstack of no jets");
+        let k = parts[0].n_coords();
+        assert!(
+            parts.iter().all(|p| p.n_coords() == k),
+            "jet hstack coordinate mismatch"
+        );
+        let vs: Vec<Var> = parts.iter().map(|p| p.v).collect();
+        let v = g.hstack(&vs);
+        let mut d = Vec::with_capacity(k);
+        let mut dd = Vec::with_capacity(k);
+        for i in 0..k {
+            let di: Vec<Var> = parts.iter().map(|p| p.d[i]).collect();
+            d.push(g.hstack(&di));
+            let ddi: Vec<Var> = parts.iter().map(|p| p.dd[i]).collect();
+            dd.push(g.hstack(&ddi));
+        }
+        Jet { v, d, dd }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qpinn_tensor::Tensor;
+
+    /// Check the jet of f(x) against finite differences on a scalar batch.
+    fn check_jet(
+        build: impl Fn(&mut Graph, &Jet) -> Jet,
+        f: impl Fn(f64) -> f64,
+        xs: &[f64],
+        tol: f64,
+    ) {
+        let mut g = Graph::new();
+        let col = g.constant(Tensor::column(xs));
+        let jet = Jet::seed_coordinate(&mut g, col, 0, 1);
+        let out = build(&mut g, &jet);
+        let h = 1e-5;
+        for (i, &x) in xs.iter().enumerate() {
+            let v = g.value(out.v).data()[i];
+            let d1 = g.value(out.d[0]).data()[i];
+            let d2 = g.value(out.dd[0]).data()[i];
+            assert!((v - f(x)).abs() < 1e-12, "value at {x}: {v} vs {}", f(x));
+            let fd1 = (f(x + h) - f(x - h)) / (2.0 * h);
+            let fd2 = (f(x + h) - 2.0 * f(x) + f(x - h)) / (h * h);
+            assert!((d1 - fd1).abs() < tol, "d1 at {x}: {d1} vs {fd1}");
+            assert!((d2 - fd2).abs() < tol * 100.0, "d2 at {x}: {d2} vs {fd2}");
+        }
+    }
+
+    #[test]
+    fn tanh_jet_matches_finite_differences() {
+        check_jet(
+            |g, j| j.tanh(g),
+            |x| x.tanh(),
+            &[-1.2, -0.3, 0.0, 0.7, 1.9],
+            1e-7,
+        );
+    }
+
+    #[test]
+    fn sin_jet_matches_finite_differences() {
+        check_jet(|g, j| j.sin(g), |x| x.sin(), &[-2.0, 0.4, 1.1], 1e-7);
+    }
+
+    #[test]
+    fn product_rule_second_order() {
+        // f(x) = x²·sin(x) assembled as jet product.
+        check_jet(
+            |g, j| {
+                let sq = j.square(g);
+                let s = j.sin(g);
+                sq.mul(g, &s)
+            },
+            |x| x * x * x.sin(),
+            &[-1.5, 0.2, 0.9],
+            1e-5,
+        );
+    }
+
+    #[test]
+    fn composed_tanh_of_sin() {
+        check_jet(
+            |g, j| j.sin(g).tanh(g),
+            |x| x.sin().tanh(),
+            &[-0.8, 0.1, 1.3],
+            1e-6,
+        );
+    }
+
+    #[test]
+    fn seed_has_unit_first_derivative() {
+        let mut g = Graph::new();
+        let col = g.constant(Tensor::column(&[0.5, 1.5]));
+        let jet = Jet::seed_coordinate(&mut g, col, 1, 3);
+        assert_eq!(g.value(jet.d[1]).data(), &[1.0, 1.0]);
+        assert_eq!(g.value(jet.d[0]).data(), &[0.0, 0.0]);
+        assert_eq!(g.value(jet.dd[1]).data(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn jets_are_differentiable_wrt_parameters() {
+        // u(x) = w·x (a 1-param linear "network"); residual r = u_x − w = 0
+        // identically. Check that d(mse(u_x))/dw = 2·w (since u_x = w).
+        let mut g = Graph::new();
+        let w = g.input(Tensor::from_vec([1, 1], vec![3.0]));
+        let x = g.constant(Tensor::column(&[0.1, 0.2, 0.3]));
+        let jet = Jet::seed_coordinate(&mut g, x, 0, 1);
+        let out = jet.map_linear(&mut g, |g, s| g.matmul(s, w));
+        let loss = g.mse(out.d[0]);
+        assert!((g.value(loss).item() - 9.0).abs() < 1e-12);
+        let grads = g.backward(loss);
+        assert!((grads.get(w).unwrap().data()[0] - 6.0).abs() < 1e-12);
+    }
+}

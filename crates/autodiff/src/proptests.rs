@@ -1,0 +1,118 @@
+//! Property-based tests: tape gradients agree with finite differences for
+//! randomly generated expressions and inputs.
+
+use crate::gradcheck;
+use crate::{Graph, Var};
+use proptest::prelude::*;
+use qpinn_tensor::Tensor;
+
+fn vec_strategy(n: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-2.0..2.0f64, n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn random_elementwise_chains_pass_gradcheck(data in vec_strategy(5), picks in proptest::collection::vec(0usize..6, 1..5)) {
+        let t = Tensor::from_slice(&data);
+        let picks2 = picks.clone();
+        let report = gradcheck::check(
+            move |g: &mut Graph, vars: &[Var]| {
+                let mut x = vars[0];
+                for &p in &picks2 {
+                    x = match p {
+                        0 => g.tanh(x),
+                        1 => g.sin(x),
+                        2 => g.cos(x),
+                        3 => { let h = g.scale(x, 0.5); g.add_scalar(h, 0.1) }
+                        4 => g.square(x),
+                        _ => { let e = g.scale(x, 0.3); g.exp(e) }
+                    };
+                }
+                g.mse(x)
+            },
+            &[t],
+            1e-5,
+        );
+        prop_assert!(report.passes(5e-4), "max rel err {}", report.max_rel_err);
+    }
+
+    #[test]
+    fn matmul_chain_passes_gradcheck(
+        wdata in vec_strategy(6),
+        bdata in vec_strategy(3),
+        xdata in vec_strategy(8),
+    ) {
+        let w = Tensor::from_vec([2, 3], wdata);
+        let b = Tensor::from_slice(&bdata);
+        let x = Tensor::from_vec([4, 2], xdata);
+        let report = gradcheck::check(
+            move |g, vars| {
+                let xc = g.constant(x.clone());
+                let z = g.matmul(xc, vars[0]);
+                let zb = g.add_bias(z, vars[1]);
+                let t = g.tanh(zb);
+                g.mse(t)
+            },
+            &[w, b],
+            1e-5,
+        );
+        prop_assert!(report.passes(5e-4), "max rel err {}", report.max_rel_err);
+    }
+
+    #[test]
+    fn sum_and_mean_linear_in_input(data in vec_strategy(6), c in -3.0..3.0f64) {
+        // grad of sum(c·x) is c everywhere; grad of mean is c/n.
+        let t = Tensor::from_slice(&data);
+        let mut g = Graph::new();
+        let x = g.input(t.clone());
+        let s = g.scale(x, c);
+        let loss = g.sum(s);
+        let grads = g.backward(loss);
+        for &v in grads.get(x).unwrap().data() {
+            prop_assert!((v - c).abs() < 1e-12);
+        }
+        let mut g2 = Graph::new();
+        let x2 = g2.input(t);
+        let s2 = g2.scale(x2, c);
+        let loss2 = g2.mean(s2);
+        let grads2 = g2.backward(loss2);
+        for &v in grads2.get(x2).unwrap().data() {
+            prop_assert!((v - c / 6.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn gradient_of_constant_branch_is_isolated(data in vec_strategy(4)) {
+        // Adding a constant-derived term must not change the input gradient.
+        let t = Tensor::from_slice(&data);
+        let mut g = Graph::new();
+        let x = g.input(t.clone());
+        let k = g.constant(Tensor::from_slice(&[5.0, -1.0, 2.0, 0.5]));
+        let ksq = g.square(k);
+        let xsq = g.square(x);
+        let both = g.add(xsq, ksq);
+        let loss = g.sum(both);
+        let grads = g.backward(loss);
+        let gx = grads.get(x).unwrap();
+        for (v, want) in gx.data().iter().zip(t.data()) {
+            prop_assert!((v - 2.0 * want).abs() < 1e-12);
+        }
+        prop_assert!(grads.get(k).is_none());
+    }
+
+    #[test]
+    fn backward_twice_is_consistent(data in vec_strategy(5)) {
+        // backward is a pure function of the tape: running it twice on the
+        // same graph must yield identical gradients.
+        let t = Tensor::from_slice(&data);
+        let mut g = Graph::new();
+        let x = g.input(t);
+        let u = g.tanh(x);
+        let loss = g.mse(u);
+        let g1 = g.backward(loss);
+        let g2 = g.backward(loss);
+        prop_assert!(g1.get(x).unwrap().approx_eq(g2.get(x).unwrap(), 0.0));
+    }
+}

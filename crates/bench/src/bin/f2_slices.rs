@@ -1,0 +1,63 @@
+//! **F2 — solution slices.** `|h(x, t)|` of the trained NLS PINN against
+//! the spectral reference at three time slices (the classic PINN figure:
+//! t = 0.59, 0.79, 0.98 on the Raissi benchmark).
+
+use qpinn_bench::{banner, save, standard_train, RunOpts};
+use qpinn_core::report::{Json, TextTable};
+use qpinn_core::task::{NlsTask, NlsTaskConfig};
+use qpinn_core::trainer::Trainer;
+use qpinn_nn::ParamSet;
+use qpinn_problems::NlsProblem;
+use rand::{rngs::StdRng, SeedableRng};
+
+fn main() {
+    let opts = RunOpts::from_args();
+    banner("F2", "field slices |h(x,t)| vs reference (NLS)", &opts);
+
+    let problem = NlsProblem::raissi_benchmark();
+    let mut cfg = NlsTaskConfig::standard(&problem, opts.pick(24, 64), opts.pick(3, 4));
+    cfg.n_collocation = opts.pick(448, 4096);
+    cfg.reference = (256, opts.pick(600, 2000), 64);
+    cfg.eval_grid = (48, 16);
+    let mut params = ParamSet::new();
+    let mut rng = StdRng::seed_from_u64(100);
+    let mut task = NlsTask::new(problem.clone(), &cfg, &mut params, &mut rng);
+    let log = Trainer::new(standard_train(opts.pick(1200, 8000))).train(&mut task, &mut params);
+    println!("trained: rel-L2 {:.3e} in {:.1}s\n", log.final_error, log.wall_s);
+
+    let slice_times = [0.59, 0.79, 0.98];
+    let xs: Vec<f64> = (0..25)
+        .map(|i| problem.x0 + problem.length() * i as f64 / 24.0)
+        .collect();
+    let mut series = Vec::new();
+    for &t in &slice_times {
+        let mut table = TextTable::new(&[&format!("x (t={t})"), "|h| PINN", "|h| reference"]);
+        let points: Vec<Vec<f64>> = xs.iter().map(|&x| vec![x, t]).collect();
+        let pred = task.net().predict(&params, &points);
+        let mut pinn_vals = Vec::new();
+        let mut ref_vals = Vec::new();
+        for (i, &x) in xs.iter().enumerate() {
+            let pm = (pred.get(&[i, 0]).powi(2) + pred.get(&[i, 1]).powi(2)).sqrt();
+            let rm = task.reference().sample(x, t).abs();
+            pinn_vals.push(pm);
+            ref_vals.push(rm);
+            table.row(&[format!("{x:+.2}"), format!("{pm:.4}"), format!("{rm:.4}")]);
+        }
+        println!("{}", table.render());
+        series.push(Json::obj(vec![
+            ("t", Json::Num(t)),
+            ("x", Json::nums(&xs)),
+            ("pinn", Json::nums(&pinn_vals)),
+            ("reference", Json::nums(&ref_vals)),
+        ]));
+    }
+
+    save(
+        "f2_slices",
+        &Json::obj(vec![
+            ("id", Json::Str("F2".into())),
+            ("final_error", Json::Num(log.final_error)),
+            ("slices", Json::Arr(series)),
+        ]),
+    );
+}

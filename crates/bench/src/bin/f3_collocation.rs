@@ -1,0 +1,61 @@
+//! **F3 — collocation sweep.** Accuracy and wall time versus the number of
+//! collocation points on the free-packet TDSE (with a fixed epoch budget).
+
+use qpinn_bench::{banner, save, standard_train, RunOpts};
+use qpinn_core::experiment::{aggregate, run_seeds};
+use qpinn_core::report::{Json, TextTable};
+use qpinn_core::task::{TdseTask, TdseTaskConfig};
+use qpinn_nn::ParamSet;
+use qpinn_problems::TdseProblem;
+use rand::{rngs::StdRng, SeedableRng};
+
+fn main() {
+    let opts = RunOpts::from_args();
+    banner("F3", "error & wall time vs collocation count", &opts);
+
+    let problem = TdseProblem::free_packet();
+    let counts: Vec<usize> = if opts.full {
+        vec![512, 1024, 2048, 4096, 8192, 16384]
+    } else {
+        vec![128, 256, 512, 1024]
+    };
+    let epochs = opts.pick(300, 3000);
+    let cfg_train = standard_train(epochs);
+
+    let mut table = TextTable::new(&["N collocation", "rel-L2 (mean±std)", "s/run"]);
+    let mut ns = Vec::new();
+    let mut errs = Vec::new();
+    let mut times = Vec::new();
+    for &n in &counts {
+        let runs = run_seeds(&opts.seeds(), &cfg_train, |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut cfg = TdseTaskConfig::standard(&problem, opts.pick(24, 64), 3);
+            cfg.n_collocation = n;
+            cfg.reference = (256, opts.pick(400, 1500), 32);
+            cfg.eval_grid = (64, 24);
+            let mut params = ParamSet::new();
+            let task = TdseTask::new(problem.clone(), &cfg, &mut params, &mut rng);
+            (task, params)
+        });
+        let agg = aggregate(&runs);
+        table.row(&[
+            format!("{n}"),
+            qpinn_core::report::mean_std(agg.mean_error, agg.std_error),
+            format!("{:.1}", agg.mean_wall_s),
+        ]);
+        ns.push(n as f64);
+        errs.push(agg.mean_error);
+        times.push(agg.mean_wall_s);
+    }
+
+    println!("\n{}", table.render());
+    save(
+        "f3_collocation",
+        &Json::obj(vec![
+            ("id", Json::Str("F3".into())),
+            ("n", Json::nums(&ns)),
+            ("error", Json::nums(&errs)),
+            ("wall_s", Json::nums(&times)),
+        ]),
+    );
+}

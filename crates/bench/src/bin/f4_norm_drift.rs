@@ -1,0 +1,76 @@
+//! **F4 — norm drift with and without the conservation loss.** The
+//! stability claim: the network's `∫|ψ|²dx` over time stays pinned to 1
+//! when the norm-conservation term is on, and drifts (typically decays)
+//! when it is off. The quantum analogue of the energy-conservation
+//! regularizer for conservative-PDE PINNs.
+
+use qpinn_bench::{banner, save, standard_train, RunOpts};
+use qpinn_core::report::{Json, TextTable};
+use qpinn_core::task::{TdseTask, TdseTaskConfig};
+use qpinn_core::trainer::Trainer;
+use qpinn_nn::ParamSet;
+use qpinn_problems::TdseProblem;
+use rand::{rngs::StdRng, SeedableRng};
+
+fn run(problem: &TdseProblem, conservation: bool, opts: &RunOpts) -> (Vec<f64>, Vec<f64>, f64) {
+    let mut cfg = TdseTaskConfig::standard(problem, opts.pick(24, 64), 3);
+    cfg.n_collocation = opts.pick(384, 4096);
+    cfg.reference = (256, opts.pick(400, 1500), 32);
+    cfg.eval_grid = (64, 24);
+    if !conservation {
+        cfg.weights.conservation = 0.0;
+    }
+    let mut params = ParamSet::new();
+    let mut rng = StdRng::seed_from_u64(100);
+    let mut task = TdseTask::new(problem.clone(), &cfg, &mut params, &mut rng);
+    let log = Trainer::new(standard_train(opts.pick(800, 5000))).train(&mut task, &mut params);
+    let times: Vec<f64> = (0..=10)
+        .map(|k| problem.t_end * k as f64 / 10.0)
+        .collect();
+    let norms = task.norm_series(&params, &times);
+    (times, norms, log.final_error)
+}
+
+fn main() {
+    let opts = RunOpts::from_args();
+    banner("F4", "norm drift with/without conservation loss", &opts);
+
+    let problem = TdseProblem::harmonic_packet();
+    let (times, with_norms, with_err) = run(&problem, true, &opts);
+    let (_, without_norms, without_err) = run(&problem, false, &opts);
+
+    let mut table = TextTable::new(&["t", "∫|ψ|² (with cons.)", "∫|ψ|² (without)"]);
+    for i in 0..times.len() {
+        table.row(&[
+            format!("{:.2}", times[i]),
+            format!("{:.4}", with_norms[i]),
+            format!("{:.4}", without_norms[i]),
+        ]);
+    }
+    println!("\n{}", table.render());
+    let drift = |ns: &[f64]| {
+        ns.iter()
+            .map(|n| (n - 1.0).abs())
+            .fold(0.0f64, f64::max)
+    };
+    println!(
+        "max |drift|: with = {:.3e}, without = {:.3e}",
+        drift(&with_norms),
+        drift(&without_norms)
+    );
+    println!(
+        "rel-L2: with = {with_err:.3e}, without = {without_err:.3e}"
+    );
+
+    save(
+        "f4_norm_drift",
+        &Json::obj(vec![
+            ("id", Json::Str("F4".into())),
+            ("times", Json::nums(&times)),
+            ("with_conservation", Json::nums(&with_norms)),
+            ("without_conservation", Json::nums(&without_norms)),
+            ("error_with", Json::Num(with_err)),
+            ("error_without", Json::Num(without_err)),
+        ]),
+    );
+}

@@ -1,0 +1,125 @@
+//! **F5 — systems scaling figure.** (a) Training-epoch wall time versus
+//! rayon thread count (the data-parallel batched-linear-algebra scaling
+//! claim; on a single-core host the series is honest about showing no
+//! speedup), and (b) statevector-simulation throughput versus qubit count.
+
+use qpinn_bench::{banner, save, RunOpts};
+use qpinn_core::report::{Json, TextTable};
+use qpinn_core::task::{TdseTask, TdseTaskConfig};
+use qpinn_core::trainer::PinnTask;
+use qpinn_nn::{GraphCtx, ParamSet};
+use qpinn_problems::TdseProblem;
+use qpinn_qcircuit::{Ansatz, InputScaling, QuantumLayer};
+use rand::{rngs::StdRng, SeedableRng};
+use std::time::Instant;
+
+fn epoch_time_with_threads(threads: usize, opts: &RunOpts) -> f64 {
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("thread pool");
+    pool.install(|| {
+        let problem = TdseProblem::free_packet();
+        let mut cfg = TdseTaskConfig::standard(&problem, opts.pick(32, 64), 3);
+        cfg.n_collocation = opts.pick(2048, 8192);
+        cfg.reference = (128, 100, 8); // cheap; not what we time
+        cfg.eval_grid = (16, 4);
+        let mut params = ParamSet::new();
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut task = TdseTask::new(problem, &cfg, &mut params, &mut rng);
+        // warm-up epoch + timed epochs (backward included)
+        let reps = opts.pick(3, 10);
+        let mut run_epoch = || {
+            let mut g = qpinn_autodiff::Graph::new();
+            let mut ctx = GraphCtx::new(&mut g, &params);
+            let loss = task.build_loss(&mut ctx);
+            let _ = ctx.g.backward(loss);
+        };
+        run_epoch();
+        let start = Instant::now();
+        for _ in 0..reps {
+            run_epoch();
+        }
+        start.elapsed().as_secs_f64() / reps as f64
+    })
+}
+
+fn statevector_throughput(nq: usize) -> f64 {
+    let layer = QuantumLayer {
+        n_qubits: nq,
+        layers: 4,
+        ansatz: Ansatz::BasicEntangling,
+        scaling: InputScaling::Acos,
+        reupload: false,
+    };
+    let mut rng = StdRng::seed_from_u64(1);
+    let theta = layer.init_params(&mut rng);
+    let batch = 256;
+    let inputs: Vec<f64> = (0..batch * nq).map(|i| ((i as f64) * 0.37).sin()).collect();
+    // warm-up
+    let _ = layer.forward_batch(&inputs, batch, &theta);
+    let start = Instant::now();
+    let reps = 4;
+    for _ in 0..reps {
+        let _ = layer.forward_batch(&inputs, batch, &theta);
+    }
+    (batch * reps) as f64 / start.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let opts = RunOpts::from_args();
+    banner("F5", "parallel scaling & simulator throughput", &opts);
+    println!("host parallelism: {} logical CPUs\n", num_cpus());
+
+    // (a) epoch time vs threads
+    let threads = [1usize, 2, 4, 8];
+    let mut table = TextTable::new(&["threads", "s/epoch", "speedup"]);
+    let mut t_series = Vec::new();
+    let mut s_series = Vec::new();
+    let base = epoch_time_with_threads(1, &opts);
+    for &t in &threads {
+        let s = if t == 1 {
+            base
+        } else {
+            epoch_time_with_threads(t, &opts)
+        };
+        table.row(&[
+            format!("{t}"),
+            format!("{s:.3}"),
+            format!("{:.2}×", base / s),
+        ]);
+        t_series.push(t as f64);
+        s_series.push(s);
+    }
+    println!("{}", table.render());
+
+    // (b) statevector throughput vs qubits
+    let mut qtable = TextTable::new(&["qubits", "circuits/s (batch fwd)"]);
+    let mut q_series = Vec::new();
+    let mut r_series = Vec::new();
+    for nq in [2usize, 4, 6, 8, 10] {
+        let rate = statevector_throughput(nq);
+        qtable.row(&[format!("{nq}"), format!("{rate:.0}")]);
+        q_series.push(nq as f64);
+        r_series.push(rate);
+    }
+    println!("{}", qtable.render());
+
+    save(
+        "f5_scaling",
+        &Json::obj(vec![
+            ("id", Json::Str("F5".into())),
+            ("host_cpus", Json::Num(num_cpus() as f64)),
+            ("threads", Json::nums(&t_series)),
+            ("s_per_epoch", Json::nums(&s_series)),
+            ("qubits", Json::nums(&q_series)),
+            ("circuits_per_s", Json::nums(&r_series)),
+        ]),
+    );
+}
+
+fn num_cpus() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}

@@ -1,0 +1,65 @@
+//! **F6 — 2D extension demonstration.** Train the PINN on the 2D
+//! time-dependent Schrödinger equation (free packet on a doubly periodic
+//! square) and print a density slice against the 2D spectral reference —
+//! the multi-dimensional unsteady extension.
+
+use qpinn_bench::{banner, save, standard_train, RunOpts};
+use qpinn_core::report::{Json, TextTable};
+use qpinn_core::task::{Tdse2dTask, Tdse2dTaskConfig};
+use qpinn_core::trainer::Trainer;
+use qpinn_nn::ParamSet;
+use qpinn_problems::Tdse2dProblem;
+use rand::{rngs::StdRng, SeedableRng};
+
+fn main() {
+    let opts = RunOpts::from_args();
+    banner("F6", "2D TDSE extension (free packet)", &opts);
+
+    let problem = Tdse2dProblem::free_packet_2d();
+    let mut cfg = Tdse2dTaskConfig::standard(opts.pick(24, 64), 3);
+    cfg.n_collocation = opts.pick(768, 6144);
+    cfg.rff_features = opts.pick(24, 64);
+    cfg.n_ic_side = opts.pick(12, 24);
+    cfg.conservation_grid = (3, opts.pick(10, 20));
+    cfg.reference = (64, opts.pick(150, 600), 8);
+    cfg.eval_grid = (opts.pick(16, 32), opts.pick(5, 9));
+    let mut params = ParamSet::new();
+    let mut rng = StdRng::seed_from_u64(100);
+    let mut task = Tdse2dTask::new(problem.clone(), &cfg, &mut params, &mut rng);
+    println!("trainable parameters: {}", params.n_scalars());
+
+    let log = Trainer::new(standard_train(opts.pick(600, 5000))).train(&mut task, &mut params);
+    println!(
+        "final rel-L2 vs 2D spectral reference: {:.3e} ({:.1}s)\n",
+        log.final_error, log.wall_s
+    );
+
+    // density slice along y = 0 at final time
+    let t = problem.t_end;
+    let mut table = TextTable::new(&["x (y=0, t=end)", "|ψ|² PINN", "|ψ|² reference"]);
+    let mut xs = Vec::new();
+    let mut pinn = Vec::new();
+    let mut refs = Vec::new();
+    for i in 0..17 {
+        let x = problem.x.0 + (problem.x.1 - problem.x.0) * i as f64 / 16.0;
+        let pred = task.net().predict(&params, &[vec![x, 0.0, t]]);
+        let pd = pred.get(&[0, 0]).powi(2) + pred.get(&[0, 1]).powi(2);
+        let rd = task.reference().sample(x, 0.0, t).norm_sqr();
+        table.row(&[format!("{x:+.2}"), format!("{pd:.4}"), format!("{rd:.4}")]);
+        xs.push(x);
+        pinn.push(pd);
+        refs.push(rd);
+    }
+    println!("{}", table.render());
+
+    save(
+        "f6_tdse2d",
+        &Json::obj(vec![
+            ("id", Json::Str("F6".into())),
+            ("final_error", Json::Num(log.final_error)),
+            ("x", Json::nums(&xs)),
+            ("pinn_density", Json::nums(&pinn)),
+            ("reference_density", Json::nums(&refs)),
+        ]),
+    );
+}

@@ -1,0 +1,55 @@
+//! Flagship NLS run: a longer single-seed training of the Raissi benchmark
+//! for the headline number in EXPERIMENTS.md (not part of the standard
+//! harness sweep).
+
+use qpinn_bench::{banner, save, RunOpts};
+use qpinn_core::report::Json;
+use qpinn_core::task::{NlsTask, NlsTaskConfig};
+use qpinn_core::trainer::Trainer;
+use qpinn_core::TrainConfig;
+use qpinn_nn::ParamSet;
+use qpinn_optim::LrSchedule;
+use qpinn_problems::NlsProblem;
+use rand::{rngs::StdRng, SeedableRng};
+
+fn main() {
+    let opts = RunOpts::from_args();
+    banner("FLAGSHIP", "long NLS training run", &opts);
+    let problem = NlsProblem::raissi_benchmark();
+    let mut cfg = NlsTaskConfig::standard(&problem, 32, 3);
+    cfg.n_collocation = 1024;
+    cfg.reference = (256, 1000, 32);
+    cfg.eval_grid = (64, 24);
+    let mut params = ParamSet::new();
+    let mut rng = StdRng::seed_from_u64(100);
+    let mut task = NlsTask::new(problem, &cfg, &mut params, &mut rng);
+    let epochs = opts.pick(5000, 20000);
+    let log = Trainer::new(TrainConfig {
+        epochs,
+        schedule: LrSchedule::Step {
+            lr0: 3e-3,
+            factor: 0.85,
+            every: (epochs / 10).max(1),
+        },
+        log_every: (epochs / 20).max(1),
+        eval_every: (epochs / 5).max(1),
+        clip: Some(100.0),
+        lbfgs_polish: Some(200),
+    })
+    .train(&mut task, &mut params);
+    for (e, l) in log.epochs.iter().zip(&log.loss) {
+        println!("epoch {e:>6}: loss {l:.4e}");
+    }
+    for (e, v) in log.eval_epochs.iter().zip(&log.error) {
+        println!("epoch {e:>6}: rel-L2 {v:.4e}");
+    }
+    println!("FINAL rel-L2 {:.4e} in {:.1}s", log.final_error, log.wall_s);
+    save(
+        "flagship_nls",
+        &Json::obj(vec![
+            ("final_error", Json::Num(log.final_error)),
+            ("wall_s", Json::Num(log.wall_s)),
+            ("epochs", Json::Num(epochs as f64)),
+        ]),
+    );
+}

@@ -1,0 +1,106 @@
+//! **T1 — headline accuracy table.** Relative L2 error of the PINN against
+//! the high-fidelity reference for each benchmark problem, mean ± std over
+//! seeds, with parameter counts and wall time.
+
+use qpinn_bench::{banner, save, standard_train, RunOpts};
+use qpinn_core::experiment::{aggregate, run_seeds};
+use qpinn_core::report::{Json, TextTable};
+use qpinn_core::task::{NlsTask, NlsTaskConfig, TdseTask, TdseTaskConfig};
+use qpinn_nn::ParamSet;
+use qpinn_problems::{NlsProblem, TdseProblem};
+use rand::{rngs::StdRng, SeedableRng};
+
+fn main() {
+    let opts = RunOpts::from_args();
+    banner("T1", "PINN accuracy per problem (rel. L2 vs reference)", &opts);
+
+    let epochs = opts.pick(1000, 6000);
+    let n_coll = opts.pick(512, 4096);
+    let (w, d) = (opts.pick(24, 64), opts.pick(3, 4));
+    let cfg_train = standard_train(epochs);
+
+    let mut table = TextTable::new(&[
+        "problem", "rel-L2 (mean±std)", "best", "params", "epochs", "s/run",
+    ]);
+    let mut records = Vec::new();
+
+    // TDSE problems
+    for problem in [
+        TdseProblem::free_packet(),
+        TdseProblem::harmonic_packet(),
+        TdseProblem::barrier_scattering(),
+    ] {
+        let name = problem.name.clone();
+        let runs = run_seeds(&opts.seeds(), &cfg_train, |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut cfg = TdseTaskConfig::standard(&problem, w, d);
+            cfg.n_collocation = n_coll;
+            cfg.reference = (256, opts.pick(400, 1500), 32);
+            cfg.eval_grid = (opts.pick(64, 128), opts.pick(24, 64));
+            let mut params = ParamSet::new();
+            let task = TdseTask::new(problem.clone(), &cfg, &mut params, &mut rng);
+            (task, params)
+        });
+        let agg = aggregate(&runs);
+        table.row(&[
+            name.clone(),
+            qpinn_core::report::mean_std(agg.mean_error, agg.std_error),
+            format!("{:.3e}", agg.best_error),
+            format!("{}", runs[0].n_params),
+            format!("{epochs}"),
+            format!("{:.1}", agg.mean_wall_s),
+        ]);
+        records.push(Json::obj(vec![
+            ("problem", Json::Str(name)),
+            ("mean_error", Json::Num(agg.mean_error)),
+            ("std_error", Json::Num(agg.std_error)),
+            ("best_error", Json::Num(agg.best_error)),
+            ("n_params", Json::Num(runs[0].n_params as f64)),
+            ("wall_s", Json::Num(agg.mean_wall_s)),
+        ]));
+    }
+
+    // NLS benchmarks: the integrable single soliton (stable) and the
+    // Raissi 2-soliton bound state (modulationally unstable — the known
+    // hard case).
+    for problem in [NlsProblem::bright_soliton(1.0), NlsProblem::raissi_benchmark()] {
+        let name = problem.name.clone();
+        let runs = run_seeds(&opts.seeds(), &cfg_train, |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut cfg = NlsTaskConfig::standard(&problem, w, d);
+            cfg.n_collocation = n_coll;
+            cfg.reference = (256, opts.pick(600, 2000), 32);
+            cfg.eval_grid = (opts.pick(64, 128), opts.pick(24, 64));
+            let mut params = ParamSet::new();
+            let task = NlsTask::new(problem.clone(), &cfg, &mut params, &mut rng);
+            (task, params)
+        });
+        let agg = aggregate(&runs);
+        table.row(&[
+            name.clone(),
+            qpinn_core::report::mean_std(agg.mean_error, agg.std_error),
+            format!("{:.3e}", agg.best_error),
+            format!("{}", runs[0].n_params),
+            format!("{epochs}"),
+            format!("{:.1}", agg.mean_wall_s),
+        ]);
+        records.push(Json::obj(vec![
+            ("problem", Json::Str(name)),
+            ("mean_error", Json::Num(agg.mean_error)),
+            ("std_error", Json::Num(agg.std_error)),
+            ("best_error", Json::Num(agg.best_error)),
+            ("n_params", Json::Num(runs[0].n_params as f64)),
+            ("wall_s", Json::Num(agg.mean_wall_s)),
+        ]));
+    }
+
+    println!("\n{}", table.render());
+    save(
+        "t1_accuracy",
+        &Json::obj(vec![
+            ("id", Json::Str("T1".into())),
+            ("full", Json::Bool(opts.full)),
+            ("rows", Json::Arr(records)),
+        ]),
+    );
+}

@@ -1,0 +1,95 @@
+//! **T2 — eigenvalue accuracy table.** The first `k` bound states of the
+//! infinite well and the harmonic oscillator, learned by the
+//! residual-formulation eigen-task with deflation; reports `|E − E_ref|`
+//! and the wavefunction profile error per state.
+
+use qpinn_bench::{banner, save, RunOpts};
+use qpinn_core::report::{Json, TextTable};
+use qpinn_core::task::{EigenTask, EigenTaskConfig};
+use qpinn_core::trainer::Trainer;
+use qpinn_core::TrainConfig;
+use qpinn_nn::ParamSet;
+use qpinn_optim::LrSchedule;
+use qpinn_problems::EigenProblem;
+use rand::{rngs::StdRng, SeedableRng};
+
+fn main() {
+    let opts = RunOpts::from_args();
+    banner("T2", "eigenvalue accuracy with deflation", &opts);
+
+    let n_states = opts.pick(3, 4);
+    let epochs = opts.pick(1200, 5000);
+    let train = TrainConfig {
+        epochs,
+        schedule: LrSchedule::Step {
+            lr0: 5e-3,
+            factor: 0.7,
+            every: (epochs / 4).max(1),
+        },
+        log_every: epochs,
+        eval_every: 0,
+        clip: Some(100.0),
+        lbfgs_polish: Some(opts.pick(60, 150)),
+    };
+
+    let mut table = TextTable::new(&[
+        "problem", "state", "E_pinn", "E_ref", "|ΔE|", "ψ rel-L2",
+    ]);
+    let mut records = Vec::new();
+
+    for problem in [EigenProblem::infinite_well(), EigenProblem::harmonic(1.0)] {
+        // crude initial guesses that bracket the spectrum from below
+        let e0s = match problem.exact_energies() {
+            Some(es) => es.iter().map(|e| 0.8 * e).collect::<Vec<_>>(),
+            None => (0..n_states).map(|k| 0.5 + k as f64).collect(),
+        };
+        let mut prev_states = Vec::new();
+        for k in 0..n_states {
+            let mut cfg = EigenTaskConfig::standard(e0s[k]);
+            cfg.n_collocation = opts.pick(128, 256);
+            cfg.hidden = vec![opts.pick(24, 48); 2];
+            cfg.reference_nx = opts.pick(601, 1201);
+            let mut params = ParamSet::new();
+            let mut rng = StdRng::seed_from_u64(7 + k as u64);
+            let mut task = EigenTask::new(
+                problem.clone(),
+                &cfg,
+                k,
+                prev_states.clone(),
+                &mut params,
+                &mut rng,
+            );
+            let _log = Trainer::new(train.clone()).train(&mut task, &mut params);
+            // variational re-estimate from the learned ψ
+            let e_pinn = task.rayleigh_energy(&params);
+            let e_ref = task.reference_energy();
+            let perr = task.profile_error(&params);
+            table.row(&[
+                problem.name.clone(),
+                format!("{k}"),
+                format!("{e_pinn:.5}"),
+                format!("{e_ref:.5}"),
+                format!("{:.2e}", (e_pinn - e_ref).abs()),
+                format!("{perr:.2e}"),
+            ]);
+            records.push(Json::obj(vec![
+                ("problem", Json::Str(problem.name.clone())),
+                ("state", Json::Num(k as f64)),
+                ("e_pinn", Json::Num(e_pinn)),
+                ("e_ref", Json::Num(e_ref)),
+                ("profile_error", Json::Num(perr)),
+            ]));
+            prev_states.push(task.predictions_on_grid(&params));
+        }
+    }
+
+    println!("\n{}", table.render());
+    save(
+        "t2_eigen",
+        &Json::obj(vec![
+            ("id", Json::Str("T2".into())),
+            ("full", Json::Bool(opts.full)),
+            ("rows", Json::Arr(records)),
+        ]),
+    );
+}

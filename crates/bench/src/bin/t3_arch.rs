@@ -1,0 +1,67 @@
+//! **T3 — architecture/parameter ablation.** Width × depth sweep on the
+//! free-packet TDSE: error versus trainable-parameter count.
+
+use qpinn_bench::{banner, save, standard_train, RunOpts};
+use qpinn_core::experiment::{aggregate, run_seeds};
+use qpinn_core::report::{Json, TextTable};
+use qpinn_core::task::{TdseTask, TdseTaskConfig};
+use qpinn_nn::ParamSet;
+use qpinn_problems::TdseProblem;
+use rand::{rngs::StdRng, SeedableRng};
+
+fn main() {
+    let opts = RunOpts::from_args();
+    banner("T3", "width × depth ablation (free-packet TDSE)", &opts);
+
+    let widths = if opts.full {
+        vec![32usize, 64, 128]
+    } else {
+        vec![16, 24, 32]
+    };
+    let depths = if opts.full { vec![2usize, 4, 6] } else { vec![2, 3] };
+    let epochs = opts.pick(400, 4000);
+    let cfg_train = standard_train(epochs);
+    let problem = TdseProblem::free_packet();
+
+    let mut table = TextTable::new(&["width", "depth", "params", "rel-L2 (mean±std)", "s/run"]);
+    let mut records = Vec::new();
+    for &w in &widths {
+        for &d in &depths {
+            let runs = run_seeds(&opts.seeds(), &cfg_train, |seed| {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let mut cfg = TdseTaskConfig::standard(&problem, w, d);
+                cfg.n_collocation = opts.pick(384, 4096);
+                cfg.reference = (256, opts.pick(400, 1500), 32);
+                cfg.eval_grid = (64, 24);
+                let mut params = ParamSet::new();
+                let task = TdseTask::new(problem.clone(), &cfg, &mut params, &mut rng);
+                (task, params)
+            });
+            let agg = aggregate(&runs);
+            table.row(&[
+                format!("{w}"),
+                format!("{d}"),
+                format!("{}", runs[0].n_params),
+                qpinn_core::report::mean_std(agg.mean_error, agg.std_error),
+                format!("{:.1}", agg.mean_wall_s),
+            ]);
+            records.push(Json::obj(vec![
+                ("width", Json::Num(w as f64)),
+                ("depth", Json::Num(d as f64)),
+                ("n_params", Json::Num(runs[0].n_params as f64)),
+                ("mean_error", Json::Num(agg.mean_error)),
+                ("std_error", Json::Num(agg.std_error)),
+            ]));
+        }
+    }
+
+    println!("\n{}", table.render());
+    save(
+        "t3_arch",
+        &Json::obj(vec![
+            ("id", Json::Str("T3".into())),
+            ("full", Json::Bool(opts.full)),
+            ("rows", Json::Arr(records)),
+        ]),
+    );
+}

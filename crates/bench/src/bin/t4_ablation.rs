@@ -1,0 +1,141 @@
+//! **T4 — feature & loss ablation.** The convergence enhancements toggled
+//! one at a time on the free-packet TDSE and the NLS benchmark: random
+//! Fourier features, exact periodic embedding, causal time weighting, and
+//! the norm-conservation loss.
+
+use qpinn_bench::{banner, save, standard_train, RunOpts};
+use qpinn_core::experiment::{aggregate, run_seeds};
+use qpinn_core::model::{CoordSpec, FieldNetConfig};
+use qpinn_core::report::{Json, TextTable};
+use qpinn_core::task::{NlsTask, NlsTaskConfig, TdseTask, TdseTaskConfig};
+use qpinn_nn::ParamSet;
+use qpinn_problems::{NlsProblem, TdseProblem};
+use rand::{rngs::StdRng, SeedableRng};
+
+#[derive(Clone, Copy, Debug)]
+enum Variant {
+    Standard,
+    NoRff,
+    NoPeriodic,
+    NoCausal,
+    NoConservation,
+}
+
+impl Variant {
+    fn name(&self) -> &'static str {
+        match self {
+            Variant::Standard => "standard (all on)",
+            Variant::NoRff => "− random Fourier features",
+            Variant::NoPeriodic => "− periodic embedding",
+            Variant::NoCausal => "− causal weighting",
+            Variant::NoConservation => "− conservation loss",
+        }
+    }
+
+    fn apply_net(&self, net: &mut FieldNetConfig) {
+        match self {
+            Variant::NoRff => net.rff = None,
+            Variant::NoPeriodic => {
+                // replace the periodic x-embedding with a raw coordinate
+                net.coords[0] = CoordSpec::Raw;
+            }
+            _ => {}
+        }
+    }
+}
+
+const VARIANTS: [Variant; 5] = [
+    Variant::Standard,
+    Variant::NoRff,
+    Variant::NoPeriodic,
+    Variant::NoCausal,
+    Variant::NoConservation,
+];
+
+fn main() {
+    let opts = RunOpts::from_args();
+    banner("T4", "feature & loss ablation", &opts);
+
+    let epochs = opts.pick(600, 5000);
+    let cfg_train = standard_train(epochs);
+    let (w, d) = (opts.pick(24, 64), opts.pick(3, 4));
+
+    let mut table = TextTable::new(&["problem", "variant", "rel-L2 (mean±std)"]);
+    let mut records = Vec::new();
+
+    let tdse = TdseProblem::free_packet();
+    for variant in VARIANTS {
+        let runs = run_seeds(&opts.seeds(), &cfg_train, |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut cfg = TdseTaskConfig::standard(&tdse, w, d);
+            cfg.n_collocation = opts.pick(384, 4096);
+            cfg.reference = (256, opts.pick(400, 1500), 32);
+            cfg.eval_grid = (64, 24);
+            variant.apply_net(&mut cfg.net);
+            if matches!(variant, Variant::NoCausal) {
+                cfg.causal = None;
+            }
+            if matches!(variant, Variant::NoConservation) {
+                cfg.weights.conservation = 0.0;
+            }
+            let mut params = ParamSet::new();
+            let task = TdseTask::new(tdse.clone(), &cfg, &mut params, &mut rng);
+            (task, params)
+        });
+        let agg = aggregate(&runs);
+        table.row(&[
+            tdse.name.clone(),
+            variant.name().into(),
+            qpinn_core::report::mean_std(agg.mean_error, agg.std_error),
+        ]);
+        records.push(Json::obj(vec![
+            ("problem", Json::Str(tdse.name.clone())),
+            ("variant", Json::Str(variant.name().into())),
+            ("mean_error", Json::Num(agg.mean_error)),
+            ("std_error", Json::Num(agg.std_error)),
+        ]));
+    }
+
+    let nls = NlsProblem::raissi_benchmark();
+    for variant in VARIANTS {
+        let runs = run_seeds(&opts.seeds(), &cfg_train, |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut cfg = NlsTaskConfig::standard(&nls, w, d);
+            cfg.n_collocation = opts.pick(384, 4096);
+            cfg.reference = (256, opts.pick(600, 2000), 32);
+            cfg.eval_grid = (64, 24);
+            variant.apply_net(&mut cfg.net);
+            if matches!(variant, Variant::NoCausal) {
+                cfg.causal = None;
+            }
+            if matches!(variant, Variant::NoConservation) {
+                cfg.weights.conservation = 0.0;
+            }
+            let mut params = ParamSet::new();
+            let task = NlsTask::new(nls.clone(), &cfg, &mut params, &mut rng);
+            (task, params)
+        });
+        let agg = aggregate(&runs);
+        table.row(&[
+            nls.name.clone(),
+            variant.name().into(),
+            qpinn_core::report::mean_std(agg.mean_error, agg.std_error),
+        ]);
+        records.push(Json::obj(vec![
+            ("problem", Json::Str(nls.name.clone())),
+            ("variant", Json::Str(variant.name().into())),
+            ("mean_error", Json::Num(agg.mean_error)),
+            ("std_error", Json::Num(agg.std_error)),
+        ]));
+    }
+
+    println!("\n{}", table.render());
+    save(
+        "t4_ablation",
+        &Json::obj(vec![
+            ("id", Json::Str("T4".into())),
+            ("full", Json::Bool(opts.full)),
+            ("rows", Json::Arr(records)),
+        ]),
+    );
+}

@@ -1,0 +1,80 @@
+//! **T7 — inverse problem.** Identify the harmonic-trap frequency ω from
+//! sparse wavefunction observations (clean and noisy), reporting the
+//! recovered ω against ground truth for several initial guesses.
+
+use qpinn_bench::{banner, save, RunOpts};
+use qpinn_core::report::{Json, TextTable};
+use qpinn_core::task::{InverseTaskConfig, InverseTdseTask};
+use qpinn_core::trainer::Trainer;
+use qpinn_core::TrainConfig;
+use qpinn_nn::ParamSet;
+use qpinn_optim::LrSchedule;
+use qpinn_problems::TdseProblem;
+use rand::{rngs::StdRng, SeedableRng};
+
+fn main() {
+    let opts = RunOpts::from_args();
+    banner("T7", "trap-frequency identification from observations", &opts);
+
+    let problem = TdseProblem::mild_harmonic(); // hidden truth: ω = 1
+    let epochs = opts.pick(2000, 8000);
+    let mut table = TextTable::new(&["ω₀ (init)", "noise", "ω recovered", "|Δω|", "s/run"]);
+    let mut records = Vec::new();
+
+    let cases: Vec<(f64, f64)> = if opts.full {
+        vec![(0.5, 0.0), (0.6, 0.0), (1.5, 0.0), (2.0, 0.0), (0.6, 0.01), (0.6, 0.05)]
+    } else {
+        vec![(0.6, 0.0), (1.5, 0.0), (0.6, 0.02)]
+    };
+
+    for (omega0, noise) in cases {
+        let mut cfg = InverseTaskConfig::standard(&problem, opts.pick(24, 48), 3);
+        cfg.n_collocation = opts.pick(512, 2048);
+        cfg.n_observations = opts.pick(256, 1024);
+        cfg.omega0 = omega0;
+        cfg.noise = noise;
+        cfg.w_data = 50.0;
+        cfg.reference = (256, opts.pick(600, 1500), 64);
+        let mut params = ParamSet::new();
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut task = InverseTdseTask::new(problem.clone(), &cfg, &mut params, &mut rng);
+        let log = Trainer::new(TrainConfig {
+            epochs,
+            schedule: LrSchedule::Step {
+                lr0: 3e-3,
+                factor: 0.9,
+                every: (epochs / 8).max(1),
+            },
+            log_every: epochs,
+            eval_every: 0,
+            clip: Some(100.0),
+            lbfgs_polish: None,
+        })
+        .train(&mut task, &mut params);
+        let omega = task.omega(&params);
+        table.row(&[
+            format!("{omega0:.2}"),
+            format!("{noise:.2}"),
+            format!("{omega:.4}"),
+            format!("{:.2e}", (omega - task.true_omega()).abs()),
+            format!("{:.1}", log.wall_s),
+        ]);
+        records.push(Json::obj(vec![
+            ("omega0", Json::Num(omega0)),
+            ("noise", Json::Num(noise)),
+            ("omega_recovered", Json::Num(omega)),
+            ("omega_true", Json::Num(task.true_omega())),
+        ]));
+    }
+
+    println!("\n{}", table.render());
+    println!("(ground truth: ω = 1.0)");
+    save(
+        "t7_inverse",
+        &Json::obj(vec![
+            ("id", Json::Str("T7".into())),
+            ("full", Json::Bool(opts.full)),
+            ("rows", Json::Arr(records)),
+        ]),
+    );
+}

@@ -1,0 +1,110 @@
+//! # qpinn-bench
+//!
+//! The experiment harness: one binary per reconstructed table (T1–T6) and
+//! figure (F1–F5) — see `DESIGN.md` §5 for the experiment index — plus
+//! criterion micro-benchmarks (`benches/micro.rs`).
+//!
+//! Each binary prints its table/series as aligned text and writes a JSON
+//! record to `target/experiments/<id>.json`. Default settings are sized
+//! for a quick laptop run; pass `--full` for paper-scale settings.
+
+#![deny(missing_docs)]
+
+use qpinn_core::report::Json;
+
+/// Harness-wide run options parsed from the command line.
+#[derive(Clone, Copy, Debug)]
+pub struct RunOpts {
+    /// Paper-scale settings (`--full`).
+    pub full: bool,
+    /// Seed list length override (`--seeds N`).
+    pub n_seeds: usize,
+}
+
+impl RunOpts {
+    /// Parse from `std::env::args`.
+    pub fn from_args() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        let full = args.iter().any(|a| a == "--full");
+        let n_seeds = args
+            .iter()
+            .position(|a| a == "--seeds")
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(if full { 5 } else { 2 });
+        RunOpts { full, n_seeds }
+    }
+
+    /// The seed list for multi-seed experiments.
+    pub fn seeds(&self) -> Vec<u64> {
+        (0..self.n_seeds as u64).map(|i| 100 + i).collect()
+    }
+
+    /// Pick between quick and full values.
+    pub fn pick<T: Copy>(&self, quick: T, full: T) -> T {
+        if self.full {
+            full
+        } else {
+            quick
+        }
+    }
+}
+
+/// Print the standard experiment banner.
+pub fn banner(id: &str, title: &str, opts: &RunOpts) {
+    println!("==========================================================");
+    println!("{id}: {title}");
+    println!(
+        "mode: {} | seeds: {}",
+        if opts.full { "full" } else { "quick" },
+        opts.n_seeds
+    );
+    println!("==========================================================");
+}
+
+/// Persist the experiment record and report the path.
+pub fn save(id: &str, value: &Json) {
+    match qpinn_core::report::write_experiment_json(id, value) {
+        Ok(p) => println!("\n[written {}]", p.display()),
+        Err(e) => eprintln!("\n[could not write record: {e}]"),
+    }
+}
+
+/// The harness-standard Adam schedule (step decay ×0.85) for a given epoch
+/// budget.
+pub fn standard_train(epochs: usize) -> qpinn_core::TrainConfig {
+    qpinn_core::TrainConfig {
+        epochs,
+        schedule: qpinn_optim::LrSchedule::Step {
+            lr0: 3e-3,
+            factor: 0.85,
+            every: (epochs / 8).max(1),
+        },
+        log_every: (epochs / 20).max(1),
+        eval_every: 0,
+        clip: Some(100.0),
+        // L-BFGS polishing after Adam is the single most effective
+        // convergence lever at fixed budget (see EXPERIMENTS.md).
+        lbfgs_polish: Some((epochs / 10).clamp(50, 200)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pick_switches_on_mode() {
+        let quick = RunOpts {
+            full: false,
+            n_seeds: 2,
+        };
+        let full = RunOpts {
+            full: true,
+            n_seeds: 5,
+        };
+        assert_eq!(quick.pick(1, 10), 1);
+        assert_eq!(full.pick(1, 10), 10);
+        assert_eq!(quick.seeds(), vec![100, 101]);
+    }
+}

@@ -1,0 +1,110 @@
+//! Causal (curriculum) time weighting for PINN training
+//! (Wang, Sankaran & Perdikaris 2024).
+//!
+//! Residual points are weighted by `w(t) = exp(−ε Σ_{t′<t} L(t′))` so the
+//! optimizer must fit early-time dynamics before later times contribute —
+//! enforcing the causal structure of the evolution problem.
+
+use qpinn_sampling::TimeBins;
+
+/// Stateful causal weighting over fixed collocation times.
+#[derive(Clone, Debug)]
+pub struct CausalWeights {
+    bins: TimeBins,
+    epsilon: f64,
+    times: Vec<f64>,
+    bin_weights: Vec<f64>,
+}
+
+impl CausalWeights {
+    /// Initialize with unit weights over `m` bins spanning `[t0, t1]` for
+    /// the given (fixed) collocation times.
+    pub fn new(t0: f64, t1: f64, m: usize, epsilon: f64, times: &[f64]) -> Self {
+        let bins = TimeBins::new(t0, t1, m);
+        CausalWeights {
+            bins,
+            epsilon,
+            times: times.to_vec(),
+            bin_weights: vec![1.0; m],
+        }
+    }
+
+    /// Current per-point weights aligned with the collocation times.
+    pub fn point_weights(&self) -> Vec<f64> {
+        self.bins.point_weights(&self.times, &self.bin_weights)
+    }
+
+    /// Current per-bin weights.
+    pub fn bin_weights(&self) -> &[f64] {
+        &self.bin_weights
+    }
+
+    /// Update weights from the latest *unweighted* squared residuals at
+    /// the collocation points.
+    pub fn update(&mut self, squared_residuals: &[f64]) {
+        assert_eq!(squared_residuals.len(), self.times.len(), "residual arity");
+        let m = self.bins.len();
+        let mut sums = vec![0.0; m];
+        let mut counts = vec![0usize; m];
+        for (&t, &r2) in self.times.iter().zip(squared_residuals) {
+            let b = self.bins.bin_of(t);
+            sums[b] += r2;
+            counts[b] += 1;
+        }
+        let bin_losses: Vec<f64> = sums
+            .iter()
+            .zip(&counts)
+            .map(|(s, &c)| if c > 0 { s / c as f64 } else { 0.0 })
+            .collect();
+        self.bin_weights = self.bins.causal_weights(&bin_losses, self.epsilon);
+    }
+
+    /// Smallest current bin weight (diagnostic: 1 means "fully open").
+    pub fn min_weight(&self) -> f64 {
+        self.bin_weights.iter().copied().fold(1.0, f64::min)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_fully_open() {
+        let times = [0.05, 0.5, 0.95];
+        let cw = CausalWeights::new(0.0, 1.0, 3, 1.0, &times);
+        assert_eq!(cw.point_weights(), vec![1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn high_early_residuals_close_late_bins() {
+        let times = [0.1, 0.5, 0.9];
+        let mut cw = CausalWeights::new(0.0, 1.0, 3, 2.0, &times);
+        cw.update(&[4.0, 0.1, 0.1]);
+        let w = cw.point_weights();
+        assert_eq!(w[0], 1.0, "first bin always open");
+        assert!(w[1] < 1e-3, "second bin gated by first-bin loss");
+        assert!(w[2] <= w[1]);
+    }
+
+    #[test]
+    fn converged_early_bins_reopen_later_ones() {
+        let times = [0.1, 0.5, 0.9];
+        let mut cw = CausalWeights::new(0.0, 1.0, 3, 2.0, &times);
+        cw.update(&[4.0, 1.0, 1.0]);
+        assert!(cw.min_weight() < 1e-3);
+        cw.update(&[1e-8, 1e-8, 1e-8]);
+        assert!(cw.min_weight() > 0.999, "weights reopen on convergence");
+    }
+
+    #[test]
+    fn empty_bins_are_neutral() {
+        // no collocation point in the middle bin
+        let times = [0.1, 0.9];
+        let mut cw = CausalWeights::new(0.0, 1.0, 3, 1.0, &times);
+        cw.update(&[0.5, 0.5]);
+        let bw = cw.bin_weights();
+        // middle bin had no data → contributes 0 to the cumulative sum
+        assert!((bw[2] - (-0.5f64).exp()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,144 @@
+//! Multi-seed experiment running: train the same configuration under
+//! several seeds (in parallel) and aggregate mean/std statistics, the way
+//! the reconstructed tables report results.
+
+use crate::trainer::{PinnTask, TrainConfig, TrainLog, Trainer};
+use qpinn_nn::ParamSet;
+use rayon::prelude::*;
+
+/// The outcome of one seeded run.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// The seed used.
+    pub seed: u64,
+    /// Final evaluation error.
+    pub error: f64,
+    /// Final loss.
+    pub loss: f64,
+    /// Wall-clock seconds.
+    pub wall_s: f64,
+    /// Trainable-parameter count.
+    pub n_params: usize,
+    /// Full trajectory log.
+    pub log: TrainLog,
+}
+
+/// Aggregate statistics over seeds.
+#[derive(Clone, Copy, Debug)]
+pub struct Aggregate {
+    /// Mean final error.
+    pub mean_error: f64,
+    /// Standard deviation of the final error.
+    pub std_error: f64,
+    /// Best (lowest) final error.
+    pub best_error: f64,
+    /// Mean wall-clock seconds.
+    pub mean_wall_s: f64,
+}
+
+/// Mean and (population) standard deviation of a sample.
+pub fn mean_std_of(xs: &[f64]) -> (f64, f64) {
+    if xs.is_empty() {
+        return (f64::NAN, f64::NAN);
+    }
+    let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+    let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64;
+    (mean, var.sqrt())
+}
+
+/// Run `builder(seed)` for every seed, train each task, and collect
+/// per-run results. Runs execute in parallel over seeds.
+///
+/// `builder` must construct a fresh `(task, params)` pair from a seed.
+pub fn run_seeds<T, F>(seeds: &[u64], cfg: &TrainConfig, builder: F) -> Vec<RunResult>
+where
+    T: PinnTask + Send,
+    F: Fn(u64) -> (T, ParamSet) + Sync,
+{
+    seeds
+        .par_iter()
+        .map(|&seed| {
+            let (mut task, mut params) = builder(seed);
+            let n_params = params.n_scalars();
+            let log = Trainer::new(cfg.clone()).train(&mut task, &mut params);
+            RunResult {
+                seed,
+                error: log.final_error,
+                loss: log.final_loss,
+                wall_s: log.wall_s,
+                n_params,
+                log,
+            }
+        })
+        .collect()
+}
+
+/// Aggregate a batch of runs.
+pub fn aggregate(runs: &[RunResult]) -> Aggregate {
+    let errors: Vec<f64> = runs.iter().map(|r| r.error).collect();
+    let (mean_error, std_error) = mean_std_of(&errors);
+    Aggregate {
+        mean_error,
+        std_error,
+        best_error: errors.iter().copied().fold(f64::INFINITY, f64::min),
+        mean_wall_s: runs.iter().map(|r| r.wall_s).sum::<f64>() / runs.len().max(1) as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qpinn_autodiff::Var;
+    use qpinn_nn::GraphCtx;
+    use qpinn_optim::LrSchedule;
+    use qpinn_tensor::Tensor;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    struct Toy {
+        target: f64,
+        id: qpinn_nn::ParamId,
+    }
+    impl PinnTask for Toy {
+        fn build_loss(&mut self, ctx: &mut GraphCtx<'_>) -> Var {
+            let w = ctx.param(self.id);
+            let d = ctx.g.add_scalar(w, -self.target);
+            ctx.g.mse(d)
+        }
+        fn eval_error(&self, params: &ParamSet) -> f64 {
+            (params.tensors()[0].item() - self.target).abs()
+        }
+    }
+
+    #[test]
+    fn seeds_run_in_parallel_and_aggregate() {
+        let cfg = TrainConfig {
+            epochs: 400,
+            schedule: LrSchedule::Constant { lr: 0.05 },
+            log_every: 100,
+            eval_every: 0,
+            clip: None,
+            lbfgs_polish: None,
+        };
+        let runs = run_seeds(&[1, 2, 3, 4], &cfg, |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut params = ParamSet::new();
+            let id = params.add("w", Tensor::from_vec([1, 1], vec![rng.gen_range(-1.0..1.0)]));
+            (Toy { target: 2.0, id }, params)
+        });
+        assert_eq!(runs.len(), 4);
+        let agg = aggregate(&runs);
+        assert!(agg.mean_error < 1e-2, "{agg:?}");
+        assert!(agg.best_error <= agg.mean_error);
+        // different seeds → different trajectories (different inits)
+        assert!(runs[0].log.loss[0] != runs[1].log.loss[0]);
+    }
+
+    #[test]
+    fn mean_std_basics() {
+        let (m, s) = mean_std_of(&[1.0, 2.0, 3.0]);
+        assert!((m - 2.0).abs() < 1e-15);
+        assert!((s - (2.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        let (m2, _) = mean_std_of(&[]);
+        assert!(m2.is_nan());
+    }
+}

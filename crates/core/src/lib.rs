@@ -1,0 +1,39 @@
+//! # qpinn-core
+//!
+//! The physics-informed training system tying the workspace together:
+//!
+//! * [`model`] — the [`model::FieldNet`] architecture (periodic/learned
+//!   embeddings → optional random Fourier features → jet-propagating MLP)
+//!   and the hybrid variant with a quantum-circuit layer;
+//! * [`residual`] — PDE residual assembly for the time-dependent
+//!   Schrödinger equation, the cubic NLS, and stationary eigenproblems;
+//! * [`loss`] — initial-condition, boundary, and **norm-conservation**
+//!   losses plus the weighted total;
+//! * [`causal`] — adaptive time weighting (causal training);
+//! * [`trainer`] — the Adam(+schedule) training loop with loss/error/
+//!   gradient trajectories, and L-BFGS polishing;
+//! * [`task`] — ready-to-train task objects for each benchmark problem;
+//! * [`metrics`] — relative L2 errors against reference fields, norm-drift
+//!   series;
+//! * [`report`] — aligned text tables and a small JSON writer for the
+//!   experiment harness;
+//! * [`experiment`] — multi-seed sweep running with mean/std aggregation.
+
+#![deny(missing_docs)]
+
+pub mod causal;
+pub mod experiment;
+pub mod hybrid;
+pub mod loss;
+pub mod metrics;
+pub mod model;
+pub mod report;
+pub mod residual;
+pub mod task;
+pub mod trainer;
+
+pub use model::{CoordSpec, FieldNet, FieldNetConfig};
+pub use trainer::{TrainConfig, TrainLog, Trainer};
+
+#[cfg(test)]
+mod proptests;

@@ -1,0 +1,159 @@
+//! Loss terms: PDE residual MSE (optionally causally weighted),
+//! initial-condition fit, boundary decay, and the global
+//! **norm-conservation** penalty that plays the role the energy-
+//! conservation regularizer plays in conservative-PDE PINNs: in a closed,
+//! lossless quantum system `∫|ψ|²dx` must stay exactly 1, and penalizing
+//! its drift suppresses the spurious global amplitude decay failure mode.
+
+use crate::model::FieldNet;
+use qpinn_autodiff::{Graph, Var};
+use qpinn_nn::GraphCtx;
+use qpinn_tensor::Tensor;
+
+/// MSE of a residual column, optionally with constant per-point weights.
+pub fn residual_mse(g: &mut Graph, r: Var, weights: Option<Var>) -> Var {
+    match weights {
+        Some(w) => g.weighted_mse(r, w),
+        None => g.mse(r),
+    }
+}
+
+/// Initial-condition loss at `t = 0` points: the predicted `(u, v)` must
+/// match the target tensor (shape `[n, 2]`).
+pub fn ic_loss(ctx: &mut GraphCtx<'_>, net: &FieldNet, columns: &[Var], target: &Tensor) -> Var {
+    let pred = net.forward_values(ctx, columns);
+    let tgt = ctx.g.constant(target.clone());
+    let diff = ctx.g.sub(pred, tgt);
+    ctx.g.mse(diff)
+}
+
+/// Boundary decay loss: predicted fields must vanish at the given points
+/// (Dirichlet problems).
+pub fn boundary_loss(ctx: &mut GraphCtx<'_>, net: &FieldNet, columns: &[Var]) -> Var {
+    let pred = net.forward_values(ctx, columns);
+    ctx.g.mse(pred)
+}
+
+/// Norm-conservation loss on a structured grid of `n_times` time slices ×
+/// `nx` spatial points (rows ordered time-major, i.e. all `x` for slice 0,
+/// then slice 1, …):
+///
+/// `L = mean_k ( L_dom·⟨u²+v²⟩_x(t_k) − N₀ )²`
+///
+/// where `N₀` is the exact initial norm. Field values only — no extra
+/// derivative cost.
+pub fn norm_conservation_loss(
+    ctx: &mut GraphCtx<'_>,
+    net: &FieldNet,
+    columns: &[Var],
+    nx: usize,
+    domain_length: f64,
+    target_norm: f64,
+) -> Var {
+    let pred = net.forward_values(ctx, columns);
+    let u = ctx.g.col(pred, 0);
+    let v = ctx.g.col(pred, 1);
+    let u2 = ctx.g.square(u);
+    let v2 = ctx.g.square(v);
+    let dens = ctx.g.add(u2, v2);
+    let per_slice = ctx.g.mean_groups(dens, nx);
+    let norm = ctx.g.scale(per_slice, domain_length);
+    let drift = ctx.g.add_scalar(norm, -target_norm);
+    ctx.g.mse(drift)
+}
+
+/// Weighted total loss: `Σ wᵢ·termᵢ`.
+pub fn total_loss(g: &mut Graph, terms: &[(f64, Var)]) -> Var {
+    g.lincomb(terms)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{FieldNet, FieldNetConfig};
+    use qpinn_nn::ParamSet;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn toy_net() -> (ParamSet, FieldNet) {
+        let mut params = ParamSet::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let cfg = FieldNetConfig::plain(2, 8, 1, 2);
+        let net = FieldNet::new(&mut params, &mut rng, &cfg, "net");
+        (params, net)
+    }
+
+    #[test]
+    fn ic_loss_is_zero_for_perfect_prediction() {
+        let (params, net) = toy_net();
+        let pts = vec![vec![0.1, 0.0], vec![0.5, 0.0]];
+        let target = net.predict(&params, &pts);
+        let mut g = Graph::new();
+        let mut ctx = GraphCtx::new(&mut g, &params);
+        let x = ctx.g.constant(Tensor::column(&[0.1, 0.5]));
+        let t = ctx.g.constant(Tensor::column(&[0.0, 0.0]));
+        let l = ic_loss(&mut ctx, &net, &[x, t], &target);
+        assert!(g.value(l).item() < 1e-28);
+    }
+
+    #[test]
+    fn ic_loss_positive_for_mismatch() {
+        let (params, net) = toy_net();
+        let mut g = Graph::new();
+        let mut ctx = GraphCtx::new(&mut g, &params);
+        let x = ctx.g.constant(Tensor::column(&[0.1, 0.5]));
+        let t = ctx.g.constant(Tensor::column(&[0.0, 0.0]));
+        let target = Tensor::full([2, 2], 10.0);
+        let l = ic_loss(&mut ctx, &net, &[x, t], &target);
+        assert!(g.value(l).item() > 50.0);
+    }
+
+    #[test]
+    fn conservation_loss_detects_drift() {
+        // Hand-build a "network" situation via the real net, then verify
+        // the loss formula on known values: two time slices with constant
+        // densities 1/L and 2/L should give mean((1−1)², (2−1)²)/… = 0.5.
+        // We verify the grouping arithmetic directly on the tape ops used
+        // by the loss instead (the net itself is a black box).
+        let mut g = Graph::new();
+        let dens = g.constant(Tensor::column(&[0.5, 0.5, 1.0, 1.0])); // u²+v²
+        let per_slice = g.mean_groups(dens, 2);
+        let norm = g.scale(per_slice, 2.0); // L = 2 → norms [1, 2]
+        let drift = g.add_scalar(norm, -1.0);
+        let l = g.mse(drift);
+        assert!((g.value(l).item() - 0.5).abs() < 1e-14);
+    }
+
+    #[test]
+    fn conservation_loss_runs_through_network() {
+        let (params, net) = toy_net();
+        let (nt, nx) = (3, 4);
+        let mut xs = Vec::new();
+        let mut ts = Vec::new();
+        for k in 0..nt {
+            for i in 0..nx {
+                ts.push(k as f64 * 0.1);
+                xs.push(-1.0 + 2.0 * i as f64 / nx as f64);
+            }
+        }
+        let mut g = Graph::new();
+        let mut ctx = GraphCtx::new(&mut g, &params);
+        let x = ctx.g.constant(Tensor::column(&xs));
+        let t = ctx.g.constant(Tensor::column(&ts));
+        let l = norm_conservation_loss(&mut ctx, &net, &[x, t], nx, 2.0, 1.0);
+        let val = ctx.g.value(l).item();
+        assert!(val.is_finite() && val >= 0.0);
+        // gradient flows to parameters
+        let mut grads = ctx.g.backward(l);
+        let collected = ctx.collect_grads(&mut grads);
+        assert!(collected.iter().any(|t| t.max_abs() > 0.0));
+    }
+
+    #[test]
+    fn total_loss_weights_terms() {
+        let mut g = Graph::new();
+        let a = g.constant(Tensor::scalar(2.0));
+        let b = g.constant(Tensor::scalar(3.0));
+        let l = total_loss(&mut g, &[(1.0, a), (10.0, b)]);
+        assert!((g.value(l).item() - 32.0).abs() < 1e-14);
+    }
+}

@@ -1,0 +1,121 @@
+//! Evaluation metrics: relative L2 error against reference fields, norm
+//! drift, eigenvalue error.
+
+use crate::model::FieldNet;
+use qpinn_nn::ParamSet;
+use qpinn_solvers::Field1d;
+
+/// Relative L2 error of the network's complex field against a reference
+/// [`Field1d`], over a dense `nx × nt` space-time evaluation grid:
+///
+/// `‖ψ_net − ψ_ref‖₂ / ‖ψ_ref‖₂` (both parts pooled).
+pub fn rel_l2_error_field(
+    net: &FieldNet,
+    params: &ParamSet,
+    reference: &Field1d,
+    nx: usize,
+    nt: usize,
+) -> f64 {
+    let grid = reference.grid();
+    let t_end = *reference.times().last().unwrap();
+    let mut points = Vec::with_capacity(nx * nt);
+    let mut refs = Vec::with_capacity(nx * nt);
+    for k in 0..nt {
+        let t = t_end * k as f64 / (nt - 1).max(1) as f64;
+        for i in 0..nx {
+            let x = grid.x0 + (grid.x1 - grid.x0) * i as f64 / nx as f64;
+            points.push(vec![x, t]);
+            refs.push(reference.sample(x, t));
+        }
+    }
+    let pred = net.predict(params, &points);
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for (i, r) in refs.iter().enumerate() {
+        let du = pred.get(&[i, 0]) - r.re;
+        let dv = pred.get(&[i, 1]) - r.im;
+        num += du * du + dv * dv;
+        den += r.norm_sqr();
+    }
+    (num / den).sqrt()
+}
+
+/// The network's `∫|ψ|²dx` at each requested time (uniform spatial
+/// quadrature over the periodic domain).
+pub fn norm_series(
+    net: &FieldNet,
+    params: &ParamSet,
+    x0: f64,
+    x1: f64,
+    nx: usize,
+    times: &[f64],
+) -> Vec<f64> {
+    let l = x1 - x0;
+    times
+        .iter()
+        .map(|&t| {
+            let points: Vec<Vec<f64>> = (0..nx)
+                .map(|i| vec![x0 + l * i as f64 / nx as f64, t])
+                .collect();
+            let pred = net.predict(params, &points);
+            let mean_dens: f64 = (0..nx)
+                .map(|i| pred.get(&[i, 0]).powi(2) + pred.get(&[i, 1]).powi(2))
+                .sum::<f64>()
+                / nx as f64;
+            mean_dens * l
+        })
+        .collect()
+}
+
+/// Relative L2 error of a real 1D profile against reference samples on the
+/// same abscissae, invariant to a global sign flip (wavefunctions are
+/// defined up to phase).
+pub fn rel_l2_error_profile(pred: &[f64], reference: &[f64]) -> f64 {
+    assert_eq!(pred.len(), reference.len());
+    let den: f64 = reference.iter().map(|r| r * r).sum::<f64>().sqrt();
+    let err = |sign: f64| -> f64 {
+        pred.iter()
+            .zip(reference)
+            .map(|(p, r)| (sign * p - r).powi(2))
+            .sum::<f64>()
+            .sqrt()
+    };
+    err(1.0).min(err(-1.0)) / den
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profile_error_is_sign_invariant() {
+        let r = [1.0, 2.0, 3.0];
+        let p = [-1.0, -2.0, -3.0];
+        assert!(rel_l2_error_profile(&p, &r) < 1e-15);
+        let q = [1.1, 2.0, 3.0];
+        let want = 0.1 / 14f64.sqrt();
+        assert!((rel_l2_error_profile(&q, &r) - want).abs() < 1e-12);
+    }
+
+    #[test]
+    fn field_error_zero_against_itself() {
+        // Build a trivial constant reference and a net; error of the net
+        // against the net's own samples must be ~0 — checked indirectly by
+        // the integration tests; here check norm_series on a fresh net is
+        // finite and positive.
+        use crate::model::{FieldNet, FieldNetConfig};
+        use qpinn_nn::ParamSet;
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut params = ParamSet::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let net = FieldNet::new(
+            &mut params,
+            &mut rng,
+            &FieldNetConfig::plain(2, 8, 1, 2),
+            "n",
+        );
+        let s = norm_series(&net, &params, -1.0, 1.0, 32, &[0.0, 0.5, 1.0]);
+        assert_eq!(s.len(), 3);
+        assert!(s.iter().all(|v| v.is_finite() && *v >= 0.0));
+    }
+}

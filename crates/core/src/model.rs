@@ -1,0 +1,323 @@
+//! The PINN field network: coordinate embeddings, optional random Fourier
+//! features, and a jet-propagating MLP trunk.
+
+use qpinn_autodiff::jet::Jet;
+use qpinn_autodiff::{Graph, Var};
+use qpinn_nn::{
+    Activation, GraphCtx, Mlp, MlpConfig, ParamSet, PeriodicEmbedding, RandomFourierFeatures,
+};
+use qpinn_tensor::Tensor;
+use rand::rngs::StdRng;
+
+/// How one input coordinate is embedded.
+#[derive(Clone, Copy, Debug)]
+pub enum CoordSpec {
+    /// Fed through unchanged.
+    Raw,
+    /// Exact periodicity with fixed period (spatial coordinates).
+    Periodic {
+        /// Domain length.
+        length: f64,
+    },
+    /// Sin/cos features with a trainable period (time coordinate).
+    LearnedPeriod {
+        /// Initial period.
+        period0: f64,
+    },
+}
+
+impl CoordSpec {
+    fn feature_width(&self) -> usize {
+        match self {
+            CoordSpec::Raw => 1,
+            CoordSpec::Periodic { .. } | CoordSpec::LearnedPeriod { .. } => 2,
+        }
+    }
+}
+
+/// Random-Fourier-feature settings.
+#[derive(Clone, Copy, Debug)]
+pub struct RffSpec {
+    /// Number of frequencies (output width is `2·n_features`).
+    pub n_features: usize,
+    /// Frequency scale σ.
+    pub sigma: f64,
+}
+
+/// Architecture of a [`FieldNet`].
+#[derive(Clone, Debug)]
+pub struct FieldNetConfig {
+    /// One spec per input coordinate, in order.
+    pub coords: Vec<CoordSpec>,
+    /// Optional RFF layer after the coordinate embeddings.
+    pub rff: Option<RffSpec>,
+    /// Hidden widths of the MLP trunk.
+    pub hidden: Vec<usize>,
+    /// Number of output fields (2 for a complex wavefunction `u + iv`).
+    pub n_fields: usize,
+    /// Hidden activation.
+    pub activation: Activation,
+}
+
+impl FieldNetConfig {
+    /// The standard TDSE/NLS architecture: periodic `x`, learned-period
+    /// `t`, RFF, tanh trunk.
+    pub fn standard_wave(length: f64, t_end: f64, width: usize, depth: usize) -> Self {
+        FieldNetConfig {
+            coords: vec![
+                CoordSpec::Periodic { length },
+                CoordSpec::LearnedPeriod { period0: 4.0 * t_end },
+            ],
+            rff: Some(RffSpec {
+                n_features: 64,
+                sigma: 1.0,
+            }),
+            hidden: vec![width; depth],
+            n_fields: 2,
+            activation: Activation::Tanh,
+        }
+    }
+
+    /// A plain architecture (raw coordinates, no RFF) for ablations.
+    pub fn plain(n_coords: usize, width: usize, depth: usize, n_fields: usize) -> Self {
+        FieldNetConfig {
+            coords: vec![CoordSpec::Raw; n_coords],
+            rff: None,
+            hidden: vec![width; depth],
+            n_fields,
+            activation: Activation::Tanh,
+        }
+    }
+}
+
+#[derive(Clone)]
+enum Embed {
+    Raw,
+    Periodic(PeriodicEmbedding),
+    Learned(qpinn_nn::periodic::LearnedPeriodEmbedding),
+}
+
+/// A PINN predicting `n_fields` real fields from continuous coordinates,
+/// with exact first/second coordinate derivatives via jet propagation.
+#[derive(Clone)]
+pub struct FieldNet {
+    embeds: Vec<Embed>,
+    rff: Option<RandomFourierFeatures>,
+    mlp: Mlp,
+    n_fields: usize,
+}
+
+impl FieldNet {
+    /// Register all parameters in `params` and fix the RFF projection.
+    pub fn new(params: &mut ParamSet, rng: &mut StdRng, cfg: &FieldNetConfig, name: &str) -> Self {
+        let embeds: Vec<Embed> = cfg
+            .coords
+            .iter()
+            .enumerate()
+            .map(|(i, c)| match c {
+                CoordSpec::Raw => Embed::Raw,
+                CoordSpec::Periodic { length } => Embed::Periodic(PeriodicEmbedding::new(*length)),
+                CoordSpec::LearnedPeriod { period0 } => Embed::Learned(
+                    qpinn_nn::periodic::LearnedPeriodEmbedding::new(
+                        params,
+                        *period0,
+                        &format!("{name}.coord{i}"),
+                    ),
+                ),
+            })
+            .collect();
+        let embed_width: usize = cfg.coords.iter().map(CoordSpec::feature_width).sum();
+        let (rff, trunk_in) = match cfg.rff {
+            Some(spec) => {
+                let rff = RandomFourierFeatures::new(embed_width, spec.n_features, spec.sigma, rng);
+                let w = rff.output_dim();
+                (Some(rff), w)
+            }
+            None => (None, embed_width),
+        };
+        let mlp = Mlp::new(
+            params,
+            rng,
+            &MlpConfig {
+                input_dim: trunk_in,
+                hidden: cfg.hidden.clone(),
+                output_dim: cfg.n_fields,
+                activation: cfg.activation,
+            },
+            name,
+        );
+        FieldNet {
+            embeds,
+            rff,
+            mlp,
+            n_fields: cfg.n_fields,
+        }
+    }
+
+    /// Number of output fields.
+    pub fn n_fields(&self) -> usize {
+        self.n_fields
+    }
+
+    /// Number of input coordinates.
+    pub fn n_coords(&self) -> usize {
+        self.embeds.len()
+    }
+
+    /// Embed seeded coordinate jets into the trunk input jet.
+    fn embed(&self, ctx: &mut GraphCtx<'_>, coord_jets: &[Jet]) -> Jet {
+        assert_eq!(coord_jets.len(), self.embeds.len(), "coordinate arity");
+        let parts: Vec<Jet> = self
+            .embeds
+            .iter()
+            .zip(coord_jets)
+            .map(|(e, j)| match e {
+                Embed::Raw => j.clone(),
+                Embed::Periodic(p) => p.forward_jet(ctx, j),
+                Embed::Learned(l) => l.forward_jet(ctx, j),
+            })
+            .collect();
+        let refs: Vec<&Jet> = parts.iter().collect();
+        let features = Jet::hstack(ctx.g, &refs);
+        match &self.rff {
+            Some(rff) => rff.forward_jet(ctx, &features),
+            None => features,
+        }
+    }
+
+    /// Full jet forward pass: `columns[i]` is the `[batch, 1]` tensor of
+    /// coordinate `i`; returns the `[batch, n_fields]` output jet tracking
+    /// first and second derivatives with respect to every coordinate.
+    pub fn forward_jet(&self, ctx: &mut GraphCtx<'_>, columns: &[Var]) -> Jet {
+        let k = columns.len();
+        let coord_jets: Vec<Jet> = columns
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| Jet::seed_coordinate(ctx.g, c, i, k))
+            .collect();
+        let x = self.embed(ctx, &coord_jets);
+        self.mlp.forward_jet(ctx, &x)
+    }
+
+    /// Value-only forward pass (no derivative tracking) — used for
+    /// evaluation and for loss terms that need field values only. Works by
+    /// propagating zero-coordinate jets, so it shares the jet code path.
+    pub fn forward_values(&self, ctx: &mut GraphCtx<'_>, columns: &[Var]) -> Var {
+        let coord_jets: Vec<Jet> = columns
+            .iter()
+            .map(|&c| Jet {
+                v: c,
+                d: Vec::new(),
+                dd: Vec::new(),
+            })
+            .collect();
+        let x = self.embed(ctx, &coord_jets);
+        self.mlp.forward_jet(ctx, &x).v
+    }
+
+    /// Evaluate the fields at a list of points (no gradients, fresh
+    /// throwaway graph). `points[i]` is one coordinate tuple; returns the
+    /// `[n_points, n_fields]` prediction tensor.
+    pub fn predict(&self, params: &ParamSet, points: &[Vec<f64>]) -> Tensor {
+        let k = self.n_coords();
+        let mut g = Graph::new();
+        let mut ctx = GraphCtx::new(&mut g, params);
+        let columns: Vec<Var> = (0..k)
+            .map(|c| {
+                let col: Vec<f64> = points.iter().map(|p| p[c]).collect();
+                ctx.g.constant(Tensor::column(&col))
+            })
+            .collect();
+        let out = self.forward_values(&mut ctx, &columns);
+        g.value(out).clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn net(cfg: &FieldNetConfig) -> (ParamSet, FieldNet) {
+        let mut params = ParamSet::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let n = FieldNet::new(&mut params, &mut rng, cfg, "net");
+        (params, n)
+    }
+
+    #[test]
+    fn standard_wave_shapes() {
+        let cfg = FieldNetConfig::standard_wave(10.0, 1.0, 32, 2);
+        let (params, model) = net(&cfg);
+        let pts = vec![vec![0.1, 0.2], vec![-3.0, 0.9], vec![4.0, 0.0]];
+        let out = model.predict(&params, &pts);
+        assert_eq!(out.shape().dims(), &[3, 2]);
+        assert!(out.all_finite());
+    }
+
+    #[test]
+    fn spatial_periodicity_is_exact() {
+        let l = 10.0;
+        let cfg = FieldNetConfig::standard_wave(l, 1.0, 16, 2);
+        let (params, model) = net(&cfg);
+        let a = model.predict(&params, &[vec![1.3, 0.4]]);
+        let b = model.predict(&params, &[vec![1.3 + l, 0.4]]);
+        let c = model.predict(&params, &[vec![1.3 - 2.0 * l, 0.4]]);
+        assert!(a.approx_eq(&b, 1e-12));
+        assert!(a.approx_eq(&c, 1e-12));
+    }
+
+    #[test]
+    fn jet_value_agrees_with_predict() {
+        let cfg = FieldNetConfig::standard_wave(4.0, 1.0, 16, 2);
+        let (params, model) = net(&cfg);
+        let pts = vec![vec![0.5, 0.3], vec![-1.0, 0.8]];
+        let direct = model.predict(&params, &pts);
+        let mut g = Graph::new();
+        let mut ctx = GraphCtx::new(&mut g, &params);
+        let xcol = ctx.g.constant(Tensor::column(&[0.5, -1.0]));
+        let tcol = ctx.g.constant(Tensor::column(&[0.3, 0.8]));
+        let out = model.forward_jet(&mut ctx, &[xcol, tcol]);
+        assert!(g.value(out.v).approx_eq(&direct, 1e-12));
+    }
+
+    #[test]
+    fn jet_derivatives_match_finite_differences() {
+        let cfg = FieldNetConfig::standard_wave(6.0, 1.0, 16, 2);
+        let (params, model) = net(&cfg);
+        let (x0, t0) = (0.7, 0.4);
+        let h = 1e-4;
+        let f = |x: f64, t: f64, field: usize| -> f64 {
+            model.predict(&params, &[vec![x, t]]).get(&[0, field])
+        };
+        let mut g = Graph::new();
+        let mut ctx = GraphCtx::new(&mut g, &params);
+        let xc = ctx.g.constant(Tensor::column(&[x0]));
+        let tc = ctx.g.constant(Tensor::column(&[t0]));
+        let out = model.forward_jet(&mut ctx, &[xc, tc]);
+        for field in 0..2 {
+            let ux = g.value(out.d[0]).get(&[0, field]);
+            let ut = g.value(out.d[1]).get(&[0, field]);
+            let uxx = g.value(out.dd[0]).get(&[0, field]);
+            let fdx = (f(x0 + h, t0, field) - f(x0 - h, t0, field)) / (2.0 * h);
+            let fdt = (f(x0, t0 + h, field) - f(x0, t0 - h, field)) / (2.0 * h);
+            let fdxx =
+                (f(x0 + h, t0, field) - 2.0 * f(x0, t0, field) + f(x0 - h, t0, field)) / (h * h);
+            assert!((ux - fdx).abs() < 1e-5, "u_x field {field}: {ux} vs {fdx}");
+            assert!((ut - fdt).abs() < 1e-5, "u_t field {field}: {ut} vs {fdt}");
+            assert!(
+                (uxx - fdxx).abs() < 1e-3 * fdxx.abs().max(1.0),
+                "u_xx field {field}: {uxx} vs {fdxx}"
+            );
+        }
+    }
+
+    #[test]
+    fn plain_config_has_fewer_params_than_rff() {
+        let plain = net(&FieldNetConfig::plain(2, 32, 2, 2)).0.n_scalars();
+        let rff = net(&FieldNetConfig::standard_wave(4.0, 1.0, 32, 2))
+            .0
+            .n_scalars();
+        assert!(rff > plain);
+    }
+}

@@ -1,0 +1,305 @@
+//! Reporting: aligned text tables (the harness prints the same rows the
+//! reconstructed paper tables contain) and a minimal JSON writer for
+//! machine-readable experiment records.
+
+use std::fmt::Write as _;
+
+/// An aligned, pipe-separated text table.
+#[derive(Clone, Debug, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Start a table with the given column names.
+    pub fn new(header: &[&str]) -> Self {
+        TextTable {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (stringified cells).
+    ///
+    /// # Panics
+    /// Panics on a column-count mismatch.
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.header.len(), "column count");
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Convenience: append a row of displayable items.
+    pub fn row_display(&mut self, cells: &[&dyn std::fmt::Display]) {
+        self.row(
+            &cells
+                .iter()
+                .map(|c| format!("{c}"))
+                .collect::<Vec<String>>(),
+        );
+    }
+
+    /// Number of data rows.
+    pub fn n_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let ncols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize], out: &mut String| {
+            for (i, (c, w)) in cells.iter().zip(widths).enumerate() {
+                if i > 0 {
+                    out.push_str(" | ");
+                }
+                let pad = w - c.chars().count();
+                out.push_str(c);
+                out.push_str(&" ".repeat(pad));
+            }
+            out.push('\n');
+        };
+        fmt_row(&self.header, &widths, &mut out);
+        let total: usize = widths.iter().sum::<usize>() + 3 * (ncols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            fmt_row(row, &widths, &mut out);
+        }
+        out
+    }
+}
+
+/// Minimal JSON value for experiment records.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// Null.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Number (f64; non-finite serializes as null).
+    Num(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Arr(Vec<Json>),
+    /// Object (ordered).
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Object builder from pairs.
+    pub fn obj(pairs: Vec<(&str, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Array of numbers.
+    pub fn nums(v: &[f64]) -> Json {
+        Json::Arr(v.iter().map(|&x| Json::Num(x)).collect())
+    }
+
+    /// Serialize.
+    pub fn to_string(&self) -> String {
+        let mut s = String::new();
+        self.write(&mut s);
+        s
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(x) => {
+                if x.is_finite() {
+                    let _ = write!(out, "{x}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\t' => out.push_str("\\t"),
+                        '\r' => out.push_str("\\r"),
+                        c if (c as u32) < 0x20 => {
+                            let _ = write!(out, "\\u{:04x}", c as u32);
+                        }
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, it) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    it.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    Json::Str(k.clone()).write(out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// Write an experiment record under `target/experiments/<id>.json`,
+/// creating the directory if needed. Returns the path written.
+pub fn write_experiment_json(id: &str, value: &Json) -> std::io::Result<std::path::PathBuf> {
+    let dir = std::path::Path::new("target").join("experiments");
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("{id}.json"));
+    std::fs::write(&path, value.to_string())?;
+    Ok(path)
+}
+
+/// Format a mean ± std pair compactly.
+pub fn mean_std(mean: f64, std: f64) -> String {
+    format!("{mean:.3e} ± {std:.1e}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let mut t = TextTable::new(&["name", "value"]);
+        t.row(&["a".into(), "1.5".into()]);
+        t.row(&["long-name".into(), "2".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // all rows same width
+        assert!(lines[2].starts_with("a        "));
+        assert!(lines[3].starts_with("long-name"));
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_row_panics() {
+        let mut t = TextTable::new(&["a", "b"]);
+        t.row(&["only-one".into()]);
+    }
+
+    #[test]
+    fn json_round_values() {
+        let j = Json::obj(vec![
+            ("name", Json::Str("t1".into())),
+            ("errors", Json::nums(&[0.5, 1.25])),
+            ("ok", Json::Bool(true)),
+            ("bad", Json::Num(f64::NAN)),
+        ]);
+        assert_eq!(
+            j.to_string(),
+            r#"{"name":"t1","errors":[0.5,1.25],"ok":true,"bad":null}"#
+        );
+    }
+
+    #[test]
+    fn json_escapes_strings() {
+        let j = Json::Str("a\"b\\c\nd".into());
+        assert_eq!(j.to_string(), r#""a\"b\\c\nd""#);
+    }
+
+    #[test]
+    fn mean_std_format() {
+        assert_eq!(mean_std(0.00123, 0.0004), "1.230e-3 ± 4.0e-4");
+    }
+}
+
+/// Render a unicode sparkline of a series (8 levels), for quick terminal
+/// visualization of convergence trajectories.
+pub fn sparkline(values: &[f64]) -> String {
+    const LEVELS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    if values.is_empty() {
+        return String::new();
+    }
+    let lo = values.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let span = (hi - lo).max(1e-300);
+    values
+        .iter()
+        .map(|&v| {
+            let u = ((v - lo) / span * 7.0).round().clamp(0.0, 7.0) as usize;
+            LEVELS[u]
+        })
+        .collect()
+}
+
+/// Render a log-scale sparkline (useful for loss curves spanning decades).
+/// Non-positive values clamp to the smallest positive one.
+pub fn sparkline_log(values: &[f64]) -> String {
+    let floor = values
+        .iter()
+        .copied()
+        .filter(|v| *v > 0.0)
+        .fold(f64::INFINITY, f64::min);
+    if !floor.is_finite() {
+        return sparkline(values);
+    }
+    let logs: Vec<f64> = values.iter().map(|&v| v.max(floor).ln()).collect();
+    sparkline(&logs)
+}
+
+#[cfg(test)]
+mod spark_tests {
+    use super::*;
+
+    #[test]
+    fn sparkline_maps_extremes() {
+        let s = sparkline(&[0.0, 1.0]);
+        assert_eq!(s, "▁█");
+    }
+
+    #[test]
+    fn sparkline_is_monotone_for_monotone_input() {
+        let s: Vec<char> = sparkline(&[0.0, 0.25, 0.5, 0.75, 1.0]).chars().collect();
+        for w in s.windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+    }
+
+    #[test]
+    fn constant_series_is_flat() {
+        let s = sparkline(&[2.0, 2.0, 2.0]);
+        assert_eq!(s.chars().collect::<Vec<_>>(), vec!['▁', '▁', '▁']);
+    }
+
+    #[test]
+    fn log_sparkline_handles_decades() {
+        let s = sparkline_log(&[1.0, 0.1, 0.01, 0.001]);
+        let cs: Vec<char> = s.chars().collect();
+        assert_eq!(cs[0], '█');
+        assert_eq!(cs[3], '▁');
+        // log scale → equal visual steps per decade
+        assert!(cs[1] > cs[2]);
+    }
+
+    #[test]
+    fn empty_series() {
+        assert_eq!(sparkline(&[]), "");
+    }
+}

@@ -1,0 +1,357 @@
+//! The stationary eigenproblem task: learn `(ψ, E)` jointly from the
+//! residual `−½ψ″ + Vψ − Eψ`, with normalization, boundary-decay, and
+//! orthogonality losses; excited states are found by deflation against
+//! already-trained states.
+
+use crate::metrics;
+use crate::model::{FieldNet, FieldNetConfig};
+use crate::residual::eigen_residual;
+use crate::trainer::PinnTask;
+use qpinn_autodiff::Var;
+use qpinn_nn::{Activation, GraphCtx, ParamId, ParamSet};
+use qpinn_problems::EigenProblem;
+use qpinn_solvers::BoundState;
+use qpinn_tensor::Tensor;
+use rand::rngs::StdRng;
+
+/// Configuration of an [`EigenTask`].
+#[derive(Clone, Debug)]
+pub struct EigenTaskConfig {
+    /// Hidden widths of the ψ-network.
+    pub hidden: Vec<usize>,
+    /// Number of collocation points (uniform grid over the box).
+    pub n_collocation: usize,
+    /// Initial guess for the eigenvalue.
+    pub e0: f64,
+    /// Weight of the normalization loss.
+    pub w_norm: f64,
+    /// Weight of the boundary loss.
+    pub w_boundary: f64,
+    /// Weight of each orthogonality term.
+    pub w_ortho: f64,
+    /// Reference grid size for the FD eigensolver.
+    pub reference_nx: usize,
+}
+
+impl EigenTaskConfig {
+    /// Defaults: 2×32 tanh net, 256 points.
+    pub fn standard(e0: f64) -> Self {
+        EigenTaskConfig {
+            hidden: vec![32, 32],
+            n_collocation: 256,
+            e0,
+            w_norm: 100.0,
+            w_boundary: 100.0,
+            w_ortho: 100.0,
+            reference_nx: 1201,
+        }
+    }
+}
+
+/// A stationary Schrödinger eigen-task for one state.
+pub struct EigenTask {
+    problem: EigenProblem,
+    net: FieldNet,
+    e_param: ParamId,
+    xs: Vec<f64>,
+    potential_col: Tensor,
+    /// Previously found states sampled at `xs` (deflation targets).
+    prev_states: Vec<Tensor>,
+    w_norm: f64,
+    w_boundary: f64,
+    w_ortho: f64,
+    /// Residual weight ~ 1/(1+E₀²): balances the residual term (whose
+    /// magnitude grows with the state energy) against the unit-scale
+    /// normalization/boundary terms.
+    res_scale: f64,
+    /// Which eigenstate this task targets (index into the spectrum).
+    state_index: usize,
+    reference: Vec<BoundState>,
+    reference_xs: Vec<f64>,
+}
+
+impl EigenTask {
+    /// Build a task for the `state_index`-th state, deflating against the
+    /// provided earlier solutions (each a `(params, task)` prediction on
+    /// this task's grid is handled by the caller via
+    /// [`EigenTask::predictions_on_grid`]).
+    pub fn new(
+        problem: EigenProblem,
+        cfg: &EigenTaskConfig,
+        state_index: usize,
+        prev_states: Vec<Tensor>,
+        params: &mut ParamSet,
+        rng: &mut StdRng,
+    ) -> Self {
+        let net = FieldNet::new(
+            params,
+            rng,
+            &FieldNetConfig {
+                coords: vec![crate::model::CoordSpec::Raw],
+                rff: None,
+                hidden: cfg.hidden.clone(),
+                n_fields: 1,
+                activation: Activation::Tanh,
+            },
+            &format!("eigen{state_index}"),
+        );
+        let e_param = params.add(
+            format!("eigen{state_index}.E"),
+            Tensor::from_vec([1, 1], vec![cfg.e0]),
+        );
+        let n = cfg.n_collocation;
+        let l = problem.x1 - problem.x0;
+        let xs: Vec<f64> = (0..n)
+            .map(|i| problem.x0 + l * (i as f64 + 0.5) / n as f64)
+            .collect();
+        let potential_col = Tensor::column(
+            &xs.iter()
+                .map(|&x| problem.potential.eval(x))
+                .collect::<Vec<_>>(),
+        );
+        let grid = problem.grid(cfg.reference_nx);
+        let reference = problem.reference(cfg.reference_nx);
+        let reference_xs = grid.points();
+        EigenTask {
+            problem,
+            net,
+            e_param,
+            xs,
+            potential_col,
+            prev_states,
+            w_norm: cfg.w_norm,
+            w_boundary: cfg.w_boundary,
+            w_ortho: cfg.w_ortho,
+            res_scale: 1.0 / (1.0 + cfg.e0 * cfg.e0),
+            state_index,
+            reference,
+            reference_xs,
+        }
+    }
+
+    /// The ψ-network (for prediction/inspection).
+    pub fn net(&self) -> &FieldNet {
+        &self.net
+    }
+
+    /// The learned eigenvalue (the trainable parameter).
+    pub fn energy(&self, params: &ParamSet) -> f64 {
+        params.get(self.e_param).item()
+    }
+
+    /// Variational re-estimate of the energy from the learned ψ via the
+    /// Rayleigh quotient on a dense grid (finite-difference ψ′). Much less
+    /// sensitive to residual-loss miscalibration than the raw trainable
+    /// eigenvalue, so the tables report this value.
+    pub fn rayleigh_energy(&self, params: &ParamSet) -> f64 {
+        let n = 1024;
+        let l = self.problem.x1 - self.problem.x0;
+        let dx = l / n as f64;
+        let xs: Vec<f64> = (0..=n).map(|i| self.problem.x0 + dx * i as f64).collect();
+        let pts: Vec<Vec<f64>> = xs.iter().map(|&x| vec![x]).collect();
+        let pred = self.net.predict(params, &pts);
+        let psi: Vec<f64> = (0..=n).map(|i| pred.get(&[i, 0])).collect();
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for i in 0..=n {
+            let dpsi = if i == 0 {
+                (psi[1] - psi[0]) / dx
+            } else if i == n {
+                (psi[n] - psi[n - 1]) / dx
+            } else {
+                (psi[i + 1] - psi[i - 1]) / (2.0 * dx)
+            };
+            let w = if i == 0 || i == n { 0.5 } else { 1.0 };
+            num += w * (0.5 * dpsi * dpsi + self.problem.potential.eval(xs[i]) * psi[i] * psi[i]);
+            den += w * psi[i] * psi[i];
+        }
+        num / den.max(1e-300)
+    }
+
+    /// ψ sampled on this task's collocation grid (for deflation of the
+    /// next state).
+    pub fn predictions_on_grid(&self, params: &ParamSet) -> Tensor {
+        let pts: Vec<Vec<f64>> = self.xs.iter().map(|&x| vec![x]).collect();
+        self.net.predict(params, &pts)
+    }
+
+    /// The collocation abscissae.
+    pub fn grid_xs(&self) -> &[f64] {
+        &self.xs
+    }
+
+    /// Reference energy of the targeted state.
+    pub fn reference_energy(&self) -> f64 {
+        self.reference[self.state_index].energy
+    }
+
+    /// Profile error of the learned ψ against the FD reference (sign
+    /// invariant, both normalized).
+    pub fn profile_error(&self, params: &ParamSet) -> f64 {
+        let pts: Vec<Vec<f64>> = self.reference_xs.iter().map(|&x| vec![x]).collect();
+        let raw = self.net.predict(params, &pts);
+        // normalize the prediction with trapezoid weights before comparing
+        let l = self.problem.x1 - self.problem.x0;
+        let dx = l / (self.reference_xs.len() - 1) as f64;
+        let vals: Vec<f64> = (0..self.reference_xs.len())
+            .map(|i| raw.get(&[i, 0]))
+            .collect();
+        let norm: f64 = {
+            let mut s = 0.0;
+            for i in 0..vals.len() {
+                let w = if i == 0 || i == vals.len() - 1 { 0.5 } else { 1.0 };
+                s += w * vals[i] * vals[i];
+            }
+            (s * dx).sqrt()
+        };
+        let scaled: Vec<f64> = vals.iter().map(|v| v / norm.max(1e-300)).collect();
+        metrics::rel_l2_error_profile(&scaled, &self.reference[self.state_index].psi)
+    }
+}
+
+impl PinnTask for EigenTask {
+    fn build_loss(&mut self, ctx: &mut GraphCtx<'_>) -> Var {
+        let l = self.problem.x1 - self.problem.x0;
+        let xcol = ctx.g.constant(Tensor::column(&self.xs));
+        let out = self.net.forward_jet(ctx, &[xcol]);
+        let psi = out.col(ctx.g, 0);
+        let vpot = ctx.g.constant(self.potential_col.clone());
+        let e = ctx.param(self.e_param);
+        let r = eigen_residual(ctx.g, &psi, vpot, e);
+        let lres = ctx.g.mse(r);
+
+        // normalization: L·⟨ψ²⟩ = 1
+        let psi2 = ctx.g.square(psi.v);
+        let mean = ctx.g.mean(psi2);
+        let norm = ctx.g.scale(mean, l);
+        let drift = ctx.g.add_scalar(norm, -1.0);
+        let lnorm = ctx.g.square(drift);
+        let lnorm = ctx.g.sum(lnorm);
+
+        // boundary decay at the box edges
+        let bx = ctx
+            .g
+            .constant(Tensor::column(&[self.problem.x0, self.problem.x1]));
+        let bout = self.net.forward_values(ctx, &[bx]);
+        let lbnd = ctx.g.mse(bout);
+
+        let mut terms = vec![
+            (self.res_scale, lres),
+            (self.w_norm, lnorm),
+            (self.w_boundary, lbnd),
+        ];
+
+        // orthogonality to earlier states: (L·⟨ψ·ψ_k⟩)²
+        for prev in &self.prev_states {
+            let pk = ctx.g.constant(prev.clone());
+            let prod = ctx.g.mul(psi.v, pk);
+            let mean = ctx.g.mean(prod);
+            let overlap = ctx.g.scale(mean, l);
+            let sq = ctx.g.square(overlap);
+            let sq = ctx.g.sum(sq);
+            terms.push((self.w_ortho, sq));
+        }
+        crate::loss::total_loss(ctx.g, &terms)
+    }
+
+    fn eval_error(&self, params: &ParamSet) -> f64 {
+        (self.rayleigh_energy(params) - self.reference_energy()).abs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trainer::{TrainConfig, Trainer};
+    use qpinn_optim::LrSchedule;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ground_state_of_harmonic_oscillator_converges() {
+        let problem = EigenProblem::harmonic(1.0);
+        let mut cfg = EigenTaskConfig::standard(0.4);
+        cfg.n_collocation = 128;
+        cfg.hidden = vec![24, 24];
+        cfg.reference_nx = 401;
+        let mut params = ParamSet::new();
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut task = EigenTask::new(problem, &cfg, 0, Vec::new(), &mut params, &mut rng);
+        let trainer = Trainer::new(TrainConfig {
+            epochs: 1500,
+            schedule: LrSchedule::Step {
+                lr0: 5e-3,
+                factor: 0.7,
+                every: 500,
+            },
+            log_every: 500,
+            eval_every: 0,
+            clip: Some(100.0),
+            lbfgs_polish: Some(80),
+        });
+        let _log = trainer.train(&mut task, &mut params);
+        let e = task.energy(&params);
+        assert!(
+            (e - 0.5).abs() < 0.05,
+            "ground-state energy {e} (want 0.5)"
+        );
+    }
+
+    #[test]
+    fn loss_penalizes_zero_solution() {
+        // With all-zero network output the normalization loss alone is
+        // w_norm·1 — the trivial solution is not a minimum.
+        let problem = EigenProblem::infinite_well();
+        let cfg = EigenTaskConfig::standard(4.0);
+        let mut params = ParamSet::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut task = EigenTask::new(problem, &cfg, 0, Vec::new(), &mut params, &mut rng);
+        // zero all parameters → ψ ≡ 0
+        for t in params.tensors_mut() {
+            for v in t.data_mut() {
+                *v = 0.0;
+            }
+        }
+        let mut g = qpinn_autodiff::Graph::new();
+        let mut ctx = GraphCtx::new(&mut g, &params);
+        let l = task.build_loss(&mut ctx);
+        assert!(
+            g.value(l).item() >= cfg.w_norm * 0.99,
+            "trivial solution must be expensive: {}",
+            g.value(l).item()
+        );
+    }
+
+    #[test]
+    fn orthogonality_term_reacts_to_overlap() {
+        let problem = EigenProblem::infinite_well();
+        let cfg = EigenTaskConfig::standard(4.0);
+        let mut params = ParamSet::new();
+        let mut rng = StdRng::seed_from_u64(2);
+        // deflate against a constant "state" that any nonzero symmetric ψ
+        // overlaps with
+        let n = cfg.n_collocation;
+        let prev = Tensor::column(&vec![1.0; n]);
+        let mut task_o =
+            EigenTask::new(problem.clone(), &cfg, 1, vec![prev], &mut params, &mut rng);
+        let mut g = qpinn_autodiff::Graph::new();
+        let mut ctx = GraphCtx::new(&mut g, &params);
+        let with_ortho = {
+            let l = task_o.build_loss(&mut ctx);
+            g.value(l).item()
+        };
+        assert!(with_ortho.is_finite());
+        // same parameters without deflation must give a strictly smaller
+        // loss whenever the overlap is nonzero
+        let mut params2 = ParamSet::new();
+        let mut rng2 = StdRng::seed_from_u64(2);
+        let mut task_p =
+            EigenTask::new(problem, &cfg, 0, Vec::new(), &mut params2, &mut rng2);
+        let mut g2 = qpinn_autodiff::Graph::new();
+        let mut ctx2 = GraphCtx::new(&mut g2, &params2);
+        let without = {
+            let l = task_p.build_loss(&mut ctx2);
+            g2.value(l).item()
+        };
+        assert!(with_ortho >= without, "{with_ortho} vs {without}");
+    }
+}

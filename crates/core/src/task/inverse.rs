@@ -1,0 +1,284 @@
+//! The inverse TDSE task: identify an unknown potential parameter (the
+//! harmonic trap frequency ω) from sparse wavefunction observations, by
+//! training `(ψ-network, ω)` jointly — the PINN inverse-problem
+//! capability.
+
+use crate::loss;
+use crate::model::{FieldNet, FieldNetConfig};
+use crate::residual::split_complex;
+use crate::trainer::PinnTask;
+use qpinn_autodiff::Var;
+use qpinn_nn::{GraphCtx, ParamId, ParamSet};
+use qpinn_problems::{Potential, TdseProblem};
+use qpinn_sampling::{latin_hypercube, uniform_points, Domain};
+use qpinn_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Configuration of an [`InverseTdseTask`].
+#[derive(Clone, Debug)]
+pub struct InverseTaskConfig {
+    /// Network architecture.
+    pub net: FieldNetConfig,
+    /// Number of interior collocation points.
+    pub n_collocation: usize,
+    /// Number of observation points sampled over space-time.
+    pub n_observations: usize,
+    /// Gaussian noise added to observations (standard deviation).
+    pub noise: f64,
+    /// Initial guess for ω.
+    pub omega0: f64,
+    /// Weight of the data-fit loss.
+    pub w_data: f64,
+    /// Reference resolution `(nx, nt_steps, slices)` used to generate the
+    /// synthetic observations.
+    pub reference: (usize, usize, usize),
+}
+
+impl InverseTaskConfig {
+    /// Defaults for the harmonic-trap identification benchmark.
+    pub fn standard(problem: &TdseProblem, width: usize, depth: usize) -> Self {
+        InverseTaskConfig {
+            net: FieldNetConfig::standard_wave(problem.length(), problem.t_end, width, depth),
+            n_collocation: 1024,
+            n_observations: 256,
+            noise: 0.0,
+            omega0: 1.0,
+            w_data: 20.0,
+            reference: (256, 800, 64),
+        }
+    }
+}
+
+/// Joint `(ψ, ω)` inverse problem on a harmonic-trap TDSE.
+pub struct InverseTdseTask {
+    problem: TdseProblem,
+    true_omega: f64,
+    net: FieldNet,
+    omega: ParamId,
+    xs: Vec<f64>,
+    ts: Vec<f64>,
+    x2_col: Tensor,
+    obs_cols: (Tensor, Tensor),
+    obs_target: Tensor,
+    ic_cols: (Tensor, Tensor),
+    ic_target: Tensor,
+    w_data: f64,
+}
+
+impl InverseTdseTask {
+    /// Build the task: the `problem` must use a harmonic potential (its ω
+    /// is the hidden ground truth the observations are generated from).
+    ///
+    /// # Panics
+    /// Panics for non-harmonic problems.
+    pub fn new(
+        problem: TdseProblem,
+        cfg: &InverseTaskConfig,
+        params: &mut ParamSet,
+        rng: &mut StdRng,
+    ) -> Self {
+        let true_omega = match problem.potential {
+            Potential::Harmonic { omega } => omega,
+            _ => panic!("inverse task requires a harmonic potential"),
+        };
+        let net = FieldNet::new(params, rng, &cfg.net, "inverse");
+        let omega = params.add("inverse.omega", Tensor::from_vec([1, 1], vec![cfg.omega0]));
+
+        let domain = Domain::new(&[(problem.x0, problem.x1), (0.0, problem.t_end)]);
+        let pts = latin_hypercube(&domain, cfg.n_collocation, rng);
+        let xs: Vec<f64> = pts.iter().map(|p| p[0]).collect();
+        let ts: Vec<f64> = pts.iter().map(|p| p[1]).collect();
+        let x2_col = Tensor::column(&xs.iter().map(|&x| x * x).collect::<Vec<_>>());
+
+        // synthetic observations from the reference solver (true ω)
+        let (rnx, rnt, rsl) = cfg.reference;
+        let reference = problem.reference(rnx, rnt, rsl);
+        let obs_pts = uniform_points(&domain, cfg.n_observations, rng);
+        let mut ox = Vec::with_capacity(cfg.n_observations);
+        let mut ot = Vec::with_capacity(cfg.n_observations);
+        let mut target = Vec::with_capacity(cfg.n_observations * 2);
+        for p in &obs_pts {
+            ox.push(p[0]);
+            ot.push(p[1]);
+            let psi = reference.sample(p[0], p[1]);
+            let (nu, nv) = if cfg.noise > 0.0 {
+                (
+                    cfg.noise * rng.gen_range(-1.0..1.0f64),
+                    cfg.noise * rng.gen_range(-1.0..1.0f64),
+                )
+            } else {
+                (0.0, 0.0)
+            };
+            target.push(psi.re + nu);
+            target.push(psi.im + nv);
+        }
+        let obs_cols = (Tensor::column(&ox), Tensor::column(&ot));
+        let obs_target = Tensor::from_vec([cfg.n_observations, 2], target);
+
+        // initial condition (known exactly in this benchmark)
+        let n_ic = 128;
+        let ic_x: Vec<f64> = (0..n_ic)
+            .map(|i| problem.x0 + problem.length() * i as f64 / n_ic as f64)
+            .collect();
+        let mut ic_target = Vec::with_capacity(n_ic * 2);
+        for &x in &ic_x {
+            let psi = problem.initial(x);
+            ic_target.push(psi.re);
+            ic_target.push(psi.im);
+        }
+        let ic_cols = (Tensor::column(&ic_x), Tensor::column(&vec![0.0; n_ic]));
+        let ic_target = Tensor::from_vec([n_ic, 2], ic_target);
+
+        InverseTdseTask {
+            problem,
+            true_omega,
+            net,
+            omega,
+            xs,
+            ts,
+            x2_col,
+            obs_cols,
+            obs_target,
+            ic_cols,
+            ic_target,
+            w_data: cfg.w_data,
+        }
+    }
+
+    /// The current ω estimate.
+    pub fn omega(&self, params: &ParamSet) -> f64 {
+        params.get(self.omega).item().abs()
+    }
+
+    /// The hidden ground-truth ω.
+    pub fn true_omega(&self) -> f64 {
+        self.true_omega
+    }
+
+    /// The ψ-network.
+    pub fn net(&self) -> &FieldNet {
+        &self.net
+    }
+
+    /// The underlying (ground-truth) problem definition.
+    pub fn problem(&self) -> &TdseProblem {
+        &self.problem
+    }
+}
+
+impl PinnTask for InverseTdseTask {
+    fn build_loss(&mut self, ctx: &mut GraphCtx<'_>) -> Var {
+        // PDE residual with the trainable potential V = ½ω²x².
+        let xcol = ctx.g.constant(Tensor::column(&self.xs));
+        let tcol = ctx.g.constant(Tensor::column(&self.ts));
+        let out = self.net.forward_jet(ctx, &[xcol, tcol]);
+        let psi = split_complex(ctx.g, &out);
+        let omega = ctx.param(self.omega);
+        let omega_sq = ctx.g.square(omega);
+        let x2 = ctx.g.constant(self.x2_col.clone());
+        let vraw = ctx.g.matmul(x2, omega_sq);
+        let vpot = ctx.g.scale(vraw, 0.5);
+        let (ru, rv) = crate::residual::tdse_residuals(ctx.g, &psi, vpot);
+        let lu = ctx.g.mse(ru);
+        let lv = ctx.g.mse(rv);
+        let lpde = ctx.g.add(lu, lv);
+
+        // data fit on the observations
+        let ox = ctx.g.constant(self.obs_cols.0.clone());
+        let ot = ctx.g.constant(self.obs_cols.1.clone());
+        let ldata = loss::ic_loss(ctx, &self.net, &[ox, ot], &self.obs_target);
+
+        // exact initial condition
+        let icx = ctx.g.constant(self.ic_cols.0.clone());
+        let ict = ctx.g.constant(self.ic_cols.1.clone());
+        let lic = loss::ic_loss(ctx, &self.net, &[icx, ict], &self.ic_target);
+
+        loss::total_loss(
+            ctx.g,
+            &[(1.0, lpde), (self.w_data, ldata), (10.0, lic)],
+        )
+    }
+
+    fn eval_error(&self, params: &ParamSet) -> f64 {
+        (self.omega(params) - self.true_omega).abs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trainer::{TrainConfig, Trainer};
+    use qpinn_optim::LrSchedule;
+    use rand::SeedableRng;
+
+    fn harmonic_problem() -> TdseProblem {
+        TdseProblem::mild_harmonic() // ω = 1
+    }
+
+    fn tiny_cfg(problem: &TdseProblem) -> InverseTaskConfig {
+        let mut cfg = InverseTaskConfig::standard(problem, 16, 2);
+        cfg.n_collocation = 160;
+        cfg.n_observations = 96;
+        cfg.reference = (128, 300, 32);
+        cfg
+    }
+
+    #[test]
+    fn loss_builds_and_omega_receives_gradient() {
+        let problem = harmonic_problem();
+        let cfg = tiny_cfg(&problem);
+        let mut params = ParamSet::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut task = InverseTdseTask::new(problem, &cfg, &mut params, &mut rng);
+        let mut g = qpinn_autodiff::Graph::new();
+        let mut ctx = GraphCtx::new(&mut g, &params);
+        let l = task.build_loss(&mut ctx);
+        assert!(ctx.g.value(l).item().is_finite());
+        let mut grads = ctx.g.backward(l);
+        let collected = ctx.collect_grads(&mut grads);
+        // the ω parameter is the last registered one
+        let omega_grad = collected.last().unwrap().max_abs();
+        assert!(omega_grad.is_finite());
+    }
+
+    #[test]
+    fn omega_moves_toward_truth_during_training() {
+        let problem = harmonic_problem(); // true ω = 1
+        let mut cfg = tiny_cfg(&problem);
+        cfg.omega0 = 0.6;
+        cfg.w_data = 50.0;
+        let mut params = ParamSet::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut task = InverseTdseTask::new(problem, &cfg, &mut params, &mut rng);
+        let e0 = task.eval_error(&params); // |0.6 − 1| = 0.4
+        assert!((e0 - 0.4).abs() < 1e-12);
+        // ω only becomes identifiable once ψ roughly fits the data, so the
+        // error can rise briefly before the descent sets in — give it a
+        // realistic budget.
+        let _ = Trainer::new(TrainConfig {
+            epochs: 900,
+            schedule: LrSchedule::Constant { lr: 3e-3 },
+            log_every: 300,
+            eval_every: 0,
+            clip: Some(100.0),
+            lbfgs_polish: None,
+        })
+        .train(&mut task, &mut params);
+        let e1 = task.eval_error(&params);
+        // The tiny unit-test budget only demonstrates the descent direction;
+        // full identifiability (ω error < 0.1) is exercised by the T7
+        // harness binary at realistic scale.
+        assert!(e1 < e0 - 0.005, "ω error should shrink: {e0} → {e1}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_non_harmonic_problems() {
+        let problem = TdseProblem::free_packet();
+        let cfg = InverseTaskConfig::standard(&problem, 8, 1);
+        let mut params = ParamSet::new();
+        let mut rng = StdRng::seed_from_u64(2);
+        let _ = InverseTdseTask::new(problem, &cfg, &mut params, &mut rng);
+    }
+}

@@ -1,0 +1,34 @@
+//! Ready-to-train task objects, one per benchmark family. Each task owns
+//! its collocation points, curriculum state, loss weights, and reference
+//! solution, and implements [`crate::trainer::PinnTask`].
+
+pub mod eigen;
+pub mod inverse;
+pub mod nls;
+pub mod tdse;
+pub mod tdse2d;
+
+pub use eigen::{EigenTask, EigenTaskConfig};
+pub use inverse::{InverseTaskConfig, InverseTdseTask};
+pub use nls::{NlsTask, NlsTaskConfig};
+pub use tdse::{TdseTask, TdseTaskConfig};
+pub use tdse2d::{Tdse2dTask, Tdse2dTaskConfig};
+
+/// Loss-term weights shared by the wave tasks (the `λ` multipliers of the
+/// total loss `L = L_pde + λ_ic·L_ic + λ_cons·L_cons`).
+#[derive(Clone, Copy, Debug)]
+pub struct LossWeights {
+    /// Initial-condition weight.
+    pub ic: f64,
+    /// Norm-conservation weight (0 disables the term).
+    pub conservation: f64,
+}
+
+impl Default for LossWeights {
+    fn default() -> Self {
+        LossWeights {
+            ic: 10.0,
+            conservation: 10.0,
+        }
+    }
+}

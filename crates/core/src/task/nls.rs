@@ -1,0 +1,275 @@
+//! The nonlinear Schrödinger training task (Raissi benchmark and
+//! solitons).
+
+use crate::causal::CausalWeights;
+use crate::loss;
+use crate::metrics;
+use crate::model::{FieldNet, FieldNetConfig};
+use crate::residual::{nls_residuals, split_complex};
+use crate::task::LossWeights;
+use crate::trainer::PinnTask;
+use qpinn_autodiff::Var;
+use qpinn_nn::{GraphCtx, ParamSet};
+use qpinn_problems::NlsProblem;
+use qpinn_sampling::{latin_hypercube, Domain};
+use qpinn_solvers::Field1d;
+use qpinn_tensor::Tensor;
+use rand::rngs::StdRng;
+
+/// Configuration of an [`NlsTask`].
+#[derive(Clone, Debug)]
+pub struct NlsTaskConfig {
+    /// Network architecture.
+    pub net: FieldNetConfig,
+    /// Number of interior collocation points.
+    pub n_collocation: usize,
+    /// Number of initial-condition points.
+    pub n_ic: usize,
+    /// Loss weights.
+    pub weights: LossWeights,
+    /// Causal weighting `(bins, epsilon)`.
+    pub causal: Option<(usize, f64)>,
+    /// Conservation grid `(n_times, n_x)`.
+    pub conservation_grid: (usize, usize),
+    /// Reference resolution `(nx, nt_steps, slices)`.
+    pub reference: (usize, usize, usize),
+    /// Evaluation grid `(nx, nt)`.
+    pub eval_grid: (usize, usize),
+}
+
+impl NlsTaskConfig {
+    /// Defaults mirroring the TDSE task.
+    pub fn standard(problem: &NlsProblem, width: usize, depth: usize) -> Self {
+        NlsTaskConfig {
+            net: FieldNetConfig::standard_wave(problem.length(), problem.t_end, width, depth),
+            n_collocation: 4096,
+            n_ic: 256,
+            weights: LossWeights::default(),
+            causal: Some((5, 1.0)),
+            conservation_grid: (8, 64),
+            reference: (256, 2000, 64),
+            eval_grid: (128, 64),
+        }
+    }
+}
+
+/// A fully assembled NLS PINN task.
+pub struct NlsTask {
+    problem: NlsProblem,
+    net: FieldNet,
+    xs: Vec<f64>,
+    ts: Vec<f64>,
+    ic_cols: (Tensor, Tensor),
+    ic_target: Tensor,
+    cons: Option<(Tensor, Tensor, usize, f64)>,
+    causal: Option<CausalWeights>,
+    weights: LossWeights,
+    reference: Field1d,
+    eval_grid: (usize, usize),
+}
+
+impl NlsTask {
+    /// Assemble the task (registers parameters, samples collocation,
+    /// computes the spectral reference).
+    pub fn new(
+        problem: NlsProblem,
+        cfg: &NlsTaskConfig,
+        params: &mut ParamSet,
+        rng: &mut StdRng,
+    ) -> Self {
+        let net = FieldNet::new(params, rng, &cfg.net, "nls");
+        let domain = Domain::new(&[(problem.x0, problem.x1), (0.0, problem.t_end)]);
+        let pts = latin_hypercube(&domain, cfg.n_collocation, rng);
+        let xs: Vec<f64> = pts.iter().map(|p| p[0]).collect();
+        let ts: Vec<f64> = pts.iter().map(|p| p[1]).collect();
+
+        let ic_x: Vec<f64> = (0..cfg.n_ic)
+            .map(|i| problem.x0 + problem.length() * i as f64 / cfg.n_ic as f64)
+            .collect();
+        let mut target = Vec::with_capacity(cfg.n_ic * 2);
+        for &x in &ic_x {
+            let h = problem.initial(x);
+            target.push(h.re);
+            target.push(h.im);
+        }
+        let ic_cols = (
+            Tensor::column(&ic_x),
+            Tensor::column(&vec![0.0; cfg.n_ic]),
+        );
+        let ic_target = Tensor::from_vec([cfg.n_ic, 2], target);
+
+        let cons = if cfg.weights.conservation > 0.0 {
+            let (ntc, nxc) = cfg.conservation_grid;
+            let mut cx = Vec::with_capacity(ntc * nxc);
+            let mut ct = Vec::with_capacity(ntc * nxc);
+            for k in 0..ntc {
+                let t = problem.t_end * (k + 1) as f64 / ntc as f64;
+                for i in 0..nxc {
+                    ct.push(t);
+                    cx.push(problem.x0 + problem.length() * i as f64 / nxc as f64);
+                }
+            }
+            let nq = 2048;
+            let dens_mean: f64 = (0..nq)
+                .map(|i| {
+                    let x = problem.x0 + problem.length() * i as f64 / nq as f64;
+                    problem.initial(x).norm_sqr()
+                })
+                .sum::<f64>()
+                / nq as f64;
+            let n0 = dens_mean * problem.length();
+            Some((Tensor::column(&cx), Tensor::column(&ct), nxc, n0))
+        } else {
+            None
+        };
+
+        let causal = cfg
+            .causal
+            .map(|(m, eps)| CausalWeights::new(0.0, problem.t_end, m, eps, &ts));
+        let (rnx, rnt, rsl) = cfg.reference;
+        let reference = problem.reference(rnx, rnt, rsl);
+
+        NlsTask {
+            problem,
+            net,
+            xs,
+            ts,
+            ic_cols,
+            ic_target,
+            cons,
+            causal,
+            weights: cfg.weights,
+            reference,
+            eval_grid: cfg.eval_grid,
+        }
+    }
+
+    /// The underlying problem.
+    pub fn problem(&self) -> &NlsProblem {
+        &self.problem
+    }
+
+    /// The network.
+    pub fn net(&self) -> &FieldNet {
+        &self.net
+    }
+
+    /// The reference field.
+    pub fn reference(&self) -> &Field1d {
+        &self.reference
+    }
+}
+
+impl PinnTask for NlsTask {
+    fn build_loss(&mut self, ctx: &mut GraphCtx<'_>) -> Var {
+        let xcol = ctx.g.constant(Tensor::column(&self.xs));
+        let tcol = ctx.g.constant(Tensor::column(&self.ts));
+        let out = self.net.forward_jet(ctx, &[xcol, tcol]);
+        let psi = split_complex(ctx.g, &out);
+        let (ru, rv) = nls_residuals(ctx.g, &psi, self.problem.g);
+
+        let wvar = match &mut self.causal {
+            Some(cw) => {
+                let r2: Vec<f64> = ctx
+                    .g
+                    .value(ru)
+                    .data()
+                    .iter()
+                    .zip(ctx.g.value(rv).data())
+                    .map(|(a, b)| a * a + b * b)
+                    .collect();
+                cw.update(&r2);
+                Some(ctx.g.constant(Tensor::column(&cw.point_weights())))
+            }
+            None => None,
+        };
+        let lu = loss::residual_mse(ctx.g, ru, wvar);
+        let lv = loss::residual_mse(ctx.g, rv, wvar);
+        let lpde = ctx.g.add(lu, lv);
+
+        let icx = ctx.g.constant(self.ic_cols.0.clone());
+        let ict = ctx.g.constant(self.ic_cols.1.clone());
+        let lic = loss::ic_loss(ctx, &self.net, &[icx, ict], &self.ic_target);
+
+        let mut terms = vec![(1.0, lpde), (self.weights.ic, lic)];
+        if let Some((cx, ct, nxc, n0)) = &self.cons {
+            let cxv = ctx.g.constant(cx.clone());
+            let ctv = ctx.g.constant(ct.clone());
+            let lcons = loss::norm_conservation_loss(
+                ctx,
+                &self.net,
+                &[cxv, ctv],
+                *nxc,
+                self.problem.length(),
+                *n0,
+            );
+            terms.push((self.weights.conservation, lcons));
+        }
+        loss::total_loss(ctx.g, &terms)
+    }
+
+    fn eval_error(&self, params: &ParamSet) -> f64 {
+        metrics::rel_l2_error_field(
+            &self.net,
+            params,
+            &self.reference,
+            self.eval_grid.0,
+            self.eval_grid.1,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn tiny_cfg(problem: &NlsProblem) -> NlsTaskConfig {
+        let mut cfg = NlsTaskConfig::standard(problem, 16, 2);
+        cfg.n_collocation = 128;
+        cfg.n_ic = 32;
+        cfg.conservation_grid = (3, 16);
+        cfg.reference = (128, 400, 16);
+        cfg.eval_grid = (32, 8);
+        cfg
+    }
+
+    #[test]
+    fn loss_and_gradients_are_finite() {
+        let problem = NlsProblem::raissi_benchmark();
+        let cfg = tiny_cfg(&problem);
+        let mut params = ParamSet::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut task = NlsTask::new(problem, &cfg, &mut params, &mut rng);
+        let mut g = qpinn_autodiff::Graph::new();
+        let mut ctx = GraphCtx::new(&mut g, &params);
+        let l = task.build_loss(&mut ctx);
+        assert!(ctx.g.value(l).item().is_finite());
+        let mut grads = ctx.g.backward(l);
+        let collected = ctx.collect_grads(&mut grads);
+        assert!(collected.iter().all(|t| t.all_finite()));
+    }
+
+    #[test]
+    fn initial_error_is_order_one_and_training_reduces_loss() {
+        use crate::trainer::{TrainConfig, Trainer};
+        use qpinn_optim::LrSchedule;
+        let problem = NlsProblem::raissi_benchmark();
+        let cfg = tiny_cfg(&problem);
+        let mut params = ParamSet::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut task = NlsTask::new(problem, &cfg, &mut params, &mut rng);
+        let e0 = task.eval_error(&params);
+        assert!(e0 > 0.5, "untrained net should be far off: {e0}");
+        let trainer = Trainer::new(TrainConfig {
+            epochs: 60,
+            schedule: LrSchedule::Constant { lr: 2e-3 },
+            log_every: 20,
+            eval_every: 0,
+            clip: Some(100.0),
+            lbfgs_polish: None,
+        });
+        let log = trainer.train(&mut task, &mut params);
+        assert!(log.final_loss < log.loss[0]);
+    }
+}

@@ -1,0 +1,326 @@
+//! The time-dependent Schrödinger training task.
+
+use crate::causal::CausalWeights;
+use crate::loss;
+use crate::metrics;
+use crate::model::{FieldNet, FieldNetConfig};
+use crate::residual::{split_complex, tdse_residuals};
+use crate::task::LossWeights;
+use crate::trainer::PinnTask;
+use qpinn_autodiff::Var;
+use qpinn_nn::{GraphCtx, ParamSet};
+use qpinn_problems::TdseProblem;
+use qpinn_sampling::{latin_hypercube, Domain};
+use qpinn_solvers::Field1d;
+use qpinn_tensor::Tensor;
+use rand::rngs::StdRng;
+
+/// Configuration of a [`TdseTask`].
+#[derive(Clone, Debug)]
+pub struct TdseTaskConfig {
+    /// Network architecture.
+    pub net: FieldNetConfig,
+    /// Number of interior collocation points (Latin hypercube).
+    pub n_collocation: usize,
+    /// Number of initial-condition points.
+    pub n_ic: usize,
+    /// Loss weights.
+    pub weights: LossWeights,
+    /// Causal time weighting: `(bins, epsilon)`, `None` to disable.
+    pub causal: Option<(usize, f64)>,
+    /// Conservation grid `(n_times, n_x)` when the conservation term is on.
+    pub conservation_grid: (usize, usize),
+    /// Reference resolution `(nx, nt_steps, slices)`.
+    pub reference: (usize, usize, usize),
+    /// Evaluation grid `(nx, nt)` for the L2 metric.
+    pub eval_grid: (usize, usize),
+}
+
+impl TdseTaskConfig {
+    /// Sensible defaults for a problem: standard-wave net, 4096 collocation
+    /// points, conservation on.
+    pub fn standard(problem: &TdseProblem, width: usize, depth: usize) -> Self {
+        TdseTaskConfig {
+            net: FieldNetConfig::standard_wave(problem.length(), problem.t_end, width, depth),
+            n_collocation: 4096,
+            n_ic: 256,
+            weights: LossWeights::default(),
+            causal: Some((5, 1.0)),
+            conservation_grid: (8, 64),
+            reference: (256, 1000, 64),
+            eval_grid: (128, 64),
+        }
+    }
+}
+
+/// A fully assembled TDSE PINN task.
+pub struct TdseTask {
+    problem: TdseProblem,
+    net: FieldNet,
+    xs: Vec<f64>,
+    ts: Vec<f64>,
+    potential_col: Tensor,
+    ic_cols: (Tensor, Tensor),
+    ic_target: Tensor,
+    cons: Option<(Tensor, Tensor, usize, f64)>,
+    causal: Option<CausalWeights>,
+    weights: LossWeights,
+    reference: Field1d,
+    eval_grid: (usize, usize),
+}
+
+impl TdseTask {
+    /// Build the task: network parameters are registered into `params`,
+    /// collocation points sampled from `rng`, reference computed.
+    pub fn new(
+        problem: TdseProblem,
+        cfg: &TdseTaskConfig,
+        params: &mut ParamSet,
+        rng: &mut StdRng,
+    ) -> Self {
+        let net = FieldNet::new(params, rng, &cfg.net, "tdse");
+
+        let domain = Domain::new(&[(problem.x0, problem.x1), (0.0, problem.t_end)]);
+        let pts = latin_hypercube(&domain, cfg.n_collocation, rng);
+        let xs: Vec<f64> = pts.iter().map(|p| p[0]).collect();
+        let ts: Vec<f64> = pts.iter().map(|p| p[1]).collect();
+        let potential_col = Tensor::column(
+            &xs.iter()
+                .map(|&x| problem.potential.eval(x))
+                .collect::<Vec<_>>(),
+        );
+
+        // IC points: uniform over x at t = 0 with exact targets.
+        let ic_x: Vec<f64> = (0..cfg.n_ic)
+            .map(|i| problem.x0 + problem.length() * i as f64 / cfg.n_ic as f64)
+            .collect();
+        let mut ic_t = Vec::with_capacity(cfg.n_ic);
+        let mut target = Vec::with_capacity(cfg.n_ic * 2);
+        for &x in &ic_x {
+            ic_t.push(0.0);
+            let psi = problem.initial(x);
+            target.push(psi.re);
+            target.push(psi.im);
+        }
+        let ic_cols = (Tensor::column(&ic_x), Tensor::column(&ic_t));
+        let ic_target = Tensor::from_vec([cfg.n_ic, 2], target);
+
+        // Conservation grid: time-major so mean_groups averages per slice.
+        let cons = if cfg.weights.conservation > 0.0 {
+            let (ntc, nxc) = cfg.conservation_grid;
+            let mut cx = Vec::with_capacity(ntc * nxc);
+            let mut ct = Vec::with_capacity(ntc * nxc);
+            for k in 0..ntc {
+                let t = problem.t_end * (k + 1) as f64 / ntc as f64;
+                for i in 0..nxc {
+                    ct.push(t);
+                    cx.push(problem.x0 + problem.length() * i as f64 / nxc as f64);
+                }
+            }
+            // exact initial norm via quadrature of the analytic IC
+            let nq = 1024;
+            let dens_mean: f64 = (0..nq)
+                .map(|i| {
+                    let x = problem.x0 + problem.length() * i as f64 / nq as f64;
+                    problem.initial(x).norm_sqr()
+                })
+                .sum::<f64>()
+                / nq as f64;
+            let n0 = dens_mean * problem.length();
+            Some((Tensor::column(&cx), Tensor::column(&ct), nxc, n0))
+        } else {
+            None
+        };
+
+        let causal = cfg
+            .causal
+            .map(|(m, eps)| CausalWeights::new(0.0, problem.t_end, m, eps, &ts));
+
+        let (rnx, rnt, rsl) = cfg.reference;
+        let reference = problem.reference(rnx, rnt, rsl);
+
+        TdseTask {
+            problem,
+            net,
+            xs,
+            ts,
+            potential_col,
+            ic_cols,
+            ic_target,
+            cons,
+            causal,
+            weights: cfg.weights,
+            reference,
+            eval_grid: cfg.eval_grid,
+        }
+    }
+
+    /// The underlying problem.
+    pub fn problem(&self) -> &TdseProblem {
+        &self.problem
+    }
+
+    /// The network (for inspection / prediction).
+    pub fn net(&self) -> &FieldNet {
+        &self.net
+    }
+
+    /// The reference field.
+    pub fn reference(&self) -> &Field1d {
+        &self.reference
+    }
+
+    /// Norm drift diagnostic: the network's `∫|ψ|²dx` at the given times.
+    pub fn norm_series(&self, params: &ParamSet, times: &[f64]) -> Vec<f64> {
+        metrics::norm_series(
+            &self.net,
+            params,
+            self.problem.x0,
+            self.problem.x1,
+            256,
+            times,
+        )
+    }
+}
+
+impl PinnTask for TdseTask {
+    fn build_loss(&mut self, ctx: &mut GraphCtx<'_>) -> Var {
+        // PDE residuals with jets.
+        let xcol = ctx.g.constant(Tensor::column(&self.xs));
+        let tcol = ctx.g.constant(Tensor::column(&self.ts));
+        let out = self.net.forward_jet(ctx, &[xcol, tcol]);
+        let psi = split_complex(ctx.g, &out);
+        let vpot = ctx.g.constant(self.potential_col.clone());
+        let (ru, rv) = tdse_residuals(ctx.g, &psi, vpot);
+
+        // Causal weighting (update from current raw residuals first).
+        let wvar = match &mut self.causal {
+            Some(cw) => {
+                let r2: Vec<f64> = ctx
+                    .g
+                    .value(ru)
+                    .data()
+                    .iter()
+                    .zip(ctx.g.value(rv).data())
+                    .map(|(a, b)| a * a + b * b)
+                    .collect();
+                cw.update(&r2);
+                let w = cw.point_weights();
+                Some(ctx.g.constant(Tensor::column(&w)))
+            }
+            None => None,
+        };
+        let lu = loss::residual_mse(ctx.g, ru, wvar);
+        let lv = loss::residual_mse(ctx.g, rv, wvar);
+        let lpde = ctx.g.add(lu, lv);
+
+        // Initial condition.
+        let icx = ctx.g.constant(self.ic_cols.0.clone());
+        let ict = ctx.g.constant(self.ic_cols.1.clone());
+        let lic = loss::ic_loss(ctx, &self.net, &[icx, ict], &self.ic_target);
+
+        // Conservation.
+        let mut terms = vec![(1.0, lpde), (self.weights.ic, lic)];
+        if let Some((cx, ct, nxc, n0)) = &self.cons {
+            let cxv = ctx.g.constant(cx.clone());
+            let ctv = ctx.g.constant(ct.clone());
+            let lcons = loss::norm_conservation_loss(
+                ctx,
+                &self.net,
+                &[cxv, ctv],
+                *nxc,
+                self.problem.length(),
+                *n0,
+            );
+            terms.push((self.weights.conservation, lcons));
+        }
+        loss::total_loss(ctx.g, &terms)
+    }
+
+    fn eval_error(&self, params: &ParamSet) -> f64 {
+        metrics::rel_l2_error_field(
+            &self.net,
+            params,
+            &self.reference,
+            self.eval_grid.0,
+            self.eval_grid.1,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn tiny_cfg(problem: &TdseProblem) -> TdseTaskConfig {
+        let mut cfg = TdseTaskConfig::standard(problem, 16, 2);
+        cfg.n_collocation = 128;
+        cfg.n_ic = 32;
+        cfg.conservation_grid = (3, 16);
+        cfg.reference = (128, 200, 16);
+        cfg.eval_grid = (32, 8);
+        cfg
+    }
+
+    #[test]
+    fn loss_builds_and_is_finite() {
+        let problem = TdseProblem::free_packet();
+        let cfg = tiny_cfg(&problem);
+        let mut params = ParamSet::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut task = TdseTask::new(problem, &cfg, &mut params, &mut rng);
+        let mut g = qpinn_autodiff::Graph::new();
+        let mut ctx = GraphCtx::new(&mut g, &params);
+        let l = task.build_loss(&mut ctx);
+        let val = g.value(l).item();
+        assert!(val.is_finite() && val > 0.0);
+    }
+
+    #[test]
+    fn gradients_reach_every_parameter_kind() {
+        let problem = TdseProblem::free_packet();
+        let cfg = tiny_cfg(&problem);
+        let mut params = ParamSet::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut task = TdseTask::new(problem, &cfg, &mut params, &mut rng);
+        let mut g = qpinn_autodiff::Graph::new();
+        let mut ctx = GraphCtx::new(&mut g, &params);
+        let l = task.build_loss(&mut ctx);
+        let mut grads = ctx.g.backward(l);
+        let collected = ctx.collect_grads(&mut grads);
+        let nonzero = collected.iter().filter(|t| t.max_abs() > 0.0).count();
+        assert!(
+            nonzero >= collected.len() - 1,
+            "{nonzero}/{} params got gradients",
+            collected.len()
+        );
+    }
+
+    #[test]
+    fn short_training_reduces_loss() {
+        use crate::trainer::{TrainConfig, Trainer};
+        use qpinn_optim::LrSchedule;
+        let problem = TdseProblem::free_packet();
+        let cfg = tiny_cfg(&problem);
+        let mut params = ParamSet::new();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut task = TdseTask::new(problem, &cfg, &mut params, &mut rng);
+        let trainer = Trainer::new(TrainConfig {
+            epochs: 60,
+            schedule: LrSchedule::Constant { lr: 2e-3 },
+            log_every: 10,
+            eval_every: 0,
+            clip: Some(100.0),
+            lbfgs_polish: None,
+        });
+        let log = trainer.train(&mut task, &mut params);
+        assert!(
+            log.final_loss < log.loss[0],
+            "loss did not drop: {} → {}",
+            log.loss[0],
+            log.final_loss
+        );
+        assert!(log.final_error.is_finite());
+    }
+}

@@ -1,0 +1,333 @@
+//! The 2D time-dependent Schrödinger training task — the
+//! multi-dimensional unsteady extension. Coordinates are `(x, y, t)`;
+//! both spatial axes use exact periodic embeddings.
+
+use crate::loss;
+use crate::model::{CoordSpec, FieldNet, FieldNetConfig, RffSpec};
+use crate::residual::{split_complex, tdse2d_residuals};
+use crate::task::LossWeights;
+use crate::trainer::PinnTask;
+use qpinn_autodiff::Var;
+use qpinn_nn::{Activation, GraphCtx, ParamSet};
+use qpinn_problems::Tdse2dProblem;
+use qpinn_sampling::{latin_hypercube, Domain};
+use qpinn_solvers::Field2d;
+use qpinn_tensor::Tensor;
+use rand::rngs::StdRng;
+
+/// Configuration of a [`Tdse2dTask`].
+#[derive(Clone, Debug)]
+pub struct Tdse2dTaskConfig {
+    /// Hidden width of the trunk.
+    pub width: usize,
+    /// Hidden depth of the trunk.
+    pub depth: usize,
+    /// RFF frequencies (0 disables the embedding).
+    pub rff_features: usize,
+    /// Number of interior collocation points.
+    pub n_collocation: usize,
+    /// Number of initial-condition points (grid ≈ √n per axis).
+    pub n_ic_side: usize,
+    /// Loss weights.
+    pub weights: LossWeights,
+    /// Conservation grid `(n_times, n_side)`.
+    pub conservation_grid: (usize, usize),
+    /// Reference resolution `(n_side, nt_steps, slices)`.
+    pub reference: (usize, usize, usize),
+    /// Evaluation grid `(n_side, nt)`.
+    pub eval_grid: (usize, usize),
+}
+
+impl Tdse2dTaskConfig {
+    /// Defaults sized for a demonstration run.
+    pub fn standard(width: usize, depth: usize) -> Self {
+        Tdse2dTaskConfig {
+            width,
+            depth,
+            rff_features: 48,
+            n_collocation: 2048,
+            n_ic_side: 16,
+            weights: LossWeights::default(),
+            conservation_grid: (4, 16),
+            reference: (64, 300, 16),
+            eval_grid: (24, 8),
+        }
+    }
+}
+
+/// A fully assembled 2D TDSE PINN task.
+pub struct Tdse2dTask {
+    problem: Tdse2dProblem,
+    net: FieldNet,
+    cols: (Tensor, Tensor, Tensor),
+    potential_col: Tensor,
+    ic_cols: (Tensor, Tensor, Tensor),
+    ic_target: Tensor,
+    cons: Option<(Tensor, Tensor, Tensor, usize, f64)>,
+    weights: LossWeights,
+    reference: Field2d,
+    eval_grid: (usize, usize),
+}
+
+impl Tdse2dTask {
+    /// Assemble the task.
+    pub fn new(
+        problem: Tdse2dProblem,
+        cfg: &Tdse2dTaskConfig,
+        params: &mut ParamSet,
+        rng: &mut StdRng,
+    ) -> Self {
+        let (lx, ly) = problem.lengths();
+        let net = FieldNet::new(
+            params,
+            rng,
+            &FieldNetConfig {
+                coords: vec![
+                    CoordSpec::Periodic { length: lx },
+                    CoordSpec::Periodic { length: ly },
+                    CoordSpec::LearnedPeriod {
+                        period0: 4.0 * problem.t_end,
+                    },
+                ],
+                rff: if cfg.rff_features > 0 {
+                    Some(RffSpec {
+                        n_features: cfg.rff_features,
+                        sigma: 1.0,
+                    })
+                } else {
+                    None
+                },
+                hidden: vec![cfg.width; cfg.depth],
+                n_fields: 2,
+                activation: Activation::Tanh,
+            },
+            "tdse2d",
+        );
+
+        let domain = Domain::new(&[problem.x, problem.y, (0.0, problem.t_end)]);
+        let pts = latin_hypercube(&domain, cfg.n_collocation, rng);
+        let xs: Vec<f64> = pts.iter().map(|p| p[0]).collect();
+        let ys: Vec<f64> = pts.iter().map(|p| p[1]).collect();
+        let ts: Vec<f64> = pts.iter().map(|p| p[2]).collect();
+        let potential_col = Tensor::column(
+            &xs.iter()
+                .zip(&ys)
+                .map(|(&x, &y)| problem.potential.eval(x, y))
+                .collect::<Vec<_>>(),
+        );
+
+        // IC grid at t = 0.
+        let side = cfg.n_ic_side;
+        let mut icx = Vec::with_capacity(side * side);
+        let mut icy = Vec::with_capacity(side * side);
+        let mut target = Vec::with_capacity(side * side * 2);
+        for i in 0..side {
+            for j in 0..side {
+                let x = problem.x.0 + lx * i as f64 / side as f64;
+                let y = problem.y.0 + ly * j as f64 / side as f64;
+                icx.push(x);
+                icy.push(y);
+                let psi = problem.initial(x, y);
+                target.push(psi.re);
+                target.push(psi.im);
+            }
+        }
+        let n_ic = side * side;
+        let ic_cols = (
+            Tensor::column(&icx),
+            Tensor::column(&icy),
+            Tensor::column(&vec![0.0; n_ic]),
+        );
+        let ic_target = Tensor::from_vec([n_ic, 2], target);
+
+        // Conservation grid: time-major over an n_side × n_side plane.
+        let cons = if cfg.weights.conservation > 0.0 {
+            let (ntc, nsc) = cfg.conservation_grid;
+            let per_slice = nsc * nsc;
+            let mut cx = Vec::with_capacity(ntc * per_slice);
+            let mut cy = Vec::with_capacity(ntc * per_slice);
+            let mut ct = Vec::with_capacity(ntc * per_slice);
+            for k in 0..ntc {
+                let t = problem.t_end * (k + 1) as f64 / ntc as f64;
+                for i in 0..nsc {
+                    for j in 0..nsc {
+                        ct.push(t);
+                        cx.push(problem.x.0 + lx * i as f64 / nsc as f64);
+                        cy.push(problem.y.0 + ly * j as f64 / nsc as f64);
+                    }
+                }
+            }
+            Some((
+                Tensor::column(&cx),
+                Tensor::column(&cy),
+                Tensor::column(&ct),
+                per_slice,
+                1.0, // the initial state is normalized
+            ))
+        } else {
+            None
+        };
+
+        let (rside, rnt, rsl) = cfg.reference;
+        let reference = problem.reference(rside, rside, rnt, rsl);
+        Tdse2dTask {
+            problem,
+            net,
+            cols: (Tensor::column(&xs), Tensor::column(&ys), Tensor::column(&ts)),
+            potential_col,
+            ic_cols,
+            ic_target,
+            cons,
+            weights: cfg.weights,
+            reference,
+            eval_grid: cfg.eval_grid,
+        }
+    }
+
+    /// The network.
+    pub fn net(&self) -> &FieldNet {
+        &self.net
+    }
+
+    /// The underlying problem.
+    pub fn problem(&self) -> &Tdse2dProblem {
+        &self.problem
+    }
+
+    /// The spectral reference.
+    pub fn reference(&self) -> &Field2d {
+        &self.reference
+    }
+}
+
+impl PinnTask for Tdse2dTask {
+    fn build_loss(&mut self, ctx: &mut GraphCtx<'_>) -> Var {
+        let xcol = ctx.g.constant(self.cols.0.clone());
+        let ycol = ctx.g.constant(self.cols.1.clone());
+        let tcol = ctx.g.constant(self.cols.2.clone());
+        let out = self.net.forward_jet(ctx, &[xcol, ycol, tcol]);
+        let psi = split_complex(ctx.g, &out);
+        let vpot = ctx.g.constant(self.potential_col.clone());
+        let (ru, rv) = tdse2d_residuals(ctx.g, &psi, vpot);
+        let lu = ctx.g.mse(ru);
+        let lv = ctx.g.mse(rv);
+        let lpde = ctx.g.add(lu, lv);
+
+        let icx = ctx.g.constant(self.ic_cols.0.clone());
+        let icy = ctx.g.constant(self.ic_cols.1.clone());
+        let ict = ctx.g.constant(self.ic_cols.2.clone());
+        let lic = loss::ic_loss(ctx, &self.net, &[icx, icy, ict], &self.ic_target);
+
+        let mut terms = vec![(1.0, lpde), (self.weights.ic, lic)];
+        if let Some((cx, cy, ct, per_slice, n0)) = &self.cons {
+            let cxv = ctx.g.constant(cx.clone());
+            let cyv = ctx.g.constant(cy.clone());
+            let ctv = ctx.g.constant(ct.clone());
+            let (lx, ly) = self.problem.lengths();
+            let pred = self.net.forward_values(ctx, &[cxv, cyv, ctv]);
+            let u = ctx.g.col(pred, 0);
+            let v = ctx.g.col(pred, 1);
+            let u2 = ctx.g.square(u);
+            let v2 = ctx.g.square(v);
+            let dens = ctx.g.add(u2, v2);
+            let per = ctx.g.mean_groups(dens, *per_slice);
+            let norm = ctx.g.scale(per, lx * ly);
+            let drift = ctx.g.add_scalar(norm, -n0);
+            let lcons = ctx.g.mse(drift);
+            terms.push((self.weights.conservation, lcons));
+        }
+        loss::total_loss(ctx.g, &terms)
+    }
+
+    fn eval_error(&self, params: &ParamSet) -> f64 {
+        let (side, nt) = self.eval_grid;
+        let (lx, ly) = self.problem.lengths();
+        let mut points = Vec::with_capacity(side * side * nt);
+        let mut refs = Vec::with_capacity(side * side * nt);
+        for k in 0..nt {
+            let t = self.problem.t_end * k as f64 / (nt - 1).max(1) as f64;
+            for i in 0..side {
+                for j in 0..side {
+                    let x = self.problem.x.0 + lx * i as f64 / side as f64;
+                    let y = self.problem.y.0 + ly * j as f64 / side as f64;
+                    points.push(vec![x, y, t]);
+                    refs.push(self.reference.sample(x, y, t));
+                }
+            }
+        }
+        let pred = self.net.predict(params, &points);
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for (i, r) in refs.iter().enumerate() {
+            num += (pred.get(&[i, 0]) - r.re).powi(2) + (pred.get(&[i, 1]) - r.im).powi(2);
+            den += r.norm_sqr();
+        }
+        (num / den).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn tiny_task() -> (Tdse2dTask, ParamSet) {
+        let problem = Tdse2dProblem::free_packet_2d();
+        let mut cfg = Tdse2dTaskConfig::standard(12, 2);
+        cfg.rff_features = 12;
+        cfg.n_collocation = 96;
+        cfg.n_ic_side = 6;
+        cfg.conservation_grid = (2, 6);
+        cfg.reference = (32, 60, 6);
+        cfg.eval_grid = (8, 3);
+        let mut params = ParamSet::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let task = Tdse2dTask::new(problem, &cfg, &mut params, &mut rng);
+        (task, params)
+    }
+
+    #[test]
+    fn loss_and_gradients_build() {
+        let (mut task, params) = tiny_task();
+        let mut g = qpinn_autodiff::Graph::new();
+        let mut ctx = GraphCtx::new(&mut g, &params);
+        let l = task.build_loss(&mut ctx);
+        assert!(ctx.g.value(l).item().is_finite());
+        let mut grads = ctx.g.backward(l);
+        let collected = ctx.collect_grads(&mut grads);
+        assert!(collected.iter().all(|t| t.all_finite()));
+        let nonzero = collected.iter().filter(|t| t.max_abs() > 0.0).count();
+        assert!(nonzero >= collected.len() - 1);
+    }
+
+    #[test]
+    fn short_training_improves() {
+        use crate::trainer::{TrainConfig, Trainer};
+        use qpinn_optim::LrSchedule;
+        let (mut task, mut params) = tiny_task();
+        let e0 = task.eval_error(&params);
+        let log = Trainer::new(TrainConfig {
+            epochs: 40,
+            schedule: LrSchedule::Constant { lr: 3e-3 },
+            log_every: 10,
+            eval_every: 0,
+            clip: Some(100.0),
+            lbfgs_polish: None,
+        })
+        .train(&mut task, &mut params);
+        assert!(log.final_loss < log.loss[0], "loss did not drop");
+        assert!(log.final_error < 1.2 * e0, "error exploded: {e0} → {}", log.final_error);
+    }
+
+    #[test]
+    fn spatial_periodicity_in_both_axes() {
+        let (task, params) = tiny_task();
+        let p = task.problem();
+        let (lx, ly) = p.lengths();
+        let base = task.net().predict(&params, &[vec![0.7, -0.4, 0.3]]);
+        let wrapped_x = task.net().predict(&params, &[vec![0.7 + lx, -0.4, 0.3]]);
+        let wrapped_y = task.net().predict(&params, &[vec![0.7, -0.4 - ly, 0.3]]);
+        assert!(base.approx_eq(&wrapped_x, 1e-12));
+        assert!(base.approx_eq(&wrapped_y, 1e-12));
+    }
+}

@@ -1,0 +1,346 @@
+//! Dual numbers for exact forward-mode differentiation.
+//!
+//! A [`Dual`] value `a + b·ε` with `ε² = 0` propagates the exact directional
+//! derivative `b` of every computation alongside the value `a`. Because
+//! [`Dual`] is generic over any [`Scalar`], nesting it as
+//! `Dual<Dual<f64>>` (aliased [`HyperDual64`]) yields exact *mixed second*
+//! derivatives: seed `re.eps` with direction `u` and `eps.re` with direction
+//! `v`, and the `eps.eps` slot of the result holds `uᵀ·H·v` where `H` is the
+//! Hessian.
+
+use crate::scalar::Scalar;
+use core::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A dual number `re + eps·ε` over an arbitrary scalar.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Dual<S> {
+    /// Primal part.
+    pub re: S,
+    /// Derivative (infinitesimal) part.
+    pub eps: S,
+}
+
+/// First-order dual over `f64`: carries one exact directional derivative.
+pub type Dual64 = Dual<f64>;
+
+/// Second-order (hyper-)dual over `f64`: carries two directional first
+/// derivatives and one exact mixed second derivative.
+pub type HyperDual64 = Dual<Dual<f64>>;
+
+impl<S: Scalar> Dual<S> {
+    /// A constant (zero derivative part).
+    #[inline]
+    pub fn constant(re: S) -> Self {
+        Dual {
+            re,
+            eps: S::zero(),
+        }
+    }
+
+    /// A variable seeded with unit derivative.
+    #[inline]
+    pub fn variable(re: S) -> Self {
+        Dual { re, eps: S::one() }
+    }
+
+    /// Construct from explicit parts.
+    #[inline]
+    pub fn new(re: S, eps: S) -> Self {
+        Dual { re, eps }
+    }
+}
+
+impl Dual64 {
+    /// Seed a plain float as a variable: `x + 1·ε`.
+    #[inline]
+    pub fn var(x: f64) -> Self {
+        Dual::variable(x)
+    }
+}
+
+impl HyperDual64 {
+    /// Seed for a mixed second derivative: first derivative direction in the
+    /// outer ε, second in the inner ε, so that `.eps.eps` of the result is
+    /// the exact `∂²f/∂u∂v` contraction of the two seeds.
+    #[inline]
+    pub fn seed(x: f64, du: f64, dv: f64) -> Self {
+        Dual {
+            re: Dual { re: x, eps: dv },
+            eps: Dual { re: du, eps: 0.0 },
+        }
+    }
+
+    /// The primal value.
+    #[inline]
+    pub fn v(self) -> f64 {
+        self.re.re
+    }
+
+    /// The first derivative along the outer seed direction.
+    #[inline]
+    pub fn d_outer(self) -> f64 {
+        self.eps.re
+    }
+
+    /// The first derivative along the inner seed direction.
+    #[inline]
+    pub fn d_inner(self) -> f64 {
+        self.re.eps
+    }
+
+    /// The exact mixed second derivative.
+    #[inline]
+    pub fn dd(self) -> f64 {
+        self.eps.eps
+    }
+}
+
+impl<S: Scalar> Add for Dual<S> {
+    type Output = Self;
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        Dual {
+            re: self.re + rhs.re,
+            eps: self.eps + rhs.eps,
+        }
+    }
+}
+
+impl<S: Scalar> Sub for Dual<S> {
+    type Output = Self;
+    #[inline]
+    fn sub(self, rhs: Self) -> Self {
+        Dual {
+            re: self.re - rhs.re,
+            eps: self.eps - rhs.eps,
+        }
+    }
+}
+
+impl<S: Scalar> Mul for Dual<S> {
+    type Output = Self;
+    #[inline]
+    fn mul(self, rhs: Self) -> Self {
+        Dual {
+            re: self.re * rhs.re,
+            eps: self.re * rhs.eps + self.eps * rhs.re,
+        }
+    }
+}
+
+impl<S: Scalar> Div for Dual<S> {
+    type Output = Self;
+    #[inline]
+    fn div(self, rhs: Self) -> Self {
+        let inv = rhs.re.recip();
+        let re = self.re * inv;
+        Dual {
+            re,
+            eps: (self.eps - re * rhs.eps) * inv,
+        }
+    }
+}
+
+impl<S: Scalar> Neg for Dual<S> {
+    type Output = Self;
+    #[inline]
+    fn neg(self) -> Self {
+        Dual {
+            re: -self.re,
+            eps: -self.eps,
+        }
+    }
+}
+
+impl<S: Scalar> AddAssign for Dual<S> {
+    #[inline]
+    fn add_assign(&mut self, rhs: Self) {
+        *self = *self + rhs;
+    }
+}
+impl<S: Scalar> SubAssign for Dual<S> {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Self) {
+        *self = *self - rhs;
+    }
+}
+impl<S: Scalar> MulAssign for Dual<S> {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Self) {
+        *self = *self * rhs;
+    }
+}
+impl<S: Scalar> DivAssign for Dual<S> {
+    #[inline]
+    fn div_assign(&mut self, rhs: Self) {
+        *self = *self / rhs;
+    }
+}
+
+impl<S: Scalar> Scalar for Dual<S> {
+    #[inline]
+    fn zero() -> Self {
+        Dual::constant(S::zero())
+    }
+    #[inline]
+    fn one() -> Self {
+        Dual::constant(S::one())
+    }
+    #[inline]
+    fn from_f64(x: f64) -> Self {
+        Dual::constant(S::from_f64(x))
+    }
+    #[inline]
+    fn value(&self) -> f64 {
+        self.re.value()
+    }
+    #[inline]
+    fn sin(self) -> Self {
+        Dual {
+            re: self.re.sin(),
+            eps: self.eps * self.re.cos(),
+        }
+    }
+    #[inline]
+    fn cos(self) -> Self {
+        Dual {
+            re: self.re.cos(),
+            eps: -(self.eps * self.re.sin()),
+        }
+    }
+    #[inline]
+    fn exp(self) -> Self {
+        let e = self.re.exp();
+        Dual {
+            re: e,
+            eps: self.eps * e,
+        }
+    }
+    #[inline]
+    fn ln(self) -> Self {
+        Dual {
+            re: self.re.ln(),
+            eps: self.eps / self.re,
+        }
+    }
+    #[inline]
+    fn sqrt(self) -> Self {
+        let r = self.re.sqrt();
+        Dual {
+            re: r,
+            eps: self.eps / (r + r),
+        }
+    }
+    #[inline]
+    fn tanh(self) -> Self {
+        let t = self.re.tanh();
+        Dual {
+            re: t,
+            eps: self.eps * (S::one() - t * t),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Central finite difference, for cross-checking exact duals.
+    fn fd(f: impl Fn(f64) -> f64, x: f64) -> f64 {
+        let h = 1e-6;
+        (f(x + h) - f(x - h)) / (2.0 * h)
+    }
+
+    fn check_unary(f_dual: impl Fn(Dual64) -> Dual64, f: impl Fn(f64) -> f64 + Copy, x: f64) {
+        let d = f_dual(Dual64::var(x));
+        assert!(
+            (d.re - f(x)).abs() < 1e-12,
+            "value mismatch at {x}: {} vs {}",
+            d.re,
+            f(x)
+        );
+        let want = fd(f, x);
+        assert!(
+            (d.eps - want).abs() < 1e-6 * want.abs().max(1.0),
+            "derivative mismatch at {x}: {} vs {}",
+            d.eps,
+            want
+        );
+    }
+
+    #[test]
+    fn elementary_derivatives() {
+        for &x in &[0.2, 0.9, 1.7] {
+            check_unary(|d| d.sin(), |x| x.sin(), x);
+            check_unary(|d| d.cos(), |x| x.cos(), x);
+            check_unary(|d| d.exp(), |x| x.exp(), x);
+            check_unary(|d| d.ln(), |x| x.ln(), x);
+            check_unary(|d| d.sqrt(), |x| x.sqrt(), x);
+            check_unary(|d| d.tanh(), |x| x.tanh(), x);
+            check_unary(|d| d.recip(), |x| 1.0 / x, x);
+            check_unary(|d| d.powi(3), |x| x.powi(3), x);
+            check_unary(|d| d.powi(-2), |x| x.powi(-2), x);
+        }
+    }
+
+    #[test]
+    fn product_and_quotient_rules() {
+        let x = 1.3;
+        let f = |x: f64| (x.sin() * x.exp()) / (1.0 + x * x);
+        let d = {
+            let d = Dual64::var(x);
+            (d.sin() * d.exp()) / (Dual64::constant(1.0) + d * d)
+        };
+        assert!((d.re - f(x)).abs() < 1e-14);
+        assert!((d.eps - fd(f, x)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn hyperdual_mixed_second_derivative() {
+        // f(x) = sin(x) * exp(x): f'' = 2 cos(x) e^x.
+        let x = 0.8;
+        let h = HyperDual64::seed(x, 1.0, 1.0);
+        let r = h.sin() * h.exp();
+        let want_dd = 2.0 * x.cos() * x.exp();
+        assert!((r.v() - x.sin() * x.exp()).abs() < 1e-14);
+        assert!((r.d_outer() - (x.cos() + x.sin()) * x.exp()).abs() < 1e-12);
+        assert!((r.d_inner() - (x.cos() + x.sin()) * x.exp()).abs() < 1e-12);
+        assert!(
+            (r.dd() - want_dd).abs() < 1e-12,
+            "dd {} want {}",
+            r.dd(),
+            want_dd
+        );
+    }
+
+    #[test]
+    fn hyperdual_cross_partial() {
+        // f(x, y) = x² y³ at (2, 3): ∂²f/∂x∂y = 2x·3y² = 108.
+        let x = HyperDual64::seed(2.0, 1.0, 0.0);
+        let y = HyperDual64::seed(3.0, 0.0, 1.0);
+        let f = x * x * y * y * y;
+        assert!((f.v() - 108.0).abs() < 1e-12);
+        assert!((f.dd() - 108.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hyperdual_tanh_second_derivative() {
+        // tanh'' = -2 tanh (1 - tanh²).
+        let x = 0.45;
+        let h = HyperDual64::seed(x, 1.0, 1.0).tanh();
+        let t = x.tanh();
+        let want = -2.0 * t * (1.0 - t * t);
+        assert!((h.dd() - want).abs() < 1e-12);
+    }
+
+    #[test]
+    fn assign_ops() {
+        let mut a = Dual64::var(2.0);
+        a += Dual64::constant(1.0);
+        a *= Dual64::constant(3.0);
+        a -= Dual64::constant(2.0);
+        a /= Dual64::constant(2.0);
+        assert!((a.re - 3.5).abs() < 1e-15);
+        assert!((a.eps - 1.5).abs() < 1e-15);
+    }
+}

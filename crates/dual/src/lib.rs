@@ -1,0 +1,43 @@
+//! # qpinn-dual
+//!
+//! Scalar abstractions for exact forward-mode differentiation and complex
+//! arithmetic, shared by the FFT, linear-algebra, PDE-solver, and
+//! quantum-circuit crates.
+//!
+//! The crate provides three building blocks:
+//!
+//! * [`Scalar`] — a numeric trait implemented by `f64`, [`Dual`], and nested
+//!   duals. Algorithms written against `Scalar` (e.g. the statevector
+//!   simulator in `qpinn-qcircuit`) can be evaluated with plain floats or
+//!   with derivative-carrying numbers without any code changes.
+//! * [`Dual`] — a first-order dual number `a + b·ε` (`ε² = 0`). Running an
+//!   algorithm on `Dual` values whose `eps` slot seeds a direction yields the
+//!   exact directional derivative of the output. [`HyperDual64`] (a dual of
+//!   duals) carries exact mixed second derivatives.
+//! * [`Cplx`] — a complex number generic over its scalar type, so complex
+//!   algorithms (FFT, Schrödinger propagators, quantum gates) are also
+//!   differentiable by instantiation.
+//!
+//! All derivatives obtained this way are exact to machine precision — there
+//! is no truncation error, unlike finite differences.
+//!
+//! ```
+//! use qpinn_dual::{Dual64, Scalar};
+//! // d/dx sin(x²) at x = 0.7, exactly:
+//! let x = Dual64::var(0.7);
+//! let y = (x * x).sin();
+//! assert!((y.eps - 2.0 * 0.7 * (0.7f64 * 0.7).cos()).abs() < 1e-15);
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod complex;
+pub mod dual;
+pub mod scalar;
+
+pub use complex::{Complex64, Cplx};
+pub use dual::{Dual, Dual64, HyperDual64};
+pub use scalar::Scalar;
+
+#[cfg(test)]
+mod proptests;

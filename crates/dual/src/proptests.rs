@@ -1,0 +1,122 @@
+//! Property-based tests for the dual/complex algebra.
+
+use crate::{Complex64, Cplx, Dual64, HyperDual64, Scalar};
+use proptest::prelude::*;
+
+fn small_f64() -> impl Strategy<Value = f64> {
+    // Keep magnitudes moderate so transcendental identities hold to tight
+    // tolerances without overflow.
+    (-3.0..3.0f64).prop_filter("finite", |x| x.is_finite())
+}
+
+fn nonzero_f64() -> impl Strategy<Value = f64> {
+    small_f64().prop_filter("away from zero", |x| x.abs() > 0.1)
+}
+
+proptest! {
+    #[test]
+    fn dual_addition_commutes(a in small_f64(), b in small_f64(), da in small_f64(), db in small_f64()) {
+        let x = Dual64::new(a, da);
+        let y = Dual64::new(b, db);
+        prop_assert_eq!(x + y, y + x);
+    }
+
+    #[test]
+    fn dual_product_rule_exact(a in small_f64(), b in small_f64()) {
+        // (x·c)' at x=a with constant c=b must equal b exactly.
+        let x = Dual64::var(a);
+        let c = Dual64::constant(b);
+        let p = x * c;
+        prop_assert!((p.eps - b).abs() < 1e-15);
+    }
+
+    #[test]
+    fn dual_chain_rule_sin_exp(a in small_f64()) {
+        // d/dx sin(exp(x)) = cos(exp(x))·exp(x).
+        let d = Dual64::var(a).exp().sin();
+        let want = a.exp().cos() * a.exp();
+        prop_assert!((d.eps - want).abs() < 1e-10 * want.abs().max(1.0));
+    }
+
+    #[test]
+    fn dual_division_inverts_multiplication(a in nonzero_f64(), b in nonzero_f64(), da in small_f64(), db in small_f64()) {
+        let x = Dual64::new(a, da);
+        let y = Dual64::new(b, db);
+        let z = (x * y) / y;
+        prop_assert!((z.re - x.re).abs() < 1e-10);
+        prop_assert!((z.eps - x.eps).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hyperdual_symmetry_of_second_derivative(a in small_f64()) {
+        // For f(x) = tanh(x)·exp(x) the mixed second derivative with both
+        // seeds along x equals the ordinary second derivative; check against
+        // a high-order finite difference.
+        let f = |x: f64| x.tanh() * x.exp();
+        let h = 1e-4;
+        let fd2 = (f(a + h) - 2.0 * f(a) + f(a - h)) / (h * h);
+        let hd = HyperDual64::seed(a, 1.0, 1.0);
+        let r = hd.tanh() * hd.exp();
+        prop_assert!((r.dd() - fd2).abs() < 1e-5 * fd2.abs().max(1.0));
+    }
+
+    #[test]
+    fn complex_multiplication_is_associative(
+        ar in small_f64(), ai in small_f64(),
+        br in small_f64(), bi in small_f64(),
+        cr in small_f64(), ci in small_f64(),
+    ) {
+        let a = Complex64::new(ar, ai);
+        let b = Complex64::new(br, bi);
+        let c = Complex64::new(cr, ci);
+        let lhs = (a * b) * c;
+        let rhs = a * (b * c);
+        prop_assert!((lhs.re - rhs.re).abs() < 1e-10);
+        prop_assert!((lhs.im - rhs.im).abs() < 1e-10);
+    }
+
+    #[test]
+    fn complex_norm_is_multiplicative(ar in small_f64(), ai in small_f64(), br in small_f64(), bi in small_f64()) {
+        let a = Complex64::new(ar, ai);
+        let b = Complex64::new(br, bi);
+        let lhs = (a * b).norm_sqr();
+        let rhs = a.norm_sqr() * b.norm_sqr();
+        prop_assert!((lhs - rhs).abs() < 1e-9 * rhs.abs().max(1.0));
+    }
+
+    #[test]
+    fn cis_is_unit_modulus(theta in -10.0..10.0f64) {
+        let e = Complex64::cis(theta);
+        prop_assert!((e.norm_sqr() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dual_complex_phase_derivative(theta in small_f64()) {
+        // d/dθ e^{iθ} = i e^{iθ}, component-wise.
+        let d = Cplx::<Dual64>::cis(Dual64::var(theta));
+        prop_assert!((d.re.eps + theta.sin()).abs() < 1e-12);
+        prop_assert!((d.im.eps - theta.cos()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn powi_consistent_with_repeated_multiplication(a in nonzero_f64(), n in 0i32..6) {
+        let d = Dual64::var(a);
+        let mut acc = Dual64::constant(1.0);
+        for _ in 0..n {
+            acc *= d;
+        }
+        let p = d.powi(n);
+        prop_assert!((p.re - acc.re).abs() < 1e-10 * acc.re.abs().max(1.0));
+        prop_assert!((p.eps - acc.eps).abs() < 1e-9 * acc.eps.abs().max(1.0));
+    }
+
+    #[test]
+    fn scalar_lift_roundtrip(a in small_f64()) {
+        let d: Dual64 = Scalar::from_f64(a);
+        prop_assert_eq!(d.value(), a);
+        let h: HyperDual64 = Scalar::from_f64(a);
+        prop_assert_eq!(h.value(), a);
+        let c: Cplx<Dual64> = Cplx::from_f64(a);
+        prop_assert_eq!(c.re.value(), a);
+    }
+}

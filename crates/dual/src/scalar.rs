@@ -1,0 +1,172 @@
+//! The [`Scalar`] trait: the numeric interface shared by `f64` and dual
+//! numbers.
+//!
+//! Algorithms in downstream crates (statevector simulation, propagators,
+//! special functions) are written once against this trait and instantiated
+//! with `f64` for plain evaluation or with [`crate::Dual`] /
+//! [`crate::HyperDual64`] for exact forward-mode derivatives.
+
+use core::fmt::Debug;
+use core::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A real scalar supporting the elementary functions needed by the
+/// simulation and solver crates.
+///
+/// Implementations must satisfy the usual field axioms on the primal part
+/// and propagate derivatives consistently (for dual types). The `value`
+/// accessor returns the primal (0th-order) part so that generic code can
+/// make branching decisions (e.g. pivoting) on the underlying float.
+pub trait Scalar:
+    Copy
+    + Clone
+    + Debug
+    + PartialEq
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+    + MulAssign
+    + DivAssign
+    + Send
+    + Sync
+    + 'static
+{
+    /// Additive identity.
+    fn zero() -> Self;
+    /// Multiplicative identity.
+    fn one() -> Self;
+    /// Lift a plain float into this scalar type (derivative parts zero).
+    fn from_f64(x: f64) -> Self;
+    /// The primal (value) part as a plain float.
+    fn value(&self) -> f64;
+    /// Sine.
+    fn sin(self) -> Self;
+    /// Cosine.
+    fn cos(self) -> Self;
+    /// Natural exponential.
+    fn exp(self) -> Self;
+    /// Natural logarithm. Undefined for non-positive primal parts.
+    fn ln(self) -> Self;
+    /// Square root. Undefined for negative primal parts.
+    fn sqrt(self) -> Self;
+    /// Hyperbolic tangent.
+    fn tanh(self) -> Self;
+    /// Multiplicative inverse.
+    fn recip(self) -> Self {
+        Self::one() / self
+    }
+    /// Integer power by repeated squaring (negative exponents allowed).
+    fn powi(self, n: i32) -> Self {
+        if n < 0 {
+            return self.powi(-n).recip();
+        }
+        let mut base = self;
+        let mut acc = Self::one();
+        let mut k = n as u32;
+        while k > 0 {
+            if k & 1 == 1 {
+                acc *= base;
+            }
+            base *= base;
+            k >>= 1;
+        }
+        acc
+    }
+    /// `self * a + b`, the fused shape used in inner loops.
+    fn mul_add(self, a: Self, b: Self) -> Self {
+        self * a + b
+    }
+}
+
+impl Scalar for f64 {
+    #[inline]
+    fn zero() -> Self {
+        0.0
+    }
+    #[inline]
+    fn one() -> Self {
+        1.0
+    }
+    #[inline]
+    fn from_f64(x: f64) -> Self {
+        x
+    }
+    #[inline]
+    fn value(&self) -> f64 {
+        *self
+    }
+    #[inline]
+    fn sin(self) -> Self {
+        f64::sin(self)
+    }
+    #[inline]
+    fn cos(self) -> Self {
+        f64::cos(self)
+    }
+    #[inline]
+    fn exp(self) -> Self {
+        f64::exp(self)
+    }
+    #[inline]
+    fn ln(self) -> Self {
+        f64::ln(self)
+    }
+    #[inline]
+    fn sqrt(self) -> Self {
+        f64::sqrt(self)
+    }
+    #[inline]
+    fn tanh(self) -> Self {
+        f64::tanh(self)
+    }
+    #[inline]
+    fn mul_add(self, a: Self, b: Self) -> Self {
+        f64::mul_add(self, a, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f64_identities() {
+        assert_eq!(<f64 as Scalar>::zero(), 0.0);
+        assert_eq!(<f64 as Scalar>::one(), 1.0);
+        assert_eq!(<f64 as Scalar>::from_f64(2.5), 2.5);
+        assert_eq!(Scalar::value(&3.25), 3.25);
+    }
+
+    #[test]
+    fn powi_matches_std() {
+        for &x in &[0.3, 1.7, -2.2] {
+            for n in -4..=6 {
+                let got = Scalar::powi(x, n);
+                let want = f64::powi(x, n);
+                assert!(
+                    (got - want).abs() <= 1e-12 * want.abs().max(1.0),
+                    "x={x} n={n} got={got} want={want}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn recip_default() {
+        assert!((Scalar::recip(4.0) - 0.25).abs() < 1e-15);
+    }
+
+    #[test]
+    fn elementary_functions_delegate() {
+        let x = 0.7_f64;
+        assert_eq!(Scalar::sin(x), x.sin());
+        assert_eq!(Scalar::cos(x), x.cos());
+        assert_eq!(Scalar::exp(x), x.exp());
+        assert_eq!(Scalar::ln(x), x.ln());
+        assert_eq!(Scalar::sqrt(x), x.sqrt());
+        assert_eq!(Scalar::tanh(x), x.tanh());
+    }
+}

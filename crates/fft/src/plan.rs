@@ -1,0 +1,187 @@
+//! Iterative radix-2 Cooley–Tukey FFT with precomputed twiddles and
+//! bit-reversal permutation, reusable across transforms of the same length
+//! (the split-step propagator calls it thousands of times).
+
+use qpinn_dual::Complex64;
+
+/// Precomputed tables for transforms of a fixed power-of-two length.
+#[derive(Clone, Debug)]
+pub struct FftPlan {
+    n: usize,
+    // Twiddle factors e^{-2πik/N} for k < N/2.
+    twiddles: Vec<Complex64>,
+    // Bit-reversal permutation.
+    rev: Vec<u32>,
+}
+
+impl FftPlan {
+    /// Build a plan for length `n`.
+    ///
+    /// # Panics
+    /// Panics unless `n` is a power of two and ≥ 1.
+    pub fn new(n: usize) -> Self {
+        assert!(n.is_power_of_two() && n >= 1, "FFT length {n} not 2^k");
+        let half = n / 2;
+        let twiddles = (0..half)
+            .map(|k| Complex64::cis(-2.0 * std::f64::consts::PI * k as f64 / n as f64))
+            .collect();
+        let bits = n.trailing_zeros();
+        let rev = (0..n as u32)
+            .map(|i| {
+                if bits == 0 {
+                    0
+                } else {
+                    i.reverse_bits() >> (32 - bits)
+                }
+            })
+            .collect();
+        FftPlan { n, twiddles, rev }
+    }
+
+    /// Transform length.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True for the degenerate length-1 plan.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    fn permute(&self, buf: &mut [Complex64]) {
+        for i in 0..self.n {
+            let j = self.rev[i] as usize;
+            if i < j {
+                buf.swap(i, j);
+            }
+        }
+    }
+
+    fn butterflies(&self, buf: &mut [Complex64], conj: bool) {
+        let n = self.n;
+        let mut len = 2;
+        while len <= n {
+            let half = len / 2;
+            let stride = n / len;
+            for start in (0..n).step_by(len) {
+                for k in 0..half {
+                    let mut w = self.twiddles[k * stride];
+                    if conj {
+                        w = w.conj();
+                    }
+                    let a = buf[start + k];
+                    let b = buf[start + k + half] * w;
+                    buf[start + k] = a + b;
+                    buf[start + k + half] = a - b;
+                }
+            }
+            len <<= 1;
+        }
+    }
+
+    /// In-place forward transform.
+    ///
+    /// # Panics
+    /// Panics on a length mismatch with the plan.
+    pub fn forward(&self, buf: &mut [Complex64]) {
+        assert_eq!(buf.len(), self.n, "buffer length vs plan");
+        self.permute(buf);
+        self.butterflies(buf, false);
+    }
+
+    /// In-place inverse transform (normalized by `1/N`).
+    ///
+    /// # Panics
+    /// Panics on a length mismatch with the plan.
+    pub fn inverse(&self, buf: &mut [Complex64]) {
+        assert_eq!(buf.len(), self.n, "buffer length vs plan");
+        self.permute(buf);
+        self.butterflies(buf, true);
+        let inv = 1.0 / self.n as f64;
+        for v in buf.iter_mut() {
+            *v = v.scale(inv);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dft_naive;
+
+    fn assert_close(a: &[Complex64], b: &[Complex64], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert!(
+                (x.re - y.re).abs() < tol && (x.im - y.im).abs() < tol,
+                "{x:?} vs {y:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn matches_naive_dft() {
+        for &n in &[1usize, 2, 4, 8, 32, 128] {
+            let x: Vec<Complex64> = (0..n)
+                .map(|i| Complex64::new((i as f64 * 0.7).sin(), (i as f64 * 1.3).cos()))
+                .collect();
+            let fast = crate::fft(&x);
+            let slow = dft_naive(&x);
+            assert_close(&fast, &slow, 1e-9 * n as f64);
+        }
+    }
+
+    #[test]
+    fn roundtrip_identity() {
+        let n = 256;
+        let x: Vec<Complex64> = (0..n)
+            .map(|i| Complex64::new((i as f64).sqrt().sin(), (i as f64 * 0.11).cos()))
+            .collect();
+        let back = crate::ifft(&crate::fft(&x));
+        assert_close(&back, &x, 1e-11);
+    }
+
+    #[test]
+    fn impulse_gives_flat_spectrum() {
+        let n = 16;
+        let mut x = vec![Complex64::zero(); n];
+        x[0] = Complex64::one();
+        let spec = crate::fft(&x);
+        for v in spec {
+            assert!((v.re - 1.0).abs() < 1e-12 && v.im.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn pure_tone_peaks_at_its_bin() {
+        let n = 64;
+        let k0 = 5;
+        let x: Vec<Complex64> = (0..n)
+            .map(|i| Complex64::cis(2.0 * std::f64::consts::PI * (k0 * i) as f64 / n as f64))
+            .collect();
+        let spec = crate::fft(&x);
+        for (k, v) in spec.iter().enumerate() {
+            let want = if k == k0 { n as f64 } else { 0.0 };
+            assert!((v.abs() - want).abs() < 1e-9, "bin {k}");
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_power_of_two_rejected() {
+        let _ = FftPlan::new(12);
+    }
+
+    #[test]
+    fn plan_reuse_is_consistent() {
+        let plan = FftPlan::new(64);
+        let x: Vec<Complex64> = (0..64)
+            .map(|i| Complex64::new(i as f64, -(i as f64) * 0.5))
+            .collect();
+        let mut a = x.clone();
+        plan.forward(&mut a);
+        let mut b = x;
+        plan.forward(&mut b);
+        assert_close(&a, &b, 1e-15);
+    }
+}

@@ -1,0 +1,69 @@
+//! Property-based tests for the FFT.
+
+use crate::{dft_naive, fft, fft_freq, ifft};
+use proptest::prelude::*;
+use qpinn_dual::Complex64;
+
+fn signal(log_n: u32) -> impl Strategy<Value = Vec<Complex64>> {
+    let n = 1usize << log_n;
+    proptest::collection::vec((-5.0..5.0f64, -5.0..5.0f64), n)
+        .prop_map(|v| v.into_iter().map(|(r, i)| Complex64::new(r, i)).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn roundtrip(x in (0u32..8).prop_flat_map(signal)) {
+        let y = ifft(&fft(&x));
+        for (a, b) in x.iter().zip(&y) {
+            prop_assert!((a.re - b.re).abs() < 1e-9);
+            prop_assert!((a.im - b.im).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn linearity(x in signal(5), y in signal(5), a in -3.0..3.0f64) {
+        let lhs: Vec<Complex64> = {
+            let sum: Vec<Complex64> = x.iter().zip(&y).map(|(u, v)| u.scale(a) + *v).collect();
+            fft(&sum)
+        };
+        let fx = fft(&x);
+        let fy = fft(&y);
+        for ((l, u), v) in lhs.iter().zip(&fx).zip(&fy) {
+            let want = u.scale(a) + *v;
+            prop_assert!((l.re - want.re).abs() < 1e-8);
+            prop_assert!((l.im - want.im).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn parseval(x in signal(6)) {
+        // Σ|x|² = (1/N) Σ|X|².
+        let n = x.len() as f64;
+        let time: f64 = x.iter().map(|v| v.norm_sqr()).sum();
+        let freq: f64 = fft(&x).iter().map(|v| v.norm_sqr()).sum::<f64>() / n;
+        prop_assert!((time - freq).abs() < 1e-7 * time.max(1.0));
+    }
+
+    #[test]
+    fn agrees_with_naive(x in signal(4)) {
+        let fast = fft(&x);
+        let slow = dft_naive(&x);
+        for (a, b) in fast.iter().zip(&slow) {
+            prop_assert!((a.re - b.re).abs() < 1e-8);
+            prop_assert!((a.im - b.im).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn freqs_are_antisymmetric(log_n in 2u32..9) {
+        let n = 1usize << log_n;
+        let f = fft_freq(n, 1.0);
+        // bin j and bin n−j carry opposite frequencies (j ≠ 0, n/2).
+        for j in 1..n / 2 {
+            prop_assert!((f[j] + f[n - j]).abs() < 1e-12);
+        }
+        prop_assert_eq!(f[0], 0.0);
+    }
+}

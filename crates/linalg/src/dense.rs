@@ -1,0 +1,151 @@
+//! Small dense matrices with Gaussian elimination — used as test oracles
+//! and for the handful of tiny dense solves in the experiment harness.
+
+/// A small square dense matrix (row-major).
+#[derive(Clone, Debug)]
+pub struct Dense {
+    n: usize,
+    a: Vec<f64>,
+}
+
+impl Dense {
+    /// Zero matrix of size `n`.
+    pub fn zeros(n: usize) -> Self {
+        Dense { n, a: vec![0.0; n * n] }
+    }
+
+    /// Dimension.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Entry `(i, j)`.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.a[i * self.n + j]
+    }
+
+    /// Set entry `(i, j)`.
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        self.a[i * self.n + j] = v;
+    }
+
+    /// Matrix-vector product.
+    ///
+    /// # Panics
+    /// Panics on a dimension mismatch.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.n);
+        (0..self.n)
+            .map(|i| {
+                (0..self.n)
+                    .map(|j| self.get(i, j) * x[j])
+                    .sum()
+            })
+            .collect()
+    }
+}
+
+/// Solve `A·x = b` by Gaussian elimination with partial pivoting.
+///
+/// # Panics
+/// Panics on a singular matrix or dimension mismatch.
+pub fn solve_dense(a: &Dense, b: &[f64]) -> Vec<f64> {
+    let n = a.n();
+    assert_eq!(b.len(), n);
+    let mut m = a.a.clone();
+    let mut x = b.to_vec();
+    for col in 0..n {
+        // pivot
+        let mut piv = col;
+        for r in col + 1..n {
+            if m[r * n + col].abs() > m[piv * n + col].abs() {
+                piv = r;
+            }
+        }
+        assert!(m[piv * n + col].abs() > 1e-14, "singular matrix");
+        if piv != col {
+            for j in 0..n {
+                m.swap(col * n + j, piv * n + j);
+            }
+            x.swap(col, piv);
+        }
+        let d = m[col * n + col];
+        for r in col + 1..n {
+            let f = m[r * n + col] / d;
+            if f == 0.0 {
+                continue;
+            }
+            for j in col..n {
+                m[r * n + j] -= f * m[col * n + j];
+            }
+            x[r] -= f * x[col];
+        }
+    }
+    for col in (0..n).rev() {
+        let mut s = x[col];
+        for j in col + 1..n {
+            s -= m[col * n + j] * x[j];
+        }
+        x[col] = s / m[col * n + col];
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_small_system() {
+        let mut a = Dense::zeros(3);
+        let rows = [[2.0, 1.0, -1.0], [-3.0, -1.0, 2.0], [-2.0, 1.0, 2.0]];
+        for (i, r) in rows.iter().enumerate() {
+            for (j, &v) in r.iter().enumerate() {
+                a.set(i, j, v);
+            }
+        }
+        let x = solve_dense(&a, &[8.0, -11.0, -3.0]);
+        // classic system with solution (2, 3, -1)
+        assert!((x[0] - 2.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+        assert!((x[2] + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        let mut a = Dense::zeros(2);
+        a.set(0, 0, 0.0);
+        a.set(0, 1, 1.0);
+        a.set(1, 0, 1.0);
+        a.set(1, 1, 0.0);
+        let x = solve_dense(&a, &[3.0, 5.0]);
+        assert_eq!(x, vec![5.0, 3.0]);
+    }
+
+    #[test]
+    fn residual_is_small_for_random_matrix() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(10);
+        let n = 12;
+        let mut a = Dense::zeros(n);
+        for i in 0..n {
+            for j in 0..n {
+                a.set(i, j, rng.gen_range(-1.0..1.0));
+            }
+            // diagonal dominance for conditioning
+            a.set(i, i, a.get(i, i) + 4.0);
+        }
+        let b: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let x = solve_dense(&a, &b);
+        for (ri, bi) in a.matvec(&x).iter().zip(&b) {
+            assert!((ri - bi).abs() < 1e-11);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn singular_matrix_panics() {
+        let a = Dense::zeros(2);
+        let _ = solve_dense(&a, &[1.0, 1.0]);
+    }
+}

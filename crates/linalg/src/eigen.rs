@@ -1,0 +1,232 @@
+//! Eigenvalues and eigenvectors of symmetric tridiagonal matrices.
+//!
+//! The discretized 1D Hamiltonian `−½∂²/∂x² + V(x)` with Dirichlet
+//! boundaries is symmetric tridiagonal; its spectrum is found by Sturm
+//! sequence bisection (robust, any subset of eigenvalues) and its
+//! eigenvectors by inverse iteration.
+
+use crate::tridiag::{solve_tridiag, Tridiag};
+
+/// A symmetric tridiagonal matrix: main diagonal `d` and off-diagonal `e`
+/// (length n−1).
+#[derive(Clone, Debug)]
+pub struct SymTridiag {
+    /// Main diagonal.
+    pub d: Vec<f64>,
+    /// Off-diagonal (sub = sup by symmetry).
+    pub e: Vec<f64>,
+}
+
+impl SymTridiag {
+    /// Dimension.
+    pub fn n(&self) -> usize {
+        self.d.len()
+    }
+
+    /// Number of eigenvalues strictly less than `x` (Sturm sequence count).
+    pub fn count_below(&self, x: f64) -> usize {
+        let mut count = 0usize;
+        let mut q = self.d[0] - x;
+        if q < 0.0 {
+            count += 1;
+        }
+        for i in 1..self.n() {
+            let e2 = self.e[i - 1] * self.e[i - 1];
+            // Guard against exact zeros in the recurrence.
+            let denom = if q.abs() < 1e-300 { 1e-300_f64.copysign(q + 1e-300) } else { q };
+            q = (self.d[i] - x) - e2 / denom;
+            if q < 0.0 {
+                count += 1;
+            }
+        }
+        count
+    }
+
+    /// Gershgorin interval containing the whole spectrum.
+    pub fn spectrum_bounds(&self) -> (f64, f64) {
+        let n = self.n();
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for i in 0..n {
+            let mut r = 0.0;
+            if i > 0 {
+                r += self.e[i - 1].abs();
+            }
+            if i + 1 < n {
+                r += self.e[i].abs();
+            }
+            lo = lo.min(self.d[i] - r);
+            hi = hi.max(self.d[i] + r);
+        }
+        (lo, hi)
+    }
+
+    /// The `k`-th smallest eigenvalue (0-based), by bisection on the Sturm
+    /// count.
+    pub fn eigenvalue(&self, k: usize) -> f64 {
+        assert!(k < self.n(), "eigenvalue index out of range");
+        let (mut lo, mut hi) = self.spectrum_bounds();
+        // widen slightly to avoid boundary ties
+        let pad = 1e-8 * (hi - lo).abs().max(1.0);
+        lo -= pad;
+        hi += pad;
+        for _ in 0..200 {
+            let mid = 0.5 * (lo + hi);
+            if self.count_below(mid) <= k {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+            if hi - lo < 1e-14 * hi.abs().max(1.0) {
+                break;
+            }
+        }
+        0.5 * (lo + hi)
+    }
+
+    /// Eigenvector for an eigenvalue estimate `lambda`, by inverse
+    /// iteration; returned normalized to unit Euclidean norm.
+    pub fn eigenvector(&self, lambda: f64) -> Vec<f64> {
+        let n = self.n();
+        // Shift slightly off the eigenvalue so T − λI is invertible.
+        let shift = lambda + 1e-10 * lambda.abs().max(1.0);
+        let m = Tridiag {
+            sub: self.e.clone(),
+            diag: self.d.iter().map(|&d| d - shift).collect(),
+            sup: self.e.clone(),
+        };
+        let mut v: Vec<f64> = (0..n)
+            .map(|i| ((i * 2654435761) % 1000) as f64 / 1000.0 + 0.1)
+            .collect();
+        normalize(&mut v);
+        for _ in 0..6 {
+            let mut w = solve_tridiag(&m, &v);
+            normalize(&mut w);
+            v = w;
+        }
+        // fix sign: make the largest-magnitude entry positive
+        let mut imax = 0;
+        for i in 1..n {
+            if v[i].abs() > v[imax].abs() {
+                imax = i;
+            }
+        }
+        if v[imax] < 0.0 {
+            for vi in v.iter_mut() {
+                *vi = -*vi;
+            }
+        }
+        v
+    }
+}
+
+fn normalize(v: &mut [f64]) {
+    let n = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+    if n > 0.0 {
+        for vi in v.iter_mut() {
+            *vi /= n;
+        }
+    }
+}
+
+/// First `k` eigenpairs (ascending) of a symmetric tridiagonal matrix.
+pub fn symmetric_tridiagonal_eigen(m: &SymTridiag, k: usize) -> Vec<(f64, Vec<f64>)> {
+    (0..k)
+        .map(|i| {
+            let lam = m.eigenvalue(i);
+            (lam, m.eigenvector(lam))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// −∂²/∂x² on a uniform grid with Dirichlet BCs has exact eigenvalues
+    /// (2 − 2cos(jπ/(n+1)))/h².
+    fn laplacian(n: usize, h: f64) -> SymTridiag {
+        SymTridiag {
+            d: vec![2.0 / (h * h); n],
+            e: vec![-1.0 / (h * h); n - 1],
+        }
+    }
+
+    #[test]
+    fn sturm_count_is_monotone_and_complete() {
+        let m = laplacian(20, 1.0);
+        let (lo, hi) = m.spectrum_bounds();
+        assert_eq!(m.count_below(lo - 1.0), 0);
+        assert_eq!(m.count_below(hi + 1.0), 20);
+        let mut prev = 0;
+        let mut x = lo;
+        while x < hi {
+            let c = m.count_below(x);
+            assert!(c >= prev);
+            prev = c;
+            x += (hi - lo) / 37.0;
+        }
+    }
+
+    #[test]
+    fn laplacian_eigenvalues_match_closed_form() {
+        let n = 50;
+        let m = laplacian(n, 1.0);
+        for j in 0..5 {
+            let want = 2.0 - 2.0 * ((j + 1) as f64 * std::f64::consts::PI / (n + 1) as f64).cos();
+            let got = m.eigenvalue(j);
+            assert!((got - want).abs() < 1e-10, "j={j}: {got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn eigenvector_satisfies_equation() {
+        let n = 40;
+        let m = laplacian(n, 0.5);
+        for k in 0..3 {
+            let lam = m.eigenvalue(k);
+            let v = m.eigenvector(lam);
+            // residual ‖Tv − λv‖ small
+            let mut worst = 0.0f64;
+            for i in 0..n {
+                let mut tv = m.d[i] * v[i];
+                if i > 0 {
+                    tv += m.e[i - 1] * v[i - 1];
+                }
+                if i + 1 < n {
+                    tv += m.e[i] * v[i + 1];
+                }
+                worst = worst.max((tv - lam * v[i]).abs());
+            }
+            assert!(worst < 1e-7, "k={k}: residual {worst}");
+        }
+    }
+
+    #[test]
+    fn eigenvectors_are_orthogonal() {
+        let m = laplacian(30, 1.0);
+        let pairs = symmetric_tridiagonal_eigen(&m, 4);
+        for i in 0..4 {
+            for j in 0..i {
+                let dot: f64 = pairs[i].1.iter().zip(&pairs[j].1).map(|(a, b)| a * b).sum();
+                assert!(dot.abs() < 1e-7, "({i},{j}) dot {dot}");
+            }
+        }
+    }
+
+    #[test]
+    fn eigenvalues_are_sorted() {
+        let m = SymTridiag {
+            d: vec![3.0, -1.0, 2.0, 0.5, 4.0],
+            e: vec![0.7, -0.2, 0.9, 0.1],
+        };
+        let vals: Vec<f64> = (0..5).map(|k| m.eigenvalue(k)).collect();
+        for w in vals.windows(2) {
+            assert!(w[0] <= w[1] + 1e-12);
+        }
+        // trace check: Σλ = Σd
+        let trace: f64 = m.d.iter().sum();
+        let sum: f64 = vals.iter().sum();
+        assert!((trace - sum).abs() < 1e-8, "{trace} vs {sum}");
+    }
+}

@@ -1,0 +1,22 @@
+//! # qpinn-linalg
+//!
+//! The linear algebra the reference PDE solvers need, implemented from
+//! scratch:
+//!
+//! * [`tridiag`] — Thomas-algorithm solvers for real and complex
+//!   tridiagonal systems, plus a Sherman–Morrison wrapper for the cyclic
+//!   (periodic-boundary) variant;
+//! * [`eigen`] — eigenvalues of symmetric tridiagonal matrices by Sturm
+//!   sequence bisection and eigenvectors by inverse iteration (the
+//!   discretized 1D Hamiltonian is exactly such a matrix);
+//! * [`dense`] — small dense helpers (Gaussian elimination with partial
+//!   pivoting) used as test oracles.
+
+#![deny(missing_docs)]
+
+pub mod dense;
+pub mod eigen;
+pub mod tridiag;
+
+pub use eigen::{symmetric_tridiagonal_eigen, SymTridiag};
+pub use tridiag::{solve_cyclic_tridiag_complex, solve_tridiag, solve_tridiag_complex, Tridiag};

@@ -1,0 +1,229 @@
+//! Tridiagonal solvers (Thomas algorithm) over real and complex scalars,
+//! and the Sherman–Morrison trick for cyclic systems.
+
+use qpinn_dual::Complex64;
+
+/// A real tridiagonal matrix stored as three diagonals: `sub` (length
+/// n−1), `diag` (length n), `sup` (length n−1).
+#[derive(Clone, Debug)]
+pub struct Tridiag {
+    /// Subdiagonal `a[i] = M[i+1, i]`.
+    pub sub: Vec<f64>,
+    /// Main diagonal.
+    pub diag: Vec<f64>,
+    /// Superdiagonal `c[i] = M[i, i+1]`.
+    pub sup: Vec<f64>,
+}
+
+impl Tridiag {
+    /// Dimension.
+    pub fn n(&self) -> usize {
+        self.diag.len()
+    }
+
+    /// Matrix-vector product.
+    ///
+    /// # Panics
+    /// Panics on a dimension mismatch.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        let n = self.n();
+        assert_eq!(x.len(), n);
+        (0..n)
+            .map(|i| {
+                let mut s = self.diag[i] * x[i];
+                if i > 0 {
+                    s += self.sub[i - 1] * x[i - 1];
+                }
+                if i + 1 < n {
+                    s += self.sup[i] * x[i + 1];
+                }
+                s
+            })
+            .collect()
+    }
+}
+
+/// Solve a real tridiagonal system by the Thomas algorithm (no pivoting —
+/// valid for the diagonally dominant systems produced by our
+/// discretizations).
+///
+/// # Panics
+/// Panics on dimension mismatches.
+pub fn solve_tridiag(m: &Tridiag, rhs: &[f64]) -> Vec<f64> {
+    let n = m.n();
+    assert_eq!(rhs.len(), n, "rhs length");
+    assert_eq!(m.sub.len(), n - 1);
+    assert_eq!(m.sup.len(), n - 1);
+    let mut c = vec![0.0; n];
+    let mut d = vec![0.0; n];
+    c[0] = m.sup.first().copied().unwrap_or(0.0) / m.diag[0];
+    d[0] = rhs[0] / m.diag[0];
+    for i in 1..n {
+        let denom = m.diag[i] - m.sub[i - 1] * c[i - 1];
+        if i + 1 < n {
+            c[i] = m.sup[i] / denom;
+        }
+        d[i] = (rhs[i] - m.sub[i - 1] * d[i - 1]) / denom;
+    }
+    let mut x = vec![0.0; n];
+    x[n - 1] = d[n - 1];
+    for i in (0..n - 1).rev() {
+        x[i] = d[i] - c[i] * x[i + 1];
+    }
+    x
+}
+
+/// Complex tridiagonal system with constant off-diagonals (the shape of the
+/// Crank–Nicolson step matrix): `sub`/`sup` are scalars, `diag` varies.
+///
+/// # Panics
+/// Panics on dimension mismatches.
+pub fn solve_tridiag_complex(
+    sub: Complex64,
+    diag: &[Complex64],
+    sup: Complex64,
+    rhs: &[Complex64],
+) -> Vec<Complex64> {
+    let n = diag.len();
+    assert_eq!(rhs.len(), n, "rhs length");
+    let mut c = vec![Complex64::zero(); n];
+    let mut d = vec![Complex64::zero(); n];
+    c[0] = sup / diag[0];
+    d[0] = rhs[0] / diag[0];
+    for i in 1..n {
+        let denom = diag[i] - sub * c[i - 1];
+        c[i] = sup / denom;
+        d[i] = (rhs[i] - sub * d[i - 1]) / denom;
+    }
+    let mut x = vec![Complex64::zero(); n];
+    x[n - 1] = d[n - 1];
+    for i in (0..n - 1).rev() {
+        x[i] = d[i] - c[i] * x[i + 1];
+    }
+    x
+}
+
+/// Solve the cyclic complex tridiagonal system that arises from periodic
+/// boundaries: constant `sub`/`sup` plus corner couplings `M[0, n−1] = sub`
+/// and `M[n−1, 0] = sup`, via the Sherman–Morrison formula.
+///
+/// # Panics
+/// Panics when `n < 3` or dimensions mismatch.
+pub fn solve_cyclic_tridiag_complex(
+    sub: Complex64,
+    diag: &[Complex64],
+    sup: Complex64,
+    rhs: &[Complex64],
+) -> Vec<Complex64> {
+    let n = diag.len();
+    assert!(n >= 3, "cyclic solve needs n ≥ 3");
+    assert_eq!(rhs.len(), n);
+    // Write M = T + u·vᵀ with u = (γ, 0, …, 0, sup)ᵀ, v = (1, 0, …, 0,
+    // sub/γ)ᵀ; T equals M with corners removed and modified (0,0)/(n−1,n−1).
+    let gamma = -diag[0];
+    let mut tdiag = diag.to_vec();
+    tdiag[0] = diag[0] - gamma;
+    tdiag[n - 1] = diag[n - 1] - sub * sup / gamma;
+    let y = solve_tridiag_complex(sub, &tdiag, sup, rhs);
+    let mut u = vec![Complex64::zero(); n];
+    u[0] = gamma;
+    u[n - 1] = sup;
+    let z = solve_tridiag_complex(sub, &tdiag, sup, &u);
+    // vᵀy and vᵀz with v = (1, 0, …, 0, sub/γ).
+    let vy = y[0] + sub / gamma * y[n - 1];
+    let vz = z[0] + sub / gamma * z[n - 1];
+    let factor = vy / (Complex64::one() + vz);
+    (0..n).map(|i| y[i] - factor * z[i]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::{solve_dense, Dense};
+
+    #[test]
+    fn thomas_matches_dense_solver() {
+        let m = Tridiag {
+            sub: vec![1.0, -0.5, 2.0],
+            diag: vec![4.0, 5.0, 6.0, 5.0],
+            sup: vec![0.5, 1.0, -1.0],
+        };
+        let rhs = vec![1.0, -2.0, 3.0, 0.5];
+        let x = solve_tridiag(&m, &rhs);
+        // residual check
+        let r = m.matvec(&x);
+        for (ri, bi) in r.iter().zip(&rhs) {
+            assert!((ri - bi).abs() < 1e-12);
+        }
+        // cross-check against dense Gaussian elimination
+        let mut d = Dense::zeros(4);
+        for i in 0..4 {
+            d.set(i, i, m.diag[i]);
+            if i > 0 {
+                d.set(i, i - 1, m.sub[i - 1]);
+            }
+            if i < 3 {
+                d.set(i, i + 1, m.sup[i]);
+            }
+        }
+        let xd = solve_dense(&d, &rhs);
+        for (a, b) in x.iter().zip(&xd) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn complex_thomas_residual() {
+        let n = 16;
+        let sub = Complex64::new(0.0, 0.25);
+        let sup = Complex64::new(0.0, 0.25);
+        let diag: Vec<Complex64> = (0..n)
+            .map(|i| Complex64::new(2.0 + 0.1 * i as f64, -0.5))
+            .collect();
+        let rhs: Vec<Complex64> = (0..n)
+            .map(|i| Complex64::new((i as f64).sin(), (i as f64).cos()))
+            .collect();
+        let x = solve_tridiag_complex(sub, &diag, sup, &rhs);
+        for i in 0..n {
+            let mut r = diag[i] * x[i];
+            if i > 0 {
+                r += sub * x[i - 1];
+            }
+            if i + 1 < n {
+                r += sup * x[i + 1];
+            }
+            assert!((r - rhs[i]).abs() < 1e-11, "row {i}");
+        }
+    }
+
+    #[test]
+    fn cyclic_solve_residual() {
+        let n = 12;
+        let sub = Complex64::new(-0.1, 0.3);
+        let sup = Complex64::new(0.2, 0.15);
+        let diag: Vec<Complex64> = (0..n)
+            .map(|i| Complex64::new(3.0 + (i as f64 * 0.3).cos(), 0.4))
+            .collect();
+        let rhs: Vec<Complex64> = (0..n)
+            .map(|i| Complex64::new(1.0 / (1.0 + i as f64), (i as f64 * 0.7).sin()))
+            .collect();
+        let x = solve_cyclic_tridiag_complex(sub, &diag, sup, &rhs);
+        for i in 0..n {
+            let mut r = diag[i] * x[i];
+            r += sub * x[(i + n - 1) % n];
+            r += sup * x[(i + 1) % n];
+            assert!((r - rhs[i]).abs() < 1e-10, "row {i}: {:?}", r - rhs[i]);
+        }
+    }
+
+    #[test]
+    fn identity_system() {
+        let m = Tridiag {
+            sub: vec![0.0, 0.0],
+            diag: vec![1.0, 1.0, 1.0],
+            sup: vec![0.0, 0.0],
+        };
+        let x = solve_tridiag(&m, &[7.0, -3.0, 2.0]);
+        assert_eq!(x, vec![7.0, -3.0, 2.0]);
+    }
+}

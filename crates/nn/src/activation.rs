@@ -1,0 +1,72 @@
+//! Activation functions with jet propagation.
+
+use crate::params::GraphCtx;
+use qpinn_autodiff::jet::Jet;
+use qpinn_autodiff::Var;
+
+/// Smooth activations usable in PINNs (must be C² for second-order
+/// residuals).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Activation {
+    /// Hyperbolic tangent — the standard PINN activation.
+    Tanh,
+    /// Sine — useful for highly oscillatory solutions (SIREN-style).
+    Sin,
+}
+
+impl Activation {
+    /// Plain elementwise application.
+    pub fn forward(&self, ctx: &mut GraphCtx<'_>, x: Var) -> Var {
+        match self {
+            Activation::Tanh => ctx.g.tanh(x),
+            Activation::Sin => ctx.g.sin(x),
+        }
+    }
+
+    /// Jet application (value + first + second derivative propagation).
+    pub fn forward_jet(&self, ctx: &mut GraphCtx<'_>, x: &Jet) -> Jet {
+        match self {
+            Activation::Tanh => x.tanh(ctx.g),
+            Activation::Sin => x.sin(ctx.g),
+        }
+    }
+
+    /// Short name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Activation::Tanh => "tanh",
+            Activation::Sin => "sin",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::ParamSet;
+    use qpinn_autodiff::Graph;
+    use qpinn_tensor::Tensor;
+
+    #[test]
+    fn forward_matches_tensor_ops() {
+        let params = ParamSet::new();
+        let mut g = Graph::new();
+        let mut ctx = GraphCtx::new(&mut g, &params);
+        let x = ctx.g.constant(Tensor::from_slice(&[-0.5, 0.0, 1.2]));
+        let t = Activation::Tanh.forward(&mut ctx, x);
+        let s = Activation::Sin.forward(&mut ctx, x);
+        assert!((g.value(t).data()[2] - 1.2f64.tanh()).abs() < 1e-15);
+        assert!((g.value(s).data()[0] - (-0.5f64).sin()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn jet_second_derivative_of_sin_activation() {
+        let params = ParamSet::new();
+        let mut g = Graph::new();
+        let mut ctx = GraphCtx::new(&mut g, &params);
+        let x = ctx.g.constant(Tensor::column(&[0.3]));
+        let jet = Jet::seed_coordinate(ctx.g, x, 0, 1);
+        let out = Activation::Sin.forward_jet(&mut ctx, &jet);
+        assert!((g.value(out.dd[0]).item() + 0.3f64.sin()).abs() < 1e-14);
+    }
+}

@@ -1,0 +1,118 @@
+//! Random Fourier feature embedding (Tancik et al. 2020; Rahimi & Recht
+//! 2007).
+//!
+//! Inputs `x ∈ ℝᵈ` are mapped to `[sin(x·Ω), cos(x·Ω)]` with a fixed random
+//! projection `Ω ∈ ℝ^{d×F}` whose entries are `N(0, σ²)`. The embedding
+//! injects high-frequency structure into the first layer and is the
+//! standard mitigation for spectral bias in PINNs. `Ω` is **not**
+//! trainable.
+
+use crate::params::GraphCtx;
+use qpinn_autodiff::jet::Jet;
+use qpinn_autodiff::Var;
+use qpinn_tensor::Tensor;
+use rand::rngs::StdRng;
+
+/// Fixed sinusoidal feature map `x ↦ [sin(xΩ), cos(xΩ)]`.
+#[derive(Clone, Debug)]
+pub struct RandomFourierFeatures {
+    omega: Tensor,
+}
+
+impl RandomFourierFeatures {
+    /// Sample a projection for `input_dim` inputs and `n_features`
+    /// frequencies with scale `sigma` (output width is `2·n_features`).
+    pub fn new(input_dim: usize, n_features: usize, sigma: f64, rng: &mut StdRng) -> Self {
+        RandomFourierFeatures {
+            omega: Tensor::randn([input_dim, n_features], sigma, rng),
+        }
+    }
+
+    /// Build from an explicit projection matrix `[input_dim, n_features]`.
+    pub fn from_matrix(omega: Tensor) -> Self {
+        assert_eq!(omega.shape().rank(), 2, "Ω must be a matrix");
+        RandomFourierFeatures { omega }
+    }
+
+    /// Output width (`2 · n_features`).
+    pub fn output_dim(&self) -> usize {
+        2 * self.omega.shape().ncols()
+    }
+
+    /// Input width.
+    pub fn input_dim(&self) -> usize {
+        self.omega.shape().nrows()
+    }
+
+    /// Plain forward pass on a `[batch, input_dim]` node.
+    pub fn forward(&self, ctx: &mut GraphCtx<'_>, x: Var) -> Var {
+        let omega = ctx.g.constant(self.omega.clone());
+        let z = ctx.g.matmul(x, omega);
+        let s = ctx.g.sin(z);
+        let c = ctx.g.cos(z);
+        ctx.g.hstack(&[s, c])
+    }
+
+    /// Jet forward pass: the projection is linear, sin/cos propagate by the
+    /// chain rule, and the two feature blocks are stacked slot-wise.
+    pub fn forward_jet(&self, ctx: &mut GraphCtx<'_>, x: &Jet) -> Jet {
+        let omega = ctx.g.constant(self.omega.clone());
+        let z = x.map_linear(ctx.g, |g, s| g.matmul(s, omega));
+        let s = z.sin(ctx.g);
+        let c = z.cos(ctx.g);
+        Jet::hstack(ctx.g, &[&s, &c])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::ParamSet;
+    use qpinn_autodiff::Graph;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forward_values_match_manual() {
+        let omega = Tensor::from_rows(&[&[2.0], &[0.5]]); // d=2, F=1
+        let rff = RandomFourierFeatures::from_matrix(omega);
+        assert_eq!(rff.output_dim(), 2);
+        assert_eq!(rff.input_dim(), 2);
+        let params = ParamSet::new();
+        let mut g = Graph::new();
+        let mut ctx = GraphCtx::new(&mut g, &params);
+        let x = ctx.g.constant(Tensor::from_rows(&[&[0.3, 0.8]]));
+        let y = rff.forward(&mut ctx, x);
+        let z: f64 = 0.3 * 2.0 + 0.8 * 0.5;
+        let out = g.value(y);
+        assert!((out.get(&[0, 0]) - z.sin()).abs() < 1e-14);
+        assert!((out.get(&[0, 1]) - z.cos()).abs() < 1e-14);
+    }
+
+    #[test]
+    fn jet_derivatives_match_analytic() {
+        // With x = (x0,), Ω = [[w]]: features are sin(w x), cos(w x);
+        // d/dx = w cos, -w sin; d²/dx² = -w² sin, -w² cos.
+        let w = 1.7;
+        let rff = RandomFourierFeatures::from_matrix(Tensor::from_rows(&[&[w]]));
+        let params = ParamSet::new();
+        let mut g = Graph::new();
+        let mut ctx = GraphCtx::new(&mut g, &params);
+        let x0 = 0.4;
+        let x = ctx.g.constant(Tensor::column(&[x0]));
+        let jet = Jet::seed_coordinate(ctx.g, x, 0, 1);
+        let out = rff.forward_jet(&mut ctx, &jet);
+        let d = g.value(out.d[0]);
+        assert!((d.get(&[0, 0]) - w * (w * x0).cos()).abs() < 1e-13);
+        assert!((d.get(&[0, 1]) + w * (w * x0).sin()).abs() < 1e-13);
+        let dd = g.value(out.dd[0]);
+        assert!((dd.get(&[0, 0]) + w * w * (w * x0).sin()).abs() < 1e-13);
+        assert!((dd.get(&[0, 1]) + w * w * (w * x0).cos()).abs() < 1e-13);
+    }
+
+    #[test]
+    fn sampled_projection_is_reproducible() {
+        let a = RandomFourierFeatures::new(3, 16, 1.0, &mut StdRng::seed_from_u64(11));
+        let b = RandomFourierFeatures::new(3, 16, 1.0, &mut StdRng::seed_from_u64(11));
+        assert!(a.omega.approx_eq(&b.omega, 0.0));
+    }
+}

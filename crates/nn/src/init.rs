@@ -1,0 +1,52 @@
+//! Weight initialization schemes.
+
+use qpinn_tensor::Tensor;
+use rand::rngs::StdRng;
+
+/// Glorot/Xavier uniform initialization for a `[fan_in, fan_out]` weight
+/// matrix: `U(−a, a)` with `a = sqrt(6 / (fan_in + fan_out))`. The standard
+/// choice for tanh networks (and therefore for PINNs).
+pub fn glorot_uniform(fan_in: usize, fan_out: usize, rng: &mut StdRng) -> Tensor {
+    let a = (6.0 / (fan_in + fan_out) as f64).sqrt();
+    Tensor::rand_uniform([fan_in, fan_out], -a, a, rng)
+}
+
+/// LeCun normal initialization: `N(0, 1/fan_in)`. Used for `sin`-activated
+/// layers where glorot over-saturates.
+pub fn lecun_normal(fan_in: usize, fan_out: usize, rng: &mut StdRng) -> Tensor {
+    Tensor::randn([fan_in, fan_out], (1.0 / fan_in as f64).sqrt(), rng)
+}
+
+/// Zero bias of length `n`.
+pub fn zero_bias(n: usize) -> Tensor {
+    Tensor::zeros([n])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn glorot_respects_bound() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let w = glorot_uniform(64, 64, &mut rng);
+        let a = (6.0 / 128.0f64).sqrt();
+        assert!(w.data().iter().all(|&x| x.abs() <= a));
+        // and actually uses the range
+        assert!(w.max_abs() > 0.5 * a);
+    }
+
+    #[test]
+    fn lecun_variance_scales_with_fan_in() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let w = lecun_normal(100, 400, &mut rng);
+        let var = w.sum_sq() / w.len() as f64;
+        assert!((var - 0.01).abs() < 0.002, "var {var}");
+    }
+
+    #[test]
+    fn bias_is_zero() {
+        assert!(zero_bias(7).data().iter().all(|&x| x == 0.0));
+    }
+}

@@ -1,0 +1,34 @@
+//! # qpinn-nn
+//!
+//! Neural-network building blocks over the `qpinn-autodiff` tape, designed
+//! for physics-informed training:
+//!
+//! * [`ParamSet`] / [`GraphCtx`] — an external parameter store that is
+//!   injected into a fresh tape every training step, so optimizers own the
+//!   persistent state and graphs stay cheap;
+//! * [`Dense`] and [`Mlp`] — fully connected layers with **jet-aware**
+//!   forward passes: [`Dense::forward_jet`] propagates
+//!   `(value, ∂/∂cᵢ, ∂²/∂cᵢ²)` per coordinate, giving PDE residual
+//!   derivatives as first-class differentiable tape nodes;
+//! * [`RandomFourierFeatures`] — the multiscale input embedding of Tancik
+//!   et al. used to combat spectral bias in PINNs;
+//! * [`PeriodicEmbedding`] — exact sin/cos periodization of spatial
+//!   coordinates (Dong & Ni), which removes the need for a boundary loss on
+//!   periodic domains.
+
+#![deny(missing_docs)]
+
+pub mod activation;
+pub mod fourier;
+pub mod init;
+pub mod linear;
+pub mod mlp;
+pub mod params;
+pub mod periodic;
+
+pub use activation::Activation;
+pub use fourier::RandomFourierFeatures;
+pub use linear::Dense;
+pub use mlp::{Mlp, MlpConfig};
+pub use params::{GraphCtx, ParamId, ParamSet};
+pub use periodic::PeriodicEmbedding;

@@ -1,0 +1,227 @@
+//! Parameter storage decoupled from the tape.
+//!
+//! Training rebuilds a fresh [`qpinn_autodiff::Graph`] every step.
+//! [`ParamSet`] owns the persistent parameter tensors; [`GraphCtx`] injects
+//! them into the current graph on demand and afterwards collects their
+//! gradients in a stable order for the optimizer.
+
+use qpinn_autodiff::{Grads, Graph, Var};
+use qpinn_tensor::Tensor;
+
+/// Stable handle to a parameter tensor inside a [`ParamSet`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ParamId(pub(crate) usize);
+
+/// Named, ordered collection of trainable tensors.
+#[derive(Clone, Default)]
+pub struct ParamSet {
+    tensors: Vec<Tensor>,
+    names: Vec<String>,
+}
+
+impl ParamSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a tensor and return its handle.
+    pub fn add(&mut self, name: impl Into<String>, t: Tensor) -> ParamId {
+        self.tensors.push(t);
+        self.names.push(name.into());
+        ParamId(self.tensors.len() - 1)
+    }
+
+    /// Number of parameter tensors.
+    pub fn len(&self) -> usize {
+        self.tensors.len()
+    }
+
+    /// True when no parameters are registered.
+    pub fn is_empty(&self) -> bool {
+        self.tensors.is_empty()
+    }
+
+    /// Total number of trainable scalars — the "parameter count" reported
+    /// by the experiments.
+    pub fn n_scalars(&self) -> usize {
+        self.tensors.iter().map(Tensor::len).sum()
+    }
+
+    /// The tensor behind a handle.
+    pub fn get(&self, id: ParamId) -> &Tensor {
+        &self.tensors[id.0]
+    }
+
+    /// Mutable access for optimizers.
+    pub fn get_mut(&mut self, id: ParamId) -> &mut Tensor {
+        &mut self.tensors[id.0]
+    }
+
+    /// The registered name of a parameter.
+    pub fn name(&self, id: ParamId) -> &str {
+        &self.names[id.0]
+    }
+
+    /// All tensors in registration order.
+    pub fn tensors(&self) -> &[Tensor] {
+        &self.tensors
+    }
+
+    /// Mutable view of all tensors in registration order.
+    pub fn tensors_mut(&mut self) -> &mut [Tensor] {
+        &mut self.tensors
+    }
+
+    /// Concatenate every parameter into one flat vector (L-BFGS layout).
+    pub fn flatten(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.n_scalars());
+        for t in &self.tensors {
+            out.extend_from_slice(t.data());
+        }
+        out
+    }
+
+    /// Overwrite every parameter from a flat vector produced by
+    /// [`ParamSet::flatten`].
+    ///
+    /// # Panics
+    /// Panics when the flat length disagrees with the stored layout.
+    pub fn assign_flat(&mut self, flat: &[f64]) {
+        assert_eq!(flat.len(), self.n_scalars(), "flat parameter length");
+        let mut off = 0;
+        for t in &mut self.tensors {
+            let n = t.len();
+            t.data_mut().copy_from_slice(&flat[off..off + n]);
+            off += n;
+        }
+    }
+
+    /// Iterate over `(id, name, tensor)` triples.
+    pub fn iter(&self) -> impl Iterator<Item = (ParamId, &str, &Tensor)> {
+        self.tensors
+            .iter()
+            .zip(self.names.iter())
+            .enumerate()
+            .map(|(i, (t, n))| (ParamId(i), n.as_str(), t))
+    }
+}
+
+/// A per-step view tying a [`ParamSet`] to the graph being built.
+pub struct GraphCtx<'a> {
+    /// The tape under construction.
+    pub g: &'a mut Graph,
+    params: &'a ParamSet,
+    injected: Vec<Option<Var>>,
+}
+
+impl<'a> GraphCtx<'a> {
+    /// Wrap a graph and a parameter set for one forward/backward step.
+    pub fn new(g: &'a mut Graph, params: &'a ParamSet) -> Self {
+        let injected = vec![None; params.len()];
+        GraphCtx {
+            g,
+            params,
+            injected,
+        }
+    }
+
+    /// The tape [`Var`] for a parameter, injecting it on first use so each
+    /// parameter appears exactly once per graph (gradient accumulation
+    /// across layers then happens naturally on the tape).
+    pub fn param(&mut self, id: ParamId) -> Var {
+        if let Some(v) = self.injected[id.0] {
+            return v;
+        }
+        let v = self.g.input(self.params.get(id).clone());
+        self.injected[id.0] = Some(v);
+        v
+    }
+
+    /// After `backward`, collect one gradient tensor per parameter in
+    /// registration order (zeros for parameters that did not participate).
+    pub fn collect_grads(&self, grads: &mut Grads) -> Vec<Tensor> {
+        self.injected
+            .iter()
+            .enumerate()
+            .map(|(i, slot)| match slot {
+                Some(v) => grads
+                    .take(*v)
+                    .unwrap_or_else(|| Tensor::zeros(self.params.tensors()[i].shape().clone())),
+                None => Tensor::zeros(self.params.tensors()[i].shape().clone()),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_get_roundtrip() {
+        let mut p = ParamSet::new();
+        let id = p.add("w", Tensor::from_slice(&[1.0, 2.0]));
+        assert_eq!(p.get(id).data(), &[1.0, 2.0]);
+        assert_eq!(p.name(id), "w");
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.n_scalars(), 2);
+    }
+
+    #[test]
+    fn flatten_assign_roundtrip() {
+        let mut p = ParamSet::new();
+        p.add("a", Tensor::from_slice(&[1.0, 2.0]));
+        p.add("b", Tensor::from_vec([2, 2], vec![3.0, 4.0, 5.0, 6.0]));
+        let flat = p.flatten();
+        assert_eq!(flat, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let mut q = p.clone();
+        q.assign_flat(&[6.0, 5.0, 4.0, 3.0, 2.0, 1.0]);
+        assert_eq!(q.tensors()[1].get(&[1, 1]), 1.0);
+        assert_eq!(p.tensors()[0].data(), &[1.0, 2.0], "original untouched");
+    }
+
+    #[test]
+    fn params_injected_once() {
+        let mut p = ParamSet::new();
+        let id = p.add("w", Tensor::from_slice(&[2.0]));
+        let mut g = Graph::new();
+        let mut ctx = GraphCtx::new(&mut g, &p);
+        let v1 = ctx.param(id);
+        let v2 = ctx.param(id);
+        assert_eq!(v1, v2, "same Var on repeated injection");
+    }
+
+    #[test]
+    fn gradient_collection_handles_unused_params() {
+        let mut p = ParamSet::new();
+        let used = p.add("used", Tensor::from_slice(&[3.0]));
+        let _unused = p.add("unused", Tensor::from_slice(&[1.0, 1.0]));
+        let mut g = Graph::new();
+        let mut ctx = GraphCtx::new(&mut g, &p);
+        let w = ctx.param(used);
+        let sq = ctx.g.square(w);
+        let loss = ctx.g.sum(sq);
+        let mut grads = ctx.g.backward(loss);
+        let collected = ctx.collect_grads(&mut grads);
+        assert_eq!(collected.len(), 2);
+        assert_eq!(collected[0].data(), &[6.0]);
+        assert_eq!(collected[1].data(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn fanout_accumulates_param_gradient() {
+        // Using the same param twice must sum both contributions.
+        let mut p = ParamSet::new();
+        let id = p.add("w", Tensor::from_slice(&[2.0]));
+        let mut g = Graph::new();
+        let mut ctx = GraphCtx::new(&mut g, &p);
+        let w = ctx.param(id);
+        let w2 = ctx.param(id);
+        let s = ctx.g.mul(w, w2); // w² → d/dw = 2w = 4
+        let loss = ctx.g.sum(s);
+        let mut grads = ctx.g.backward(loss);
+        let collected = ctx.collect_grads(&mut grads);
+        assert_eq!(collected[0].data(), &[4.0]);
+    }
+}

@@ -1,0 +1,172 @@
+//! Exact periodic coordinate embeddings (Dong & Ni 2021).
+//!
+//! A coordinate `x` on a periodic domain of length `L` is replaced by the
+//! pair `(sin(2πx/L), cos(2πx/L))` before entering the network, which makes
+//! the represented function *exactly* `L`-periodic — no boundary loss term
+//! is needed. A learnable-period variant supports time coordinates whose
+//! natural period is unknown a priori.
+
+use crate::params::{GraphCtx, ParamId, ParamSet};
+use qpinn_autodiff::jet::Jet;
+use qpinn_tensor::Tensor;
+use std::f64::consts::TAU;
+
+/// Fixed-period sin/cos embedding of one coordinate.
+#[derive(Clone, Copy, Debug)]
+pub struct PeriodicEmbedding {
+    /// Domain length `L`.
+    pub length: f64,
+}
+
+impl PeriodicEmbedding {
+    /// Embedding with period `length`.
+    pub fn new(length: f64) -> Self {
+        assert!(length > 0.0, "period must be positive");
+        PeriodicEmbedding { length }
+    }
+
+    /// Map a coordinate jet to a 2-column feature jet
+    /// `[sin(2πx/L), cos(2πx/L)]` with exact derivative propagation.
+    pub fn forward_jet(&self, ctx: &mut GraphCtx<'_>, x: &Jet) -> Jet {
+        let c = TAU / self.length;
+        let z = x.scale(ctx.g, c);
+        let s = z.sin(ctx.g);
+        let co = z.cos(ctx.g);
+        Jet::hstack(ctx.g, &[&s, &co])
+    }
+}
+
+/// Sin/cos embedding whose period is a trainable parameter — used for the
+/// time coordinate when the simulated window is shorter than one period.
+#[derive(Clone, Copy, Debug)]
+pub struct LearnedPeriodEmbedding {
+    inv_period: ParamId,
+}
+
+impl LearnedPeriodEmbedding {
+    /// Register the inverse-period parameter, initialized to `1/period0`.
+    pub fn new(params: &mut ParamSet, period0: f64, name: &str) -> Self {
+        assert!(period0 > 0.0, "initial period must be positive");
+        let inv = params.add(
+            format!("{name}.inv_period"),
+            Tensor::from_vec([1, 1], vec![1.0 / period0]),
+        );
+        LearnedPeriodEmbedding { inv_period: inv }
+    }
+
+    /// The parameter handle (for inspection).
+    pub fn param_id(&self) -> ParamId {
+        self.inv_period
+    }
+
+    /// Map a coordinate jet to `[sin(2πx/P), cos(2πx/P)]` where `1/P` is the
+    /// trainable parameter. Gradients flow into the period through the
+    /// `[batch,1]·[1,1]` matmul on each jet slot.
+    pub fn forward_jet(&self, ctx: &mut GraphCtx<'_>, x: &Jet) -> Jet {
+        let inv = ctx.param(self.inv_period);
+        // z = 2π · x · (1/P); the map is linear in x, so every slot goes
+        // through the same matmul-then-scale.
+        let z = x.map_linear(ctx.g, |g, s| {
+            let m = g.matmul(s, inv);
+            g.scale(m, TAU)
+        });
+        let s = z.sin(ctx.g);
+        let c = z.cos(ctx.g);
+        Jet::hstack(ctx.g, &[&s, &c])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qpinn_autodiff::Graph;
+
+    #[test]
+    fn embedding_is_exactly_periodic() {
+        let emb = PeriodicEmbedding::new(2.0);
+        let params = ParamSet::new();
+        let mut g = Graph::new();
+        let mut ctx = GraphCtx::new(&mut g, &params);
+        let x = ctx.g.constant(Tensor::column(&[0.3, 0.3 + 2.0, 0.3 - 4.0]));
+        let jet = Jet::seed_coordinate(ctx.g, x, 0, 1);
+        let out = emb.forward_jet(&mut ctx, &jet);
+        let v = g.value(out.v);
+        for col in 0..2 {
+            let base = v.get(&[0, col]);
+            assert!((v.get(&[1, col]) - base).abs() < 1e-12);
+            assert!((v.get(&[2, col]) - base).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn derivatives_match_analytic() {
+        let emb = PeriodicEmbedding::new(2.0);
+        let params = ParamSet::new();
+        let mut g = Graph::new();
+        let mut ctx = GraphCtx::new(&mut g, &params);
+        let x0 = 0.7;
+        let x = ctx.g.constant(Tensor::column(&[x0]));
+        let jet = Jet::seed_coordinate(ctx.g, x, 0, 1);
+        let out = emb.forward_jet(&mut ctx, &jet);
+        let c = TAU / 2.0;
+        let d = g.value(out.d[0]);
+        assert!((d.get(&[0, 0]) - c * (c * x0).cos()).abs() < 1e-13);
+        assert!((d.get(&[0, 1]) + c * (c * x0).sin()).abs() < 1e-13);
+        let dd = g.value(out.dd[0]);
+        assert!((dd.get(&[0, 0]) + c * c * (c * x0).sin()).abs() < 1e-13);
+    }
+
+    #[test]
+    fn learned_period_receives_gradient() {
+        let mut params = ParamSet::new();
+        let emb = LearnedPeriodEmbedding::new(&mut params, 3.0, "t");
+        let mut g = Graph::new();
+        let mut ctx = GraphCtx::new(&mut g, &params);
+        let t = ctx.g.constant(Tensor::column(&[0.4, 0.9]));
+        let jet = Jet::seed_coordinate(ctx.g, t, 0, 1);
+        let out = emb.forward_jet(&mut ctx, &jet);
+        // mse(out.v) is identically 0.5 (sin²+cos²), so use the derivative
+        // features, whose magnitude scales with 2π/P.
+        let loss = ctx.g.mse(out.d[0]);
+        let mut grads = ctx.g.backward(loss);
+        let collected = ctx.collect_grads(&mut grads);
+        assert_eq!(collected.len(), 1);
+        assert!(collected[0].max_abs() > 1e-6, "period gradient missing");
+    }
+
+    #[test]
+    fn learned_period_gradient_matches_finite_difference() {
+        let eval = |inv_p: f64| -> f64 {
+            let mut params = ParamSet::new();
+            let emb = LearnedPeriodEmbedding::new(&mut params, 1.0 / inv_p, "t");
+            let mut g = Graph::new();
+            let mut ctx = GraphCtx::new(&mut g, &params);
+            let t = ctx.g.constant(Tensor::column(&[0.4, 0.9]));
+            let jet = Jet::seed_coordinate(ctx.g, t, 0, 1);
+            let out = emb.forward_jet(&mut ctx, &jet);
+            let loss = ctx.g.mse(out.d[0]);
+            let v = ctx.g.value(loss).item();
+            let _ = emb;
+            v
+        };
+        let inv0 = 1.0 / 3.0;
+        let h = 1e-6;
+        let fd = (eval(inv0 + h) - eval(inv0 - h)) / (2.0 * h);
+
+        let mut params = ParamSet::new();
+        let emb = LearnedPeriodEmbedding::new(&mut params, 3.0, "t");
+        let mut g = Graph::new();
+        let mut ctx = GraphCtx::new(&mut g, &params);
+        let t = ctx.g.constant(Tensor::column(&[0.4, 0.9]));
+        let jet = Jet::seed_coordinate(ctx.g, t, 0, 1);
+        let out = emb.forward_jet(&mut ctx, &jet);
+        let loss = ctx.g.mse(out.d[0]);
+        let mut grads = ctx.g.backward(loss);
+        let collected = ctx.collect_grads(&mut grads);
+        assert!(
+            (collected[0].item() - fd).abs() < 1e-4 * fd.abs().max(1.0),
+            "analytic {} vs fd {fd}",
+            collected[0].item()
+        );
+    }
+}

@@ -1,0 +1,156 @@
+//! Adam (Kingma & Ba 2015) with bias correction and optional decoupled
+//! weight decay (AdamW).
+
+use crate::Optimizer;
+use qpinn_tensor::Tensor;
+
+/// Adam state: first/second moment estimates per parameter tensor.
+pub struct Adam {
+    lr: f64,
+    beta1: f64,
+    beta2: f64,
+    eps: f64,
+    weight_decay: f64,
+    t: u64,
+    m: Option<Vec<Tensor>>,
+    v: Option<Vec<Tensor>>,
+}
+
+impl Adam {
+    /// Standard Adam with the canonical PINN defaults
+    /// (β₁ = 0.9, β₂ = 0.999, ε = 1e-8, no decay).
+    pub fn new(lr: f64) -> Self {
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.0,
+            t: 0,
+            m: None,
+            v: None,
+        }
+    }
+
+    /// Adam with decoupled weight decay (AdamW).
+    pub fn with_weight_decay(lr: f64, weight_decay: f64) -> Self {
+        let mut a = Adam::new(lr);
+        a.weight_decay = weight_decay;
+        a
+    }
+
+    /// Override the β coefficients.
+    pub fn with_betas(mut self, beta1: f64, beta2: f64) -> Self {
+        assert!((0.0..1.0).contains(&beta1) && (0.0..1.0).contains(&beta2));
+        self.beta1 = beta1;
+        self.beta2 = beta2;
+        self
+    }
+
+    /// Number of steps taken so far.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, params: &mut [Tensor], grads: &[Tensor]) {
+        assert_eq!(params.len(), grads.len(), "param/grad arity");
+        let m = self.m.get_or_insert_with(|| {
+            params
+                .iter()
+                .map(|p| Tensor::zeros(p.shape().clone()))
+                .collect()
+        });
+        let v = self.v.get_or_insert_with(|| {
+            params
+                .iter()
+                .map(|p| Tensor::zeros(p.shape().clone()))
+                .collect()
+        });
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        let lr = self.lr;
+        let (b1, b2, eps, wd) = (self.beta1, self.beta2, self.eps, self.weight_decay);
+        for (((p, g), mi), vi) in params.iter_mut().zip(grads).zip(m.iter_mut()).zip(v.iter_mut()) {
+            assert_eq!(p.shape(), g.shape(), "grad shape");
+            let pd = p.data_mut();
+            let md = mi.data_mut();
+            let vd = vi.data_mut();
+            let gd = g.data();
+            for i in 0..pd.len() {
+                md[i] = b1 * md[i] + (1.0 - b1) * gd[i];
+                vd[i] = b2 * vd[i] + (1.0 - b2) * gd[i] * gd[i];
+                let mhat = md[i] / bc1;
+                let vhat = vd[i] / bc2;
+                pd[i] -= lr * (mhat / (vhat.sqrt() + eps) + wd * pd[i]);
+            }
+        }
+    }
+
+    fn lr(&self) -> f64 {
+        self.lr
+    }
+
+    fn set_lr(&mut self, lr: f64) {
+        self.lr = lr;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn converges_on_quadratic() {
+        let c = Tensor::from_slice(&[3.0, -1.0]);
+        let mut theta = vec![Tensor::zeros([2])];
+        let mut opt = Adam::new(0.05);
+        for _ in 0..2000 {
+            let g = theta[0].sub(&c);
+            opt.step(&mut theta, &[g]);
+        }
+        assert!(theta[0].approx_eq(&c, 1e-4), "{:?}", theta[0]);
+        assert_eq!(opt.steps(), 2000);
+    }
+
+    #[test]
+    fn converges_on_rosenbrock() {
+        // The classic banana function: a meaningful nonconvex check.
+        let mut theta = vec![Tensor::from_slice(&[-1.2, 1.0])];
+        let mut opt = Adam::new(0.02);
+        for _ in 0..20_000 {
+            let d = theta[0].data();
+            let (x, y) = (d[0], d[1]);
+            let g = Tensor::from_slice(&[
+                -2.0 * (1.0 - x) - 400.0 * x * (y - x * x),
+                200.0 * (y - x * x),
+            ]);
+            opt.step(&mut theta, &[g]);
+        }
+        let d = theta[0].data();
+        assert!((d[0] - 1.0).abs() < 1e-2 && (d[1] - 1.0).abs() < 2e-2, "{d:?}");
+    }
+
+    #[test]
+    fn weight_decay_shrinks_toward_zero() {
+        // With zero gradients, AdamW must contract parameters.
+        let mut theta = vec![Tensor::from_slice(&[2.0])];
+        let mut opt = Adam::with_weight_decay(0.1, 0.5);
+        for _ in 0..50 {
+            let g = Tensor::zeros([1]);
+            opt.step(&mut theta, &[g]);
+        }
+        assert!(theta[0].data()[0].abs() < 2.0 * 0.95f64.powi(50) + 1e-6);
+    }
+
+    #[test]
+    fn first_step_is_lr_sized() {
+        // Bias correction makes the very first Adam step ≈ lr · sign(g).
+        let mut theta = vec![Tensor::from_slice(&[0.0])];
+        let mut opt = Adam::new(0.001);
+        opt.step(&mut theta, &[Tensor::from_slice(&[123.0])]);
+        assert!((theta[0].data()[0] + 0.001).abs() < 1e-6);
+    }
+}

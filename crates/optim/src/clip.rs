@@ -1,0 +1,58 @@
+//! Gradient clipping.
+
+use qpinn_tensor::Tensor;
+
+/// Rescale all gradients so their joint Euclidean norm does not exceed
+/// `max_norm`. Returns the pre-clip norm.
+pub fn clip_global_norm(grads: &mut [Tensor], max_norm: f64) -> f64 {
+    let total: f64 = grads.iter().map(Tensor::sum_sq).sum::<f64>().sqrt();
+    if total > max_norm && total > 0.0 {
+        let s = max_norm / total;
+        for g in grads.iter_mut() {
+            let scaled = g.scale(s);
+            *g = scaled;
+        }
+    }
+    total
+}
+
+/// Joint Euclidean norm of a gradient list (for logging gradient-norm
+/// trajectories).
+pub fn global_norm(grads: &[Tensor]) -> f64 {
+    grads.iter().map(Tensor::sum_sq).sum::<f64>().sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn below_threshold_untouched() {
+        let mut g = vec![Tensor::from_slice(&[3.0, 4.0])]; // norm 5
+        let pre = clip_global_norm(&mut g, 10.0);
+        assert!((pre - 5.0).abs() < 1e-12);
+        assert_eq!(g[0].data(), &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn above_threshold_rescaled() {
+        let mut g = vec![
+            Tensor::from_slice(&[3.0, 4.0]),
+            Tensor::from_slice(&[0.0, 12.0]),
+        ]; // norm 13
+        let pre = clip_global_norm(&mut g, 1.0);
+        assert!((pre - 13.0).abs() < 1e-12);
+        let post = global_norm(&g);
+        assert!((post - 1.0).abs() < 1e-12);
+        // direction preserved
+        assert!((g[0].data()[1] / g[0].data()[0] - 4.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_gradients_are_safe() {
+        let mut g = vec![Tensor::zeros([3])];
+        let pre = clip_global_norm(&mut g, 1.0);
+        assert_eq!(pre, 0.0);
+        assert!(g[0].data().iter().all(|&x| x == 0.0));
+    }
+}

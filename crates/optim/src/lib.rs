@@ -1,0 +1,54 @@
+//! # qpinn-optim
+//!
+//! Optimizers and learning-rate schedules for PINN training:
+//!
+//! * [`Sgd`] — stochastic gradient descent with optional momentum;
+//! * [`Adam`] — the default PINN optimizer (Kingma & Ba), with bias
+//!   correction and optional decoupled weight decay;
+//! * [`Lbfgs`] — limited-memory BFGS with a strong-Wolfe line search,
+//!   operating on flat parameter vectors; typically used to polish an
+//!   Adam-trained model;
+//! * [`schedule`] — step/exponential/cosine learning-rate decay;
+//! * [`clip`] — global gradient-norm clipping.
+//!
+//! ```
+//! use qpinn_optim::{Adam, Optimizer};
+//! use qpinn_tensor::Tensor;
+//! // fit θ → 2 by gradient descent on (θ − 2)²
+//! let mut theta = vec![Tensor::scalar(0.0)];
+//! let mut opt = Adam::new(0.1);
+//! for _ in 0..500 {
+//!     let g = theta[0].add_scalar(-2.0).scale(2.0);
+//!     opt.step(&mut theta, &[g]);
+//! }
+//! assert!((theta[0].item() - 2.0).abs() < 1e-3);
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod adam;
+pub mod clip;
+pub mod lbfgs;
+pub mod schedule;
+pub mod sgd;
+
+pub use adam::Adam;
+pub use lbfgs::{Lbfgs, LbfgsConfig, LbfgsOutcome};
+pub use schedule::LrSchedule;
+pub use sgd::Sgd;
+
+use qpinn_tensor::Tensor;
+
+/// A first-order optimizer stepping a list of parameter tensors given
+/// matching gradients.
+pub trait Optimizer {
+    /// Apply one update in place. `grads[i]` must have the shape of
+    /// `params[i]`.
+    fn step(&mut self, params: &mut [Tensor], grads: &[Tensor]);
+
+    /// Current learning rate.
+    fn lr(&self) -> f64;
+
+    /// Override the learning rate (used by schedules).
+    fn set_lr(&mut self, lr: f64);
+}

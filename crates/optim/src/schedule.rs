@@ -1,0 +1,99 @@
+//! Learning-rate schedules.
+
+/// A deterministic learning-rate schedule mapping epoch → lr.
+#[derive(Clone, Debug)]
+pub enum LrSchedule {
+    /// Constant rate.
+    Constant {
+        /// The rate.
+        lr: f64,
+    },
+    /// Multiply by `factor` every `every` epochs (the classic PINN decay,
+    /// e.g. ×0.85 every 2000 epochs).
+    Step {
+        /// Initial rate.
+        lr0: f64,
+        /// Multiplicative factor per stage.
+        factor: f64,
+        /// Epochs per stage.
+        every: usize,
+    },
+    /// Smooth exponential decay `lr0 · γ^epoch`.
+    Exponential {
+        /// Initial rate.
+        lr0: f64,
+        /// Per-epoch factor.
+        gamma: f64,
+    },
+    /// Cosine annealing from `lr0` to `lr_min` over `total` epochs.
+    Cosine {
+        /// Initial rate.
+        lr0: f64,
+        /// Floor rate.
+        lr_min: f64,
+        /// Annealing horizon.
+        total: usize,
+    },
+}
+
+impl LrSchedule {
+    /// The learning rate at `epoch` (0-based).
+    pub fn at(&self, epoch: usize) -> f64 {
+        match *self {
+            LrSchedule::Constant { lr } => lr,
+            LrSchedule::Step { lr0, factor, every } => {
+                lr0 * factor.powi((epoch / every.max(1)) as i32)
+            }
+            LrSchedule::Exponential { lr0, gamma } => lr0 * gamma.powi(epoch as i32),
+            LrSchedule::Cosine { lr0, lr_min, total } => {
+                let p = (epoch.min(total)) as f64 / total.max(1) as f64;
+                lr_min + 0.5 * (lr0 - lr_min) * (1.0 + (std::f64::consts::PI * p).cos())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_constant() {
+        let s = LrSchedule::Constant { lr: 0.01 };
+        assert_eq!(s.at(0), 0.01);
+        assert_eq!(s.at(10_000), 0.01);
+    }
+
+    #[test]
+    fn step_decay_stages() {
+        let s = LrSchedule::Step {
+            lr0: 1.0,
+            factor: 0.5,
+            every: 100,
+        };
+        assert_eq!(s.at(0), 1.0);
+        assert_eq!(s.at(99), 1.0);
+        assert_eq!(s.at(100), 0.5);
+        assert_eq!(s.at(250), 0.25);
+    }
+
+    #[test]
+    fn exponential_monotone() {
+        let s = LrSchedule::Exponential { lr0: 0.1, gamma: 0.99 };
+        assert!(s.at(10) < s.at(5));
+        assert!((s.at(2) - 0.1 * 0.99f64.powi(2)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn cosine_endpoints() {
+        let s = LrSchedule::Cosine {
+            lr0: 1.0,
+            lr_min: 0.1,
+            total: 100,
+        };
+        assert!((s.at(0) - 1.0).abs() < 1e-12);
+        assert!((s.at(100) - 0.1).abs() < 1e-12);
+        assert!((s.at(200) - 0.1).abs() < 1e-12, "clamps past horizon");
+        assert!((s.at(50) - 0.55).abs() < 1e-12);
+    }
+}

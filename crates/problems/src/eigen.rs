@@ -1,0 +1,124 @@
+//! Stationary Schrödinger eigenproblems: `−½ψ″ + V(x)ψ = Eψ` with
+//! Dirichlet boundaries, trainable eigenvalue, and known exact spectra for
+//! validation.
+
+use crate::potential::Potential;
+use qpinn_solvers::{bound_states, BoundState, Grid1d};
+
+/// An eigenproblem benchmark.
+#[derive(Clone, Debug)]
+pub struct EigenProblem {
+    /// Identifier used in reports.
+    pub name: String,
+    /// Left edge (`ψ = 0` there).
+    pub x0: f64,
+    /// Right edge (`ψ = 0` there).
+    pub x1: f64,
+    /// External potential.
+    pub potential: Potential,
+    /// Number of states requested.
+    pub n_states: usize,
+}
+
+impl EigenProblem {
+    /// Particle in a box on `[0, 1]`: `E_n = n²π²/2`.
+    pub fn infinite_well() -> Self {
+        EigenProblem {
+            name: "infinite-well".into(),
+            x0: 0.0,
+            x1: 1.0,
+            potential: Potential::Free,
+            n_states: 4,
+        }
+    }
+
+    /// Harmonic oscillator on a large box: `E_n = ω(n + ½)`.
+    pub fn harmonic(omega: f64) -> Self {
+        EigenProblem {
+            name: format!("harmonic-eigen(ω={omega})"),
+            x0: -8.0,
+            x1: 8.0,
+            potential: Potential::Harmonic { omega },
+            n_states: 4,
+        }
+    }
+
+    /// Quartic double well (no closed form; FD reference only).
+    pub fn double_well() -> Self {
+        EigenProblem {
+            name: "double-well-eigen".into(),
+            x0: -4.0,
+            x1: 4.0,
+            potential: Potential::DoubleWell { a: 1.5, c: 1.0 },
+            n_states: 4,
+        }
+    }
+
+    /// Exact eigenvalues where known.
+    pub fn exact_energies(&self) -> Option<Vec<f64>> {
+        match self.potential {
+            Potential::Free => {
+                let l = self.x1 - self.x0;
+                Some(
+                    (1..=self.n_states)
+                        .map(|n| (n as f64 * std::f64::consts::PI).powi(2) / (2.0 * l * l))
+                        .collect(),
+                )
+            }
+            Potential::Harmonic { omega } => Some(
+                (0..self.n_states)
+                    .map(|n| omega * (n as f64 + 0.5))
+                    .collect(),
+            ),
+            _ => None,
+        }
+    }
+
+    /// Finite-difference reference states on an `nx`-point grid.
+    pub fn reference(&self, nx: usize) -> Vec<BoundState> {
+        let grid = Grid1d::dirichlet(self.x0, self.x1, nx);
+        let v = self.potential;
+        bound_states(&grid, &move |x| v.eval(x), self.n_states)
+    }
+
+    /// The Dirichlet grid the reference uses.
+    pub fn grid(&self, nx: usize) -> Grid1d {
+        Grid1d::dirichlet(self.x0, self.x1, nx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn well_reference_matches_exact() {
+        let p = EigenProblem::infinite_well();
+        let exact = p.exact_energies().unwrap();
+        let states = p.reference(601);
+        for (s, e) in states.iter().zip(&exact) {
+            assert!((s.energy - e).abs() < 2e-3 * e, "{} vs {e}", s.energy);
+        }
+    }
+
+    #[test]
+    fn harmonic_reference_matches_exact() {
+        let p = EigenProblem::harmonic(1.0);
+        let exact = p.exact_energies().unwrap();
+        let states = p.reference(801);
+        for (s, e) in states.iter().zip(&exact) {
+            assert!((s.energy - e).abs() < 2e-3, "{} vs {e}", s.energy);
+        }
+    }
+
+    #[test]
+    fn double_well_has_no_closed_form_but_solves() {
+        let p = EigenProblem::double_well();
+        assert!(p.exact_energies().is_none());
+        let states = p.reference(501);
+        assert_eq!(states.len(), 4);
+        for w in states.windows(2) {
+            assert!(w[0].energy <= w[1].energy + 1e-12);
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! # qpinn-problems
+//!
+//! Benchmark problem definitions for quantum-physics PINNs: potentials,
+//! initial wavepackets, the three problem families (time-dependent
+//! Schrödinger, nonlinear Schrödinger, stationary eigenproblems), closed-
+//! form solutions where they exist, and reference-solution generation via
+//! `qpinn-solvers`.
+//!
+//! All problems use natural units `ħ = m = 1`.
+
+#![deny(missing_docs)]
+
+pub mod eigen;
+pub mod nls;
+pub mod potential;
+pub mod tdse;
+pub mod tdse2d;
+pub mod wavepacket;
+
+pub use eigen::EigenProblem;
+pub use nls::NlsProblem;
+pub use potential::Potential;
+pub use tdse::{Boundary, TdseProblem};
+pub use tdse2d::{Potential2d, Tdse2dProblem};
+pub use wavepacket::GaussianPacket;

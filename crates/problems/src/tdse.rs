@@ -1,0 +1,238 @@
+//! Time-dependent Schrödinger problem definitions and their reference
+//! solutions.
+
+use crate::potential::Potential;
+use crate::wavepacket::GaussianPacket;
+use qpinn_dual::Complex64;
+use qpinn_solvers::{crank_nicolson_tdse, split_step_evolve, Field1d, Grid1d, Nonlinearity};
+
+/// Spatial boundary condition of a problem.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Boundary {
+    /// Periodic in `x` (the PINN enforces this exactly via embedding).
+    Periodic,
+    /// Homogeneous Dirichlet (`ψ = 0` at both edges).
+    Dirichlet,
+}
+
+/// A 1D TDSE benchmark: `i ψ_t = −½ψ_xx + V(x)ψ` on
+/// `[x0, x1] × [0, t_end]` with a Gaussian packet initial condition.
+#[derive(Clone, Debug)]
+pub struct TdseProblem {
+    /// Identifier used in reports.
+    pub name: String,
+    /// Left spatial edge.
+    pub x0: f64,
+    /// Right spatial edge.
+    pub x1: f64,
+    /// Final time.
+    pub t_end: f64,
+    /// Boundary condition.
+    pub boundary: Boundary,
+    /// External potential.
+    pub potential: Potential,
+    /// Initial condition.
+    pub packet: GaussianPacket,
+}
+
+impl TdseProblem {
+    /// Free packet spreading in a periodic box — the quickstart problem.
+    pub fn free_packet() -> Self {
+        TdseProblem {
+            name: "free-packet".into(),
+            x0: -6.0,
+            x1: 6.0,
+            t_end: 1.0,
+            boundary: Boundary::Periodic,
+            potential: Potential::Free,
+            packet: GaussianPacket::at_rest(0.7),
+        }
+    }
+
+    /// A coherent state sloshing in a harmonic trap.
+    pub fn harmonic_packet() -> Self {
+        TdseProblem {
+            name: "harmonic-packet".into(),
+            x0: -6.0,
+            x1: 6.0,
+            t_end: 2.0,
+            boundary: Boundary::Periodic,
+            potential: Potential::Harmonic { omega: 2.0 },
+            packet: GaussianPacket {
+                x0: 1.0,
+                sigma: 0.5,
+                k0: 0.0,
+            },
+        }
+    }
+
+    /// A gently sloshing packet in a soft trap (ω = 1) over one time unit —
+    /// the preset used by the inverse-problem benchmark, where the forward
+    /// problem must converge fast enough for the potential parameter to be
+    /// identifiable.
+    pub fn mild_harmonic() -> Self {
+        TdseProblem {
+            name: "mild-harmonic".into(),
+            x0: -6.0,
+            x1: 6.0,
+            t_end: 1.0,
+            boundary: Boundary::Periodic,
+            potential: Potential::Harmonic { omega: 1.0 },
+            packet: GaussianPacket {
+                x0: 0.8,
+                sigma: 0.7,
+                k0: 0.0,
+            },
+        }
+    }
+
+    /// A moving packet scattering off a smooth barrier (partial
+    /// transmission/reflection).
+    pub fn barrier_scattering() -> Self {
+        TdseProblem {
+            name: "barrier-scattering".into(),
+            x0: -10.0,
+            x1: 10.0,
+            t_end: 1.5,
+            boundary: Boundary::Periodic,
+            potential: Potential::Barrier {
+                height: 2.0,
+                width: 0.8,
+            },
+            packet: GaussianPacket {
+                x0: -4.0,
+                sigma: 0.8,
+                k0: 2.0,
+            },
+        }
+    }
+
+    /// Domain length.
+    pub fn length(&self) -> f64 {
+        self.x1 - self.x0
+    }
+
+    /// The initial wavefunction.
+    pub fn initial(&self, x: f64) -> Complex64 {
+        self.packet.eval(x)
+    }
+
+    /// The closed-form solution, when one exists (free space only).
+    pub fn analytic(&self, x: f64, t: f64) -> Option<Complex64> {
+        match self.potential {
+            Potential::Free => Some(self.packet.free_evolution(x, t)),
+            _ => None,
+        }
+    }
+
+    /// High-fidelity reference solution: split-step Fourier on periodic
+    /// domains (`nx` must be a power of two there), Crank–Nicolson on
+    /// Dirichlet domains. `nt` propagation steps, storing ≈ `n_slices`
+    /// slices.
+    pub fn reference(&self, nx: usize, nt: usize, n_slices: usize) -> Field1d {
+        let store_every = (nt / n_slices.max(1)).max(1);
+        match self.boundary {
+            Boundary::Periodic => {
+                let grid = Grid1d::periodic(self.x0, self.x1, nx);
+                let psi0: Vec<Complex64> =
+                    grid.points().iter().map(|&x| self.initial(x)).collect();
+                let v = self.potential;
+                split_step_evolve(
+                    &grid,
+                    &move |x| v.eval(x),
+                    Nonlinearity::None,
+                    &psi0,
+                    self.t_end,
+                    nt,
+                    store_every,
+                )
+            }
+            Boundary::Dirichlet => {
+                let grid = Grid1d::dirichlet(self.x0, self.x1, nx + 1);
+                let psi0: Vec<Complex64> =
+                    grid.points().iter().map(|&x| self.initial(x)).collect();
+                let v = self.potential;
+                crank_nicolson_tdse(
+                    &grid,
+                    &move |x| v.eval(x),
+                    &psi0,
+                    self.t_end,
+                    nt,
+                    store_every,
+                )
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_well_formed() {
+        for p in [
+            TdseProblem::free_packet(),
+            TdseProblem::harmonic_packet(),
+            TdseProblem::barrier_scattering(),
+        ] {
+            assert!(p.x1 > p.x0 && p.t_end > 0.0);
+            // initial condition effectively vanishes at the edges so the
+            // periodic wrap is consistent
+            assert!(p.initial(p.x0).abs() < 1e-4, "{}", p.name);
+            assert!(p.initial(p.x1).abs() < 1e-4, "{}", p.name);
+        }
+    }
+
+    #[test]
+    fn reference_conserves_norm() {
+        let p = TdseProblem::harmonic_packet();
+        let f = p.reference(128, 400, 5);
+        let n0 = f.norm_at(0);
+        for k in 0..f.n_slices() {
+            assert!((f.norm_at(k) - n0).abs() < 1e-8 * n0);
+        }
+    }
+
+    #[test]
+    fn free_reference_matches_analytic() {
+        let p = TdseProblem::free_packet();
+        let f = p.reference(256, 500, 5);
+        let t = *f.times().last().unwrap();
+        for x in [-2.0, -0.5, 0.0, 1.0, 2.5] {
+            let got = f.sample(x, t);
+            let want = p.analytic(x, t).unwrap();
+            assert!(
+                (got - want).abs() < 1e-3,
+                "at {x}: {got:?} vs {want:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn barrier_splits_the_packet() {
+        // After scattering, significant density on both sides of the
+        // barrier.
+        let p = TdseProblem::barrier_scattering();
+        let f = p.reference(256, 600, 3);
+        let last = f.n_slices() - 1;
+        let grid = *f.grid();
+        let xs = grid.points();
+        let dens: Vec<f64> = f.slice(last).iter().map(|c| c.norm_sqr()).collect();
+        let left: f64 = xs
+            .iter()
+            .zip(&dens)
+            .filter(|(x, _)| **x < 0.0)
+            .map(|(_, d)| d)
+            .sum();
+        let right: f64 = xs
+            .iter()
+            .zip(&dens)
+            .filter(|(x, _)| **x >= 0.0)
+            .map(|(_, d)| d)
+            .sum();
+        let total = left + right;
+        assert!(left / total > 0.05, "reflection {}", left / total);
+        assert!(right / total > 0.05, "transmission {}", right / total);
+    }
+}

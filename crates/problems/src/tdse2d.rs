@@ -1,0 +1,161 @@
+//! Two-dimensional time-dependent Schrödinger benchmarks
+//! `i ψ_t = −½(ψ_xx + ψ_yy) + V(x, y)ψ` on a doubly periodic rectangle —
+//! the "multi-dimensional unsteady field problem" extension.
+
+use qpinn_dual::Complex64;
+use qpinn_solvers::{split_step_evolve_2d, Field2d, Grid1d};
+
+/// A separable 2D potential.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Potential2d {
+    /// Free space.
+    Free,
+    /// Isotropic harmonic trap `V = ½ω²(x² + y²)`.
+    Harmonic {
+        /// Trap frequency.
+        omega: f64,
+    },
+}
+
+impl Potential2d {
+    /// Evaluate `V(x, y)`.
+    pub fn eval(&self, x: f64, y: f64) -> f64 {
+        match *self {
+            Potential2d::Free => 0.0,
+            Potential2d::Harmonic { omega } => 0.5 * omega * omega * (x * x + y * y),
+        }
+    }
+}
+
+/// A 2D TDSE benchmark with a Gaussian initial condition.
+#[derive(Clone, Debug)]
+pub struct Tdse2dProblem {
+    /// Identifier used in reports.
+    pub name: String,
+    /// x-interval.
+    pub x: (f64, f64),
+    /// y-interval.
+    pub y: (f64, f64),
+    /// Final time.
+    pub t_end: f64,
+    /// External potential.
+    pub potential: Potential2d,
+    /// Initial Gaussian: centre and width.
+    pub center: (f64, f64),
+    /// Initial width σ.
+    pub sigma: f64,
+}
+
+impl Tdse2dProblem {
+    /// A packet spreading in free 2D space.
+    pub fn free_packet_2d() -> Self {
+        Tdse2dProblem {
+            name: "free-packet-2d".into(),
+            x: (-5.0, 5.0),
+            y: (-5.0, 5.0),
+            t_end: 0.6,
+            potential: Potential2d::Free,
+            center: (0.0, 0.0),
+            sigma: 0.6,
+        }
+    }
+
+    /// A displaced packet orbiting in an isotropic trap.
+    pub fn harmonic_packet_2d() -> Self {
+        Tdse2dProblem {
+            name: "harmonic-packet-2d".into(),
+            x: (-5.0, 5.0),
+            y: (-5.0, 5.0),
+            t_end: 1.0,
+            potential: Potential2d::Harmonic { omega: 2.0 },
+            center: (1.0, 0.0),
+            sigma: 0.5,
+        }
+    }
+
+    /// Domain lengths `(Lx, Ly)`.
+    pub fn lengths(&self) -> (f64, f64) {
+        (self.x.1 - self.x.0, self.y.1 - self.y.0)
+    }
+
+    /// The normalized initial wavefunction
+    /// `(2πσ²)^{-1/2} exp(−r²/(4σ²))`.
+    pub fn initial(&self, x: f64, y: f64) -> Complex64 {
+        let norm = 1.0 / (2.0 * std::f64::consts::PI * self.sigma * self.sigma).sqrt();
+        let r2 = (x - self.center.0).powi(2) + (y - self.center.1).powi(2);
+        Complex64::new(norm * (-r2 / (4.0 * self.sigma * self.sigma)).exp(), 0.0)
+    }
+
+    /// Spectral reference solution on an `nx × ny` grid (powers of two).
+    pub fn reference(&self, nx: usize, ny: usize, nt: usize, n_slices: usize) -> Field2d {
+        let gx = Grid1d::periodic(self.x.0, self.x.1, nx);
+        let gy = Grid1d::periodic(self.y.0, self.y.1, ny);
+        let psi0: Vec<Complex64> = gx
+            .points()
+            .iter()
+            .flat_map(|&x| {
+                gy.points()
+                    .iter()
+                    .map(|&y| self.initial(x, y))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        let store_every = (nt / n_slices.max(1)).max(1);
+        let v = self.potential;
+        split_step_evolve_2d(
+            &gx,
+            &gy,
+            &move |x, y| v.eval(x, y),
+            &psi0,
+            self.t_end,
+            nt,
+            store_every,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_condition_is_normalized() {
+        let p = Tdse2dProblem::free_packet_2d();
+        let n = 128;
+        let (lx, ly) = p.lengths();
+        let da = (lx / n as f64) * (ly / n as f64);
+        let mut total = 0.0;
+        for i in 0..n {
+            for j in 0..n {
+                let x = p.x.0 + lx * i as f64 / n as f64;
+                let y = p.y.0 + ly * j as f64 / n as f64;
+                total += p.initial(x, y).norm_sqr() * da;
+            }
+        }
+        assert!((total - 1.0).abs() < 1e-8, "norm {total}");
+    }
+
+    #[test]
+    fn reference_conserves_norm() {
+        let p = Tdse2dProblem::harmonic_packet_2d();
+        let f = p.reference(64, 64, 200, 4);
+        let n0 = f.norm_at(0);
+        for k in 0..f.n_slices() {
+            assert!((f.norm_at(k) - n0).abs() < 1e-9 * n0);
+        }
+    }
+
+    #[test]
+    fn free_packet_spreads_isotropically() {
+        let p = Tdse2dProblem::free_packet_2d();
+        let f = p.reference(64, 64, 200, 4);
+        // peak density decreases as the packet spreads
+        let peak = |k: usize| {
+            f.slice(k)
+                .iter()
+                .map(|c| c.norm_sqr())
+                .fold(0.0f64, f64::max)
+        };
+        assert!(peak(f.n_slices() - 1) < 0.8 * peak(0));
+    }
+}

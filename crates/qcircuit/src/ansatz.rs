@@ -1,0 +1,246 @@
+//! Variational circuit templates.
+//!
+//! Each ansatz is `layers` repetitions of a single-qubit rotation block
+//! followed by an entangling block. The templates mirror the designs
+//! ablated in the QPINN literature (and PennyLane's template library):
+//!
+//! * [`Ansatz::BasicEntangling`] — `Rot` per qubit + nearest-neighbour
+//!   CNOT ring ("hardware-efficient");
+//! * [`Ansatz::StronglyEntangling`] — `Rot` per qubit + CNOT ring whose
+//!   control-target distance grows with the layer index;
+//! * [`Ansatz::CrossMeshCrz`] — `RX` per qubit + parametrized `CRZ`
+//!   between every ordered qubit pair ("fully connected");
+//! * [`Ansatz::NoEntangling`] — `Rot` per qubit only (the classical-like
+//!   control).
+
+use crate::gates;
+use crate::state::State;
+use qpinn_dual::Scalar;
+
+/// The ansatz family.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Ansatz {
+    /// Rot + nearest-neighbour CNOT ring.
+    BasicEntangling,
+    /// Rot + layer-dependent-range CNOT ring.
+    StronglyEntangling,
+    /// RX + all-pairs parametrized CRZ.
+    CrossMeshCrz,
+    /// Rot only, no two-qubit gates.
+    NoEntangling,
+}
+
+impl Ansatz {
+    /// All templates, for ablation sweeps.
+    pub fn all() -> [Ansatz; 4] {
+        [
+            Ansatz::BasicEntangling,
+            Ansatz::StronglyEntangling,
+            Ansatz::CrossMeshCrz,
+            Ansatz::NoEntangling,
+        ]
+    }
+
+    /// Report name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Ansatz::BasicEntangling => "basic-entangling",
+            Ansatz::StronglyEntangling => "strongly-entangling",
+            Ansatz::CrossMeshCrz => "cross-mesh-crz",
+            Ansatz::NoEntangling => "no-entangling",
+        }
+    }
+
+    /// Number of trainable parameters for `n_qubits` qubits and `layers`
+    /// layers.
+    pub fn n_params(&self, n_qubits: usize, layers: usize) -> usize {
+        match self {
+            Ansatz::BasicEntangling | Ansatz::StronglyEntangling | Ansatz::NoEntangling => {
+                3 * n_qubits * layers
+            }
+            // RX per qubit + CRZ per ordered pair
+            Ansatz::CrossMeshCrz => layers * (n_qubits + n_qubits * (n_qubits - 1)),
+        }
+    }
+
+    /// Parameters consumed by a single layer on `n_qubits` qubits.
+    pub fn params_per_layer(&self, n_qubits: usize) -> usize {
+        self.n_params(n_qubits, 1)
+    }
+
+    /// Apply one ansatz layer (`layer` is the 0-based layer index, which
+    /// selects the entangling wiring for the strongly entangling template).
+    ///
+    /// # Panics
+    /// Panics on a parameter-count mismatch.
+    pub fn apply_layer<S: Scalar>(&self, state: &mut State<S>, layer: usize, params: &[S]) {
+        let nq = state.n_qubits();
+        assert_eq!(
+            params.len(),
+            self.params_per_layer(nq),
+            "{}: wrong per-layer parameter count",
+            self.name()
+        );
+        self.apply_layer_inner(state, layer, params);
+    }
+
+    /// Apply the full ansatz to `state` using `params` (length must equal
+    /// [`Ansatz::n_params`]).
+    ///
+    /// # Panics
+    /// Panics on a parameter-count mismatch.
+    pub fn apply<S: Scalar>(&self, state: &mut State<S>, layers: usize, params: &[S]) {
+        let nq = state.n_qubits();
+        assert_eq!(
+            params.len(),
+            self.n_params(nq, layers),
+            "{}: wrong parameter count",
+            self.name()
+        );
+        let per = self.params_per_layer(nq);
+        for layer in 0..layers {
+            self.apply_layer_inner(state, layer, &params[layer * per..(layer + 1) * per]);
+        }
+    }
+
+    fn apply_layer_inner<S: Scalar>(&self, state: &mut State<S>, layer: usize, params: &[S]) {
+        let nq = state.n_qubits();
+        {
+            let mut p = 0usize;
+            match self {
+                Ansatz::BasicEntangling | Ansatz::StronglyEntangling | Ansatz::NoEntangling => {
+                    for q in 0..nq {
+                        let g = gates::rot(params[p], params[p + 1], params[p + 2]);
+                        state.apply_1q(q, &g);
+                        p += 3;
+                    }
+                    match self {
+                        Ansatz::NoEntangling => {}
+                        Ansatz::BasicEntangling => {
+                            if nq > 1 {
+                                for q in 0..nq {
+                                    state.apply_cnot(q, (q + 1) % nq);
+                                }
+                            }
+                        }
+                        Ansatz::StronglyEntangling => {
+                            if nq > 1 {
+                                let range = 1 + layer % (nq - 1).max(1);
+                                for q in 0..nq {
+                                    state.apply_cnot(q, (q + range) % nq);
+                                }
+                            }
+                        }
+                        _ => unreachable!(),
+                    }
+                }
+                Ansatz::CrossMeshCrz => {
+                    for q in 0..nq {
+                        state.apply_1q(q, &gates::rx(params[p]));
+                        p += 1;
+                    }
+                    for c in 0..nq {
+                        for t in 0..nq {
+                            if c != t {
+                                state.apply_controlled_1q(c, t, &gates::rz(params[p]));
+                                p += 1;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn random_params(n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| rng.gen_range(0.0..2.0 * std::f64::consts::PI))
+            .collect()
+    }
+
+    #[test]
+    fn parameter_counts() {
+        assert_eq!(Ansatz::BasicEntangling.n_params(7, 4), 84);
+        assert_eq!(Ansatz::StronglyEntangling.n_params(7, 4), 84);
+        assert_eq!(Ansatz::NoEntangling.n_params(7, 4), 84);
+        // 7 RX + 42 CRZ per layer × 4 layers = 196
+        assert_eq!(Ansatz::CrossMeshCrz.n_params(7, 4), 196);
+    }
+
+    #[test]
+    fn all_ansaetze_preserve_norm() {
+        for a in Ansatz::all() {
+            let mut s: State<f64> = State::zero(4);
+            let params = random_params(a.n_params(4, 3), 42);
+            a.apply(&mut s, 3, &params);
+            assert!((s.norm_sqr() - 1.0).abs() < 1e-10, "{}", a.name());
+        }
+    }
+
+    #[test]
+    fn no_entangling_keeps_product_structure() {
+        // With a product ansatz, ⟨Z_q⟩ depends only on qubit q's own
+        // parameters: changing qubit 0's parameters must not affect ⟨Z_1⟩.
+        let a = Ansatz::NoEntangling;
+        let mut p1 = random_params(a.n_params(3, 2), 1);
+        let mut s1: State<f64> = State::zero(3);
+        a.apply(&mut s1, 2, &p1);
+        let z1_before = s1.expectation_z(1);
+        // perturb qubit 0's parameters in both layers (indices 0..3, 9..12)
+        p1[0] += 0.7;
+        p1[9] -= 0.3;
+        let mut s2: State<f64> = State::zero(3);
+        a.apply(&mut s2, 2, &p1);
+        assert!((s2.expectation_z(1) - z1_before).abs() < 1e-12);
+    }
+
+    #[test]
+    fn entangling_ansatz_couples_qubits() {
+        // In contrast, the basic entangler propagates changes across qubits.
+        let a = Ansatz::BasicEntangling;
+        let mut p = random_params(a.n_params(3, 2), 2);
+        let mut s1: State<f64> = State::zero(3);
+        a.apply(&mut s1, 2, &p);
+        let z1_before = s1.expectation_z(1);
+        // perturb qubit 0's RY angle (the leading RZ on |0⟩ is a pure phase)
+        p[1] += 0.9;
+        let mut s2: State<f64> = State::zero(3);
+        a.apply(&mut s2, 2, &p);
+        assert!((s2.expectation_z(1) - z1_before).abs() > 1e-4);
+    }
+
+    #[test]
+    fn strongly_entangling_differs_from_basic_beyond_first_layer() {
+        let nq = 4;
+        let layers = 2;
+        let p = random_params(Ansatz::BasicEntangling.n_params(nq, layers), 3);
+        let mut sb: State<f64> = State::zero(nq);
+        Ansatz::BasicEntangling.apply(&mut sb, layers, &p);
+        let mut ss: State<f64> = State::zero(nq);
+        Ansatz::StronglyEntangling.apply(&mut ss, layers, &p);
+        let diff: f64 = sb
+            .amplitudes()
+            .iter()
+            .zip(ss.amplitudes())
+            .map(|(x, y)| (*x - *y).norm_sqr())
+            .sum();
+        assert!(diff > 1e-6, "layer-2 wiring should differ: {diff}");
+    }
+
+    #[test]
+    fn single_qubit_edge_case() {
+        for a in Ansatz::all() {
+            let mut s: State<f64> = State::zero(1);
+            let params = random_params(a.n_params(1, 2), 4);
+            a.apply(&mut s, 2, &params);
+            assert!((s.norm_sqr() - 1.0).abs() < 1e-12, "{}", a.name());
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! Angle embedding of classical activations, with the five input scalings
+//! ablated in the QPINN literature.
+//!
+//! The preceding classical layer emits tanh-bounded activations
+//! `a ∈ [−1, 1]`; a scaling maps them to rotation angles before the `RX`
+//! embedding. With Pauli-Z readout `⟨Z⟩ = cos θ`, `acos` makes the
+//! single-qubit map the identity and `asin` a sign flip — the remaining
+//! scalings trade range for distinguishability on the Bloch sphere.
+
+use crate::gates;
+use crate::state::State;
+use qpinn_dual::Scalar;
+
+/// The input-angle scaling applied before `RX` embedding.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InputScaling {
+    /// `θ = a` (range `[−1, 1]`).
+    None,
+    /// `θ = πa` (range `[−π, π]`).
+    Pi,
+    /// `θ = (a + 1)π/2` (range `[0, π]`).
+    Bias,
+    /// `θ = asin(a) + π/2` (range `[0, π]`, uniformizes `⟨Z⟩`).
+    Asin,
+    /// `θ = acos(a)` (range `[0, π]`, makes `⟨Z⟩ = a`).
+    Acos,
+}
+
+impl InputScaling {
+    /// All scalings, for ablation sweeps.
+    pub fn all() -> [InputScaling; 5] {
+        [
+            InputScaling::None,
+            InputScaling::Pi,
+            InputScaling::Bias,
+            InputScaling::Asin,
+            InputScaling::Acos,
+        ]
+    }
+
+    /// Report name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            InputScaling::None => "none",
+            InputScaling::Pi => "pi",
+            InputScaling::Bias => "bias",
+            InputScaling::Asin => "asin",
+            InputScaling::Acos => "acos",
+        }
+    }
+
+    /// Scale one activation (plain `f64`; inputs are clamped to `[−1, 1]`
+    /// so the inverse trig branches stay real).
+    pub fn angle(&self, a: f64) -> f64 {
+        let a = a.clamp(-1.0, 1.0);
+        match self {
+            InputScaling::None => a,
+            InputScaling::Pi => a * std::f64::consts::PI,
+            InputScaling::Bias => (a + 1.0) * 0.5 * std::f64::consts::PI,
+            InputScaling::Asin => a.asin() + std::f64::consts::FRAC_PI_2,
+            InputScaling::Acos => a.acos(),
+        }
+    }
+
+    /// Derivative `dθ/da` (for chaining gradients through the scaling).
+    pub fn dangle(&self, a: f64) -> f64 {
+        let a = a.clamp(-1.0, 1.0);
+        match self {
+            InputScaling::None => 1.0,
+            InputScaling::Pi => std::f64::consts::PI,
+            InputScaling::Bias => 0.5 * std::f64::consts::PI,
+            InputScaling::Asin => 1.0 / (1.0 - a * a).max(1e-12).sqrt(),
+            InputScaling::Acos => -1.0 / (1.0 - a * a).max(1e-12).sqrt(),
+        }
+    }
+
+    /// Second derivative `d²θ/da²`.
+    pub fn ddangle(&self, a: f64) -> f64 {
+        let a = a.clamp(-1.0, 1.0);
+        match self {
+            InputScaling::None | InputScaling::Pi | InputScaling::Bias => 0.0,
+            InputScaling::Asin => a / (1.0 - a * a).max(1e-12).powf(1.5),
+            InputScaling::Acos => -a / (1.0 - a * a).max(1e-12).powf(1.5),
+        }
+    }
+}
+
+/// Angle-embed pre-scaled angles into a fresh state: `⊗_q RX(θ_q)|0⟩`.
+pub fn angle_embed<S: Scalar>(angles: &[S]) -> State<S> {
+    let mut s = State::zero(angles.len());
+    for (q, &theta) in angles.iter().enumerate() {
+        s.apply_1q(q, &gates::rx(theta));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges() {
+        for s in InputScaling::all() {
+            for &a in &[-1.0, -0.5, 0.0, 0.5, 1.0] {
+                let t = s.angle(a);
+                match s {
+                    InputScaling::None => assert!((-1.0..=1.0).contains(&t)),
+                    InputScaling::Pi => {
+                        assert!((-std::f64::consts::PI..=std::f64::consts::PI).contains(&t))
+                    }
+                    _ => assert!((0.0..=std::f64::consts::PI + 1e-12).contains(&t)),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn acos_makes_readout_identity() {
+        // ⟨Z⟩ after RX(acos a) is exactly a.
+        for &a in &[-0.9, -0.3, 0.0, 0.4, 0.95] {
+            let s = angle_embed(&[InputScaling::Acos.angle(a)]);
+            assert!((s.expectation_z(0) - a).abs() < 1e-12, "a={a}");
+        }
+    }
+
+    #[test]
+    fn asin_makes_readout_sign_flip() {
+        // cos(asin a + π/2) = −a.
+        for &a in &[-0.8, 0.1, 0.7] {
+            let s = angle_embed(&[InputScaling::Asin.angle(a)]);
+            assert!((s.expectation_z(0) + a).abs() < 1e-12, "a={a}");
+        }
+    }
+
+    #[test]
+    fn derivatives_match_finite_differences() {
+        let h = 1e-6;
+        for s in InputScaling::all() {
+            for &a in &[-0.7, -0.2, 0.3, 0.8] {
+                let fd = (s.angle(a + h) - s.angle(a - h)) / (2.0 * h);
+                assert!(
+                    (s.dangle(a) - fd).abs() < 1e-5 * fd.abs().max(1.0),
+                    "{} at {a}",
+                    s.name()
+                );
+                let fd2 = (s.angle(a + h) - 2.0 * s.angle(a) + s.angle(a - h)) / (h * h);
+                assert!(
+                    (s.ddangle(a) - fd2).abs() < 2e-3 * fd2.abs().max(1.0),
+                    "{} at {a}: {} vs {fd2}",
+                    s.name(),
+                    s.ddangle(a)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn embedding_is_product_state() {
+        let s = angle_embed(&[0.3, 1.1, 2.0]);
+        // per-qubit ⟨Z⟩ are independent cosines
+        for (q, &t) in [0.3, 1.1, 2.0].iter().enumerate() {
+            assert!((s.expectation_z(q) - t.cos()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn out_of_range_inputs_are_clamped() {
+        assert_eq!(InputScaling::Acos.angle(1.5), 0.0);
+        assert!((InputScaling::Acos.angle(-2.0) - std::f64::consts::PI).abs() < 1e-15);
+    }
+}

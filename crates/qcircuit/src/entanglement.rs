@@ -1,0 +1,92 @@
+//! The Meyer–Wallach global entanglement measure
+//! `Q(ψ) = 2·(1 − (1/n) Σ_q Tr ρ_q²)`, where `ρ_q` is the single-qubit
+//! reduced density matrix. `Q = 0` exactly for product states and
+//! approaches 1 for highly entangled ones — the diagnostic used when
+//! studying barren-plateau-like collapse phenomena.
+
+use crate::state::State;
+use qpinn_dual::Complex64;
+
+/// Purity `Tr ρ_q²` of one qubit's reduced state.
+pub fn single_qubit_purity(state: &State<f64>, q: usize) -> f64 {
+    let bit = 1usize << q;
+    let amps = state.amplitudes();
+    let mut a = 0.0; // ρ00
+    let mut c = 0.0; // ρ11
+    let mut b = Complex64::zero(); // ρ01
+    for (i, &amp) in amps.iter().enumerate() {
+        if i & bit == 0 {
+            a += amp.norm_sqr();
+            let j = i | bit;
+            b += amp * amps[j].conj();
+        } else {
+            c += amp.norm_sqr();
+        }
+    }
+    a * a + c * c + 2.0 * b.norm_sqr()
+}
+
+/// The Meyer–Wallach measure of a (normalized) pure state.
+pub fn meyer_wallach(state: &State<f64>) -> f64 {
+    let n = state.n_qubits();
+    let avg_purity: f64 =
+        (0..n).map(|q| single_qubit_purity(state, q)).sum::<f64>() / n as f64;
+    2.0 * (1.0 - avg_purity)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gates;
+
+    #[test]
+    fn product_state_has_zero_entanglement() {
+        let mut s: State<f64> = State::zero(3);
+        s.apply_1q(0, &gates::rx(0.7));
+        s.apply_1q(1, &gates::ry(1.9));
+        s.apply_1q(2, &gates::hadamard());
+        assert!(meyer_wallach(&s).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bell_state_is_maximally_entangled() {
+        let mut s: State<f64> = State::zero(2);
+        s.apply_1q(0, &gates::hadamard());
+        s.apply_cnot(0, 1);
+        // each qubit of a Bell pair is maximally mixed: purity ½ → Q = 1
+        assert!((meyer_wallach(&s) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ghz_state_entanglement() {
+        // GHZ on n qubits: every single-qubit purity is ½ → Q = 1.
+        let mut s: State<f64> = State::zero(4);
+        s.apply_1q(0, &gates::hadamard());
+        for q in 1..4 {
+            s.apply_cnot(0, q);
+        }
+        assert!((meyer_wallach(&s) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partial_entanglement_is_between_bounds() {
+        let mut s: State<f64> = State::zero(2);
+        s.apply_1q(0, &gates::ry(0.8));
+        s.apply_cnot(0, 1);
+        let q = meyer_wallach(&s);
+        assert!(q > 0.01 && q < 0.99, "Q = {q}");
+    }
+
+    #[test]
+    fn purity_bounds() {
+        let mut s: State<f64> = State::zero(3);
+        s.apply_1q(0, &gates::hadamard());
+        s.apply_cnot(0, 1);
+        for q in 0..3 {
+            let p = single_qubit_purity(&s, q);
+            assert!((0.5..=1.0 + 1e-12).contains(&p), "qubit {q}: {p}");
+        }
+        // qubit 2 untouched → pure
+        assert!((single_qubit_purity(&s, 2) - 1.0).abs() < 1e-12);
+    }
+}

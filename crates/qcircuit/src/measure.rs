@@ -1,0 +1,128 @@
+//! Finite-shot measurement: sampling bitstrings from the statevector and
+//! estimating expectations from counts.
+//!
+//! The training pipeline uses analytic expectations (exact statevector
+//! values, "infinite shots"); this module provides the finite-shot
+//! estimators a hardware deployment would rely on, so the shot-noise
+//! penalty can be quantified.
+
+use crate::state::State;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Draw `shots` computational-basis samples (basis indices) from the
+/// measurement distribution of `state`.
+pub fn sample_bitstrings(state: &State<f64>, shots: usize, rng: &mut StdRng) -> Vec<usize> {
+    let probs = state.probabilities();
+    // cumulative distribution for inverse-transform sampling
+    let mut cdf = Vec::with_capacity(probs.len());
+    let mut acc = 0.0;
+    for p in &probs {
+        acc += p;
+        cdf.push(acc);
+    }
+    let total = acc.max(f64::MIN_POSITIVE);
+    (0..shots)
+        .map(|_| {
+            let u: f64 = rng.gen_range(0.0..total);
+            match cdf.binary_search_by(|c| c.partial_cmp(&u).unwrap()) {
+                Ok(i) | Err(i) => i.min(probs.len() - 1),
+            }
+        })
+        .collect()
+}
+
+/// Estimate `⟨Z_q⟩` for every qubit from `shots` samples.
+pub fn estimate_z_expectations(
+    state: &State<f64>,
+    shots: usize,
+    rng: &mut StdRng,
+) -> Vec<f64> {
+    let n = state.n_qubits();
+    let samples = sample_bitstrings(state, shots, rng);
+    let mut sums = vec![0.0f64; n];
+    for s in &samples {
+        for (q, sum) in sums.iter_mut().enumerate() {
+            if s & (1 << q) == 0 {
+                *sum += 1.0;
+            } else {
+                *sum -= 1.0;
+            }
+        }
+    }
+    sums.iter().map(|s| s / shots as f64).collect()
+}
+
+/// The standard error of a finite-shot `⟨Z⟩` estimate:
+/// `√((1 − ⟨Z⟩²)/shots)`.
+pub fn z_standard_error(expectation: f64, shots: usize) -> f64 {
+    ((1.0 - expectation * expectation).max(0.0) / shots as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gates;
+    use rand::SeedableRng;
+
+    #[test]
+    fn deterministic_state_always_samples_same_bitstring() {
+        let mut s: State<f64> = State::zero(3);
+        s.apply_1q(1, &gates::rx(std::f64::consts::PI)); // |010⟩ (index 2)
+        let mut rng = StdRng::seed_from_u64(0);
+        let samples = sample_bitstrings(&s, 100, &mut rng);
+        assert!(samples.iter().all(|&b| b == 2));
+    }
+
+    #[test]
+    fn shot_estimates_converge_to_analytic_expectations() {
+        let theta = 1.1;
+        let mut s: State<f64> = State::zero(2);
+        s.apply_1q(0, &gates::rx(theta));
+        s.apply_1q(1, &gates::hadamard());
+        let mut rng = StdRng::seed_from_u64(1);
+        let est = estimate_z_expectations(&s, 100_000, &mut rng);
+        let exact = s.all_expectations_z();
+        for (q, (e, x)) in est.iter().zip(&exact).enumerate() {
+            let se = z_standard_error(*x, 100_000);
+            assert!(
+                (e - x).abs() < 5.0 * se.max(1e-3),
+                "qubit {q}: {e} vs {x} (se {se})"
+            );
+        }
+    }
+
+    #[test]
+    fn bell_state_samples_are_perfectly_correlated() {
+        let mut s: State<f64> = State::zero(2);
+        s.apply_1q(0, &gates::hadamard());
+        s.apply_cnot(0, 1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let samples = sample_bitstrings(&s, 2000, &mut rng);
+        let mut zeros = 0usize;
+        for b in samples {
+            assert!(b == 0 || b == 3, "non-correlated outcome {b}");
+            if b == 0 {
+                zeros += 1;
+            }
+        }
+        // roughly 50/50
+        assert!((zeros as f64 / 2000.0 - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn standard_error_shrinks_with_shots() {
+        assert!(z_standard_error(0.0, 100) > z_standard_error(0.0, 10_000));
+        assert_eq!(z_standard_error(1.0, 100), 0.0);
+        assert!((z_standard_error(0.0, 10_000) - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampling_is_reproducible_with_seed() {
+        let mut s: State<f64> = State::zero(2);
+        s.apply_1q(0, &gates::hadamard());
+        let a = sample_bitstrings(&s, 50, &mut StdRng::seed_from_u64(7));
+        let b = sample_bitstrings(&s, 50, &mut StdRng::seed_from_u64(7));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,112 @@
+//! The parameter-shift rule: exact gradients of Pauli-rotation circuits
+//! from two shifted evaluations, `∂f/∂θ = (f(θ+π/2) − f(θ−π/2))/2`.
+//!
+//! On hardware this is the only exact option; in this repository it serves
+//! as an independent oracle for the dual-number derivatives (they must
+//! agree to machine precision).
+
+use std::f64::consts::FRAC_PI_2;
+
+/// Gradient of a scalar function of circuit parameters via the
+/// parameter-shift rule. `f` is evaluated `2·θ.len()` times.
+pub fn parameter_shift_gradient(f: &dyn Fn(&[f64]) -> f64, theta: &[f64]) -> Vec<f64> {
+    let mut grad = Vec::with_capacity(theta.len());
+    let mut work = theta.to_vec();
+    for i in 0..theta.len() {
+        work[i] = theta[i] + FRAC_PI_2;
+        let plus = f(&work);
+        work[i] = theta[i] - FRAC_PI_2;
+        let minus = f(&work);
+        work[i] = theta[i];
+        grad.push(0.5 * (plus - minus));
+    }
+    grad
+}
+
+/// Exact second derivative along one Pauli-rotation parameter, from the
+/// composition of two first-order shifts:
+/// `∂²f/∂θᵢ² = ¼·(f(θ+π·eᵢ) − 2f(θ) + f(θ−π·eᵢ))`.
+///
+/// (Any single-Pauli-generator expectation is `A·cos(θ+φ) + C`, for which
+/// this identity is exact.)
+pub fn parameter_shift_second(f: &dyn Fn(&[f64]) -> f64, theta: &[f64], i: usize) -> f64 {
+    let mut work = theta.to_vec();
+    let base = f(theta);
+    work[i] = theta[i] + std::f64::consts::PI;
+    let plus = f(&work);
+    work[i] = theta[i] - std::f64::consts::PI;
+    let minus = f(&work);
+    0.25 * (plus + minus - 2.0 * base)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ansatz::Ansatz;
+    use crate::encoding::angle_embed;
+    use crate::state::State;
+    use qpinn_dual::{Dual, Dual64, Scalar};
+
+    #[test]
+    fn matches_cosine_rule() {
+        // f(θ) = ⟨Z⟩ after RX(θ) = cos θ; f' = −sin θ.
+        let f = |t: &[f64]| {
+            let s = angle_embed(&[t[0]]);
+            s.expectation_z(0)
+        };
+        for &t in &[0.0, 0.6, 2.1] {
+            let g = parameter_shift_gradient(&f, &[t]);
+            assert!((g[0] + t.sin()).abs() < 1e-12, "θ={t}");
+        }
+    }
+
+    #[test]
+    fn agrees_with_dual_numbers_on_full_ansatz() {
+        let ansatz = Ansatz::BasicEntangling;
+        let (nq, layers) = (3, 2);
+        let n = ansatz.n_params(nq, layers);
+        let theta: Vec<f64> = (0..n).map(|i| 0.3 + 0.17 * i as f64).collect();
+        let f = |t: &[f64]| {
+            let mut s: State<f64> = State::zero(nq);
+            ansatz.apply(&mut s, layers, t);
+            s.expectation_z(1)
+        };
+        let shift_grad = parameter_shift_gradient(&f, &theta);
+        // dual-number gradient, one direction at a time
+        for i in 0..n {
+            let td: Vec<Dual64> = theta
+                .iter()
+                .enumerate()
+                .map(|(j, &v)| {
+                    if j == i {
+                        Dual64::var(v)
+                    } else {
+                        Dual::constant(v)
+                    }
+                })
+                .collect();
+            let mut s: State<Dual64> = State::zero(nq);
+            ansatz.apply(&mut s, layers, &td);
+            let e = s.expectation_z(1);
+            assert!(
+                (e.eps - shift_grad[i]).abs() < 1e-11,
+                "param {i}: dual {} vs shift {}",
+                e.eps,
+                shift_grad[i]
+            );
+            assert!((e.value() - f(&theta)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn second_derivative_of_cosine() {
+        let f = |t: &[f64]| {
+            let s = angle_embed(&[t[0]]);
+            s.expectation_z(0)
+        };
+        for &t in &[0.2, 1.0, 2.4] {
+            let d2 = parameter_shift_second(&f, &[t], 0);
+            assert!((d2 + t.cos()).abs() < 1e-12, "θ={t}: {d2} vs {}", -t.cos());
+        }
+    }
+}

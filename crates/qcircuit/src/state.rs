@@ -1,0 +1,233 @@
+//! The statevector and its gate-application kernels.
+//!
+//! Qubit `q` corresponds to bit `q` of the basis index (little-endian):
+//! `|b_{n−1} … b_1 b_0⟩` has amplitude index `Σ b_q 2^q`.
+
+use qpinn_dual::{Cplx, Scalar};
+
+/// A pure `n`-qubit state, generic over the scalar carried by its
+/// amplitudes.
+#[derive(Clone, Debug)]
+pub struct State<S> {
+    n_qubits: usize,
+    amps: Vec<Cplx<S>>,
+}
+
+impl<S: Scalar> State<S> {
+    /// The computational basis state `|0…0⟩`.
+    pub fn zero(n_qubits: usize) -> Self {
+        assert!((1..=24).contains(&n_qubits), "unreasonable qubit count");
+        let mut amps = vec![Cplx::zero(); 1 << n_qubits];
+        amps[0] = Cplx::one();
+        State { n_qubits, amps }
+    }
+
+    /// Number of qubits.
+    pub fn n_qubits(&self) -> usize {
+        self.n_qubits
+    }
+
+    /// Amplitudes in basis order.
+    pub fn amplitudes(&self) -> &[Cplx<S>] {
+        &self.amps
+    }
+
+    /// Total norm `⟨ψ|ψ⟩`.
+    pub fn norm_sqr(&self) -> S {
+        let mut acc = S::zero();
+        for a in &self.amps {
+            acc += a.norm_sqr();
+        }
+        acc
+    }
+
+    /// Apply a single-qubit gate `[[g00, g01], [g10, g11]]` to `target`.
+    ///
+    /// # Panics
+    /// Panics for an out-of-range target.
+    pub fn apply_1q(&mut self, target: usize, g: &[[Cplx<S>; 2]; 2]) {
+        assert!(target < self.n_qubits, "target {target} out of range");
+        let bit = 1usize << target;
+        let n = self.amps.len();
+        let mut i0 = 0usize;
+        while i0 < n {
+            if i0 & bit == 0 {
+                let i1 = i0 | bit;
+                let a0 = self.amps[i0];
+                let a1 = self.amps[i1];
+                self.amps[i0] = g[0][0] * a0 + g[0][1] * a1;
+                self.amps[i1] = g[1][0] * a0 + g[1][1] * a1;
+            }
+            i0 += 1;
+        }
+    }
+
+    /// Apply a single-qubit gate to `target`, controlled on `control`.
+    ///
+    /// # Panics
+    /// Panics for out-of-range or equal qubits.
+    pub fn apply_controlled_1q(&mut self, control: usize, target: usize, g: &[[Cplx<S>; 2]; 2]) {
+        assert!(control < self.n_qubits && target < self.n_qubits);
+        assert_ne!(control, target, "control = target");
+        let cbit = 1usize << control;
+        let tbit = 1usize << target;
+        let n = self.amps.len();
+        for i0 in 0..n {
+            if i0 & cbit != 0 && i0 & tbit == 0 {
+                let i1 = i0 | tbit;
+                let a0 = self.amps[i0];
+                let a1 = self.amps[i1];
+                self.amps[i0] = g[0][0] * a0 + g[0][1] * a1;
+                self.amps[i1] = g[1][0] * a0 + g[1][1] * a1;
+            }
+        }
+    }
+
+    /// CNOT with the given control and target.
+    pub fn apply_cnot(&mut self, control: usize, target: usize) {
+        assert!(control < self.n_qubits && target < self.n_qubits);
+        assert_ne!(control, target, "control = target");
+        let cbit = 1usize << control;
+        let tbit = 1usize << target;
+        for i in 0..self.amps.len() {
+            if i & cbit != 0 && i & tbit == 0 {
+                let j = i | tbit;
+                self.amps.swap(i, j);
+            }
+        }
+    }
+
+    /// Expectation value `⟨Z_q⟩ = Σ (−1)^{bit q} |ψ_i|²`.
+    pub fn expectation_z(&self, q: usize) -> S {
+        assert!(q < self.n_qubits);
+        let bit = 1usize << q;
+        let mut acc = S::zero();
+        for (i, a) in self.amps.iter().enumerate() {
+            let p = a.norm_sqr();
+            if i & bit == 0 {
+                acc += p;
+            } else {
+                acc -= p;
+            }
+        }
+        acc
+    }
+
+    /// All per-qubit Z expectations.
+    pub fn all_expectations_z(&self) -> Vec<S> {
+        (0..self.n_qubits).map(|q| self.expectation_z(q)).collect()
+    }
+}
+
+impl State<f64> {
+    /// Measurement probabilities in basis order.
+    pub fn probabilities(&self) -> Vec<f64> {
+        self.amps.iter().map(|a| a.norm_sqr()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gates;
+    use qpinn_dual::Complex64;
+
+    type St = State<f64>;
+
+    #[test]
+    fn zero_state_is_normalized() {
+        let s = St::zero(3);
+        assert_eq!(s.amplitudes().len(), 8);
+        assert!((s.norm_sqr() - 1.0).abs() < 1e-15);
+        assert_eq!(s.amplitudes()[0], Complex64::one());
+    }
+
+    #[test]
+    fn x_gate_flips() {
+        // RX(π) = −i X up to phase: |0⟩ → −i|1⟩.
+        let mut s = St::zero(1);
+        s.apply_1q(0, &gates::rx(std::f64::consts::PI));
+        assert!(s.amplitudes()[0].abs() < 1e-12);
+        assert!((s.amplitudes()[1].abs() - 1.0).abs() < 1e-12);
+        assert!((s.expectation_z(0) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hadamard_gives_equal_superposition() {
+        let mut s = St::zero(2);
+        s.apply_1q(0, &gates::hadamard());
+        s.apply_1q(1, &gates::hadamard());
+        for a in s.amplitudes() {
+            assert!((a.re - 0.5).abs() < 1e-12 && a.im.abs() < 1e-12);
+        }
+        assert!(s.expectation_z(0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bell_state_via_h_cnot() {
+        let mut s = St::zero(2);
+        s.apply_1q(0, &gates::hadamard());
+        s.apply_cnot(0, 1);
+        let p = s.probabilities();
+        assert!((p[0] - 0.5).abs() < 1e-12); // |00⟩
+        assert!((p[3] - 0.5).abs() < 1e-12); // |11⟩
+        assert!(p[1].abs() < 1e-15 && p[2].abs() < 1e-15);
+    }
+
+    #[test]
+    fn rx_rotation_expectation_is_cos_theta() {
+        for &theta in &[0.0, 0.4, 1.1, 2.7] {
+            let mut s = St::zero(1);
+            s.apply_1q(0, &gates::rx(theta));
+            assert!(
+                (s.expectation_z(0) - theta.cos()).abs() < 1e-12,
+                "θ = {theta}"
+            );
+        }
+    }
+
+    #[test]
+    fn controlled_gate_ignores_zero_control() {
+        let mut s = St::zero(2);
+        s.apply_controlled_1q(0, 1, &gates::rx(1.3));
+        // control qubit 0 is |0⟩ → nothing happens
+        assert!((s.amplitudes()[0].re - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn crz_applies_phase_only_on_11() {
+        let mut s = St::zero(2);
+        s.apply_1q(0, &gates::hadamard());
+        s.apply_1q(1, &gates::hadamard());
+        s.apply_controlled_1q(0, 1, &gates::rz(1.0));
+        // |11⟩ picks up e^{+i/2}, |01⟩… wait: rz applies phases to target
+        // basis; on the controlled subspace (control=1): |10⟩ (target 1 = 0)
+        // gets e^{-i/2}, |11⟩ gets e^{+i/2}. Norm unchanged everywhere.
+        let p = s.probabilities();
+        for v in p {
+            assert!((v - 0.25).abs() < 1e-12);
+        }
+        assert!((s.amplitudes()[3].arg() - 0.5).abs() < 1e-12);
+        assert!((s.amplitudes()[1].arg() - (-0.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gates_preserve_norm() {
+        let mut s = St::zero(3);
+        s.apply_1q(0, &gates::rx(0.7));
+        s.apply_1q(1, &gates::ry(1.2));
+        s.apply_1q(2, &gates::rz(-0.5));
+        s.apply_cnot(0, 2);
+        s.apply_controlled_1q(2, 1, &gates::rz(0.9));
+        assert!((s.norm_sqr() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn little_endian_indexing() {
+        // Flip qubit 1 of |000⟩ → index 2.
+        let mut s = St::zero(3);
+        s.apply_1q(1, &gates::rx(std::f64::consts::PI));
+        let p = s.probabilities();
+        assert!((p[2] - 1.0).abs() < 1e-12);
+    }
+}

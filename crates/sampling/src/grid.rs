@@ -1,0 +1,133 @@
+//! Axis-aligned domains and tensor-product grids.
+
+/// An axis-aligned box domain: per-axis `[lo, hi]` intervals.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Domain {
+    /// Per-axis bounds.
+    pub bounds: Vec<(f64, f64)>,
+}
+
+impl Domain {
+    /// Build from bounds.
+    ///
+    /// # Panics
+    /// Panics when any interval is empty or inverted.
+    pub fn new(bounds: &[(f64, f64)]) -> Self {
+        for &(lo, hi) in bounds {
+            assert!(hi > lo, "degenerate interval [{lo}, {hi}]");
+        }
+        Domain {
+            bounds: bounds.to_vec(),
+        }
+    }
+
+    /// Dimensionality.
+    pub fn dim(&self) -> usize {
+        self.bounds.len()
+    }
+
+    /// Hyper-volume.
+    pub fn volume(&self) -> f64 {
+        self.bounds.iter().map(|(lo, hi)| hi - lo).product()
+    }
+
+    /// True when `p` lies inside (inclusive).
+    pub fn contains(&self, p: &[f64]) -> bool {
+        p.len() == self.dim()
+            && p.iter()
+                .zip(&self.bounds)
+                .all(|(&x, &(lo, hi))| x >= lo && x <= hi)
+    }
+
+    /// Map a unit-cube point into this domain.
+    pub fn from_unit(&self, u: &[f64]) -> Vec<f64> {
+        u.iter()
+            .zip(&self.bounds)
+            .map(|(&ui, &(lo, hi))| lo + ui * (hi - lo))
+            .collect()
+    }
+}
+
+/// `n` evenly spaced points covering `[a, b]` inclusive.
+///
+/// # Panics
+/// Panics when `n < 2`.
+pub fn linspace(a: f64, b: f64, n: usize) -> Vec<f64> {
+    assert!(n >= 2, "linspace needs n ≥ 2");
+    let step = (b - a) / (n - 1) as f64;
+    (0..n).map(|i| a + step * i as f64).collect()
+}
+
+/// Full tensor-product grid over a domain with `per_axis[i]` points on axis
+/// `i`; rows are points in row-major (last axis fastest) order.
+///
+/// # Panics
+/// Panics on dimension mismatch.
+pub fn cartesian_grid(domain: &Domain, per_axis: &[usize]) -> Vec<Vec<f64>> {
+    assert_eq!(per_axis.len(), domain.dim(), "per_axis arity");
+    let axes: Vec<Vec<f64>> = domain
+        .bounds
+        .iter()
+        .zip(per_axis)
+        .map(|(&(lo, hi), &n)| linspace(lo, hi, n))
+        .collect();
+    let total: usize = per_axis.iter().product();
+    let mut out = Vec::with_capacity(total);
+    let mut idx = vec![0usize; per_axis.len()];
+    for _ in 0..total {
+        out.push(idx.iter().zip(&axes).map(|(&i, ax)| ax[i]).collect());
+        // odometer increment, last axis fastest
+        for d in (0..idx.len()).rev() {
+            idx[d] += 1;
+            if idx[d] < per_axis[d] {
+                break;
+            }
+            idx[d] = 0;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn domain_queries() {
+        let d = Domain::new(&[(-1.0, 1.0), (0.0, 2.0)]);
+        assert_eq!(d.dim(), 2);
+        assert!((d.volume() - 4.0).abs() < 1e-15);
+        assert!(d.contains(&[0.0, 1.0]));
+        assert!(!d.contains(&[0.0, 2.5]));
+        assert_eq!(d.from_unit(&[0.5, 0.0]), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn grid_size_and_ordering() {
+        let d = Domain::new(&[(0.0, 1.0), (0.0, 1.0)]);
+        let g = cartesian_grid(&d, &[2, 3]);
+        assert_eq!(g.len(), 6);
+        // last axis fastest
+        assert_eq!(g[0], vec![0.0, 0.0]);
+        assert_eq!(g[1], vec![0.0, 0.5]);
+        assert_eq!(g[2], vec![0.0, 1.0]);
+        assert_eq!(g[3], vec![1.0, 0.0]);
+        assert_eq!(g[5], vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn grid_covers_corners() {
+        let d = Domain::new(&[(-1.0, 1.0), (0.0, 1.5), (0.0, 0.7)]);
+        let g = cartesian_grid(&d, &[3, 3, 3]);
+        assert_eq!(g.len(), 27);
+        assert!(g.contains(&vec![-1.0, 0.0, 0.0]));
+        assert!(g.contains(&vec![1.0, 1.5, 0.7]));
+        assert!(g.iter().all(|p| d.contains(p)));
+    }
+
+    #[test]
+    #[should_panic]
+    fn inverted_interval_rejected() {
+        let _ = Domain::new(&[(1.0, -1.0)]);
+    }
+}

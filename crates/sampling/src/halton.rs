@@ -1,0 +1,74 @@
+//! Halton low-discrepancy sequences.
+
+use crate::grid::Domain;
+
+const PRIMES: [usize; 8] = [2, 3, 5, 7, 11, 13, 17, 19];
+
+/// The radical inverse of `i` in base `b` — the core of the Halton
+/// construction.
+fn radical_inverse(mut i: usize, b: usize) -> f64 {
+    let mut f = 1.0;
+    let mut r = 0.0;
+    while i > 0 {
+        f /= b as f64;
+        r += f * (i % b) as f64;
+        i /= b;
+    }
+    r
+}
+
+/// The first `n` points of the Halton sequence mapped into `domain`
+/// (dimension ≤ 8; the leading index is skipped to avoid the origin).
+///
+/// # Panics
+/// Panics for dimensions above 8.
+pub fn halton_points(domain: &Domain, n: usize) -> Vec<Vec<f64>> {
+    let d = domain.dim();
+    assert!(d <= PRIMES.len(), "Halton supports up to 8 dimensions");
+    (1..=n)
+        .map(|i| {
+            let u: Vec<f64> = (0..d).map(|a| radical_inverse(i, PRIMES[a])).collect();
+            domain.from_unit(&u)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base2_prefix_is_van_der_corput() {
+        // 1/2, 1/4, 3/4, 1/8, 5/8, …
+        let d = Domain::new(&[(0.0, 1.0)]);
+        let pts = halton_points(&d, 5);
+        let want = [0.5, 0.25, 0.75, 0.125, 0.625];
+        for (p, w) in pts.iter().zip(want) {
+            assert!((p[0] - w).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn deterministic_and_in_domain() {
+        let d = Domain::new(&[(-1.0, 1.0), (0.0, 5.0)]);
+        let a = halton_points(&d, 100);
+        let b = halton_points(&d, 100);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|p| d.contains(p)));
+    }
+
+    #[test]
+    fn covers_space_evenly() {
+        // Each quadrant of the unit square should receive ~25% of points.
+        let d = Domain::new(&[(0.0, 1.0), (0.0, 1.0)]);
+        let pts = halton_points(&d, 1000);
+        let mut counts = [0usize; 4];
+        for p in &pts {
+            let q = (p[0] >= 0.5) as usize * 2 + (p[1] >= 0.5) as usize;
+            counts[q] += 1;
+        }
+        for c in counts {
+            assert!((c as f64 - 250.0).abs() < 25.0, "{counts:?}");
+        }
+    }
+}

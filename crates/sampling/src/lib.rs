@@ -1,0 +1,30 @@
+//! # qpinn-sampling
+//!
+//! Collocation-point generation for PINN training: tensor-product grids,
+//! uniform random sampling, Latin hypercube designs, Halton low-discrepancy
+//! sequences, and the time-bin partitioning used by causal (curriculum)
+//! training.
+//!
+//! ```
+//! use qpinn_sampling::{latin_hypercube, Domain};
+//! use rand::{rngs::StdRng, SeedableRng};
+//! let domain = Domain::new(&[(-1.0, 1.0), (0.0, 2.0)]);
+//! let pts = latin_hypercube(&domain, 64, &mut StdRng::seed_from_u64(0));
+//! assert!(pts.iter().all(|p| domain.contains(p)));
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod grid;
+pub mod halton;
+pub mod latin;
+pub mod quadrature;
+pub mod random;
+pub mod timebins;
+
+pub use grid::{cartesian_grid, linspace, Domain};
+pub use halton::halton_points;
+pub use latin::latin_hypercube;
+pub use quadrature::GaussLegendre;
+pub use random::uniform_points;
+pub use timebins::TimeBins;

@@ -1,0 +1,161 @@
+//! Gauss–Legendre quadrature: high-order integration rules used for
+//! normalization and energy integrals where the trapezoid rule's O(h²)
+//! error would dominate.
+//!
+//! Nodes are the roots of the Legendre polynomial `P_n`, found by Newton
+//! iteration from the Chebyshev initial guess; weights are
+//! `2 / ((1 − x²)·P_n′(x)²)`. Exact for polynomials of degree ≤ 2n − 1.
+
+/// A Gauss–Legendre rule with `n` nodes on `[-1, 1]`.
+#[derive(Clone, Debug)]
+pub struct GaussLegendre {
+    nodes: Vec<f64>,
+    weights: Vec<f64>,
+}
+
+/// Evaluate `(P_n(x), P_n′(x))` by the three-term recurrence.
+fn legendre(n: usize, x: f64) -> (f64, f64) {
+    let mut p0 = 1.0;
+    let mut p1 = x;
+    if n == 0 {
+        return (1.0, 0.0);
+    }
+    for k in 2..=n {
+        let pk = ((2 * k - 1) as f64 * x * p1 - (k - 1) as f64 * p0) / k as f64;
+        p0 = p1;
+        p1 = pk;
+    }
+    // derivative identity: (1 − x²) P_n′ = n (P_{n−1} − x P_n)
+    let dp = n as f64 * (p0 - x * p1) / (1.0 - x * x);
+    (p1, dp)
+}
+
+impl GaussLegendre {
+    /// Build the `n`-point rule.
+    ///
+    /// # Panics
+    /// Panics for `n = 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 1, "need at least one node");
+        let mut nodes = vec![0.0; n];
+        let mut weights = vec![0.0; n];
+        for i in 0..n.div_ceil(2) {
+            // Chebyshev-based initial guess for the i-th positive root
+            let mut x = (std::f64::consts::PI * (i as f64 + 0.75) / (n as f64 + 0.5)).cos();
+            for _ in 0..100 {
+                let (p, dp) = legendre(n, x);
+                let dx = p / dp;
+                x -= dx;
+                if dx.abs() < 1e-15 {
+                    break;
+                }
+            }
+            let (_, dp) = legendre(n, x);
+            let w = 2.0 / ((1.0 - x * x) * dp * dp);
+            nodes[i] = -x;
+            nodes[n - 1 - i] = x;
+            weights[i] = w;
+            weights[n - 1 - i] = w;
+        }
+        if n % 2 == 1 {
+            // the middle node is exactly 0
+            nodes[n / 2] = 0.0;
+            let (_, dp) = legendre(n, 0.0);
+            weights[n / 2] = 2.0 / (dp * dp);
+        }
+        GaussLegendre { nodes, weights }
+    }
+
+    /// Nodes on `[-1, 1]`, ascending.
+    pub fn nodes(&self) -> &[f64] {
+        &self.nodes
+    }
+
+    /// Matching weights (sum to 2).
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Integrate `f` over `[a, b]`.
+    pub fn integrate(&self, a: f64, b: f64, f: impl Fn(f64) -> f64) -> f64 {
+        let half = 0.5 * (b - a);
+        let mid = 0.5 * (a + b);
+        self.nodes
+            .iter()
+            .zip(&self.weights)
+            .map(|(&x, &w)| w * f(mid + half * x))
+            .sum::<f64>()
+            * half
+    }
+
+    /// The abscissae mapped onto `[a, b]` with matching weights — for
+    /// sampling collocation/normalization points with built-in quadrature
+    /// weights.
+    pub fn mapped(&self, a: f64, b: f64) -> Vec<(f64, f64)> {
+        let half = 0.5 * (b - a);
+        let mid = 0.5 * (a + b);
+        self.nodes
+            .iter()
+            .zip(&self.weights)
+            .map(|(&x, &w)| (mid + half * x, w * half))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weights_sum_to_interval_measure() {
+        for n in [1usize, 2, 5, 16, 33] {
+            let q = GaussLegendre::new(n);
+            let s: f64 = q.weights().iter().sum();
+            assert!((s - 2.0).abs() < 1e-12, "n={n}: {s}");
+        }
+    }
+
+    #[test]
+    fn exact_for_polynomials_up_to_degree_2n_minus_1() {
+        let n = 5;
+        let q = GaussLegendre::new(n);
+        // ∫₋₁¹ x^k dx = 0 (odd) or 2/(k+1) (even), exact through k = 9
+        for k in 0..=(2 * n - 1) {
+            let got = q.integrate(-1.0, 1.0, |x| x.powi(k as i32));
+            let want = if k % 2 == 1 { 0.0 } else { 2.0 / (k as f64 + 1.0) };
+            assert!((got - want).abs() < 1e-13, "k={k}: {got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn gaussian_integral_converges_spectrally() {
+        // ∫₋₈⁸ e^{−x²} dx ≈ √π.
+        let want = std::f64::consts::PI.sqrt();
+        let coarse = GaussLegendre::new(16).integrate(-8.0, 8.0, |x| (-x * x).exp());
+        let fine = GaussLegendre::new(48).integrate(-8.0, 8.0, |x| (-x * x).exp());
+        assert!((fine - want).abs() < 1e-12, "fine {fine}");
+        assert!((fine - want).abs() < (coarse - want).abs());
+    }
+
+    #[test]
+    fn mapped_points_lie_in_interval_and_integrate() {
+        let q = GaussLegendre::new(20);
+        let pts = q.mapped(0.0, 3.0);
+        assert!(pts.iter().all(|&(x, _)| (0.0..=3.0).contains(&x)));
+        // ∫₀³ sin x dx = 1 − cos 3
+        let got: f64 = pts.iter().map(|&(x, w)| w * x.sin()).sum();
+        assert!((got - (1.0 - 3.0f64.cos())).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nodes_are_sorted_and_symmetric() {
+        let q = GaussLegendre::new(9);
+        for w in q.nodes().windows(2) {
+            assert!(w[1] > w[0]);
+        }
+        for i in 0..9 {
+            assert!((q.nodes()[i] + q.nodes()[8 - i]).abs() < 1e-14);
+        }
+        assert_eq!(q.nodes()[4], 0.0);
+    }
+}

@@ -1,0 +1,50 @@
+//! Independent uniform sampling inside a domain.
+
+use crate::grid::Domain;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// `n` i.i.d. uniform points in `domain`.
+pub fn uniform_points(domain: &Domain, n: usize, rng: &mut StdRng) -> Vec<Vec<f64>> {
+    (0..n)
+        .map(|_| {
+            domain
+                .bounds
+                .iter()
+                .map(|&(lo, hi)| rng.gen_range(lo..hi))
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn points_lie_in_domain() {
+        let d = Domain::new(&[(-2.0, 1.0), (0.5, 0.9)]);
+        let mut rng = StdRng::seed_from_u64(0);
+        let pts = uniform_points(&d, 500, &mut rng);
+        assert_eq!(pts.len(), 500);
+        assert!(pts.iter().all(|p| d.contains(p)));
+    }
+
+    #[test]
+    fn mean_approaches_center() {
+        let d = Domain::new(&[(0.0, 2.0)]);
+        let mut rng = StdRng::seed_from_u64(1);
+        let pts = uniform_points(&d, 20_000, &mut rng);
+        let mean: f64 = pts.iter().map(|p| p[0]).sum::<f64>() / pts.len() as f64;
+        assert!((mean - 1.0).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn seeded_reproducibility() {
+        let d = Domain::new(&[(0.0, 1.0), (0.0, 1.0)]);
+        let a = uniform_points(&d, 10, &mut StdRng::seed_from_u64(7));
+        let b = uniform_points(&d, 10, &mut StdRng::seed_from_u64(7));
+        assert_eq!(a, b);
+    }
+}

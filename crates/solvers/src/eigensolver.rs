@@ -1,0 +1,142 @@
+//! Finite-difference bound states of the 1D Hamiltonian
+//! `H = −½∂²/∂x² + V(x)` with Dirichlet boundaries.
+//!
+//! The 3-point stencil turns `H` into a symmetric tridiagonal matrix over
+//! the interior points; eigenvalues come from Sturm bisection, vectors from
+//! inverse iteration, and the continuum normalization `∫ψ² dx = 1` is
+//! applied afterwards.
+
+use crate::grid::Grid1d;
+use qpinn_linalg::{symmetric_tridiagonal_eigen, SymTridiag};
+
+/// One computed bound state.
+#[derive(Clone, Debug)]
+pub struct BoundState {
+    /// Energy eigenvalue.
+    pub energy: f64,
+    /// Wavefunction samples on the full grid (zero at the endpoints),
+    /// normalized so `∫ψ² dx = 1` with positive leading lobe.
+    pub psi: Vec<f64>,
+}
+
+/// The lowest `k` bound states of `−½∂²/∂x² + V` on a Dirichlet grid.
+///
+/// # Panics
+/// Panics for non-Dirichlet grids or `k` exceeding the interior dimension.
+pub fn bound_states(grid: &Grid1d, potential: &dyn Fn(f64) -> f64, k: usize) -> Vec<BoundState> {
+    assert_eq!(
+        grid.kind,
+        crate::grid::GridKind::Dirichlet,
+        "bound states need Dirichlet boundaries"
+    );
+    let n_interior = grid.n - 2;
+    assert!(k <= n_interior, "requested more states than grid supports");
+    let dx = grid.dx();
+    let xs = grid.points();
+    let m = SymTridiag {
+        d: xs[1..grid.n - 1]
+            .iter()
+            .map(|&x| 1.0 / (dx * dx) + potential(x))
+            .collect(),
+        e: vec![-0.5 / (dx * dx); n_interior - 1],
+    };
+    symmetric_tridiagonal_eigen(&m, k)
+        .into_iter()
+        .map(|(energy, v)| {
+            let mut psi = vec![0.0; grid.n];
+            psi[1..grid.n - 1].copy_from_slice(&v);
+            // continuum normalization
+            let dens: Vec<f64> = psi.iter().map(|p| p * p).collect();
+            let norm = grid.integrate(&dens).sqrt();
+            for p in psi.iter_mut() {
+                *p /= norm;
+            }
+            // sign convention: first significant lobe positive
+            if let Some(first) = psi.iter().find(|p| p.abs() > 1e-8) {
+                if *first < 0.0 {
+                    for p in psi.iter_mut() {
+                        *p = -*p;
+                    }
+                }
+            }
+            BoundState { energy, psi }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn infinite_well_levels() {
+        // V = 0 on [0, L], Dirichlet: E_n = n²π²/(2L²), n = 1, 2, …
+        let l = 1.0;
+        let grid = Grid1d::dirichlet(0.0, l, 401);
+        let states = bound_states(&grid, &|_| 0.0, 4);
+        for (j, s) in states.iter().enumerate() {
+            let n = (j + 1) as f64;
+            let want = n * n * std::f64::consts::PI.powi(2) / (2.0 * l * l);
+            assert!(
+                (s.energy - want).abs() < 2e-3 * want,
+                "n={n}: {} vs {want}",
+                s.energy
+            );
+        }
+    }
+
+    #[test]
+    fn harmonic_oscillator_levels() {
+        // E_n = ω(n + ½).
+        let omega = 1.0;
+        let grid = Grid1d::dirichlet(-10.0, 10.0, 801);
+        let states = bound_states(&grid, &|x| 0.5 * omega * omega * x * x, 5);
+        for (n, s) in states.iter().enumerate() {
+            let want = omega * (n as f64 + 0.5);
+            assert!(
+                (s.energy - want).abs() < 1e-3,
+                "n={n}: {} vs {want}",
+                s.energy
+            );
+        }
+    }
+
+    #[test]
+    fn ground_state_matches_gaussian() {
+        let omega = 1.0;
+        let grid = Grid1d::dirichlet(-10.0, 10.0, 801);
+        let s = &bound_states(&grid, &|x| 0.5 * omega * omega * x * x, 1)[0];
+        let c = (omega / std::f64::consts::PI).powf(0.25);
+        for (x, p) in grid.points().iter().zip(&s.psi) {
+            let want = c * (-0.5 * omega * x * x).exp();
+            assert!((p - want).abs() < 1e-4, "at {x}: {p} vs {want}");
+        }
+    }
+
+    #[test]
+    fn states_are_normalized_and_orthogonal() {
+        let grid = Grid1d::dirichlet(-6.0, 6.0, 301);
+        let states = bound_states(&grid, &|x| 0.5 * x * x, 3);
+        for (i, a) in states.iter().enumerate() {
+            let dens: Vec<f64> = a.psi.iter().map(|p| p * p).collect();
+            assert!((grid.integrate(&dens) - 1.0).abs() < 1e-10);
+            for b in states.iter().take(i) {
+                let cross: Vec<f64> = a.psi.iter().zip(&b.psi).map(|(x, y)| x * y).collect();
+                assert!(grid.integrate(&cross).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn double_well_has_near_degenerate_doublet() {
+        // V = (x² − a²)²/(4b): the two lowest states split by tunneling and
+        // are far closer to each other than to the next level.
+        let grid = Grid1d::dirichlet(-6.0, 6.0, 601);
+        let v = |x: f64| 2.0 * (x * x - 2.25).powi(2);
+        let states = bound_states(&grid, &v, 3);
+        let gap01 = states[1].energy - states[0].energy;
+        let gap12 = states[2].energy - states[1].energy;
+        assert!(gap01 > 0.0 && gap12 > 0.0);
+        assert!(gap01 < 0.2 * gap12, "doublet {gap01} vs next gap {gap12}");
+    }
+}

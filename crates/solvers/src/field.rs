@@ -1,0 +1,150 @@
+//! Space-time wavefunction storage with bilinear sampling — the interface
+//! between the reference solvers and the PINN error metrics.
+
+use crate::grid::Grid1d;
+use qpinn_dual::Complex64;
+
+/// A complex field `ψ(x, t)` stored on a uniform space grid × a list of
+/// time slices.
+#[derive(Clone, Debug)]
+pub struct Field1d {
+    grid: Grid1d,
+    times: Vec<f64>,
+    /// `data[k][i] = ψ(x_i, t_k)`.
+    data: Vec<Vec<Complex64>>,
+}
+
+impl Field1d {
+    /// Assemble from slices.
+    ///
+    /// # Panics
+    /// Panics when slice lengths disagree with the grid or times are not
+    /// strictly increasing.
+    pub fn new(grid: Grid1d, times: Vec<f64>, data: Vec<Vec<Complex64>>) -> Self {
+        assert_eq!(times.len(), data.len(), "time/slice arity");
+        assert!(!times.is_empty(), "empty field");
+        assert!(
+            times.windows(2).all(|w| w[1] > w[0]),
+            "times must be strictly increasing"
+        );
+        for s in &data {
+            assert_eq!(s.len(), grid.n, "slice length vs grid");
+        }
+        Field1d { grid, times, data }
+    }
+
+    /// The spatial grid.
+    pub fn grid(&self) -> &Grid1d {
+        &self.grid
+    }
+
+    /// Stored time stamps.
+    pub fn times(&self) -> &[f64] {
+        &self.times
+    }
+
+    /// The slice at time index `k`.
+    pub fn slice(&self, k: usize) -> &[Complex64] {
+        &self.data[k]
+    }
+
+    /// Number of stored slices.
+    pub fn n_slices(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Bilinear interpolation of `ψ` at `(x, t)`; `t` is clamped to the
+    /// stored range, `x` follows the grid's boundary convention.
+    pub fn sample(&self, x: f64, t: f64) -> Complex64 {
+        // temporal bracket
+        let (kt0, kt1, wt) = if t <= self.times[0] {
+            (0, 0, 0.0)
+        } else if t >= *self.times.last().unwrap() {
+            let k = self.times.len() - 1;
+            (k, k, 0.0)
+        } else {
+            // binary search for the bracketing pair
+            let mut lo = 0usize;
+            let mut hi = self.times.len() - 1;
+            while hi - lo > 1 {
+                let mid = (lo + hi) / 2;
+                if self.times[mid] <= t {
+                    lo = mid;
+                } else {
+                    hi = mid;
+                }
+            }
+            let w = (t - self.times[lo]) / (self.times[hi] - self.times[lo]);
+            (lo, hi, w)
+        };
+        let (i, j, wx) = self.grid.locate(x);
+        let interp_x = |k: usize| -> Complex64 {
+            let a = self.data[k][i];
+            let b = self.data[k][j];
+            a.scale(1.0 - wx) + b.scale(wx)
+        };
+        let a = interp_x(kt0);
+        let b = interp_x(kt1);
+        a.scale(1.0 - wt) + b.scale(wt)
+    }
+
+    /// `∫|ψ(·, t_k)|² dx` at stored slice `k`.
+    pub fn norm_at(&self, k: usize) -> f64 {
+        let dens: Vec<f64> = self.data[k].iter().map(|c| c.norm_sqr()).collect();
+        self.grid.integrate(&dens)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_field() -> Field1d {
+        // ψ(x, t) = (x + t) + 0i on a Dirichlet grid: linear, so bilinear
+        // interpolation is exact.
+        let grid = Grid1d::dirichlet(0.0, 1.0, 5);
+        let times = vec![0.0, 0.5, 1.0];
+        let data = times
+            .iter()
+            .map(|&t| {
+                grid.points()
+                    .iter()
+                    .map(|&x| Complex64::new(x + t, 0.0))
+                    .collect()
+            })
+            .collect();
+        Field1d::new(grid, times, data)
+    }
+
+    #[test]
+    fn exact_on_linear_fields() {
+        let f = toy_field();
+        for &(x, t) in &[(0.1, 0.2), (0.6, 0.75), (0.95, 0.01)] {
+            let s = f.sample(x, t);
+            assert!((s.re - (x + t)).abs() < 1e-12, "at ({x},{t}): {}", s.re);
+        }
+    }
+
+    #[test]
+    fn clamps_time_out_of_range() {
+        let f = toy_field();
+        assert!((f.sample(0.5, -1.0).re - 0.5).abs() < 1e-12);
+        assert!((f.sample(0.5, 9.0).re - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn norm_of_uniform_density() {
+        let grid = Grid1d::periodic(0.0, 2.0, 8);
+        let data = vec![vec![Complex64::new(0.0, 3.0); 8]];
+        let f = Field1d::new(grid, vec![0.0], data);
+        assert!((f.norm_at(0) - 18.0).abs() < 1e-12); // |3i|²·length = 9·2
+    }
+
+    #[test]
+    #[should_panic]
+    fn nonmonotone_times_rejected() {
+        let grid = Grid1d::periodic(0.0, 1.0, 4);
+        let s = vec![Complex64::zero(); 4];
+        let _ = Field1d::new(grid, vec![0.0, 0.0], vec![s.clone(), s]);
+    }
+}

@@ -1,0 +1,166 @@
+//! 1D spatial grids with boundary-aware spacing and quadrature.
+
+/// Boundary handling of a [`Grid1d`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GridKind {
+    /// `n` points `x0 + i·Δx`, `Δx = L/n`; `x1` identified with `x0`.
+    Periodic,
+    /// `n` points including both endpoints, `Δx = L/(n−1)`; the
+    /// wavefunction vanishes at (and beyond) the endpoints.
+    Dirichlet,
+}
+
+/// A uniform 1D grid on `[x0, x1]`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Grid1d {
+    /// Left edge.
+    pub x0: f64,
+    /// Right edge.
+    pub x1: f64,
+    /// Number of stored points.
+    pub n: usize,
+    /// Boundary handling.
+    pub kind: GridKind,
+}
+
+impl Grid1d {
+    /// Periodic grid with `n` points.
+    ///
+    /// # Panics
+    /// Panics for `n < 2` or an inverted interval.
+    pub fn periodic(x0: f64, x1: f64, n: usize) -> Self {
+        assert!(x1 > x0 && n >= 2);
+        Grid1d {
+            x0,
+            x1,
+            n,
+            kind: GridKind::Periodic,
+        }
+    }
+
+    /// Dirichlet grid with `n` points including endpoints.
+    ///
+    /// # Panics
+    /// Panics for `n < 3` or an inverted interval.
+    pub fn dirichlet(x0: f64, x1: f64, n: usize) -> Self {
+        assert!(x1 > x0 && n >= 3);
+        Grid1d {
+            x0,
+            x1,
+            n,
+            kind: GridKind::Dirichlet,
+        }
+    }
+
+    /// Domain length.
+    pub fn length(&self) -> f64 {
+        self.x1 - self.x0
+    }
+
+    /// Grid spacing.
+    pub fn dx(&self) -> f64 {
+        match self.kind {
+            GridKind::Periodic => self.length() / self.n as f64,
+            GridKind::Dirichlet => self.length() / (self.n - 1) as f64,
+        }
+    }
+
+    /// The stored abscissae.
+    pub fn points(&self) -> Vec<f64> {
+        let dx = self.dx();
+        (0..self.n).map(|i| self.x0 + dx * i as f64).collect()
+    }
+
+    /// Quadrature of samples on this grid: rectangle rule (exact for
+    /// periodic functions) or trapezoid (Dirichlet).
+    ///
+    /// # Panics
+    /// Panics when `f.len() != n`.
+    pub fn integrate(&self, f: &[f64]) -> f64 {
+        assert_eq!(f.len(), self.n, "sample count vs grid");
+        let dx = self.dx();
+        match self.kind {
+            GridKind::Periodic => dx * f.iter().sum::<f64>(),
+            GridKind::Dirichlet => {
+                let inner: f64 = f[1..self.n - 1].iter().sum();
+                dx * (0.5 * (f[0] + f[self.n - 1]) + inner)
+            }
+        }
+    }
+
+    /// Index pair and weight for linear interpolation at `x` (periodic
+    /// wraps; Dirichlet clamps).
+    pub fn locate(&self, x: f64) -> (usize, usize, f64) {
+        let dx = self.dx();
+        match self.kind {
+            GridKind::Periodic => {
+                let l = self.length();
+                let mut u = (x - self.x0).rem_euclid(l) / dx;
+                if u >= self.n as f64 {
+                    u = 0.0;
+                }
+                let i = u.floor() as usize % self.n;
+                let frac = u - u.floor();
+                ((i) % self.n, (i + 1) % self.n, frac)
+            }
+            GridKind::Dirichlet => {
+                let u = ((x - self.x0) / dx).clamp(0.0, (self.n - 1) as f64);
+                let i = (u.floor() as usize).min(self.n - 2);
+                (i, i + 1, u - i as f64)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn periodic_spacing_excludes_right_edge() {
+        let g = Grid1d::periodic(-1.0, 1.0, 4);
+        assert_eq!(g.points(), vec![-1.0, -0.5, 0.0, 0.5]);
+        assert!((g.dx() - 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn dirichlet_includes_both_edges() {
+        let g = Grid1d::dirichlet(0.0, 1.0, 5);
+        assert_eq!(g.points(), vec![0.0, 0.25, 0.5, 0.75, 1.0]);
+    }
+
+    #[test]
+    fn quadrature_is_exact_for_constants() {
+        let gp = Grid1d::periodic(0.0, 3.0, 7);
+        assert!((gp.integrate(&[2.0; 7]) - 6.0).abs() < 1e-12);
+        let gd = Grid1d::dirichlet(0.0, 3.0, 7);
+        assert!((gd.integrate(&[2.0; 7]) - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn periodic_quadrature_is_spectrally_accurate_for_smooth_periodic() {
+        // ∫₀^{2π} sin²x dx = π; rectangle rule on a periodic grid nails it.
+        let n = 32;
+        let g = Grid1d::periodic(0.0, 2.0 * std::f64::consts::PI, n);
+        let f: Vec<f64> = g.points().iter().map(|x| x.sin().powi(2)).collect();
+        assert!((g.integrate(&f) - std::f64::consts::PI).abs() < 1e-12);
+    }
+
+    #[test]
+    fn locate_periodic_wraps() {
+        let g = Grid1d::periodic(0.0, 1.0, 4);
+        let (i, j, w) = g.locate(0.95); // between 0.75 (i=3) and wrap to 0
+        assert_eq!((i, j), (3, 0));
+        assert!((w - 0.8).abs() < 1e-12);
+        let (i2, j2, _w2) = g.locate(1.1); // wraps to 0.1
+        assert_eq!((i2, j2), (0, 1));
+    }
+
+    #[test]
+    fn locate_dirichlet_clamps() {
+        let g = Grid1d::dirichlet(0.0, 1.0, 5);
+        let (i, j, w) = g.locate(2.0);
+        assert_eq!((i, j), (3, 4));
+        assert!((w - 1.0).abs() < 1e-12);
+    }
+}

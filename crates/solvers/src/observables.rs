@@ -1,0 +1,105 @@
+//! Physical observables of wavefunction samples: norm, energy, position
+//! moments — used by the conservation diagnostics (experiment F4).
+
+use crate::grid::{Grid1d, GridKind};
+use qpinn_dual::Complex64;
+
+/// `∫ |ψ|² dx`.
+pub fn norm(grid: &Grid1d, psi: &[Complex64]) -> f64 {
+    let dens: Vec<f64> = psi.iter().map(|c| c.norm_sqr()).collect();
+    grid.integrate(&dens)
+}
+
+/// `⟨x⟩ = ∫ x|ψ|² dx / ∫|ψ|² dx`.
+pub fn position_mean(grid: &Grid1d, psi: &[Complex64]) -> f64 {
+    let xs = grid.points();
+    let dens: Vec<f64> = psi.iter().map(|c| c.norm_sqr()).collect();
+    let weighted: Vec<f64> = xs.iter().zip(&dens).map(|(x, d)| x * d).collect();
+    grid.integrate(&weighted) / grid.integrate(&dens)
+}
+
+/// Total energy `⟨ψ|H|ψ⟩ = ∫ (½|ψ′|² + V|ψ|²) dx` with a central-difference
+/// derivative (one-sided at Dirichlet edges, wrapped at periodic ones).
+pub fn energy(grid: &Grid1d, potential: &dyn Fn(f64) -> f64, psi: &[Complex64]) -> f64 {
+    let n = grid.n;
+    let dx = grid.dx();
+    let xs = grid.points();
+    let deriv = |i: usize| -> Complex64 {
+        match grid.kind {
+            GridKind::Periodic => {
+                let prev = psi[(i + n - 1) % n];
+                let next = psi[(i + 1) % n];
+                (next - prev).scale(0.5 / dx)
+            }
+            GridKind::Dirichlet => {
+                if i == 0 {
+                    (psi[1] - psi[0]).scale(1.0 / dx)
+                } else if i == n - 1 {
+                    (psi[n - 1] - psi[n - 2]).scale(1.0 / dx)
+                } else {
+                    (psi[i + 1] - psi[i - 1]).scale(0.5 / dx)
+                }
+            }
+        }
+    };
+    let integrand: Vec<f64> = (0..n)
+        .map(|i| 0.5 * deriv(i).norm_sqr() + potential(xs[i]) * psi[i].norm_sqr())
+        .collect();
+    grid.integrate(&integrand)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn norm_of_unit_box_state() {
+        let grid = Grid1d::periodic(0.0, 2.0, 64);
+        let psi = vec![Complex64::new(1.0 / 2f64.sqrt(), 0.0); 64];
+        assert!((norm(&grid, &psi) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn position_mean_of_displaced_gaussian() {
+        let grid = Grid1d::periodic(-10.0, 10.0, 512);
+        let x0 = 1.3;
+        let psi: Vec<Complex64> = grid
+            .points()
+            .iter()
+            .map(|&x| Complex64::new((-0.5 * (x - x0) * (x - x0)).exp(), 0.0))
+            .collect();
+        assert!((position_mean(&grid, &psi) - x0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn plane_wave_kinetic_energy() {
+        // E = k²/2 per unit norm for e^{ikx}.
+        let l = 2.0 * std::f64::consts::PI;
+        let grid = Grid1d::periodic(0.0, l, 256);
+        let k = 3.0;
+        let psi: Vec<Complex64> = grid
+            .points()
+            .iter()
+            .map(|&x| Complex64::cis(k * x).scale(1.0 / l.sqrt()))
+            .collect();
+        let e = energy(&grid, &|_| 0.0, &psi);
+        // central differences underestimate: sin(kΔx)/Δx instead of k
+        let dx = grid.dx();
+        let k_eff = (k * dx).sin() / dx;
+        assert!((e - 0.5 * k_eff * k_eff).abs() < 1e-10, "e={e}");
+    }
+
+    #[test]
+    fn harmonic_ground_state_energy() {
+        let omega = 1.0;
+        let grid = Grid1d::dirichlet(-10.0, 10.0, 2001);
+        let c = (omega / std::f64::consts::PI).powf(0.25);
+        let psi: Vec<Complex64> = grid
+            .points()
+            .iter()
+            .map(|&x| Complex64::new(c * (-0.5 * omega * x * x).exp(), 0.0))
+            .collect();
+        let e = energy(&grid, &|x| 0.5 * omega * omega * x * x, &psi);
+        assert!((e - 0.5).abs() < 1e-4, "e = {e}");
+    }
+}

@@ -1,0 +1,42 @@
+//! # qpinn-tensor
+//!
+//! A small, fast, dependency-light dense tensor engine in `f64`, used as the
+//! numeric substrate of the PINN stack (`qpinn-autodiff` builds a reverse-mode
+//! tape on top of it).
+//!
+//! Design points, following the session's HPC guides:
+//!
+//! * row-major contiguous storage (`Vec<f64>`), rank ≤ 2 in practice
+//!   (batched column features and weight matrices) but arbitrary-rank shapes
+//!   are supported for elementwise/reduction work;
+//! * data-parallel kernels via rayon: matrix multiplication is blocked over
+//!   output rows with `par_chunks_mut`, elementwise kernels parallelize only
+//!   above a size threshold so small tensors do not pay fork/join overhead;
+//! * no `unsafe`; bounds checks are hoisted by slice patterns in the hot
+//!   loops.
+//!
+//! ```
+//! use qpinn_tensor::Tensor;
+//! let a = Tensor::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+//! let b = Tensor::eye(2);
+//! let c = a.matmul(&b);
+//! assert!(c.approx_eq(&a, 1e-12));
+//! ```
+
+#![deny(missing_docs)]
+
+mod elementwise;
+mod matmul;
+mod random;
+mod reduce;
+mod shape;
+mod tensor;
+
+pub use shape::Shape;
+pub use tensor::Tensor;
+
+/// Threshold (in elements) above which elementwise kernels use rayon.
+pub(crate) const PAR_THRESHOLD: usize = 16 * 1024;
+
+#[cfg(test)]
+mod proptests;

@@ -1,0 +1,231 @@
+//! Matrix multiplication kernels.
+//!
+//! All three layouts needed by reverse-mode autodiff are provided directly
+//! (rather than materializing transposes):
+//!
+//! * [`Tensor::matmul`] — `C = A·B`
+//! * [`Tensor::matmul_tn`] — `C = Aᵀ·B` (weight gradients)
+//! * [`Tensor::matmul_nt`] — `C = A·Bᵀ` (input gradients)
+//!
+//! Each kernel is an `i-k-j` loop (unit-stride inner loop over the output
+//! row) parallelized over output rows with rayon when the work is large
+//! enough to amortize the fork/join.
+
+use crate::Tensor;
+use rayon::prelude::*;
+
+/// FLOP threshold above which matmul parallelizes over rows.
+const PAR_FLOPS: usize = 64 * 1024;
+
+impl Tensor {
+    /// Standard product `C[m,n] = A[m,k] · B[k,n]`.
+    ///
+    /// # Panics
+    /// Panics when inner dimensions disagree or either operand is not rank 2.
+    pub fn matmul(&self, b: &Tensor) -> Tensor {
+        let (m, k) = (self.shape().nrows(), self.shape().ncols());
+        let (kb, n) = (b.shape().nrows(), b.shape().ncols());
+        assert_eq!(k, kb, "matmul: {} · {}", self.shape(), b.shape());
+        let a = self.data();
+        let bd = b.data();
+        let mut out = vec![0.0; m * n];
+        let body = |i: usize, row_out: &mut [f64]| {
+            let a_row = &a[i * k..(i + 1) * k];
+            for (kk, &aik) in a_row.iter().enumerate() {
+                if aik == 0.0 {
+                    continue;
+                }
+                let b_row = &bd[kk * n..(kk + 1) * n];
+                for (o, &bv) in row_out.iter_mut().zip(b_row) {
+                    *o += aik * bv;
+                }
+            }
+        };
+        if m * k * n >= PAR_FLOPS && m > 1 {
+            out.par_chunks_mut(n)
+                .enumerate()
+                .for_each(|(i, row)| body(i, row));
+        } else {
+            for (i, row) in out.chunks_mut(n).enumerate() {
+                body(i, row);
+            }
+        }
+        Tensor::from_vec([m, n], out)
+    }
+
+    /// Transposed-left product `C[k,n] = Aᵀ[k,m] · B[m,n]` for `A[m,k]`.
+    ///
+    /// # Panics
+    /// Panics when row counts disagree.
+    pub fn matmul_tn(&self, b: &Tensor) -> Tensor {
+        let (m, k) = (self.shape().nrows(), self.shape().ncols());
+        let (mb, n) = (b.shape().nrows(), b.shape().ncols());
+        assert_eq!(m, mb, "matmul_tn: {}ᵀ · {}", self.shape(), b.shape());
+        let a = self.data();
+        let bd = b.data();
+        // C[p, q] = Σ_i A[i, p] B[i, q]; parallelize over output rows p.
+        let mut out = vec![0.0; k * n];
+        let body = |p: usize, row_out: &mut [f64]| {
+            for i in 0..m {
+                let aip = a[i * k + p];
+                if aip == 0.0 {
+                    continue;
+                }
+                let b_row = &bd[i * n..(i + 1) * n];
+                for (o, &bv) in row_out.iter_mut().zip(b_row) {
+                    *o += aip * bv;
+                }
+            }
+        };
+        if m * k * n >= PAR_FLOPS && k > 1 {
+            out.par_chunks_mut(n)
+                .enumerate()
+                .for_each(|(p, row)| body(p, row));
+        } else {
+            for (p, row) in out.chunks_mut(n).enumerate() {
+                body(p, row);
+            }
+        }
+        Tensor::from_vec([k, n], out)
+    }
+
+    /// Transposed-right product `C[m,k] = A[m,n] · Bᵀ[n,k]` for `B[k,n]`.
+    ///
+    /// # Panics
+    /// Panics when column counts disagree.
+    pub fn matmul_nt(&self, b: &Tensor) -> Tensor {
+        let (m, n) = (self.shape().nrows(), self.shape().ncols());
+        let (k, nb) = (b.shape().nrows(), b.shape().ncols());
+        assert_eq!(n, nb, "matmul_nt: {} · {}ᵀ", self.shape(), b.shape());
+        let a = self.data();
+        let bd = b.data();
+        // C[i, p] = Σ_j A[i, j] B[p, j]: both operands are walked along
+        // contiguous rows, so this is a row-dot kernel.
+        let mut out = vec![0.0; m * k];
+        let body = |i: usize, row_out: &mut [f64]| {
+            let a_row = &a[i * n..(i + 1) * n];
+            for (p, o) in row_out.iter_mut().enumerate() {
+                let b_row = &bd[p * n..(p + 1) * n];
+                let mut acc = 0.0;
+                for (&x, &y) in a_row.iter().zip(b_row) {
+                    acc += x * y;
+                }
+                *o = acc;
+            }
+        };
+        if m * n * k >= PAR_FLOPS && m > 1 {
+            out.par_chunks_mut(k)
+                .enumerate()
+                .for_each(|(i, row)| body(i, row));
+        } else {
+            for (i, row) in out.chunks_mut(k).enumerate() {
+                body(i, row);
+            }
+        }
+        Tensor::from_vec([m, k], out)
+    }
+
+    /// Dot product of two rank-1 tensors (or any equal-shape tensors,
+    /// treated flat).
+    ///
+    /// # Panics
+    /// Panics on length mismatch.
+    pub fn dot(&self, other: &Tensor) -> f64 {
+        assert_eq!(self.len(), other.len(), "dot length mismatch");
+        self.data()
+            .iter()
+            .zip(other.data().iter())
+            .map(|(a, b)| a * b)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive(a: &Tensor, b: &Tensor) -> Tensor {
+        let (m, k) = (a.shape().nrows(), a.shape().ncols());
+        let n = b.shape().ncols();
+        let mut c = Tensor::zeros([m, n]);
+        for i in 0..m {
+            for j in 0..n {
+                let mut s = 0.0;
+                for p in 0..k {
+                    s += a.get(&[i, p]) * b.get(&[p, j]);
+                }
+                c.set(&[i, j], s);
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn small_product() {
+        let a = Tensor::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Tensor::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c.row(0), &[19.0, 22.0]);
+        assert_eq!(c.row(1), &[43.0, 50.0]);
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let a = Tensor::from_rows(&[&[1.0, -2.0, 0.5], &[0.0, 3.0, 1.0]]);
+        let c = a.matmul(&Tensor::eye(3));
+        assert!(c.approx_eq(&a, 1e-15));
+    }
+
+    #[test]
+    fn tn_equals_explicit_transpose() {
+        let a = Tensor::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        let b = Tensor::from_rows(&[&[1.0, 0.0, 2.0], &[0.0, 1.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let want = naive(&a.transpose(), &b);
+        assert!(a.matmul_tn(&b).approx_eq(&want, 1e-12));
+    }
+
+    #[test]
+    fn nt_equals_explicit_transpose() {
+        let a = Tensor::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let b = Tensor::from_rows(&[&[1.0, 0.0, 2.0], &[0.0, 1.0, 3.0]]);
+        let want = naive(&a, &b.transpose());
+        assert!(a.matmul_nt(&b).approx_eq(&want, 1e-12));
+    }
+
+    #[test]
+    fn large_parallel_matches_naive() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut rand_t = |m: usize, n: usize| {
+            Tensor::from_vec(
+                [m, n],
+                (0..m * n).map(|_| rng.gen_range(-1.0..1.0)).collect::<Vec<_>>(),
+            )
+        };
+        let a = rand_t(37, 53);
+        let b = rand_t(53, 41);
+        let c = a.matmul(&b);
+        assert!(c.approx_eq(&naive(&a, &b), 1e-10));
+        assert!(a
+            .matmul_tn(&c)
+            .approx_eq(&naive(&a.transpose(), &c), 1e-10));
+        assert!(c
+            .matmul_nt(&b)
+            .approx_eq(&naive(&c, &b.transpose()), 1e-10));
+    }
+
+    #[test]
+    fn dot_product() {
+        let a = Tensor::from_slice(&[1.0, 2.0, 3.0]);
+        let b = Tensor::from_slice(&[4.0, -5.0, 6.0]);
+        assert!((a.dot(&b) - 12.0).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic]
+    fn dimension_mismatch_panics() {
+        let a = Tensor::zeros([2, 3]);
+        let b = Tensor::zeros([2, 3]);
+        let _ = a.matmul(&b);
+    }
+}

@@ -1,0 +1,115 @@
+//! Property-based tests for tensor algebra invariants.
+
+use crate::Tensor;
+use proptest::prelude::*;
+
+/// Strategy: a rank-2 tensor with bounded dims and moderate values.
+fn mat(max: usize) -> impl Strategy<Value = Tensor> {
+    (1..=max, 1..=max).prop_flat_map(|(m, n)| {
+        proptest::collection::vec(-10.0..10.0f64, m * n)
+            .prop_map(move |v| Tensor::from_vec([m, n], v))
+    })
+}
+
+fn mat_pair(max: usize) -> impl Strategy<Value = (Tensor, Tensor)> {
+    (1..=max, 1..=max, 1..=max).prop_flat_map(|(m, k, n)| {
+        let a = proptest::collection::vec(-5.0..5.0f64, m * k)
+            .prop_map(move |v| Tensor::from_vec([m, k], v));
+        let b = proptest::collection::vec(-5.0..5.0f64, k * n)
+            .prop_map(move |v| Tensor::from_vec([k, n], v));
+        (a, b)
+    })
+}
+
+proptest! {
+    #[test]
+    fn add_commutes(t in mat(6)) {
+        let u = t.scale(0.5);
+        prop_assert!(t.add(&u).approx_eq(&u.add(&t), 1e-12));
+    }
+
+    #[test]
+    fn sub_then_add_roundtrips(t in mat(6)) {
+        let u = t.map(|x| x.sin());
+        let r = t.sub(&u).add(&u);
+        prop_assert!(r.approx_eq(&t, 1e-12));
+    }
+
+    #[test]
+    fn scale_distributes_over_add(t in mat(6), c in -3.0..3.0f64) {
+        let u = t.map(|x| x * 0.3 + 1.0);
+        let lhs = t.add(&u).scale(c);
+        let rhs = t.scale(c).add(&u.scale(c));
+        prop_assert!(lhs.approx_eq(&rhs, 1e-10));
+    }
+
+    #[test]
+    fn matmul_agrees_with_naive(
+        (a, b) in mat_pair(8)
+    ) {
+        let c = a.matmul(&b);
+        let (m, k) = (a.shape().nrows(), a.shape().ncols());
+        let n = b.shape().ncols();
+        for i in 0..m {
+            for j in 0..n {
+                let mut s = 0.0;
+                for p in 0..k {
+                    s += a.get(&[i, p]) * b.get(&[p, j]);
+                }
+                prop_assert!((c.get(&[i, j]) - s).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_tn_nt_consistency((a, b) in mat_pair(8)) {
+        // Aᵀ·C computed directly must equal transpose-then-matmul; same for
+        // the NT kernel.
+        let c = a.matmul(&b);
+        let t1 = a.matmul_tn(&c);
+        let t2 = a.transpose().matmul(&c);
+        prop_assert!(t1.approx_eq(&t2, 1e-9));
+        let u1 = c.matmul_nt(&b);
+        let u2 = c.matmul(&b.transpose());
+        prop_assert!(u1.approx_eq(&u2, 1e-9));
+    }
+
+    #[test]
+    fn transpose_preserves_norm(t in mat(8)) {
+        prop_assert!((t.norm() - t.transpose().norm()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn sum_rows_plus_cols_totals(t in mat(8)) {
+        let total = t.sum();
+        prop_assert!((t.sum_rows().sum() - total).abs() < 1e-9);
+        prop_assert!((t.sum_cols().sum() - total).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mse_is_mean_of_squares(t in mat(8)) {
+        let want = t.data().iter().map(|x| x * x).sum::<f64>() / t.len() as f64;
+        prop_assert!((t.mse() - want).abs() < 1e-10);
+    }
+
+    #[test]
+    fn hstack_then_columns_roundtrip(t in mat(6)) {
+        let cols: Vec<Tensor> = (0..t.shape().ncols()).map(|j| Tensor::column(&t.col(j))).collect();
+        let refs: Vec<&Tensor> = cols.iter().collect();
+        let stacked = Tensor::hstack(&refs);
+        prop_assert!(stacked.approx_eq(&t, 0.0));
+    }
+
+    #[test]
+    fn bias_broadcast_matches_manual(t in mat(6)) {
+        let n = t.shape().ncols();
+        let bias = Tensor::linspace(-1.0, 1.0, n.max(2)).into_vec();
+        let bias = Tensor::from_slice(&bias[..n]);
+        let out = t.add_row_broadcast(&bias);
+        for i in 0..t.shape().nrows() {
+            for j in 0..n {
+                prop_assert!((out.get(&[i, j]) - (t.get(&[i, j]) + bias.data()[j])).abs() < 1e-12);
+            }
+        }
+    }
+}

@@ -1,0 +1,162 @@
+//! Shape handling: a thin wrapper over `Vec<usize>` with the handful of
+//! queries the tensor kernels need.
+
+use std::fmt;
+
+/// The extent of a tensor along each axis (row-major).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Shape(Vec<usize>);
+
+impl Shape {
+    /// Construct from axis extents.
+    pub fn new(dims: &[usize]) -> Self {
+        Shape(dims.to_vec())
+    }
+
+    /// Scalar shape (rank 0).
+    pub fn scalar() -> Self {
+        Shape(Vec::new())
+    }
+
+    /// Number of axes.
+    pub fn rank(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Extents as a slice.
+    pub fn dims(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// Total number of elements (1 for a scalar).
+    pub fn len(&self) -> usize {
+        self.0.iter().product()
+    }
+
+    /// True when the tensor holds no elements (some axis has extent 0).
+    pub fn is_empty(&self) -> bool {
+        self.0.contains(&0)
+    }
+
+    /// Rows of a rank-2 shape.
+    ///
+    /// # Panics
+    /// Panics when the rank is not 2.
+    pub fn nrows(&self) -> usize {
+        assert_eq!(self.rank(), 2, "nrows on shape {self}");
+        self.0[0]
+    }
+
+    /// Columns of a rank-2 shape.
+    ///
+    /// # Panics
+    /// Panics when the rank is not 2.
+    pub fn ncols(&self) -> usize {
+        assert_eq!(self.rank(), 2, "ncols on shape {self}");
+        self.0[1]
+    }
+
+    /// Row-major strides for this shape.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut s = vec![1usize; self.0.len()];
+        for i in (0..self.0.len().saturating_sub(1)).rev() {
+            s[i] = s[i + 1] * self.0[i + 1];
+        }
+        s
+    }
+
+    /// Flat (row-major) offset of a multi-index.
+    ///
+    /// # Panics
+    /// Panics when the index rank or any coordinate is out of range.
+    pub fn offset(&self, idx: &[usize]) -> usize {
+        assert_eq!(idx.len(), self.rank(), "index rank mismatch for {self}");
+        let mut off = 0usize;
+        let mut stride = 1usize;
+        for (i, (&ix, &d)) in idx.iter().zip(self.0.iter()).enumerate().rev() {
+            assert!(ix < d, "index {ix} out of range for axis {i} of {self}");
+            off += ix * stride;
+            stride *= d;
+            let _ = i;
+        }
+        off
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, d) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(d: &[usize]) -> Self {
+        Shape::new(d)
+    }
+}
+
+impl<const N: usize> From<[usize; N]> for Shape {
+    fn from(d: [usize; N]) -> Self {
+        Shape(d.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basics() {
+        let s = Shape::new(&[3, 4]);
+        assert_eq!(s.rank(), 2);
+        assert_eq!(s.len(), 12);
+        assert_eq!(s.nrows(), 3);
+        assert_eq!(s.ncols(), 4);
+        assert!(!s.is_empty());
+        assert_eq!(s.strides(), vec![4, 1]);
+    }
+
+    #[test]
+    fn scalar_shape() {
+        let s = Shape::scalar();
+        assert_eq!(s.rank(), 0);
+        assert_eq!(s.len(), 1);
+        assert!(!s.is_empty());
+        assert_eq!(s.offset(&[]), 0);
+    }
+
+    #[test]
+    fn offsets_are_row_major() {
+        let s = Shape::new(&[2, 3, 4]);
+        assert_eq!(s.offset(&[0, 0, 0]), 0);
+        assert_eq!(s.offset(&[0, 0, 3]), 3);
+        assert_eq!(s.offset(&[0, 1, 0]), 4);
+        assert_eq!(s.offset(&[1, 0, 0]), 12);
+        assert_eq!(s.offset(&[1, 2, 3]), 23);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_index_panics() {
+        Shape::new(&[2, 2]).offset(&[2, 0]);
+    }
+
+    #[test]
+    fn empty_shape_detection() {
+        assert!(Shape::new(&[0, 5]).is_empty());
+        assert_eq!(Shape::new(&[0, 5]).len(), 0);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Shape::new(&[2, 3]).to_string(), "[2, 3]");
+        assert_eq!(Shape::scalar().to_string(), "[]");
+    }
+}

@@ -1,0 +1,73 @@
+//! Quickstart: train a physics-informed network on the free-particle
+//! Schrödinger equation and compare it with the spectral reference.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use qpinn::core::task::{TdseTask, TdseTaskConfig};
+use qpinn::core::trainer::Trainer;
+use qpinn::core::TrainConfig;
+use qpinn::nn::ParamSet;
+use qpinn::optim::LrSchedule;
+use qpinn::problems::TdseProblem;
+use rand::{rngs::StdRng, SeedableRng};
+
+fn main() {
+    // 1. Pick a benchmark problem: a Gaussian packet spreading in a
+    //    periodic box under i ψ_t = −½ ψ_xx.
+    let problem = TdseProblem::free_packet();
+    println!("problem: {} on [{}, {}] × [0, {}]", problem.name, problem.x0, problem.x1, problem.t_end);
+
+    // 2. Configure the task: network architecture, collocation budget,
+    //    loss weights (conservation + causal weighting on by default).
+    let mut cfg = TdseTaskConfig::standard(&problem, 24, 3);
+    cfg.n_collocation = 512;
+    cfg.reference = (256, 400, 32);
+    cfg.eval_grid = (64, 24);
+
+    let mut params = ParamSet::new();
+    let mut rng = StdRng::seed_from_u64(42);
+    let mut task = TdseTask::new(problem.clone(), &cfg, &mut params, &mut rng);
+    println!("trainable parameters: {}", params.n_scalars());
+
+    // 3. Train with Adam (step-decayed learning rate).
+    let trainer = Trainer::new(TrainConfig {
+        epochs: 400,
+        schedule: LrSchedule::Step {
+            lr0: 2e-3,
+            factor: 0.85,
+            every: 80,
+        },
+        log_every: 50,
+        eval_every: 100,
+        clip: Some(100.0),
+        lbfgs_polish: None,
+    });
+    let log = trainer.train(&mut task, &mut params);
+    for (e, l) in log.epochs.iter().zip(&log.loss) {
+        println!("epoch {e:>5}: loss {l:.4e}");
+    }
+    println!(
+        "loss trajectory (log scale): {}",
+        qpinn::core::report::sparkline_log(&log.loss)
+    );
+
+    // 4. Score against the high-fidelity split-step reference.
+    println!(
+        "\nfinal relative L2 error vs reference: {:.3e}  ({:.1}s)",
+        log.final_error, log.wall_s
+    );
+
+    // 5. Inspect the solution: |ψ| along x at the final time.
+    let t = problem.t_end;
+    println!("\n|ψ(x, t={t})|  (PINN vs reference)");
+    for i in 0..13 {
+        let x = problem.x0 + problem.length() * i as f64 / 12.0;
+        let pred = task.net().predict(&params, &[vec![x, t]]);
+        let pm = (pred.get(&[0, 0]).powi(2) + pred.get(&[0, 1]).powi(2)).sqrt();
+        let rm = task.reference().sample(x, t).abs();
+        let bar = "#".repeat((pm * 40.0) as usize);
+        println!("x={x:+5.2}  pinn={pm:.4}  ref={rm:.4}  {bar}");
+    }
+}

@@ -1,0 +1,10 @@
+#!/bin/sh
+# Run every reconstructed table/figure experiment (quick mode by default;
+# pass --full for paper-scale settings).
+set -e
+for bin in t1_accuracy t2_eigen t3_arch t4_ablation t5_solvers t6_hybrid t7_inverse \
+           f1_convergence f2_slices f3_collocation f4_norm_drift f5_scaling f6_tdse2d; do
+  echo "=== $bin ==="
+  ./target/release/$bin "$@"
+  echo
+done

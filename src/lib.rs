@@ -1,0 +1,32 @@
+//! # qpinn — Quantum Physics-Informed Neural Networks in Rust
+//!
+//! The facade crate: re-exports the whole workspace under one roof so the
+//! examples and integration tests (and downstream users) need a single
+//! dependency.
+//!
+//! ```
+//! use qpinn::problems::TdseProblem;
+//! let p = TdseProblem::free_packet();
+//! assert!(p.t_end > 0.0);
+//! ```
+//!
+//! See `README.md` for the quickstart, `DESIGN.md` for the architecture
+//! and experiment index, and `EXPERIMENTS.md` for reproduction results.
+
+#![deny(missing_docs)]
+
+pub use qpinn_autodiff as autodiff;
+pub use qpinn_core as core;
+pub use qpinn_dual as dual;
+pub use qpinn_fft as fft;
+pub use qpinn_linalg as linalg;
+pub use qpinn_nn as nn;
+pub use qpinn_optim as optim;
+pub use qpinn_problems as problems;
+pub use qpinn_qcircuit as qcircuit;
+pub use qpinn_sampling as sampling;
+pub use qpinn_solvers as solvers;
+pub use qpinn_tensor as tensor;
+
+/// Crate version, for reports.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");

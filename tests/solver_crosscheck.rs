@@ -1,0 +1,147 @@
+//! Cross-validation of the independent reference solvers against each
+//! other and against closed forms — the numerical ground truth every PINN
+//! error in the tables rests on.
+
+use qpinn::dual::Complex64;
+use qpinn::problems::{EigenProblem, GaussianPacket, Potential, TdseProblem};
+use qpinn::solvers::{
+    bound_states, crank_nicolson_tdse, split_step_evolve, Grid1d, Nonlinearity,
+};
+
+#[test]
+fn crank_nicolson_and_split_step_agree_on_harmonic_evolution() {
+    // Same physics, two unrelated discretizations: spectral Strang
+    // splitting (periodic) vs 3-point Cayley stepping (Dirichlet). On a
+    // domain where the wavefunction never reaches the edges, both must
+    // produce the same field.
+    let packet = GaussianPacket {
+        x0: 1.0,
+        sigma: 0.5,
+        k0: 0.0,
+    };
+    let v = Potential::Harmonic { omega: 2.0 };
+    let t_end = 1.0;
+
+    let pgrid = Grid1d::periodic(-8.0, 8.0, 256);
+    let psi0p: Vec<Complex64> = pgrid.points().iter().map(|&x| packet.eval(x)).collect();
+    let fs = split_step_evolve(
+        &pgrid,
+        &|x| v.eval(x),
+        Nonlinearity::None,
+        &psi0p,
+        t_end,
+        2000,
+        2000,
+    );
+
+    let dgrid = Grid1d::dirichlet(-8.0, 8.0, 1025);
+    let psi0d: Vec<Complex64> = dgrid.points().iter().map(|&x| packet.eval(x)).collect();
+    let fc = crank_nicolson_tdse(&dgrid, &|x| v.eval(x), &psi0d, t_end, 4000, 4000);
+
+    let mut worst = 0.0f64;
+    for i in 0..60 {
+        let x = -5.0 + 10.0 * i as f64 / 59.0;
+        let a = fs.sample(x, t_end);
+        let b = fc.sample(x, t_end);
+        worst = worst.max((a - b).abs());
+    }
+    assert!(worst < 3e-3, "solver disagreement {worst}");
+}
+
+#[test]
+fn problem_reference_matches_closed_form_free_packet() {
+    let problem = TdseProblem::free_packet();
+    let f = problem.reference(512, 1000, 32);
+    let mut worst = 0.0f64;
+    for &t in &[0.3, 0.7, 1.0] {
+        for i in 0..40 {
+            let x = -4.0 + 8.0 * i as f64 / 39.0;
+            let got = f.sample(x, t);
+            let want = problem.analytic(x, t).unwrap();
+            worst = worst.max((got - want).abs());
+        }
+    }
+    assert!(worst < 5e-4, "worst deviation {worst}");
+}
+
+#[test]
+fn eigensolver_matches_both_exact_spectra() {
+    for problem in [EigenProblem::infinite_well(), EigenProblem::harmonic(1.0)] {
+        let exact = problem.exact_energies().unwrap();
+        let states = problem.reference(801);
+        for (s, e) in states.iter().zip(&exact) {
+            assert!(
+                (s.energy - e).abs() < 3e-3 * e.max(1.0),
+                "{}: {} vs {e}",
+                problem.name,
+                s.energy
+            );
+        }
+    }
+}
+
+#[test]
+fn barrier_transmission_increases_with_energy() {
+    // Physics sanity across the stack: higher incident momentum → more
+    // transmission through the same barrier.
+    let barrier = Potential::Barrier {
+        height: 2.0,
+        width: 0.8,
+    };
+    let trans = |k0: f64| -> f64 {
+        let grid = Grid1d::periodic(-20.0, 20.0, 256);
+        let packet = GaussianPacket {
+            x0: -8.0,
+            sigma: 1.2,
+            k0,
+        };
+        let psi0: Vec<Complex64> = grid.points().iter().map(|&x| packet.eval(x)).collect();
+        let f = split_step_evolve(
+            &grid,
+            &|x| barrier.eval(x),
+            Nonlinearity::None,
+            &psi0,
+            16.0 / k0,
+            800,
+            800,
+        );
+        let last = f.slice(f.n_slices() - 1);
+        let (mut l, mut r) = (0.0, 0.0);
+        for (x, c) in grid.points().iter().zip(last) {
+            if *x < 0.0 {
+                l += c.norm_sqr();
+            } else {
+                r += c.norm_sqr();
+            }
+        }
+        r / (l + r)
+    };
+    let t_low = trans(1.2);
+    let t_high = trans(3.0);
+    assert!(t_low < t_high, "transmission not monotone: {t_low} vs {t_high}");
+    assert!(t_high > 0.8, "high-energy packet should mostly pass: {t_high}");
+    assert!(t_low < 0.5, "low-energy packet should mostly reflect: {t_low}");
+}
+
+#[test]
+fn fd_eigenstate_is_stationary_under_cn() {
+    // Full-stack consistency: an eigensolver state fed into the CN
+    // propagator only rotates its phase.
+    let problem = EigenProblem::harmonic(1.0);
+    let grid = Grid1d::dirichlet(problem.x0, problem.x1, 401);
+    let v = problem.potential;
+    let gs = &bound_states(&grid, &move |x| v.eval(x), 1)[0];
+    let psi0: Vec<Complex64> = gs.psi.iter().map(|&p| Complex64::new(p, 0.0)).collect();
+    let f = crank_nicolson_tdse(&grid, &move |x| v.eval(x), &psi0, 1.0, 500, 500);
+    let last = f.slice(f.n_slices() - 1);
+    for (a, b) in psi0.iter().zip(last) {
+        assert!((a.norm_sqr() - b.norm_sqr()).abs() < 1e-8);
+    }
+    // and the phase advance matches e^{−iEt}
+    let i_mid = 200; // interior point with significant amplitude
+    let phase = (last[i_mid] / psi0[i_mid]).arg();
+    let want = (-gs.energy * 1.0).rem_euclid(2.0 * std::f64::consts::PI);
+    let got = phase.rem_euclid(2.0 * std::f64::consts::PI);
+    let diff = (got - want).abs().min(2.0 * std::f64::consts::PI - (got - want).abs());
+    assert!(diff < 1e-3, "phase {got} vs {want}");
+}

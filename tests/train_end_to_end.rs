@@ -1,0 +1,121 @@
+//! Cross-crate integration: assemble tasks through the facade and verify
+//! that short end-to-end training genuinely improves the solution.
+
+use qpinn::core::task::{NlsTask, NlsTaskConfig, TdseTask, TdseTaskConfig};
+use qpinn::core::trainer::{PinnTask, Trainer};
+use qpinn::core::TrainConfig;
+use qpinn::nn::ParamSet;
+use qpinn::optim::LrSchedule;
+use qpinn::problems::{NlsProblem, TdseProblem};
+use rand::{rngs::StdRng, SeedableRng};
+
+fn quick_train(epochs: usize) -> TrainConfig {
+    TrainConfig {
+        epochs,
+        schedule: LrSchedule::Constant { lr: 2e-3 },
+        log_every: (epochs / 4).max(1),
+        eval_every: 0,
+        clip: Some(100.0),
+        lbfgs_polish: None,
+    }
+}
+
+#[test]
+fn tdse_training_improves_l2_error() {
+    let problem = TdseProblem::free_packet();
+    let mut cfg = TdseTaskConfig::standard(&problem, 16, 2);
+    cfg.n_collocation = 160;
+    cfg.n_ic = 48;
+    cfg.conservation_grid = (3, 16);
+    cfg.reference = (128, 200, 16);
+    cfg.eval_grid = (32, 8);
+    let mut params = ParamSet::new();
+    let mut rng = StdRng::seed_from_u64(11);
+    let mut task = TdseTask::new(problem, &cfg, &mut params, &mut rng);
+    let e0 = task.eval_error(&params);
+    let log = Trainer::new(quick_train(150)).train(&mut task, &mut params);
+    assert!(
+        log.final_error < 0.8 * e0,
+        "error did not improve: {e0} → {}",
+        log.final_error
+    );
+    assert!(log.final_loss < log.loss[0], "loss did not drop");
+}
+
+#[test]
+fn nls_training_improves_l2_error() {
+    let problem = NlsProblem::bright_soliton(1.0);
+    let mut cfg = NlsTaskConfig::standard(&problem, 16, 2);
+    cfg.n_collocation = 160;
+    cfg.n_ic = 48;
+    cfg.conservation_grid = (3, 16);
+    cfg.reference = (128, 400, 16);
+    cfg.eval_grid = (32, 8);
+    let mut params = ParamSet::new();
+    let mut rng = StdRng::seed_from_u64(13);
+    let mut task = NlsTask::new(problem, &cfg, &mut params, &mut rng);
+    let e0 = task.eval_error(&params);
+    let log = Trainer::new(quick_train(150)).train(&mut task, &mut params);
+    assert!(
+        log.final_error < 0.8 * e0,
+        "error did not improve: {e0} → {}",
+        log.final_error
+    );
+}
+
+#[test]
+fn training_is_deterministic_given_a_seed() {
+    let run = || {
+        let problem = TdseProblem::free_packet();
+        let mut cfg = TdseTaskConfig::standard(&problem, 12, 2);
+        cfg.n_collocation = 96;
+        cfg.n_ic = 24;
+        cfg.conservation_grid = (2, 12);
+        cfg.reference = (128, 100, 8);
+        cfg.eval_grid = (16, 4);
+        let mut params = ParamSet::new();
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut task = TdseTask::new(problem, &cfg, &mut params, &mut rng);
+        let log = Trainer::new(quick_train(30)).train(&mut task, &mut params);
+        (log.final_loss, params.flatten())
+    };
+    let (l1, p1) = run();
+    let (l2, p2) = run();
+    assert_eq!(l1, l2, "loss must be bit-identical across reruns");
+    assert_eq!(p1, p2, "parameters must be bit-identical across reruns");
+}
+
+#[test]
+fn ic_fit_dominates_early_training() {
+    // After a short run the network must already match the initial
+    // condition far better than a random net does.
+    let problem = TdseProblem::free_packet();
+    let mut cfg = TdseTaskConfig::standard(&problem, 16, 2);
+    cfg.n_collocation = 128;
+    cfg.n_ic = 64;
+    cfg.conservation_grid = (2, 16);
+    cfg.reference = (128, 100, 8);
+    cfg.eval_grid = (16, 4);
+    let mut params = ParamSet::new();
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut task = TdseTask::new(problem.clone(), &cfg, &mut params, &mut rng);
+
+    let ic_mse = |params: &ParamSet, task: &TdseTask| -> f64 {
+        let mut s = 0.0;
+        let n = 32;
+        for i in 0..n {
+            let x = problem.x0 + problem.length() * i as f64 / n as f64;
+            let pred = task.net().predict(params, &[vec![x, 0.0]]);
+            let want = problem.initial(x);
+            s += (pred.get(&[0, 0]) - want.re).powi(2) + (pred.get(&[0, 1]) - want.im).powi(2);
+        }
+        s / n as f64
+    };
+    let before = ic_mse(&params, &task);
+    let _ = Trainer::new(quick_train(150)).train(&mut task, &mut params);
+    let after = ic_mse(&params, &task);
+    assert!(
+        after < 0.2 * before,
+        "IC fit should improve strongly: {before} → {after}"
+    );
+}
