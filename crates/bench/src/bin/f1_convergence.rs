@@ -37,6 +37,7 @@ fn main() {
         eval_every: (epochs / 10).max(1),
         clip: Some(100.0),
         lbfgs_polish: None,
+        checkpoint: None,
     })
     .train(&mut task, &mut params);
 
@@ -58,8 +59,14 @@ fn main() {
         ]);
     }
     println!("{}", etable.render());
-    println!("loss (log scale):  {}", qpinn_core::report::sparkline_log(&log.loss));
-    println!("rel-L2 error:      {}", qpinn_core::report::sparkline_log(&log.error));
+    println!(
+        "loss (log scale):  {}",
+        qpinn_core::report::sparkline_log(&log.loss)
+    );
+    println!(
+        "rel-L2 error:      {}",
+        qpinn_core::report::sparkline_log(&log.error)
+    );
     println!(
         "final: loss {:.4e}, rel-L2 {:.4e}, {:.1}s",
         log.final_loss, log.final_error, log.wall_s
@@ -69,12 +76,20 @@ fn main() {
         "f1_convergence",
         &Json::obj(vec![
             ("id", Json::Str("F1".into())),
-            ("epochs", Json::nums(&log.epochs.iter().map(|&e| e as f64).collect::<Vec<_>>())),
+            (
+                "epochs",
+                Json::nums(&log.epochs.iter().map(|&e| e as f64).collect::<Vec<_>>()),
+            ),
             ("loss", Json::nums(&log.loss)),
             ("grad_norm", Json::nums(&log.grad_norm)),
             (
                 "eval_epochs",
-                Json::nums(&log.eval_epochs.iter().map(|&e| e as f64).collect::<Vec<_>>()),
+                Json::nums(
+                    &log.eval_epochs
+                        .iter()
+                        .map(|&e| e as f64)
+                        .collect::<Vec<_>>(),
+                ),
             ),
             ("error", Json::nums(&log.error)),
             ("final_error", Json::Num(log.final_error)),

@@ -5,10 +5,11 @@
 use qpinn_bench::{banner, save, RunOpts};
 use qpinn_core::report::Json;
 use qpinn_core::task::{NlsTask, NlsTaskConfig};
-use qpinn_core::trainer::Trainer;
+use qpinn_core::trainer::{CheckpointConfig, Trainer};
 use qpinn_core::TrainConfig;
 use qpinn_nn::ParamSet;
 use qpinn_optim::LrSchedule;
+use qpinn_persist::SnapshotStore;
 use qpinn_problems::NlsProblem;
 use rand::{rngs::StdRng, SeedableRng};
 
@@ -24,7 +25,8 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(100);
     let mut task = NlsTask::new(problem, &cfg, &mut params, &mut rng);
     let epochs = opts.pick(5000, 20000);
-    let log = Trainer::new(TrainConfig {
+    let ckpt_dir = opts.ckpt.as_ref().map(|root| root.join("flagship_nls"));
+    let trainer = Trainer::new(TrainConfig {
         epochs,
         schedule: LrSchedule::Step {
             lr0: 3e-3,
@@ -35,8 +37,31 @@ fn main() {
         eval_every: (epochs / 5).max(1),
         clip: Some(100.0),
         lbfgs_polish: Some(200),
-    })
-    .train(&mut task, &mut params);
+        checkpoint: ckpt_dir.clone().map(|dir| {
+            CheckpointConfig::new(dir)
+                .every((epochs / 10).max(1))
+                .run_id("flagship_nls")
+        }),
+    });
+    // With --ckpt, pick up an interrupted run from its newest intact
+    // snapshot instead of starting over.
+    let resumable = ckpt_dir
+        .as_ref()
+        .and_then(|dir| SnapshotStore::open(dir).ok())
+        .is_some_and(|store| store.has_snapshots());
+    let log = if resumable {
+        let dir = ckpt_dir.expect("resumable implies a checkpoint dir");
+        println!("[resuming from {}]", dir.display());
+        match trainer.resume(&dir, &mut task, &mut params) {
+            Ok(log) => log,
+            Err(e) => {
+                eprintln!("[resume failed ({e}); restarting from scratch]");
+                trainer.train(&mut task, &mut params)
+            }
+        }
+    } else {
+        trainer.train(&mut task, &mut params)
+    };
     for (e, l) in log.epochs.iter().zip(&log.loss) {
         println!("epoch {e:>6}: loss {l:.4e}");
     }

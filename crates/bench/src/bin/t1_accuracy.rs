@@ -3,24 +3,46 @@
 //! seeds, with parameter counts and wall time.
 
 use qpinn_bench::{banner, save, standard_train, RunOpts};
-use qpinn_core::experiment::{aggregate, run_seeds};
+use qpinn_core::experiment::{aggregate, run_seeds_with};
 use qpinn_core::report::{Json, TextTable};
 use qpinn_core::task::{NlsTask, NlsTaskConfig, TdseTask, TdseTaskConfig};
+use qpinn_core::trainer::CheckpointConfig;
 use qpinn_nn::ParamSet;
 use qpinn_problems::{NlsProblem, TdseProblem};
 use rand::{rngs::StdRng, SeedableRng};
 
 fn main() {
     let opts = RunOpts::from_args();
-    banner("T1", "PINN accuracy per problem (rel. L2 vs reference)", &opts);
+    banner(
+        "T1",
+        "PINN accuracy per problem (rel. L2 vs reference)",
+        &opts,
+    );
 
     let epochs = opts.pick(1000, 6000);
     let n_coll = opts.pick(512, 4096);
     let (w, d) = (opts.pick(24, 64), opts.pick(3, 4));
     let cfg_train = standard_train(epochs);
+    // Seeds train in parallel, so each (problem, seed) run needs its own
+    // snapshot directory — interleaving two runs in one store would make
+    // "latest" meaningless.
+    let cfg_for = |problem: &str, seed: u64| {
+        let mut cfg = cfg_train.clone();
+        cfg.checkpoint = opts.ckpt.as_ref().map(|root| {
+            CheckpointConfig::new(root.join(format!("t1/{problem}/seed-{seed}")))
+                .every((epochs / 4).max(1))
+                .run_id(format!("t1-{problem}-s{seed}"))
+        });
+        cfg
+    };
 
     let mut table = TextTable::new(&[
-        "problem", "rel-L2 (mean±std)", "best", "params", "epochs", "s/run",
+        "problem",
+        "rel-L2 (mean±std)",
+        "best",
+        "params",
+        "epochs",
+        "s/run",
     ]);
     let mut records = Vec::new();
 
@@ -31,16 +53,20 @@ fn main() {
         TdseProblem::barrier_scattering(),
     ] {
         let name = problem.name.clone();
-        let runs = run_seeds(&opts.seeds(), &cfg_train, |seed| {
-            let mut rng = StdRng::seed_from_u64(seed);
-            let mut cfg = TdseTaskConfig::standard(&problem, w, d);
-            cfg.n_collocation = n_coll;
-            cfg.reference = (256, opts.pick(400, 1500), 32);
-            cfg.eval_grid = (opts.pick(64, 128), opts.pick(24, 64));
-            let mut params = ParamSet::new();
-            let task = TdseTask::new(problem.clone(), &cfg, &mut params, &mut rng);
-            (task, params)
-        });
+        let runs = run_seeds_with(
+            &opts.seeds(),
+            |seed| cfg_for(&name, seed),
+            |seed| {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let mut cfg = TdseTaskConfig::standard(&problem, w, d);
+                cfg.n_collocation = n_coll;
+                cfg.reference = (256, opts.pick(400, 1500), 32);
+                cfg.eval_grid = (opts.pick(64, 128), opts.pick(24, 64));
+                let mut params = ParamSet::new();
+                let task = TdseTask::new(problem.clone(), &cfg, &mut params, &mut rng);
+                (task, params)
+            },
+        );
         let agg = aggregate(&runs);
         table.row(&[
             name.clone(),
@@ -63,18 +89,25 @@ fn main() {
     // NLS benchmarks: the integrable single soliton (stable) and the
     // Raissi 2-soliton bound state (modulationally unstable — the known
     // hard case).
-    for problem in [NlsProblem::bright_soliton(1.0), NlsProblem::raissi_benchmark()] {
+    for problem in [
+        NlsProblem::bright_soliton(1.0),
+        NlsProblem::raissi_benchmark(),
+    ] {
         let name = problem.name.clone();
-        let runs = run_seeds(&opts.seeds(), &cfg_train, |seed| {
-            let mut rng = StdRng::seed_from_u64(seed);
-            let mut cfg = NlsTaskConfig::standard(&problem, w, d);
-            cfg.n_collocation = n_coll;
-            cfg.reference = (256, opts.pick(600, 2000), 32);
-            cfg.eval_grid = (opts.pick(64, 128), opts.pick(24, 64));
-            let mut params = ParamSet::new();
-            let task = NlsTask::new(problem.clone(), &cfg, &mut params, &mut rng);
-            (task, params)
-        });
+        let runs = run_seeds_with(
+            &opts.seeds(),
+            |seed| cfg_for(&name, seed),
+            |seed| {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let mut cfg = NlsTaskConfig::standard(&problem, w, d);
+                cfg.n_collocation = n_coll;
+                cfg.reference = (256, opts.pick(600, 2000), 32);
+                cfg.eval_grid = (opts.pick(64, 128), opts.pick(24, 64));
+                let mut params = ParamSet::new();
+                let task = NlsTask::new(problem.clone(), &cfg, &mut params, &mut rng);
+                (task, params)
+            },
+        );
         let agg = aggregate(&runs);
         table.row(&[
             name.clone(),

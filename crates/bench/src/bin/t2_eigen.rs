@@ -30,11 +30,10 @@ fn main() {
         eval_every: 0,
         clip: Some(100.0),
         lbfgs_polish: Some(opts.pick(60, 150)),
+        checkpoint: None,
     };
 
-    let mut table = TextTable::new(&[
-        "problem", "state", "E_pinn", "E_ref", "|ΔE|", "ψ rel-L2",
-    ]);
+    let mut table = TextTable::new(&["problem", "state", "E_pinn", "E_ref", "|ΔE|", "ψ rel-L2"]);
     let mut records = Vec::new();
 
     for problem in [EigenProblem::infinite_well(), EigenProblem::harmonic(1.0)] {

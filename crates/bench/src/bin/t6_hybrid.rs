@@ -29,6 +29,7 @@ fn train_cfg(epochs: usize) -> TrainConfig {
         eval_every: 0,
         clip: Some(50.0),
         lbfgs_polish: None,
+        checkpoint: None,
     }
 }
 

@@ -14,7 +14,11 @@ use rand::{rngs::StdRng, SeedableRng};
 
 fn main() {
     let opts = RunOpts::from_args();
-    banner("T7", "trap-frequency identification from observations", &opts);
+    banner(
+        "T7",
+        "trap-frequency identification from observations",
+        &opts,
+    );
 
     let problem = TdseProblem::mild_harmonic(); // hidden truth: ω = 1
     let epochs = opts.pick(2000, 8000);
@@ -22,7 +26,14 @@ fn main() {
     let mut records = Vec::new();
 
     let cases: Vec<(f64, f64)> = if opts.full {
-        vec![(0.5, 0.0), (0.6, 0.0), (1.5, 0.0), (2.0, 0.0), (0.6, 0.01), (0.6, 0.05)]
+        vec![
+            (0.5, 0.0),
+            (0.6, 0.0),
+            (1.5, 0.0),
+            (2.0, 0.0),
+            (0.6, 0.01),
+            (0.6, 0.05),
+        ]
     } else {
         vec![(0.6, 0.0), (1.5, 0.0), (0.6, 0.02)]
     };
@@ -49,6 +60,7 @@ fn main() {
             eval_every: 0,
             clip: Some(100.0),
             lbfgs_polish: None,
+            checkpoint: None,
         })
         .train(&mut task, &mut params);
         let omega = task.omega(&params);

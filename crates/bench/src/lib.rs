@@ -13,12 +13,16 @@
 use qpinn_core::report::Json;
 
 /// Harness-wide run options parsed from the command line.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct RunOpts {
     /// Paper-scale settings (`--full`).
     pub full: bool,
     /// Seed list length override (`--seeds N`).
     pub n_seeds: usize,
+    /// Checkpoint root directory (`--ckpt DIR`). When set, experiments
+    /// write crash-safe snapshots under it (one subdirectory per run) and
+    /// resume-capable binaries pick up from the newest intact snapshot.
+    pub ckpt: Option<std::path::PathBuf>,
 }
 
 impl RunOpts {
@@ -32,7 +36,16 @@ impl RunOpts {
             .and_then(|i| args.get(i + 1))
             .and_then(|v| v.parse().ok())
             .unwrap_or(if full { 5 } else { 2 });
-        RunOpts { full, n_seeds }
+        let ckpt = args
+            .iter()
+            .position(|a| a == "--ckpt")
+            .and_then(|i| args.get(i + 1))
+            .map(std::path::PathBuf::from);
+        RunOpts {
+            full,
+            n_seeds,
+            ckpt,
+        }
     }
 
     /// The seed list for multi-seed experiments.
@@ -86,6 +99,7 @@ pub fn standard_train(epochs: usize) -> qpinn_core::TrainConfig {
         // L-BFGS polishing after Adam is the single most effective
         // convergence lever at fixed budget (see EXPERIMENTS.md).
         lbfgs_polish: Some((epochs / 10).clamp(50, 200)),
+        checkpoint: None,
     }
 }
 
@@ -98,10 +112,12 @@ mod tests {
         let quick = RunOpts {
             full: false,
             n_seeds: 2,
+            ckpt: None,
         };
         let full = RunOpts {
             full: true,
             n_seeds: 5,
+            ckpt: None,
         };
         assert_eq!(quick.pick(1, 10), 1);
         assert_eq!(full.pick(1, 10), 10);

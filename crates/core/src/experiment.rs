@@ -55,12 +55,26 @@ where
     T: PinnTask + Send,
     F: Fn(u64) -> (T, ParamSet) + Sync,
 {
+    run_seeds_with(seeds, |_| cfg.clone(), builder)
+}
+
+/// Like [`run_seeds`], but with a per-seed training configuration.
+///
+/// Needed whenever the configuration embeds per-run resources — most
+/// importantly a checkpoint directory, which must be distinct per seed or
+/// parallel runs would interleave snapshots in one store.
+pub fn run_seeds_with<T, F, C>(seeds: &[u64], cfg_for: C, builder: F) -> Vec<RunResult>
+where
+    T: PinnTask + Send,
+    F: Fn(u64) -> (T, ParamSet) + Sync,
+    C: Fn(u64) -> TrainConfig + Sync,
+{
     seeds
         .par_iter()
         .map(|&seed| {
             let (mut task, mut params) = builder(seed);
             let n_params = params.n_scalars();
-            let log = Trainer::new(cfg.clone()).train(&mut task, &mut params);
+            let log = Trainer::new(cfg_for(seed)).train(&mut task, &mut params);
             RunResult {
                 seed,
                 error: log.final_error,
@@ -118,11 +132,15 @@ mod tests {
             eval_every: 0,
             clip: None,
             lbfgs_polish: None,
+            checkpoint: None,
         };
         let runs = run_seeds(&[1, 2, 3, 4], &cfg, |seed| {
             let mut rng = StdRng::seed_from_u64(seed);
             let mut params = ParamSet::new();
-            let id = params.add("w", Tensor::from_vec([1, 1], vec![rng.gen_range(-1.0..1.0)]));
+            let id = params.add(
+                "w",
+                Tensor::from_vec([1, 1], vec![rng.gen_range(-1.0..1.0)]),
+            );
             (Toy { target: 2.0, id }, params)
         });
         assert_eq!(runs.len(), 4);
@@ -131,6 +149,47 @@ mod tests {
         assert!(agg.best_error <= agg.mean_error);
         // different seeds → different trajectories (different inits)
         assert!(runs[0].log.loss[0] != runs[1].log.loss[0]);
+    }
+
+    #[test]
+    fn per_seed_configs_checkpoint_into_distinct_stores() {
+        use crate::trainer::CheckpointConfig;
+        let base = std::env::temp_dir().join(format!("qpinn-exp-ckpt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&base);
+        let seeds = [7u64, 8];
+        let base_for_cfg = base.clone();
+        let runs = run_seeds_with(
+            &seeds,
+            |seed| TrainConfig {
+                epochs: 40,
+                schedule: LrSchedule::Constant { lr: 0.05 },
+                log_every: 10,
+                eval_every: 0,
+                clip: None,
+                lbfgs_polish: None,
+                checkpoint: Some(
+                    CheckpointConfig::new(base_for_cfg.join(format!("seed-{seed}"))).every(20),
+                ),
+            },
+            |seed| {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let mut params = ParamSet::new();
+                let id = params.add(
+                    "w",
+                    Tensor::from_vec([1, 1], vec![rng.gen_range(-1.0..1.0)]),
+                );
+                (Toy { target: 2.0, id }, params)
+            },
+        );
+        assert_eq!(runs.len(), 2);
+        for seed in seeds {
+            let store = qpinn_persist::SnapshotStore::open(base.join(format!("seed-{seed}")))
+                .expect("store opens");
+            assert!(store.has_snapshots(), "seed {seed} wrote no snapshots");
+            let (snap, _) = store.load_latest().expect("intact snapshot");
+            assert_eq!(snap.meta.next_epoch, 40);
+        }
+        let _ = std::fs::remove_dir_all(&base);
     }
 
     #[test]

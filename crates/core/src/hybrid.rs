@@ -192,9 +192,7 @@ impl HybridNet {
     /// First-order jet forward pass: `x` is the `[batch, 1]` coordinate
     /// column; returns the scalar field jet `[batch, 1]`.
     pub fn forward_jet1(&self, ctx: &mut GraphCtx<'_>, x: Var) -> Jet1 {
-        let ones = ctx
-            .g
-            .constant(Tensor::ones(ctx.g.value(x).shape().clone()));
+        let ones = ctx.g.constant(Tensor::ones(ctx.g.value(x).shape().clone()));
         let mut h = Jet1 { v: x, dx: ones };
         h = Self::dense_jet1(&self.l0, ctx, &h);
         h = Self::tanh_jet1(ctx, &h);

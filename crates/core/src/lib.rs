@@ -33,7 +33,7 @@ pub mod task;
 pub mod trainer;
 
 pub use model::{CoordSpec, FieldNet, FieldNetConfig};
-pub use trainer::{TrainConfig, TrainLog, Trainer};
+pub use trainer::{CheckpointConfig, PinnTask, TrainConfig, TrainLog, Trainer};
 
 #[cfg(test)]
 mod proptests;

@@ -86,6 +86,90 @@ pub fn rel_l2_error_profile(pred: &[f64], reference: &[f64]) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::model::{FieldNet, FieldNetConfig};
+    use qpinn_dual::Complex64;
+    use qpinn_solvers::Grid1d;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    /// A network forced to output exactly `(re, im)` everywhere: all
+    /// weights zeroed (tanh(0) = 0 through every hidden layer), output
+    /// bias set to the constants. Turns the metrics into analytically
+    /// checkable quantities.
+    fn constant_net(re: f64, im: f64) -> (FieldNet, ParamSet) {
+        let mut params = ParamSet::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let net = FieldNet::new(
+            &mut params,
+            &mut rng,
+            &FieldNetConfig::plain(2, 8, 2, 2),
+            "n",
+        );
+        for t in params.tensors_mut() {
+            for v in t.data_mut() {
+                *v = 0.0;
+            }
+        }
+        let idx = params
+            .iter()
+            .position(|(_, name, _)| name == "n.out.b")
+            .expect("output bias exists");
+        params.tensors_mut()[idx]
+            .data_mut()
+            .copy_from_slice(&[re, im]);
+        (net, params)
+    }
+
+    /// A reference field equal to the constant `(re, im)` everywhere.
+    fn constant_field(re: f64, im: f64, x0: f64, x1: f64) -> Field1d {
+        let grid = Grid1d::periodic(x0, x1, 16);
+        let times = vec![0.0, 0.5, 1.0];
+        let data = times
+            .iter()
+            .map(|_| vec![Complex64::new(re, im); grid.n])
+            .collect();
+        Field1d::new(grid, times, data)
+    }
+
+    #[test]
+    fn field_error_is_zero_on_exact_reference() {
+        let (net, params) = constant_net(3.0, 4.0);
+        let reference = constant_field(3.0, 4.0, -1.0, 1.0);
+        let err = rel_l2_error_field(&net, &params, &reference, 32, 8);
+        assert!(err < 1e-12, "exact match must give ~0 error, got {err}");
+    }
+
+    #[test]
+    fn field_error_matches_analytic_value_for_constant_offset() {
+        // net ≡ 3 + 4i, reference ≡ 0 + 4i ⇒ pointwise error 3, so
+        // rel-L2 = ‖3‖/‖(0,4)‖ = 3/4 at every grid size.
+        let (net, params) = constant_net(3.0, 4.0);
+        let reference = constant_field(0.0, 4.0, -1.0, 1.0);
+        for (nx, nt) in [(8, 3), (32, 8)] {
+            let err = rel_l2_error_field(&net, &params, &reference, nx, nt);
+            assert!((err - 0.75).abs() < 1e-12, "nx={nx} nt={nt}: {err}");
+        }
+    }
+
+    #[test]
+    fn field_error_handles_single_time_slice() {
+        // nt == 1 must not divide by zero: the lone slice sits at t = 0.
+        let (net, params) = constant_net(3.0, 4.0);
+        let reference = constant_field(3.0, 4.0, -1.0, 1.0);
+        let err = rel_l2_error_field(&net, &params, &reference, 16, 1);
+        assert!(err.is_finite());
+        assert!(err < 1e-12, "constant field at t=0 must match: {err}");
+    }
+
+    #[test]
+    fn norm_series_has_analytic_value_for_constant_density() {
+        // |ψ|² = 3² + 4² = 25 everywhere ⇒ ∫|ψ|²dx = 25·(x1−x0).
+        let (net, params) = constant_net(3.0, 4.0);
+        let s = norm_series(&net, &params, -1.0, 1.0, 32, &[0.0, 0.3, 1.0]);
+        assert_eq!(s.len(), 3);
+        for v in &s {
+            assert!((v - 50.0).abs() < 1e-12, "norm {v} != 25·L");
+        }
+    }
 
     #[test]
     fn profile_error_is_sign_invariant() {

@@ -66,7 +66,9 @@ impl FieldNetConfig {
         FieldNetConfig {
             coords: vec![
                 CoordSpec::Periodic { length },
-                CoordSpec::LearnedPeriod { period0: 4.0 * t_end },
+                CoordSpec::LearnedPeriod {
+                    period0: 4.0 * t_end,
+                },
             ],
             rff: Some(RffSpec {
                 n_features: 64,
@@ -117,13 +119,13 @@ impl FieldNet {
             .map(|(i, c)| match c {
                 CoordSpec::Raw => Embed::Raw,
                 CoordSpec::Periodic { length } => Embed::Periodic(PeriodicEmbedding::new(*length)),
-                CoordSpec::LearnedPeriod { period0 } => Embed::Learned(
-                    qpinn_nn::periodic::LearnedPeriodEmbedding::new(
+                CoordSpec::LearnedPeriod { period0 } => {
+                    Embed::Learned(qpinn_nn::periodic::LearnedPeriodEmbedding::new(
                         params,
                         *period0,
                         &format!("{name}.coord{i}"),
-                    ),
-                ),
+                    ))
+                }
             })
             .collect();
         let embed_width: usize = cfg.coords.iter().map(CoordSpec::feature_width).sum();

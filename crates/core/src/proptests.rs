@@ -40,7 +40,11 @@ fn arch_strategy() -> impl Strategy<Value = ArchCase> {
                 depth,
                 rff,
                 periodic_x,
-                activation: if act { Activation::Tanh } else { Activation::Sin },
+                activation: if act {
+                    Activation::Tanh
+                } else {
+                    Activation::Sin
+                },
                 seed,
                 x0,
                 t0,

@@ -107,9 +107,8 @@ mod tests {
     /// v = cos(kx)·sin(ωt).
     fn analytic_jets(g: &mut Graph, xs: &[f64], ts: &[f64], k: f64, w: f64) -> SplitPsi {
         let n = xs.len();
-        let mk = |f: &dyn Fn(f64, f64) -> f64| -> Vec<f64> {
-            (0..n).map(|i| f(xs[i], ts[i])).collect()
-        };
+        let mk =
+            |f: &dyn Fn(f64, f64) -> f64| -> Vec<f64> { (0..n).map(|i| f(xs[i], ts[i])).collect() };
         let mut jet = |vals: Vec<f64>, dx: Vec<f64>, dt: Vec<f64>, dxx: Vec<f64>| -> Jet {
             let zero = g_constant_col(g, &vec![0.0; n]);
             let v = g_constant_col(g, &vals);
@@ -157,22 +156,40 @@ mod tests {
         let u = Jet {
             v: g_constant_col(&mut g, &phase.iter().map(|p| p.cos()).collect::<Vec<_>>()),
             d: vec![
-                g_constant_col(&mut g, &phase.iter().map(|p| -k * p.sin()).collect::<Vec<_>>()),
-                g_constant_col(&mut g, &phase.iter().map(|p| w * p.sin()).collect::<Vec<_>>()),
+                g_constant_col(
+                    &mut g,
+                    &phase.iter().map(|p| -k * p.sin()).collect::<Vec<_>>(),
+                ),
+                g_constant_col(
+                    &mut g,
+                    &phase.iter().map(|p| w * p.sin()).collect::<Vec<_>>(),
+                ),
             ],
             dd: vec![
-                g_constant_col(&mut g, &phase.iter().map(|p| -k * k * p.cos()).collect::<Vec<_>>()),
+                g_constant_col(
+                    &mut g,
+                    &phase.iter().map(|p| -k * k * p.cos()).collect::<Vec<_>>(),
+                ),
                 g_constant_col(&mut g, &vec![0.0; n]),
             ],
         };
         let v = Jet {
             v: g_constant_col(&mut g, &phase.iter().map(|p| p.sin()).collect::<Vec<_>>()),
             d: vec![
-                g_constant_col(&mut g, &phase.iter().map(|p| k * p.cos()).collect::<Vec<_>>()),
-                g_constant_col(&mut g, &phase.iter().map(|p| -w * p.cos()).collect::<Vec<_>>()),
+                g_constant_col(
+                    &mut g,
+                    &phase.iter().map(|p| k * p.cos()).collect::<Vec<_>>(),
+                ),
+                g_constant_col(
+                    &mut g,
+                    &phase.iter().map(|p| -w * p.cos()).collect::<Vec<_>>(),
+                ),
             ],
             dd: vec![
-                g_constant_col(&mut g, &phase.iter().map(|p| -k * k * p.sin()).collect::<Vec<_>>()),
+                g_constant_col(
+                    &mut g,
+                    &phase.iter().map(|p| -k * k * p.sin()).collect::<Vec<_>>(),
+                ),
                 g_constant_col(&mut g, &vec![0.0; n]),
             ],
         };

@@ -199,7 +199,11 @@ impl EigenTask {
         let norm: f64 = {
             let mut s = 0.0;
             for i in 0..vals.len() {
-                let w = if i == 0 || i == vals.len() - 1 { 0.5 } else { 1.0 };
+                let w = if i == 0 || i == vals.len() - 1 {
+                    0.5
+                } else {
+                    1.0
+                };
                 s += w * vals[i] * vals[i];
             }
             (s * dx).sqrt()
@@ -287,13 +291,11 @@ mod tests {
             eval_every: 0,
             clip: Some(100.0),
             lbfgs_polish: Some(80),
+            checkpoint: None,
         });
         let _log = trainer.train(&mut task, &mut params);
         let e = task.energy(&params);
-        assert!(
-            (e - 0.5).abs() < 0.05,
-            "ground-state energy {e} (want 0.5)"
-        );
+        assert!((e - 0.5).abs() < 0.05, "ground-state energy {e} (want 0.5)");
     }
 
     #[test]
@@ -344,8 +346,7 @@ mod tests {
         // loss whenever the overlap is nonzero
         let mut params2 = ParamSet::new();
         let mut rng2 = StdRng::seed_from_u64(2);
-        let mut task_p =
-            EigenTask::new(problem, &cfg, 0, Vec::new(), &mut params2, &mut rng2);
+        let mut task_p = EigenTask::new(problem, &cfg, 0, Vec::new(), &mut params2, &mut rng2);
         let mut g2 = qpinn_autodiff::Graph::new();
         let mut ctx2 = GraphCtx::new(&mut g2, &params2);
         let without = {

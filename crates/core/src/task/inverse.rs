@@ -194,10 +194,7 @@ impl PinnTask for InverseTdseTask {
         let ict = ctx.g.constant(self.ic_cols.1.clone());
         let lic = loss::ic_loss(ctx, &self.net, &[icx, ict], &self.ic_target);
 
-        loss::total_loss(
-            ctx.g,
-            &[(1.0, lpde), (self.w_data, ldata), (10.0, lic)],
-        )
+        loss::total_loss(ctx.g, &[(1.0, lpde), (self.w_data, ldata), (10.0, lic)])
     }
 
     fn eval_error(&self, params: &ParamSet) -> f64 {
@@ -263,6 +260,7 @@ mod tests {
             eval_every: 0,
             clip: Some(100.0),
             lbfgs_polish: None,
+            checkpoint: None,
         })
         .train(&mut task, &mut params);
         let e1 = task.eval_error(&params);

@@ -92,10 +92,7 @@ impl NlsTask {
             target.push(h.re);
             target.push(h.im);
         }
-        let ic_cols = (
-            Tensor::column(&ic_x),
-            Tensor::column(&vec![0.0; cfg.n_ic]),
-        );
+        let ic_cols = (Tensor::column(&ic_x), Tensor::column(&vec![0.0; cfg.n_ic]));
         let ic_target = Tensor::from_vec([cfg.n_ic, 2], target);
 
         let cons = if cfg.weights.conservation > 0.0 {
@@ -268,6 +265,7 @@ mod tests {
             eval_every: 0,
             clip: Some(100.0),
             lbfgs_polish: None,
+            checkpoint: None,
         });
         let log = trainer.train(&mut task, &mut params);
         assert!(log.final_loss < log.loss[0]);

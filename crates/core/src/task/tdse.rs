@@ -313,6 +313,7 @@ mod tests {
             eval_every: 0,
             clip: Some(100.0),
             lbfgs_polish: None,
+            checkpoint: None,
         });
         let log = trainer.train(&mut task, &mut params);
         assert!(

@@ -173,7 +173,11 @@ impl Tdse2dTask {
         Tdse2dTask {
             problem,
             net,
-            cols: (Tensor::column(&xs), Tensor::column(&ys), Tensor::column(&ts)),
+            cols: (
+                Tensor::column(&xs),
+                Tensor::column(&ys),
+                Tensor::column(&ts),
+            ),
             potential_col,
             ic_cols,
             ic_target,
@@ -313,10 +317,15 @@ mod tests {
             eval_every: 0,
             clip: Some(100.0),
             lbfgs_polish: None,
+            checkpoint: None,
         })
         .train(&mut task, &mut params);
         assert!(log.final_loss < log.loss[0], "loss did not drop");
-        assert!(log.final_error < 1.2 * e0, "error exploded: {e0} → {}", log.final_error);
+        assert!(
+            log.final_error < 1.2 * e0,
+            "error exploded: {e0} → {}",
+            log.final_error
+        );
     }
 
     #[test]

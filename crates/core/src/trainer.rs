@@ -1,9 +1,12 @@
 //! The training loop: Adam with a learning-rate schedule, optional global
-//! gradient clipping, trajectory logging, and optional L-BFGS polishing.
+//! gradient clipping, trajectory logging, optional L-BFGS polishing, and
+//! periodic crash-safe checkpointing with bit-exact resume.
 
 use qpinn_autodiff::Graph;
 use qpinn_nn::{GraphCtx, ParamSet};
 use qpinn_optim::{clip, Adam, Lbfgs, LbfgsConfig, LrSchedule, Optimizer};
+use qpinn_persist::{RetentionPolicy, RunMeta, Snapshot, SnapshotStore, TrainLogRecord};
+use std::path::PathBuf;
 use std::time::Instant;
 
 /// A trainable physics-informed task.
@@ -15,6 +18,62 @@ pub trait PinnTask {
     /// Evaluation error of the current parameters (e.g. relative L2
     /// against the reference solution).
     fn eval_error(&self, params: &ParamSet) -> f64;
+
+    /// Serialize task-internal training state (e.g. causal-curriculum
+    /// weights) into an opaque blob stored in checkpoints. Stateless tasks
+    /// keep the default empty blob.
+    fn export_state(&self) -> Vec<u8> {
+        Vec::new()
+    }
+
+    /// Restore state previously produced by [`PinnTask::export_state`].
+    /// The default ignores the blob, matching the default export.
+    fn import_state(&mut self, _bytes: &[u8]) {}
+}
+
+/// Where, how often, and how durably to checkpoint a training run.
+#[derive(Clone, Debug)]
+pub struct CheckpointConfig {
+    /// Directory the snapshots live in (created on first save).
+    pub dir: PathBuf,
+    /// Save every this many epochs (a final save at the last epoch always
+    /// happens regardless). Values of 0 are treated as 1.
+    pub every: usize,
+    /// Run identifier recorded in each snapshot's metadata.
+    pub run_id: String,
+    /// Which snapshots survive pruning after each save.
+    pub retention: RetentionPolicy,
+}
+
+impl CheckpointConfig {
+    /// Checkpoint into `dir` every 500 epochs with the default retention
+    /// (last 3 plus best-by-eval-error).
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        CheckpointConfig {
+            dir: dir.into(),
+            every: 500,
+            run_id: "run".into(),
+            retention: RetentionPolicy::default(),
+        }
+    }
+
+    /// Set the save interval.
+    pub fn every(mut self, every: usize) -> Self {
+        self.every = every;
+        self
+    }
+
+    /// Set the run identifier recorded in snapshot metadata.
+    pub fn run_id(mut self, id: impl Into<String>) -> Self {
+        self.run_id = id.into();
+        self
+    }
+
+    /// Set the retention policy.
+    pub fn retention(mut self, policy: RetentionPolicy) -> Self {
+        self.retention = policy;
+        self
+    }
 }
 
 /// Training hyperparameters.
@@ -33,6 +92,8 @@ pub struct TrainConfig {
     pub clip: Option<f64>,
     /// Optional L-BFGS polishing iterations after Adam.
     pub lbfgs_polish: Option<usize>,
+    /// Optional periodic checkpointing. `None` trains without artifacts.
+    pub checkpoint: Option<CheckpointConfig>,
 }
 
 impl Default for TrainConfig {
@@ -42,12 +103,16 @@ impl Default for TrainConfig {
             schedule: LrSchedule::Step {
                 lr0: 1e-3,
                 factor: 0.85,
-                every: 2000,
+                // Must divide into the default epoch budget so the decay
+                // actually fires: every=500 gives three decays over 2000
+                // epochs (the old value of 2000 never fired once).
+                every: 500,
             },
             log_every: 50,
             eval_every: 0,
             clip: Some(1e3),
             lbfgs_polish: None,
+            checkpoint: None,
         }
     }
 }
@@ -100,13 +165,71 @@ impl Trainer {
         (loss_val, collected)
     }
 
-    /// Run Adam (+ optional L-BFGS polish) and return the log.
+    /// Run Adam (+ optional L-BFGS polish) from scratch and return the log.
     pub fn train(&self, task: &mut dyn PinnTask, params: &mut ParamSet) -> TrainLog {
+        let opt = Adam::new(self.cfg.schedule.at(0));
+        self.train_segment(task, params, 0, opt, TrainLog::default())
+    }
+
+    /// Resume training from the newest intact snapshot in `dir`.
+    ///
+    /// Restores parameters, Adam state (step count and moment buffers),
+    /// epoch position, task state, and the accumulated log, then continues
+    /// until `cfg.epochs`. The continuation is bit-exact: training 2N
+    /// epochs in one run produces the same `f64` parameters as training N,
+    /// checkpointing, and resuming for N more (as long as L-BFGS polishing
+    /// is off — the polish runs after the final snapshot is written, so its
+    /// effect is not captured in checkpoints).
+    ///
+    /// Corrupt or truncated snapshots are skipped in favor of the newest
+    /// intact one; the error reports when none survives.
+    pub fn resume(
+        &self,
+        dir: impl Into<PathBuf>,
+        task: &mut dyn PinnTask,
+        params: &mut ParamSet,
+    ) -> qpinn_persist::Result<TrainLog> {
+        let store = SnapshotStore::open(dir)?;
+        let (snap, _path) = store.load_latest()?;
+        *params = snap.params;
+        task.import_state(&snap.task_state);
+        let opt = Adam::from_state(snap.optim);
+        let start_epoch = usize::try_from(snap.meta.next_epoch).map_err(|_| {
+            qpinn_persist::PersistError::Malformed(format!(
+                "snapshot epoch {} overflows usize",
+                snap.meta.next_epoch
+            ))
+        })?;
+        let log = record_to_log(&snap.log);
+        Ok(self.train_segment(task, params, start_epoch, opt, log))
+    }
+
+    /// The shared epoch loop: runs `[start_epoch, cfg.epochs)`, appending to
+    /// an already-populated `log` so resumed runs report one continuous
+    /// trajectory with accumulated wall time.
+    fn train_segment(
+        &self,
+        task: &mut dyn PinnTask,
+        params: &mut ParamSet,
+        start_epoch: usize,
+        mut opt: Adam,
+        mut log: TrainLog,
+    ) -> TrainLog {
         let start = Instant::now();
-        let mut log = TrainLog::default();
-        let mut opt = Adam::new(self.cfg.schedule.at(0));
-        let mut last_loss = f64::NAN;
-        for epoch in 0..self.cfg.epochs {
+        let prior_wall = log.wall_s;
+        let store = self.cfg.checkpoint.as_ref().and_then(|c| {
+            SnapshotStore::open(&c.dir)
+                .map_err(|e| eprintln!("warning: cannot open checkpoint dir: {e}"))
+                .ok()
+        });
+        // A resumed segment that has nothing left to do must still report
+        // the loss the run ended on.
+        let mut last_loss = if start_epoch == 0 {
+            f64::NAN
+        } else {
+            log.final_loss
+        };
+        for epoch in start_epoch..self.cfg.epochs {
             opt.set_lr(self.cfg.schedule.at(epoch));
             let (loss_val, mut grads) = Self::loss_and_grads(task, params);
             last_loss = loss_val;
@@ -124,6 +247,30 @@ impl Trainer {
                 log.error.push(task.eval_error(params));
             }
             opt.step(params.tensors_mut(), &grads);
+            if let (Some(ckpt), Some(store)) = (&self.cfg.checkpoint, &store) {
+                let next_epoch = epoch + 1;
+                if next_epoch % ckpt.every.max(1) == 0 || next_epoch == self.cfg.epochs {
+                    let mut saved_log = log.clone();
+                    saved_log.wall_s = prior_wall + start.elapsed().as_secs_f64();
+                    saved_log.final_loss = last_loss;
+                    saved_log.final_error = task.eval_error(params);
+                    let snap = Snapshot {
+                        meta: RunMeta {
+                            run_id: ckpt.run_id.clone(),
+                            next_epoch: next_epoch as u64,
+                            planned_epochs: self.cfg.epochs as u64,
+                            eval_error: saved_log.final_error,
+                        },
+                        params: params.clone(),
+                        optim: opt.export_state(),
+                        log: log_to_record(&saved_log),
+                        task_state: task.export_state(),
+                    };
+                    if let Err(e) = store.save(&snap, &ckpt.retention) {
+                        eprintln!("warning: checkpoint save failed: {e}");
+                    }
+                }
+            }
         }
 
         if let Some(max_iters) = self.cfg.lbfgs_polish {
@@ -154,8 +301,36 @@ impl Trainer {
 
         log.final_loss = last_loss;
         log.final_error = task.eval_error(params);
-        log.wall_s = start.elapsed().as_secs_f64();
+        log.wall_s = prior_wall + start.elapsed().as_secs_f64();
         log
+    }
+}
+
+/// Lossless conversion into the persist crate's plain-data log mirror.
+fn log_to_record(log: &TrainLog) -> TrainLogRecord {
+    TrainLogRecord {
+        epochs: log.epochs.iter().map(|&e| e as u64).collect(),
+        loss: log.loss.clone(),
+        grad_norm: log.grad_norm.clone(),
+        eval_epochs: log.eval_epochs.iter().map(|&e| e as u64).collect(),
+        error: log.error.clone(),
+        wall_s: log.wall_s,
+        final_loss: log.final_loss,
+        final_error: log.final_error,
+    }
+}
+
+/// Inverse of [`log_to_record`].
+fn record_to_log(rec: &TrainLogRecord) -> TrainLog {
+    TrainLog {
+        epochs: rec.epochs.iter().map(|&e| e as usize).collect(),
+        loss: rec.loss.clone(),
+        grad_norm: rec.grad_norm.clone(),
+        eval_epochs: rec.eval_epochs.iter().map(|&e| e as usize).collect(),
+        error: rec.error.clone(),
+        wall_s: rec.wall_s,
+        final_loss: rec.final_loss,
+        final_error: rec.final_error,
     }
 }
 
@@ -189,6 +364,29 @@ mod tests {
     }
 
     #[test]
+    fn default_schedule_fires_within_default_epochs() {
+        // Regression guard: the default used to pair `epochs: 2000` with a
+        // Step schedule of `every: 2000`, so the decay never fired inside a
+        // default-length run. The schedule must now decay several times.
+        let cfg = TrainConfig::default();
+        let lr0 = cfg.schedule.at(0);
+        let lr_end = cfg.schedule.at(cfg.epochs - 1);
+        assert!(
+            lr_end < lr0,
+            "default schedule never decays within the default epoch budget"
+        );
+        // Pin the exact staircase: 0.85^(epoch/500) for the default Step.
+        for (epoch, decays) in [(0, 0), (499, 0), (500, 1), (999, 1), (1500, 3), (1999, 3)] {
+            let expect = 1e-3 * 0.85f64.powi(decays);
+            assert!(
+                (cfg.schedule.at(epoch) - expect).abs() < 1e-15,
+                "epoch {epoch}: {} != {expect}",
+                cfg.schedule.at(epoch)
+            );
+        }
+    }
+
+    #[test]
     fn adam_fits_quadratic() {
         let (mut task, mut params) = make_task();
         let trainer = Trainer::new(TrainConfig {
@@ -198,6 +396,7 @@ mod tests {
             eval_every: 500,
             clip: None,
             lbfgs_polish: None,
+            checkpoint: None,
         });
         let log = trainer.train(&mut task, &mut params);
         assert!(log.final_error < 1e-3, "err {}", log.final_error);
@@ -215,6 +414,7 @@ mod tests {
             eval_every: 0,
             clip: None,
             lbfgs_polish: Some(50),
+            checkpoint: None,
         });
         let log = trainer.train(&mut task, &mut params);
         assert!(log.final_error < 1e-8, "err {}", log.final_error);
@@ -231,6 +431,7 @@ mod tests {
             eval_every: 0,
             clip: Some(1.0),
             lbfgs_polish: None,
+            checkpoint: None,
         });
         let log = trainer.train(&mut task, &mut params);
         // pre-clip norms are recorded; the *updates* were clipped, so the

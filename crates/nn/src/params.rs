@@ -13,7 +13,7 @@ use qpinn_tensor::Tensor;
 pub struct ParamId(pub(crate) usize);
 
 /// Named, ordered collection of trainable tensors.
-#[derive(Clone, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct ParamSet {
     tensors: Vec<Tensor>,
     names: Vec<String>,

@@ -161,12 +161,13 @@ impl Lbfgs {
             } else {
                 1.0
             };
-            let eval = |alpha: f64, x: &[f64], d: &[f64], f: &mut dyn FnMut(&[f64]) -> (f64, Vec<f64>)| {
-                let xt: Vec<f64> = x.iter().zip(d).map(|(xi, di)| xi + alpha * di).collect();
-                let (ft, gt) = f(&xt);
-                let dphit = dot(&gt, d);
-                (xt, ft, gt, dphit)
-            };
+            let eval =
+                |alpha: f64, x: &[f64], d: &[f64], f: &mut dyn FnMut(&[f64]) -> (f64, Vec<f64>)| {
+                    let xt: Vec<f64> = x.iter().zip(d).map(|(xi, di)| xi + alpha * di).collect();
+                    let (ft, gt) = f(&xt);
+                    let dphit = dot(&gt, d);
+                    (xt, ft, gt, dphit)
+                };
 
             let mut lo = 0.0f64;
             let mut f_lo = phi0;
@@ -331,10 +332,7 @@ mod tests {
 
     #[test]
     fn already_at_minimum() {
-        let res = Lbfgs::default().minimize(
-            |x| (x[0] * x[0], vec![2.0 * x[0]]),
-            vec![0.0],
-        );
+        let res = Lbfgs::default().minimize(|x| (x[0] * x[0], vec![2.0 * x[0]]), vec![0.0]);
         assert_eq!(res.outcome, LbfgsOutcome::GradConverged);
         assert_eq!(res.iters, 0);
     }
@@ -346,7 +344,11 @@ mod tests {
         let c2 = c.clone();
         let res = Lbfgs::default().minimize(
             move |x| {
-                let f = 0.5 * x.iter().zip(&c2).map(|(a, b)| (a - b) * (a - b)).sum::<f64>();
+                let f = 0.5
+                    * x.iter()
+                        .zip(&c2)
+                        .map(|(a, b)| (a - b) * (a - b))
+                        .sum::<f64>();
                 let g = x.iter().zip(&c2).map(|(a, b)| a - b).collect();
                 (f, g)
             },

@@ -32,7 +32,7 @@ pub mod lbfgs;
 pub mod schedule;
 pub mod sgd;
 
-pub use adam::Adam;
+pub use adam::{Adam, AdamState};
 pub use lbfgs::{Lbfgs, LbfgsConfig, LbfgsOutcome};
 pub use schedule::LrSchedule;
 pub use sgd::Sgd;

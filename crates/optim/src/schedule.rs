@@ -79,7 +79,10 @@ mod tests {
 
     #[test]
     fn exponential_monotone() {
-        let s = LrSchedule::Exponential { lr0: 0.1, gamma: 0.99 };
+        let s = LrSchedule::Exponential {
+            lr0: 0.1,
+            gamma: 0.99,
+        };
         assert!(s.at(10) < s.at(5));
         assert!((s.at(2) - 0.1 * 0.99f64.powi(2)).abs() < 1e-15);
     }

@@ -1,0 +1,263 @@
+//! Little-endian primitive encoding: the byte-level writer/reader both the
+//! section payloads and the container framing are built from. No serde —
+//! the format is hand-rolled so the on-disk layout is explicit and stable.
+
+use crate::format::{PersistError, Result};
+
+/// Append-only encoder over a growable byte buffer.
+#[derive(Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// A fresh, empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Current length in bytes.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Raw bytes, verbatim.
+    pub fn put_bytes(&mut self, b: &[u8]) {
+        self.buf.extend_from_slice(b);
+    }
+
+    /// One byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Little-endian `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Little-endian `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// `f64` as its IEEE-754 bit pattern — exact roundtrip, including NaN
+    /// payloads and signed zeros.
+    pub fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    /// Length-prefixed UTF-8 string (`u32` length).
+    pub fn put_str(&mut self, s: &str) {
+        self.put_u32(s.len() as u32);
+        self.put_bytes(s.as_bytes());
+    }
+
+    /// Length-prefixed `f64` vector (`u64` count).
+    pub fn put_f64_slice(&mut self, v: &[f64]) {
+        self.put_u64(v.len() as u64);
+        for &x in v {
+            self.put_f64(x);
+        }
+    }
+
+    /// Length-prefixed `usize` vector, stored as `u64`s (`u32` count —
+    /// used for tensor shapes, which are tiny).
+    pub fn put_usize_slice(&mut self, v: &[usize]) {
+        self.put_u32(v.len() as u32);
+        for &x in v {
+            self.put_u64(x as u64);
+        }
+    }
+
+    /// Length-prefixed `u64` vector (`u64` count).
+    pub fn put_u64_slice(&mut self, v: &[u64]) {
+        self.put_u64(v.len() as u64);
+        for &x in v {
+            self.put_u64(x);
+        }
+    }
+}
+
+/// Bounds-checked decoder over a byte slice. Every read that would run past
+/// the end reports [`PersistError::Truncated`] instead of panicking — this
+/// is what turns arbitrary corruption into a recoverable error.
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    /// Context string used in truncation errors.
+    what: &'static str,
+}
+
+impl<'a> Reader<'a> {
+    /// Decode from `buf`; `what` names the structure for error messages.
+    pub fn new(buf: &'a [u8], what: &'static str) -> Self {
+        Reader { buf, pos: 0, what }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Current read offset.
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(PersistError::Truncated { what: self.what });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Raw bytes, verbatim.
+    pub fn get_bytes(&mut self, n: usize) -> Result<&'a [u8]> {
+        self.take(n)
+    }
+
+    /// One byte.
+    pub fn get_u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Little-endian `u32`.
+    pub fn get_u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Little-endian `u64`.
+    pub fn get_u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// `f64` from its bit pattern.
+    pub fn get_f64(&mut self) -> Result<f64> {
+        Ok(f64::from_bits(self.get_u64()?))
+    }
+
+    /// A `usize` stored as `u64`, rejecting values that overflow the
+    /// platform (or that are absurd for an in-memory length).
+    pub fn get_len(&mut self) -> Result<usize> {
+        let v = self.get_u64()?;
+        usize::try_from(v).map_err(|_| PersistError::Malformed(format!("length {v} overflows usize")))
+    }
+
+    /// Length-prefixed UTF-8 string.
+    pub fn get_str(&mut self) -> Result<String> {
+        let n = self.get_u32()? as usize;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| PersistError::Malformed("non-UTF-8 string".into()))
+    }
+
+    /// Length-prefixed `f64` vector.
+    pub fn get_f64_vec(&mut self) -> Result<Vec<f64>> {
+        let n = self.get_len()?;
+        // Guard against corrupted lengths asking for absurd allocations:
+        // each element needs 8 bytes that must actually be present.
+        if self.remaining() < n.saturating_mul(8) {
+            return Err(PersistError::Truncated { what: self.what });
+        }
+        let mut v = Vec::with_capacity(n);
+        for _ in 0..n {
+            v.push(self.get_f64()?);
+        }
+        Ok(v)
+    }
+
+    /// Length-prefixed `usize` vector (see [`Writer::put_usize_slice`]).
+    pub fn get_usize_vec(&mut self) -> Result<Vec<usize>> {
+        let n = self.get_u32()? as usize;
+        if self.remaining() < n.saturating_mul(8) {
+            return Err(PersistError::Truncated { what: self.what });
+        }
+        let mut v = Vec::with_capacity(n);
+        for _ in 0..n {
+            let x = self.get_u64()?;
+            v.push(usize::try_from(x).map_err(|_| {
+                PersistError::Malformed(format!("dimension {x} overflows usize"))
+            })?);
+        }
+        Ok(v)
+    }
+
+    /// Length-prefixed `u64` vector.
+    pub fn get_u64_vec(&mut self) -> Result<Vec<u64>> {
+        let n = self.get_len()?;
+        if self.remaining() < n.saturating_mul(8) {
+            return Err(PersistError::Truncated { what: self.what });
+        }
+        let mut v = Vec::with_capacity(n);
+        for _ in 0..n {
+            v.push(self.get_u64()?);
+        }
+        Ok(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        let mut w = Writer::new();
+        w.put_u8(7);
+        w.put_u32(0xDEAD_BEEF);
+        w.put_u64(u64::MAX - 1);
+        w.put_f64(-0.0);
+        w.put_f64(f64::NAN);
+        w.put_str("ψ-field");
+        w.put_f64_slice(&[1.5, -2.5, 3.25]);
+        w.put_usize_slice(&[4, 0, 9]);
+        w.put_u64_slice(&[10, 20]);
+        let bytes = w.into_bytes();
+
+        let mut r = Reader::new(&bytes, "test");
+        assert_eq!(r.get_u8().unwrap(), 7);
+        assert_eq!(r.get_u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64().unwrap(), u64::MAX - 1);
+        let z = r.get_f64().unwrap();
+        assert_eq!(z.to_bits(), (-0.0f64).to_bits(), "signed zero preserved");
+        assert!(r.get_f64().unwrap().is_nan());
+        assert_eq!(r.get_str().unwrap(), "ψ-field");
+        assert_eq!(r.get_f64_vec().unwrap(), vec![1.5, -2.5, 3.25]);
+        assert_eq!(r.get_usize_vec().unwrap(), vec![4, 0, 9]);
+        assert_eq!(r.get_u64_vec().unwrap(), vec![10, 20]);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn truncated_reads_error_instead_of_panicking() {
+        let mut w = Writer::new();
+        w.put_f64_slice(&[1.0, 2.0, 3.0]);
+        let bytes = w.into_bytes();
+        for cut in 0..bytes.len() {
+            let mut r = Reader::new(&bytes[..cut], "cut");
+            assert!(r.get_f64_vec().is_err(), "cut at {cut} must fail");
+        }
+    }
+
+    #[test]
+    fn absurd_length_prefix_is_rejected() {
+        let mut w = Writer::new();
+        w.put_u64(u64::MAX); // claims ~1.8e19 elements
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes, "absurd");
+        assert!(r.get_f64_vec().is_err());
+    }
+}

@@ -1,0 +1,163 @@
+//! The snapshot container format: magic, version, tagged sections, and the
+//! error type every decode path reports through.
+//!
+//! # Layout (all integers little-endian)
+//!
+//! ```text
+//! offset  size  field
+//! 0       8     magic  "QPNSNAP\0"
+//! 8       4     format version (u32, currently 1)
+//! 12      4     section count (u32)
+//! --- per section ---
+//!         4     section tag (u32)
+//!         8     payload length in bytes (u64)
+//!         n     payload
+//!         4     CRC-32 of the payload
+//! --- trailer ---
+//!         4     CRC-32 of every preceding byte (magic through last section)
+//! ```
+//!
+//! The per-section CRC localizes corruption to a section; the trailing
+//! whole-file CRC additionally covers the header and the section framing
+//! (tags and lengths), so a bit flip anywhere in the file is detected.
+//!
+//! # Versioning rules
+//!
+//! * The magic never changes.
+//! * Adding a new section tag is a **minor** change: old readers must skip
+//!   unknown tags (the framing makes that possible), so the version stays.
+//! * Changing the payload layout of an existing section is a **major**
+//!   change: bump [`FORMAT_VERSION`]; readers reject newer versions.
+
+use std::fmt;
+use std::io;
+
+/// First eight bytes of every snapshot file.
+pub const MAGIC: [u8; 8] = *b"QPNSNAP\0";
+
+/// Current container version. See the module docs for when to bump.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Section tags. Values are part of the on-disk format; never reuse one.
+pub mod section {
+    /// Run metadata: id, epoch counters, evaluation error.
+    pub const META: u32 = 1;
+    /// Parameter tensors: names, shapes, f64 data.
+    pub const PARAMS: u32 = 2;
+    /// Adam optimizer state: step count, hyperparameters, moment buffers.
+    pub const OPTIM: u32 = 3;
+    /// Accumulated training log trajectories.
+    pub const LOG: u32 = 4;
+    /// Opaque task-defined state (curriculum weights, …).
+    pub const TASK: u32 = 5;
+}
+
+/// Everything that can go wrong while writing or reading snapshots.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Underlying filesystem failure.
+    Io(io::Error),
+    /// The file does not start with [`MAGIC`].
+    BadMagic,
+    /// The file declares a container version this reader does not support.
+    UnsupportedVersion(u32),
+    /// The file ended before a declared structure was complete.
+    Truncated {
+        /// What was being read when the data ran out.
+        what: &'static str,
+    },
+    /// A CRC-32 check failed.
+    ChecksumMismatch {
+        /// Which checksum failed ("file" or the section name).
+        what: &'static str,
+        /// Checksum recomputed from the bytes read.
+        computed: u32,
+        /// Checksum stored in the file.
+        stored: u32,
+    },
+    /// The container parsed but its contents are not usable.
+    Malformed(String),
+    /// A required section is missing from the container.
+    MissingSection(u32),
+    /// No intact snapshot exists where one was required.
+    NoIntactSnapshot {
+        /// Directory that was searched.
+        dir: String,
+        /// Number of corrupt snapshot files skipped during the search.
+        corrupt_skipped: usize,
+    },
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "i/o error: {e}"),
+            PersistError::BadMagic => write!(f, "not a qpinn snapshot (bad magic)"),
+            PersistError::UnsupportedVersion(v) => {
+                write!(f, "snapshot format version {v} is newer than supported ({FORMAT_VERSION})")
+            }
+            PersistError::Truncated { what } => write!(f, "snapshot truncated while reading {what}"),
+            PersistError::ChecksumMismatch {
+                what,
+                computed,
+                stored,
+            } => write!(
+                f,
+                "checksum mismatch in {what}: computed {computed:#010x}, stored {stored:#010x}"
+            ),
+            PersistError::Malformed(msg) => write!(f, "malformed snapshot: {msg}"),
+            PersistError::MissingSection(tag) => write!(f, "snapshot missing section tag {tag}"),
+            PersistError::NoIntactSnapshot {
+                dir,
+                corrupt_skipped,
+            } => write!(
+                f,
+                "no intact snapshot in {dir} ({corrupt_skipped} corrupt file(s) skipped)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PersistError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for PersistError {
+    fn from(e: io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+/// Result alias for persistence operations.
+pub type Result<T> = std::result::Result<T, PersistError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render_useful_messages() {
+        let msgs = [
+            PersistError::BadMagic.to_string(),
+            PersistError::UnsupportedVersion(9).to_string(),
+            PersistError::Truncated { what: "params" }.to_string(),
+            PersistError::ChecksumMismatch {
+                what: "file",
+                computed: 1,
+                stored: 2,
+            }
+            .to_string(),
+            PersistError::MissingSection(section::OPTIM).to_string(),
+        ];
+        assert!(msgs[0].contains("magic"));
+        assert!(msgs[1].contains("version 9"));
+        assert!(msgs[2].contains("params"));
+        assert!(msgs[3].contains("0x00000001"));
+        assert!(msgs[4].contains('3'));
+    }
+}

@@ -1,0 +1,33 @@
+//! `qpinn-persist` — checkpointing and crash-safe run artifacts for qpinn
+//! training.
+//!
+//! This crate defines a versioned, checksummed binary snapshot format (no
+//! serde — the byte layout is hand-rolled and documented in [`format`])
+//! that persists everything needed to resume a training run bit-exactly:
+//!
+//! * the parameter set (names, shapes, raw f64 bit patterns),
+//! * Adam optimizer state (step count, hyperparameters, moment buffers),
+//! * the learning-rate schedule position and epoch counter,
+//! * the accumulated training log, and
+//! * an opaque task-defined state blob.
+//!
+//! [`SnapshotStore`] provides crash-safe directory management: writes go
+//! through a `*.tmp` + fsync + atomic-rename protocol, loads verify CRC-32
+//! checksums and fall back to the newest intact snapshot when the newest
+//! file is truncated or bit-flipped, and a [`RetentionPolicy`] bounds disk
+//! usage (keep the last K plus the best-by-eval-error).
+
+#![deny(missing_docs)]
+
+pub mod codec;
+pub mod crc;
+pub mod format;
+pub mod retention;
+pub mod snapshot;
+pub mod store;
+
+pub use crc::crc32;
+pub use format::{PersistError, Result, FORMAT_VERSION, MAGIC};
+pub use retention::RetentionPolicy;
+pub use snapshot::{RunMeta, Snapshot, TrainLogRecord};
+pub use store::SnapshotStore;

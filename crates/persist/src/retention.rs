@@ -1,0 +1,129 @@
+//! Retention policy: which snapshots survive after each save.
+
+use std::collections::BTreeSet;
+
+/// Which snapshots to keep when a store is pruned.
+///
+/// A snapshot survives if it is one of the newest `keep_last` by epoch, or
+/// (when `keep_best` is set) it has the smallest recorded evaluation error
+/// of any snapshot in the store.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RetentionPolicy {
+    /// Number of most-recent snapshots (by epoch) always kept. `0` with
+    /// `keep_best: false` would delete everything, so `survivors` treats
+    /// `0` as `1` — a store never prunes itself empty.
+    pub keep_last: usize,
+    /// Additionally keep the snapshot with the smallest evaluation error.
+    pub keep_best: bool,
+}
+
+impl Default for RetentionPolicy {
+    fn default() -> Self {
+        RetentionPolicy {
+            keep_last: 3,
+            keep_best: true,
+        }
+    }
+}
+
+impl RetentionPolicy {
+    /// A policy that never deletes anything.
+    pub fn keep_all() -> Self {
+        RetentionPolicy {
+            keep_last: usize::MAX,
+            keep_best: false,
+        }
+    }
+
+    /// Indices (into `ranked`) of the snapshots that survive pruning.
+    ///
+    /// `ranked` must be sorted by ascending epoch. Each entry carries an
+    /// arbitrary payload `T` (the store passes file paths) and the
+    /// evaluation error recorded in its metadata — `None` when the metadata
+    /// could not be read, which makes the entry ineligible for "best" but
+    /// still counted for "last K".
+    pub fn survivors<T>(&self, ranked: &[(u64, T, Option<f64>)]) -> BTreeSet<usize> {
+        let mut keep = BTreeSet::new();
+        let last = self.keep_last.max(1);
+        let start = ranked.len().saturating_sub(last);
+        for i in start..ranked.len() {
+            keep.insert(i);
+        }
+        if self.keep_best {
+            let best = ranked
+                .iter()
+                .enumerate()
+                .filter_map(|(i, (_, _, err))| err.filter(|e| !e.is_nan()).map(|e| (i, e)))
+                .min_by(|a, b| a.1.total_cmp(&b.1));
+            if let Some((i, _)) = best {
+                keep.insert(i);
+            }
+        }
+        keep
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ranked(entries: &[(u64, f64)]) -> Vec<(u64, (), Option<f64>)> {
+        entries.iter().map(|&(e, err)| (e, (), Some(err))).collect()
+    }
+
+    #[test]
+    fn keeps_last_k() {
+        let p = RetentionPolicy {
+            keep_last: 2,
+            keep_best: false,
+        };
+        let r = ranked(&[(1, 0.9), (2, 0.8), (3, 0.7), (4, 0.6)]);
+        let keep = p.survivors(&r);
+        assert_eq!(keep.into_iter().collect::<Vec<_>>(), vec![2, 3]);
+    }
+
+    #[test]
+    fn best_survives_outside_last_k() {
+        let p = RetentionPolicy {
+            keep_last: 1,
+            keep_best: true,
+        };
+        let r = ranked(&[(1, 0.01), (2, 0.8), (3, 0.7)]);
+        let keep = p.survivors(&r);
+        assert_eq!(keep.into_iter().collect::<Vec<_>>(), vec![0, 2]);
+    }
+
+    #[test]
+    fn zero_keep_last_still_keeps_newest() {
+        let p = RetentionPolicy {
+            keep_last: 0,
+            keep_best: false,
+        };
+        let r = ranked(&[(1, 0.9), (2, 0.8)]);
+        let keep = p.survivors(&r);
+        assert_eq!(keep.into_iter().collect::<Vec<_>>(), vec![1]);
+    }
+
+    #[test]
+    fn nan_and_unreadable_errors_are_ineligible_for_best() {
+        let p = RetentionPolicy {
+            keep_last: 1,
+            keep_best: true,
+        };
+        let r = vec![
+            (1u64, (), Some(f64::NAN)),
+            (2u64, (), None),
+            (3u64, (), Some(0.5)),
+            (4u64, (), Some(0.9)),
+        ];
+        let keep = p.survivors(&r);
+        assert_eq!(keep.into_iter().collect::<Vec<_>>(), vec![2, 3]);
+    }
+
+    #[test]
+    fn keep_all_keeps_everything() {
+        let p = RetentionPolicy::keep_all();
+        let r = ranked(&[(1, 0.9), (2, 0.8), (3, 0.7)]);
+        assert_eq!(p.survivors(&r).len(), 3);
+    }
+}

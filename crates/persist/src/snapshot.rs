@@ -1,0 +1,483 @@
+//! The [`Snapshot`] — everything needed to continue a training run exactly
+//! where it stopped — and its binary encoding into the container format of
+//! [`crate::format`].
+
+use crate::codec::{Reader, Writer};
+use crate::crc::{crc32, Crc32};
+use crate::format::{section, PersistError, Result, FORMAT_VERSION, MAGIC};
+use qpinn_nn::ParamSet;
+use qpinn_optim::AdamState;
+use qpinn_tensor::{Shape, Tensor};
+
+/// Identity and progress of the run a snapshot belongs to.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RunMeta {
+    /// Free-form run identifier (experiment id, problem name, …).
+    pub run_id: String,
+    /// The first epoch the resumed run must execute (everything before it
+    /// is already reflected in the parameters and optimizer state).
+    pub next_epoch: u64,
+    /// Total epochs the run was configured for, for progress reporting.
+    pub planned_epochs: u64,
+    /// Evaluation error at snapshot time — drives best-snapshot retention.
+    pub eval_error: f64,
+}
+
+/// Plain-data mirror of the trainer's accumulated trajectory log.
+///
+/// Lives here (rather than reusing `qpinn-core`'s `TrainLog`) because the
+/// core trainer depends on this crate; the two types convert losslessly.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TrainLogRecord {
+    /// Epoch indices of the loss records.
+    pub epochs: Vec<u64>,
+    /// Total loss at those epochs.
+    pub loss: Vec<f64>,
+    /// Global gradient norm at those epochs.
+    pub grad_norm: Vec<f64>,
+    /// Epoch indices of the error records.
+    pub eval_epochs: Vec<u64>,
+    /// Evaluation error at those epochs.
+    pub error: Vec<f64>,
+    /// Wall-clock seconds accumulated so far (across all segments).
+    pub wall_s: f64,
+    /// Loss at the last completed epoch.
+    pub final_loss: f64,
+    /// Evaluation error at the last completed epoch.
+    pub final_error: f64,
+}
+
+/// A complete, self-contained training checkpoint.
+#[derive(Clone, Debug)]
+pub struct Snapshot {
+    /// Run identity and epoch counters.
+    pub meta: RunMeta,
+    /// All trainable parameters (names, shapes, data).
+    pub params: ParamSet,
+    /// Adam optimizer state (step count, hyperparameters, moments).
+    pub optim: AdamState,
+    /// Accumulated training log.
+    pub log: TrainLogRecord,
+    /// Opaque task-defined state (e.g. curriculum weights); empty when the
+    /// task is stateless.
+    pub task_state: Vec<u8>,
+}
+
+fn put_tensor(w: &mut Writer, t: &Tensor) {
+    w.put_usize_slice(t.shape().dims());
+    w.put_f64_slice(t.data());
+}
+
+fn get_tensor(r: &mut Reader<'_>) -> Result<Tensor> {
+    let dims = r.get_usize_vec()?;
+    let data = r.get_f64_vec()?;
+    let shape = Shape::new(&dims);
+    if shape.len() != data.len() {
+        return Err(PersistError::Malformed(format!(
+            "tensor shape {dims:?} wants {} elements, payload has {}",
+            shape.len(),
+            data.len()
+        )));
+    }
+    Ok(Tensor::from_vec(shape, data))
+}
+
+fn encode_meta(meta: &RunMeta) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.put_str(&meta.run_id);
+    w.put_u64(meta.next_epoch);
+    w.put_u64(meta.planned_epochs);
+    w.put_f64(meta.eval_error);
+    w.into_bytes()
+}
+
+fn decode_meta(bytes: &[u8]) -> Result<RunMeta> {
+    let mut r = Reader::new(bytes, "meta section");
+    Ok(RunMeta {
+        run_id: r.get_str()?,
+        next_epoch: r.get_u64()?,
+        planned_epochs: r.get_u64()?,
+        eval_error: r.get_f64()?,
+    })
+}
+
+fn encode_params(params: &ParamSet) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.put_u32(params.len() as u32);
+    for (_, name, t) in params.iter() {
+        w.put_str(name);
+        put_tensor(&mut w, t);
+    }
+    w.into_bytes()
+}
+
+fn decode_params(bytes: &[u8]) -> Result<ParamSet> {
+    let mut r = Reader::new(bytes, "params section");
+    let n = r.get_u32()?;
+    let mut params = ParamSet::new();
+    for _ in 0..n {
+        let name = r.get_str()?;
+        let t = get_tensor(&mut r)?;
+        params.add(name, t);
+    }
+    Ok(params)
+}
+
+fn encode_optim(state: &AdamState) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.put_f64(state.lr);
+    w.put_f64(state.beta1);
+    w.put_f64(state.beta2);
+    w.put_f64(state.eps);
+    w.put_f64(state.weight_decay);
+    w.put_u64(state.t);
+    w.put_u32(state.m.len() as u32);
+    for t in state.m.iter().chain(state.v.iter()) {
+        put_tensor(&mut w, t);
+    }
+    w.into_bytes()
+}
+
+fn decode_optim(bytes: &[u8]) -> Result<AdamState> {
+    let mut r = Reader::new(bytes, "optim section");
+    let lr = r.get_f64()?;
+    let beta1 = r.get_f64()?;
+    let beta2 = r.get_f64()?;
+    let eps = r.get_f64()?;
+    let weight_decay = r.get_f64()?;
+    let t = r.get_u64()?;
+    let n = r.get_u32()? as usize;
+    let mut m = Vec::with_capacity(n);
+    let mut v = Vec::with_capacity(n);
+    for _ in 0..n {
+        m.push(get_tensor(&mut r)?);
+    }
+    for _ in 0..n {
+        v.push(get_tensor(&mut r)?);
+    }
+    Ok(AdamState {
+        lr,
+        beta1,
+        beta2,
+        eps,
+        weight_decay,
+        t,
+        m,
+        v,
+    })
+}
+
+fn encode_log(log: &TrainLogRecord) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.put_u64_slice(&log.epochs);
+    w.put_f64_slice(&log.loss);
+    w.put_f64_slice(&log.grad_norm);
+    w.put_u64_slice(&log.eval_epochs);
+    w.put_f64_slice(&log.error);
+    w.put_f64(log.wall_s);
+    w.put_f64(log.final_loss);
+    w.put_f64(log.final_error);
+    w.into_bytes()
+}
+
+fn decode_log(bytes: &[u8]) -> Result<TrainLogRecord> {
+    let mut r = Reader::new(bytes, "log section");
+    Ok(TrainLogRecord {
+        epochs: r.get_u64_vec()?,
+        loss: r.get_f64_vec()?,
+        grad_norm: r.get_f64_vec()?,
+        eval_epochs: r.get_u64_vec()?,
+        error: r.get_f64_vec()?,
+        wall_s: r.get_f64()?,
+        final_loss: r.get_f64()?,
+        final_error: r.get_f64()?,
+    })
+}
+
+impl Snapshot {
+    /// Serialize into the container format (see [`crate::format`]).
+    pub fn encode(&self) -> Vec<u8> {
+        let sections: Vec<(u32, Vec<u8>)> = vec![
+            (section::META, encode_meta(&self.meta)),
+            (section::PARAMS, encode_params(&self.params)),
+            (section::OPTIM, encode_optim(&self.optim)),
+            (section::LOG, encode_log(&self.log)),
+            (section::TASK, self.task_state.clone()),
+        ];
+        let mut w = Writer::new();
+        w.put_bytes(&MAGIC);
+        w.put_u32(FORMAT_VERSION);
+        w.put_u32(sections.len() as u32);
+        for (tag, payload) in &sections {
+            w.put_u32(*tag);
+            w.put_u64(payload.len() as u64);
+            w.put_bytes(payload);
+            w.put_u32(crc32(payload));
+        }
+        let mut bytes = w.into_bytes();
+        let mut file_crc = Crc32::new();
+        file_crc.update(&bytes);
+        bytes.extend_from_slice(&file_crc.finish().to_le_bytes());
+        bytes
+    }
+
+    /// Deserialize and fully verify a container produced by
+    /// [`Snapshot::encode`].
+    ///
+    /// Verification order: magic → version → whole-file CRC (covers header
+    /// and framing) → per-section CRCs → section payload decoding. Any
+    /// truncation or bit flip surfaces as an error; nothing panics on
+    /// arbitrary input.
+    pub fn decode(bytes: &[u8]) -> Result<Snapshot> {
+        // Trailer: whole-file CRC over everything before it.
+        if bytes.len() < MAGIC.len() + 4 + 4 + 4 {
+            return Err(PersistError::Truncated { what: "container header" });
+        }
+        let (body, trailer) = bytes.split_at(bytes.len() - 4);
+        let stored_file_crc = u32::from_le_bytes(trailer.try_into().unwrap());
+        let computed_file_crc = crc32(body);
+        if computed_file_crc != stored_file_crc {
+            return Err(PersistError::ChecksumMismatch {
+                what: "file",
+                computed: computed_file_crc,
+                stored: stored_file_crc,
+            });
+        }
+
+        let mut r = Reader::new(body, "container");
+        let magic = r.get_bytes(MAGIC.len())?;
+        if magic != MAGIC {
+            return Err(PersistError::BadMagic);
+        }
+        let version = r.get_u32()?;
+        if version > FORMAT_VERSION {
+            return Err(PersistError::UnsupportedVersion(version));
+        }
+        let n_sections = r.get_u32()?;
+
+        let mut meta = None;
+        let mut params = None;
+        let mut optim = None;
+        let mut log = None;
+        let mut task_state = Vec::new();
+        for _ in 0..n_sections {
+            let tag = r.get_u32()?;
+            let len = r.get_len()?;
+            let payload = r.get_bytes(len)?;
+            let stored = r.get_u32()?;
+            let computed = crc32(payload);
+            if computed != stored {
+                return Err(PersistError::ChecksumMismatch {
+                    what: section_name(tag),
+                    computed,
+                    stored,
+                });
+            }
+            match tag {
+                section::META => meta = Some(decode_meta(payload)?),
+                section::PARAMS => params = Some(decode_params(payload)?),
+                section::OPTIM => optim = Some(decode_optim(payload)?),
+                section::LOG => log = Some(decode_log(payload)?),
+                section::TASK => task_state = payload.to_vec(),
+                // Forward-compatibility: skip unknown sections written by a
+                // same-major writer that added new data.
+                _ => {}
+            }
+        }
+        Ok(Snapshot {
+            meta: meta.ok_or(PersistError::MissingSection(section::META))?,
+            params: params.ok_or(PersistError::MissingSection(section::PARAMS))?,
+            optim: optim.ok_or(PersistError::MissingSection(section::OPTIM))?,
+            log: log.ok_or(PersistError::MissingSection(section::LOG))?,
+            task_state,
+        })
+    }
+
+    /// Decode only the [`RunMeta`] of a container, verifying the file CRC
+    /// and the meta section CRC but skipping the (much larger) parameter
+    /// and optimizer payloads. Used by retention to rank snapshots cheaply.
+    pub fn decode_meta_only(bytes: &[u8]) -> Result<RunMeta> {
+        if bytes.len() < MAGIC.len() + 4 + 4 + 4 {
+            return Err(PersistError::Truncated { what: "container header" });
+        }
+        let (body, trailer) = bytes.split_at(bytes.len() - 4);
+        let stored_file_crc = u32::from_le_bytes(trailer.try_into().unwrap());
+        let computed_file_crc = crc32(body);
+        if computed_file_crc != stored_file_crc {
+            return Err(PersistError::ChecksumMismatch {
+                what: "file",
+                computed: computed_file_crc,
+                stored: stored_file_crc,
+            });
+        }
+        let mut r = Reader::new(body, "container");
+        let magic = r.get_bytes(MAGIC.len())?;
+        if magic != MAGIC {
+            return Err(PersistError::BadMagic);
+        }
+        let version = r.get_u32()?;
+        if version > FORMAT_VERSION {
+            return Err(PersistError::UnsupportedVersion(version));
+        }
+        let n_sections = r.get_u32()?;
+        for _ in 0..n_sections {
+            let tag = r.get_u32()?;
+            let len = r.get_len()?;
+            let payload = r.get_bytes(len)?;
+            let stored = r.get_u32()?;
+            if tag == section::META {
+                let computed = crc32(payload);
+                if computed != stored {
+                    return Err(PersistError::ChecksumMismatch {
+                        what: section_name(tag),
+                        computed,
+                        stored,
+                    });
+                }
+                return decode_meta(payload);
+            }
+        }
+        Err(PersistError::MissingSection(section::META))
+    }
+}
+
+fn section_name(tag: u32) -> &'static str {
+    match tag {
+        section::META => "meta section",
+        section::PARAMS => "params section",
+        section::OPTIM => "optim section",
+        section::LOG => "log section",
+        section::TASK => "task section",
+        _ => "unknown section",
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+
+    pub(crate) fn sample_snapshot() -> Snapshot {
+        let mut params = ParamSet::new();
+        params.add("w1", Tensor::from_vec([2, 3], vec![1.0, -2.0, 3.5, 0.25, -0.125, 9.0]));
+        params.add("b1", Tensor::from_slice(&[0.1, 0.2, 0.3]));
+        let optim = AdamState {
+            lr: 1e-3,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.01,
+            t: 1234,
+            m: vec![
+                Tensor::from_vec([2, 3], vec![0.01; 6]),
+                Tensor::from_slice(&[0.5, -0.5, 0.0]),
+            ],
+            v: vec![
+                Tensor::from_vec([2, 3], vec![0.002; 6]),
+                Tensor::from_slice(&[1e-4, 2e-4, 3e-4]),
+            ],
+        };
+        Snapshot {
+            meta: RunMeta {
+                run_id: "nls-flagship".into(),
+                next_epoch: 1500,
+                planned_epochs: 20_000,
+                eval_error: 3.25e-3,
+            },
+            params,
+            optim,
+            log: TrainLogRecord {
+                epochs: vec![0, 500, 1000],
+                loss: vec![1.0, 0.1, 0.01],
+                grad_norm: vec![10.0, 2.0, 0.3],
+                eval_epochs: vec![1000],
+                error: vec![4.5e-3],
+                wall_s: 12.75,
+                final_loss: 0.01,
+                final_error: 4.5e-3,
+            },
+            task_state: vec![1, 2, 3, 255],
+        }
+    }
+
+    #[test]
+    fn roundtrip_is_exact() {
+        let snap = sample_snapshot();
+        let bytes = snap.encode();
+        let back = Snapshot::decode(&bytes).unwrap();
+        assert_eq!(back.meta, snap.meta);
+        assert_eq!(back.log, snap.log);
+        assert_eq!(back.task_state, snap.task_state);
+        assert_eq!(back.params.len(), snap.params.len());
+        for ((_, n1, t1), (_, n2, t2)) in back.params.iter().zip(snap.params.iter()) {
+            assert_eq!(n1, n2);
+            assert_eq!(t1.shape(), t2.shape());
+            assert_eq!(t1.data(), t2.data(), "bit-exact parameter data");
+        }
+        assert_eq!(back.optim.t, snap.optim.t);
+        assert_eq!(back.optim.lr, snap.optim.lr);
+        for (a, b) in back.optim.m.iter().zip(&snap.optim.m) {
+            assert_eq!(a.data(), b.data());
+        }
+        for (a, b) in back.optim.v.iter().zip(&snap.optim.v) {
+            assert_eq!(a.data(), b.data());
+        }
+    }
+
+    #[test]
+    fn every_single_byte_flip_is_detected() {
+        let bytes = sample_snapshot().encode();
+        for i in 0..bytes.len() {
+            let mut corrupted = bytes.clone();
+            corrupted[i] ^= 0x40;
+            assert!(
+                Snapshot::decode(&corrupted).is_err(),
+                "flip at byte {i}/{} must be detected",
+                bytes.len()
+            );
+        }
+    }
+
+    #[test]
+    fn every_truncation_is_detected() {
+        let bytes = sample_snapshot().encode();
+        for cut in 0..bytes.len() {
+            assert!(
+                Snapshot::decode(&bytes[..cut]).is_err(),
+                "truncation to {cut} bytes must be detected"
+            );
+        }
+    }
+
+    #[test]
+    fn newer_version_is_rejected() {
+        let mut bytes = sample_snapshot().encode();
+        // Overwrite the version field (bytes 8..12) and re-seal both CRCs
+        // to isolate the version check from the corruption checks.
+        bytes[8..12].copy_from_slice(&(FORMAT_VERSION + 1).to_le_bytes());
+        let n = bytes.len();
+        let crc = crate::crc::crc32(&bytes[..n - 4]);
+        bytes[n - 4..].copy_from_slice(&crc.to_le_bytes());
+        match Snapshot::decode(&bytes) {
+            Err(PersistError::UnsupportedVersion(v)) => assert_eq!(v, FORMAT_VERSION + 1),
+            other => panic!("expected UnsupportedVersion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn meta_only_decode_matches_full_decode() {
+        let snap = sample_snapshot();
+        let bytes = snap.encode();
+        let meta = Snapshot::decode_meta_only(&bytes).unwrap();
+        assert_eq!(meta, snap.meta);
+    }
+
+    #[test]
+    fn nan_and_signed_zero_survive() {
+        let mut snap = sample_snapshot();
+        snap.log.final_loss = f64::NAN;
+        snap.log.wall_s = -0.0;
+        let back = Snapshot::decode(&snap.encode()).unwrap();
+        assert!(back.log.final_loss.is_nan());
+        assert_eq!(back.log.wall_s.to_bits(), (-0.0f64).to_bits());
+    }
+}

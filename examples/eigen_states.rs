@@ -30,6 +30,7 @@ fn main() {
         eval_every: 0,
         clip: Some(100.0),
         lbfgs_polish: Some(80),
+        checkpoint: None,
     };
 
     let mut prev_states = Vec::new();

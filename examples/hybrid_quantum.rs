@@ -18,7 +18,10 @@ use rand::{rngs::StdRng, SeedableRng};
 
 fn main() {
     let problem = EigenProblem::harmonic(1.0);
-    println!("problem: {} — exact ground-state energy 0.5\n", problem.name);
+    println!(
+        "problem: {} — exact ground-state energy 0.5\n",
+        problem.name
+    );
 
     let qlayer = QuantumLayer {
         n_qubits: 3,
@@ -58,6 +61,7 @@ fn main() {
         eval_every: 0,
         clip: Some(50.0),
         lbfgs_polish: None,
+        checkpoint: None,
     })
     .train(&mut task, &mut params);
     for (e, l) in log.epochs.iter().zip(&log.loss) {
@@ -77,6 +81,10 @@ fn main() {
     for i in 0..13 {
         let x = -4.0 + 8.0 * i as f64 / 12.0;
         let v = task.net().predict(&params, &[x])[0].abs();
-        println!("x={x:+5.2}  {:>6.3}  {}", v, "#".repeat((v * 60.0) as usize));
+        println!(
+            "x={x:+5.2}  {:>6.3}  {}",
+            v,
+            "#".repeat((v * 60.0) as usize)
+        );
     }
 }

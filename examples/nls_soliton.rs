@@ -43,6 +43,7 @@ fn main() {
         eval_every: 0,
         clip: Some(100.0),
         lbfgs_polish: None,
+        checkpoint: None,
     })
     .train(&mut task, &mut params);
     println!(

@@ -17,7 +17,10 @@ fn main() {
     // 1. Pick a benchmark problem: a Gaussian packet spreading in a
     //    periodic box under i ψ_t = −½ ψ_xx.
     let problem = TdseProblem::free_packet();
-    println!("problem: {} on [{}, {}] × [0, {}]", problem.name, problem.x0, problem.x1, problem.t_end);
+    println!(
+        "problem: {} on [{}, {}] × [0, {}]",
+        problem.name, problem.x0, problem.x1, problem.t_end
+    );
 
     // 2. Configure the task: network architecture, collocation budget,
     //    loss weights (conservation + causal weighting on by default).
@@ -43,6 +46,7 @@ fn main() {
         eval_every: 100,
         clip: Some(100.0),
         lbfgs_polish: None,
+        checkpoint: None,
     });
     let log = trainer.train(&mut task, &mut params);
     for (e, l) in log.epochs.iter().zip(&log.loss) {

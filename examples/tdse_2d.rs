@@ -45,6 +45,7 @@ fn main() {
         eval_every: 0,
         clip: Some(100.0),
         lbfgs_polish: Some(60),
+        checkpoint: None,
     })
     .train(&mut task, &mut params);
     println!("loss: {}", sparkline_log(&log.loss));

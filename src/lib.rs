@@ -22,6 +22,7 @@ pub use qpinn_fft as fft;
 pub use qpinn_linalg as linalg;
 pub use qpinn_nn as nn;
 pub use qpinn_optim as optim;
+pub use qpinn_persist as persist;
 pub use qpinn_problems as problems;
 pub use qpinn_qcircuit as qcircuit;
 pub use qpinn_sampling as sampling;

@@ -31,13 +31,16 @@ fn tdse2d_trains_and_respects_double_periodicity() {
         eval_every: 0,
         clip: Some(100.0),
         lbfgs_polish: None,
+        checkpoint: None,
     })
     .train(&mut task, &mut params);
     assert!(log.final_loss < log.loss[0], "2D loss did not drop");
     // double periodicity survives training
     let (lx, ly) = task.problem().lengths();
     let a = task.net().predict(&params, &[vec![0.3, -0.8, 0.2]]);
-    let b = task.net().predict(&params, &[vec![0.3 + lx, -0.8 + 2.0 * ly, 0.2]]);
+    let b = task
+        .net()
+        .predict(&params, &[vec![0.3 + lx, -0.8 + 2.0 * ly, 0.2]]);
     assert!(a.approx_eq(&b, 1e-12));
 }
 
@@ -75,17 +78,17 @@ fn reuploading_layer_changes_the_model_but_keeps_param_count() {
     };
     let plain = mk(false);
     let re = mk(true);
-    assert_eq!(plain.n_params(), re.n_params(), "re-uploading adds no parameters");
+    assert_eq!(
+        plain.n_params(),
+        re.n_params(),
+        "re-uploading adds no parameters"
+    );
     let mut rng = StdRng::seed_from_u64(2);
     let theta = plain.init_params(&mut rng);
     let a = [0.4, -0.3];
     let e_plain = plain.forward_sample(&a, &theta);
     let e_re = re.forward_sample(&a, &theta);
-    let diff: f64 = e_plain
-        .iter()
-        .zip(&e_re)
-        .map(|(x, y)| (x - y).abs())
-        .sum();
+    let diff: f64 = e_plain.iter().zip(&e_re).map(|(x, y)| (x - y).abs()).sum();
     assert!(diff > 1e-6, "re-uploading must change the function: {diff}");
     // and both are valid expectations
     assert!(e_re.iter().all(|v| (-1.0..=1.0).contains(v)));

@@ -86,7 +86,10 @@ fn adam_survives_extreme_gradients_with_clipping() {
     assert!(pre > 1e29);
     opt.step(&mut params, &grads);
     assert!(params[0].all_finite());
-    assert!((params[0].data()[0] - 1.0).abs() < 2e-3, "step stayed bounded");
+    assert!(
+        (params[0].data()[0] - 1.0).abs() < 2e-3,
+        "step stayed bounded"
+    );
 }
 
 #[test]
@@ -95,7 +98,7 @@ fn collect_grads_is_total_even_for_untouched_params() {
     let mut params = ParamSet::new();
     params.add("w", Tensor::from_slice(&[1.0, 2.0, 3.0]));
     let mut g = qpinn::autodiff::Graph::new();
-    let mut ctx = GraphCtx::new(&mut g, &params);
+    let ctx = GraphCtx::new(&mut g, &params);
     let c = ctx.g.constant(Tensor::from_slice(&[5.0]));
     let loss = ctx.g.mse(c);
     let mut grads = ctx.g.backward(loss);

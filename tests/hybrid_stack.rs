@@ -34,6 +34,7 @@ fn hybrid_training_lowers_the_rayleigh_quotient() {
         eval_every: 0,
         clip: Some(50.0),
         lbfgs_polish: None,
+        checkpoint: None,
     })
     .train(&mut task, &mut params);
     let e_after = task.energy(&params);
@@ -61,9 +62,7 @@ fn dual_number_gradients_agree_with_parameter_shift() {
     let a = [0.2, -0.6, 0.4, 0.1];
     let (_, _, jt) = layer.jacobians_sample(&a, &theta);
     // parameter-shift on the summed readout
-    let f = |t: &[f64]| -> f64 {
-        layer.forward_sample(&a, t).iter().sum()
-    };
+    let f = |t: &[f64]| -> f64 { layer.forward_sample(&a, t).iter().sum() };
     let shift = parameter_shift_gradient(&f, &theta);
     for p in 0..theta.len() {
         let dual: f64 = jt[p].iter().sum();
@@ -96,7 +95,10 @@ fn entanglement_diagnostic_tracks_circuit_structure() {
     let product = make(Ansatz::NoEntangling, &mut rng);
     let entangled = make(Ansatz::StronglyEntangling, &mut rng);
     assert!(product < 1e-10, "product ansatz must have Q ≈ 0: {product}");
-    assert!(entangled > 0.1, "entangling ansatz should create entanglement: {entangled}");
+    assert!(
+        entangled > 0.1,
+        "entangling ansatz should create entanglement: {entangled}"
+    );
 }
 
 #[test]
@@ -122,6 +124,7 @@ fn all_scalings_produce_trainable_hybrids() {
             eval_every: 0,
             clip: Some(10.0),
             lbfgs_polish: None,
+            checkpoint: None,
         })
         .train(&mut task, &mut params);
         assert!(

@@ -17,6 +17,7 @@ fn quick_train(epochs: usize) -> TrainConfig {
         eval_every: 0,
         clip: Some(100.0),
         lbfgs_polish: None,
+        checkpoint: None,
     }
 }
 

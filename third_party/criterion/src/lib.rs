@@ -1,0 +1,204 @@
+//! Offline stand-in for `criterion`.
+//!
+//! The build sandbox cannot reach crates.io, so the workspace vendors a
+//! dependency-free harness implementing the criterion entry points its
+//! benches use. Each benchmark body is executed a small fixed number of
+//! times and its mean wall time printed — enough to smoke-test that every
+//! bench target runs and to give a rough number, without upstream
+//! criterion's statistics. `cargo test` also invokes bench targets; the
+//! stub keeps that cheap by running each body once in that mode.
+
+#![deny(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Iterations per benchmark when run as `cargo bench` (vs. once under
+/// `cargo test`).
+const BENCH_ITERS: u32 = 10;
+
+/// Top-level benchmark driver, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    sample_size: usize,
+    is_test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Cargo passes `--test` to bench binaries under `cargo test`.
+        let is_test_mode = std::env::args().any(|a| a == "--test");
+        Criterion {
+            sample_size: 10,
+            is_test_mode,
+        }
+    }
+}
+
+impl Criterion {
+    /// Record the requested sample size (informational in the stub).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Accept and ignore the measurement-time setting.
+    pub fn measurement_time(self, _d: Duration) -> Self {
+        self
+    }
+
+    /// Accept and ignore the warm-up-time setting.
+    pub fn warm_up_time(self, _d: Duration) -> Self {
+        self
+    }
+
+    fn iters(&self) -> u32 {
+        if self.is_test_mode {
+            1
+        } else {
+            BENCH_ITERS
+        }
+    }
+
+    /// Run one named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::default();
+        let iters = self.iters();
+        for _ in 0..iters {
+            f(&mut b);
+        }
+        b.report(name);
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A group of related benchmarks, mirroring `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Run one parameterized benchmark inside the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::default();
+        let iters = self.criterion.iters();
+        for _ in 0..iters {
+            f(&mut b, input);
+        }
+        b.report(&format!("{}/{}", self.name, id.0));
+        self
+    }
+
+    /// Finish the group (no-op in the stub).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier, mirroring `criterion::BenchmarkId`.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id rendering just the parameter value.
+    pub fn from_parameter<D: Display>(p: D) -> Self {
+        BenchmarkId(p.to_string())
+    }
+
+    /// An id with a function name and a parameter value.
+    pub fn new<D: Display>(function: &str, p: D) -> Self {
+        BenchmarkId(format!("{function}/{p}"))
+    }
+}
+
+/// Timer handed to each benchmark body, mirroring `criterion::Bencher`.
+#[derive(Default)]
+pub struct Bencher {
+    total: Duration,
+    runs: u32,
+}
+
+impl Bencher {
+    /// Time one execution of `f` (the stub runs the routine once per call).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        let out = f();
+        self.total += start.elapsed();
+        self.runs += 1;
+        drop(black_box(out));
+    }
+
+    fn report(&self, name: &str) {
+        if self.runs > 0 {
+            let mean = self.total / self.runs;
+            println!("bench {name:<40} {mean:>12.2?}/iter ({} iters)", self.runs);
+        }
+    }
+}
+
+/// An optimization barrier, mirroring `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declare a group of benchmark functions, mirroring
+/// `criterion::criterion_group!` (both the simple and the configured form).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),* $(,)?) => {
+        fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)*
+        }
+    };
+    ($name:ident, $($target:path),* $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),*
+        }
+    };
+}
+
+/// Declare the bench-binary entry point, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),* $(,)?) => {
+        fn main() {
+            $($group();)*
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let mut g = c.benchmark_group("grp");
+        g.bench_with_input(BenchmarkId::from_parameter(3), &3, |b, &n| {
+            b.iter(|| n * n)
+        });
+        g.finish();
+    }
+
+    criterion_group!(benches, quick);
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+}

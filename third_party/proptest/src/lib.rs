@@ -1,0 +1,504 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The build sandbox cannot reach crates.io, so the workspace vendors a
+//! small, dependency-free property-testing harness implementing the exact
+//! surface its test suites use: the [`Strategy`] trait with `prop_map` /
+//! `prop_flat_map` / `prop_filter`, range and tuple strategies,
+//! [`collection::vec`], [`arbitrary::any`], `ProptestConfig::with_cases`,
+//! and the [`proptest!`] / [`prop_assert!`] / [`prop_assert_eq!`] macros.
+//!
+//! Differences from upstream are deliberate and contained: inputs are drawn
+//! from a fixed deterministic seed (every run explores the same cases, so
+//! there are no flaky failures and no regression files), and failures are
+//! reported by panicking with the failing case's debug rendering instead of
+//! shrinking to a minimal counterexample.
+
+#![deny(missing_docs)]
+
+/// Deterministic input source for strategies (SplitMix64).
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// A generator with a fixed, documented seed.
+    pub fn deterministic(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// Next raw 64-bit word.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `u64` below `bound` (> 0).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and its combinators.
+
+    use super::TestRng;
+
+    /// A recipe for generating values of an associated type.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draw one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform generated values.
+        fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> T,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Generate a value, then generate from a strategy derived from it.
+        fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S2: Strategy,
+            F: Fn(Self::Value) -> S2,
+        {
+            FlatMap { inner: self, f }
+        }
+
+        /// Reject values failing `pred` (resampling, bounded).
+        fn prop_filter<F>(self, whence: &'static str, pred: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter {
+                inner: self,
+                whence,
+                pred,
+            }
+        }
+    }
+
+    /// Every strategy reference is itself a strategy.
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).sample(rng)
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S, F, T> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> T,
+    {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S, S2, F> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        S2: Strategy,
+        F: Fn(S::Value) -> S2,
+    {
+        type Value = S2::Value;
+        fn sample(&self, rng: &mut TestRng) -> S2::Value {
+            (self.f)(self.inner.sample(rng)).sample(rng)
+        }
+    }
+
+    /// See [`Strategy::prop_filter`].
+    pub struct Filter<S, F> {
+        pub(crate) inner: S,
+        pub(crate) whence: &'static str,
+        pub(crate) pred: F,
+    }
+
+    impl<S, F> Strategy for Filter<S, F>
+    where
+        S: Strategy,
+        F: Fn(&S::Value) -> bool,
+    {
+        type Value = S::Value;
+        fn sample(&self, rng: &mut TestRng) -> S::Value {
+            for _ in 0..10_000 {
+                let v = self.inner.sample(rng);
+                if (self.pred)(&v) {
+                    return v;
+                }
+            }
+            panic!("prop_filter '{}' rejected 10000 consecutive samples", self.whence);
+        }
+    }
+
+    /// A strategy always yielding clones of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    impl Strategy for std::ops::Range<f64> {
+        type Value = f64;
+        fn sample(&self, rng: &mut TestRng) -> f64 {
+            self.start + rng.unit_f64() * (self.end - self.start)
+        }
+    }
+
+    impl Strategy for std::ops::RangeInclusive<f64> {
+        type Value = f64;
+        fn sample(&self, rng: &mut TestRng) -> f64 {
+            self.start() + rng.unit_f64() * (self.end() - self.start())
+        }
+    }
+
+    macro_rules! impl_int_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty integer range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.below(span) as i128) as $t
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty integer range strategy");
+                    let span = (hi as i128 - lo as i128 + 1) as u64;
+                    (lo as i128 + rng.below(span) as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_int_strategy!(usize, u64, u32, u16, u8, isize, i64, i32, i16, i8);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (A 0)
+        (A 0, B 1)
+        (A 0, B 1, C 2)
+        (A 0, B 1, C 2, D 3)
+        (A 0, B 1, C 2, D 3, E 4)
+        (A 0, B 1, C 2, D 3, E 4, F 5)
+        (A 0, B 1, C 2, D 3, E 4, F 5, G 6)
+        (A 0, B 1, C 2, D 3, E 4, F 5, G 6, H 7)
+        (A 0, B 1, C 2, D 3, E 4, F 5, G 6, H 7, I 8)
+        (A 0, B 1, C 2, D 3, E 4, F 5, G 6, H 7, I 8, J 9)
+    }
+}
+
+pub mod arbitrary {
+    //! Canonical strategies per type, mirroring `proptest::arbitrary`.
+
+    use super::strategy::Strategy;
+    use super::TestRng;
+
+    /// Types with a canonical strategy.
+    pub trait Arbitrary: Sized {
+        /// The canonical strategy type.
+        type Strategy: Strategy<Value = Self>;
+
+        /// The canonical strategy.
+        fn arbitrary() -> Self::Strategy;
+    }
+
+    /// The canonical strategy for `T`, mirroring `proptest::prelude::any`.
+    pub fn any<T: Arbitrary>() -> T::Strategy {
+        T::arbitrary()
+    }
+
+    /// Strategy for a fair boolean.
+    #[derive(Clone, Debug)]
+    pub struct AnyBool;
+
+    impl Strategy for AnyBool {
+        type Value = bool;
+        fn sample(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for bool {
+        type Strategy = AnyBool;
+        fn arbitrary() -> AnyBool {
+            AnyBool
+        }
+    }
+
+    /// Strategy for a full-range finite `f64` (moderate magnitudes).
+    #[derive(Clone, Debug)]
+    pub struct AnyF64;
+
+    impl Strategy for AnyF64 {
+        type Value = f64;
+        fn sample(&self, rng: &mut TestRng) -> f64 {
+            (rng.unit_f64() - 0.5) * 2.0e6
+        }
+    }
+
+    impl Arbitrary for f64 {
+        type Strategy = AnyF64;
+        fn arbitrary() -> AnyF64 {
+            AnyF64
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies, mirroring `proptest::collection`.
+
+    use super::strategy::Strategy;
+    use super::TestRng;
+
+    /// A size specification: exact or a range.
+    #[derive(Clone, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange { lo: r.start, hi: r.end }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end() + 1,
+            }
+        }
+    }
+
+    /// Strategy for a `Vec` whose elements come from `element` and whose
+    /// length lies in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = if self.size.hi - self.size.lo <= 1 {
+                self.size.lo
+            } else {
+                self.size.lo + rng.below((self.size.hi - self.size.lo) as u64) as usize
+            };
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    //! Run configuration, mirroring `proptest::test_runner`.
+
+    /// How many cases each property executes.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of cases to run.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+}
+
+/// Common imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+}
+
+/// Assert a condition inside a property; panics with the location on failure.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*)
+    };
+}
+
+/// Assert equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_eq!($a, $b, $($fmt)*)
+    };
+}
+
+/// Skip the current case when an assumption fails. The stub treats a failed
+/// assumption as a no-op return (the case count is not replenished).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return;
+        }
+    };
+}
+
+/// Define property tests: each `fn name(pat in strategy, …) { body }` becomes
+/// a `#[test]` running the body over `cases` deterministic samples.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+    (@with_config ($cfg:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($pat:pat in $strat:expr),* $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                // Seed differs per property so sibling tests explore
+                // different corners, but is stable across runs.
+                let mut rng = $crate::TestRng::deterministic(
+                    0x5DEECE66D ^ stringify!($name).len() as u64,
+                );
+                for _case in 0..config.cases {
+                    $(let $pat = $crate::strategy::Strategy::sample(&($strat), &mut rng);)*
+                    $body
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(
+            @with_config ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        );
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn strategies_sample_in_bounds() {
+        let mut rng = crate::TestRng::deterministic(1);
+        for _ in 0..1000 {
+            let x = Strategy::sample(&(-2.0..3.0f64), &mut rng);
+            assert!((-2.0..3.0).contains(&x));
+            let n = Strategy::sample(&(1usize..=6), &mut rng);
+            assert!((1..=6).contains(&n));
+        }
+    }
+
+    #[test]
+    fn combinators_compose() {
+        let mut rng = crate::TestRng::deterministic(2);
+        let s = (1usize..4)
+            .prop_flat_map(|n| crate::collection::vec(0.0..1.0f64, n))
+            .prop_map(|v| v.len())
+            .prop_filter("nonzero", |n| *n > 0);
+        for _ in 0..100 {
+            let n = Strategy::sample(&s, &mut rng);
+            assert!((1..4).contains(&n));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn macro_generates_cases(x in 0.0..1.0f64, b in any::<bool>()) {
+            prop_assert!((0.0..1.0).contains(&x));
+            let _ = b;
+        }
+
+        #[test]
+        fn tuple_and_vec_strategies(
+            (m, n) in (1usize..5, 1usize..5),
+            v in crate::collection::vec(-1.0..1.0f64, 3),
+        ) {
+            prop_assert!(m < 5 && n < 5);
+            prop_assert_eq!(v.len(), 3);
+        }
+    }
+}

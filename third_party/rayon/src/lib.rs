@@ -1,0 +1,169 @@
+//! Offline stand-in for `rayon`.
+//!
+//! The build sandbox cannot reach crates.io, so the workspace vendors a
+//! dependency-free replacement in which every `par_*` entry point returns the
+//! corresponding **sequential** `std` iterator. All downstream adaptor chains
+//! (`zip`, `map`, `sum`, `for_each`, `collect`, …) then come from
+//! [`std::iter::Iterator`] unchanged, so call sites compile verbatim and
+//! produce identical results — single-threaded. Swapping the real rayon back
+//! in (when a registry is reachable) is a one-line `Cargo.toml` change.
+
+#![deny(missing_docs)]
+
+/// Extension methods on shared slices, mirroring rayon's parallel slices.
+pub trait ParallelSlice<T> {
+    /// Sequential stand-in for `par_chunks`.
+    fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T>;
+
+    /// Sequential stand-in for `par_iter`.
+    fn par_iter(&self) -> std::slice::Iter<'_, T>;
+}
+
+impl<T> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
+        self.chunks(chunk_size)
+    }
+
+    fn par_iter(&self) -> std::slice::Iter<'_, T> {
+        self.iter()
+    }
+}
+
+/// Extension methods on mutable slices, mirroring rayon's parallel slices.
+pub trait ParallelSliceMut<T> {
+    /// Sequential stand-in for `par_chunks_mut`.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+
+    /// Sequential stand-in for `par_iter_mut`.
+    fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T>;
+}
+
+impl<T> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
+        self.chunks_mut(chunk_size)
+    }
+
+    fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
+        self.iter_mut()
+    }
+}
+
+/// By-value conversion into a (sequential) "parallel" iterator.
+pub trait IntoParallelIterator {
+    /// The iterator type produced.
+    type Iter: Iterator<Item = Self::Item>;
+    /// The element type.
+    type Item;
+
+    /// Sequential stand-in for `into_par_iter`.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<I: IntoIterator> IntoParallelIterator for I {
+    type Iter = I::IntoIter;
+    type Item = I::Item;
+
+    fn into_par_iter(self) -> I::IntoIter {
+        self.into_iter()
+    }
+}
+
+/// Builder for a (degenerate, single-thread) pool, mirroring
+/// `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+/// Error type for pool construction; never actually produced.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error (stub)")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+impl ThreadPoolBuilder {
+    /// A fresh builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record the requested thread count (informational only — execution is
+    /// sequential in the stub).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Build the pool; infallible in the stub.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads.max(1),
+        })
+    }
+}
+
+/// A degenerate pool that runs closures on the calling thread.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Run `op` "inside" the pool (directly, on the current thread).
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        op()
+    }
+
+    /// The configured thread count.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+}
+
+/// The number of threads the (sequential) global pool uses: always 1.
+pub fn current_num_threads() -> usize {
+    1
+}
+
+/// Common imports, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use super::{IntoParallelIterator, ParallelSlice, ParallelSliceMut};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_chunks_zip_matches_sequential() {
+        let src = [1.0f64, 2.0, 3.0, 4.0, 5.0];
+        let mut dst = [0.0f64; 5];
+        dst.par_chunks_mut(2)
+            .zip(src.par_chunks(2))
+            .for_each(|(d, s)| {
+                for (di, si) in d.iter_mut().zip(s) {
+                    *di = si * 2.0;
+                }
+            });
+        assert_eq!(dst, [2.0, 4.0, 6.0, 8.0, 10.0]);
+    }
+
+    #[test]
+    fn into_par_iter_on_range_collects() {
+        let v: Vec<usize> = (0..5).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(v, vec![0, 1, 4, 9, 16]);
+    }
+
+    #[test]
+    fn pool_install_runs_closure() {
+        let pool = super::ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        assert_eq!(pool.install(|| 6 * 7), 42);
+        assert_eq!(pool.current_num_threads(), 4);
+    }
+}
