@@ -1,7 +1,16 @@
 //! **F5 — systems scaling figure.** (a) Training-epoch wall time versus
-//! rayon thread count (the data-parallel batched-linear-algebra scaling
-//! claim; on a single-core host the series is honest about showing no
-//! speedup), and (b) statevector-simulation throughput versus qubit count.
+//! pool thread count on the real work-stealing runtime (on a single-core
+//! host the series is honest about showing no speedup), (b) kernel
+//! GFLOP/s (matmul / fused elementwise / reduction) at each width, and
+//! (c) statevector-simulation throughput versus qubit count.
+//!
+//! Besides the standard `target/experiments/f5_scaling.json` record, this
+//! binary writes the machine-readable `BENCH_parallel.json` at the repo
+//! root: thread series, seconds per epoch, speedups, per-kernel GFLOP/s
+//! series, and the statevector batch-forward throughput series. Every
+//! quantity here is timing only — results are bit-identical at all widths
+//! (see `tests/parallel_determinism.rs`), so the scheduler can only move
+//! the clock, never the numbers.
 
 use qpinn_bench::{banner, save, RunOpts};
 use qpinn_core::report::{Json, TextTable};
@@ -10,15 +19,20 @@ use qpinn_core::trainer::PinnTask;
 use qpinn_nn::{GraphCtx, ParamSet};
 use qpinn_problems::TdseProblem;
 use qpinn_qcircuit::{Ansatz, InputScaling, QuantumLayer};
+use qpinn_tensor::Tensor;
 use rand::{rngs::StdRng, SeedableRng};
 use std::time::Instant;
 
-fn epoch_time_with_threads(threads: usize, opts: &RunOpts) -> f64 {
-    let pool = rayon::ThreadPoolBuilder::new()
+fn in_pool<R: Send>(threads: usize, f: impl FnOnce() -> R + Send) -> R {
+    rayon::ThreadPoolBuilder::new()
         .num_threads(threads)
         .build()
-        .expect("thread pool");
-    pool.install(|| {
+        .expect("thread pool")
+        .install(f)
+}
+
+fn epoch_time_with_threads(threads: usize, opts: &RunOpts) -> f64 {
+    in_pool(threads, || {
         let problem = TdseProblem::free_packet();
         let mut cfg = TdseTaskConfig::standard(&problem, opts.pick(32, 64), 3);
         cfg.n_collocation = opts.pick(2048, 8192);
@@ -44,38 +58,88 @@ fn epoch_time_with_threads(threads: usize, opts: &RunOpts) -> f64 {
     })
 }
 
-fn statevector_throughput(nq: usize) -> f64 {
-    let layer = QuantumLayer {
-        n_qubits: nq,
-        layers: 4,
-        ansatz: Ansatz::BasicEntangling,
-        scaling: InputScaling::Acos,
-        reupload: false,
-    };
-    let mut rng = StdRng::seed_from_u64(1);
-    let theta = layer.init_params(&mut rng);
-    let batch = 256;
-    let inputs: Vec<f64> = (0..batch * nq).map(|i| ((i as f64) * 0.37).sin()).collect();
-    // warm-up
-    let _ = layer.forward_batch(&inputs, batch, &theta);
-    let start = Instant::now();
-    let reps = 4;
-    for _ in 0..reps {
+/// (matmul, elementwise, reduce) GFLOP/s at a given pool width.
+fn kernel_gflops(threads: usize, opts: &RunOpts) -> (f64, f64, f64) {
+    in_pool(threads, || {
+        let reps = opts.pick(5, 20);
+        let time = |f: &mut dyn FnMut()| {
+            f(); // warm-up
+            let t0 = Instant::now();
+            for _ in 0..reps {
+                f();
+            }
+            t0.elapsed().as_secs_f64() / reps as f64
+        };
+        let (m, k, n) = (opts.pick(2048, 8192), 32, 32);
+        let fill = |r: usize, c: usize, s: f64| {
+            Tensor::from_vec(
+                [r, c],
+                (0..r * c).map(|i| ((i as f64) * 0.618 + s).sin()).collect::<Vec<_>>(),
+            )
+        };
+        let a = fill(m, k, 0.0);
+        let b = fill(k, n, 1.0);
+        let mm = (2 * m * k * n) as f64 / time(&mut || {
+            let _ = a.matmul(&b);
+        }) / 1e9;
+        let len = opts.pick(1 << 16, 1 << 20);
+        let x = fill(len, 1, 0.5);
+        let y = fill(len, 1, 1.5);
+        let ew = (2 * len) as f64 / time(&mut || {
+            let _ = x.tanh().mul(&y);
+        }) / 1e9;
+        let rd = len as f64 / time(&mut || {
+            let _ = x.sum();
+        }) / 1e9;
+        (mm, ew, rd)
+    })
+}
+
+fn statevector_throughput(threads: usize, nq: usize) -> f64 {
+    in_pool(threads, || {
+        let layer = QuantumLayer {
+            n_qubits: nq,
+            layers: 4,
+            ansatz: Ansatz::BasicEntangling,
+            scaling: InputScaling::Acos,
+            reupload: false,
+        };
+        let mut rng = StdRng::seed_from_u64(1);
+        let theta = layer.init_params(&mut rng);
+        let batch = 256;
+        let inputs: Vec<f64> = (0..batch * nq).map(|i| ((i as f64) * 0.37).sin()).collect();
+        // warm-up
         let _ = layer.forward_batch(&inputs, batch, &theta);
-    }
-    (batch * reps) as f64 / start.elapsed().as_secs_f64()
+        let start = Instant::now();
+        let reps = 4;
+        for _ in 0..reps {
+            let _ = layer.forward_batch(&inputs, batch, &theta);
+        }
+        (batch * reps) as f64 / start.elapsed().as_secs_f64()
+    })
 }
 
 fn main() {
     let opts = RunOpts::from_args();
     banner("F5", "parallel scaling & simulator throughput", &opts);
-    println!("host parallelism: {} logical CPUs\n", num_cpus());
+    let host = num_cpus();
+    println!("host parallelism: {host} logical CPUs\n");
+
+    // Thread series: 1, 2, 4, plus the host width when it differs.
+    let mut threads = vec![1usize, 2, 4];
+    if !threads.contains(&host) {
+        threads.push(host);
+    }
+    threads.sort_unstable();
 
     // (a) epoch time vs threads
-    let threads = [1usize, 2, 4, 8];
-    let mut table = TextTable::new(&["threads", "s/epoch", "speedup"]);
+    let mut table = TextTable::new(&[
+        "threads", "s/epoch", "speedup", "matmul GF/s", "elemwise GF/s", "reduce GF/s",
+    ]);
     let mut t_series = Vec::new();
     let mut s_series = Vec::new();
+    let mut speedups = Vec::new();
+    let (mut mm_series, mut ew_series, mut rd_series) = (Vec::new(), Vec::new(), Vec::new());
     let base = epoch_time_with_threads(1, &opts);
     for &t in &threads {
         let s = if t == 1 {
@@ -83,39 +147,57 @@ fn main() {
         } else {
             epoch_time_with_threads(t, &opts)
         };
+        let (mm, ew, rd) = kernel_gflops(t, &opts);
         table.row(&[
             format!("{t}"),
             format!("{s:.3}"),
             format!("{:.2}×", base / s),
+            format!("{mm:.2}"),
+            format!("{ew:.2}"),
+            format!("{rd:.2}"),
         ]);
         t_series.push(t as f64);
         s_series.push(s);
+        speedups.push(base / s);
+        mm_series.push(mm);
+        ew_series.push(ew);
+        rd_series.push(rd);
     }
     println!("{}", table.render());
 
-    // (b) statevector throughput vs qubits
+    // (b) statevector throughput vs qubits (at host width)
     let mut qtable = TextTable::new(&["qubits", "circuits/s (batch fwd)"]);
     let mut q_series = Vec::new();
     let mut r_series = Vec::new();
     for nq in [2usize, 4, 6, 8, 10] {
-        let rate = statevector_throughput(nq);
+        let rate = statevector_throughput(host, nq);
         qtable.row(&[format!("{nq}"), format!("{rate:.0}")]);
         q_series.push(nq as f64);
         r_series.push(rate);
     }
     println!("{}", qtable.render());
 
-    save(
-        "f5_scaling",
-        &Json::obj(vec![
-            ("id", Json::Str("F5".into())),
-            ("host_cpus", Json::Num(num_cpus() as f64)),
-            ("threads", Json::nums(&t_series)),
-            ("s_per_epoch", Json::nums(&s_series)),
-            ("qubits", Json::nums(&q_series)),
-            ("circuits_per_s", Json::nums(&r_series)),
-        ]),
-    );
+    let record = Json::obj(vec![
+        ("id", Json::Str("F5".into())),
+        ("host_cpus", Json::Num(host as f64)),
+        ("threads", Json::nums(&t_series)),
+        ("s_per_epoch", Json::nums(&s_series)),
+        ("speedup", Json::nums(&speedups)),
+        ("matmul_gflops", Json::nums(&mm_series)),
+        ("elementwise_gflops", Json::nums(&ew_series)),
+        ("reduce_gflops", Json::nums(&rd_series)),
+        ("qubits", Json::nums(&q_series)),
+        ("circuits_per_s", Json::nums(&r_series)),
+    ]);
+    save("f5_scaling", &record);
+
+    // Machine-readable scaling record at the repo root, consumed by CI and
+    // tracked alongside the code it measures.
+    let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_parallel.json");
+    match std::fs::write(&out, record.to_string() + "\n") {
+        Ok(()) => println!("[written {}]", out.display()),
+        Err(e) => eprintln!("[could not write BENCH_parallel.json: {e}]"),
+    }
 }
 
 fn num_cpus() -> usize {

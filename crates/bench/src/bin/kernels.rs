@@ -1,0 +1,152 @@
+//! **Kernel microbenchmarks.** Plain-`Instant` timings for the hot tensor
+//! kernels at the shapes the trainers actually hit: the three matmul
+//! variants (forward, `Wᵀ·δ` weight gradient, `δ·Wᵀ` input gradient),
+//! fused elementwise chains, and the ordered parallel `Tensor::sum`.
+//!
+//! Methodology: per kernel, a warm-up run (pool spin-up + page touch)
+//! followed by `reps` timed runs; the reported figure is the **trimmed
+//! mean** (min and max dropped) so a stray scheduler hiccup cannot skew a
+//! short series. GFLOP/s counts 2·m·k·n for matmuls and one flop per
+//! element per fused op for the rest.
+//!
+//! Run with `--full` for more repetitions, and under
+//! `RAYON_NUM_THREADS=<n>` (or inside `ThreadPool::install`) to probe a
+//! specific pool width — kernels produce bit-identical results at every
+//! width, so only the timings move.
+
+use qpinn_bench::{banner, save, RunOpts};
+use qpinn_core::report::{Json, TextTable};
+use qpinn_tensor::Tensor;
+use std::time::Instant;
+
+/// Warm up once, time `reps` runs, return the trimmed-mean seconds.
+fn time_trimmed(reps: usize, mut f: impl FnMut()) -> f64 {
+    f(); // warm-up: pool spin-up, allocator, caches
+    let mut samples: Vec<f64> = (0..reps.max(3))
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let trimmed = &samples[1..samples.len() - 1];
+    trimmed.iter().sum::<f64>() / trimmed.len() as f64
+}
+
+fn filled(m: usize, n: usize, seed: f64) -> Tensor {
+    Tensor::from_vec(
+        [m, n],
+        (0..m * n)
+            .map(|i| ((i as f64) * 0.618 + seed).sin())
+            .collect::<Vec<_>>(),
+    )
+}
+
+struct Row {
+    name: &'static str,
+    secs: f64,
+    gflops: f64,
+}
+
+fn main() {
+    let opts = RunOpts::from_args();
+    banner("KERNELS", "tensor kernel microbenchmarks", &opts);
+    println!(
+        "pool width: {} thread(s)\n",
+        rayon::current_num_threads()
+    );
+    let reps = opts.pick(5, 20);
+    let mut rows: Vec<Row> = Vec::new();
+
+    // Trainer shapes: a [batch, hidden] activation against [hidden, hidden]
+    // weights — batch = collocation count (2048 quick / 8192 full).
+    let (m, k, n) = (opts.pick(2048, 8192), 32, 32);
+    let a = filled(m, k, 0.0);
+    let b = filled(k, n, 1.0);
+    let delta = filled(m, n, 2.0); // upstream grad for matmul_tn: aᵀ·δ
+    let bt = filled(n, k, 3.0); // for matmul_nt: a·bᵀ with b stored [n, k]
+    let mm_flops = (2 * m * k * n) as f64;
+
+    let secs = time_trimmed(reps, || {
+        let _ = a.matmul(&b);
+    });
+    rows.push(Row {
+        name: "matmul      (forward)",
+        secs,
+        gflops: mm_flops / secs / 1e9,
+    });
+
+    let secs = time_trimmed(reps, || {
+        let _ = a.matmul_tn(&delta);
+    });
+    rows.push(Row {
+        name: "matmul_tn   (weight grad)",
+        secs,
+        gflops: mm_flops / secs / 1e9,
+    });
+
+    let secs = time_trimmed(reps, || {
+        let _ = a.matmul_nt(&bt);
+    });
+    rows.push(Row {
+        name: "matmul_nt   (input grad)",
+        secs,
+        gflops: mm_flops / secs / 1e9,
+    });
+
+    // Fused elementwise at activation size: tanh → hadamard → axpy is the
+    // backprop inner pattern for a dense+tanh layer.
+    let len = opts.pick(1 << 16, 1 << 20);
+    let x = filled(len, 1, 0.5);
+    let y = filled(len, 1, 1.5);
+    let secs = time_trimmed(reps, || {
+        let t = x.tanh();
+        let h = t.mul(&y);
+        let mut acc = h;
+        acc.axpy(0.5, &x);
+    });
+    rows.push(Row {
+        name: "tanh+mul+axpy (fused ew)",
+        secs,
+        gflops: (3 * len) as f64 / secs / 1e9,
+    });
+
+    // Ordered parallel reduction at loss-vector size.
+    let secs = time_trimmed(reps, || {
+        let _ = x.sum();
+    });
+    rows.push(Row {
+        name: "sum         (reduction)",
+        secs,
+        gflops: len as f64 / secs / 1e9,
+    });
+
+    let mut table = TextTable::new(&["kernel", "ms (trimmed mean)", "GFLOP/s"]);
+    for r in &rows {
+        table.row(&[
+            r.name.to_string(),
+            format!("{:.3}", r.secs * 1e3),
+            format!("{:.2}", r.gflops),
+        ]);
+    }
+    println!("{}", table.render());
+
+    save(
+        "kernels",
+        &Json::obj(vec![
+            ("id", Json::Str("KERNELS".into())),
+            ("threads", Json::Num(rayon::current_num_threads() as f64)),
+            ("matmul_shape", Json::nums(&[m as f64, k as f64, n as f64])),
+            ("elementwise_len", Json::Num(len as f64)),
+            (
+                "ms",
+                Json::nums(&rows.iter().map(|r| r.secs * 1e3).collect::<Vec<_>>()),
+            ),
+            (
+                "gflops",
+                Json::nums(&rows.iter().map(|r| r.gflops).collect::<Vec<_>>()),
+            ),
+        ]),
+    );
+}

@@ -99,41 +99,51 @@ impl QuantumLayer {
     ) -> (Vec<f64>, Vec<Vec<f64>>, Vec<Vec<f64>>) {
         let nq = self.n_qubits;
         let base_angles: Vec<f64> = a.iter().map(|&x| self.scaling.angle(x)).collect();
-        let theta_c: Vec<Dual64> = theta.iter().map(|&t| Dual::constant(t)).collect();
 
-        let mut ja = Vec::with_capacity(nq);
-        let mut e = Vec::new();
-        for j in 0..nq {
-            let angles: Vec<Dual64> = base_angles
-                .iter()
-                .enumerate()
-                .map(|(i, &ang)| {
-                    if i == j {
-                        // seed dθ/da through the scaling chain rule
-                        Dual::new(ang, self.scaling.dangle(a[j]))
-                    } else {
-                        Dual::constant(ang)
+        // The input-Jacobian block and the parameter-Jacobian block are
+        // independent dual-number sweeps; fork them across the pool.
+        let ((e, ja), jt) = rayon::join(
+            || {
+                let theta_c: Vec<Dual64> = theta.iter().map(|&t| Dual::constant(t)).collect();
+                let mut ja: Vec<Vec<f64>> = Vec::with_capacity(nq);
+                let mut e = Vec::new();
+                for j in 0..nq {
+                    let angles: Vec<Dual64> = base_angles
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &ang)| {
+                            if i == j {
+                                // seed dθ/da through the scaling chain rule
+                                Dual::new(ang, self.scaling.dangle(a[j]))
+                            } else {
+                                Dual::constant(ang)
+                            }
+                        })
+                        .collect();
+                    let out = self.run(&angles, &theta_c);
+                    if j == 0 {
+                        e = out.iter().map(|d| d.re).collect();
                     }
-                })
-                .collect();
-            let out = self.run(&angles, &theta_c);
-            if j == 0 {
-                e = out.iter().map(|d| d.re).collect();
-            }
-            ja.push(out.iter().map(|d| d.eps).collect());
-        }
-
-        let angles_c: Vec<Dual64> = base_angles.iter().map(|&x| Dual::constant(x)).collect();
-        let mut jt = Vec::with_capacity(theta.len());
-        for p in 0..theta.len() {
-            let th: Vec<Dual64> = theta
-                .iter()
-                .enumerate()
-                .map(|(q, &t)| if q == p { Dual64::var(t) } else { Dual::constant(t) })
-                .collect();
-            let out = self.run(&angles_c, &th);
-            jt.push(out.iter().map(|d| d.eps).collect());
-        }
+                    ja.push(out.iter().map(|d| d.eps).collect());
+                }
+                (e, ja)
+            },
+            || {
+                let angles_c: Vec<Dual64> =
+                    base_angles.iter().map(|&x| Dual::constant(x)).collect();
+                let mut jt: Vec<Vec<f64>> = Vec::with_capacity(theta.len());
+                for p in 0..theta.len() {
+                    let th: Vec<Dual64> = theta
+                        .iter()
+                        .enumerate()
+                        .map(|(q, &t)| if q == p { Dual64::var(t) } else { Dual::constant(t) })
+                        .collect();
+                    let out = self.run(&angles_c, &th);
+                    jt.push(out.iter().map(|d| d.eps).collect());
+                }
+                jt
+            },
+        );
         (e, ja, jt)
     }
 

@@ -1,14 +1,14 @@
 //! Elementwise kernels: unary maps, same-shape binary zips, and the row
 //! broadcast used for bias addition.
 //!
-//! Kernels run serially below [`crate::PAR_THRESHOLD`] elements and switch to
-//! rayon `par_chunks` above it, so the fork/join overhead is only paid where
-//! it is amortized.
+//! Kernels run serially below [`crate::tune::PAR_THRESHOLD`] elements and
+//! switch to rayon `par_chunks` above it, so the fork/join overhead is only
+//! paid where it is amortized. Chunk size and cutoff both live in
+//! [`crate::tune`].
 
+use crate::tune::CHUNK;
 use crate::{Shape, Tensor, PAR_THRESHOLD};
 use rayon::prelude::*;
-
-const CHUNK: usize = 4096;
 
 #[inline]
 fn map_into(src: &[f64], dst: &mut Vec<f64>, f: impl Fn(f64) -> f64 + Sync + Send) {

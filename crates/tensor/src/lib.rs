@@ -35,8 +35,50 @@ mod tensor;
 pub use shape::Shape;
 pub use tensor::Tensor;
 
-/// Threshold (in elements) above which elementwise kernels use rayon.
-pub(crate) const PAR_THRESHOLD: usize = 16 * 1024;
+/// Serial/parallel cutoffs and blocking factors for every tensor kernel,
+/// tuned against the real work-dealing pool in `third_party/rayon`.
+///
+/// With an actual threaded runtime a parallel launch costs a condvar wake
+/// plus one atomic claim per chunk (order of a few microseconds), so the
+/// cutoffs sit where that overhead is amortized by at least ~10× on a
+/// multi-core host. They are deliberately centralized: a cutoff split
+/// across kernels drifts, and the right values changed once fork/join
+/// became real (the old sequential stand-in made parallel dispatch free,
+/// which let thresholds sit artificially low).
+pub(crate) mod tune {
+    /// FLOP count (`m·k·n` multiply-adds) above which the matmul kernels
+    /// parallelize over row blocks. Below this, a single launch costs more
+    /// than the kernel itself.
+    pub const PAR_FLOPS: usize = 128 * 1024;
+
+    /// Element count above which elementwise/reduction kernels
+    /// parallelize.
+    pub const PAR_THRESHOLD: usize = 32 * 1024;
+
+    /// Fixed elementwise/reduction chunk size. Reduction partials are
+    /// computed per chunk and combined in chunk-index order, so this
+    /// constant — never the thread count — defines the floating-point
+    /// association and keeps results bit-identical at any pool width.
+    pub const CHUNK: usize = 4096;
+
+    /// Output rows per parallel task in the matmul kernels: large enough
+    /// that a task amortizes its claim, small enough that chunk dealing
+    /// can balance ragged tails.
+    pub const ROW_BLOCK: usize = 16;
+
+    /// Depth of the shared-operand panel (`k` in `matmul`, `m` in
+    /// `matmul_tn`) each task streams through: `K_BLOCK` rows of B
+    /// (`256·n` doubles) stay hot in L1/L2 while the task's `ROW_BLOCK`
+    /// output rows accumulate against them.
+    pub const K_BLOCK: usize = 256;
+
+    /// B-row panel width in `matmul_nt`: the row-dot kernel walks
+    /// `J_BLOCK` rows of B against each A row so the panel is reused from
+    /// cache across the task's row block.
+    pub const J_BLOCK: usize = 64;
+}
+
+pub(crate) use tune::PAR_THRESHOLD;
 
 #[cfg(test)]
 mod proptests;

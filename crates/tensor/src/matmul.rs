@@ -7,15 +7,49 @@
 //! * [`Tensor::matmul_tn`] — `C = Aᵀ·B` (weight gradients)
 //! * [`Tensor::matmul_nt`] — `C = A·Bᵀ` (input gradients)
 //!
-//! Each kernel is an `i-k-j` loop (unit-stride inner loop over the output
-//! row) parallelized over output rows with rayon when the work is large
-//! enough to amortize the fork/join.
+//! Kernel shape, per the tuning constants in [`crate::tune`]:
+//!
+//! * the inner loops are **branchless** unit-stride `axpy`/dot sweeps —
+//!   the old per-element `aik == 0.0` skip was a mispredict tax on dense
+//!   activations and is gone;
+//! * work above [`crate::tune::PAR_FLOPS`] is parallelized over
+//!   [`crate::tune::ROW_BLOCK`]-row output blocks on the real rayon pool;
+//! * each task's loops are cache-blocked ([`crate::tune::K_BLOCK`] /
+//!   [`crate::tune::J_BLOCK`]) so the shared B panel stays in L1/L2 while
+//!   a block of output rows streams against it;
+//! * `matmul_nt`'s row-dot kernel accumulates in four independent lanes to
+//!   break the FP add dependency chain.
+//!
+//! Determinism: accumulation order over the contraction dimension is fixed
+//! by the blocking constants and never by the thread count, so every
+//! product is bit-identical at any pool width (the blocked `i-k-j` loops
+//! accumulate in ascending `k` exactly like the unblocked form).
 
+use crate::tune::{J_BLOCK, K_BLOCK, PAR_FLOPS, ROW_BLOCK};
 use crate::Tensor;
 use rayon::prelude::*;
 
-/// FLOP threshold above which matmul parallelizes over rows.
-const PAR_FLOPS: usize = 64 * 1024;
+/// Dot product in four independent accumulator lanes plus a tail, combined
+/// pairwise. The lane split is fixed, so the result does not depend on the
+/// thread count.
+#[inline]
+fn dot4(x: &[f64], y: &[f64]) -> f64 {
+    let quads = x.len() / 4 * 4;
+    let (x4, xr) = x.split_at(quads);
+    let (y4, yr) = y.split_at(quads);
+    let mut acc = [0.0f64; 4];
+    for (xc, yc) in x4.chunks_exact(4).zip(y4.chunks_exact(4)) {
+        acc[0] += xc[0] * yc[0];
+        acc[1] += xc[1] * yc[1];
+        acc[2] += xc[2] * yc[2];
+        acc[3] += xc[3] * yc[3];
+    }
+    let mut tail = 0.0;
+    for (xi, yi) in xr.iter().zip(yr) {
+        tail += xi * yi;
+    }
+    (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail
+}
 
 impl Tensor {
     /// Standard product `C[m,n] = A[m,k] · B[k,n]`.
@@ -29,25 +63,41 @@ impl Tensor {
         let a = self.data();
         let bd = b.data();
         let mut out = vec![0.0; m * n];
-        let body = |i: usize, row_out: &mut [f64]| {
-            let a_row = &a[i * k..(i + 1) * k];
-            for (kk, &aik) in a_row.iter().enumerate() {
-                if aik == 0.0 {
-                    continue;
+        if out.is_empty() || k == 0 {
+            return Tensor::from_vec([m, n], out);
+        }
+        // One task owns ROW_BLOCK output rows; the k loop is tiled so the
+        // B panel (K_BLOCK × n doubles) stays hot in cache across the
+        // block's rows. Tiling leaves the per-element accumulation order
+        // (ascending k) unchanged, so results are bit-identical to the
+        // untiled i-k-j kernel.
+        let body = |blk: usize, out_blk: &mut [f64]| {
+            let i0 = blk * ROW_BLOCK;
+            let rows = out_blk.len() / n;
+            let mut kb0 = 0;
+            while kb0 < k {
+                let kb1 = (kb0 + K_BLOCK).min(k);
+                for r in 0..rows {
+                    let a_row = &a[(i0 + r) * k..(i0 + r) * k + k];
+                    let row_out = &mut out_blk[r * n..(r + 1) * n];
+                    for kk in kb0..kb1 {
+                        let aik = a_row[kk];
+                        let b_row = &bd[kk * n..kk * n + n];
+                        for (o, &bv) in row_out.iter_mut().zip(b_row) {
+                            *o += aik * bv;
+                        }
+                    }
                 }
-                let b_row = &bd[kk * n..(kk + 1) * n];
-                for (o, &bv) in row_out.iter_mut().zip(b_row) {
-                    *o += aik * bv;
-                }
+                kb0 = kb1;
             }
         };
-        if m * k * n >= PAR_FLOPS && m > 1 {
-            out.par_chunks_mut(n)
+        if m * k * n >= PAR_FLOPS && m > ROW_BLOCK {
+            out.par_chunks_mut(ROW_BLOCK * n)
                 .enumerate()
-                .for_each(|(i, row)| body(i, row));
+                .for_each(|(blk, chunk)| body(blk, chunk));
         } else {
-            for (i, row) in out.chunks_mut(n).enumerate() {
-                body(i, row);
+            for (blk, chunk) in out.chunks_mut(ROW_BLOCK * n).enumerate() {
+                body(blk, chunk);
             }
         }
         Tensor::from_vec([m, n], out)
@@ -63,27 +113,40 @@ impl Tensor {
         assert_eq!(m, mb, "matmul_tn: {}ᵀ · {}", self.shape(), b.shape());
         let a = self.data();
         let bd = b.data();
-        // C[p, q] = Σ_i A[i, p] B[i, q]; parallelize over output rows p.
+        // C[p, q] = Σ_i A[i, p] B[i, q]; parallelize over blocks of output
+        // rows p, tiling the reduction over i so the B panel is reused
+        // across the block. Ascending-i accumulation order is preserved.
         let mut out = vec![0.0; k * n];
-        let body = |p: usize, row_out: &mut [f64]| {
-            for i in 0..m {
-                let aip = a[i * k + p];
-                if aip == 0.0 {
-                    continue;
+        if out.is_empty() || m == 0 {
+            return Tensor::from_vec([k, n], out);
+        }
+        let body = |blk: usize, out_blk: &mut [f64]| {
+            let p0 = blk * ROW_BLOCK;
+            let rows = out_blk.len() / n;
+            let mut ib0 = 0;
+            while ib0 < m {
+                let ib1 = (ib0 + K_BLOCK).min(m);
+                for r in 0..rows {
+                    let p = p0 + r;
+                    let row_out = &mut out_blk[r * n..(r + 1) * n];
+                    for i in ib0..ib1 {
+                        let aip = a[i * k + p];
+                        let b_row = &bd[i * n..i * n + n];
+                        for (o, &bv) in row_out.iter_mut().zip(b_row) {
+                            *o += aip * bv;
+                        }
+                    }
                 }
-                let b_row = &bd[i * n..(i + 1) * n];
-                for (o, &bv) in row_out.iter_mut().zip(b_row) {
-                    *o += aip * bv;
-                }
+                ib0 = ib1;
             }
         };
-        if m * k * n >= PAR_FLOPS && k > 1 {
-            out.par_chunks_mut(n)
+        if m * k * n >= PAR_FLOPS && k > ROW_BLOCK {
+            out.par_chunks_mut(ROW_BLOCK * n)
                 .enumerate()
-                .for_each(|(p, row)| body(p, row));
+                .for_each(|(blk, chunk)| body(blk, chunk));
         } else {
-            for (p, row) in out.chunks_mut(n).enumerate() {
-                body(p, row);
+            for (blk, chunk) in out.chunks_mut(ROW_BLOCK * n).enumerate() {
+                body(blk, chunk);
             }
         }
         Tensor::from_vec([k, n], out)
@@ -100,26 +163,36 @@ impl Tensor {
         let a = self.data();
         let bd = b.data();
         // C[i, p] = Σ_j A[i, j] B[p, j]: both operands are walked along
-        // contiguous rows, so this is a row-dot kernel.
+        // contiguous rows, so this is a row-dot kernel. B rows are visited
+        // in J_BLOCK panels reused across the task's row block, and each
+        // dot runs in four independent accumulator lanes.
         let mut out = vec![0.0; m * k];
-        let body = |i: usize, row_out: &mut [f64]| {
-            let a_row = &a[i * n..(i + 1) * n];
-            for (p, o) in row_out.iter_mut().enumerate() {
-                let b_row = &bd[p * n..(p + 1) * n];
-                let mut acc = 0.0;
-                for (&x, &y) in a_row.iter().zip(b_row) {
-                    acc += x * y;
+        if out.is_empty() {
+            return Tensor::from_vec([m, k], out);
+        }
+        let body = |blk: usize, out_blk: &mut [f64]| {
+            let i0 = blk * ROW_BLOCK;
+            let rows = out_blk.len() / k;
+            let mut pb0 = 0;
+            while pb0 < k {
+                let pb1 = (pb0 + J_BLOCK).min(k);
+                for r in 0..rows {
+                    let a_row = &a[(i0 + r) * n..(i0 + r) * n + n];
+                    let row_out = &mut out_blk[r * k..(r + 1) * k];
+                    for (p, o) in row_out[pb0..pb1].iter_mut().enumerate() {
+                        *o = dot4(a_row, &bd[(pb0 + p) * n..(pb0 + p) * n + n]);
+                    }
                 }
-                *o = acc;
+                pb0 = pb1;
             }
         };
-        if m * n * k >= PAR_FLOPS && m > 1 {
-            out.par_chunks_mut(k)
+        if m * n * k >= PAR_FLOPS && m > ROW_BLOCK {
+            out.par_chunks_mut(ROW_BLOCK * k)
                 .enumerate()
-                .for_each(|(i, row)| body(i, row));
+                .for_each(|(blk, chunk)| body(blk, chunk));
         } else {
-            for (i, row) in out.chunks_mut(k).enumerate() {
-                body(i, row);
+            for (blk, chunk) in out.chunks_mut(ROW_BLOCK * k).enumerate() {
+                body(blk, chunk);
             }
         }
         Tensor::from_vec([m, k], out)
@@ -212,6 +285,53 @@ mod tests {
         assert!(c
             .matmul_nt(&b)
             .approx_eq(&naive(&c, &b.transpose()), 1e-10));
+    }
+
+    #[test]
+    fn blocked_kernels_match_naive_past_every_block_boundary() {
+        // Shapes straddling ROW_BLOCK/K_BLOCK/J_BLOCK edges (including
+        // exact multiples and off-by-one ragged tails).
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut rand_t = |m: usize, n: usize| {
+            Tensor::from_vec(
+                [m, n],
+                (0..m * n).map(|_| rng.gen_range(-1.0..1.0)).collect::<Vec<_>>(),
+            )
+        };
+        for (m, k, n) in [
+            (ROW_BLOCK, K_BLOCK, J_BLOCK),
+            (ROW_BLOCK + 1, K_BLOCK + 1, J_BLOCK + 1),
+            (2 * ROW_BLOCK - 1, 17, 2 * J_BLOCK + 3),
+            (3, K_BLOCK + 7, 5),
+            (1, 300, 1),
+        ] {
+            let a = rand_t(m, k);
+            let b = rand_t(k, n);
+            assert!(a.matmul(&b).approx_eq(&naive(&a, &b), 1e-10), "{m}x{k}x{n}");
+            let at = rand_t(k, m);
+            assert!(
+                at.matmul_tn(&b).approx_eq(&naive(&at.transpose(), &b), 1e-10),
+                "tn {m}x{k}x{n}"
+            );
+            let bt = rand_t(n, k);
+            assert!(
+                a.matmul_nt(&bt).approx_eq(&naive(&a, &bt.transpose()), 1e-10),
+                "nt {m}x{k}x{n}"
+            );
+        }
+    }
+
+    #[test]
+    fn degenerate_shapes_do_not_panic() {
+        let a = Tensor::zeros([0, 3]);
+        let b = Tensor::zeros([3, 4]);
+        assert_eq!(a.matmul(&b).shape().dims(), &[0, 4]);
+        let a = Tensor::zeros([2, 0]);
+        let b = Tensor::zeros([0, 4]);
+        let c = a.matmul(&b);
+        assert_eq!(c.shape().dims(), &[2, 4]);
+        assert!(c.data().iter().all(|&x| x == 0.0));
     }
 
     #[test]

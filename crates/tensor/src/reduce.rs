@@ -1,5 +1,12 @@
 //! Reductions: sums, means, norms, axis reductions.
+//!
+//! Parallel reductions are **thread-count invariant at the bit level**:
+//! partials are computed over fixed [`crate::tune::CHUNK`]-element blocks
+//! and combined in chunk-index order (the ordered `sum` consumer in the
+//! vendored rayon), so the floating-point association is a function of the
+//! chunk size only — never of how many workers ran.
 
+use crate::tune::CHUNK;
 use crate::{Tensor, PAR_THRESHOLD};
 use rayon::prelude::*;
 
@@ -7,7 +14,10 @@ impl Tensor {
     /// Sum of all elements.
     pub fn sum(&self) -> f64 {
         if self.len() >= PAR_THRESHOLD {
-            self.data().par_chunks(4096).map(|c| c.iter().sum::<f64>()).sum()
+            self.data()
+                .par_chunks(CHUNK)
+                .map(|c| c.iter().sum::<f64>())
+                .sum()
         } else {
             self.data().iter().sum()
         }
@@ -26,7 +36,7 @@ impl Tensor {
     pub fn sum_sq(&self) -> f64 {
         if self.len() >= PAR_THRESHOLD {
             self.data()
-                .par_chunks(4096)
+                .par_chunks(CHUNK)
                 .map(|c| c.iter().map(|x| x * x).sum::<f64>())
                 .sum()
         } else {

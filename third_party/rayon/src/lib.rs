@@ -1,75 +1,675 @@
-//! Offline stand-in for `rayon`.
+//! Offline, std-only implementation of the subset of `rayon` this workspace
+//! uses — with a **real multithreaded runtime**, not a sequential stand-in.
 //!
-//! The build sandbox cannot reach crates.io, so the workspace vendors a
-//! dependency-free replacement in which every `par_*` entry point returns the
-//! corresponding **sequential** `std` iterator. All downstream adaptor chains
-//! (`zip`, `map`, `sum`, `for_each`, `collect`, …) then come from
-//! [`std::iter::Iterator`] unchanged, so call sites compile verbatim and
-//! produce identical results — single-threaded. Swapping the real rayon back
-//! in (when a registry is reachable) is a one-line `Cargo.toml` change.
+//! The build sandbox cannot reach crates.io, so the workspace vendors this
+//! dependency-free replacement. Unlike the original stub (which aliased
+//! every `par_*` entry point to the sequential `std` iterator), this crate
+//! executes parallel iterators on a long-lived work-dealing thread pool:
+//!
+//! * **Pool** — lazily-spawned workers fed through a shared injector; the
+//!   default width comes from `RAYON_NUM_THREADS` (positive integer) or
+//!   [`std::thread::available_parallelism`]. [`ThreadPoolBuilder`] +
+//!   [`ThreadPool::install`] scope a different width, exactly like rayon.
+//! * **Scheduling** — each parallel operation is an indexed set of chunks
+//!   claimed by idle threads through an atomic cursor (chunk dealing), and
+//!   threads that finish early steal queued work from the injector while
+//!   they wait, so tails stay balanced.
+//! * **Determinism** — chunk boundaries are fixed by the caller, and the
+//!   ordered consumers ([`ParallelIterator::sum`],
+//!   [`ParallelIterator::collect`]) write each chunk's result into its own
+//!   index slot and combine the slots in index order. Every result is
+//!   **bit-identical at every thread count**, including `cap = 1`.
+//! * **Reentrancy** — nested [`ThreadPool::install`], [`join`], and
+//!   `par_*` calls from inside pool workers cannot deadlock: a launcher
+//!   only blocks on chunks that are already running, and in the worst case
+//!   drains its own set on the calling thread (see `pool` module docs).
+//!
+//! The API surface mirrors rayon's names (`par_chunks`, `par_chunks_mut`,
+//! `par_iter`, `into_par_iter`, `join`, adaptors `zip`/`map`/`enumerate`
+//! and consumers `for_each`/`sum`/`collect`), so swapping the registry
+//! version back in remains a one-line `Cargo.toml` change.
 
 #![deny(missing_docs)]
 
-/// Extension methods on shared slices, mirroring rayon's parallel slices.
-pub trait ParallelSlice<T> {
-    /// Sequential stand-in for `par_chunks`.
-    fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T>;
+mod pool;
 
-    /// Sequential stand-in for `par_iter`.
-    fn par_iter(&self) -> std::slice::Iter<'_, T>;
+use std::marker::PhantomData;
+use std::mem::{ManuallyDrop, MaybeUninit};
+
+/// Run two closures, potentially in parallel: `a` on the calling thread
+/// while `b` is offered to the pool (and reclaimed by the caller when no
+/// worker is free). Panics in either closure propagate to the caller.
+pub fn join<A, RA, B, RB>(oper_a: A, oper_b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    pool::join_impl(oper_a, oper_b)
 }
 
-impl<T> ParallelSlice<T> for [T] {
-    fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
-        self.chunks(chunk_size)
+/// The number of threads parallel operations may use on this thread: the
+/// innermost installed pool's width, or the global default
+/// (`RAYON_NUM_THREADS` / available parallelism).
+pub fn current_num_threads() -> usize {
+    pool::current_cap()
+}
+
+// ---------------------------------------------------------------------------
+// Producers: random-access, claim-once item sources.
+// ---------------------------------------------------------------------------
+
+/// A random-access source of items for one parallel operation.
+///
+/// The scheduler guarantees each index in `0..len` is claimed exactly once,
+/// which is what makes handing out disjoint `&mut` chunks sound.
+pub trait Producer: Sync {
+    /// The item type produced.
+    type Item;
+
+    /// Extract the item for chunk `i`.
+    ///
+    /// # Safety
+    /// `i` must be in bounds for the originating iterator and must be taken
+    /// at most once over the producer's lifetime.
+    unsafe fn take(&self, i: usize) -> Self::Item;
+}
+
+// ---------------------------------------------------------------------------
+// The parallel iterator trait and its drivers.
+// ---------------------------------------------------------------------------
+
+/// An exact-length parallel iterator, executed on the global pool.
+///
+/// Adaptors (`map`, `zip`, `enumerate`) compose lazily; consumers
+/// (`for_each`, `sum`, `collect`) launch the chunks. `sum` and `collect`
+/// are *ordered*: per-index results are combined in index order, so they
+/// are bit-identical at every thread count.
+pub trait ParallelIterator: Sized {
+    /// The element type.
+    type Item: Send;
+    /// The producer this iterator compiles into.
+    type Producer: Producer<Item = Self::Item>;
+
+    /// Exact number of items.
+    fn len(&self) -> usize;
+
+    /// `true` when there are no items.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
     }
 
-    fn par_iter(&self) -> std::slice::Iter<'_, T> {
-        self.iter()
+    /// Convert into the random-access producer.
+    fn into_producer(self) -> Self::Producer;
+
+    /// Transform every item with `f`.
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync,
+    {
+        Map { base: self, f }
+    }
+
+    /// Iterate two parallel iterators in lockstep (length = the minimum).
+    fn zip<B: ParallelIterator>(self, other: B) -> Zip<Self, B> {
+        Zip { a: self, b: other }
+    }
+
+    /// Pair every item with its index.
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate { base: self }
+    }
+
+    /// Run `f` on every item, in parallel.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync,
+    {
+        let n = self.len();
+        let p = self.into_producer();
+        let work = |i: usize| {
+            // SAFETY: the scheduler claims each index exactly once.
+            f(unsafe { p.take(i) })
+        };
+        pool::parallel_for(n, &work);
+    }
+
+    /// Sum the items **in index order** (bit-exact at any thread count):
+    /// items are materialized into per-index slots in parallel, then folded
+    /// sequentially on the calling thread.
+    fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<Self::Item>,
+    {
+        collect_ordered(self).into_iter().sum()
+    }
+
+    /// Collect into a container, preserving index order.
+    fn collect<C>(self) -> C
+    where
+        C: FromIterator<Self::Item>,
+    {
+        collect_ordered(self).into_iter().collect()
+    }
+
+    /// Number of items (exact, no traversal needed).
+    fn count(self) -> usize {
+        self.len()
+    }
+}
+
+/// Materialize all items into a `Vec` in index order: slot `i` is written
+/// by whichever thread claims chunk `i`, and the filled vector is assembled
+/// on the calling thread.
+fn collect_ordered<I: ParallelIterator>(it: I) -> Vec<I::Item> {
+    let n = it.len();
+    let p = it.into_producer();
+    let mut buf: Vec<MaybeUninit<I::Item>> = (0..n).map(|_| MaybeUninit::uninit()).collect();
+
+    struct Slots<T>(*mut MaybeUninit<T>);
+    // SAFETY: every index slot is written by exactly one thread.
+    unsafe impl<T: Send> Sync for Slots<T> {}
+    impl<T> Slots<T> {
+        /// # Safety: `i` in bounds and written by exactly one thread.
+        unsafe fn write(&self, i: usize, value: T) {
+            (*self.0.add(i)).write(value);
+        }
+    }
+
+    let slots = Slots(buf.as_mut_ptr());
+    let work = |i: usize| {
+        // SAFETY: index claimed exactly once; slots are disjoint per index.
+        unsafe {
+            slots.write(i, p.take(i));
+        }
+    };
+    pool::parallel_for(n, &work);
+    // SAFETY: parallel_for ran every index (or unwound, skipping this), so
+    // all n slots are initialized; MaybeUninit<T> and T share layout.
+    let ptr = buf.as_mut_ptr() as *mut I::Item;
+    let cap = buf.capacity();
+    std::mem::forget(buf);
+    unsafe { Vec::from_raw_parts(ptr, n, cap) }
+}
+
+// ---------------------------------------------------------------------------
+// Adaptors.
+// ---------------------------------------------------------------------------
+
+/// Parallel `map` adaptor; see [`ParallelIterator::map`].
+pub struct Map<I, F> {
+    base: I,
+    f: F,
+}
+
+/// Producer for [`Map`].
+pub struct MapProducer<P, F> {
+    base: P,
+    f: F,
+}
+
+impl<I, R, F> ParallelIterator for Map<I, F>
+where
+    I: ParallelIterator,
+    R: Send,
+    F: Fn(I::Item) -> R + Sync,
+{
+    type Item = R;
+    type Producer = MapProducer<I::Producer, F>;
+
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    fn into_producer(self) -> Self::Producer {
+        MapProducer {
+            base: self.base.into_producer(),
+            f: self.f,
+        }
+    }
+}
+
+impl<P, R, F> Producer for MapProducer<P, F>
+where
+    P: Producer,
+    F: Fn(P::Item) -> R + Sync,
+{
+    type Item = R;
+
+    unsafe fn take(&self, i: usize) -> R {
+        (self.f)(self.base.take(i))
+    }
+}
+
+/// Parallel `zip` adaptor; see [`ParallelIterator::zip`].
+pub struct Zip<A, B> {
+    a: A,
+    b: B,
+}
+
+/// Producer for [`Zip`].
+pub struct ZipProducer<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A, B> ParallelIterator for Zip<A, B>
+where
+    A: ParallelIterator,
+    B: ParallelIterator,
+{
+    type Item = (A::Item, B::Item);
+    type Producer = ZipProducer<A::Producer, B::Producer>;
+
+    fn len(&self) -> usize {
+        self.a.len().min(self.b.len())
+    }
+
+    fn into_producer(self) -> Self::Producer {
+        ZipProducer {
+            a: self.a.into_producer(),
+            b: self.b.into_producer(),
+        }
+    }
+}
+
+impl<A: Producer, B: Producer> Producer for ZipProducer<A, B> {
+    type Item = (A::Item, B::Item);
+
+    unsafe fn take(&self, i: usize) -> Self::Item {
+        (self.a.take(i), self.b.take(i))
+    }
+}
+
+/// Parallel `enumerate` adaptor; see [`ParallelIterator::enumerate`].
+pub struct Enumerate<I> {
+    base: I,
+}
+
+/// Producer for [`Enumerate`].
+pub struct EnumerateProducer<P> {
+    base: P,
+}
+
+impl<I: ParallelIterator> ParallelIterator for Enumerate<I> {
+    type Item = (usize, I::Item);
+    type Producer = EnumerateProducer<I::Producer>;
+
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    fn into_producer(self) -> Self::Producer {
+        EnumerateProducer {
+            base: self.base.into_producer(),
+        }
+    }
+}
+
+impl<P: Producer> Producer for EnumerateProducer<P> {
+    type Item = (usize, P::Item);
+
+    unsafe fn take(&self, i: usize) -> Self::Item {
+        (i, self.base.take(i))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Slice sources.
+// ---------------------------------------------------------------------------
+
+/// Parallel iterator over fixed-size chunks of a shared slice.
+pub struct ParChunks<'a, T> {
+    slice: &'a [T],
+    size: usize,
+}
+
+impl<'a, T: Sync> ParallelIterator for ParChunks<'a, T> {
+    type Item = &'a [T];
+    type Producer = Self;
+
+    fn len(&self) -> usize {
+        self.slice.len().div_ceil(self.size)
+    }
+
+    fn into_producer(self) -> Self {
+        self
+    }
+}
+
+impl<'a, T: Sync> Producer for ParChunks<'a, T> {
+    type Item = &'a [T];
+
+    unsafe fn take(&self, i: usize) -> &'a [T] {
+        let lo = i * self.size;
+        let hi = (lo + self.size).min(self.slice.len());
+        &self.slice[lo..hi]
+    }
+}
+
+/// Parallel iterator over fixed-size chunks of a mutable slice. The chunks
+/// are disjoint, and the claim-once discipline of [`Producer::take`] makes
+/// handing them to different threads sound.
+pub struct ParChunksMut<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    size: usize,
+    _lt: PhantomData<&'a mut [T]>,
+}
+
+// SAFETY: disjoint &mut chunks of a T: Send slice may move across threads.
+unsafe impl<'a, T: Send> Send for ParChunksMut<'a, T> {}
+unsafe impl<'a, T: Send> Sync for ParChunksMut<'a, T> {}
+
+impl<'a, T: Send> ParallelIterator for ParChunksMut<'a, T> {
+    type Item = &'a mut [T];
+    type Producer = Self;
+
+    fn len(&self) -> usize {
+        self.len.div_ceil(self.size)
+    }
+
+    fn into_producer(self) -> Self {
+        self
+    }
+}
+
+impl<'a, T: Send> Producer for ParChunksMut<'a, T> {
+    type Item = &'a mut [T];
+
+    unsafe fn take(&self, i: usize) -> &'a mut [T] {
+        let lo = i * self.size;
+        let hi = (lo + self.size).min(self.len);
+        std::slice::from_raw_parts_mut(self.ptr.add(lo), hi - lo)
+    }
+}
+
+/// Parallel iterator over the elements of a shared slice.
+pub struct ParIter<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for ParIter<'a, T> {
+    type Item = &'a T;
+    type Producer = Self;
+
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn into_producer(self) -> Self {
+        self
+    }
+}
+
+impl<'a, T: Sync> Producer for ParIter<'a, T> {
+    type Item = &'a T;
+
+    unsafe fn take(&self, i: usize) -> &'a T {
+        &self.slice[i]
+    }
+}
+
+/// Parallel iterator over the elements of a mutable slice.
+pub struct ParIterMut<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    _lt: PhantomData<&'a mut [T]>,
+}
+
+// SAFETY: disjoint &mut elements of a T: Send slice.
+unsafe impl<'a, T: Send> Send for ParIterMut<'a, T> {}
+unsafe impl<'a, T: Send> Sync for ParIterMut<'a, T> {}
+
+impl<'a, T: Send> ParallelIterator for ParIterMut<'a, T> {
+    type Item = &'a mut T;
+    type Producer = Self;
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn into_producer(self) -> Self {
+        self
+    }
+}
+
+impl<'a, T: Send> Producer for ParIterMut<'a, T> {
+    type Item = &'a mut T;
+
+    unsafe fn take(&self, i: usize) -> &'a mut T {
+        &mut *self.ptr.add(i)
+    }
+}
+
+/// Extension methods on shared slices, mirroring rayon's parallel slices.
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel iterator over `chunk_size`-element chunks (the final chunk
+    /// may be shorter). Panics when `chunk_size == 0`.
+    fn par_chunks(&self, chunk_size: usize) -> ParChunks<'_, T>;
+
+    /// Parallel iterator over the elements.
+    fn par_iter(&self) -> ParIter<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> ParChunks<'_, T> {
+        assert!(chunk_size != 0, "par_chunks: chunk size must be non-zero");
+        ParChunks {
+            slice: self,
+            size: chunk_size,
+        }
+    }
+
+    fn par_iter(&self) -> ParIter<'_, T> {
+        ParIter { slice: self }
     }
 }
 
 /// Extension methods on mutable slices, mirroring rayon's parallel slices.
-pub trait ParallelSliceMut<T> {
-    /// Sequential stand-in for `par_chunks_mut`.
-    fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel iterator over disjoint mutable `chunk_size`-element chunks.
+    /// Panics when `chunk_size == 0`.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T>;
 
-    /// Sequential stand-in for `par_iter_mut`.
-    fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T>;
+    /// Parallel iterator over disjoint mutable elements.
+    fn par_iter_mut(&mut self) -> ParIterMut<'_, T>;
 }
 
-impl<T> ParallelSliceMut<T> for [T] {
-    fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
-        self.chunks_mut(chunk_size)
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T> {
+        assert!(
+            chunk_size != 0,
+            "par_chunks_mut: chunk size must be non-zero"
+        );
+        ParChunksMut {
+            ptr: self.as_mut_ptr(),
+            len: self.len(),
+            size: chunk_size,
+            _lt: PhantomData,
+        }
     }
 
-    fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
-        self.iter_mut()
+    fn par_iter_mut(&mut self) -> ParIterMut<'_, T> {
+        ParIterMut {
+            ptr: self.as_mut_ptr(),
+            len: self.len(),
+            _lt: PhantomData,
+        }
     }
 }
 
-/// By-value conversion into a (sequential) "parallel" iterator.
+// ---------------------------------------------------------------------------
+// By-value sources: ranges and vectors.
+// ---------------------------------------------------------------------------
+
+/// By-value conversion into a parallel iterator.
 pub trait IntoParallelIterator {
     /// The iterator type produced.
-    type Iter: Iterator<Item = Self::Item>;
+    type Iter: ParallelIterator<Item = Self::Item>;
     /// The element type.
-    type Item;
+    type Item: Send;
 
-    /// Sequential stand-in for `into_par_iter`.
+    /// Convert into a parallel iterator over the pool.
     fn into_par_iter(self) -> Self::Iter;
 }
 
-impl<I: IntoIterator> IntoParallelIterator for I {
-    type Iter = I::IntoIter;
-    type Item = I::Item;
+/// Parallel iterator over an integer range.
+pub struct ParRange<T> {
+    start: T,
+    len: usize,
+}
 
-    fn into_par_iter(self) -> I::IntoIter {
-        self.into_iter()
+macro_rules! range_impl {
+    ($t:ty) => {
+        impl ParallelIterator for ParRange<$t> {
+            type Item = $t;
+            type Producer = Self;
+
+            fn len(&self) -> usize {
+                self.len
+            }
+
+            fn into_producer(self) -> Self {
+                self
+            }
+        }
+
+        impl Producer for ParRange<$t> {
+            type Item = $t;
+
+            unsafe fn take(&self, i: usize) -> $t {
+                self.start + i as $t
+            }
+        }
+
+        impl IntoParallelIterator for std::ops::Range<$t> {
+            type Iter = ParRange<$t>;
+            type Item = $t;
+
+            fn into_par_iter(self) -> ParRange<$t> {
+                let len = if self.end > self.start {
+                    (self.end - self.start) as usize
+                } else {
+                    0
+                };
+                ParRange {
+                    start: self.start,
+                    len,
+                }
+            }
+        }
+    };
+}
+
+range_impl!(usize);
+range_impl!(u32);
+range_impl!(u64);
+range_impl!(i32);
+range_impl!(i64);
+
+/// Parallel iterator owning a `Vec`'s elements.
+pub struct ParVec<T> {
+    vec: Vec<T>,
+}
+
+/// Producer for [`ParVec`]: moves each element out exactly once, then frees
+/// the (now element-less) allocation on drop. If a chunk panics, unclaimed
+/// elements leak rather than risking a double drop.
+pub struct VecProducer<T> {
+    buf: ManuallyDrop<Vec<T>>,
+}
+
+// SAFETY: disjoint claim-once reads of T: Send elements.
+unsafe impl<T: Send> Sync for VecProducer<T> {}
+
+impl<T: Send> ParallelIterator for ParVec<T> {
+    type Item = T;
+    type Producer = VecProducer<T>;
+
+    fn len(&self) -> usize {
+        self.vec.len()
+    }
+
+    fn into_producer(self) -> VecProducer<T> {
+        VecProducer {
+            buf: ManuallyDrop::new(self.vec),
+        }
     }
 }
 
-/// Builder for a (degenerate, single-thread) pool, mirroring
+impl<T: Send> Producer for VecProducer<T> {
+    type Item = T;
+
+    unsafe fn take(&self, i: usize) -> T {
+        std::ptr::read(self.buf.as_ptr().add(i))
+    }
+}
+
+impl<T> Drop for VecProducer<T> {
+    fn drop(&mut self) {
+        // SAFETY: elements were moved out by `take`; free the allocation
+        // without dropping them again.
+        unsafe {
+            let mut v = ManuallyDrop::take(&mut self.buf);
+            v.set_len(0);
+        }
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Iter = ParVec<T>;
+    type Item = T;
+
+    fn into_par_iter(self) -> ParVec<T> {
+        ParVec { vec: self }
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a [T] {
+    type Iter = ParIter<'a, T>;
+    type Item = &'a T;
+
+    fn into_par_iter(self) -> ParIter<'a, T> {
+        ParIter { slice: self }
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a Vec<T> {
+    type Iter = ParIter<'a, T>;
+    type Item = &'a T;
+
+    fn into_par_iter(self) -> ParIter<'a, T> {
+        ParIter { slice: self }
+    }
+}
+
+impl<'a, T: Send> IntoParallelIterator for &'a mut [T] {
+    type Iter = ParIterMut<'a, T>;
+    type Item = &'a mut T;
+
+    fn into_par_iter(self) -> ParIterMut<'a, T> {
+        ParIterMut {
+            ptr: self.as_mut_ptr(),
+            len: self.len(),
+            _lt: PhantomData,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pools.
+// ---------------------------------------------------------------------------
+
+/// Builder for a scoped-width pool view, mirroring
 /// `rayon::ThreadPoolBuilder`.
+///
+/// All pools share one global worker set (grown on demand); a built
+/// [`ThreadPool`] scopes the *effective width* of parallel operations run
+/// under [`ThreadPool::install`]. `num_threads(0)` (the default) means the
+/// global default width.
 #[derive(Debug, Default)]
 pub struct ThreadPoolBuilder {
     num_threads: usize,
@@ -81,64 +681,63 @@ pub struct ThreadPoolBuildError;
 
 impl std::fmt::Display for ThreadPoolBuildError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "thread pool build error (stub)")
+        write!(f, "thread pool build error")
     }
 }
 
 impl std::error::Error for ThreadPoolBuildError {}
 
 impl ThreadPoolBuilder {
-    /// A fresh builder.
+    /// A fresh builder (default width).
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Record the requested thread count (informational only — execution is
-    /// sequential in the stub).
+    /// Request a specific thread count (`0` = global default).
     pub fn num_threads(mut self, n: usize) -> Self {
         self.num_threads = n;
         self
     }
 
-    /// Build the pool; infallible in the stub.
+    /// Build the pool view; infallible.
     pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
         Ok(ThreadPool {
-            num_threads: self.num_threads.max(1),
+            num_threads: self.num_threads,
         })
     }
 }
 
-/// A degenerate pool that runs closures on the calling thread.
+/// A scoped-width view onto the global worker pool.
 #[derive(Debug)]
 pub struct ThreadPool {
     num_threads: usize,
 }
 
 impl ThreadPool {
-    /// Run `op` "inside" the pool (directly, on the current thread).
+    /// Run `op` with this pool's width in effect: parallel operations
+    /// (and nested ones on pool workers) use up to this many threads.
     pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
-        op()
+        pool::install_cap(self.num_threads, op)
     }
 
-    /// The configured thread count.
+    /// The effective thread count of this pool.
     pub fn current_num_threads(&self) -> usize {
-        self.num_threads
+        pool::resolve_cap(self.num_threads)
     }
-}
-
-/// The number of threads the (sequential) global pool uses: always 1.
-pub fn current_num_threads() -> usize {
-    1
 }
 
 /// Common imports, mirroring `rayon::prelude`.
 pub mod prelude {
-    pub use super::{IntoParallelIterator, ParallelSlice, ParallelSliceMut};
+    pub use super::{IntoParallelIterator, ParallelIterator, ParallelSlice, ParallelSliceMut};
 }
 
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use std::collections::HashSet;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+    use std::time::Duration;
 
     #[test]
     fn par_chunks_zip_matches_sequential() {
@@ -156,14 +755,163 @@ mod tests {
 
     #[test]
     fn into_par_iter_on_range_collects() {
-        let v: Vec<usize> = (0..5).into_par_iter().map(|i| i * i).collect();
+        let v: Vec<usize> = (0..5usize).into_par_iter().map(|i| i * i).collect();
         assert_eq!(v, vec![0, 1, 4, 9, 16]);
     }
 
     #[test]
     fn pool_install_runs_closure() {
-        let pool = super::ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let pool = super::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap();
         assert_eq!(pool.install(|| 6 * 7), 42);
         assert_eq!(pool.current_num_threads(), 4);
+        pool.install(|| assert_eq!(super::current_num_threads(), 4));
+    }
+
+    #[test]
+    fn work_actually_runs_on_multiple_threads() {
+        let pool = super::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap();
+        let ids = Mutex::new(HashSet::new());
+        pool.install(|| {
+            (0..16usize).into_par_iter().for_each(|_| {
+                ids.lock().unwrap().insert(std::thread::current().id());
+                std::thread::sleep(Duration::from_millis(5));
+            });
+        });
+        assert!(
+            ids.lock().unwrap().len() >= 2,
+            "expected at least two distinct worker threads, got {}",
+            ids.lock().unwrap().len()
+        );
+    }
+
+    #[test]
+    fn ordered_sum_is_bit_identical_at_every_width() {
+        // Awkward magnitudes so that association order matters in f64.
+        let data: Vec<f64> = (0..40_000)
+            .map(|i| ((i as f64) * 0.7).sin() * 1e10 + 1e-7 * i as f64)
+            .collect();
+        let reference: f64 = data.chunks(4096).map(|c| c.iter().sum::<f64>()).sum();
+        for t in [1usize, 2, 3, 4, 8] {
+            let pool = super::ThreadPoolBuilder::new()
+                .num_threads(t)
+                .build()
+                .unwrap();
+            let s: f64 = pool.install(|| {
+                data.par_chunks(4096)
+                    .map(|c| c.iter().sum::<f64>())
+                    .sum::<f64>()
+            });
+            assert_eq!(
+                s.to_bits(),
+                reference.to_bits(),
+                "sum diverged at {t} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn ordered_collect_preserves_index_order() {
+        let pool = super::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap();
+        let v: Vec<usize> = pool.install(|| (0..10_000usize).into_par_iter().map(|i| i).collect());
+        assert!(v.iter().enumerate().all(|(i, &x)| i == x));
+    }
+
+    #[test]
+    fn join_runs_both_and_returns_results() {
+        let pool = super::ThreadPoolBuilder::new()
+            .num_threads(2)
+            .build()
+            .unwrap();
+        let (a, b) = pool.install(|| super::join(|| 2 + 2, || "ok"));
+        assert_eq!(a, 4);
+        assert_eq!(b, "ok");
+    }
+
+    #[test]
+    fn nested_install_and_join_do_not_deadlock() {
+        let outer = super::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap();
+        let total: usize = outer.install(|| {
+            (0..8usize)
+                .into_par_iter()
+                .map(|i| {
+                    let inner = super::ThreadPoolBuilder::new()
+                        .num_threads(2)
+                        .build()
+                        .unwrap();
+                    let nested: usize =
+                        inner.install(|| (0..64usize).into_par_iter().map(|j| j + i).sum());
+                    let (x, y) = super::join(|| nested, || i * 3);
+                    x + y
+                })
+                .sum()
+        });
+        let want: usize = (0..8usize)
+            .map(|i| (0..64usize).map(|j| j + i).sum::<usize>() + i * 3)
+            .sum();
+        assert_eq!(total, want);
+    }
+
+    #[test]
+    fn panics_propagate_from_workers() {
+        let pool = super::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap();
+        let caught = std::panic::catch_unwind(|| {
+            pool.install(|| {
+                (0..64usize).into_par_iter().for_each(|i| {
+                    if i == 37 {
+                        panic!("chunk 37 exploded");
+                    }
+                });
+            });
+        });
+        assert!(caught.is_err(), "worker panic must reach the launcher");
+        // The pool must remain usable afterwards.
+        let v: Vec<usize> = pool.install(|| (0..100usize).into_par_iter().map(|i| i).collect());
+        assert_eq!(v.len(), 100);
+    }
+
+    #[test]
+    fn par_iter_mut_touches_every_element() {
+        let mut v = vec![1u64; 1000];
+        let counter = AtomicUsize::new(0);
+        let pool = super::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap();
+        pool.install(|| {
+            v.par_iter_mut().for_each(|x| {
+                *x += 1;
+                counter.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 1000);
+        assert!(v.iter().all(|&x| x == 2));
+    }
+
+    #[test]
+    fn vec_into_par_iter_moves_items() {
+        let v: Vec<String> = (0..100).map(|i| i.to_string()).collect();
+        let pool = super::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap();
+        let lens: Vec<usize> = pool.install(|| v.into_par_iter().map(|s| s.len()).collect());
+        assert_eq!(lens.len(), 100);
+        assert_eq!(lens[0], 1);
+        assert_eq!(lens[99], 2);
     }
 }

@@ -1,0 +1,365 @@
+//! The threaded runtime behind the `par_*` API: a lazily-spawned, long-lived
+//! worker pool fed through a shared injector, with chunk-dealing
+//! self-scheduling for load balance.
+//!
+//! # Execution model
+//!
+//! Every parallel operation is flattened into an indexed task set: `n`
+//! independent chunks, numbered `0..n`. Launching a set means
+//!
+//! 1. type-erasing the caller's `Fn(usize)` chunk body,
+//! 2. pushing up to `cap - 1` *helper tickets* (clones of one
+//!    [`Arc<TaskSet>`]) onto the global injector and waking idle workers,
+//! 3. the launching thread itself claiming chunks in a loop.
+//!
+//! Chunk claiming is a single `fetch_add` on the set's `next` cursor, so
+//! whichever thread is idle takes the next chunk — tail imbalance is
+//! absorbed automatically (a worker stuck on a slow chunk simply stops
+//! claiming while the others, and the launcher, drain the rest). Threads
+//! that finish their own set steal work from the injector while waiting for
+//! stragglers, so the pool stays busy across overlapping sets.
+//!
+//! # Determinism
+//!
+//! The scheduler never decides *what* a chunk computes — chunk boundaries
+//! are fixed by the caller (e.g. a fixed 4096-element reduction block), and
+//! ordered consumers (`sum`, `collect`) write each chunk's result into its
+//! own index slot and combine the slots in index order on the launching
+//! thread. Results are therefore bit-identical at every thread count,
+//! including the sequential `cap <= 1` fast path.
+//!
+//! # Deadlock freedom (nested parallelism)
+//!
+//! A launcher only ever blocks on chunks that were already *claimed*, and a
+//! claimed chunk is actively running on the thread that claimed it. Nested
+//! operations launched from inside a chunk follow the same rule — in the
+//! worst case (no idle worker ever picks up a ticket) the launching thread
+//! drains its whole set itself. There is no cyclic wait, so nested
+//! `install`/`join`/`par_*` calls cannot deadlock, at any pool width.
+//!
+//! # Safety of the lifetime erasure
+//!
+//! The chunk body borrows the caller's stack (producers, output slots). It
+//! is stored in the [`TaskSet`] as a `'static` reference obtained by
+//! transmute, which is sound because the borrow is only dereferenced after
+//! a successful claim (`next.fetch_add < total`), every successful claim
+//! happens before the matching completion is counted, and the launcher does
+//! not return before `completed == total`. Stale tickets popped after a set
+//! is drained fail the claim and never touch the pointer; the `Arc` keeps
+//! the counters themselves alive.
+
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Duration;
+
+/// One launched parallel operation: `total` chunks claimed through `next`.
+pub(crate) struct TaskSet {
+    /// Type-erased chunk body; see the module docs for the safety argument
+    /// behind the faked `'static` lifetime.
+    work: &'static (dyn Fn(usize) + Sync),
+    /// Shared cursor: the next unclaimed chunk index.
+    next: AtomicUsize,
+    /// Total number of chunks.
+    total: usize,
+    /// Number of chunks that finished running.
+    completed: AtomicUsize,
+    /// Thread cap the set was launched under; helpers adopt it so nested
+    /// parallel operations see the installing pool's width.
+    cap: usize,
+    /// Completion latch for the launcher.
+    done: Mutex<bool>,
+    done_cv: Condvar,
+    /// First panic observed in any chunk, rethrown on the launcher.
+    panic: Mutex<Option<Box<dyn std::any::Any + Send + 'static>>>,
+}
+
+impl TaskSet {
+    fn new(work: &(dyn Fn(usize) + Sync), total: usize, cap: usize) -> Arc<TaskSet> {
+        // SAFETY: lifetime erasure; sound per the module-level argument
+        // (dereference only behind successful claims, launcher blocks until
+        // all claims have completed).
+        let work: &'static (dyn Fn(usize) + Sync) =
+            unsafe { std::mem::transmute::<&(dyn Fn(usize) + Sync), _>(work) };
+        Arc::new(TaskSet {
+            work,
+            next: AtomicUsize::new(0),
+            total,
+            completed: AtomicUsize::new(0),
+            cap,
+            done: Mutex::new(false),
+            done_cv: Condvar::new(),
+            panic: Mutex::new(None),
+        })
+    }
+
+    fn is_done(&self) -> bool {
+        self.completed.load(Ordering::SeqCst) >= self.total
+    }
+}
+
+/// Claim and run one chunk; `false` when the set has no unclaimed chunks.
+fn run_one(set: &TaskSet) -> bool {
+    let i = set.next.fetch_add(1, Ordering::SeqCst);
+    if i >= set.total {
+        return false;
+    }
+    let result = catch_unwind(AssertUnwindSafe(|| (set.work)(i)));
+    if let Err(payload) = result {
+        let mut slot = set.panic.lock().unwrap();
+        if slot.is_none() {
+            *slot = Some(payload);
+        }
+    }
+    if set.completed.fetch_add(1, Ordering::SeqCst) + 1 == set.total {
+        let mut done = set.done.lock().unwrap();
+        *done = true;
+        set.done_cv.notify_all();
+    }
+    true
+}
+
+/// The global worker registry: injector queue plus lazily-spawned workers.
+pub(crate) struct Registry {
+    injector: Mutex<VecDeque<Arc<TaskSet>>>,
+    work_cv: Condvar,
+    spawned: Mutex<usize>,
+}
+
+impl Registry {
+    fn new() -> Registry {
+        Registry {
+            injector: Mutex::new(VecDeque::new()),
+            work_cv: Condvar::new(),
+            spawned: Mutex::new(0),
+        }
+    }
+
+    /// Push `copies` helper tickets for `set` and wake idle workers.
+    fn inject(&self, set: &Arc<TaskSet>, copies: usize) {
+        let mut q = self.injector.lock().unwrap();
+        for _ in 0..copies {
+            q.push_back(set.clone());
+        }
+        drop(q);
+        if copies <= 1 {
+            self.work_cv.notify_one();
+        } else {
+            self.work_cv.notify_all();
+        }
+    }
+
+    fn try_pop(&self) -> Option<Arc<TaskSet>> {
+        self.injector.lock().unwrap().pop_front()
+    }
+
+    fn pop_blocking(&self) -> Arc<TaskSet> {
+        let mut q = self.injector.lock().unwrap();
+        loop {
+            if let Some(set) = q.pop_front() {
+                return set;
+            }
+            q = self.work_cv.wait(q).unwrap();
+        }
+    }
+
+    /// Make sure at least `target` worker threads exist. Spawn failures
+    /// degrade gracefully: the launcher can always drain its set alone.
+    fn ensure_workers(&'static self, target: usize) {
+        let mut count = self.spawned.lock().unwrap();
+        while *count < target {
+            let name = format!("qpinn-rayon-{}", *count);
+            let spawn = std::thread::Builder::new()
+                .name(name)
+                .spawn(move || worker_loop(self));
+            if spawn.is_err() {
+                break;
+            }
+            *count += 1;
+        }
+    }
+}
+
+fn worker_loop(reg: &'static Registry) {
+    loop {
+        let set = reg.pop_blocking();
+        with_cap(set.cap, || while run_one(&set) {});
+    }
+}
+
+static REGISTRY: OnceLock<Registry> = OnceLock::new();
+
+fn registry() -> &'static Registry {
+    REGISTRY.get_or_init(Registry::new)
+}
+
+static DEFAULT_CAP: OnceLock<usize> = OnceLock::new();
+
+/// The default thread cap: `RAYON_NUM_THREADS` when set to a positive
+/// integer, otherwise [`std::thread::available_parallelism`].
+fn default_cap() -> usize {
+    *DEFAULT_CAP.get_or_init(|| {
+        match std::env::var("RAYON_NUM_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+        {
+            Some(n) if n >= 1 => n,
+            _ => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        }
+    })
+}
+
+thread_local! {
+    /// Per-thread cap override installed by `ThreadPool::install` (and by
+    /// workers for the duration of each ticket they run).
+    static CAP_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// The thread cap in effect on the current thread.
+pub(crate) fn current_cap() -> usize {
+    CAP_OVERRIDE
+        .with(|c| c.get())
+        .unwrap_or_else(default_cap)
+}
+
+/// Run `f` with the cap overridden to `cap`, restoring on exit (including
+/// on unwind).
+pub(crate) fn with_cap<R>(cap: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<usize>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            CAP_OVERRIDE.with(|c| c.set(self.0));
+        }
+    }
+    let _restore = Restore(CAP_OVERRIDE.with(|c| c.replace(Some(cap))));
+    f()
+}
+
+/// `ThreadPool::install`: resolve the requested width, make sure the
+/// workers exist, and run `op` under that cap.
+pub(crate) fn install_cap<R>(cap: usize, op: impl FnOnce() -> R) -> R {
+    let cap = if cap == 0 { default_cap() } else { cap };
+    if cap > 1 {
+        registry().ensure_workers(cap - 1);
+    }
+    with_cap(cap, op)
+}
+
+/// Resolve a builder-requested thread count (0 = default).
+pub(crate) fn resolve_cap(requested: usize) -> usize {
+    if requested == 0 {
+        default_cap()
+    } else {
+        requested
+    }
+}
+
+/// Block until `set` completes, stealing other queued work while waiting.
+fn wait_until_done(reg: &Registry, set: &TaskSet) {
+    loop {
+        if set.is_done() {
+            return;
+        }
+        if let Some(other) = reg.try_pop() {
+            // Steal one chunk at a time so we notice our own completion
+            // promptly even when helping a long-running foreign set.
+            with_cap(other.cap, || {
+                let _ = run_one(&other);
+            });
+            continue;
+        }
+        let guard = set.done.lock().unwrap();
+        if *guard {
+            return;
+        }
+        let _ = set
+            .done_cv
+            .wait_timeout(guard, Duration::from_millis(1))
+            .unwrap();
+    }
+}
+
+/// Run `work(i)` for every `i in 0..n`, in parallel up to the current cap.
+///
+/// The sequential fast path (`cap <= 1` or a single chunk) runs chunks in
+/// index order on the calling thread; because ordered consumers combine
+/// per-chunk results in index order regardless of scheduling, both paths
+/// produce bit-identical results.
+pub(crate) fn parallel_for(n: usize, work: &(dyn Fn(usize) + Sync)) {
+    if n == 0 {
+        return;
+    }
+    let cap = current_cap();
+    if cap <= 1 || n == 1 {
+        for i in 0..n {
+            work(i);
+        }
+        return;
+    }
+    let reg = registry();
+    reg.ensure_workers(cap - 1);
+    let set = TaskSet::new(work, n, cap);
+    let helpers = (cap - 1).min(n - 1);
+    reg.inject(&set, helpers);
+    while run_one(&set) {}
+    wait_until_done(reg, &set);
+    let payload = set.panic.lock().unwrap().take();
+    if let Some(payload) = payload {
+        resume_unwind(payload);
+    }
+}
+
+/// `rayon::join`: run `a` on the calling thread while offering `b` to the
+/// pool; if no worker claims `b` first, the calling thread runs it too.
+pub(crate) fn join_impl<A, RA, B, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let cap = current_cap();
+    if cap <= 1 {
+        let ra = a();
+        let rb = b();
+        return (ra, rb);
+    }
+    let reg = registry();
+    reg.ensure_workers(cap - 1);
+    let b_slot: Mutex<Option<B>> = Mutex::new(Some(b));
+    let r_slot: Mutex<Option<RB>> = Mutex::new(None);
+    let work = |_i: usize| {
+        let f = b_slot
+            .lock()
+            .unwrap()
+            .take()
+            .expect("join task claimed exactly once");
+        let r = f();
+        *r_slot.lock().unwrap() = Some(r);
+    };
+    let work_ref: &(dyn Fn(usize) + Sync) = &work;
+    let set = TaskSet::new(work_ref, 1, cap);
+    reg.inject(&set, 1);
+    // Run `a` here; catch so an unwind cannot race the borrow of `b_slot`
+    // still reachable from the injected ticket.
+    let ra = catch_unwind(AssertUnwindSafe(a));
+    while run_one(&set) {}
+    wait_until_done(reg, &set);
+    if let Some(payload) = set.panic.lock().unwrap().take() {
+        resume_unwind(payload);
+    }
+    let ra = match ra {
+        Ok(v) => v,
+        Err(payload) => resume_unwind(payload),
+    };
+    let rb = r_slot
+        .lock()
+        .unwrap()
+        .take()
+        .expect("join closure ran to completion");
+    (ra, rb)
+}
