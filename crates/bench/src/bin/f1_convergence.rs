@@ -17,7 +17,7 @@ fn main() {
     banner("F1", "convergence trajectories (NLS benchmark)", &opts);
 
     let problem = NlsProblem::raissi_benchmark();
-    let epochs = opts.pick(800, 8000);
+    let epochs = opts.pick_epochs(800, 8000);
     let mut cfg = NlsTaskConfig::standard(&problem, opts.pick(24, 64), opts.pick(3, 4));
     cfg.n_collocation = opts.pick(384, 4096);
     cfg.reference = (256, opts.pick(600, 2000), 32);
@@ -38,6 +38,7 @@ fn main() {
         clip: Some(100.0),
         lbfgs_polish: None,
         checkpoint: None,
+        divergence: None,
     })
     .train(&mut task, &mut params);
 

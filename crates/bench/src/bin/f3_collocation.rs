@@ -19,7 +19,7 @@ fn main() {
     } else {
         vec![128, 256, 512, 1024]
     };
-    let epochs = opts.pick(300, 3000);
+    let epochs = opts.pick_epochs(300, 3000);
     let cfg_train = standard_train(epochs);
 
     let mut table = TextTable::new(&["N collocation", "rel-L2 (mean±std)", "s/run"]);

@@ -24,7 +24,7 @@ fn main() {
     let mut params = ParamSet::new();
     let mut rng = StdRng::seed_from_u64(100);
     let mut task = NlsTask::new(problem, &cfg, &mut params, &mut rng);
-    let epochs = opts.pick(5000, 20000);
+    let epochs = opts.pick_epochs(5000, 20000);
     let ckpt_dir = opts.ckpt.as_ref().map(|root| root.join("flagship_nls"));
     let trainer = Trainer::new(TrainConfig {
         epochs,
@@ -42,6 +42,9 @@ fn main() {
                 .every((epochs / 10).max(1))
                 .run_id("flagship_nls")
         }),
+        // Unattended flagship runs are long; bail out early if the loss
+        // explodes instead of polishing a diverged run with L-BFGS.
+        divergence: Some(qpinn_core::DivergenceGuard::default()),
     });
     // With --ckpt, pick up an interrupted run from its newest intact
     // snapshot instead of starting over.

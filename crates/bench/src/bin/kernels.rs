@@ -132,6 +132,30 @@ fn main() {
     }
     println!("{}", table.render());
 
+    // Work-stealing balance over the whole run: a healthy pool shows tasks
+    // spread evenly across workers with steals well below tasks.
+    let stats = rayon::pool_stats();
+    let mut pool_table = TextTable::new(&["worker", "tasks", "steals", "idle waits"]);
+    for (i, w) in stats.workers.iter().enumerate() {
+        pool_table.row(&[
+            format!("{i}"),
+            format!("{}", w.tasks),
+            format!("{}", w.steals),
+            format!("{}", w.idle_waits),
+        ]);
+    }
+    pool_table.row(&[
+        "launcher".into(),
+        format!("{}", stats.launcher_tasks),
+        format!("{}", stats.launcher_steals),
+        "-".into(),
+    ]);
+    println!(
+        "pool activity ({} parallel set(s) launched):\n{}",
+        stats.sets_launched,
+        pool_table.render()
+    );
+
     save(
         "kernels",
         &Json::obj(vec![

@@ -19,7 +19,7 @@ fn main() {
         &opts,
     );
 
-    let epochs = opts.pick(1000, 6000);
+    let epochs = opts.pick_epochs(1000, 6000);
     let n_coll = opts.pick(512, 4096);
     let (w, d) = (opts.pick(24, 64), opts.pick(3, 4));
     let cfg_train = standard_train(epochs);

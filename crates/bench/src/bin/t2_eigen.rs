@@ -18,7 +18,7 @@ fn main() {
     banner("T2", "eigenvalue accuracy with deflation", &opts);
 
     let n_states = opts.pick(3, 4);
-    let epochs = opts.pick(1200, 5000);
+    let epochs = opts.pick_epochs(1200, 5000);
     let train = TrainConfig {
         epochs,
         schedule: LrSchedule::Step {
@@ -31,6 +31,7 @@ fn main() {
         clip: Some(100.0),
         lbfgs_polish: Some(opts.pick(60, 150)),
         checkpoint: None,
+        divergence: None,
     };
 
     let mut table = TextTable::new(&["problem", "state", "E_pinn", "E_ref", "|ΔE|", "ψ rel-L2"]);

@@ -19,7 +19,7 @@ fn main() {
         vec![16, 24, 32]
     };
     let depths = if opts.full { vec![2usize, 4, 6] } else { vec![2, 3] };
-    let epochs = opts.pick(400, 4000);
+    let epochs = opts.pick_epochs(400, 4000);
     let cfg_train = standard_train(epochs);
     let problem = TdseProblem::free_packet();
 

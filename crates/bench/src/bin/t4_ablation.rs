@@ -56,7 +56,7 @@ fn main() {
     let opts = RunOpts::from_args();
     banner("T4", "feature & loss ablation", &opts);
 
-    let epochs = opts.pick(600, 5000);
+    let epochs = opts.pick_epochs(600, 5000);
     let cfg_train = standard_train(epochs);
     let (w, d) = (opts.pick(24, 64), opts.pick(3, 4));
 

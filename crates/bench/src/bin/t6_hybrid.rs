@@ -30,6 +30,7 @@ fn train_cfg(epochs: usize) -> TrainConfig {
         clip: Some(50.0),
         lbfgs_polish: None,
         checkpoint: None,
+        divergence: None,
     }
 }
 
@@ -80,7 +81,7 @@ fn main() {
         &opts,
     );
     let problem = EigenProblem::harmonic(1.0);
-    let epochs = opts.pick(400, 2000);
+    let epochs = opts.pick_epochs(400, 2000);
     let n_coll = opts.pick(48, 128);
     let hidden = opts.pick(10, 16);
     let nq = opts.pick(3, 4);

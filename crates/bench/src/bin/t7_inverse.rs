@@ -21,7 +21,7 @@ fn main() {
     );
 
     let problem = TdseProblem::mild_harmonic(); // hidden truth: ω = 1
-    let epochs = opts.pick(2000, 8000);
+    let epochs = opts.pick_epochs(2000, 8000);
     let mut table = TextTable::new(&["ω₀ (init)", "noise", "ω recovered", "|Δω|", "s/run"]);
     let mut records = Vec::new();
 
@@ -61,6 +61,7 @@ fn main() {
             clip: Some(100.0),
             lbfgs_polish: None,
             checkpoint: None,
+            divergence: None,
         })
         .train(&mut task, &mut params);
         let omega = task.omega(&params);

@@ -11,6 +11,7 @@
 #![deny(missing_docs)]
 
 use qpinn_core::report::Json;
+use qpinn_telemetry as telemetry;
 
 /// Harness-wide run options parsed from the command line.
 #[derive(Clone, Debug)]
@@ -23,10 +24,21 @@ pub struct RunOpts {
     /// write crash-safe snapshots under it (one subdirectory per run) and
     /// resume-capable binaries pick up from the newest intact snapshot.
     pub ckpt: Option<std::path::PathBuf>,
+    /// Telemetry JSONL output path (`--telemetry PATH`). When set,
+    /// [`RunOpts::from_args`] installs a JSONL file sink (every span,
+    /// metric flush, mark, and warning as one JSON object per line) plus a
+    /// stderr sink for warnings, and [`save`] writes a final metrics
+    /// snapshot next to the experiment record.
+    pub telemetry: Option<std::path::PathBuf>,
+    /// Epoch budget override (`--epochs N`), applied by
+    /// [`RunOpts::pick_epochs`] over both quick and full defaults. Sized
+    /// for CI smoke runs that need a real binary to finish in seconds.
+    pub epochs: Option<usize>,
 }
 
 impl RunOpts {
-    /// Parse from `std::env::args`.
+    /// Parse from `std::env::args`. Installs telemetry sinks as a side
+    /// effect when `--telemetry PATH` is present.
     pub fn from_args() -> Self {
         let args: Vec<String> = std::env::args().collect();
         let full = args.iter().any(|a| a == "--full");
@@ -41,10 +53,34 @@ impl RunOpts {
             .position(|a| a == "--ckpt")
             .and_then(|i| args.get(i + 1))
             .map(std::path::PathBuf::from);
+        let telemetry_path = args
+            .iter()
+            .position(|a| a == "--telemetry")
+            .and_then(|i| args.get(i + 1))
+            .map(std::path::PathBuf::from);
+        let epochs = args
+            .iter()
+            .position(|a| a == "--epochs")
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse().ok());
+        if let Some(path) = &telemetry_path {
+            match telemetry::JsonlSink::create(path) {
+                Ok(sink) => {
+                    telemetry::install(std::sync::Arc::new(sink));
+                    telemetry::install(std::sync::Arc::new(telemetry::StderrSink));
+                }
+                Err(e) => eprintln!(
+                    "warning: cannot open telemetry sink {}: {e}; continuing without",
+                    path.display()
+                ),
+            }
+        }
         RunOpts {
             full,
             n_seeds,
             ckpt,
+            telemetry: telemetry_path,
+            epochs,
         }
     }
 
@@ -61,6 +97,12 @@ impl RunOpts {
             quick
         }
     }
+
+    /// Like [`RunOpts::pick`] for epoch budgets, but a `--epochs N`
+    /// override wins over both.
+    pub fn pick_epochs(&self, quick: usize, full: usize) -> usize {
+        self.epochs.unwrap_or_else(|| self.pick(quick, full))
+    }
 }
 
 /// Print the standard experiment banner.
@@ -72,14 +114,33 @@ pub fn banner(id: &str, title: &str, opts: &RunOpts) {
         if opts.full { "full" } else { "quick" },
         opts.n_seeds
     );
+    if let Some(p) = &opts.telemetry {
+        println!("telemetry: {}", p.display());
+    }
     println!("==========================================================");
 }
 
-/// Persist the experiment record and report the path.
+/// Persist the experiment record and report the path. With telemetry
+/// enabled, also samples the pool counters into the event stream, writes
+/// the final metrics-registry snapshot to
+/// `target/experiments/<id>.metrics.json`, and flushes all sinks.
 pub fn save(id: &str, value: &Json) {
     match qpinn_core::report::write_experiment_json(id, value) {
         Ok(p) => println!("\n[written {}]", p.display()),
         Err(e) => eprintln!("\n[could not write record: {e}]"),
+    }
+    if telemetry::enabled() {
+        qpinn_core::obs::emit_pool_stats(id);
+        let snap = telemetry::global().snapshot();
+        telemetry::emit(snap.to_event("final_metrics"));
+        let path = std::path::Path::new("target")
+            .join("experiments")
+            .join(format!("{id}.metrics.json"));
+        match std::fs::write(&path, snap.to_json()) {
+            Ok(()) => println!("[metrics snapshot {}]", path.display()),
+            Err(e) => eprintln!("[could not write metrics snapshot: {e}]"),
+        }
+        telemetry::flush();
     }
 }
 
@@ -100,6 +161,9 @@ pub fn standard_train(epochs: usize) -> qpinn_core::TrainConfig {
         // convergence lever at fixed budget (see EXPERIMENTS.md).
         lbfgs_polish: Some((epochs / 10).clamp(50, 200)),
         checkpoint: None,
+        // Bench runs are unattended: stop runs whose loss has exploded
+        // rather than burning the rest of the budget.
+        divergence: Some(qpinn_core::DivergenceGuard::default()),
     }
 }
 
@@ -113,14 +177,34 @@ mod tests {
             full: false,
             n_seeds: 2,
             ckpt: None,
+            telemetry: None,
+            epochs: None,
         };
         let full = RunOpts {
             full: true,
             n_seeds: 5,
             ckpt: None,
+            telemetry: None,
+            epochs: None,
         };
         assert_eq!(quick.pick(1, 10), 1);
         assert_eq!(full.pick(1, 10), 10);
         assert_eq!(quick.seeds(), vec![100, 101]);
+    }
+
+    #[test]
+    fn epochs_override_beats_mode() {
+        let mut opts = RunOpts {
+            full: false,
+            n_seeds: 2,
+            ckpt: None,
+            telemetry: None,
+            epochs: None,
+        };
+        assert_eq!(opts.pick_epochs(100, 1000), 100);
+        opts.full = true;
+        assert_eq!(opts.pick_epochs(100, 1000), 1000);
+        opts.epochs = Some(7);
+        assert_eq!(opts.pick_epochs(100, 1000), 7);
     }
 }

@@ -133,6 +133,7 @@ mod tests {
             clip: None,
             lbfgs_polish: None,
             checkpoint: None,
+            divergence: None,
         };
         let runs = run_seeds(&[1, 2, 3, 4], &cfg, |seed| {
             let mut rng = StdRng::seed_from_u64(seed);
@@ -170,6 +171,7 @@ mod tests {
                 checkpoint: Some(
                     CheckpointConfig::new(base_for_cfg.join(format!("seed-{seed}"))).every(20),
                 ),
+                divergence: None,
             },
             |seed| {
                 let mut rng = StdRng::seed_from_u64(seed);

@@ -27,13 +27,14 @@ pub mod hybrid;
 pub mod loss;
 pub mod metrics;
 pub mod model;
+pub mod obs;
 pub mod report;
 pub mod residual;
 pub mod task;
 pub mod trainer;
 
 pub use model::{CoordSpec, FieldNet, FieldNetConfig};
-pub use trainer::{CheckpointConfig, PinnTask, TrainConfig, TrainLog, Trainer};
+pub use trainer::{CheckpointConfig, DivergenceGuard, PinnTask, TrainConfig, TrainLog, Trainer};
 
 #[cfg(test)]
 mod proptests;

@@ -99,6 +99,51 @@ impl Json {
         Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
     }
 
+    /// Parse a JSON document (the inverse of [`Json::to_string`]).
+    ///
+    /// A strict recursive-descent parser covering the subset this crate
+    /// and `qpinn-telemetry` emit: null/true/false, f64 numbers, strings
+    /// with `\"` `\\` `\/` `\n` `\t` `\r` `\b` `\f` and `\uXXXX` escapes
+    /// (surrogate pairs included), arrays, and objects. Rejects trailing
+    /// garbage. Used by tests and CI to validate every emitted line.
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let mut p = Parser {
+            chars: text.chars().collect(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.chars.len() {
+            return Err(format!("trailing characters at offset {}", p.pos));
+        }
+        Ok(v)
+    }
+
+    /// Object field lookup (first match); `None` on non-objects.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The number value, if this is a finite number.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
     /// Array of numbers.
     pub fn nums(v: &[f64]) -> Json {
         Json::Arr(v.iter().map(|&x| Json::Num(x)).collect())
@@ -160,6 +205,200 @@ impl Json {
                     v.write(out);
                 }
                 out.push('}');
+            }
+        }
+    }
+}
+
+/// Recursive-descent state for [`Json::parse`].
+struct Parser {
+    chars: Vec<char>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Result<char, String> {
+        let c = self
+            .peek()
+            .ok_or_else(|| format!("unexpected end of input at offset {}", self.pos))?;
+        self.pos += 1;
+        Ok(c)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(' ' | '\t' | '\n' | '\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, want: char) -> Result<(), String> {
+        let got = self.bump()?;
+        if got != want {
+            return Err(format!(
+                "expected '{want}' at offset {}, found '{got}'",
+                self.pos - 1
+            ));
+        }
+        Ok(())
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        for want in word.chars() {
+            self.expect(want)?;
+        }
+        Ok(value)
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some('n') => self.literal("null", Json::Null),
+            Some('t') => self.literal("true", Json::Bool(true)),
+            Some('f') => self.literal("false", Json::Bool(false)),
+            Some('"') => Ok(Json::Str(self.string()?)),
+            Some('[') => self.array(),
+            Some('{') => self.object(),
+            Some(c) if c == '-' || c.is_ascii_digit() => self.number(),
+            Some(c) => Err(format!("unexpected '{c}' at offset {}", self.pos)),
+            None => Err(format!("unexpected end of input at offset {}", self.pos)),
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some('-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.peek() == Some('.') {
+            self.pos += 1;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some('e' | 'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some('+' | '-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text: String = self.chars[start..self.pos].iter().collect();
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|e| format!("bad number '{text}' at offset {start}: {e}"))
+    }
+
+    fn hex4(&mut self) -> Result<u32, String> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let c = self.bump()?;
+            let d = c
+                .to_digit(16)
+                .ok_or_else(|| format!("bad hex digit '{c}' at offset {}", self.pos - 1))?;
+            v = v * 16 + d;
+        }
+        Ok(v)
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect('"')?;
+        let mut out = String::new();
+        loop {
+            match self.bump()? {
+                '"' => return Ok(out),
+                '\\' => match self.bump()? {
+                    '"' => out.push('"'),
+                    '\\' => out.push('\\'),
+                    '/' => out.push('/'),
+                    'n' => out.push('\n'),
+                    't' => out.push('\t'),
+                    'r' => out.push('\r'),
+                    'b' => out.push('\u{8}'),
+                    'f' => out.push('\u{c}'),
+                    'u' => {
+                        let hi = self.hex4()?;
+                        let code = if (0xD800..0xDC00).contains(&hi) {
+                            // Surrogate pair: a second \uXXXX must follow.
+                            self.expect('\\')?;
+                            self.expect('u')?;
+                            let lo = self.hex4()?;
+                            if !(0xDC00..0xE000).contains(&lo) {
+                                return Err(format!(
+                                    "bad low surrogate {lo:#x} at offset {}",
+                                    self.pos
+                                ));
+                            }
+                            0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                        } else {
+                            hi
+                        };
+                        out.push(
+                            char::from_u32(code)
+                                .ok_or_else(|| format!("bad code point {code:#x}"))?,
+                        );
+                    }
+                    c => return Err(format!("bad escape '\\{c}' at offset {}", self.pos - 1)),
+                },
+                c if (c as u32) < 0x20 => {
+                    return Err(format!(
+                        "unescaped control character at offset {}",
+                        self.pos - 1
+                    ))
+                }
+                c => out.push(c),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect('[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.bump()? {
+                ',' => continue,
+                ']' => return Ok(Json::Arr(items)),
+                c => return Err(format!("expected ',' or ']' at offset {}, found '{c}'", self.pos - 1)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect('{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some('}') {
+            self.pos += 1;
+            return Ok(Json::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(':')?;
+            self.skip_ws();
+            let val = self.value()?;
+            pairs.push((key, val));
+            self.skip_ws();
+            match self.bump()? {
+                ',' => continue,
+                '}' => return Ok(Json::Obj(pairs)),
+                c => return Err(format!("expected ',' or '}}' at offset {}, found '{c}'", self.pos - 1)),
             }
         }
     }
@@ -227,6 +466,88 @@ mod tests {
     #[test]
     fn mean_std_format() {
         assert_eq!(mean_std(0.00123, 0.0004), "1.230e-3 ± 4.0e-4");
+    }
+
+    #[test]
+    fn table_column_widths_follow_longest_cell() {
+        let mut t = TextTable::new(&["k", "very-long-header"]);
+        t.row(&["longest-cell-in-column".into(), "v".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        // Header, separator, one row — all the same display width.
+        assert_eq!(lines.len(), 3);
+        let w = lines[0].chars().count();
+        assert_eq!(lines[1].chars().count(), w);
+        assert_eq!(lines[2].chars().count(), w);
+        // Separator is all dashes.
+        assert!(lines[1].chars().all(|c| c == '-'));
+    }
+
+    #[test]
+    #[should_panic(expected = "column count")]
+    fn too_many_cells_panics() {
+        let mut t = TextTable::new(&["a", "b"]);
+        t.row(&["1".into(), "2".into(), "3".into()]);
+    }
+
+    #[test]
+    fn parse_round_trips_writer_output() {
+        let j = Json::obj(vec![
+            ("name", Json::Str("t1 \"quoted\" \\ \n\t\u{1}".into())),
+            ("errors", Json::nums(&[0.5, 1.25, -3e-7])),
+            ("ok", Json::Bool(true)),
+            ("missing", Json::Null),
+            (
+                "nested",
+                Json::obj(vec![("inner", Json::Arr(vec![Json::Num(1.0), Json::Null]))]),
+            ),
+        ]);
+        let text = j.to_string();
+        let back = Json::parse(&text).unwrap();
+        assert_eq!(back, j);
+        // And the round-trip is a fixed point.
+        assert_eq!(back.to_string(), text);
+    }
+
+    #[test]
+    fn parse_handles_whitespace_and_unicode_escapes() {
+        let j = Json::parse(" { \"a\" : [ 1 , \"\\u00e9\\u0041\" ] , \"b\" : null } ").unwrap();
+        assert_eq!(j.get("a").unwrap(), &Json::Arr(vec![
+            Json::Num(1.0),
+            Json::Str("éA".into()),
+        ]));
+        assert_eq!(j.get("b"), Some(&Json::Null));
+        // Surrogate pair → astral code point.
+        assert_eq!(
+            Json::parse(r#""😀""#).unwrap(),
+            Json::Str("😀".into())
+        );
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        assert!(Json::parse("").is_err());
+        assert!(Json::parse("{").is_err());
+        assert!(Json::parse("[1,]").is_err());
+        assert!(Json::parse("{\"a\":1} extra").is_err());
+        assert!(Json::parse("\"unterminated").is_err());
+        assert!(Json::parse("nul").is_err());
+        assert!(Json::parse("1.2.3").is_err());
+        assert!(Json::parse("\"bad \\x escape\"").is_err());
+    }
+
+    #[test]
+    fn parse_accepts_metrics_snapshot_format() {
+        // The exact shape qpinn-telemetry's MetricsSnapshot::to_json
+        // emits; CI parses these files with this parser.
+        let text = r#"{"schema":"qpinn-metrics-v1","counters":{"train.grad_evals":12},"gauges":{"pool.sets_launched":3.5},"histograms":{"span.epoch_ns":{"count":12,"sum":240,"max":30,"mean":20,"p50":16,"p99":30}}}"#;
+        let j = Json::parse(text).unwrap();
+        assert_eq!(
+            j.get("schema").and_then(Json::as_str),
+            Some("qpinn-metrics-v1")
+        );
+        let hist = j.get("histograms").and_then(|h| h.get("span.epoch_ns")).unwrap();
+        assert_eq!(hist.get("count").and_then(Json::as_num), Some(12.0));
     }
 }
 

@@ -292,6 +292,7 @@ mod tests {
             clip: Some(100.0),
             lbfgs_polish: Some(80),
             checkpoint: None,
+            divergence: None,
         });
         let _log = trainer.train(&mut task, &mut params);
         let e = task.energy(&params);

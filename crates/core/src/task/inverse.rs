@@ -261,6 +261,7 @@ mod tests {
             clip: Some(100.0),
             lbfgs_polish: None,
             checkpoint: None,
+            divergence: None,
         })
         .train(&mut task, &mut params);
         let e1 = task.eval_error(&params);

@@ -159,10 +159,19 @@ impl NlsTask {
 
 impl PinnTask for NlsTask {
     fn build_loss(&mut self, ctx: &mut GraphCtx<'_>) -> Var {
-        let xcol = ctx.g.constant(Tensor::column(&self.xs));
-        let tcol = ctx.g.constant(Tensor::column(&self.ts));
-        let out = self.net.forward_jet(ctx, &[xcol, tcol]);
-        let psi = split_complex(ctx.g, &out);
+        let (xcol, tcol) = {
+            let _span = qpinn_telemetry::span("sample");
+            qpinn_telemetry::counter("train.collocation_points").add(self.xs.len() as u64);
+            let xcol = ctx.g.constant(Tensor::column(&self.xs));
+            let tcol = ctx.g.constant(Tensor::column(&self.ts));
+            (xcol, tcol)
+        };
+        let psi = {
+            let _span = qpinn_telemetry::span("forward");
+            let out = self.net.forward_jet(ctx, &[xcol, tcol]);
+            split_complex(ctx.g, &out)
+        };
+        let residual_span = qpinn_telemetry::span("residual");
         let (ru, rv) = nls_residuals(ctx.g, &psi, self.problem.g);
 
         let wvar = match &mut self.causal {
@@ -183,6 +192,7 @@ impl PinnTask for NlsTask {
         let lu = loss::residual_mse(ctx.g, ru, wvar);
         let lv = loss::residual_mse(ctx.g, rv, wvar);
         let lpde = ctx.g.add(lu, lv);
+        drop(residual_span);
 
         let icx = ctx.g.constant(self.ic_cols.0.clone());
         let ict = ctx.g.constant(self.ic_cols.1.clone());
@@ -266,6 +276,7 @@ mod tests {
             clip: Some(100.0),
             lbfgs_polish: None,
             checkpoint: None,
+            divergence: None,
         });
         let log = trainer.train(&mut task, &mut params);
         assert!(log.final_loss < log.loss[0]);

@@ -186,10 +186,19 @@ impl TdseTask {
 impl PinnTask for TdseTask {
     fn build_loss(&mut self, ctx: &mut GraphCtx<'_>) -> Var {
         // PDE residuals with jets.
-        let xcol = ctx.g.constant(Tensor::column(&self.xs));
-        let tcol = ctx.g.constant(Tensor::column(&self.ts));
-        let out = self.net.forward_jet(ctx, &[xcol, tcol]);
-        let psi = split_complex(ctx.g, &out);
+        let (xcol, tcol) = {
+            let _span = qpinn_telemetry::span("sample");
+            qpinn_telemetry::counter("train.collocation_points").add(self.xs.len() as u64);
+            let xcol = ctx.g.constant(Tensor::column(&self.xs));
+            let tcol = ctx.g.constant(Tensor::column(&self.ts));
+            (xcol, tcol)
+        };
+        let psi = {
+            let _span = qpinn_telemetry::span("forward");
+            let out = self.net.forward_jet(ctx, &[xcol, tcol]);
+            split_complex(ctx.g, &out)
+        };
+        let residual_span = qpinn_telemetry::span("residual");
         let vpot = ctx.g.constant(self.potential_col.clone());
         let (ru, rv) = tdse_residuals(ctx.g, &psi, vpot);
 
@@ -213,6 +222,7 @@ impl PinnTask for TdseTask {
         let lu = loss::residual_mse(ctx.g, ru, wvar);
         let lv = loss::residual_mse(ctx.g, rv, wvar);
         let lpde = ctx.g.add(lu, lv);
+        drop(residual_span);
 
         // Initial condition.
         let icx = ctx.g.constant(self.ic_cols.0.clone());
@@ -314,6 +324,7 @@ mod tests {
             clip: Some(100.0),
             lbfgs_polish: None,
             checkpoint: None,
+            divergence: None,
         });
         let log = trainer.train(&mut task, &mut params);
         assert!(

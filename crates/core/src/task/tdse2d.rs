@@ -318,6 +318,7 @@ mod tests {
             clip: Some(100.0),
             lbfgs_polish: None,
             checkpoint: None,
+            divergence: None,
         })
         .train(&mut task, &mut params);
         assert!(log.final_loss < log.loss[0], "loss did not drop");

@@ -1,11 +1,26 @@
 //! The training loop: Adam with a learning-rate schedule, optional global
-//! gradient clipping, trajectory logging, optional L-BFGS polishing, and
-//! periodic crash-safe checkpointing with bit-exact resume.
+//! gradient clipping, trajectory logging, optional L-BFGS polishing,
+//! periodic crash-safe checkpointing with bit-exact resume, and a
+//! divergence guard that stops hopeless runs early.
+//!
+//! # Observability
+//!
+//! Every epoch runs under a telemetry `epoch` span with nested phase
+//! spans — `loss` (the task may nest `sample`/`forward`/`residual`
+//! inside), `backward`, `step`, `eval`, `checkpoint` — so a JSONL sink
+//! reconstructs exactly where each epoch's time went. Progress marks at
+//! `log_every` intervals carry loss/grad-norm/lr, `pool_stats` events
+//! report work-stealing balance, and anything that would previously have
+//! been a bare `eprintln!` (unwritable checkpoint dir, failed save,
+//! non-finite loss) is both emitted as a `warn` event and surfaced in
+//! [`TrainLog::warnings`]. All of it is dormant (one atomic load per
+//! span) unless a sink is installed.
 
 use qpinn_autodiff::Graph;
 use qpinn_nn::{GraphCtx, ParamSet};
 use qpinn_optim::{clip, Adam, Lbfgs, LbfgsConfig, LrSchedule, Optimizer};
 use qpinn_persist::{RetentionPolicy, RunMeta, Snapshot, SnapshotStore, TrainLogRecord};
+use qpinn_telemetry as telemetry;
 use std::path::PathBuf;
 use std::time::Instant;
 
@@ -76,6 +91,31 @@ impl CheckpointConfig {
     }
 }
 
+/// Early-stop guard against diverging runs: rather than burning the full
+/// epoch budget on a run whose loss has exploded, stop once the loss has
+/// been non-finite or more than `factor` × its running minimum for
+/// `patience` consecutive log intervals.
+///
+/// Off by default in [`TrainConfig`] (library users may want the full
+/// trajectory); the bench harness turns it on.
+#[derive(Clone, Copy, Debug)]
+pub struct DivergenceGuard {
+    /// Loss divergence threshold relative to the running minimum.
+    pub factor: f64,
+    /// Consecutive bad log intervals tolerated before stopping (values of
+    /// 0 are treated as 1).
+    pub patience: usize,
+}
+
+impl Default for DivergenceGuard {
+    fn default() -> Self {
+        DivergenceGuard {
+            factor: 1e3,
+            patience: 3,
+        }
+    }
+}
+
 /// Training hyperparameters.
 #[derive(Clone, Debug)]
 pub struct TrainConfig {
@@ -94,6 +134,9 @@ pub struct TrainConfig {
     pub lbfgs_polish: Option<usize>,
     /// Optional periodic checkpointing. `None` trains without artifacts.
     pub checkpoint: Option<CheckpointConfig>,
+    /// Optional early stop on divergence (checked at `log_every`
+    /// intervals). `None` always runs the full budget.
+    pub divergence: Option<DivergenceGuard>,
 }
 
 impl Default for TrainConfig {
@@ -113,6 +156,7 @@ impl Default for TrainConfig {
             clip: Some(1e3),
             lbfgs_polish: None,
             checkpoint: None,
+            divergence: None,
         }
     }
 }
@@ -136,6 +180,14 @@ pub struct TrainLog {
     pub final_loss: f64,
     /// Final evaluation error.
     pub final_error: f64,
+    /// True when the divergence guard stopped the run early.
+    pub diverged: bool,
+    /// Epoch the run stopped at, when it stopped before `cfg.epochs`.
+    pub stop_epoch: Option<usize>,
+    /// Human-readable warnings raised during this run (unwritable
+    /// checkpoint directory, failed snapshot saves, non-finite losses).
+    /// Run-transient: not persisted into checkpoints.
+    pub warnings: Vec<String>,
 }
 
 /// Drives a [`PinnTask`] to convergence.
@@ -158,10 +210,19 @@ impl Trainer {
     ) -> (f64, Vec<qpinn_tensor::Tensor>) {
         let mut g = Graph::new();
         let mut ctx = GraphCtx::new(&mut g, params);
-        let loss = task.build_loss(&mut ctx);
-        let loss_val = ctx.g.value(loss).item();
-        let mut grads = ctx.g.backward(loss);
-        let collected = ctx.collect_grads(&mut grads);
+        let (loss, loss_val) = {
+            // Tasks nest their own sample/forward/residual spans here.
+            let _span = telemetry::span("loss");
+            let loss = task.build_loss(&mut ctx);
+            let loss_val = ctx.g.value(loss).item();
+            (loss, loss_val)
+        };
+        let collected = {
+            let _span = telemetry::span("backward");
+            let mut grads = ctx.g.backward(loss);
+            ctx.collect_grads(&mut grads)
+        };
+        grad_evals().inc();
         (loss_val, collected)
     }
 
@@ -190,7 +251,7 @@ impl Trainer {
         params: &mut ParamSet,
     ) -> qpinn_persist::Result<TrainLog> {
         let store = SnapshotStore::open(dir)?;
-        let (snap, _path) = store.load_latest()?;
+        let (snap, path) = store.load_latest()?;
         *params = snap.params;
         task.import_state(&snap.task_state);
         let opt = Adam::from_state(snap.optim);
@@ -201,6 +262,10 @@ impl Trainer {
             ))
         })?;
         let log = record_to_log(&snap.log);
+        telemetry::mark("resumed", |e| {
+            e.field("start_epoch", start_epoch)
+                .field("path", path.display().to_string())
+        });
         Ok(self.train_segment(task, params, start_epoch, opt, log))
     }
 
@@ -218,9 +283,24 @@ impl Trainer {
         let start = Instant::now();
         let prior_wall = log.wall_s;
         let store = self.cfg.checkpoint.as_ref().and_then(|c| {
-            SnapshotStore::open(&c.dir)
-                .map_err(|e| eprintln!("warning: cannot open checkpoint dir: {e}"))
-                .ok()
+            match SnapshotStore::open(&c.dir) {
+                Ok(s) => Some(s),
+                Err(e) => {
+                    // The run continues without checkpoints; make that
+                    // impossible to miss: a warn event for sinks, a line
+                    // on stderr, and a record in the returned log.
+                    let msg = telemetry::warn(
+                        "checkpoint_dir_unavailable",
+                        format!(
+                            "cannot open checkpoint dir {}: {e}; continuing WITHOUT checkpoints",
+                            c.dir.display()
+                        ),
+                    );
+                    eprintln!("warning: {msg}");
+                    log.warnings.push(msg);
+                    None
+                }
+            }
         });
         // A resumed segment that has nothing left to do must still report
         // the loss the run ended on.
@@ -229,10 +309,28 @@ impl Trainer {
         } else {
             log.final_loss
         };
+        // Divergence-guard state: running finite minimum of the loss and
+        // the number of consecutive bad log intervals.
+        let mut min_loss = f64::INFINITY;
+        let mut bad_intervals = 0usize;
+        let mut warned_non_finite = false;
         for epoch in start_epoch..self.cfg.epochs {
-            opt.set_lr(self.cfg.schedule.at(epoch));
+            let mut epoch_span = telemetry::span("epoch");
+            epoch_span.field("epoch", epoch);
+            let lr = self.cfg.schedule.at(epoch);
+            opt.set_lr(lr);
             let (loss_val, mut grads) = Self::loss_and_grads(task, params);
             last_loss = loss_val;
+            if loss_val.is_finite() {
+                min_loss = min_loss.min(loss_val);
+            } else if !warned_non_finite {
+                warned_non_finite = true;
+                let msg = telemetry::warn(
+                    "non_finite_loss",
+                    format!("loss became non-finite at epoch {epoch}"),
+                );
+                log.warnings.push(msg);
+            }
             let gnorm = match self.cfg.clip {
                 Some(c) => clip::clip_global_norm(&mut grads, c),
                 None => clip::global_norm(&grads),
@@ -241,15 +339,48 @@ impl Trainer {
                 log.epochs.push(epoch);
                 log.loss.push(loss_val);
                 log.grad_norm.push(gnorm);
+                telemetry::mark("train_progress", |e| {
+                    e.field("epoch", epoch)
+                        .field("loss", loss_val)
+                        .field("grad_norm", gnorm)
+                        .field("lr", lr)
+                });
+                if let Some(guard) = &self.cfg.divergence {
+                    let bad = !loss_val.is_finite()
+                        || (min_loss.is_finite() && loss_val > guard.factor * min_loss);
+                    bad_intervals = if bad { bad_intervals + 1 } else { 0 };
+                    if bad_intervals >= guard.patience.max(1) {
+                        telemetry::mark("diverged", |e| {
+                            e.field("epoch", epoch)
+                                .field("loss", loss_val)
+                                .field("min_loss", min_loss)
+                                .field("bad_intervals", bad_intervals)
+                        });
+                        let msg = format!(
+                            "diverged at epoch {epoch}: loss {loss_val:.3e} vs min {min_loss:.3e} \
+                             for {bad_intervals} consecutive log intervals; stopping early"
+                        );
+                        eprintln!("warning: {msg}");
+                        log.warnings.push(msg);
+                        log.diverged = true;
+                        log.stop_epoch = Some(epoch);
+                        break;
+                    }
+                }
             }
             if self.cfg.eval_every > 0 && epoch % self.cfg.eval_every == 0 {
+                let _span = telemetry::span("eval");
                 log.eval_epochs.push(epoch);
                 log.error.push(task.eval_error(params));
             }
-            opt.step(params.tensors_mut(), &grads);
+            {
+                let _span = telemetry::span("step");
+                opt.step(params.tensors_mut(), &grads);
+            }
             if let (Some(ckpt), Some(store)) = (&self.cfg.checkpoint, &store) {
                 let next_epoch = epoch + 1;
                 if next_epoch % ckpt.every.max(1) == 0 || next_epoch == self.cfg.epochs {
+                    let _span = telemetry::span("checkpoint");
                     let mut saved_log = log.clone();
                     saved_log.wall_s = prior_wall + start.elapsed().as_secs_f64();
                     saved_log.final_loss = last_loss;
@@ -267,11 +398,15 @@ impl Trainer {
                         task_state: task.export_state(),
                     };
                     if let Err(e) = store.save(&snap, &ckpt.retention) {
-                        eprintln!("warning: checkpoint save failed: {e}");
+                        let msg =
+                            telemetry::warn("checkpoint_save_failed", format!("checkpoint save failed: {e}"));
+                        eprintln!("warning: {msg}");
+                        log.warnings.push(msg);
                     }
                 }
             }
         }
+        crate::obs::emit_pool_stats("train_segment");
 
         if let Some(max_iters) = self.cfg.lbfgs_polish {
             let x0 = params.flatten();
@@ -306,6 +441,14 @@ impl Trainer {
     }
 }
 
+/// Cached handle for the `train.grad_evals` counter so the per-epoch hot
+/// path pays one relaxed atomic add, not a registry map lookup.
+fn grad_evals() -> &'static std::sync::Arc<telemetry::Counter> {
+    static CTR: std::sync::OnceLock<std::sync::Arc<telemetry::Counter>> =
+        std::sync::OnceLock::new();
+    CTR.get_or_init(|| telemetry::counter("train.grad_evals"))
+}
+
 /// Lossless conversion into the persist crate's plain-data log mirror.
 fn log_to_record(log: &TrainLog) -> TrainLogRecord {
     TrainLogRecord {
@@ -331,6 +474,11 @@ fn record_to_log(rec: &TrainLogRecord) -> TrainLog {
         wall_s: rec.wall_s,
         final_loss: rec.final_loss,
         final_error: rec.final_error,
+        // Run-transient fields are deliberately not persisted; a resumed
+        // run starts with a clean slate for them.
+        diverged: false,
+        stop_epoch: None,
+        warnings: Vec::new(),
     }
 }
 
@@ -397,6 +545,7 @@ mod tests {
             clip: None,
             lbfgs_polish: None,
             checkpoint: None,
+            divergence: None,
         });
         let log = trainer.train(&mut task, &mut params);
         assert!(log.final_error < 1e-3, "err {}", log.final_error);
@@ -415,6 +564,7 @@ mod tests {
             clip: None,
             lbfgs_polish: Some(50),
             checkpoint: None,
+            divergence: None,
         });
         let log = trainer.train(&mut task, &mut params);
         assert!(log.final_error < 1e-8, "err {}", log.final_error);
@@ -432,6 +582,7 @@ mod tests {
             clip: Some(1.0),
             lbfgs_polish: None,
             checkpoint: None,
+            divergence: None,
         });
         let log = trainer.train(&mut task, &mut params);
         // pre-clip norms are recorded; the *updates* were clipped, so the

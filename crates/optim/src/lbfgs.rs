@@ -97,6 +97,10 @@ impl Lbfgs {
     ) -> LbfgsResult {
         let n = x0.len();
         let cfg = &self.cfg;
+        // Resolved once: registry lookup takes a mutex, the per-iteration
+        // updates below are lock-free atomic adds.
+        let iters_ctr = qpinn_telemetry::counter("optim.lbfgs.iters");
+        let ls_ctr = qpinn_telemetry::counter("optim.lbfgs.line_search_evals");
         let mut x = x0;
         let (mut fx, mut gx) = f(&x);
         let mut s_hist: Vec<Vec<f64>> = Vec::new();
@@ -236,6 +240,9 @@ impl Lbfgs {
                     }
                 }
             }
+
+            iters_ctr.inc();
+            ls_ctr.add(ls_evals as u64);
 
             let Some((x_new, f_new, g_new)) = accepted else {
                 return LbfgsResult {

@@ -86,6 +86,7 @@ impl SnapshotStore {
     ///
     /// Returns the path of the finished snapshot file.
     pub fn save(&self, snap: &Snapshot, policy: &RetentionPolicy) -> Result<PathBuf> {
+        let _span = qpinn_telemetry::span("checkpoint_write");
         let bytes = snap.encode();
         let final_path = self.dir.join(Self::file_name(snap.meta.next_epoch));
         let tmp_path = final_path.with_extension("tmp");
@@ -103,6 +104,14 @@ impl SnapshotStore {
             let _ = d.sync_all();
         }
         self.apply_retention(policy)?;
+        qpinn_telemetry::counter("persist.checkpoint.writes").inc();
+        qpinn_telemetry::counter("persist.checkpoint.bytes").add(bytes.len() as u64);
+        qpinn_telemetry::mark("checkpoint_saved", |e| {
+            e.field("next_epoch", snap.meta.next_epoch)
+                .field("bytes", bytes.len())
+                .field("eval_error", snap.meta.eval_error)
+                .field("path", final_path.display().to_string())
+        });
         Ok(final_path)
     }
 
@@ -115,13 +124,26 @@ impl SnapshotStore {
     pub fn load_latest(&self) -> Result<(Snapshot, PathBuf)> {
         let mut corrupt_skipped = 0usize;
         for (_, path) in self.list().into_iter().rev() {
-            match fs::read(&path) {
+            let err = match fs::read(&path) {
                 Ok(bytes) => match Snapshot::decode(&bytes) {
-                    Ok(snap) => return Ok((snap, path)),
-                    Err(_) => corrupt_skipped += 1,
+                    Ok(snap) => {
+                        if corrupt_skipped > 0 {
+                            qpinn_telemetry::mark("checkpoint_fallback_used", |e| {
+                                e.field("corrupt_skipped", corrupt_skipped)
+                                    .field("path", path.display().to_string())
+                            });
+                        }
+                        return Ok((snap, path));
+                    }
+                    Err(e) => e.to_string(),
                 },
-                Err(_) => corrupt_skipped += 1,
-            }
+                Err(e) => e.to_string(),
+            };
+            corrupt_skipped += 1;
+            qpinn_telemetry::warn(
+                "checkpoint_corrupt_skipped",
+                format!("{}: {err}", path.display()),
+            );
         }
         Err(PersistError::NoIntactSnapshot {
             dir: self.dir.display().to_string(),

@@ -1,0 +1,244 @@
+//! The global metrics registry: named counters, gauges, and histograms,
+//! interned once and shared by reference afterwards.
+//!
+//! Lookup takes a short mutex on a name map; the returned handles are
+//! `Arc`s whose updates are lock-free, so hot paths should look a metric
+//! up once and hold the handle rather than re-resolving per update.
+
+use crate::event::{write_json_str, Event, Kind, Value};
+use crate::metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// A process-wide named-metric table.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+/// The global registry used by the convenience free functions.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::default)
+}
+
+/// Shorthand: `global()` counter lookup.
+pub fn counter(name: &str) -> Arc<Counter> {
+    global().counter(name)
+}
+
+/// Shorthand: `global()` gauge lookup.
+pub fn gauge(name: &str) -> Arc<Gauge> {
+    global().gauge(name)
+}
+
+/// Shorthand: `global()` histogram lookup.
+pub fn histogram(name: &str) -> Arc<Histogram> {
+    global().histogram(name)
+}
+
+impl Registry {
+    /// Get or create the counter `name`.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut map = self.counters.lock().unwrap();
+        map.entry(name.to_string()).or_default().clone()
+    }
+
+    /// Get or create the gauge `name`.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut map = self.gauges.lock().unwrap();
+        map.entry(name.to_string()).or_default().clone()
+    }
+
+    /// Get or create the histogram `name`.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut map = self.histograms.lock().unwrap();
+        map.entry(name.to_string()).or_default().clone()
+    }
+
+    /// A point-in-time copy of every registered metric.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let counters = self
+            .counters
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect();
+        let gauges = self
+            .gauges
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect();
+        let histograms = self
+            .histograms
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.snapshot()))
+            .collect();
+        MetricsSnapshot {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+
+    /// Zero every registered metric (per-run isolation in tests and
+    /// benches; the names stay registered).
+    pub fn reset(&self) {
+        for c in self.counters.lock().unwrap().values() {
+            c.reset();
+        }
+        for g in self.gauges.lock().unwrap().values() {
+            g.reset();
+        }
+        for h in self.histograms.lock().unwrap().values() {
+            h.reset();
+        }
+    }
+}
+
+/// A point-in-time copy of a [`Registry`].
+#[derive(Clone, Debug, Default)]
+pub struct MetricsSnapshot {
+    /// Counter values by name.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge values by name.
+    pub gauges: Vec<(String, f64)>,
+    /// Histogram contents by name.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+impl MetricsSnapshot {
+    /// Value of a named counter, if present.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Serialize as a standalone JSON object (the final per-run metrics
+    /// file format): histograms report count/sum/max/mean/p50/p99 rather
+    /// than raw buckets.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\"schema\":\"qpinn-metrics-v1\",\"counters\":{");
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            write_json_str(&mut s, k);
+            let _ = write!(s, ":{v}");
+        }
+        s.push_str("},\"gauges\":{");
+        for (i, (k, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            write_json_str(&mut s, k);
+            if v.is_finite() {
+                let _ = write!(s, ":{v}");
+            } else {
+                s.push_str(":null");
+            }
+        }
+        s.push_str("},\"histograms\":{");
+        for (i, (k, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            write_json_str(&mut s, k);
+            let _ = write!(
+                s,
+                ":{{\"count\":{},\"sum\":{},\"max\":{},\"mean\":{},\"p50\":{},\"p99\":{}}}",
+                h.count,
+                h.sum,
+                h.max,
+                h.mean(),
+                h.quantile(0.5),
+                h.quantile(0.99)
+            );
+        }
+        s.push_str("}}");
+        s
+    }
+
+    /// Flatten into a single [`Event`] (kind `metrics`) for sinks:
+    /// counters and gauges become fields, histograms contribute
+    /// `<name>.mean_ns` and `<name>.count`.
+    pub fn to_event(&self, name: &str) -> Event {
+        let mut e = Event::new(Kind::Metrics, name);
+        for (k, v) in &self.counters {
+            e.fields.push((k.clone(), Value::U64(*v)));
+        }
+        for (k, v) in &self.gauges {
+            e.fields.push((k.clone(), Value::F64(*v)));
+        }
+        for (k, h) in &self.histograms {
+            e.fields.push((format!("{k}.count"), Value::U64(h.count)));
+            e.fields.push((format!("{k}.mean_ns"), Value::F64(h.mean())));
+        }
+        e
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_name_same_metric() {
+        let r = Registry::default();
+        r.counter("a").add(1);
+        r.counter("a").add(2);
+        assert_eq!(r.counter("a").get(), 3);
+    }
+
+    #[test]
+    fn snapshot_lists_all_kinds_sorted() {
+        let r = Registry::default();
+        r.counter("z.count").add(7);
+        r.counter("a.count").add(1);
+        r.gauge("g").set(2.5);
+        r.histogram("h").record(8);
+        let s = r.snapshot();
+        assert_eq!(
+            s.counters,
+            vec![("a.count".into(), 1), ("z.count".into(), 7)]
+        );
+        assert_eq!(s.gauges, vec![("g".into(), 2.5)]);
+        assert_eq!(s.histograms.len(), 1);
+        assert_eq!(s.counter("z.count"), Some(7));
+        assert_eq!(s.counter("missing"), None);
+    }
+
+    #[test]
+    fn reset_zeroes_but_keeps_names() {
+        let r = Registry::default();
+        r.counter("c").add(5);
+        r.histogram("h").record(10);
+        r.reset();
+        let s = r.snapshot();
+        assert_eq!(s.counter("c"), Some(0));
+        assert_eq!(s.histograms[0].1.count, 0);
+    }
+
+    #[test]
+    fn snapshot_json_is_object_shaped() {
+        let r = Registry::default();
+        r.counter("train.grad_evals").add(3);
+        r.gauge("loss").set(0.5);
+        r.histogram("phase.step_ns").record(1024);
+        let j = r.snapshot().to_json();
+        assert!(j.starts_with("{\"schema\":\"qpinn-metrics-v1\""));
+        assert!(j.contains("\"train.grad_evals\":3"));
+        assert!(j.contains("\"loss\":0.5"));
+        assert!(j.contains("\"phase.step_ns\":{\"count\":1"));
+    }
+}

@@ -1,0 +1,199 @@
+//! Pluggable event sinks and the global dispatch path.
+//!
+//! `emit` is the single funnel every event goes through. When no sink is
+//! installed the whole layer is dormant: [`enabled`] is one relaxed
+//! atomic load, and instrumented code is expected to check it before
+//! building an [`Event`] (spans do this internally).
+
+use crate::event::{Event, Kind, SCHEMA_VERSION};
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
+
+/// Receives every emitted [`Event`]. Implementations must be cheap and
+/// non-blocking where possible; they are called on the emitting thread.
+pub trait Sink: Send + Sync {
+    /// Handle one event.
+    fn record(&self, event: &Event);
+    /// Flush buffered output (end of run, before process exit).
+    fn flush(&self) {}
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+fn sinks() -> &'static RwLock<Vec<Arc<dyn Sink>>> {
+    static SINKS: OnceLock<RwLock<Vec<Arc<dyn Sink>>>> = OnceLock::new();
+    SINKS.get_or_init(|| RwLock::new(Vec::new()))
+}
+
+/// True when at least one sink is installed. Instrumentation gates event
+/// construction on this, so a telemetry-off run pays one atomic load per
+/// potential event.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Install a sink; events emitted from now on reach it.
+pub fn install(sink: Arc<dyn Sink>) {
+    let mut v = sinks().write().unwrap();
+    v.push(sink);
+    ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Remove every installed sink (flushing them first). Used by tests and
+/// at the end of bench runs to make telemetry dormant again.
+pub fn shutdown() {
+    let mut v = sinks().write().unwrap();
+    for s in v.iter() {
+        s.flush();
+    }
+    v.clear();
+    ENABLED.store(false, Ordering::Relaxed);
+}
+
+/// Dispatch one event to every installed sink.
+pub fn emit(event: Event) {
+    if !enabled() {
+        return;
+    }
+    let v = sinks().read().unwrap();
+    for s in v.iter() {
+        s.record(&event);
+    }
+}
+
+/// Flush every installed sink.
+pub fn flush() {
+    let v = sinks().read().unwrap();
+    for s in v.iter() {
+        s.flush();
+    }
+}
+
+/// Line-buffered JSONL file sink: one event per line, prefixed by a
+/// `telemetry_start` mark carrying the schema version so a reader can
+/// validate compatibility before parsing the stream.
+pub struct JsonlSink {
+    path: PathBuf,
+    w: Mutex<BufWriter<File>>,
+}
+
+impl JsonlSink {
+    /// Create (truncating) the JSONL file at `path` and write the header
+    /// mark.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let file = File::create(&path)?;
+        let sink = JsonlSink {
+            path,
+            w: Mutex::new(BufWriter::new(file)),
+        };
+        let header = Event::new(Kind::Mark, "telemetry_start")
+            .field("schema", SCHEMA_VERSION)
+            .field("pid", std::process::id() as u64);
+        sink.record(&header);
+        Ok(sink)
+    }
+
+    /// The file this sink writes to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Sink for JsonlSink {
+    fn record(&self, event: &Event) {
+        let line = event.to_json_line();
+        let mut w = self.w.lock().unwrap();
+        // Best-effort: a full disk must not kill the training run.
+        let _ = w.write_all(line.as_bytes());
+        let _ = w.write_all(b"\n");
+    }
+
+    fn flush(&self) {
+        let _ = self.w.lock().unwrap().flush();
+    }
+}
+
+/// Human-readable progress sink: prints warns and marks to stderr and
+/// stays quiet about high-volume span/metrics events, so a long run shows
+/// checkpoints, divergence, and anomalies without drowning the console.
+pub struct StderrSink;
+
+impl Sink for StderrSink {
+    fn record(&self, event: &Event) {
+        match event.kind {
+            Kind::Warn | Kind::Mark => {
+                let mut msg = format!(
+                    "[telemetry {} {:.3}s] {}",
+                    event.kind.as_str(),
+                    event.ts_ns as f64 / 1e9,
+                    event.name
+                );
+                for (k, v) in &event.fields {
+                    use crate::event::Value;
+                    match v {
+                        Value::U64(x) => msg.push_str(&format!(" {k}={x}")),
+                        Value::I64(x) => msg.push_str(&format!(" {k}={x}")),
+                        Value::F64(x) => msg.push_str(&format!(" {k}={x:.4e}")),
+                        Value::Str(s) => msg.push_str(&format!(" {k}={s:?}")),
+                        Value::Bool(b) => msg.push_str(&format!(" {k}={b}")),
+                    }
+                }
+                eprintln!("{msg}");
+            }
+            Kind::Span | Kind::Metrics => {}
+        }
+    }
+}
+
+/// A sink that buffers events in memory; test helper for asserting what
+/// was emitted.
+#[derive(Default)]
+pub struct MemorySink {
+    /// Recorded events, in emission order.
+    pub events: Mutex<Vec<Event>>,
+}
+
+impl Sink for MemorySink {
+    fn record(&self, event: &Event) {
+        self.events.lock().unwrap().push(event.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jsonl_sink_writes_header_then_events() {
+        let path = std::env::temp_dir().join(format!("qpinn-tel-sink-{}.jsonl", std::process::id()));
+        let sink = JsonlSink::create(&path).unwrap();
+        sink.record(&Event::new(Kind::Mark, "m1").field("x", 1u64));
+        sink.flush();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("telemetry_start"));
+        assert!(lines[0].contains("\"schema\":1"));
+        assert!(lines[1].contains("\"name\":\"m1\""));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn emit_without_sinks_is_a_noop() {
+        let _guard = crate::test_lock();
+        shutdown();
+        assert!(!enabled());
+        // Must not panic or touch sink state.
+        emit(Event::new(Kind::Mark, "nobody-listening"));
+    }
+}

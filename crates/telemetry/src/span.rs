@@ -1,0 +1,147 @@
+//! RAII span timers with a thread-local span stack.
+//!
+//! `span("epoch")` starts a timed region that ends when the guard drops.
+//! Nested spans build a `/`-separated path (`epoch/forward`), recorded in
+//! the emitted event so a reader can reconstruct the tree without ids.
+//! Every completed span also feeds a registry histogram named
+//! `span.<name>_ns`, so phase accounting survives into the final metrics
+//! snapshot even when only aggregate numbers are wanted.
+//!
+//! When no sink is installed ([`crate::sink::enabled`] is false) a span is
+//! a single atomic load — no clock read, no allocation — keeping
+//! instrumented hot paths within the observability overhead budget.
+
+use crate::event::{Event, Kind, Value};
+use crate::registry;
+use crate::sink;
+use std::cell::RefCell;
+use std::time::Instant;
+
+thread_local! {
+    static SPAN_STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+/// A live timed region; completes (and emits) on drop.
+pub struct SpanGuard {
+    start: Option<Instant>,
+    name: &'static str,
+    fields: Vec<(String, Value)>,
+}
+
+/// Start a span named `name`. Dropping the guard records the duration.
+///
+/// Span names must be `'static` so the thread-local stack stays
+/// allocation-free; dynamic context belongs in fields
+/// ([`SpanGuard::field`]).
+#[inline]
+pub fn span(name: &'static str) -> SpanGuard {
+    if !sink::enabled() {
+        return SpanGuard {
+            start: None,
+            name,
+            fields: Vec::new(),
+        };
+    }
+    SPAN_STACK.with(|s| s.borrow_mut().push(name));
+    SpanGuard {
+        start: Some(Instant::now()),
+        name,
+        fields: Vec::new(),
+    }
+}
+
+impl SpanGuard {
+    /// Attach a field to the completion event (no-op when dormant).
+    pub fn field(&mut self, key: impl Into<String>, value: impl Into<Value>) -> &mut Self {
+        if self.start.is_some() {
+            self.fields.push((key.into(), value.into()));
+        }
+        self
+    }
+
+    /// True when the span is actually timing (a sink is installed).
+    pub fn is_live(&self) -> bool {
+        self.start.is_some()
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(start) = self.start else {
+            return;
+        };
+        let dur_ns = start.elapsed().as_nanos() as u64;
+        let path = SPAN_STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            let path = stack.join("/");
+            // Pop our own frame; tolerate a foreign top if a guard was
+            // moved across threads (path then reflects the drop site).
+            if stack.last() == Some(&self.name) {
+                stack.pop();
+            }
+            path
+        });
+        registry::histogram(&format!("span.{}_ns", self.name)).record(dur_ns);
+        let mut e = Event::new(Kind::Span, self.name)
+            .field("path", path)
+            .field("dur_ns", dur_ns);
+        e.fields.append(&mut self.fields);
+        sink::emit(e);
+    }
+}
+
+/// Current nesting depth on this thread (diagnostics/tests).
+pub fn depth() -> usize {
+    SPAN_STACK.with(|s| s.borrow().len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::MemorySink;
+    use crate::test_lock;
+    use std::sync::Arc;
+
+    #[test]
+    fn dormant_span_is_free_and_stackless() {
+        let _guard = test_lock();
+        crate::sink::shutdown();
+        {
+            let s = span("outer");
+            assert!(!s.is_live());
+            assert_eq!(depth(), 0);
+        }
+    }
+
+    #[test]
+    fn nested_spans_record_paths_and_histograms() {
+        let _guard = test_lock();
+        let mem = Arc::new(MemorySink::default());
+        crate::sink::install(mem.clone());
+        {
+            let mut outer = span("epoch");
+            outer.field("epoch", 3u64);
+            {
+                let _inner = span("forward");
+                assert_eq!(depth(), 2);
+            }
+        }
+        crate::sink::shutdown();
+        let events = mem.events.lock().unwrap();
+        assert_eq!(events.len(), 2, "{events:?}");
+        // Inner drops first.
+        assert_eq!(events[0].name, "forward");
+        assert!(events[0]
+            .fields
+            .iter()
+            .any(|(k, v)| k == "path" && *v == Value::Str("epoch/forward".into())));
+        assert_eq!(events[1].name, "epoch");
+        assert!(events[1]
+            .fields
+            .iter()
+            .any(|(k, v)| k == "path" && *v == Value::Str("epoch".into())));
+        assert!(events[1].fields.iter().any(|(k, _)| k == "epoch"));
+        assert!(registry::histogram("span.forward_ns").snapshot().count >= 1);
+        assert_eq!(depth(), 0);
+    }
+}

@@ -31,6 +31,7 @@ fn main() {
         clip: Some(100.0),
         lbfgs_polish: Some(80),
         checkpoint: None,
+        divergence: None,
     };
 
     let mut prev_states = Vec::new();

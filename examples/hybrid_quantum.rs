@@ -62,6 +62,7 @@ fn main() {
         clip: Some(50.0),
         lbfgs_polish: None,
         checkpoint: None,
+        divergence: None,
     })
     .train(&mut task, &mut params);
     for (e, l) in log.epochs.iter().zip(&log.loss) {

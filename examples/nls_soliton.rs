@@ -44,6 +44,7 @@ fn main() {
         clip: Some(100.0),
         lbfgs_polish: None,
         checkpoint: None,
+        divergence: None,
     })
     .train(&mut task, &mut params);
     println!(

@@ -47,6 +47,7 @@ fn main() {
         clip: Some(100.0),
         lbfgs_polish: None,
         checkpoint: None,
+        divergence: None,
     });
     let log = trainer.train(&mut task, &mut params);
     for (e, l) in log.epochs.iter().zip(&log.loss) {

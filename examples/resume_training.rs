@@ -35,6 +35,7 @@ fn config(ckpt_dir: &std::path::Path) -> TrainConfig {
                 .every(SAVE_EVERY)
                 .run_id("resume-demo"),
         ),
+        divergence: None,
     }
 }
 

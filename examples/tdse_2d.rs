@@ -46,6 +46,7 @@ fn main() {
         clip: Some(100.0),
         lbfgs_polish: Some(60),
         checkpoint: None,
+        divergence: None,
     })
     .train(&mut task, &mut params);
     println!("loss: {}", sparkline_log(&log.loss));

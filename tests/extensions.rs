@@ -32,6 +32,7 @@ fn tdse2d_trains_and_respects_double_periodicity() {
         clip: Some(100.0),
         lbfgs_polish: None,
         checkpoint: None,
+        divergence: None,
     })
     .train(&mut task, &mut params);
     assert!(log.final_loss < log.loss[0], "2D loss did not drop");

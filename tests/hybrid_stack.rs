@@ -35,6 +35,7 @@ fn hybrid_training_lowers_the_rayleigh_quotient() {
         clip: Some(50.0),
         lbfgs_polish: None,
         checkpoint: None,
+        divergence: None,
     })
     .train(&mut task, &mut params);
     let e_after = task.energy(&params);
@@ -125,6 +126,7 @@ fn all_scalings_produce_trainable_hybrids() {
             clip: Some(10.0),
             lbfgs_polish: None,
             checkpoint: None,
+            divergence: None,
         })
         .train(&mut task, &mut params);
         assert!(

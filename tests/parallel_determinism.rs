@@ -140,6 +140,7 @@ fn short_cfg(epochs: usize, checkpoint: Option<CheckpointConfig>) -> TrainConfig
         clip: Some(100.0),
         lbfgs_polish: None,
         checkpoint,
+        divergence: None,
     }
 }
 

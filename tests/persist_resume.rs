@@ -50,6 +50,7 @@ fn cfg_epochs(epochs: usize, checkpoint: Option<CheckpointConfig>) -> TrainConfi
         // guarantees only hold for the Adam phase.
         lbfgs_polish: None,
         checkpoint,
+        divergence: None,
     }
 }
 
@@ -218,6 +219,7 @@ fn task_state_blob_roundtrips_through_resume() {
         clip: None,
         lbfgs_polish: None,
         checkpoint: ckpt,
+        divergence: None,
     };
 
     let (mut task1, mut params1) = fresh();

@@ -18,6 +18,7 @@ fn quick_train(epochs: usize) -> TrainConfig {
         clip: Some(100.0),
         lbfgs_polish: None,
         checkpoint: None,
+        divergence: None,
     }
 }
 

@@ -23,6 +23,12 @@
 //!   `par_*` calls from inside pool workers cannot deadlock: a launcher
 //!   only blocks on chunks that are already running, and in the worst case
 //!   drains its own set on the calling thread (see `pool` module docs).
+//! * **Observability** — per-worker task/steal/idle counters sampled at
+//!   drain boundaries (never on the chunk fast path), exposed through
+//!   [`pool_stats`] / [`reset_pool_stats`] so the telemetry layer can
+//!   report pool balance without touching the hot loop. This is an
+//!   extension over upstream rayon's public API; callers that need to
+//!   stay source-compatible with the registry crate should gate on it.
 //!
 //! The API surface mirrors rayon's names (`par_chunks`, `par_chunks_mut`,
 //! `par_iter`, `into_par_iter`, `join`, adaptors `zip`/`map`/`enumerate`
@@ -32,6 +38,8 @@
 #![deny(missing_docs)]
 
 mod pool;
+
+pub use pool::{pool_stats, reset_pool_stats, PoolStats, WorkerStats};
 
 use std::marker::PhantomData;
 use std::mem::{ManuallyDrop, MaybeUninit};
@@ -882,6 +890,42 @@ mod tests {
         // The pool must remain usable afterwards.
         let v: Vec<usize> = pool.install(|| (0..100usize).into_par_iter().map(|i| i).collect());
         assert_eq!(v.len(), 100);
+    }
+
+    #[test]
+    fn pool_stats_count_launched_sets_and_chunks() {
+        let before = super::pool_stats();
+        let pool = super::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap();
+        // 32 chunks of visible work; every chunk must be accounted to
+        // either a worker or the launcher once the set completes.
+        pool.install(|| {
+            (0..32usize).into_par_iter().for_each(|_| {
+                std::thread::sleep(Duration::from_micros(200));
+            });
+        });
+        // Workers flush their drain-boundary counters just *after* the
+        // launcher unblocks, so allow the flush a moment to land.
+        let mut after = super::pool_stats();
+        for _ in 0..200 {
+            if after.total_tasks() >= before.total_tasks() + 32 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+            after = super::pool_stats();
+        }
+        assert!(
+            after.sets_launched > before.sets_launched,
+            "set launch not counted"
+        );
+        assert!(
+            after.total_tasks() >= before.total_tasks() + 32,
+            "chunk accounting lost work: before={} after={}",
+            before.total_tasks(),
+            after.total_tasks()
+        );
     }
 
     #[test]

@@ -51,7 +51,7 @@
 use std::cell::Cell;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::time::Duration;
 
@@ -121,6 +121,112 @@ fn run_one(set: &TaskSet) -> bool {
     true
 }
 
+/// Counters for one worker thread, written only at drain boundaries (a
+/// worker accumulates per-set counts in locals and flushes once per
+/// ticket), so the per-chunk fast path stays atomic-free.
+#[derive(Default)]
+struct WorkerCounters {
+    /// Chunks executed by this worker.
+    tasks: AtomicU64,
+    /// Tickets (task sets) picked up from the shared injector.
+    steals: AtomicU64,
+    /// Times the worker found the injector empty and blocked.
+    idle_waits: AtomicU64,
+}
+
+/// Counters for launching threads (the thread calling `par_*`), shared
+/// across all launchers since launchers are not pool members.
+#[derive(Default)]
+struct LauncherCounters {
+    /// Chunks drained by launching threads from their own sets.
+    tasks: AtomicU64,
+    /// Foreign chunks a blocked launcher stole while waiting.
+    steals: AtomicU64,
+    /// Parallel operations (task sets) launched.
+    sets: AtomicU64,
+}
+
+fn launcher_counters() -> &'static LauncherCounters {
+    static LAUNCHER: OnceLock<LauncherCounters> = OnceLock::new();
+    LAUNCHER.get_or_init(LauncherCounters::default)
+}
+
+fn worker_counters() -> &'static Mutex<Vec<Arc<WorkerCounters>>> {
+    static WORKERS: OnceLock<Mutex<Vec<Arc<WorkerCounters>>>> = OnceLock::new();
+    WORKERS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// A point-in-time copy of one worker's counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Chunks executed by this worker.
+    pub tasks: u64,
+    /// Tickets (task sets) picked up from the shared injector.
+    pub steals: u64,
+    /// Times the worker found the injector empty and blocked.
+    pub idle_waits: u64,
+}
+
+/// A point-in-time copy of the pool's activity counters; see
+/// [`pool_stats`].
+#[derive(Clone, Debug, Default)]
+pub struct PoolStats {
+    /// One entry per spawned worker thread, in spawn order.
+    pub workers: Vec<WorkerStats>,
+    /// Chunks drained by launching threads from their own sets.
+    pub launcher_tasks: u64,
+    /// Foreign chunks blocked launchers stole while waiting.
+    pub launcher_steals: u64,
+    /// Parallel operations (task sets) launched.
+    pub sets_launched: u64,
+}
+
+impl PoolStats {
+    /// Total chunks executed anywhere (workers + launchers).
+    pub fn total_tasks(&self) -> u64 {
+        self.launcher_tasks
+            + self.launcher_steals
+            + self.workers.iter().map(|w| w.tasks).sum::<u64>()
+    }
+}
+
+/// Sample the pool's activity counters. Cheap (one lock on the worker
+/// list, relaxed loads) and safe to call at any time; counters are
+/// monotonic between [`reset_pool_stats`] calls. Because workers flush at
+/// drain boundaries, in-flight sets may be partially reflected.
+pub fn pool_stats() -> PoolStats {
+    let workers = worker_counters()
+        .lock()
+        .unwrap()
+        .iter()
+        .map(|w| WorkerStats {
+            tasks: w.tasks.load(Ordering::Relaxed),
+            steals: w.steals.load(Ordering::Relaxed),
+            idle_waits: w.idle_waits.load(Ordering::Relaxed),
+        })
+        .collect();
+    let l = launcher_counters();
+    PoolStats {
+        workers,
+        launcher_tasks: l.tasks.load(Ordering::Relaxed),
+        launcher_steals: l.steals.load(Ordering::Relaxed),
+        sets_launched: l.sets.load(Ordering::Relaxed),
+    }
+}
+
+/// Zero all pool activity counters (per-run isolation for benches).
+pub fn reset_pool_stats() {
+    for w in worker_counters().lock().unwrap().iter() {
+        w.tasks.store(0, Ordering::Relaxed);
+        w.steals.store(0, Ordering::Relaxed);
+        w.idle_waits.store(0, Ordering::Relaxed);
+    }
+    let l = launcher_counters();
+    l.tasks.store(0, Ordering::Relaxed);
+    l.steals.store(0, Ordering::Relaxed);
+    l.sets.store(0, Ordering::Relaxed);
+}
+
 /// The global worker registry: injector queue plus lazily-spawned workers.
 pub(crate) struct Registry {
     injector: Mutex<VecDeque<Arc<TaskSet>>>,
@@ -155,12 +261,19 @@ impl Registry {
         self.injector.lock().unwrap().pop_front()
     }
 
-    fn pop_blocking(&self) -> Arc<TaskSet> {
+    fn pop_blocking(&self, counters: &WorkerCounters) -> Arc<TaskSet> {
         let mut q = self.injector.lock().unwrap();
+        let mut waited = false;
         loop {
             if let Some(set) = q.pop_front() {
+                // Flush idle accounting once per successful pop, off the
+                // chunk fast path.
+                if waited {
+                    counters.idle_waits.fetch_add(1, Ordering::Relaxed);
+                }
                 return set;
             }
+            waited = true;
             q = self.work_cv.wait(q).unwrap();
         }
     }
@@ -171,21 +284,35 @@ impl Registry {
         let mut count = self.spawned.lock().unwrap();
         while *count < target {
             let name = format!("qpinn-rayon-{}", *count);
+            let counters = Arc::new(WorkerCounters::default());
+            let thread_counters = counters.clone();
             let spawn = std::thread::Builder::new()
                 .name(name)
-                .spawn(move || worker_loop(self));
+                .spawn(move || worker_loop(self, thread_counters));
             if spawn.is_err() {
                 break;
             }
+            worker_counters().lock().unwrap().push(counters);
             *count += 1;
         }
     }
 }
 
-fn worker_loop(reg: &'static Registry) {
+fn worker_loop(reg: &'static Registry, counters: Arc<WorkerCounters>) {
     loop {
-        let set = reg.pop_blocking();
-        with_cap(set.cap, || while run_one(&set) {});
+        let set = reg.pop_blocking(&counters);
+        counters.steals.fetch_add(1, Ordering::Relaxed);
+        // Accumulate the chunk count locally and flush once per ticket:
+        // the claim/run fast path inside `run_one` stays counter-free.
+        let mut ran = 0u64;
+        with_cap(set.cap, || {
+            while run_one(&set) {
+                ran += 1;
+            }
+        });
+        if ran > 0 {
+            counters.tasks.fetch_add(ran, Ordering::Relaxed);
+        }
     }
 }
 
@@ -260,26 +387,32 @@ pub(crate) fn resolve_cap(requested: usize) -> usize {
 
 /// Block until `set` completes, stealing other queued work while waiting.
 fn wait_until_done(reg: &Registry, set: &TaskSet) {
+    let mut stolen = 0u64;
     loop {
         if set.is_done() {
-            return;
+            break;
         }
         if let Some(other) = reg.try_pop() {
             // Steal one chunk at a time so we notice our own completion
             // promptly even when helping a long-running foreign set.
             with_cap(other.cap, || {
-                let _ = run_one(&other);
+                if run_one(&other) {
+                    stolen += 1;
+                }
             });
             continue;
         }
         let guard = set.done.lock().unwrap();
         if *guard {
-            return;
+            break;
         }
         let _ = set
             .done_cv
             .wait_timeout(guard, Duration::from_millis(1))
             .unwrap();
+    }
+    if stolen > 0 {
+        launcher_counters().steals.fetch_add(stolen, Ordering::Relaxed);
     }
 }
 
@@ -305,7 +438,15 @@ pub(crate) fn parallel_for(n: usize, work: &(dyn Fn(usize) + Sync)) {
     let set = TaskSet::new(work, n, cap);
     let helpers = (cap - 1).min(n - 1);
     reg.inject(&set, helpers);
-    while run_one(&set) {}
+    let launcher = launcher_counters();
+    launcher.sets.fetch_add(1, Ordering::Relaxed);
+    let mut ran = 0u64;
+    while run_one(&set) {
+        ran += 1;
+    }
+    if ran > 0 {
+        launcher.tasks.fetch_add(ran, Ordering::Relaxed);
+    }
     wait_until_done(reg, &set);
     let payload = set.panic.lock().unwrap().take();
     if let Some(payload) = payload {
@@ -343,11 +484,18 @@ where
     };
     let work_ref: &(dyn Fn(usize) + Sync) = &work;
     let set = TaskSet::new(work_ref, 1, cap);
+    launcher_counters().sets.fetch_add(1, Ordering::Relaxed);
     reg.inject(&set, 1);
     // Run `a` here; catch so an unwind cannot race the borrow of `b_slot`
     // still reachable from the injected ticket.
     let ra = catch_unwind(AssertUnwindSafe(a));
-    while run_one(&set) {}
+    let mut ran = 0u64;
+    while run_one(&set) {
+        ran += 1;
+    }
+    if ran > 0 {
+        launcher_counters().tasks.fetch_add(ran, Ordering::Relaxed);
+    }
     wait_until_done(reg, &set);
     if let Some(payload) = set.panic.lock().unwrap().take() {
         resume_unwind(payload);
