@@ -39,6 +39,7 @@ fn main() {
         lbfgs_polish: None,
         checkpoint: None,
         divergence: None,
+        progress: None,
     })
     .train(&mut task, &mut params);
 

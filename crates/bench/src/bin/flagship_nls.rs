@@ -45,6 +45,7 @@ fn main() {
         // Unattended flagship runs are long; bail out early if the loss
         // explodes instead of polishing a diverged run with L-BFGS.
         divergence: Some(qpinn_core::DivergenceGuard::default()),
+        progress: None,
     });
     // With --ckpt, pick up an interrupted run from its newest intact
     // snapshot instead of starting over.

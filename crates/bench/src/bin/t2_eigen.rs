@@ -32,6 +32,7 @@ fn main() {
         lbfgs_polish: Some(opts.pick(60, 150)),
         checkpoint: None,
         divergence: None,
+        progress: None,
     };
 
     let mut table = TextTable::new(&["problem", "state", "E_pinn", "E_ref", "|ΔE|", "ψ rel-L2"]);

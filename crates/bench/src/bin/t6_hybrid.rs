@@ -31,6 +31,7 @@ fn train_cfg(epochs: usize) -> TrainConfig {
         lbfgs_polish: None,
         checkpoint: None,
         divergence: None,
+        progress: None,
     }
 }
 

@@ -62,6 +62,7 @@ fn main() {
             lbfgs_polish: None,
             checkpoint: None,
             divergence: None,
+            progress: None,
         })
         .train(&mut task, &mut params);
         let omega = task.omega(&params);

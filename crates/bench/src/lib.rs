@@ -34,6 +34,12 @@ pub struct RunOpts {
     /// [`RunOpts::pick_epochs`] over both quick and full defaults. Sized
     /// for CI smoke runs that need a real binary to finish in seconds.
     pub epochs: Option<usize>,
+    /// Live metrics endpoint address (`--serve-metrics ADDR`, e.g.
+    /// `127.0.0.1:9095`; port 0 picks a free port). When set,
+    /// [`RunOpts::from_args`] starts a [`qpinn_obs::MetricsServer`]
+    /// exposing `/metrics`, `/metrics.json`, `/progress`, and `/healthz`
+    /// for the lifetime of the process.
+    pub serve_metrics: Option<String>,
 }
 
 impl RunOpts {
@@ -63,6 +69,25 @@ impl RunOpts {
             .position(|a| a == "--epochs")
             .and_then(|i| args.get(i + 1))
             .and_then(|v| v.parse().ok());
+        let serve_metrics = args
+            .iter()
+            .position(|a| a == "--serve-metrics")
+            .and_then(|i| args.get(i + 1))
+            .cloned();
+        if let Some(addr) = &serve_metrics {
+            match qpinn_obs::MetricsServer::start(addr.as_str()) {
+                Ok(server) => {
+                    println!("serving metrics on http://{}/metrics", server.local_addr());
+                    // The endpoint lives until process exit; leaking the
+                    // handle keeps the accept thread alive without a
+                    // shutdown path every binary would have to thread.
+                    std::mem::forget(server);
+                }
+                Err(e) => eprintln!(
+                    "warning: cannot bind metrics endpoint {addr}: {e}; continuing without"
+                ),
+            }
+        }
         if let Some(path) = &telemetry_path {
             match telemetry::JsonlSink::create(path) {
                 Ok(sink) => {
@@ -81,6 +106,7 @@ impl RunOpts {
             ckpt,
             telemetry: telemetry_path,
             epochs,
+            serve_metrics,
         }
     }
 
@@ -127,7 +153,13 @@ pub fn banner(id: &str, title: &str, opts: &RunOpts) {
 pub fn save(id: &str, value: &Json) {
     match qpinn_core::report::write_experiment_json(id, value) {
         Ok(p) => println!("\n[written {}]", p.display()),
-        Err(e) => eprintln!("\n[could not write record: {e}]"),
+        Err(e) => {
+            let msg = telemetry::warn(
+                "experiment_record_write_failed",
+                format!("could not write record for {id}: {e}"),
+            );
+            eprintln!("\n[{msg}]");
+        }
     }
     if telemetry::enabled() {
         qpinn_core::obs::emit_pool_stats(id);
@@ -138,7 +170,13 @@ pub fn save(id: &str, value: &Json) {
             .join(format!("{id}.metrics.json"));
         match std::fs::write(&path, snap.to_json()) {
             Ok(()) => println!("[metrics snapshot {}]", path.display()),
-            Err(e) => eprintln!("[could not write metrics snapshot: {e}]"),
+            Err(e) => {
+                let msg = telemetry::warn(
+                    "metrics_snapshot_write_failed",
+                    format!("could not write {}: {e}", path.display()),
+                );
+                eprintln!("[{msg}]");
+            }
         }
         telemetry::flush();
     }
@@ -164,6 +202,7 @@ pub fn standard_train(epochs: usize) -> qpinn_core::TrainConfig {
         // Bench runs are unattended: stop runs whose loss has exploded
         // rather than burning the rest of the budget.
         divergence: Some(qpinn_core::DivergenceGuard::default()),
+        progress: None,
     }
 }
 
@@ -179,6 +218,7 @@ mod tests {
             ckpt: None,
             telemetry: None,
             epochs: None,
+            serve_metrics: None,
         };
         let full = RunOpts {
             full: true,
@@ -186,6 +226,7 @@ mod tests {
             ckpt: None,
             telemetry: None,
             epochs: None,
+            serve_metrics: None,
         };
         assert_eq!(quick.pick(1, 10), 1);
         assert_eq!(full.pick(1, 10), 10);
@@ -200,6 +241,7 @@ mod tests {
             ckpt: None,
             telemetry: None,
             epochs: None,
+            serve_metrics: None,
         };
         assert_eq!(opts.pick_epochs(100, 1000), 100);
         opts.full = true;

@@ -134,6 +134,7 @@ mod tests {
             lbfgs_polish: None,
             checkpoint: None,
             divergence: None,
+            progress: None,
         };
         let runs = run_seeds(&[1, 2, 3, 4], &cfg, |seed| {
             let mut rng = StdRng::seed_from_u64(seed);
@@ -172,6 +173,7 @@ mod tests {
                     CheckpointConfig::new(base_for_cfg.join(format!("seed-{seed}"))).every(20),
                 ),
                 divergence: None,
+                progress: None,
             },
             |seed| {
                 let mut rng = StdRng::seed_from_u64(seed);

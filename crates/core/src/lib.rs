@@ -34,7 +34,10 @@ pub mod task;
 pub mod trainer;
 
 pub use model::{CoordSpec, FieldNet, FieldNetConfig};
-pub use trainer::{CheckpointConfig, DivergenceGuard, PinnTask, TrainConfig, TrainLog, Trainer};
+pub use trainer::{
+    CheckpointConfig, DivergenceGuard, PinnTask, Progress, ProgressHook, TrainConfig, TrainLog,
+    Trainer,
+};
 
 #[cfg(test)]
 mod proptests;

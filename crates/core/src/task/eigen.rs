@@ -293,6 +293,7 @@ mod tests {
             lbfgs_polish: Some(80),
             checkpoint: None,
             divergence: None,
+            progress: None,
         });
         let _log = trainer.train(&mut task, &mut params);
         let e = task.energy(&params);

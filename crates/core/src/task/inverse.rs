@@ -262,6 +262,7 @@ mod tests {
             lbfgs_polish: None,
             checkpoint: None,
             divergence: None,
+            progress: None,
         })
         .train(&mut task, &mut params);
         let e1 = task.eval_error(&params);

@@ -277,6 +277,7 @@ mod tests {
             lbfgs_polish: None,
             checkpoint: None,
             divergence: None,
+            progress: None,
         });
         let log = trainer.train(&mut task, &mut params);
         assert!(log.final_loss < log.loss[0]);

@@ -325,6 +325,7 @@ mod tests {
             lbfgs_polish: None,
             checkpoint: None,
             divergence: None,
+            progress: None,
         });
         let log = trainer.train(&mut task, &mut params);
         assert!(

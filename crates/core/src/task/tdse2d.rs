@@ -319,6 +319,7 @@ mod tests {
             lbfgs_polish: None,
             checkpoint: None,
             divergence: None,
+            progress: None,
         })
         .train(&mut task, &mut params);
         assert!(log.final_loss < log.loss[0], "loss did not drop");

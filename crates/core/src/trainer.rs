@@ -116,6 +116,51 @@ impl Default for DivergenceGuard {
     }
 }
 
+/// A point-in-time view of training progress, delivered to
+/// [`TrainConfig::progress`] hooks at every `log_every` interval and
+/// mirrored into the `train.progress.*` telemetry gauges (which the
+/// `qpinn-obs` metrics server exposes at `/progress`).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Progress {
+    /// Current epoch index.
+    pub epoch: usize,
+    /// Planned total epochs for this run.
+    pub epochs_total: usize,
+    /// Loss at this epoch.
+    pub loss: f64,
+    /// Global gradient norm at this epoch.
+    pub grad_norm: f64,
+    /// Learning rate at this epoch.
+    pub lr: f64,
+    /// Measured seconds per epoch over the last log interval (0 until a
+    /// full interval has elapsed).
+    pub s_per_epoch: f64,
+    /// Estimated seconds to completion (`s_per_epoch` × remaining
+    /// epochs; 0 until `s_per_epoch` is known).
+    pub eta_s: f64,
+    /// Wall-clock seconds elapsed in this run so far (including time
+    /// accumulated before a resume).
+    pub wall_s: f64,
+}
+
+/// A shareable callback receiving [`Progress`] updates; wraps the
+/// closure in an `Arc` so [`TrainConfig`] stays `Clone`.
+#[derive(Clone)]
+pub struct ProgressHook(pub std::sync::Arc<dyn Fn(&Progress) + Send + Sync>);
+
+impl ProgressHook {
+    /// Wrap a closure.
+    pub fn new(f: impl Fn(&Progress) + Send + Sync + 'static) -> Self {
+        ProgressHook(std::sync::Arc::new(f))
+    }
+}
+
+impl std::fmt::Debug for ProgressHook {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("ProgressHook(..)")
+    }
+}
+
 /// Training hyperparameters.
 #[derive(Clone, Debug)]
 pub struct TrainConfig {
@@ -137,6 +182,11 @@ pub struct TrainConfig {
     /// Optional early stop on divergence (checked at `log_every`
     /// intervals). `None` always runs the full budget.
     pub divergence: Option<DivergenceGuard>,
+    /// Optional callback invoked with a [`Progress`] snapshot at every
+    /// `log_every` interval (e.g. to feed a live `/progress` endpoint).
+    /// Independent of telemetry sinks: the hook fires even when the
+    /// event layer is dormant.
+    pub progress: Option<ProgressHook>,
 }
 
 impl Default for TrainConfig {
@@ -157,6 +207,7 @@ impl Default for TrainConfig {
             lbfgs_polish: None,
             checkpoint: None,
             divergence: None,
+            progress: None,
         }
     }
 }
@@ -314,6 +365,9 @@ impl Trainer {
         let mut min_loss = f64::INFINITY;
         let mut bad_intervals = 0usize;
         let mut warned_non_finite = false;
+        // Throughput estimate for progress reporting: epoch/time of the
+        // previous log mark, so s/epoch reflects the latest interval.
+        let mut last_mark: Option<(Instant, usize)> = None;
         for epoch in start_epoch..self.cfg.epochs {
             let mut epoch_span = telemetry::span("epoch");
             epoch_span.field("epoch", epoch);
@@ -339,11 +393,36 @@ impl Trainer {
                 log.epochs.push(epoch);
                 log.loss.push(loss_val);
                 log.grad_norm.push(gnorm);
+                let now = Instant::now();
+                let s_per_epoch = match last_mark {
+                    Some((t0, e0)) if epoch > e0 => {
+                        (now - t0).as_secs_f64() / (epoch - e0) as f64
+                    }
+                    _ => 0.0,
+                };
+                last_mark = Some((now, epoch));
+                let progress = Progress {
+                    epoch,
+                    epochs_total: self.cfg.epochs,
+                    loss: loss_val,
+                    grad_norm: gnorm,
+                    lr,
+                    s_per_epoch,
+                    eta_s: s_per_epoch * (self.cfg.epochs - epoch) as f64,
+                    wall_s: prior_wall + start.elapsed().as_secs_f64(),
+                };
+                publish_progress(&progress);
+                if let Some(hook) = &self.cfg.progress {
+                    (hook.0)(&progress);
+                }
                 telemetry::mark("train_progress", |e| {
                     e.field("epoch", epoch)
+                        .field("epochs_total", self.cfg.epochs)
                         .field("loss", loss_val)
                         .field("grad_norm", gnorm)
                         .field("lr", lr)
+                        .field("s_per_epoch", progress.s_per_epoch)
+                        .field("eta_s", progress.eta_s)
                 });
                 if let Some(guard) = &self.cfg.divergence {
                     let bad = !loss_val.is_finite()
@@ -437,8 +516,34 @@ impl Trainer {
         log.final_loss = last_loss;
         log.final_error = task.eval_error(params);
         log.wall_s = prior_wall + start.elapsed().as_secs_f64();
+        // Telemetry sinks swallow I/O errors on the dispatch path (a full
+        // disk must not kill training); surface any accumulated failure
+        // here, where emitting a warn event is re-entrancy-safe.
+        if let Some(err) = telemetry::take_write_error() {
+            let lost = telemetry::counter("telemetry.write_errors").get();
+            let msg = telemetry::warn(
+                "telemetry_write_failed",
+                format!("telemetry sink writes failed ({lost} so far): {err}"),
+            );
+            eprintln!("warning: {msg}");
+            log.warnings.push(msg);
+        }
         log
     }
+}
+
+/// Mirror a [`Progress`] snapshot into the always-on metrics registry so
+/// the `/progress` and `/metrics` endpoints (and final metric snapshots)
+/// reflect training state without any sink installed.
+fn publish_progress(p: &Progress) {
+    telemetry::gauge("train.progress.epoch").set(p.epoch as f64);
+    telemetry::gauge("train.progress.epochs_total").set(p.epochs_total as f64);
+    telemetry::gauge("train.progress.loss").set(p.loss);
+    telemetry::gauge("train.progress.grad_norm").set(p.grad_norm);
+    telemetry::gauge("train.progress.lr").set(p.lr);
+    telemetry::gauge("train.progress.s_per_epoch").set(p.s_per_epoch);
+    telemetry::gauge("train.progress.eta_s").set(p.eta_s);
+    telemetry::gauge("train.progress.wall_s").set(p.wall_s);
 }
 
 /// Cached handle for the `train.grad_evals` counter so the per-epoch hot
@@ -546,6 +651,7 @@ mod tests {
             lbfgs_polish: None,
             checkpoint: None,
             divergence: None,
+            progress: None,
         });
         let log = trainer.train(&mut task, &mut params);
         assert!(log.final_error < 1e-3, "err {}", log.final_error);
@@ -565,6 +671,7 @@ mod tests {
             lbfgs_polish: Some(50),
             checkpoint: None,
             divergence: None,
+            progress: None,
         });
         let log = trainer.train(&mut task, &mut params);
         assert!(log.final_error < 1e-8, "err {}", log.final_error);
@@ -583,6 +690,7 @@ mod tests {
             lbfgs_polish: None,
             checkpoint: None,
             divergence: None,
+            progress: None,
         });
         let log = trainer.train(&mut task, &mut params);
         // pre-clip norms are recorded; the *updates* were clipped, so the

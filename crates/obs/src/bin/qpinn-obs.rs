@@ -1,0 +1,176 @@
+//! Trace analysis and perf-gate CLI over qpinn telemetry artifacts.
+//!
+//! ```text
+//! qpinn-obs trace RUN.jsonl [-o OUT.json]   # Chrome trace for Perfetto
+//! qpinn-obs flame RUN.jsonl [--top N]       # per-phase self/total time
+//! qpinn-obs pool  RUN.jsonl                 # work-stealing balance
+//! qpinn-obs check --baseline B.json --current C.json [--threshold PCT]
+//! ```
+//!
+//! Exit codes: 0 success, 1 perf regression (`check` only), 2 usage or
+//! I/O/parse error.
+
+use qpinn_core::report::Json;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+qpinn-obs: telemetry trace analysis and perf-regression gate
+
+USAGE:
+    qpinn-obs trace RUN.jsonl [-o OUT.json]
+        Convert a telemetry JSONL stream to Chrome trace_event JSON
+        (load in ui.perfetto.dev or chrome://tracing). Writes to
+        stdout unless -o is given.
+
+    qpinn-obs flame RUN.jsonl [--top N]
+        Per-phase time table: self time, share, total, ms/epoch.
+        Default --top 20.
+
+    qpinn-obs pool RUN.jsonl
+        Work-stealing pool balance from the last pool_stats sample.
+
+    qpinn-obs check --baseline BASE.json --current CUR.json [--threshold PCT]
+        Compare benchmark records; exit 1 if any perf metric regressed
+        beyond the threshold (default 10%).
+
+EXIT CODES:
+    0  success / no regression
+    1  perf regression detected (check)
+    2  usage, I/O, or parse error
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("qpinn-obs: error: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<ExitCode, String> {
+    let Some(cmd) = args.first() else {
+        eprint!("{USAGE}");
+        return Ok(ExitCode::from(2));
+    };
+    match cmd.as_str() {
+        "trace" => cmd_trace(&args[1..]),
+        "flame" => cmd_flame(&args[1..]),
+        "pool" => cmd_pool(&args[1..]),
+        "check" => cmd_check(&args[1..]),
+        "-h" | "--help" | "help" => {
+            print!("{USAGE}");
+            Ok(ExitCode::SUCCESS)
+        }
+        other => Err(format!("unknown command `{other}`; see `qpinn-obs --help`")),
+    }
+}
+
+fn read_file(path: &str) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))
+}
+
+fn cmd_trace(args: &[String]) -> Result<ExitCode, String> {
+    let mut input: Option<&str> = None;
+    let mut output: Option<&str> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "-o" | "--output" => {
+                output = Some(it.next().ok_or("-o needs a path")?);
+            }
+            flag if flag.starts_with('-') => return Err(format!("unknown flag `{flag}`")),
+            path => {
+                if input.replace(path).is_some() {
+                    return Err("trace takes exactly one input file".into());
+                }
+            }
+        }
+    }
+    let input = input.ok_or("trace needs a RUN.jsonl input")?;
+    let doc = qpinn_obs::trace::chrome_trace(&read_file(input)?)?;
+    let text = doc.to_string();
+    match output {
+        Some(path) => {
+            std::fs::write(path, &text).map_err(|e| format!("writing {path}: {e}"))?;
+            let n = match doc.get("traceEvents") {
+                Some(Json::Arr(v)) => v.len(),
+                _ => 0,
+            };
+            eprintln!("wrote {n} trace event(s) to {path}");
+        }
+        None => println!("{text}"),
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_flame(args: &[String]) -> Result<ExitCode, String> {
+    let mut input: Option<&str> = None;
+    let mut top = 20usize;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--top" => {
+                top = it
+                    .next()
+                    .ok_or("--top needs a number")?
+                    .parse()
+                    .map_err(|e| format!("--top: {e}"))?;
+            }
+            flag if flag.starts_with('-') => return Err(format!("unknown flag `{flag}`")),
+            path => {
+                if input.replace(path).is_some() {
+                    return Err("flame takes exactly one input file".into());
+                }
+            }
+        }
+    }
+    let input = input.ok_or("flame needs a RUN.jsonl input")?;
+    print!("{}", qpinn_obs::flame::report(&read_file(input)?, top)?);
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_pool(args: &[String]) -> Result<ExitCode, String> {
+    let [input] = args else {
+        return Err("pool takes exactly one RUN.jsonl input".into());
+    };
+    print!("{}", qpinn_obs::pool::report(&read_file(input)?)?);
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_check(args: &[String]) -> Result<ExitCode, String> {
+    let mut baseline: Option<&str> = None;
+    let mut current: Option<&str> = None;
+    let mut threshold = 10.0f64;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--baseline" => baseline = Some(it.next().ok_or("--baseline needs a path")?),
+            "--current" => current = Some(it.next().ok_or("--current needs a path")?),
+            "--threshold" => {
+                threshold = it
+                    .next()
+                    .ok_or("--threshold needs a percentage")?
+                    .parse()
+                    .map_err(|e| format!("--threshold: {e}"))?;
+                if !threshold.is_finite() || threshold < 0.0 {
+                    return Err("--threshold must be a non-negative percentage".into());
+                }
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    let baseline = baseline.ok_or("check needs --baseline BASE.json")?;
+    let current = current.ok_or("check needs --current CUR.json")?;
+    let base = Json::parse(&read_file(baseline)?).map_err(|e| format!("parsing {baseline}: {e}"))?;
+    let cur = Json::parse(&read_file(current)?).map_err(|e| format!("parsing {current}: {e}"))?;
+    let report = qpinn_obs::check::compare(&base, &cur, threshold);
+    print!("{}", report.render());
+    Ok(if report.passed() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    })
+}

@@ -1,0 +1,169 @@
+//! Per-phase time accounting over a telemetry span stream.
+//!
+//! Spans carry their full nesting path (`epoch/loss/forward`), so the
+//! tree reconstructs without IDs: **total** time of a path is the sum of
+//! its span durations, and **self** time subtracts the total of its
+//! direct children (`epoch/loss`'s self time excludes
+//! `epoch/loss/forward` but not sibling paths). The flame table ranks
+//! phases by self time — the number that says where the CPU actually
+//! went — and the per-epoch column divides by the number of `epoch`
+//! spans so a 50-epoch smoke run and a 50k-epoch flagship run read on
+//! the same scale.
+
+use crate::field_num;
+use qpinn_core::report::{Json, TextTable};
+use std::collections::BTreeMap;
+
+/// Aggregated timing for one span path.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PhaseStat {
+    /// Full `/`-joined span path.
+    pub path: String,
+    /// Number of spans recorded at this path.
+    pub count: u64,
+    /// Summed duration, nanoseconds.
+    pub total_ns: f64,
+    /// Total minus direct children's totals, nanoseconds.
+    pub self_ns: f64,
+}
+
+/// Aggregate a JSONL stream into per-path phase statistics, sorted by
+/// self time (descending). Also returns the number of `epoch` spans.
+pub fn phase_stats(jsonl: &str) -> Result<(Vec<PhaseStat>, u64), String> {
+    let events = crate::parse_jsonl(jsonl)?;
+    let mut total: BTreeMap<String, (u64, f64)> = BTreeMap::new();
+    for e in &events {
+        if e.get("kind").and_then(Json::as_str) != Some("span") {
+            continue;
+        }
+        let path = e
+            .get("fields")
+            .and_then(|f| f.get("path"))
+            .and_then(Json::as_str)
+            .unwrap_or("?")
+            .to_string();
+        let dur = field_num(e, "dur_ns").unwrap_or(0.0);
+        let entry = total.entry(path).or_insert((0, 0.0));
+        entry.0 += 1;
+        entry.1 += dur;
+    }
+    // Children's totals, attributed to the parent path.
+    let mut child_total: BTreeMap<&str, f64> = BTreeMap::new();
+    for (path, (_, t)) in &total {
+        if let Some((parent, _)) = path.rsplit_once('/') {
+            *child_total.entry(parent).or_insert(0.0) += t;
+        }
+    }
+    let mut stats: Vec<PhaseStat> = total
+        .iter()
+        .map(|(path, (count, t))| PhaseStat {
+            path: path.clone(),
+            count: *count,
+            total_ns: *t,
+            self_ns: (t - child_total.get(path.as_str()).copied().unwrap_or(0.0)).max(0.0),
+        })
+        .collect();
+    stats.sort_by(|a, b| b.self_ns.total_cmp(&a.self_ns));
+    let n_epochs = total.get("epoch").map(|(c, _)| *c).unwrap_or(0);
+    Ok((stats, n_epochs))
+}
+
+/// Render the flame table: top `top_n` phases by self time, with totals,
+/// share of accounted time, and a per-epoch column when epoch spans are
+/// present.
+pub fn render(stats: &[PhaseStat], n_epochs: u64, top_n: usize) -> String {
+    let grand_self: f64 = stats.iter().map(|s| s.self_ns).sum();
+    let mut table = TextTable::new(&[
+        "phase", "count", "self ms", "self %", "total ms", "ms/epoch",
+    ]);
+    for s in stats.iter().take(top_n.max(1)) {
+        table.row(&[
+            s.path.clone(),
+            format!("{}", s.count),
+            format!("{:.3}", s.self_ns / 1e6),
+            format!("{:.1}", 100.0 * s.self_ns / grand_self.max(1.0)),
+            format!("{:.3}", s.total_ns / 1e6),
+            if n_epochs > 0 {
+                format!("{:.3}", s.total_ns / 1e6 / n_epochs as f64)
+            } else {
+                "-".into()
+            },
+        ]);
+    }
+    let mut out = format!(
+        "phase accounting over {} span path(s), {} epoch span(s); \
+         accounted self time {:.3} ms\n",
+        stats.len(),
+        n_epochs,
+        grand_self / 1e6
+    );
+    out.push_str(&table.render());
+    out
+}
+
+/// One-call report for the CLI.
+pub fn report(jsonl: &str, top_n: usize) -> Result<String, String> {
+    let (stats, n_epochs) = phase_stats(jsonl)?;
+    if stats.is_empty() {
+        return Ok("no span events in stream (was the run telemetry-enabled?)\n".into());
+    }
+    Ok(render(&stats, n_epochs, top_n))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(ts: u64, name: &str, path: &str, dur: u64) -> String {
+        format!(
+            "{{\"v\":1,\"ts_ns\":{ts},\"kind\":\"span\",\"name\":\"{name}\",\"thread\":\"main\",\
+             \"fields\":{{\"path\":\"{path}\",\"dur_ns\":{dur}}}}}"
+        )
+    }
+
+    fn sample() -> String {
+        // Two epochs: epoch = loss + step + untracked self time.
+        [
+            span(100, "forward", "epoch/loss/forward", 60),
+            span(200, "loss", "epoch/loss", 100),
+            span(300, "step", "epoch/step", 30),
+            span(400, "epoch", "epoch", 150),
+            span(500, "forward", "epoch/loss/forward", 40),
+            span(600, "loss", "epoch/loss", 80),
+            span(700, "step", "epoch/step", 50),
+            span(800, "epoch", "epoch", 160),
+        ]
+        .join("\n")
+    }
+
+    #[test]
+    fn self_time_subtracts_direct_children() {
+        let (stats, n_epochs) = phase_stats(&sample()).unwrap();
+        assert_eq!(n_epochs, 2);
+        let by_path = |p: &str| stats.iter().find(|s| s.path == p).unwrap();
+        // epoch: total 310; children loss(180) + step(80) → self 50.
+        assert_eq!(by_path("epoch").total_ns, 310.0);
+        assert_eq!(by_path("epoch").self_ns, 50.0);
+        // loss: total 180, child forward(100) → self 80.
+        assert_eq!(by_path("epoch/loss").self_ns, 80.0);
+        // Leaves keep everything.
+        assert_eq!(by_path("epoch/loss/forward").self_ns, 100.0);
+        assert_eq!(by_path("epoch/step").count, 2);
+        // Sorted by self time descending.
+        assert!(stats.windows(2).all(|w| w[0].self_ns >= w[1].self_ns));
+    }
+
+    #[test]
+    fn render_shows_per_epoch_column() {
+        let (stats, n_epochs) = phase_stats(&sample()).unwrap();
+        let text = render(&stats, n_epochs, 10);
+        assert!(text.contains("epoch/loss/forward"), "{text}");
+        assert!(text.contains("2 epoch span(s)"), "{text}");
+    }
+
+    #[test]
+    fn empty_stream_is_not_an_error() {
+        let text = report("", 10).unwrap();
+        assert!(text.contains("no span events"));
+    }
+}

@@ -1,0 +1,175 @@
+//! Work-stealing pool balance report from `pool_stats` events.
+//!
+//! The pool flushes per-worker task/steal/idle counters at drain
+//! boundaries, and `qpinn_core::obs::emit_pool_stats` snapshots them
+//! into `pool_stats` mark events. This module reads the **last** such
+//! event in a stream (counters are cumulative, so the final sample
+//! covers the whole run) and renders a balance report: per-worker rows
+//! plus the two numbers that matter — the task imbalance ratio
+//! (max/mean tasks per worker; 1.0 is perfect) and the steal ratio
+//! (steals/tasks; persistent high values mean the chunk dealing is
+//! mis-sized).
+
+use qpinn_core::report::{Json, TextTable};
+
+/// Per-worker counters parsed from a `pool_stats` event.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct WorkerStats {
+    /// Tasks executed.
+    pub tasks: f64,
+    /// Tasks obtained by stealing.
+    pub steals: f64,
+    /// Idle park/wake cycles.
+    pub idle_waits: f64,
+}
+
+/// The parsed balance picture.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct PoolBalance {
+    /// Context string the sample was tagged with (`"kernels"`, …).
+    pub context: String,
+    /// Per-worker counters.
+    pub workers: Vec<WorkerStats>,
+    /// Tasks run inline by the launching thread.
+    pub launcher_tasks: f64,
+    /// Tasks the launcher stole back.
+    pub launcher_steals: f64,
+    /// Parallel sets launched over the run.
+    pub sets_launched: f64,
+}
+
+impl PoolBalance {
+    /// Total tasks across workers and launcher.
+    pub fn total_tasks(&self) -> f64 {
+        self.workers.iter().map(|w| w.tasks).sum::<f64>() + self.launcher_tasks
+    }
+
+    /// max/mean worker tasks (1.0 = perfectly balanced; 0 when idle).
+    pub fn imbalance(&self) -> f64 {
+        let n = self.workers.len().max(1) as f64;
+        let mean = self.workers.iter().map(|w| w.tasks).sum::<f64>() / n;
+        if mean <= 0.0 {
+            return 0.0;
+        }
+        self.workers.iter().map(|w| w.tasks).fold(0.0, f64::max) / mean
+    }
+
+    /// Stolen fraction of all worker tasks.
+    pub fn steal_ratio(&self) -> f64 {
+        let tasks: f64 = self.workers.iter().map(|w| w.tasks).sum();
+        let steals: f64 =
+            self.workers.iter().map(|w| w.steals).sum::<f64>() + self.launcher_steals;
+        if tasks <= 0.0 {
+            0.0
+        } else {
+            steals / tasks
+        }
+    }
+}
+
+/// Extract the last `pool_stats` event from a JSONL stream, if any.
+pub fn last_pool_stats(jsonl: &str) -> Result<Option<PoolBalance>, String> {
+    let events = crate::parse_jsonl(jsonl)?;
+    let Some(e) = events
+        .iter()
+        .rev()
+        .find(|e| e.get("name").and_then(Json::as_str) == Some("pool_stats"))
+    else {
+        return Ok(None);
+    };
+    let fields = e.get("fields").ok_or("pool_stats event without fields")?;
+    let num = |k: &str| fields.get(k).and_then(Json::as_num).unwrap_or(0.0);
+    let n_workers = num("workers") as usize;
+    let workers = (0..n_workers)
+        .map(|i| WorkerStats {
+            tasks: num(&format!("worker{i}.tasks")),
+            steals: num(&format!("worker{i}.steals")),
+            idle_waits: num(&format!("worker{i}.idle_waits")),
+        })
+        .collect();
+    Ok(Some(PoolBalance {
+        context: fields
+            .get("context")
+            .and_then(Json::as_str)
+            .unwrap_or("?")
+            .to_string(),
+        workers,
+        launcher_tasks: num("launcher_tasks"),
+        launcher_steals: num("launcher_steals"),
+        sets_launched: num("sets_launched"),
+    }))
+}
+
+/// Render the balance report for the CLI.
+pub fn report(jsonl: &str) -> Result<String, String> {
+    let Some(b) = last_pool_stats(jsonl)? else {
+        return Ok(
+            "no pool_stats events in stream (single-threaded run, or pool never sampled)\n"
+                .into(),
+        );
+    };
+    let mut table = TextTable::new(&["worker", "tasks", "steals", "idle waits"]);
+    for (i, w) in b.workers.iter().enumerate() {
+        table.row(&[
+            format!("{i}"),
+            format!("{}", w.tasks),
+            format!("{}", w.steals),
+            format!("{}", w.idle_waits),
+        ]);
+    }
+    table.row(&[
+        "launcher".into(),
+        format!("{}", b.launcher_tasks),
+        format!("{}", b.launcher_steals),
+        "-".into(),
+    ]);
+    Ok(format!(
+        "pool balance (context: {}, {} parallel set(s), {} total tasks)\n{}\
+         imbalance (max/mean worker tasks): {:.2}\nsteal ratio: {:.3}\n",
+        b.context,
+        b.sets_launched,
+        b.total_tasks(),
+        table.render(),
+        b.imbalance(),
+        b.steal_ratio()
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = concat!(
+        r#"{"v":1,"ts_ns":50,"kind":"mark","name":"pool_stats","thread":"main","fields":{"context":"early","threads":2,"workers":1,"launcher_tasks":1,"launcher_steals":0,"sets_launched":1,"total_tasks":2,"worker0.tasks":1,"worker0.steals":0,"worker0.idle_waits":0}}"#,
+        "\n",
+        r#"{"v":1,"ts_ns":900,"kind":"mark","name":"pool_stats","thread":"main","fields":{"context":"kernels","threads":3,"workers":2,"launcher_tasks":10,"launcher_steals":2,"sets_launched":5,"total_tasks":70,"worker0.tasks":40,"worker0.steals":4,"worker0.idle_waits":1,"worker1.tasks":20,"worker1.steals":6,"worker1.idle_waits":3}}"#,
+        "\n",
+    );
+
+    #[test]
+    fn parses_the_last_sample() {
+        let b = last_pool_stats(SAMPLE).unwrap().unwrap();
+        assert_eq!(b.context, "kernels");
+        assert_eq!(b.workers.len(), 2);
+        assert_eq!(b.workers[1].steals, 6.0);
+        assert_eq!(b.total_tasks(), 70.0);
+        // mean tasks = 30, max = 40.
+        assert!((b.imbalance() - 40.0 / 30.0).abs() < 1e-12);
+        // (4 + 6 + 2) / 60.
+        assert!((b.steal_ratio() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn report_renders_rows_and_ratios() {
+        let text = report(SAMPLE).unwrap();
+        assert!(text.contains("context: kernels"), "{text}");
+        assert!(text.contains("imbalance"), "{text}");
+        assert!(text.contains("launcher"), "{text}");
+    }
+
+    #[test]
+    fn missing_pool_stats_is_not_an_error() {
+        let text = report("{\"v\":1,\"ts_ns\":1,\"kind\":\"mark\",\"name\":\"x\",\"thread\":\"m\",\"fields\":{}}").unwrap();
+        assert!(text.contains("no pool_stats"));
+    }
+}

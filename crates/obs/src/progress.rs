@@ -1,0 +1,176 @@
+//! Live training-progress state for the `/progress` endpoint.
+//!
+//! A [`ProgressTracker`] is both a telemetry [`Sink`] (it watches the
+//! event stream for `train_progress` marks, so installing it next to a
+//! JSONL sink needs zero trainer wiring) and the target of a
+//! [`qpinn_core::trainer::ProgressHook`] (for library users driving the
+//! trainer directly, with or without any sink installed). Whichever
+//! source fires, the latest snapshot is kept behind a mutex for the
+//! server to render.
+
+use qpinn_core::trainer::{Progress, ProgressHook};
+use qpinn_telemetry::{Event, Kind, Sink, Value};
+use std::sync::{Arc, Mutex};
+
+/// The most recent training-progress observation.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ProgressView {
+    /// Current epoch index.
+    pub epoch: u64,
+    /// Planned total epochs (0 when unknown).
+    pub epochs_total: u64,
+    /// Loss at that epoch.
+    pub loss: f64,
+    /// Global gradient norm at that epoch.
+    pub grad_norm: f64,
+    /// Learning rate at that epoch.
+    pub lr: f64,
+    /// Seconds per epoch over the last log interval (0 until known).
+    pub s_per_epoch: f64,
+    /// Estimated seconds to completion (0 until known).
+    pub eta_s: f64,
+    /// Telemetry timestamp of the observation (ns since telemetry start;
+    /// 0 when the update came through a hook rather than an event).
+    pub ts_ns: u64,
+}
+
+impl ProgressView {
+    /// Serialize for the `/progress` endpoint.
+    pub fn to_json(&self) -> String {
+        fn num(v: f64) -> String {
+            if v.is_finite() {
+                format!("{v}")
+            } else {
+                "null".into()
+            }
+        }
+        format!(
+            "{{\"training\":true,\"epoch\":{},\"epochs_total\":{},\"loss\":{},\
+             \"grad_norm\":{},\"lr\":{},\"s_per_epoch\":{},\"eta_s\":{},\"ts_ns\":{}}}",
+            self.epoch,
+            self.epochs_total,
+            num(self.loss),
+            num(self.grad_norm),
+            num(self.lr),
+            num(self.s_per_epoch),
+            num(self.eta_s),
+            self.ts_ns
+        )
+    }
+}
+
+/// Tracks the latest [`ProgressView`]; see the module docs.
+#[derive(Debug, Default)]
+pub struct ProgressTracker {
+    state: Mutex<Option<ProgressView>>,
+}
+
+impl ProgressTracker {
+    /// An empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The latest observation, if training has reported anything yet.
+    pub fn latest(&self) -> Option<ProgressView> {
+        *self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Store an observation (last write wins).
+    pub fn update(&self, view: ProgressView) {
+        *self.state.lock().unwrap_or_else(|e| e.into_inner()) = Some(view);
+    }
+
+    /// A [`ProgressHook`] for `TrainConfig::progress` that feeds this
+    /// tracker directly — works even with no telemetry sink installed.
+    pub fn hook(self: &Arc<Self>) -> ProgressHook {
+        let me = Arc::clone(self);
+        ProgressHook::new(move |p: &Progress| {
+            me.update(ProgressView {
+                epoch: p.epoch as u64,
+                epochs_total: p.epochs_total as u64,
+                loss: p.loss,
+                grad_norm: p.grad_norm,
+                lr: p.lr,
+                s_per_epoch: p.s_per_epoch,
+                eta_s: p.eta_s,
+                ts_ns: 0,
+            });
+        })
+    }
+}
+
+fn get_num(fields: &[(String, Value)], key: &str) -> Option<f64> {
+    fields.iter().find(|(k, _)| k == key).and_then(|(_, v)| match v {
+        Value::U64(x) => Some(*x as f64),
+        Value::I64(x) => Some(*x as f64),
+        Value::F64(x) => Some(*x),
+        _ => None,
+    })
+}
+
+impl Sink for ProgressTracker {
+    fn record(&self, event: &Event) {
+        if event.kind != Kind::Mark || event.name != "train_progress" {
+            return;
+        }
+        let f = &event.fields;
+        self.update(ProgressView {
+            epoch: get_num(f, "epoch").unwrap_or(0.0) as u64,
+            epochs_total: get_num(f, "epochs_total").unwrap_or(0.0) as u64,
+            loss: get_num(f, "loss").unwrap_or(f64::NAN),
+            grad_norm: get_num(f, "grad_norm").unwrap_or(f64::NAN),
+            lr: get_num(f, "lr").unwrap_or(f64::NAN),
+            s_per_epoch: get_num(f, "s_per_epoch").unwrap_or(0.0),
+            eta_s: get_num(f, "eta_s").unwrap_or(0.0),
+            ts_ns: event.ts_ns,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracker_captures_train_progress_marks_only() {
+        let t = ProgressTracker::new();
+        assert!(t.latest().is_none());
+        t.record(&Event::new(Kind::Mark, "checkpoint_saved").field("epoch", 9u64));
+        assert!(t.latest().is_none(), "unrelated marks must be ignored");
+        t.record(
+            &Event::new(Kind::Mark, "train_progress")
+                .field("epoch", 150u64)
+                .field("epochs_total", 2000u64)
+                .field("loss", 0.125)
+                .field("s_per_epoch", 0.02)
+                .field("eta_s", 37.0),
+        );
+        let v = t.latest().unwrap();
+        assert_eq!(v.epoch, 150);
+        assert_eq!(v.epochs_total, 2000);
+        assert_eq!(v.loss, 0.125);
+        assert_eq!(v.eta_s, 37.0);
+        let json = v.to_json();
+        assert!(json.contains("\"training\":true"));
+        assert!(json.contains("\"epoch\":150"));
+        // /progress must always be parseable.
+        qpinn_core::report::Json::parse(&json).unwrap();
+    }
+
+    #[test]
+    fn hook_feeds_tracker_without_any_sink() {
+        let t = Arc::new(ProgressTracker::new());
+        let hook = t.hook();
+        (hook.0)(&Progress {
+            epoch: 10,
+            epochs_total: 100,
+            loss: 1.5,
+            ..Default::default()
+        });
+        let v = t.latest().unwrap();
+        assert_eq!(v.epoch, 10);
+        assert_eq!(v.epochs_total, 100);
+        assert_eq!(v.loss, 1.5);
+    }
+}

@@ -1,0 +1,282 @@
+//! The embedded metrics/health HTTP endpoint.
+//!
+//! A deliberately tiny HTTP/1.1 server on `std::net::TcpListener` — no
+//! framework, no async runtime, no dependencies — because the four
+//! routes it serves are all small, read-only GETs:
+//!
+//! | route           | body                                              |
+//! |-----------------|---------------------------------------------------|
+//! | `/metrics`      | Prometheus text exposition of the live registry   |
+//! | `/metrics.json` | `qpinn-metrics-v1` snapshot JSON                  |
+//! | `/progress`     | current epoch / loss / s-per-epoch / ETA          |
+//! | `/healthz`      | `{"status":"ok",...}` liveness probe              |
+//!
+//! One accept thread handles connections sequentially; every response
+//! closes the connection. That is the right shape for a scrape endpoint
+//! (Prometheus polls every few seconds) and keeps the server at zero
+//! cost to the training threads — request handling only ever *reads*
+//! atomic metric values.
+//!
+//! [`MetricsServer::start`] also installs the server's
+//! [`ProgressTracker`] as a telemetry sink so `train_progress` marks
+//! reach `/progress` without any trainer wiring. Note this flips the
+//! telemetry layer out of its dormant state (spans start timing), which
+//! is the documented cost of opting into live observation.
+
+use crate::progress::ProgressTracker;
+use qpinn_core::trainer::ProgressHook;
+use qpinn_telemetry as telemetry;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// A running metrics endpoint; see the module docs.
+pub struct MetricsServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    tracker: Arc<ProgressTracker>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Bind `addr` (e.g. `"127.0.0.1:9095"`; port 0 picks a free port),
+    /// install the progress tracker as a telemetry sink, and start the
+    /// accept thread. The server runs until [`MetricsServer::stop`] or
+    /// process exit.
+    pub fn start(addr: impl ToSocketAddrs) -> std::io::Result<MetricsServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let tracker = Arc::new(ProgressTracker::new());
+        telemetry::install(tracker.clone());
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let state = ServerState {
+            tracker: tracker.clone(),
+            shutdown: shutdown.clone(),
+            started: Instant::now(),
+        };
+        let handle = std::thread::Builder::new()
+            .name("qpinn-obs-http".into())
+            .spawn(move || accept_loop(listener, state))?;
+        Ok(MetricsServer {
+            addr: local,
+            shutdown,
+            tracker,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The tracker behind `/progress` (for direct updates in tests or
+    /// embedders).
+    pub fn tracker(&self) -> Arc<ProgressTracker> {
+        self.tracker.clone()
+    }
+
+    /// A `TrainConfig::progress` hook feeding this server's `/progress`
+    /// endpoint directly (no telemetry sink required).
+    pub fn progress_hook(&self) -> ProgressHook {
+        self.tracker.hook()
+    }
+
+    /// Stop accepting and join the server thread. (Does not uninstall
+    /// the tracker sink: telemetry sinks are process-global and other
+    /// sinks may be active; `telemetry::shutdown()` clears them all.)
+    pub fn stop(mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Unblock the accept() call with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+struct ServerState {
+    tracker: Arc<ProgressTracker>,
+    shutdown: Arc<AtomicBool>,
+    started: Instant,
+}
+
+fn accept_loop(listener: TcpListener, state: ServerState) {
+    for conn in listener.incoming() {
+        if state.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let Ok(stream) = conn else { continue };
+        // A stalled client must not wedge the endpoint.
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+        let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
+        let _ = handle_connection(stream, &state);
+    }
+}
+
+fn handle_connection(stream: TcpStream, state: &ServerState) -> std::io::Result<()> {
+    let mut reader = BufReader::new(stream);
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    // Drain headers so well-behaved clients see a clean close.
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 || line == "\r\n" || line == "\n" {
+            break;
+        }
+    }
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    let path = path.split('?').next().unwrap_or(path);
+    let (status, content_type, body) = if method != "GET" {
+        (
+            "405 Method Not Allowed",
+            "text/plain; charset=utf-8",
+            "method not allowed\n".to_string(),
+        )
+    } else {
+        match path {
+            "/metrics" => (
+                "200 OK",
+                "text/plain; version=0.0.4; charset=utf-8",
+                telemetry::prometheus::render(&telemetry::global().snapshot(), "qpinn_", &[]),
+            ),
+            "/metrics.json" => (
+                "200 OK",
+                "application/json",
+                telemetry::global().snapshot().to_json(),
+            ),
+            "/progress" => (
+                "200 OK",
+                "application/json",
+                match state.tracker.latest() {
+                    Some(v) => v.to_json(),
+                    None => "{\"training\":false}".to_string(),
+                },
+            ),
+            "/healthz" => (
+                "200 OK",
+                "application/json",
+                format!(
+                    "{{\"status\":\"ok\",\"uptime_s\":{:.3}}}",
+                    state.started.elapsed().as_secs_f64()
+                ),
+            ),
+            _ => (
+                "404 Not Found",
+                "text/plain; charset=utf-8",
+                "not found; try /metrics /metrics.json /progress /healthz\n".to_string(),
+            ),
+        }
+    };
+    let mut stream = reader.into_inner();
+    write!(
+        stream,
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    )?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::progress::ProgressView;
+    use std::io::Read;
+
+    /// Serializes the two server tests: both install sinks into the
+    /// process-global telemetry dispatch, and the emitted `train_progress`
+    /// mark in one must not land while the other asserts an idle tracker.
+    fn test_lock() -> std::sync::MutexGuard<'static, ()> {
+        use std::sync::{Mutex, OnceLock};
+        static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+        LOCK.get_or_init(|| Mutex::new(()))
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// GET `path` against a live server over a real TCP socket.
+    fn get(addr: SocketAddr, path: &str) -> (String, String) {
+        let mut s = TcpStream::connect(addr).unwrap();
+        write!(s, "GET {path} HTTP/1.1\r\nHost: test\r\n\r\n").unwrap();
+        let mut buf = String::new();
+        s.read_to_string(&mut buf).unwrap();
+        let (head, body) = buf.split_once("\r\n\r\n").expect("header/body split");
+        (head.to_string(), body.to_string())
+    }
+
+    #[test]
+    fn serves_all_routes_over_tcp() {
+        let _guard = test_lock();
+        let server = MetricsServer::start("127.0.0.1:0").unwrap();
+        let addr = server.local_addr();
+        // Populate a counter so /metrics has content.
+        telemetry::counter("obs.test.requests").add(3);
+
+        let (head, body) = get(addr, "/healthz");
+        assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+        assert!(body.contains("\"status\":\"ok\""), "{body}");
+        qpinn_core::report::Json::parse(&body).unwrap();
+
+        let (head, body) = get(addr, "/metrics");
+        assert!(head.starts_with("HTTP/1.1 200 OK"));
+        assert!(head.contains("text/plain; version=0.0.4"));
+        assert!(
+            body.contains("qpinn_obs_test_requests_total 3"),
+            "missing counter in:\n{body}"
+        );
+
+        let (_, body) = get(addr, "/metrics.json");
+        let snap = qpinn_core::report::Json::parse(&body).unwrap();
+        assert_eq!(
+            snap.get("schema").and_then(|s| s.as_str()),
+            Some("qpinn-metrics-v1")
+        );
+
+        // /progress: idle first, then after a tracker update.
+        let (_, body) = get(addr, "/progress");
+        assert_eq!(body, "{\"training\":false}");
+        server.tracker().update(ProgressView {
+            epoch: 42,
+            epochs_total: 100,
+            loss: 0.5,
+            s_per_epoch: 0.1,
+            eta_s: 5.8,
+            ..Default::default()
+        });
+        let (_, body) = get(addr, "/progress");
+        let p = qpinn_core::report::Json::parse(&body).unwrap();
+        assert_eq!(p.get("epoch").and_then(|v| v.as_num()), Some(42.0));
+        assert_eq!(p.get("eta_s").and_then(|v| v.as_num()), Some(5.8));
+
+        let (head, _) = get(addr, "/nope");
+        assert!(head.starts_with("HTTP/1.1 404"));
+
+        server.stop();
+    }
+
+    #[test]
+    fn progress_endpoint_follows_train_progress_marks() {
+        let _guard = test_lock();
+        let server = MetricsServer::start("127.0.0.1:0").unwrap();
+        let addr = server.local_addr();
+        // The tracker is installed as a sink: an emitted mark must show up.
+        telemetry::emit(
+            telemetry::Event::new(telemetry::Kind::Mark, "train_progress")
+                .field("epoch", 7u64)
+                .field("epochs_total", 20u64)
+                .field("loss", 0.25),
+        );
+        let (_, body) = get(addr, "/progress");
+        let p = qpinn_core::report::Json::parse(&body).unwrap();
+        assert_eq!(p.get("epoch").and_then(|v| v.as_num()), Some(7.0));
+        assert_eq!(p.get("loss").and_then(|v| v.as_num()), Some(0.25));
+        server.stop();
+    }
+}

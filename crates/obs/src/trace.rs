@@ -1,0 +1,164 @@
+//! Telemetry JSONL → Chrome `trace_event` JSON.
+//!
+//! The output is the "JSON Object Format" of the Trace Event spec —
+//! `{"traceEvents":[...]}` — loadable in Perfetto (ui.perfetto.dev) and
+//! `chrome://tracing`:
+//!
+//! * telemetry `span` events become complete (`"ph":"X"`) events. A span
+//!   line carries its *end* timestamp and duration, so the trace start
+//!   is `ts_ns - dur_ns`; both convert to the spec's microseconds.
+//! * `mark` and `warn` events become thread-scoped instant events
+//!   (`"ph":"i"`, `"s":"t"`), categorized by kind so they can be
+//!   filtered in the viewer.
+//! * `metrics` events are dropped — aggregate snapshots have no
+//!   timeline shape; `qpinn-obs flame` consumes those instead.
+//!
+//! Threads are numbered in order of first appearance and named via
+//! `thread_name` metadata events, so the viewer shows `main`,
+//! `qpinn-worker-0`, … as separate tracks.
+
+use crate::field_num;
+use qpinn_core::report::Json;
+use std::collections::BTreeMap;
+
+/// Convert a telemetry JSONL stream into a Chrome trace document.
+pub fn chrome_trace(jsonl: &str) -> Result<Json, String> {
+    let events = crate::parse_jsonl(jsonl)?;
+    let mut out: Vec<Json> = Vec::with_capacity(events.len());
+    let mut tids: BTreeMap<String, f64> = BTreeMap::new();
+    for e in &events {
+        let kind = e.get("kind").and_then(Json::as_str).unwrap_or("");
+        let name = e.get("name").and_then(Json::as_str).unwrap_or("?");
+        let ts_ns = e.get("ts_ns").and_then(Json::as_num).unwrap_or(0.0);
+        let thread = e.get("thread").and_then(Json::as_str).unwrap_or("?");
+        let next_tid = tids.len() as f64;
+        let tid = *tids.entry(thread.to_string()).or_insert_with(|| {
+            out.push(Json::obj(vec![
+                ("name", Json::Str("thread_name".into())),
+                ("ph", Json::Str("M".into())),
+                ("pid", Json::Num(1.0)),
+                ("tid", Json::Num(next_tid)),
+                (
+                    "args",
+                    Json::obj(vec![("name", Json::Str(thread.into()))]),
+                ),
+            ]));
+            next_tid
+        });
+        // Everything except the timing keys rides along as args.
+        let args = match e.get("fields") {
+            Some(Json::Obj(pairs)) => Json::Obj(
+                pairs
+                    .iter()
+                    .filter(|(k, _)| k != "dur_ns")
+                    .cloned()
+                    .collect(),
+            ),
+            _ => Json::Obj(Vec::new()),
+        };
+        match kind {
+            "span" => {
+                let dur_ns = field_num(e, "dur_ns").unwrap_or(0.0);
+                out.push(Json::obj(vec![
+                    ("name", Json::Str(name.into())),
+                    ("cat", Json::Str("span".into())),
+                    ("ph", Json::Str("X".into())),
+                    ("ts", Json::Num((ts_ns - dur_ns) / 1e3)),
+                    ("dur", Json::Num(dur_ns / 1e3)),
+                    ("pid", Json::Num(1.0)),
+                    ("tid", Json::Num(tid)),
+                    ("args", args),
+                ]));
+            }
+            "mark" | "warn" => {
+                out.push(Json::obj(vec![
+                    ("name", Json::Str(name.into())),
+                    ("cat", Json::Str(kind.into())),
+                    ("ph", Json::Str("i".into())),
+                    ("ts", Json::Num(ts_ns / 1e3)),
+                    ("pid", Json::Num(1.0)),
+                    ("tid", Json::Num(tid)),
+                    ("s", Json::Str("t".into())),
+                    ("args", args),
+                ]));
+            }
+            _ => {}
+        }
+    }
+    Ok(Json::obj(vec![
+        ("traceEvents", Json::Arr(out)),
+        ("displayTimeUnit", Json::Str("ms".into())),
+    ]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = concat!(
+        r#"{"v":1,"ts_ns":100,"kind":"mark","name":"telemetry_start","thread":"main","fields":{"schema":1}}"#,
+        "\n",
+        r#"{"v":1,"ts_ns":5000,"kind":"span","name":"forward","thread":"main","fields":{"path":"epoch/loss/forward","dur_ns":3000}}"#,
+        "\n",
+        r#"{"v":1,"ts_ns":9000,"kind":"span","name":"epoch","thread":"main","fields":{"epoch":0,"path":"epoch","dur_ns":8000}}"#,
+        "\n",
+        r#"{"v":1,"ts_ns":9500,"kind":"warn","name":"non_finite_loss","thread":"qpinn-worker-0","fields":{"msg":"boom"}}"#,
+        "\n",
+        r#"{"v":1,"ts_ns":9900,"kind":"metrics","name":"final_metrics","thread":"main","fields":{"train.grad_evals":2}}"#,
+        "\n",
+    );
+
+    #[test]
+    fn converts_spans_marks_and_warns() {
+        let doc = chrome_trace(SAMPLE).unwrap();
+        let events = match doc.get("traceEvents").unwrap() {
+            Json::Arr(v) => v,
+            other => panic!("traceEvents not an array: {other:?}"),
+        };
+        // 2 thread_name metadata + 1 mark + 2 spans + 1 warn; metrics dropped.
+        assert_eq!(events.len(), 6, "{events:?}");
+        let forward = events
+            .iter()
+            .find(|e| e.get("name").and_then(Json::as_str) == Some("forward"))
+            .unwrap();
+        assert_eq!(forward.get("ph").and_then(Json::as_str), Some("X"));
+        // end 5000 ns, dur 3000 ns → start 2 µs, dur 3 µs.
+        assert_eq!(forward.get("ts").and_then(Json::as_num), Some(2.0));
+        assert_eq!(forward.get("dur").and_then(Json::as_num), Some(3.0));
+        let args = forward.get("args").unwrap();
+        assert_eq!(
+            args.get("path").and_then(Json::as_str),
+            Some("epoch/loss/forward")
+        );
+        // The warn thread gets its own tid with a thread_name record.
+        let warn = events
+            .iter()
+            .find(|e| e.get("cat").and_then(Json::as_str) == Some("warn"))
+            .unwrap();
+        let tid = warn.get("tid").and_then(Json::as_num).unwrap();
+        assert!(events.iter().any(|e| {
+            e.get("ph").and_then(Json::as_str) == Some("M")
+                && e.get("tid").and_then(Json::as_num) == Some(tid)
+                && e.get("args").and_then(|a| a.get("name")).and_then(Json::as_str)
+                    == Some("qpinn-worker-0")
+        }));
+        assert!(!events
+            .iter()
+            .any(|e| e.get("name").and_then(Json::as_str) == Some("final_metrics")));
+    }
+
+    #[test]
+    fn output_round_trips_through_the_strict_parser() {
+        let doc = chrome_trace(SAMPLE).unwrap();
+        let text = doc.to_string();
+        let back = Json::parse(&text).unwrap();
+        assert_eq!(back, doc);
+        assert_eq!(back.to_string(), text);
+    }
+
+    #[test]
+    fn bad_input_reports_the_line() {
+        let err = chrome_trace("{\"ok\":1}\ngarbage\n").unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+    }
+}

@@ -1,0 +1,109 @@
+//! End-to-end tests of the `qpinn-obs` binary: real process spawns, real
+//! files, real exit codes — the same contract CI relies on.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_qpinn-obs"))
+}
+
+fn tmp(name: &str, content: &str) -> PathBuf {
+    let path = std::env::temp_dir().join(format!("qpinn-obs-cli-{}-{name}", std::process::id()));
+    std::fs::write(&path, content).unwrap();
+    path
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+const BASELINE: &str = r#"{"id":"F5_SCALING","host_cpus":4,"threads":[1,2],
+  "s_per_epoch":[0.138,0.116],"speedup":[1.0,1.19],
+  "matmul_gflops":[7.66,7.41],"circuits_per_s":[1504534.9,525605.9]}"#;
+
+#[test]
+fn check_exits_zero_when_within_threshold() {
+    let base = tmp("base-ok.json", BASELINE);
+    let cur = tmp(
+        "cur-ok.json",
+        &BASELINE.replace("7.66", "7.40"), // −3.4%, inside 10%
+    );
+    let out = bin()
+        .args(["check", "--baseline"])
+        .arg(&base)
+        .arg("--current")
+        .arg(&cur)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", stdout(&out));
+    assert!(stdout(&out).contains("PASS"), "{}", stdout(&out));
+}
+
+#[test]
+fn check_exits_nonzero_on_injected_regression() {
+    let base = tmp("base-reg.json", BASELINE);
+    // Halve matmul throughput: an unambiguous regression.
+    let cur = tmp("cur-reg.json", &BASELINE.replace("7.66", "3.83"));
+    let out = bin()
+        .args(["check", "--baseline"])
+        .arg(&base)
+        .arg("--current")
+        .arg(&cur)
+        .args(["--threshold", "10"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1), "{}", stdout(&out));
+    let text = stdout(&out);
+    assert!(text.contains("REGRESSED"), "{text}");
+    assert!(text.contains("matmul_gflops[0]"), "{text}");
+    assert!(text.contains("FAIL"), "{text}");
+}
+
+#[test]
+fn usage_and_io_errors_exit_two() {
+    // No arguments → usage on stderr, exit 2.
+    let out = bin().output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("USAGE"));
+    // Missing file → exit 2.
+    let out = bin()
+        .args(["flame", "/nonexistent/run.jsonl"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    // Unknown command → exit 2.
+    let out = bin().args(["frobnicate"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn trace_flame_pool_run_over_one_stream() {
+    let jsonl = concat!(
+        r#"{"v":1,"ts_ns":5000,"kind":"span","name":"forward","thread":"main","fields":{"path":"epoch/loss/forward","dur_ns":3000}}"#,
+        "\n",
+        r#"{"v":1,"ts_ns":9000,"kind":"span","name":"epoch","thread":"main","fields":{"path":"epoch","dur_ns":8000}}"#,
+        "\n",
+        r#"{"v":1,"ts_ns":9500,"kind":"mark","name":"pool_stats","thread":"main","fields":{"context":"t","workers":1,"launcher_tasks":3,"launcher_steals":0,"sets_launched":2,"worker0.tasks":5,"worker0.steals":1,"worker0.idle_waits":0}}"#,
+        "\n",
+    );
+    let run = tmp("run.jsonl", jsonl);
+    let trace_out = std::env::temp_dir().join(format!(
+        "qpinn-obs-cli-{}-trace-out.json",
+        std::process::id()
+    ));
+
+    let out = bin().arg("trace").arg(&run).arg("-o").arg(&trace_out).output().unwrap();
+    assert!(out.status.success());
+    let written = std::fs::read_to_string(&trace_out).unwrap();
+    assert!(written.contains("\"traceEvents\""), "{written}");
+    assert!(written.contains("\"ph\":\"X\""), "{written}");
+
+    let out = bin().args(["flame"]).arg(&run).args(["--top", "5"]).output().unwrap();
+    assert!(out.status.success());
+    assert!(stdout(&out).contains("epoch/loss/forward"), "{}", stdout(&out));
+
+    let out = bin().arg("pool").arg(&run).output().unwrap();
+    assert!(out.status.success());
+    assert!(stdout(&out).contains("steal ratio"), "{}", stdout(&out));
+}

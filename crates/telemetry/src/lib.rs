@@ -18,6 +18,9 @@
 //!   [`JsonlSink`] writes one versioned JSON object per line for machine
 //!   consumption, [`StderrSink`] prints warns/marks for humans. The bench
 //!   harness points a [`JsonlSink`] at a per-run file via `--telemetry`.
+//! * **Exposition** ([`prometheus`]) — renders a [`MetricsSnapshot`] as a
+//!   Prometheus text-format page; `qpinn-obs`'s embedded HTTP server
+//!   serves it at `/metrics`.
 //!
 //! ## Event schema (v1)
 //!
@@ -46,6 +49,7 @@
 
 pub mod event;
 pub mod metrics;
+pub mod prometheus;
 pub mod registry;
 pub mod sink;
 pub mod span;
@@ -53,7 +57,10 @@ pub mod span;
 pub use event::{Event, Kind, Value, SCHEMA_VERSION};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
 pub use registry::{counter, gauge, global, histogram, MetricsSnapshot, Registry};
-pub use sink::{emit, enabled, flush, install, shutdown, JsonlSink, MemorySink, Sink, StderrSink};
+pub use sink::{
+    emit, enabled, flush, install, note_write_error, shutdown, take_write_error, JsonlSink,
+    MemorySink, Sink, StderrSink,
+};
 pub use span::span;
 
 /// Emit a `warn` event named `code` with a human-readable message, and

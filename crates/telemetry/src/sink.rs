@@ -23,6 +23,38 @@ pub trait Sink: Send + Sync {
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
 
+/// First pending sink write-error message, if any ([`note_write_error`]).
+fn write_error_slot() -> &'static Mutex<Option<String>> {
+    static SLOT: OnceLock<Mutex<Option<String>>> = OnceLock::new();
+    SLOT.get_or_init(|| Mutex::new(None))
+}
+
+/// Record a failed sink write. Every failure bumps the
+/// `telemetry.write_errors` counter (so lost-event volume survives into
+/// metric snapshots); the first failure's message is kept for
+/// [`take_write_error`] so a supervisor (the trainer, the bench harness)
+/// can surface it as a `warn` event and a `TrainLog::warnings` entry
+/// instead of the error being silently dropped.
+///
+/// Deliberately does **not** emit an event itself: sinks call this from
+/// inside the dispatch path, where re-entering [`emit`] could deadlock.
+pub fn note_write_error(context: &str, err: &std::io::Error) {
+    crate::registry::counter("telemetry.write_errors").inc();
+    let mut slot = write_error_slot().lock().unwrap_or_else(|e| e.into_inner());
+    if slot.is_none() {
+        *slot = Some(format!("{context}: {err}"));
+    }
+}
+
+/// Take (and clear) the first pending sink write-error message. The
+/// `telemetry.write_errors` counter reports the total failure count.
+pub fn take_write_error() -> Option<String> {
+    write_error_slot()
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .take()
+}
+
 fn sinks() -> &'static RwLock<Vec<Arc<dyn Sink>>> {
     static SINKS: OnceLock<RwLock<Vec<Arc<dyn Sink>>>> = OnceLock::new();
     SINKS.get_or_init(|| RwLock::new(Vec::new()))
@@ -113,13 +145,20 @@ impl Sink for JsonlSink {
     fn record(&self, event: &Event) {
         let line = event.to_json_line();
         let mut w = self.w.lock().unwrap();
-        // Best-effort: a full disk must not kill the training run.
-        let _ = w.write_all(line.as_bytes());
-        let _ = w.write_all(b"\n");
+        // Best-effort: a full disk must not kill the training run — but
+        // the loss is counted and surfaced, not silently swallowed.
+        if let Err(e) = w
+            .write_all(line.as_bytes())
+            .and_then(|()| w.write_all(b"\n"))
+        {
+            note_write_error(&format!("jsonl sink {}", self.path.display()), &e);
+        }
     }
 
     fn flush(&self) {
-        let _ = self.w.lock().unwrap().flush();
+        if let Err(e) = self.w.lock().unwrap().flush() {
+            note_write_error(&format!("jsonl sink {}", self.path.display()), &e);
+        }
     }
 }
 
@@ -186,6 +225,24 @@ mod tests {
         assert!(lines[0].contains("\"schema\":1"));
         assert!(lines[1].contains("\"name\":\"m1\""));
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn write_errors_are_counted_and_taken_once() {
+        let before = crate::registry::counter("telemetry.write_errors").get();
+        let _ = take_write_error(); // clear any residue from other tests
+        let e1 = std::io::Error::new(std::io::ErrorKind::Other, "disk full");
+        let e2 = std::io::Error::new(std::io::ErrorKind::Other, "still full");
+        note_write_error("jsonl sink /tmp/a.jsonl", &e1);
+        note_write_error("jsonl sink /tmp/a.jsonl", &e2);
+        assert_eq!(
+            crate::registry::counter("telemetry.write_errors").get(),
+            before + 2
+        );
+        // First message wins; take clears the slot.
+        let msg = take_write_error().expect("pending error");
+        assert!(msg.contains("disk full"), "{msg}");
+        assert!(take_write_error().is_none());
     }
 
     #[test]

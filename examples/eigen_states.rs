@@ -32,6 +32,7 @@ fn main() {
         lbfgs_polish: Some(80),
         checkpoint: None,
         divergence: None,
+        progress: None,
     };
 
     let mut prev_states = Vec::new();

@@ -63,6 +63,7 @@ fn main() {
         lbfgs_polish: None,
         checkpoint: None,
         divergence: None,
+        progress: None,
     })
     .train(&mut task, &mut params);
     for (e, l) in log.epochs.iter().zip(&log.loss) {

@@ -48,6 +48,7 @@ fn main() {
         lbfgs_polish: None,
         checkpoint: None,
         divergence: None,
+        progress: None,
     });
     let log = trainer.train(&mut task, &mut params);
     for (e, l) in log.epochs.iter().zip(&log.loss) {

@@ -36,6 +36,7 @@ fn config(ckpt_dir: &std::path::Path) -> TrainConfig {
                 .run_id("resume-demo"),
         ),
         divergence: None,
+        progress: None,
     }
 }
 

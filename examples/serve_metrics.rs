@@ -1,0 +1,77 @@
+//! Live observation of a training run: start the embedded metrics
+//! endpoint, train with a progress hook, and scrape the four routes the
+//! way Prometheus (or plain `curl`) would.
+//!
+//! ```sh
+//! cargo run --release --example serve_metrics
+//! # in another terminal, while it trains:
+//! #   curl http://127.0.0.1:9095/progress
+//! #   curl http://127.0.0.1:9095/metrics
+//! ```
+//!
+//! This example binds port 0 (a free port) so it can run unattended and
+//! scrapes itself at the end to show the responses.
+
+use qpinn::core::task::{TdseTask, TdseTaskConfig};
+use qpinn::core::trainer::Trainer;
+use qpinn::core::TrainConfig;
+use qpinn::nn::ParamSet;
+use qpinn::obs::MetricsServer;
+use qpinn::optim::LrSchedule;
+use qpinn::problems::TdseProblem;
+use rand::{rngs::StdRng, SeedableRng};
+use std::io::{Read, Write};
+
+fn get(addr: std::net::SocketAddr, path: &str) -> String {
+    let mut s = std::net::TcpStream::connect(addr).unwrap();
+    write!(s, "GET {path} HTTP/1.1\r\nHost: example\r\n\r\n").unwrap();
+    let mut buf = String::new();
+    s.read_to_string(&mut buf).unwrap();
+    buf.split_once("\r\n\r\n").map(|(_, b)| b.to_string()).unwrap_or(buf)
+}
+
+fn main() {
+    // 1. Start the endpoint. Use "127.0.0.1:9095" for a fixed port; this
+    //    also installs a telemetry sink so `train_progress` marks feed
+    //    /progress with zero trainer wiring.
+    let server = MetricsServer::start("127.0.0.1:0").unwrap();
+    let addr = server.local_addr();
+    println!("metrics endpoint: http://{addr}/metrics");
+    println!("progress:         http://{addr}/progress\n");
+
+    // 2. A small training run. The explicit progress hook works even
+    //    without any telemetry sinks and prints each update the server
+    //    will also serve.
+    let problem = TdseProblem::free_packet();
+    let mut cfg = TdseTaskConfig::standard(&problem, 16, 2);
+    cfg.n_collocation = 256;
+    cfg.reference = (128, 200, 16);
+    cfg.eval_grid = (32, 12);
+    let mut params = ParamSet::new();
+    let mut rng = StdRng::seed_from_u64(42);
+    let mut task = TdseTask::new(problem, &cfg, &mut params, &mut rng);
+
+    let trainer = Trainer::new(TrainConfig {
+        epochs: 200,
+        schedule: LrSchedule::Constant { lr: 2e-3 },
+        log_every: 25,
+        eval_every: 0,
+        clip: Some(100.0),
+        lbfgs_polish: None,
+        checkpoint: None,
+        divergence: None,
+        progress: Some(server.progress_hook()),
+    });
+    let log = trainer.train(&mut task, &mut params);
+    println!("trained to loss {:.3e} in {:.1}s\n", log.final_loss, log.wall_s);
+
+    // 3. Scrape ourselves, as a monitoring system would.
+    println!("GET /healthz  → {}", get(addr, "/healthz"));
+    println!("GET /progress → {}", get(addr, "/progress"));
+    let metrics = get(addr, "/metrics");
+    println!("GET /metrics  → {} lines, e.g.:", metrics.lines().count());
+    for line in metrics.lines().filter(|l| l.contains("train_progress_")).take(4) {
+        println!("  {line}");
+    }
+    server.stop();
+}

@@ -47,6 +47,7 @@ fn main() {
         lbfgs_polish: Some(60),
         checkpoint: None,
         divergence: None,
+        progress: None,
     })
     .train(&mut task, &mut params);
     println!("loss: {}", sparkline_log(&log.loss));

@@ -21,6 +21,7 @@ pub use qpinn_dual as dual;
 pub use qpinn_fft as fft;
 pub use qpinn_linalg as linalg;
 pub use qpinn_nn as nn;
+pub use qpinn_obs as obs;
 pub use qpinn_optim as optim;
 pub use qpinn_persist as persist;
 pub use qpinn_problems as problems;

@@ -36,6 +36,7 @@ fn hybrid_training_lowers_the_rayleigh_quotient() {
         lbfgs_polish: None,
         checkpoint: None,
         divergence: None,
+        progress: None,
     })
     .train(&mut task, &mut params);
     let e_after = task.energy(&params);
@@ -127,6 +128,7 @@ fn all_scalings_produce_trainable_hybrids() {
             lbfgs_polish: None,
             checkpoint: None,
             divergence: None,
+            progress: None,
         })
         .train(&mut task, &mut params);
         assert!(

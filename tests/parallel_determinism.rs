@@ -141,6 +141,7 @@ fn short_cfg(epochs: usize, checkpoint: Option<CheckpointConfig>) -> TrainConfig
         lbfgs_polish: None,
         checkpoint,
         divergence: None,
+        progress: None,
     }
 }
 

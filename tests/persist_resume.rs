@@ -51,6 +51,7 @@ fn cfg_epochs(epochs: usize, checkpoint: Option<CheckpointConfig>) -> TrainConfi
         lbfgs_polish: None,
         checkpoint,
         divergence: None,
+        progress: None,
     }
 }
 
@@ -220,6 +221,7 @@ fn task_state_blob_roundtrips_through_resume() {
         lbfgs_polish: None,
         checkpoint: ckpt,
         divergence: None,
+        progress: None,
     };
 
     let (mut task1, mut params1) = fresh();

@@ -46,6 +46,7 @@ fn tiny_nls(epochs: usize) -> (NlsTask, ParamSet, TrainConfig) {
         lbfgs_polish: None,
         checkpoint: None,
         divergence: None,
+        progress: None,
     };
     (task, params, train)
 }

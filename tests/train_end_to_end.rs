@@ -19,6 +19,7 @@ fn quick_train(epochs: usize) -> TrainConfig {
         lbfgs_polish: None,
         checkpoint: None,
         divergence: None,
+        progress: None,
     }
 }
 
