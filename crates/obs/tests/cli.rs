@@ -78,6 +78,105 @@ fn usage_and_io_errors_exit_two() {
 }
 
 #[test]
+fn check_exits_two_on_empty_record_files() {
+    // An empty file is a parse error, not a silent pass: exit 2.
+    let empty = tmp("empty.json", "");
+    let base = tmp("base-vs-empty.json", BASELINE);
+    for (b, c) in [(&empty, &base), (&base, &empty)] {
+        let out = bin()
+            .args(["check", "--baseline"])
+            .arg(b)
+            .arg("--current")
+            .arg(c)
+            .output()
+            .unwrap();
+        assert_eq!(out.status.code(), Some(2), "empty input must exit 2");
+        assert!(String::from_utf8_lossy(&out.stderr).contains("error"));
+    }
+}
+
+#[test]
+fn check_with_disjoint_keys_reports_nothing_comparable_and_passes() {
+    // No key appears in both records: nothing regressed, nothing proven —
+    // the gate passes (exit 0) but says so explicitly.
+    let base = tmp("base-disjoint.json", r#"{"alpha_gflops":[5.0]}"#);
+    let cur = tmp("cur-disjoint.json", r#"{"beta_gflops":[9.0]}"#);
+    let out = bin()
+        .args(["check", "--baseline"])
+        .arg(&base)
+        .arg("--current")
+        .arg(&cur)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0), "{}", stdout(&out));
+    let text = stdout(&out);
+    assert!(text.contains("no comparable perf metrics"), "{text}");
+    assert!(!text.contains("REGRESSED"), "{text}");
+}
+
+#[test]
+fn check_skips_zero_baseline_metrics_instead_of_dividing() {
+    // A 0.0 baseline would make the relative delta infinite; the gate must
+    // skip that entry (no division by zero) and judge only the rest.
+    let base = tmp(
+        "base-zero.json",
+        r#"{"warm_gflops":[0.0],"matmul_gflops":[8.0]}"#,
+    );
+    let cur = tmp(
+        "cur-zero.json",
+        r#"{"warm_gflops":[4.0],"matmul_gflops":[7.9]}"#,
+    );
+    let out = bin()
+        .args(["check", "--baseline"])
+        .arg(&base)
+        .arg("--current")
+        .arg(&cur)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0), "{}", stdout(&out));
+    let text = stdout(&out);
+    assert!(!text.contains("inf"), "zero baseline leaked a division: {text}");
+    assert!(text.contains("PASS"), "{text}");
+
+    // Same zero baseline, but the surviving metric genuinely regressed:
+    // the skip must not mask a real regression elsewhere.
+    let cur_bad = tmp(
+        "cur-zero-bad.json",
+        r#"{"warm_gflops":[4.0],"matmul_gflops":[2.0]}"#,
+    );
+    let out = bin()
+        .args(["check", "--baseline"])
+        .arg(&base)
+        .arg("--current")
+        .arg(&cur_bad)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1), "{}", stdout(&out));
+}
+
+#[test]
+fn check_usage_errors_exit_two() {
+    // Missing --current.
+    let base = tmp("base-lonely.json", BASELINE);
+    let out = bin()
+        .args(["check", "--baseline"])
+        .arg(&base)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    // Malformed threshold.
+    let out = bin()
+        .args(["check", "--baseline"])
+        .arg(&base)
+        .arg("--current")
+        .arg(&base)
+        .args(["--threshold", "-5"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
 fn trace_flame_pool_run_over_one_stream() {
     let jsonl = concat!(
         r#"{"v":1,"ts_ns":5000,"kind":"span","name":"forward","thread":"main","fields":{"path":"epoch/loss/forward","dur_ns":3000}}"#,

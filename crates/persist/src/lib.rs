@@ -22,6 +22,8 @@
 pub mod codec;
 pub mod crc;
 pub mod format;
+#[cfg(test)]
+mod proptests;
 pub mod retention;
 pub mod snapshot;
 pub mod store;

@@ -1,0 +1,119 @@
+//! Property tests for the snapshot codec: **no corrupted container may
+//! decode successfully, and none may panic.**
+//!
+//! Strategy: generate an arbitrary (but valid) snapshot, encode it, then
+//! apply each corruption class — truncation at any offset, a single bit
+//! flip at any position, garbage appended past the trailer — and require
+//! `Snapshot::decode` to return `Err` every time. A fourth property feeds
+//! the decoder pure byte soup. The vendored proptest harness draws every
+//! case from a fixed deterministic seed, so failures reproduce exactly.
+
+use crate::snapshot::{RunMeta, Snapshot, TrainLogRecord};
+use proptest::collection::vec;
+use proptest::prelude::*;
+use qpinn_nn::ParamSet;
+use qpinn_optim::AdamState;
+use qpinn_tensor::Tensor;
+
+fn snapshot_from(vals: &[f64], epoch: u64, task_state: Vec<u8>) -> Snapshot {
+    let mut params = ParamSet::new();
+    params.add("w", Tensor::from_slice(vals));
+    Snapshot {
+        meta: RunMeta {
+            run_id: "prop".into(),
+            next_epoch: epoch,
+            planned_epochs: epoch + 10,
+            eval_error: 0.125,
+        },
+        params,
+        optim: AdamState {
+            lr: 1e-3,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.0,
+            t: epoch,
+            m: vec![Tensor::from_slice(vals)],
+            v: vec![Tensor::from_slice(vals)],
+        },
+        log: TrainLogRecord {
+            epochs: vec![0, epoch],
+            loss: vec![1.0, 0.5],
+            grad_norm: vec![2.0, 0.25],
+            eval_epochs: vec![epoch],
+            error: vec![0.125],
+            wall_s: 1.5,
+            final_loss: 0.5,
+            final_error: 0.25,
+        },
+        task_state,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn truncation_at_any_offset_is_an_error(
+        vals in vec(-1.0e3..1.0e3f64, 1..24),
+        epoch in 1u64..1_000_000,
+        state in vec(0u8..=255, 0..12),
+        cut in 0.0..1.0f64,
+    ) {
+        let bytes = snapshot_from(&vals, epoch, state).encode();
+        prop_assert!(Snapshot::decode(&bytes).is_ok(), "sanity: intact container decodes");
+        // Any strictly shorter prefix, down to and including empty.
+        let keep = (cut * bytes.len() as f64) as usize; // in [0, len-1]
+        prop_assert!(
+            Snapshot::decode(&bytes[..keep]).is_err(),
+            "decode accepted a container truncated to {keep}/{} bytes",
+            bytes.len()
+        );
+        prop_assert!(Snapshot::decode_meta_only(&bytes[..keep]).is_err());
+    }
+
+    #[test]
+    fn any_single_bit_flip_is_an_error(
+        vals in vec(-1.0e3..1.0e3f64, 1..24),
+        epoch in 1u64..1_000_000,
+        state in vec(0u8..=255, 0..12),
+        pos in 0.0..1.0f64,
+        bit in 0u32..8,
+    ) {
+        let mut bytes = snapshot_from(&vals, epoch, state).encode();
+        let idx = (pos * bytes.len() as f64) as usize;
+        bytes[idx] ^= 1u8 << bit;
+        // CRC-32 detects every single-bit error; a flip inside the trailer
+        // itself breaks the stored/computed comparison instead.
+        prop_assert!(
+            Snapshot::decode(&bytes).is_err(),
+            "decode accepted a container with bit {bit} of byte {idx} flipped"
+        );
+    }
+
+    #[test]
+    fn appended_garbage_is_an_error(
+        vals in vec(-1.0e3..1.0e3f64, 1..24),
+        epoch in 1u64..1_000_000,
+        garbage in vec(0u8..=255, 1..32),
+    ) {
+        let mut bytes = snapshot_from(&vals, epoch, Vec::new()).encode();
+        bytes.extend_from_slice(&garbage);
+        // The whole-file CRC trailer must sit at the very end; anything
+        // after it shifts the trailer window and must fail verification.
+        prop_assert!(
+            Snapshot::decode(&bytes).is_err(),
+            "decode accepted a container with {} garbage bytes appended",
+            garbage.len()
+        );
+    }
+
+    #[test]
+    fn byte_soup_never_panics(soup in vec(0u8..=255, 0..256)) {
+        // Plain random bytes: Err is acceptable, a panic is not. (With a
+        // 32-bit whole-file CRC plus magic/version checks, an accidental
+        // pass is out of reach for random input.)
+        prop_assert!(Snapshot::decode(&soup).is_err());
+        prop_assert!(Snapshot::decode_meta_only(&soup).is_err());
+    }
+}

@@ -90,11 +90,29 @@ impl SnapshotStore {
         let bytes = snap.encode();
         let final_path = self.dir.join(Self::file_name(snap.meta.next_epoch));
         let tmp_path = final_path.with_extension("tmp");
+        // Failpoint: the disk fills up before anything lands.
+        qpinn_testkit::fail_io("fs.enospc")?;
         {
             let mut f = File::create(&tmp_path)?;
+            // Failpoint: crash mid-write — half the payload reaches the tmp
+            // file, which stays behind under its temporary name (exactly the
+            // debris `open` must sweep and `load_latest` must never see).
+            if qpinn_testkit::should_fail("persist.write_short") {
+                f.write_all(&bytes[..bytes.len() / 2])?;
+                let _ = f.sync_all();
+                return Err(qpinn_testkit::injected_io_error("persist.write_short").into());
+            }
             f.write_all(&bytes)?;
             // Data must be durable before the rename publishes the name.
             f.sync_all()?;
+        }
+        // Failpoint: torn publish — a truncated payload appears under the
+        // *final* name, as if the rename landed but the data blocks did not.
+        // `load_latest` must skip it via CRC fallback.
+        if qpinn_testkit::should_fail("persist.rename_torn") {
+            fs::write(&final_path, &bytes[..bytes.len() / 3])?;
+            let _ = fs::remove_file(&tmp_path);
+            return Err(qpinn_testkit::injected_io_error("persist.rename_torn").into());
         }
         fs::rename(&tmp_path, &final_path)?;
         // Make the rename itself durable. Directory fsync is
@@ -102,6 +120,16 @@ impl SnapshotStore {
         // it is best-effort.
         if let Ok(d) = File::open(&self.dir) {
             let _ = d.sync_all();
+        }
+        // Failpoint: silent storage rot — one byte of the published snapshot
+        // flips *after* a fully successful save. The caller sees `Ok`; only
+        // the CRC check at load time can catch this.
+        if qpinn_testkit::should_fail("persist.bitflip") {
+            if let Ok(mut rotted) = fs::read(&final_path) {
+                let mid = rotted.len() / 2;
+                rotted[mid] ^= 0x01;
+                let _ = fs::write(&final_path, &rotted);
+            }
         }
         self.apply_retention(policy)?;
         qpinn_telemetry::counter("persist.checkpoint.writes").inc();

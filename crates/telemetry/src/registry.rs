@@ -9,7 +9,16 @@ use crate::event::{write_json_str, Event, Kind, Value};
 use crate::metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+
+/// Poison-tolerant lock on a name map: the maps only hold interned `Arc`
+/// handles and are never left mid-mutation across a panic point, so a
+/// poisoned guard is still fully valid. Recovering keeps one panicking
+/// test thread from cascading `PoisonError` failures through every later
+/// metric lookup in the process.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 /// A process-wide named-metric table.
 #[derive(Debug, Default)]
@@ -43,42 +52,33 @@ pub fn histogram(name: &str) -> Arc<Histogram> {
 impl Registry {
     /// Get or create the counter `name`.
     pub fn counter(&self, name: &str) -> Arc<Counter> {
-        let mut map = self.counters.lock().unwrap();
+        let mut map = lock(&self.counters);
         map.entry(name.to_string()).or_default().clone()
     }
 
     /// Get or create the gauge `name`.
     pub fn gauge(&self, name: &str) -> Arc<Gauge> {
-        let mut map = self.gauges.lock().unwrap();
+        let mut map = lock(&self.gauges);
         map.entry(name.to_string()).or_default().clone()
     }
 
     /// Get or create the histogram `name`.
     pub fn histogram(&self, name: &str) -> Arc<Histogram> {
-        let mut map = self.histograms.lock().unwrap();
+        let mut map = lock(&self.histograms);
         map.entry(name.to_string()).or_default().clone()
     }
 
     /// A point-in-time copy of every registered metric.
     pub fn snapshot(&self) -> MetricsSnapshot {
-        let counters = self
-            .counters
-            .lock()
-            .unwrap()
+        let counters = lock(&self.counters)
             .iter()
             .map(|(k, v)| (k.clone(), v.get()))
             .collect();
-        let gauges = self
-            .gauges
-            .lock()
-            .unwrap()
+        let gauges = lock(&self.gauges)
             .iter()
             .map(|(k, v)| (k.clone(), v.get()))
             .collect();
-        let histograms = self
-            .histograms
-            .lock()
-            .unwrap()
+        let histograms = lock(&self.histograms)
             .iter()
             .map(|(k, v)| (k.clone(), v.snapshot()))
             .collect();
@@ -92,13 +92,13 @@ impl Registry {
     /// Zero every registered metric (per-run isolation in tests and
     /// benches; the names stay registered).
     pub fn reset(&self) {
-        for c in self.counters.lock().unwrap().values() {
+        for c in lock(&self.counters).values() {
             c.reset();
         }
-        for g in self.gauges.lock().unwrap().values() {
+        for g in lock(&self.gauges).values() {
             g.reset();
         }
-        for h in self.histograms.lock().unwrap().values() {
+        for h in lock(&self.histograms).values() {
             h.reset();
         }
     }
@@ -227,6 +227,25 @@ mod tests {
         let s = r.snapshot();
         assert_eq!(s.counter("c"), Some(0));
         assert_eq!(s.histograms[0].1.count, 0);
+    }
+
+    #[test]
+    fn poisoned_registry_lock_recovers() {
+        // Metric maps hold plain data; a panic while holding the lock must
+        // not disable counters for the rest of the process.
+        let r = std::sync::Arc::new(Registry::default());
+        r.counter("survivor").add(1);
+        let poisoner = std::sync::Arc::clone(&r);
+        let _ = std::thread::spawn(move || {
+            let _c = poisoner.counter("survivor"); // take+drop, then poison
+            let _guard = poisoner.counters.lock().unwrap();
+            panic!("poison the counter map");
+        })
+        .join();
+        assert!(r.counters.is_poisoned(), "setup: mutex must be poisoned");
+        r.counter("survivor").add(2);
+        assert_eq!(r.counter("survivor").get(), 3);
+        assert_eq!(r.snapshot().counter("survivor"), Some(3));
     }
 
     #[test]

@@ -60,6 +60,19 @@ fn sinks() -> &'static RwLock<Vec<Arc<dyn Sink>>> {
     SINKS.get_or_init(|| RwLock::new(Vec::new()))
 }
 
+/// Poison-tolerant write lock on the sink list: a thread that panicked
+/// mid-dispatch (e.g. a chaos test) must not wedge telemetry for the rest
+/// of the process. Sink-list state is a plain `Vec` of `Arc`s, always
+/// valid regardless of where the panicking thread stopped.
+fn sinks_write() -> std::sync::RwLockWriteGuard<'static, Vec<Arc<dyn Sink>>> {
+    sinks().write().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Poison-tolerant read lock on the sink list; see [`sinks_write`].
+fn sinks_read() -> std::sync::RwLockReadGuard<'static, Vec<Arc<dyn Sink>>> {
+    sinks().read().unwrap_or_else(|e| e.into_inner())
+}
+
 /// True when at least one sink is installed. Instrumentation gates event
 /// construction on this, so a telemetry-off run pays one atomic load per
 /// potential event.
@@ -70,7 +83,7 @@ pub fn enabled() -> bool {
 
 /// Install a sink; events emitted from now on reach it.
 pub fn install(sink: Arc<dyn Sink>) {
-    let mut v = sinks().write().unwrap();
+    let mut v = sinks_write();
     v.push(sink);
     ENABLED.store(true, Ordering::Relaxed);
 }
@@ -78,7 +91,7 @@ pub fn install(sink: Arc<dyn Sink>) {
 /// Remove every installed sink (flushing them first). Used by tests and
 /// at the end of bench runs to make telemetry dormant again.
 pub fn shutdown() {
-    let mut v = sinks().write().unwrap();
+    let mut v = sinks_write();
     for s in v.iter() {
         s.flush();
     }
@@ -91,7 +104,7 @@ pub fn emit(event: Event) {
     if !enabled() {
         return;
     }
-    let v = sinks().read().unwrap();
+    let v = sinks_read();
     for s in v.iter() {
         s.record(&event);
     }
@@ -99,7 +112,7 @@ pub fn emit(event: Event) {
 
 /// Flush every installed sink.
 pub fn flush() {
-    let v = sinks().read().unwrap();
+    let v = sinks_read();
     for s in v.iter() {
         s.flush();
     }
@@ -144,11 +157,12 @@ impl JsonlSink {
 impl Sink for JsonlSink {
     fn record(&self, event: &Event) {
         let line = event.to_json_line();
-        let mut w = self.w.lock().unwrap();
+        let mut w = self.w.lock().unwrap_or_else(|e| e.into_inner());
         // Best-effort: a full disk must not kill the training run — but
-        // the loss is counted and surfaced, not silently swallowed.
-        if let Err(e) = w
-            .write_all(line.as_bytes())
+        // the loss is counted and surfaced, not silently swallowed. The
+        // `telemetry.sink_err` failpoint injects exactly that write error.
+        if let Err(e) = qpinn_testkit::fail_io("telemetry.sink_err")
+            .and_then(|()| w.write_all(line.as_bytes()))
             .and_then(|()| w.write_all(b"\n"))
         {
             note_write_error(&format!("jsonl sink {}", self.path.display()), &e);
@@ -156,7 +170,7 @@ impl Sink for JsonlSink {
     }
 
     fn flush(&self) {
-        if let Err(e) = self.w.lock().unwrap().flush() {
+        if let Err(e) = self.w.lock().unwrap_or_else(|e| e.into_inner()).flush() {
             note_write_error(&format!("jsonl sink {}", self.path.display()), &e);
         }
     }
@@ -204,7 +218,10 @@ pub struct MemorySink {
 
 impl Sink for MemorySink {
     fn record(&self, event: &Event) {
-        self.events.lock().unwrap().push(event.clone());
+        self.events
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(event.clone());
     }
 }
 
@@ -243,6 +260,25 @@ mod tests {
         let msg = take_write_error().expect("pending error");
         assert!(msg.contains("disk full"), "{msg}");
         assert!(take_write_error().is_none());
+    }
+
+    #[test]
+    fn poisoned_memory_sink_keeps_recording() {
+        // A panic inside a sink consumer must not brick telemetry for the
+        // rest of the process: locks recover via PoisonError::into_inner.
+        let sink = std::sync::Arc::new(MemorySink::default());
+        sink.record(&Event::new(Kind::Mark, "before-poison"));
+        let poisoner = std::sync::Arc::clone(&sink);
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.events.lock().unwrap();
+            panic!("poison the events mutex");
+        })
+        .join();
+        assert!(sink.events.is_poisoned(), "setup: mutex must be poisoned");
+        sink.record(&Event::new(Kind::Mark, "after-poison"));
+        let events = sink.events.lock().unwrap_or_else(|e| e.into_inner());
+        let names: Vec<&str> = events.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(names, ["before-poison", "after-poison"]);
     }
 
     #[test]

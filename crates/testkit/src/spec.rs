@@ -1,0 +1,202 @@
+//! Trigger schedules and the `QPINN_FAILPOINTS` spec grammar.
+//!
+//! ```text
+//! spec    := entry (';' entry)*
+//! entry   := name '=' trigger
+//! trigger := 'off' | 'always' | 'once'
+//!          | 'nth(' N ')'              # fire on exactly the N-th hit (1-based)
+//!          | 'every(' N ')'            # fire on every N-th hit
+//!          | 'times(' N ')'            # fire on the first N hits
+//!          | 'prob(' P [',seed=' S] ')'# fire with probability P, seeded PRNG
+//! ```
+//!
+//! Whitespace around entries, names, and triggers is ignored. Every
+//! schedule is deterministic: the same spec produces the same fire/no-fire
+//! sequence for the same sequence of hits, including `prob`, whose draws
+//! come from a SplitMix64 stream fixed by `seed` (default
+//! [`DEFAULT_PROB_SEED`]).
+
+use std::fmt;
+
+/// Seed used by `prob(P)` when the spec does not pin one explicitly.
+/// A fixed default keeps even "casual" probabilistic specs reproducible.
+pub const DEFAULT_PROB_SEED: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// When (relative to its hit sequence) an injection point fires.
+///
+/// Hit numbers are 1-based: the first evaluation of a point is hit 1.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Trigger {
+    /// Never fire (registered but inert; counters still advance).
+    Off,
+    /// Fire on every hit.
+    Always,
+    /// Fire on the first hit only.
+    Once,
+    /// Fire on exactly the `N`-th hit.
+    Nth(u64),
+    /// Fire on every `N`-th hit (hits N, 2N, 3N, ...).
+    Every(u64),
+    /// Fire on the first `N` hits.
+    Times(u64),
+    /// Fire with probability `p` per hit, drawn from a SplitMix64 stream
+    /// seeded with `seed` — deterministic for a fixed hit order.
+    Prob {
+        /// Per-hit fire probability in `[0, 1]`.
+        p: f64,
+        /// PRNG seed fixing the draw sequence.
+        seed: u64,
+    },
+}
+
+/// A malformed `QPINN_FAILPOINTS` spec (or a malformed single trigger).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpecError {
+    message: String,
+}
+
+impl SpecError {
+    fn new(message: impl Into<String>) -> Self {
+        SpecError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "failpoint spec error: {}", self.message)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// Parse a full spec (`name=trigger;name=trigger;...`) into its entries.
+/// Empty entries (from trailing/duplicated `;`) are skipped.
+pub fn parse_spec(spec: &str) -> Result<Vec<(String, Trigger)>, SpecError> {
+    let mut out = Vec::new();
+    for raw in spec.split(';') {
+        let entry = raw.trim();
+        if entry.is_empty() {
+            continue;
+        }
+        let (name, trig) = entry
+            .split_once('=')
+            .ok_or_else(|| SpecError::new(format!("entry `{entry}` is missing `=`")))?;
+        let name = name.trim();
+        if name.is_empty() {
+            return Err(SpecError::new(format!("entry `{entry}` has an empty name")));
+        }
+        out.push((name.to_string(), parse_trigger(trig)?));
+    }
+    Ok(out)
+}
+
+/// Parse one trigger term of the grammar above.
+pub fn parse_trigger(s: &str) -> Result<Trigger, SpecError> {
+    let s = s.trim();
+    match s {
+        "off" => return Ok(Trigger::Off),
+        "always" => return Ok(Trigger::Always),
+        "once" => return Ok(Trigger::Once),
+        _ => {}
+    }
+    let (head, rest) = s
+        .split_once('(')
+        .ok_or_else(|| SpecError::new(format!("unknown trigger `{s}`")))?;
+    let args = rest
+        .strip_suffix(')')
+        .ok_or_else(|| SpecError::new(format!("trigger `{s}` is missing `)`")))?
+        .trim();
+    match head.trim() {
+        "nth" => Ok(Trigger::Nth(parse_count("nth", args)?)),
+        "every" => Ok(Trigger::Every(parse_count("every", args)?)),
+        "times" => Ok(Trigger::Times(parse_count("times", args)?)),
+        "prob" => parse_prob(args),
+        other => Err(SpecError::new(format!("unknown trigger `{other}(...)`"))),
+    }
+}
+
+fn parse_count(what: &str, args: &str) -> Result<u64, SpecError> {
+    let n: u64 = args
+        .parse()
+        .map_err(|_| SpecError::new(format!("{what}({args}): expected an integer")))?;
+    if n == 0 {
+        return Err(SpecError::new(format!("{what}(0) would never fire; use `off`")));
+    }
+    Ok(n)
+}
+
+fn parse_prob(args: &str) -> Result<Trigger, SpecError> {
+    let (p_str, seed) = match args.split_once(',') {
+        None => (args.trim(), DEFAULT_PROB_SEED),
+        Some((p, s)) => {
+            let s = s.trim();
+            let digits = s
+                .strip_prefix("seed=")
+                .ok_or_else(|| SpecError::new(format!("prob: expected `seed=N`, got `{s}`")))?;
+            let seed = digits
+                .parse()
+                .map_err(|_| SpecError::new(format!("prob seed `{digits}`: expected an integer")))?;
+            (p.trim(), seed)
+        }
+    };
+    let p: f64 = p_str
+        .parse()
+        .map_err(|_| SpecError::new(format!("prob({p_str}): expected a probability")))?;
+    if !(0.0..=1.0).contains(&p) {
+        return Err(SpecError::new(format!("prob({p}): must be in [0, 1]")));
+    }
+    Ok(Trigger::Prob { p, seed })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_trigger_form() {
+        assert_eq!(parse_trigger("off").unwrap(), Trigger::Off);
+        assert_eq!(parse_trigger("always").unwrap(), Trigger::Always);
+        assert_eq!(parse_trigger("once").unwrap(), Trigger::Once);
+        assert_eq!(parse_trigger("nth(3)").unwrap(), Trigger::Nth(3));
+        assert_eq!(parse_trigger("every(2)").unwrap(), Trigger::Every(2));
+        assert_eq!(parse_trigger("times(5)").unwrap(), Trigger::Times(5));
+        assert_eq!(
+            parse_trigger("prob(0.25, seed=42)").unwrap(),
+            Trigger::Prob { p: 0.25, seed: 42 }
+        );
+        assert_eq!(
+            parse_trigger("prob(1.0)").unwrap(),
+            Trigger::Prob {
+                p: 1.0,
+                seed: DEFAULT_PROB_SEED
+            }
+        );
+    }
+
+    #[test]
+    fn parses_multi_entry_spec_with_whitespace() {
+        let spec = " persist.bitflip = nth(2) ; telemetry.sink_err=always ;; ";
+        let entries = parse_spec(spec).unwrap();
+        assert_eq!(
+            entries,
+            vec![
+                ("persist.bitflip".to_string(), Trigger::Nth(2)),
+                ("telemetry.sink_err".to_string(), Trigger::Always),
+            ]
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_specs() {
+        assert!(parse_spec("no-equals-sign").is_err());
+        assert!(parse_spec("=always").is_err());
+        assert!(parse_trigger("sometimes").is_err());
+        assert!(parse_trigger("nth(zero)").is_err());
+        assert!(parse_trigger("nth(0)").is_err());
+        assert!(parse_trigger("every(").is_err());
+        assert!(parse_trigger("prob(1.5)").is_err());
+        assert!(parse_trigger("prob(0.5, sneed=1)").is_err());
+    }
+}

@@ -30,6 +30,7 @@ pub use qpinn_sampling as sampling;
 pub use qpinn_solvers as solvers;
 pub use qpinn_telemetry as telemetry;
 pub use qpinn_tensor as tensor;
+pub use qpinn_testkit as testkit;
 
 /// Crate version, for reports.
 pub const VERSION: &str = env!("CARGO_PKG_VERSION");

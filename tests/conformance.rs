@@ -1,0 +1,161 @@
+//! Golden-file conformance suite: freezes the externally observable
+//! formats — the `qpinn-snapshot` binary container, the
+//! `qpinn-metrics-v1` JSON schema, and the Prometheus text exposition —
+//! against fixtures committed under `tests/fixtures/`.
+//!
+//! A diff in any of these files is a *format break*, not a test fluke:
+//! old checkpoints, dashboards, and scrapers all parse these bytes. To
+//! change a format deliberately, regenerate the fixtures with
+//!
+//! ```text
+//! QPINN_UPDATE_FIXTURES=1 cargo test --test conformance
+//! ```
+//!
+//! review the diff, bump the relevant format/schema version, and commit
+//! the new fixtures together with the code change. CI fails on fixture
+//! drift that is not committed.
+
+use qpinn::optim::AdamState;
+use qpinn::persist::{RunMeta, Snapshot, TrainLogRecord};
+use qpinn::telemetry::{prometheus, Registry};
+use qpinn::tensor::Tensor;
+use std::path::PathBuf;
+
+fn fixture_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+/// Compare `actual` against the committed fixture, regenerating it first
+/// when `QPINN_UPDATE_FIXTURES=1` is set.
+fn assert_matches_fixture(name: &str, actual: &[u8]) {
+    let path = fixture_path(name);
+    if std::env::var("QPINN_UPDATE_FIXTURES").as_deref() == Ok("1") {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        eprintln!("regenerated fixture {}", path.display());
+    }
+    let expected = std::fs::read(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing fixture {} ({e}); regenerate with QPINN_UPDATE_FIXTURES=1",
+            path.display()
+        )
+    });
+    if expected != actual {
+        // Byte-precise failure message without dumping binary noise.
+        let first_diff = expected
+            .iter()
+            .zip(actual)
+            .position(|(a, b)| a != b)
+            .unwrap_or_else(|| expected.len().min(actual.len()));
+        panic!(
+            "{name} drifted from its committed fixture: \
+             fixture {} bytes, actual {} bytes, first difference at offset {first_diff}. \
+             If the format change is deliberate, bump its version and regenerate with \
+             QPINN_UPDATE_FIXTURES=1 cargo test --test conformance",
+            expected.len(),
+            actual.len()
+        );
+    }
+}
+
+/// A fully pinned snapshot: every field fixed, no timestamps, no RNG —
+/// `encode()` must be byte-stable across runs, platforms, and PRs.
+fn pinned_snapshot() -> Snapshot {
+    let mut params = qpinn::nn::ParamSet::new();
+    params.add(
+        "w1",
+        Tensor::from_vec([2, 3], vec![1.0, -2.0, 3.5, 0.25, -0.125, 9.0]),
+    );
+    params.add("b1", Tensor::from_slice(&[0.1, 0.2, 0.3]));
+    Snapshot {
+        meta: RunMeta {
+            run_id: "conformance-v1".into(),
+            next_epoch: 1500,
+            planned_epochs: 20_000,
+            eval_error: 3.25e-3,
+        },
+        params,
+        optim: AdamState {
+            lr: 1e-3,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.01,
+            t: 1234,
+            m: vec![
+                Tensor::from_vec([2, 3], vec![0.01; 6]),
+                Tensor::from_slice(&[0.5, -0.5, 0.0]),
+            ],
+            v: vec![
+                Tensor::from_vec([2, 3], vec![0.002; 6]),
+                Tensor::from_slice(&[1e-4, 2e-4, 3e-4]),
+            ],
+        },
+        log: TrainLogRecord {
+            epochs: vec![0, 500, 1000],
+            loss: vec![1.0, 0.1, 0.01],
+            grad_norm: vec![10.0, 2.0, 0.3],
+            eval_epochs: vec![1000],
+            error: vec![4.5e-3],
+            wall_s: 12.75,
+            final_loss: 0.01,
+            final_error: 4.5e-3,
+        },
+        task_state: vec![1, 2, 3, 255],
+    }
+}
+
+/// A local (non-global) registry with pinned contents, so the fixture is
+/// immune to whatever other tests did to the process-wide registry.
+fn pinned_registry() -> Registry {
+    let r = Registry::default();
+    r.counter("train.grad_evals").add(4321);
+    r.counter("persist.checkpoint.writes").add(3);
+    r.gauge("train.progress.loss").set(0.015625); // dyadic: exact decimal
+    r.gauge("train.progress.epoch").set(1500.0);
+    let h = r.histogram("phase.forward_ns");
+    for v in [100, 200, 400, 800, 1600, 3200, 6400, 1_000_000] {
+        h.record(v);
+    }
+    r
+}
+
+#[test]
+fn snapshot_binary_format_is_frozen() {
+    let snap = pinned_snapshot();
+    let bytes = snap.encode();
+    assert_matches_fixture("snapshot_v1.qps", &bytes);
+
+    // The committed fixture must also *decode* losslessly — format
+    // stability is meaningless if old bytes stop round-tripping.
+    let decoded = Snapshot::decode(&std::fs::read(fixture_path("snapshot_v1.qps")).unwrap())
+        .expect("committed fixture must decode");
+    assert_eq!(decoded.meta, snap.meta);
+    assert_eq!(decoded.log, snap.log);
+    assert_eq!(decoded.task_state, snap.task_state);
+    let (a, b) = (decoded.params.flatten(), snap.params.flatten());
+    assert_eq!(a.len(), b.len());
+    assert!(a.iter().zip(&b).all(|(x, y)| x.to_bits() == y.to_bits()));
+    assert_eq!(decoded.optim.t, snap.optim.t);
+    assert_eq!(decoded.optim.m.len(), snap.optim.m.len());
+}
+
+#[test]
+fn metrics_v1_json_schema_is_frozen() {
+    let json = pinned_registry().snapshot().to_json();
+    assert!(json.starts_with("{\"schema\":\"qpinn-metrics-v1\""));
+    assert_matches_fixture("metrics_v1.json", json.as_bytes());
+}
+
+#[test]
+fn prometheus_exposition_is_frozen() {
+    let snap = pinned_registry().snapshot();
+    let page = prometheus::render(&snap, "qpinn_", &[("run", "conformance"), ("v", "1")]);
+    // Spot-check the exposition contract before byte-freezing it: counters
+    // carry `_total`, histograms cumulative `le` buckets with `+Inf`.
+    assert!(page.contains("qpinn_train_grad_evals_total"));
+    assert!(page.contains("le=\"+Inf\""));
+    assert_matches_fixture("prometheus_v1.txt", page.as_bytes());
+}

@@ -77,6 +77,71 @@ fn dual_number_gradients_agree_with_parameter_shift() {
 }
 
 #[test]
+fn graph_autodiff_theta_gradient_matches_parameter_shift_on_2q_ansatz() {
+    // End-to-end gradcheck through the *reverse-mode graph* (custom quantum
+    // ops included), not just the layer-local dual-number jacobians: build
+    // the full hybrid net, backprop a summed readout to the quantum
+    // parameters, and cross-check every component against the
+    // parameter-shift rule evaluated through `predict`.
+    //
+    // The readout must be a linear functional of the circuit expectation
+    // values for parameter shift to be exact — the summed network output
+    // qualifies (output layer is affine in ⟨Z_k⟩; the classical front-end
+    // does not depend on θ). A nonlinear loss (e.g. the Rayleigh quotient)
+    // would NOT satisfy this.
+    use qpinn::autodiff::Graph;
+    use qpinn::nn::GraphCtx;
+    use qpinn::tensor::Tensor;
+
+    let q = QuantumLayer {
+        n_qubits: 2,
+        layers: 2,
+        ansatz: Ansatz::BasicEntangling,
+        scaling: InputScaling::Acos,
+        reupload: false,
+    };
+    let mut params = ParamSet::new();
+    let mut rng = StdRng::seed_from_u64(21);
+    let net = HybridNet::new(&mut params, &mut rng, 6, q, "g");
+    let xs = [-0.6, -0.1, 0.3, 0.8];
+
+    // Reverse-mode gradient of f(θ) = Σ_batch ψ(x) through the graph.
+    let theta_idx = params
+        .iter()
+        .position(|(_, name, _)| name == "g.theta")
+        .expect("quantum parameter vector registered as g.theta");
+    let autodiff: Vec<f64> = {
+        let mut g = Graph::new();
+        let mut ctx = GraphCtx::new(&mut g, &params);
+        let x = ctx.g.constant(Tensor::column(&xs));
+        let out = net.forward_jet1(&mut ctx, x);
+        let s = ctx.g.sum(out.v);
+        let mut grads = ctx.g.backward(s);
+        ctx.collect_grads(&mut grads)[theta_idx].data().to_vec()
+    };
+
+    // Parameter-shift on the same scalar, through the value-only path.
+    let theta0 = params.tensors()[theta_idx].data().to_vec();
+    let f = |t: &[f64]| -> f64 {
+        let mut p = params.clone();
+        p.tensors_mut()[theta_idx] = Tensor::from_slice(t);
+        net.predict(&p, &xs).iter().sum()
+    };
+    let shift = parameter_shift_gradient(&f, &theta0);
+
+    assert_eq!(autodiff.len(), shift.len());
+    let scale = shift.iter().fold(1.0f64, |m, s| m.max(s.abs()));
+    for (p, (a, s)) in autodiff.iter().zip(&shift).enumerate() {
+        assert!(
+            (a - s).abs() <= 1e-8 * scale,
+            "theta[{p}]: graph autodiff {a} vs parameter shift {s}"
+        );
+    }
+    // Guard against the vacuous pass where θ sits at a critical point.
+    assert!(scale > 1e-4, "gradcheck is vacuous: all shifts ≈ 0 ({scale:e})");
+}
+
+#[test]
 fn entanglement_diagnostic_tracks_circuit_structure() {
     use qpinn::qcircuit::entanglement::meyer_wallach;
     let mut rng = StdRng::seed_from_u64(9);

@@ -302,6 +302,14 @@ fn worker_loop(reg: &'static Registry, counters: Arc<WorkerCounters>) {
     loop {
         let set = reg.pop_blocking(&counters);
         counters.steals.fetch_add(1, Ordering::Relaxed);
+        // Failpoint: a worker goes to sleep right after claiming a ticket.
+        // Exercises the straggler path — the launcher and other workers
+        // must drain the set around the stalled thread, and because ordered
+        // consumers combine per-chunk slots in index order, results must
+        // stay bit-identical no matter which chunks the sleeper loses.
+        if qpinn_testkit::should_fail("pool.steal_stall") {
+            std::thread::sleep(Duration::from_millis(2));
+        }
         // Accumulate the chunk count locally and flush once per ticket:
         // the claim/run fast path inside `run_one` stays counter-free.
         let mut ran = 0u64;
