@@ -40,6 +40,14 @@ pub struct RunOpts {
     /// exposing `/metrics`, `/metrics.json`, `/progress`, and `/healthz`
     /// for the lifetime of the process.
     pub serve_metrics: Option<String>,
+    /// Inference-server address (`--serve ADDR`, e.g. `127.0.0.1:0`;
+    /// port 0 picks a free port and prints it). When set,
+    /// [`RunOpts::from_args`] starts a [`qpinn_serve::ServeServer`] with
+    /// its model registry under `target/models` (or `--models DIR`),
+    /// exposing `/v1/eval`, `/v1/train`, `/v1/models`, and the shared
+    /// metrics routes for the lifetime of the process. Useful for
+    /// driving load against a bench-built binary.
+    pub serve: Option<String>,
 }
 
 impl RunOpts {
@@ -74,6 +82,36 @@ impl RunOpts {
             .position(|a| a == "--serve-metrics")
             .and_then(|i| args.get(i + 1))
             .cloned();
+        let serve = args
+            .iter()
+            .position(|a| a == "--serve")
+            .and_then(|i| args.get(i + 1))
+            .cloned();
+        if let Some(addr) = &serve {
+            let models_dir = args
+                .iter()
+                .position(|a| a == "--models")
+                .and_then(|i| args.get(i + 1))
+                .map(std::path::PathBuf::from)
+                .unwrap_or_else(|| std::path::Path::new("target").join("models"));
+            match qpinn_serve::ServeServer::start(
+                addr.as_str(),
+                qpinn_serve::ServeConfig::new(&models_dir),
+            ) {
+                Ok(server) => {
+                    println!(
+                        "serving inference on http://{} (models: {})",
+                        server.local_addr(),
+                        models_dir.display()
+                    );
+                    // Like the metrics endpoint: lives until process exit.
+                    std::mem::forget(server);
+                }
+                Err(e) => eprintln!(
+                    "warning: cannot bind inference server {addr}: {e}; continuing without"
+                ),
+            }
+        }
         if let Some(addr) = &serve_metrics {
             match qpinn_obs::MetricsServer::start(addr.as_str()) {
                 Ok(server) => {
@@ -107,6 +145,7 @@ impl RunOpts {
             telemetry: telemetry_path,
             epochs,
             serve_metrics,
+            serve,
         }
     }
 
@@ -219,6 +258,7 @@ mod tests {
             telemetry: None,
             epochs: None,
             serve_metrics: None,
+            serve: None,
         };
         let full = RunOpts {
             full: true,
@@ -227,6 +267,7 @@ mod tests {
             telemetry: None,
             epochs: None,
             serve_metrics: None,
+            serve: None,
         };
         assert_eq!(quick.pick(1, 10), 1);
         assert_eq!(full.pick(1, 10), 10);
@@ -242,6 +283,7 @@ mod tests {
             telemetry: None,
             epochs: None,
             serve_metrics: None,
+            serve: None,
         };
         assert_eq!(opts.pick_epochs(100, 1000), 100);
         opts.full = true;

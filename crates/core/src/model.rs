@@ -222,11 +222,39 @@ impl FieldNet {
     /// `[n_points, n_fields]` prediction tensor.
     pub fn predict(&self, params: &ParamSet, points: &[Vec<f64>]) -> Tensor {
         let k = self.n_coords();
+        let mut flat = Vec::with_capacity(points.len() * k);
+        for p in points {
+            assert_eq!(p.len(), k, "coordinate arity");
+            flat.extend_from_slice(p);
+        }
+        self.predict_batch(params, &flat)
+    }
+
+    /// The batched-evaluation entry point: evaluate the fields at
+    /// `coords.len() / n_coords` points given row-major flattened
+    /// coordinates (`[x0, t0, x1, t1, …]` for a 2-coordinate net).
+    ///
+    /// This is the path the `qpinn-serve` batching engine dispatches
+    /// coalesced requests through: one call builds one constant column
+    /// per coordinate and runs a single forward pass, whose matmuls go
+    /// through the work-stealing pool. Every output row depends only on
+    /// its own input row with a fixed-order dot product, so row `i` of a
+    /// coalesced batch is bit-identical to evaluating point `i` alone —
+    /// the invariant that makes request batching transparent (asserted
+    /// by `tests/serve_e2e.rs`).
+    pub fn predict_batch(&self, params: &ParamSet, coords: &[f64]) -> Tensor {
+        let k = self.n_coords();
+        assert!(
+            k > 0 && coords.len() % k == 0,
+            "flattened coords length {} is not a multiple of arity {k}",
+            coords.len()
+        );
+        let n = coords.len() / k;
         let mut g = Graph::new();
         let mut ctx = GraphCtx::new(&mut g, params);
         let columns: Vec<Var> = (0..k)
             .map(|c| {
-                let col: Vec<f64> = points.iter().map(|p| p[c]).collect();
+                let col: Vec<f64> = (0..n).map(|i| coords[i * k + c]).collect();
                 ctx.g.constant(Tensor::column(&col))
             })
             .collect();
@@ -312,6 +340,40 @@ mod tests {
                 "u_xx field {field}: {uxx} vs {fdxx}"
             );
         }
+    }
+
+    #[test]
+    fn predict_batch_rows_are_independent_of_batch_composition() {
+        // The batching-transparency invariant qpinn-serve relies on:
+        // evaluating a point inside a large mixed batch must produce the
+        // same f64 bits as evaluating it alone.
+        let cfg = FieldNetConfig::standard_wave(8.0, 1.0, 24, 2);
+        let (params, model) = net(&cfg);
+        let pts: Vec<Vec<f64>> = (0..37)
+            .map(|i| vec![-4.0 + 8.0 * i as f64 / 36.0, i as f64 / 36.0])
+            .collect();
+        let batched = model.predict(&params, &pts);
+        for (i, p) in pts.iter().enumerate() {
+            let solo = model.predict(&params, std::slice::from_ref(p));
+            for f in 0..2 {
+                assert_eq!(
+                    batched.get(&[i, f]).to_bits(),
+                    solo.get(&[0, f]).to_bits(),
+                    "row {i} field {f} changed bits inside a batch"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn predict_batch_matches_predict() {
+        let cfg = FieldNetConfig::plain(2, 16, 2, 2);
+        let (params, model) = net(&cfg);
+        let pts = vec![vec![0.1, 0.2], vec![-0.3, 0.9]];
+        let flat = [0.1, 0.2, -0.3, 0.9];
+        let a = model.predict(&params, &pts);
+        let b = model.predict_batch(&params, &flat);
+        assert_eq!(a.data(), b.data());
     }
 
     #[test]

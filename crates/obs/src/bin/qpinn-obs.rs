@@ -33,9 +33,16 @@ USAGE:
         Compare benchmark records; exit 1 if any perf metric regressed
         beyond the threshold (default 10%).
 
+    qpinn-obs snapshots DIR [--recursive]
+        List the .qps snapshots in a checkpoint or model-registry
+        directory: version, run id, epoch, bytes, eval error, CRC
+        status — without decoding tensor payloads. --recursive also
+        walks one level of subdirectories (a qpinn-serve models dir).
+        Exit 1 when any file fails its CRC.
+
 EXIT CODES:
     0  success / no regression
-    1  perf regression detected (check)
+    1  perf regression (check) or corrupt snapshot (snapshots)
     2  usage, I/O, or parse error
 ";
 
@@ -60,6 +67,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         "flame" => cmd_flame(&args[1..]),
         "pool" => cmd_pool(&args[1..]),
         "check" => cmd_check(&args[1..]),
+        "snapshots" => cmd_snapshots(&args[1..]),
         "-h" | "--help" | "help" => {
             print!("{USAGE}");
             Ok(ExitCode::SUCCESS)
@@ -138,6 +146,32 @@ fn cmd_pool(args: &[String]) -> Result<ExitCode, String> {
     };
     print!("{}", qpinn_obs::pool::report(&read_file(input)?)?);
     Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_snapshots(args: &[String]) -> Result<ExitCode, String> {
+    let mut dir: Option<&str> = None;
+    let mut recursive = false;
+    for a in args {
+        match a.as_str() {
+            "--recursive" | "-r" => recursive = true,
+            flag if flag.starts_with('-') => return Err(format!("unknown flag `{flag}`")),
+            path => {
+                if dir.replace(path).is_some() {
+                    return Err("snapshots takes exactly one directory".into());
+                }
+            }
+        }
+    }
+    let dir = dir.ok_or("snapshots needs a checkpoint directory")?;
+    let (text, corrupt) =
+        qpinn_obs::snapshots::report_tree(std::path::Path::new(dir), recursive)?;
+    print!("{text}");
+    Ok(if corrupt == 0 {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("qpinn-obs: {corrupt} corrupt snapshot file(s)");
+        ExitCode::from(1)
+    })
 }
 
 fn cmd_check(args: &[String]) -> Result<ExitCode, String> {

@@ -1,0 +1,254 @@
+//! Minimal HTTP/1.1 request/response plumbing shared by the embedded
+//! servers in this workspace ([`crate::server::MetricsServer`] and the
+//! `qpinn-serve` inference plane).
+//!
+//! Both servers follow the same shape — `std::net::TcpListener`, one
+//! response per connection, `Connection: close` — so the socket-level
+//! code lives here exactly once: request-line/header parsing (including
+//! `Content-Length`-bounded bodies for POSTs) and status-line/header
+//! formatting. Notably the `Content-Length` header is computed in a
+//! single place ([`Response::write_to`]); the two servers used to
+//! duplicate that formatting.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// Largest request body accepted by [`read_request`] (1 MiB). Bounds
+/// memory per connection; a batched eval of tens of thousands of points
+/// fits comfortably.
+pub const MAX_BODY_BYTES: usize = 1 << 20;
+
+/// A parsed HTTP request: method, split path/query, and the raw body.
+#[derive(Clone, Debug, Default)]
+pub struct Request {
+    /// Uppercase method token as sent (`GET`, `POST`, …).
+    pub method: String,
+    /// Path with any `?query` suffix removed.
+    pub path: String,
+    /// The query string after `?`, when present (undecoded).
+    pub query: Option<String>,
+    /// Raw request body (empty unless `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// Body as UTF-8, for JSON request payloads.
+    pub fn body_str(&self) -> Result<&str, String> {
+        std::str::from_utf8(&self.body).map_err(|e| format!("body is not UTF-8: {e}"))
+    }
+}
+
+/// Read and parse one request from `stream`, returning the request and
+/// the underlying stream (back out of the buffered reader) for the
+/// response. Malformed framing surfaces as `InvalidData`.
+pub fn read_request(stream: TcpStream) -> std::io::Result<(Request, TcpStream)> {
+    use std::io::{Error, ErrorKind};
+    let mut reader = BufReader::new(stream);
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("").to_string();
+    let target = parts.next().unwrap_or("");
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), Some(q.to_string())),
+        None => (target.to_string(), None),
+    };
+    // Drain headers; the only one that changes framing is Content-Length.
+    let mut content_length = 0usize;
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 || line == "\r\n" || line == "\n" {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| Error::new(ErrorKind::InvalidData, "bad Content-Length"))?;
+            }
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(Error::new(
+            ErrorKind::InvalidData,
+            format!("body of {content_length} bytes exceeds the {MAX_BODY_BYTES} byte limit"),
+        ));
+    }
+    let mut body = vec![0u8; content_length];
+    if content_length > 0 {
+        reader.read_exact(&mut body)?;
+    }
+    Ok((
+        Request {
+            method,
+            path,
+            query,
+            body,
+        },
+        reader.into_inner(),
+    ))
+}
+
+/// A response ready to serialize: status line, content type, optional
+/// extra headers, body.
+#[derive(Clone, Debug)]
+pub struct Response {
+    /// Full status, e.g. `"200 OK"` or `"429 Too Many Requests"`.
+    pub status: &'static str,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Additional `(name, value)` headers (e.g. `Retry-After`).
+    pub extra_headers: Vec<(&'static str, String)>,
+    /// Response body.
+    pub body: String,
+}
+
+impl Response {
+    /// A `200 OK` JSON response.
+    pub fn json(body: impl Into<String>) -> Self {
+        Response {
+            status: "200 OK",
+            content_type: "application/json",
+            extra_headers: Vec::new(),
+            body: body.into(),
+        }
+    }
+
+    /// A JSON response with an explicit status.
+    pub fn json_status(status: &'static str, body: impl Into<String>) -> Self {
+        Response {
+            status,
+            content_type: "application/json",
+            extra_headers: Vec::new(),
+            body: body.into(),
+        }
+    }
+
+    /// A plain-text response with an explicit status.
+    pub fn text(status: &'static str, body: impl Into<String>) -> Self {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            extra_headers: Vec::new(),
+            body: body.into(),
+        }
+    }
+
+    /// Append an extra header.
+    pub fn header(mut self, name: &'static str, value: impl Into<String>) -> Self {
+        self.extra_headers.push((name, value.into()));
+        self
+    }
+
+    /// Serialize onto `stream`: status line, `Content-Type`, the one
+    /// shared `Content-Length`, extra headers, `Connection: close`, body.
+    pub fn write_to(&self, stream: &mut TcpStream) -> std::io::Result<()> {
+        let mut head = format!(
+            "HTTP/1.1 {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n",
+            self.status,
+            self.content_type,
+            self.body.len()
+        );
+        for (name, value) in &self.extra_headers {
+            head.push_str(name);
+            head.push_str(": ");
+            head.push_str(value);
+            head.push_str("\r\n");
+        }
+        head.push_str("Connection: close\r\n\r\n");
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(self.body.as_bytes())?;
+        stream.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    /// Round-trip a request and response over a real socket pair.
+    fn exchange(raw_request: &str, response: Response) -> (Request, String) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let raw = raw_request.to_string();
+        let client = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(raw.as_bytes()).unwrap();
+            let mut buf = String::new();
+            s.read_to_string(&mut buf).unwrap();
+            buf
+        });
+        let (conn, _) = listener.accept().unwrap();
+        let (req, mut stream) = read_request(conn).unwrap();
+        response.write_to(&mut stream).unwrap();
+        drop(stream);
+        (req, client.join().unwrap())
+    }
+
+    #[test]
+    fn parses_get_with_query() {
+        let (req, raw) = exchange(
+            "GET /v1/models?full=1 HTTP/1.1\r\nHost: t\r\n\r\n",
+            Response::json("{\"ok\":true}"),
+        );
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/v1/models");
+        assert_eq!(req.query.as_deref(), Some("full=1"));
+        assert!(req.body.is_empty());
+        assert!(raw.starts_with("HTTP/1.1 200 OK\r\n"), "{raw}");
+        assert!(raw.contains("Content-Length: 11\r\n"), "{raw}");
+        assert!(raw.ends_with("{\"ok\":true}"), "{raw}");
+    }
+
+    #[test]
+    fn parses_post_body_by_content_length() {
+        let body = "{\"points\":[[0.5,0.1]]}";
+        let (req, _) = exchange(
+            &format!(
+                "POST /v1/eval HTTP/1.1\r\nContent-Type: application/json\r\n\
+                 Content-Length: {}\r\n\r\n{body}",
+                body.len()
+            ),
+            Response::json("{}"),
+        );
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/eval");
+        assert_eq!(req.body_str().unwrap(), body);
+    }
+
+    #[test]
+    fn extra_headers_and_status_render() {
+        let (_, raw) = exchange(
+            "GET / HTTP/1.1\r\n\r\n",
+            Response::json_status("429 Too Many Requests", "{\"error\":\"shed\"}")
+                .header("Retry-After", "1"),
+        );
+        assert!(raw.starts_with("HTTP/1.1 429 Too Many Requests\r\n"), "{raw}");
+        assert!(raw.contains("Retry-After: 1\r\n"), "{raw}");
+        assert!(raw.contains("Connection: close\r\n"), "{raw}");
+    }
+
+    #[test]
+    fn oversized_body_is_rejected() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            write!(
+                s,
+                "POST /v1/eval HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+                MAX_BODY_BYTES + 1
+            )
+            .unwrap();
+            // Leave the body unsent; the server must bail on the header.
+            let mut buf = String::new();
+            let _ = s.read_to_string(&mut buf);
+        });
+        let (conn, _) = listener.accept().unwrap();
+        assert!(read_request(conn).is_err());
+        client.join().unwrap();
+    }
+}

@@ -24,17 +24,24 @@
 //!   diffs a current benchmark record (GFLOP/s, s/epoch, circuits/s)
 //!   against a committed baseline such as `BENCH_parallel.json` and
 //!   fails on regressions beyond a threshold.
+//! * [`http`] — the minimal HTTP/1.1 request/response plumbing shared
+//!   by [`MetricsServer`] and the `qpinn-serve` inference server.
+//! * [`snapshots`] — checkpoint-directory inspection (`qpinn-obs
+//!   snapshots DIR`): id/version/epoch/bytes/CRC status per `.qps` file
+//!   without decoding full tensors.
 //!
-//! The `qpinn-obs` binary exposes [`trace`], [`flame`], [`pool`], and
-//! [`check`] as subcommands; see its `--help`.
+//! The `qpinn-obs` binary exposes [`trace`], [`flame`], [`pool`],
+//! [`check`], and [`snapshots`] as subcommands; see its `--help`.
 
 #![deny(missing_docs)]
 
 pub mod check;
 pub mod flame;
+pub mod http;
 pub mod pool;
 pub mod progress;
 pub mod server;
+pub mod snapshots;
 pub mod trace;
 
 pub use check::{compare, CheckReport, Direction, MetricDelta};

@@ -23,10 +23,10 @@
 //! telemetry layer out of its dormant state (spans start timing), which
 //! is the documented cost of opting into live observation.
 
+use crate::http::{read_request, Response};
 use crate::progress::ProgressTracker;
 use qpinn_core::trainer::ProgressHook;
 use qpinn_telemetry as telemetry;
-use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -117,78 +117,60 @@ fn accept_loop(listener: TcpListener, state: ServerState) {
     }
 }
 
-fn handle_connection(stream: TcpStream, state: &ServerState) -> std::io::Result<()> {
-    let mut reader = BufReader::new(stream);
-    let mut request_line = String::new();
-    reader.read_line(&mut request_line)?;
-    // Drain headers so well-behaved clients see a clean close.
-    let mut line = String::new();
-    loop {
-        line.clear();
-        if reader.read_line(&mut line)? == 0 || line == "\r\n" || line == "\n" {
-            break;
-        }
+/// Build the response for one (already parsed) metrics-endpoint request,
+/// or `None` when the route is not one of the four read-only metrics
+/// routes. Shared with `qpinn-serve`, which mounts the same routes on its
+/// inference server; `started` anchors the `/healthz` uptime report.
+pub fn metrics_routes(
+    method: &str,
+    path: &str,
+    tracker: &ProgressTracker,
+    started: Instant,
+) -> Option<Response> {
+    if method != "GET" {
+        return None;
     }
-    let mut parts = request_line.split_whitespace();
-    let method = parts.next().unwrap_or("");
-    let path = parts.next().unwrap_or("");
-    let path = path.split('?').next().unwrap_or(path);
-    let (status, content_type, body) = if method != "GET" {
-        (
-            "405 Method Not Allowed",
-            "text/plain; charset=utf-8",
-            "method not allowed\n".to_string(),
-        )
+    Some(match path {
+        "/metrics" => Response {
+            status: "200 OK",
+            content_type: "text/plain; version=0.0.4; charset=utf-8",
+            extra_headers: Vec::new(),
+            body: telemetry::prometheus::render(&telemetry::global().snapshot(), "qpinn_", &[]),
+        },
+        "/metrics.json" => Response::json(telemetry::global().snapshot().to_json()),
+        "/progress" => Response::json(match tracker.latest() {
+            Some(v) => v.to_json(),
+            None => "{\"training\":false}".to_string(),
+        }),
+        "/healthz" => Response::json(format!(
+            "{{\"status\":\"ok\",\"uptime_s\":{:.3}}}",
+            started.elapsed().as_secs_f64()
+        )),
+        _ => return None,
+    })
+}
+
+fn handle_connection(stream: TcpStream, state: &ServerState) -> std::io::Result<()> {
+    let (req, mut stream) = read_request(stream)?;
+    let response = if req.method != "GET" {
+        Response::text("405 Method Not Allowed", "method not allowed\n")
     } else {
-        match path {
-            "/metrics" => (
-                "200 OK",
-                "text/plain; version=0.0.4; charset=utf-8",
-                telemetry::prometheus::render(&telemetry::global().snapshot(), "qpinn_", &[]),
-            ),
-            "/metrics.json" => (
-                "200 OK",
-                "application/json",
-                telemetry::global().snapshot().to_json(),
-            ),
-            "/progress" => (
-                "200 OK",
-                "application/json",
-                match state.tracker.latest() {
-                    Some(v) => v.to_json(),
-                    None => "{\"training\":false}".to_string(),
-                },
-            ),
-            "/healthz" => (
-                "200 OK",
-                "application/json",
-                format!(
-                    "{{\"status\":\"ok\",\"uptime_s\":{:.3}}}",
-                    state.started.elapsed().as_secs_f64()
-                ),
-            ),
-            _ => (
+        match metrics_routes(&req.method, &req.path, &state.tracker, state.started) {
+            Some(r) => r,
+            None => Response::text(
                 "404 Not Found",
-                "text/plain; charset=utf-8",
-                "not found; try /metrics /metrics.json /progress /healthz\n".to_string(),
+                "not found; try /metrics /metrics.json /progress /healthz\n",
             ),
         }
     };
-    let mut stream = reader.into_inner();
-    write!(
-        stream,
-        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
-        body.len()
-    )?;
-    stream.write_all(body.as_bytes())?;
-    stream.flush()
+    response.write_to(&mut stream)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::progress::ProgressView;
-    use std::io::Read;
+    use std::io::{Read, Write};
 
     /// Serializes the two server tests: both install sinks into the
     /// process-global telemetry dispatch, and the emitted `train_progress`

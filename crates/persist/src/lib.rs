@@ -32,4 +32,4 @@ pub use crc::crc32;
 pub use format::{PersistError, Result, FORMAT_VERSION, MAGIC};
 pub use retention::RetentionPolicy;
 pub use snapshot::{RunMeta, Snapshot, TrainLogRecord};
-pub use store::SnapshotStore;
+pub use store::{SnapshotEntry, SnapshotStore};

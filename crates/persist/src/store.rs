@@ -3,13 +3,37 @@
 
 use crate::format::{PersistError, Result};
 use crate::retention::RetentionPolicy;
-use crate::snapshot::Snapshot;
+use crate::snapshot::{RunMeta, Snapshot};
 use std::fs::{self, File};
 use std::io::Write;
 use std::path::{Path, PathBuf};
 
 /// File extension of finished snapshots.
 pub const SNAPSHOT_EXT: &str = "qps";
+
+/// One snapshot file as seen by [`SnapshotStore::entries`]: identity and
+/// integrity without the cost of decoding parameter tensors.
+#[derive(Clone, Debug)]
+pub struct SnapshotEntry {
+    /// Epoch (or model version) encoded in the file name.
+    pub epoch: u64,
+    /// Path of the snapshot file.
+    pub path: PathBuf,
+    /// File size in bytes.
+    pub bytes: u64,
+    /// Decoded run metadata when the container's file CRC and meta
+    /// section verify; `None` for corrupt or truncated files.
+    pub meta: Option<RunMeta>,
+    /// Why metadata could not be read, when `meta` is `None`.
+    pub error: Option<String>,
+}
+
+impl SnapshotEntry {
+    /// True when the file-level CRC and meta section verified cleanly.
+    pub fn intact(&self) -> bool {
+        self.meta.is_some()
+    }
+}
 
 /// A directory of snapshots for one training run.
 ///
@@ -80,6 +104,37 @@ impl SnapshotStore {
             .collect();
         out.sort_by_key(|(e, _)| *e);
         out
+    }
+
+    /// All finished snapshot files with metadata and integrity status,
+    /// sorted by ascending epoch. Each entry reads the file once and
+    /// verifies the whole-file CRC plus the meta-section CRC (via
+    /// [`Snapshot::decode_meta_only`]) but never decodes parameter or
+    /// optimizer tensors, so enumerating a directory of large
+    /// checkpoints stays cheap. Corrupt files come back with
+    /// `meta: None` and the decode error instead of being skipped — the
+    /// inspection view must show damage, not hide it.
+    pub fn entries(&self) -> Vec<SnapshotEntry> {
+        self.list()
+            .into_iter()
+            .map(|(epoch, path)| {
+                let bytes = fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+                let (meta, error) = match fs::read(&path) {
+                    Ok(raw) => match Snapshot::decode_meta_only(&raw) {
+                        Ok(m) => (Some(m), None),
+                        Err(e) => (None, Some(e.to_string())),
+                    },
+                    Err(e) => (None, Some(e.to_string())),
+                };
+                SnapshotEntry {
+                    epoch,
+                    path,
+                    bytes,
+                    meta,
+                    error,
+                }
+            })
+            .collect()
     }
 
     /// Crash-safely persist `snap`, then enforce `policy`.
@@ -177,6 +232,18 @@ impl SnapshotStore {
             dir: self.dir.display().to_string(),
             corrupt_skipped,
         })
+    }
+
+    /// Load and fully verify the snapshot saved at exactly `epoch`.
+    /// Unlike [`SnapshotStore::load_latest`] there is no fallback: the
+    /// caller asked for a specific version, so a missing or corrupt file
+    /// is an error. Used by the `qpinn-serve` model registry to resolve
+    /// `id@version` references.
+    pub fn load_epoch(&self, epoch: u64) -> Result<(Snapshot, PathBuf)> {
+        let path = self.dir.join(Self::file_name(epoch));
+        let bytes = fs::read(&path)?;
+        let snap = Snapshot::decode(&bytes)?;
+        Ok((snap, path))
     }
 
     /// True when the directory holds at least one finished snapshot file
@@ -343,6 +410,53 @@ mod tests {
         }
         let left: Vec<u64> = store.list().into_iter().map(|(e, _)| e).collect();
         assert_eq!(left, vec![200, 400, 500], "best + last two");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn entries_report_metadata_without_decoding_tensors() {
+        let dir = tmp_dir("entries");
+        let store = SnapshotStore::open(&dir).unwrap();
+        let keep_all = RetentionPolicy::keep_all();
+        store.save(&snap_at(100, 0.5), &keep_all).unwrap();
+        let corrupt = store.save(&snap_at(200, 0.25), &keep_all).unwrap();
+        let mut bytes = fs::read(&corrupt).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        fs::write(&corrupt, &bytes).unwrap();
+
+        let entries = store.entries();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].epoch, 100);
+        assert!(entries[0].intact());
+        let meta = entries[0].meta.as_ref().unwrap();
+        assert_eq!(meta.run_id, "nls-flagship");
+        assert_eq!(meta.eval_error, 0.5);
+        assert!(entries[0].bytes > 0);
+        // The bit-flipped file must surface as damaged, not vanish.
+        assert_eq!(entries[1].epoch, 200);
+        assert!(!entries[1].intact());
+        assert!(entries[1].error.as_ref().unwrap().contains("checksum"));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn load_epoch_is_exact_with_no_fallback() {
+        let dir = tmp_dir("byepoch");
+        let store = SnapshotStore::open(&dir).unwrap();
+        let keep_all = RetentionPolicy::keep_all();
+        store.save(&snap_at(7, 0.5), &keep_all).unwrap();
+        store.save(&snap_at(9, 0.4), &keep_all).unwrap();
+        let (snap, _) = store.load_epoch(7).unwrap();
+        assert_eq!(snap.meta.next_epoch, 7);
+        assert!(store.load_epoch(8).is_err(), "missing version must error");
+        // Corrupt version 9: no silent fallback to 7.
+        let p9 = dir.join(SnapshotStore::file_name(9));
+        let mut bytes = fs::read(&p9).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        fs::write(&p9, &bytes).unwrap();
+        assert!(store.load_epoch(9).is_err(), "corrupt version must error");
         fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -1,0 +1,376 @@
+//! Micro-batching: coalesce concurrent eval requests for the same model
+//! version into one forward pass.
+//!
+//! One [`Batcher`] (and one dispatch thread) exists per resolved
+//! `(model id, version)`. Requests enqueue an [`EvalJob`] and block on a
+//! channel; the dispatch thread takes the first queued job, lingers up
+//! to [`BatchConfig::window`] for companions, drains the queue up to the
+//! request/point caps, runs a single [`FieldNet::predict_batch`] over
+//! the concatenated coordinates, and scatters each request's rows back
+//! through its channel.
+//!
+//! Batching is *transparent*: `predict_batch` evaluates each row with
+//! the same fixed-order dot products regardless of what else shares the
+//! batch (PR-2's determinism contract), so a coalesced response is
+//! bit-identical to the same request evaluated alone — asserted by the
+//! serve e2e suite.
+//!
+//! [`FieldNet::predict_batch`]: qpinn_core::model::FieldNet::predict_batch
+
+use crate::registry::LoadedModel;
+use qpinn_telemetry::names;
+use std::collections::VecDeque;
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Micro-batch shaping knobs.
+#[derive(Clone, Debug)]
+pub struct BatchConfig {
+    /// How long the dispatcher lingers after the first job arrives,
+    /// waiting for more requests to coalesce.
+    pub window: Duration,
+    /// Max requests folded into one forward pass.
+    pub max_requests: usize,
+    /// Max total points in one forward pass (a single oversized request
+    /// still runs, alone).
+    pub max_points: usize,
+    /// Max requests queued (waiting, not yet dispatched) per model;
+    /// beyond it, admission control sheds with `429`.
+    pub queue_cap: usize,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        BatchConfig {
+            window: Duration::from_millis(2),
+            max_requests: 64,
+            max_points: 16384,
+            queue_cap: 256,
+        }
+    }
+}
+
+/// One eval request in flight: row-major coordinates and the channel
+/// its rows come back on.
+struct EvalJob {
+    /// Flattened coordinates, `n_points * n_coords` long.
+    coords: Vec<f64>,
+    n_points: usize,
+    tx: mpsc::Sender<Result<Vec<f64>, String>>,
+}
+
+/// Why a submission was refused without being queued.
+#[derive(Debug, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The per-model queue is at capacity — shed (`429 Retry-After`).
+    QueueFull,
+    /// Coordinate count is not a multiple of the model's input arity.
+    BadShape {
+        /// The model's coordinate count per point.
+        expected_arity: usize,
+    },
+    /// The batcher is shutting down.
+    Closed,
+}
+
+struct Queue {
+    jobs: VecDeque<EvalJob>,
+    closed: bool,
+}
+
+/// Per-model-version batching front end. Cheap to clone via `Arc`.
+pub struct Batcher {
+    model: Arc<LoadedModel>,
+    cfg: BatchConfig,
+    queue: Mutex<Queue>,
+    /// Signals the dispatch thread that jobs arrived (or shutdown).
+    signal: Condvar,
+}
+
+impl Batcher {
+    /// Spawn a batcher (and its dispatch thread) for `model`. Returns
+    /// the handle plus the thread's `JoinHandle` for clean shutdown.
+    pub fn spawn(
+        model: Arc<LoadedModel>,
+        cfg: BatchConfig,
+    ) -> (Arc<Batcher>, std::thread::JoinHandle<()>) {
+        let batcher = Arc::new(Batcher {
+            model,
+            cfg,
+            queue: Mutex::new(Queue {
+                jobs: VecDeque::new(),
+                closed: false,
+            }),
+            signal: Condvar::new(),
+        });
+        let worker = batcher.clone();
+        let join = std::thread::Builder::new()
+            .name(format!(
+                "qpinn-batch-{}@{}",
+                worker.model.id, worker.model.version
+            ))
+            .spawn(move || worker.run())
+            .expect("spawn batch dispatch thread");
+        (batcher, join)
+    }
+
+    /// The model this batcher evaluates.
+    pub fn model(&self) -> &Arc<LoadedModel> {
+        &self.model
+    }
+
+    /// Submit `coords` (row-major, `n_points * arity`) for evaluation.
+    /// Blocks the calling (connection-worker) thread until the batch
+    /// containing this request is dispatched and returns this request's
+    /// output rows, `n_points * n_fields` long.
+    pub fn eval(&self, coords: Vec<f64>) -> Result<Vec<f64>, SubmitError> {
+        let arity = self.model.net.n_coords();
+        if arity == 0 || coords.len() % arity != 0 || coords.is_empty() {
+            return Err(SubmitError::BadShape {
+                expected_arity: arity,
+            });
+        }
+        let n_points = coords.len() / arity;
+        let (tx, rx) = mpsc::channel();
+        {
+            let mut q = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+            if q.closed {
+                return Err(SubmitError::Closed);
+            }
+            if q.jobs.len() >= self.cfg.queue_cap {
+                qpinn_telemetry::counter(names::SERVE_SHED).inc();
+                return Err(SubmitError::QueueFull);
+            }
+            q.jobs.push_back(EvalJob {
+                coords,
+                n_points,
+                tx,
+            });
+            qpinn_telemetry::gauge(names::SERVE_QUEUE_DEPTH).set(q.jobs.len() as f64);
+        }
+        self.signal.notify_one();
+        match rx.recv() {
+            Ok(Ok(rows)) => Ok(rows),
+            // An eval failure surfaces as a 500 on this request only.
+            Ok(Err(_msg)) => Err(SubmitError::Closed),
+            Err(_) => Err(SubmitError::Closed),
+        }
+    }
+
+    /// Stop the dispatch thread once the queue drains. Pending jobs are
+    /// still dispatched; new submissions fail with [`SubmitError::Closed`].
+    pub fn close(&self) {
+        let mut q = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+        q.closed = true;
+        drop(q);
+        self.signal.notify_all();
+    }
+
+    /// Dispatch loop: collect → linger → drain → one forward pass →
+    /// scatter.
+    fn run(&self) {
+        loop {
+            let batch = {
+                let mut q = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+                // Wait for the first job (or shutdown).
+                while q.jobs.is_empty() {
+                    if q.closed {
+                        return;
+                    }
+                    q = self.signal.wait(q).unwrap_or_else(|e| e.into_inner());
+                }
+                // Linger: give concurrent requests a window to coalesce.
+                let deadline = Instant::now() + self.cfg.window;
+                loop {
+                    let full = q.jobs.len() >= self.cfg.max_requests
+                        || q.jobs.iter().map(|j| j.n_points).sum::<usize>()
+                            >= self.cfg.max_points;
+                    if full || q.closed {
+                        break;
+                    }
+                    let now = Instant::now();
+                    if now >= deadline {
+                        break;
+                    }
+                    let (nq, timeout) = self
+                        .signal
+                        .wait_timeout(q, deadline - now)
+                        .unwrap_or_else(|e| e.into_inner());
+                    q = nq;
+                    if timeout.timed_out() {
+                        break;
+                    }
+                }
+                // Drain up to the caps (first job always ships).
+                let mut batch: Vec<EvalJob> = Vec::new();
+                let mut points = 0usize;
+                while let Some(job) = q.jobs.front() {
+                    if !batch.is_empty()
+                        && (batch.len() >= self.cfg.max_requests
+                            || points + job.n_points > self.cfg.max_points)
+                    {
+                        break;
+                    }
+                    points += job.n_points;
+                    batch.push(q.jobs.pop_front().unwrap());
+                }
+                qpinn_telemetry::gauge(names::SERVE_QUEUE_DEPTH).set(q.jobs.len() as f64);
+                batch
+            };
+            self.dispatch(batch);
+        }
+    }
+
+    fn dispatch(&self, batch: Vec<EvalJob>) {
+        if batch.is_empty() {
+            return;
+        }
+        let total_points: usize = batch.iter().map(|j| j.n_points).sum();
+        qpinn_telemetry::histogram(names::SERVE_BATCH_SIZE).record(batch.len() as u64);
+        qpinn_telemetry::histogram(names::SERVE_BATCH_POINTS).record(total_points as u64);
+        qpinn_telemetry::counter(names::SERVE_BATCH_FLUSHES).inc();
+        let arity = self.model.net.n_coords();
+        let mut coords = Vec::with_capacity(total_points * arity);
+        for job in &batch {
+            coords.extend_from_slice(&job.coords);
+        }
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.model.net.predict_batch(&self.model.params, &coords)
+        }));
+        match result {
+            Ok(out) => {
+                let n_fields = out.shape().dims()[1];
+                let data = out.data();
+                let mut row = 0usize;
+                for job in batch {
+                    let lo = row * n_fields;
+                    let hi = (row + job.n_points) * n_fields;
+                    row += job.n_points;
+                    let _ = job.tx.send(Ok(data[lo..hi].to_vec()));
+                }
+            }
+            Err(_) => {
+                qpinn_telemetry::counter(names::SERVE_ERRORS).inc();
+                for job in batch {
+                    let _ = job.tx.send(Err("forward pass panicked".into()));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::{ModelRegistry, RegistryConfig};
+    use crate::spec::ModelSpec;
+    use qpinn_core::model::FieldNetConfig;
+    use qpinn_nn::ParamSet;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn resident_model(tag: &str) -> (Arc<LoadedModel>, std::path::PathBuf) {
+        let dir = std::env::temp_dir().join(format!(
+            "qpinn-serve-batch-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let reg = ModelRegistry::open(RegistryConfig::new(&dir)).unwrap();
+        let spec = ModelSpec {
+            name: "tdse".into(),
+            seed: 7,
+            net: FieldNetConfig::standard_wave(12.0, 1.0, 8, 1),
+        };
+        let mut params = ParamSet::new();
+        let mut rng = StdRng::seed_from_u64(spec.seed);
+        let _ = qpinn_core::model::FieldNet::new(&mut params, &mut rng, &spec.net, &spec.name);
+        reg.publish(
+            "m",
+            &spec,
+            &params,
+            qpinn_persist::TrainLogRecord::default(),
+            1,
+            0.0,
+        )
+        .unwrap();
+        (reg.resolve("m").unwrap(), dir)
+    }
+
+    #[test]
+    fn coalesced_results_are_bit_identical_to_solo() {
+        let (model, dir) = resident_model("coalesce");
+        let cfg = BatchConfig {
+            window: Duration::from_millis(200),
+            ..BatchConfig::default()
+        };
+        let (batcher, join) = Batcher::spawn(model.clone(), cfg);
+        // Solo reference for each request, straight through the net.
+        let reqs: Vec<Vec<f64>> = (0..4)
+            .map(|i| {
+                (0..6)
+                    .flat_map(|j| {
+                        let x = -5.0 + (i * 6 + j) as f64 * 0.31;
+                        let t = 0.05 * (j as f64 + 1.0);
+                        [x, t]
+                    })
+                    .collect()
+            })
+            .collect();
+        let solo: Vec<Vec<f64>> = reqs
+            .iter()
+            .map(|c| model.net.predict_batch(&model.params, c).data().to_vec())
+            .collect();
+        let flushes_before = qpinn_telemetry::counter(names::SERVE_BATCH_FLUSHES).get();
+        // Fire all four concurrently inside one linger window.
+        let handles: Vec<_> = reqs
+            .iter()
+            .cloned()
+            .map(|c| {
+                let b = batcher.clone();
+                std::thread::spawn(move || b.eval(c).unwrap())
+            })
+            .collect();
+        let got: Vec<Vec<f64>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for (g, s) in got.iter().zip(&solo) {
+            assert_eq!(g.len(), s.len());
+            for (a, b) in g.iter().zip(s) {
+                assert_eq!(a.to_bits(), b.to_bits(), "batched row differs from solo");
+            }
+        }
+        // All four landed while the dispatcher lingered ⇒ one flush.
+        let flushes = qpinn_telemetry::counter(names::SERVE_BATCH_FLUSHES).get() - flushes_before;
+        assert!(
+            flushes <= 2,
+            "4 concurrent requests took {flushes} flushes; expected coalescing"
+        );
+        batcher.close();
+        join.join().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn queue_cap_sheds_and_shapes_are_checked() {
+        let (model, dir) = resident_model("shed");
+        let cfg = BatchConfig {
+            queue_cap: 1,
+            window: Duration::from_millis(50),
+            ..BatchConfig::default()
+        };
+        let (batcher, join) = Batcher::spawn(model, cfg);
+        assert_eq!(
+            batcher.eval(vec![1.0, 2.0, 3.0]).unwrap_err(),
+            SubmitError::BadShape { expected_arity: 2 }
+        );
+        assert!(matches!(
+            batcher.eval(vec![]).unwrap_err(),
+            SubmitError::BadShape { .. }
+        ));
+        // A well-formed request still works (1 point × 2 fields).
+        assert_eq!(batcher.eval(vec![0.1, 0.2]).unwrap().len(), 2);
+        batcher.close();
+        assert_eq!(batcher.eval(vec![0.1, 0.2]).unwrap_err(), SubmitError::Closed);
+        join.join().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

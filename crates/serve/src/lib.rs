@@ -1,0 +1,54 @@
+//! # qpinn-serve
+//!
+//! The model-serving plane: batched HTTP inference over trained PINN
+//! surrogates, still zero external dependencies — `std::net` sockets,
+//! the workspace's own JSON, snapshots, and telemetry.
+//!
+//! Four cooperating pieces:
+//!
+//! * **Model registry** ([`registry`]) — versioned `.qps` snapshots
+//!   under a models directory, one `SnapshotStore` subdirectory per
+//!   model id. Loads are CRC-validated and lazy; resident models are
+//!   LRU-evicted under a byte budget. A snapshot alone cannot rebuild a
+//!   `FieldNet` (the random-Fourier projection is drawn from the
+//!   construction RNG, not stored), so each served snapshot carries a
+//!   [`spec::ModelSpec`] — architecture + construction seed — and the
+//!   registry replays construction bit-exactly.
+//! * **Batching engine** ([`batch`]) — concurrent `POST /v1/eval`
+//!   requests for the same model version coalesce into one
+//!   `predict_batch` forward pass through the work-stealing pool
+//!   (time/size-bounded micro-batches), then scatter per request.
+//!   Row-wise determinism makes batching invisible: responses are
+//!   bit-identical to solo evaluation.
+//! * **Admission control** ([`batch`], [`server`]) — bounded per-model
+//!   eval queues and a bounded connection queue; both shed with
+//!   `429 Too Many Requests` + `Retry-After` instead of queueing
+//!   without bound.
+//! * **Train-job API** ([`jobs`]) — `POST /v1/train` runs the real
+//!   trainer on a background thread, streams epoch/loss/ETA through the
+//!   existing `ProgressHook` plumbing at
+//!   `GET /v1/jobs/<id>/progress`, and publishes the result into the
+//!   registry (atomically — a failed publish degrades to `503` and
+//!   never damages served versions).
+//!
+//! The HTTP surface (request parsing, response formatting, the
+//! `/metrics` `/progress` `/healthz` routes) is shared with `qpinn-obs`
+//! rather than duplicated; see `qpinn_obs::http` and
+//! `qpinn_obs::server::metrics_routes`. Everything is instrumented
+//! under the `serve.*` metric names in `qpinn_telemetry::names`.
+
+#![deny(missing_docs)]
+
+pub mod batch;
+pub mod jobs;
+pub mod registry;
+pub mod server;
+pub mod spec;
+
+pub use batch::{BatchConfig, Batcher, SubmitError};
+pub use jobs::{JobManager, JobStatus, TrainRequest};
+pub use registry::{
+    LoadedModel, ModelInfo, ModelRegistry, RegistryConfig, RegistryError,
+};
+pub use server::{ServeConfig, ServeServer};
+pub use spec::{ModelSpec, SpecDecodeError};

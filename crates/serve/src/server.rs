@@ -1,0 +1,484 @@
+//! The inference server: routing, connection workers, and admission
+//! control.
+//!
+//! Same zero-dependency shape as `qpinn-obs`'s `MetricsServer` — a
+//! `std::net::TcpListener`, one response per connection,
+//! `Connection: close` — but with a pool of connection workers in front
+//! of the routes, because batching only exists when several requests
+//! are *in flight* at once. The accept thread pushes connections onto a
+//! bounded queue; when the queue is full it sheds immediately with
+//! `429 Too Many Requests` + `Retry-After` instead of letting latency
+//! grow unbounded (per-model eval queues shed the same way).
+//!
+//! | route                      | method | body                               |
+//! |----------------------------|--------|------------------------------------|
+//! | `/v1/models`               | GET    | registry listing                   |
+//! | `/v1/eval`                 | POST   | `{"model","points"}` → field rows  |
+//! | `/v1/train`                | POST   | train request → `202` + job id     |
+//! | `/v1/jobs/<id>/progress`   | GET    | live epoch/loss/ETA (failed → 503) |
+//! | `/v1/evict`                | POST   | `{"model"}` → drop resident copy   |
+//! | `/metrics` `/metrics.json` | GET    | shared with `qpinn-obs`            |
+//! | `/progress` `/healthz`     | GET    | shared with `qpinn-obs`            |
+
+use crate::batch::{BatchConfig, Batcher, SubmitError};
+use crate::jobs::{JobManager, TrainRequest};
+use crate::registry::{ModelRegistry, RegistryConfig, RegistryError};
+use qpinn_core::report::Json;
+use qpinn_obs::http::{read_request, Request, Response};
+use qpinn_obs::progress::ProgressTracker;
+use qpinn_obs::server::metrics_routes;
+use qpinn_telemetry::names;
+use std::collections::{HashMap, VecDeque};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Server settings.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Model registry settings.
+    pub registry: RegistryConfig,
+    /// Micro-batch shaping.
+    pub batch: BatchConfig,
+    /// Connection worker threads. More workers ⇒ more requests in
+    /// flight ⇒ more coalescing opportunity.
+    pub workers: usize,
+    /// Connections queued for workers before the accept thread sheds.
+    pub pending_cap: usize,
+}
+
+impl ServeConfig {
+    /// Defaults: 8 workers, 64 queued connections, default batching.
+    pub fn new(models_dir: impl Into<std::path::PathBuf>) -> Self {
+        ServeConfig {
+            registry: RegistryConfig::new(models_dir),
+            batch: BatchConfig::default(),
+            workers: 8,
+            pending_cap: 64,
+        }
+    }
+}
+
+struct ConnQueue {
+    conns: VecDeque<TcpStream>,
+    shutdown: bool,
+}
+
+struct Shared {
+    registry: Arc<ModelRegistry>,
+    jobs: JobManager,
+    batch_cfg: BatchConfig,
+    batchers: Mutex<HashMap<(String, u64), Arc<Batcher>>>,
+    batcher_joins: Mutex<Vec<JoinHandle<()>>>,
+    tracker: Arc<ProgressTracker>,
+    started: Instant,
+    queue: Mutex<ConnQueue>,
+    signal: Condvar,
+}
+
+/// A running inference server; stop with [`ServeServer::stop`].
+pub struct ServeServer {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    shutdown: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServeServer {
+    /// Bind `addr` (port 0 picks a free port), open the registry, and
+    /// start the accept thread + worker pool. Also installs the shared
+    /// progress tracker as a telemetry sink so `/progress` follows any
+    /// training this process runs (including submitted train jobs).
+    pub fn start(addr: impl ToSocketAddrs, cfg: ServeConfig) -> std::io::Result<ServeServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let registry = Arc::new(
+            ModelRegistry::open(cfg.registry.clone())
+                .map_err(|e| std::io::Error::new(e.kind(), format!("registry: {e}")))?,
+        );
+        let tracker = Arc::new(ProgressTracker::new());
+        qpinn_telemetry::install(tracker.clone());
+        let shared = Arc::new(Shared {
+            jobs: JobManager::new(registry.clone()),
+            registry,
+            batch_cfg: cfg.batch,
+            batchers: Mutex::new(HashMap::new()),
+            batcher_joins: Mutex::new(Vec::new()),
+            tracker,
+            started: Instant::now(),
+            queue: Mutex::new(ConnQueue {
+                conns: VecDeque::new(),
+                shutdown: false,
+            }),
+            signal: Condvar::new(),
+        });
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let accept = {
+            let shared = shared.clone();
+            let shutdown = shutdown.clone();
+            let cap = cfg.pending_cap;
+            std::thread::Builder::new()
+                .name("qpinn-serve-accept".into())
+                .spawn(move || accept_loop(listener, shared, shutdown, cap))?
+        };
+        let workers = (0..cfg.workers.max(1))
+            .map(|i| {
+                let shared = shared.clone();
+                std::thread::Builder::new()
+                    .name(format!("qpinn-serve-worker-{i}"))
+                    .spawn(move || worker_loop(shared))
+            })
+            .collect::<std::io::Result<Vec<_>>>()?;
+        Ok(ServeServer {
+            addr: local,
+            shared,
+            shutdown,
+            accept: Some(accept),
+            workers,
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The registry this server serves from.
+    pub fn registry(&self) -> Arc<ModelRegistry> {
+        self.shared.registry.clone()
+    }
+
+    /// Drain and stop: close the listener loop, finish queued
+    /// connections, join workers and per-model batchers, and wait for
+    /// any submitted train jobs to finish.
+    pub fn stop(mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Unblock accept() with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        {
+            let mut q = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            q.shutdown = true;
+        }
+        self.shared.signal.notify_all();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+        let batchers: Vec<Arc<Batcher>> = self
+            .shared
+            .batchers
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .drain()
+            .map(|(_, b)| b)
+            .collect();
+        for b in &batchers {
+            b.close();
+        }
+        let joins: Vec<_> = self
+            .shared
+            .batcher_joins
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .drain(..)
+            .collect();
+        for j in joins {
+            let _ = j.join();
+        }
+        self.shared.jobs.join_all();
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    shared: Arc<Shared>,
+    shutdown: Arc<AtomicBool>,
+    pending_cap: usize,
+) {
+    for conn in listener.incoming() {
+        if shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let Ok(stream) = conn else { continue };
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+        let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+        let shed = {
+            let mut q = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            if q.conns.len() >= pending_cap {
+                Some(stream)
+            } else {
+                q.conns.push_back(stream);
+                None
+            }
+        };
+        match shed {
+            Some(mut stream) => {
+                // Too many connections waiting: refuse before even
+                // reading the request so a flood cannot exhaust memory.
+                qpinn_telemetry::counter(names::SERVE_SHED).inc();
+                let _ = err_json("429 Too Many Requests", "server busy, retry later")
+                    .header("Retry-After", "1")
+                    .write_to(&mut stream);
+            }
+            None => shared.signal.notify_one(),
+        }
+    }
+}
+
+fn worker_loop(shared: Arc<Shared>) {
+    loop {
+        let stream = {
+            let mut q = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(s) = q.conns.pop_front() {
+                    break s;
+                }
+                if q.shutdown {
+                    return;
+                }
+                q = shared.signal.wait(q).unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        let _ = handle_connection(stream, &shared);
+    }
+}
+
+fn handle_connection(stream: TcpStream, shared: &Shared) -> std::io::Result<()> {
+    let t0 = Instant::now();
+    let (req, mut stream) = match read_request(stream) {
+        Ok(ok) => ok,
+        Err(e) => return Err(e),
+    };
+    qpinn_telemetry::counter(names::SERVE_REQUESTS).inc();
+    let response = route(&req, shared);
+    if response.status.starts_with('5') {
+        qpinn_telemetry::counter(names::SERVE_ERRORS).inc();
+    }
+    let out = response.write_to(&mut stream);
+    qpinn_telemetry::histogram(names::SERVE_LATENCY_US)
+        .record(t0.elapsed().as_micros() as u64);
+    out
+}
+
+fn err_json(status: &'static str, msg: &str) -> Response {
+    Response::json_status(
+        status,
+        Json::obj(vec![("error", Json::Str(msg.to_string()))]).to_string(),
+    )
+}
+
+fn route(req: &Request, shared: &Shared) -> Response {
+    // The read-only observability routes are shared verbatim with the
+    // qpinn-obs metrics endpoint.
+    if let Some(r) = metrics_routes(&req.method, &req.path, &shared.tracker, shared.started) {
+        return r;
+    }
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/v1/models") => models_route(shared),
+        ("POST", "/v1/eval") => eval_route(req, shared),
+        ("POST", "/v1/train") => train_route(req, shared),
+        ("POST", "/v1/evict") => evict_route(req, shared),
+        ("GET", path) if path.starts_with("/v1/jobs/") => jobs_route(path, shared),
+        ("POST", _) | ("GET", _) => err_json("404 Not Found", "no such route"),
+        _ => err_json("405 Method Not Allowed", "method not allowed"),
+    }
+}
+
+fn models_route(shared: &Shared) -> Response {
+    let rows: Vec<Json> = shared
+        .registry
+        .list()
+        .into_iter()
+        .map(|m| {
+            Json::obj(vec![
+                ("id", Json::Str(m.id)),
+                ("version", Json::Num(m.version as f64)),
+                ("bytes", Json::Num(m.bytes as f64)),
+                ("intact", Json::Bool(m.intact)),
+                (
+                    "eval_error",
+                    m.eval_error.map(Json::Num).unwrap_or(Json::Null),
+                ),
+                ("loaded", Json::Bool(m.loaded)),
+            ])
+        })
+        .collect();
+    Response::json(Json::obj(vec![("models", Json::Arr(rows))]).to_string())
+}
+
+fn registry_error_response(e: RegistryError) -> Response {
+    match e {
+        RegistryError::NotFound(m) => err_json("404 Not Found", &m),
+        RegistryError::BadReference(m) => err_json("400 Bad Request", &m),
+        RegistryError::Unserveable(m) => err_json("503 Service Unavailable", &m),
+        RegistryError::Storage(m) => err_json("500 Internal Server Error", &m),
+    }
+}
+
+/// Fetch (or lazily spawn) the batcher for a resolved model version.
+fn batcher_for(
+    shared: &Shared,
+    model_ref: &str,
+) -> Result<Arc<Batcher>, Response> {
+    let model = shared
+        .registry
+        .resolve(model_ref)
+        .map_err(registry_error_response)?;
+    let key = (model.id.clone(), model.version);
+    let mut map = shared.batchers.lock().unwrap_or_else(|e| e.into_inner());
+    if let Some(b) = map.get(&key) {
+        return Ok(b.clone());
+    }
+    let (b, join) = Batcher::spawn(model, shared.batch_cfg.clone());
+    shared
+        .batcher_joins
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .push(join);
+    map.insert(key, b.clone());
+    Ok(b)
+}
+
+fn eval_route(req: &Request, shared: &Shared) -> Response {
+    let body = match req.body_str().map_err(|e| e.to_string()).and_then(|s| {
+        Json::parse(s).map_err(|e| format!("invalid JSON body: {e}"))
+    }) {
+        Ok(j) => j,
+        Err(msg) => return err_json("400 Bad Request", &msg),
+    };
+    let model_ref = match body.get("model").and_then(|v| v.as_str()) {
+        Some(m) => m,
+        None => return err_json("400 Bad Request", "missing string field `model`"),
+    };
+    let points = match body.get("points") {
+        Some(Json::Arr(rows)) if !rows.is_empty() => rows,
+        _ => return err_json("400 Bad Request", "field `points` must be a non-empty array"),
+    };
+    let batcher = match batcher_for(shared, model_ref) {
+        Ok(b) => b,
+        Err(resp) => return resp,
+    };
+    let arity = batcher.model().net.n_coords();
+    let n_fields = batcher.model().net.n_fields();
+    let mut coords = Vec::with_capacity(points.len() * arity);
+    for (i, row) in points.iter().enumerate() {
+        let ok = match row {
+            Json::Arr(xs) if xs.len() == arity => {
+                xs.iter().all(|x| {
+                    x.as_num().map(|v| coords.push(v)).is_some()
+                })
+            }
+            _ => false,
+        };
+        if !ok {
+            return err_json(
+                "400 Bad Request",
+                &format!("points[{i}] must be an array of {arity} numbers"),
+            );
+        }
+    }
+    match batcher.eval(coords) {
+        Ok(values) => {
+            let rows: Vec<Json> = values
+                .chunks(n_fields)
+                .map(|row| Json::nums(row))
+                .collect();
+            let model = batcher.model();
+            Response::json(
+                Json::obj(vec![
+                    ("model", Json::Str(model.id.clone())),
+                    ("version", Json::Num(model.version as f64)),
+                    ("n_fields", Json::Num(n_fields as f64)),
+                    ("values", Json::Arr(rows)),
+                ])
+                .to_string(),
+            )
+        }
+        Err(SubmitError::QueueFull) => {
+            err_json("429 Too Many Requests", "eval queue full, retry later")
+                .header("Retry-After", "1")
+        }
+        Err(SubmitError::BadShape { expected_arity }) => err_json(
+            "400 Bad Request",
+            &format!("coordinates must come in rows of {expected_arity}"),
+        ),
+        Err(SubmitError::Closed) => {
+            err_json("503 Service Unavailable", "evaluation failed or shutting down")
+        }
+    }
+}
+
+fn train_route(req: &Request, shared: &Shared) -> Response {
+    let parsed = req
+        .body_str()
+        .map_err(|e| e.to_string())
+        .and_then(|s| Json::parse(s).map_err(|e| format!("invalid JSON body: {e}")))
+        .and_then(|j| TrainRequest::from_json(&j));
+    match parsed {
+        Ok(train) => {
+            let model_id = train.model_id.clone();
+            let job_id = shared.jobs.submit(train);
+            Response::json_status(
+                "202 Accepted",
+                Json::obj(vec![
+                    ("job_id", Json::Str(job_id.clone())),
+                    ("model_id", Json::Str(model_id)),
+                    (
+                        "progress_url",
+                        Json::Str(format!("/v1/jobs/{job_id}/progress")),
+                    ),
+                ])
+                .to_string(),
+            )
+        }
+        Err(msg) => err_json("400 Bad Request", &msg),
+    }
+}
+
+fn jobs_route(path: &str, shared: &Shared) -> Response {
+    // Path shape: /v1/jobs/<id>/progress
+    let rest = &path["/v1/jobs/".len()..];
+    let Some(job_id) = rest.strip_suffix("/progress") else {
+        return err_json("404 Not Found", "try /v1/jobs/<id>/progress");
+    };
+    match shared.jobs.progress_json(job_id) {
+        // A failed job (training error or registry publish failure, e.g.
+        // disk full) serves its progress document under 503 so pollers
+        // and load balancers both see the degradation.
+        Some((doc, failed)) => Response::json_status(
+            if failed {
+                "503 Service Unavailable"
+            } else {
+                "200 OK"
+            },
+            doc.to_string(),
+        ),
+        None => err_json("404 Not Found", &format!("no job `{job_id}`")),
+    }
+}
+
+fn evict_route(req: &Request, shared: &Shared) -> Response {
+    let model_ref = req
+        .body_str()
+        .ok()
+        .and_then(|s| Json::parse(s).ok())
+        .and_then(|j| j.get("model").and_then(|v| v.as_str()).map(str::to_string));
+    let Some(model_ref) = model_ref else {
+        return err_json("400 Bad Request", "body must be {\"model\":\"id[@version]\"}");
+    };
+    match shared.registry.evict(&model_ref) {
+        Ok(was_loaded) => Response::json(
+            Json::obj(vec![
+                ("model", Json::Str(model_ref)),
+                ("evicted", Json::Bool(was_loaded)),
+            ])
+            .to_string(),
+        ),
+        Err(e) => registry_error_response(e),
+    }
+}

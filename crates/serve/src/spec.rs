@@ -1,0 +1,281 @@
+//! The serveable-model descriptor: everything needed to rebuild a
+//! [`FieldNet`] from a `.qps` snapshot, stored in the snapshot's opaque
+//! TASK section.
+//!
+//! A snapshot persists parameter tensors but not the architecture that
+//! owns them, and one piece of a [`FieldNet`] lives outside the
+//! parameter set entirely: the random-Fourier-feature projection is
+//! drawn from the construction RNG and frozen. So a registry entry
+//! carries a [`ModelSpec`] — architecture config plus the construction
+//! seed and parameter-name prefix — and [`ModelSpec::rebuild`] replays
+//! `FieldNet::new` deterministically: same seed, same config, same
+//! registration order ⇒ the same network (RFF matrix included) down to
+//! the bit, ready to pair with the snapshot's decoded [`ParamSet`].
+
+use qpinn_core::model::{CoordSpec, FieldNet, FieldNetConfig, RffSpec};
+use qpinn_nn::{Activation, ParamSet};
+use qpinn_persist::codec::{Reader, Writer};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Spec encoding version; bump on layout change (readers reject newer).
+const SPEC_VERSION: u32 = 1;
+/// Magic prefix distinguishing a serve-model TASK blob from task
+/// curriculum state.
+const SPEC_MAGIC: [u8; 4] = *b"QSRV";
+
+/// Architecture + construction-seed descriptor of a served model.
+#[derive(Clone, Debug)]
+pub struct ModelSpec {
+    /// Parameter-name prefix used at registration (e.g. `"tdse"`).
+    pub name: String,
+    /// Seed of the `StdRng` the net was constructed from.
+    pub seed: u64,
+    /// The architecture.
+    pub net: FieldNetConfig,
+}
+
+/// Errors from decoding or rebuilding a [`ModelSpec`].
+#[derive(Debug)]
+pub enum SpecDecodeError {
+    /// The TASK blob is not a serve-model spec or is damaged.
+    Malformed(String),
+    /// The rebuilt net's parameters disagree with the snapshot's.
+    ParamMismatch(String),
+}
+
+impl std::fmt::Display for SpecDecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpecDecodeError::Malformed(m) => write!(f, "malformed model spec: {m}"),
+            SpecDecodeError::ParamMismatch(m) => write!(f, "parameter mismatch: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SpecDecodeError {}
+
+fn emap(e: qpinn_persist::PersistError) -> SpecDecodeError {
+    SpecDecodeError::Malformed(e.to_string())
+}
+
+impl ModelSpec {
+    /// Serialize into the snapshot TASK-section blob.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.put_bytes(&SPEC_MAGIC);
+        w.put_u32(SPEC_VERSION);
+        w.put_str(&self.name);
+        w.put_u64(self.seed);
+        w.put_u32(self.net.coords.len() as u32);
+        for c in &self.net.coords {
+            match c {
+                CoordSpec::Raw => w.put_u8(0),
+                CoordSpec::Periodic { length } => {
+                    w.put_u8(1);
+                    w.put_f64(*length);
+                }
+                CoordSpec::LearnedPeriod { period0 } => {
+                    w.put_u8(2);
+                    w.put_f64(*period0);
+                }
+            }
+        }
+        match &self.net.rff {
+            Some(r) => {
+                w.put_u8(1);
+                w.put_u64(r.n_features as u64);
+                w.put_f64(r.sigma);
+            }
+            None => w.put_u8(0),
+        }
+        w.put_usize_slice(&self.net.hidden);
+        w.put_u64(self.net.n_fields as u64);
+        w.put_u8(match self.net.activation {
+            Activation::Tanh => 0,
+            Activation::Sin => 1,
+        });
+        w.into_bytes()
+    }
+
+    /// True when `bytes` carries the serve-model magic (cheap sniff
+    /// before a full decode).
+    pub fn sniff(bytes: &[u8]) -> bool {
+        bytes.len() >= 4 && bytes[..4] == SPEC_MAGIC
+    }
+
+    /// Decode a blob produced by [`ModelSpec::encode`].
+    pub fn decode(bytes: &[u8]) -> Result<ModelSpec, SpecDecodeError> {
+        let mut r = Reader::new(bytes, "model spec");
+        let magic = r.get_bytes(4).map_err(emap)?;
+        if magic != SPEC_MAGIC {
+            return Err(SpecDecodeError::Malformed(
+                "snapshot task section is not a serve-model spec".into(),
+            ));
+        }
+        let version = r.get_u32().map_err(emap)?;
+        if version > SPEC_VERSION {
+            return Err(SpecDecodeError::Malformed(format!(
+                "spec version {version} is newer than supported ({SPEC_VERSION})"
+            )));
+        }
+        let name = r.get_str().map_err(emap)?;
+        let seed = r.get_u64().map_err(emap)?;
+        let n_coords = r.get_u32().map_err(emap)? as usize;
+        if n_coords > 16 {
+            return Err(SpecDecodeError::Malformed(format!(
+                "implausible coordinate count {n_coords}"
+            )));
+        }
+        let mut coords = Vec::with_capacity(n_coords);
+        for _ in 0..n_coords {
+            coords.push(match r.get_u8().map_err(emap)? {
+                0 => CoordSpec::Raw,
+                1 => CoordSpec::Periodic {
+                    length: r.get_f64().map_err(emap)?,
+                },
+                2 => CoordSpec::LearnedPeriod {
+                    period0: r.get_f64().map_err(emap)?,
+                },
+                t => {
+                    return Err(SpecDecodeError::Malformed(format!(
+                        "unknown coordinate tag {t}"
+                    )))
+                }
+            });
+        }
+        let rff = match r.get_u8().map_err(emap)? {
+            0 => None,
+            1 => Some(RffSpec {
+                n_features: r.get_u64().map_err(emap)? as usize,
+                sigma: r.get_f64().map_err(emap)?,
+            }),
+            t => {
+                return Err(SpecDecodeError::Malformed(format!("unknown rff tag {t}")));
+            }
+        };
+        let hidden = r.get_usize_vec().map_err(emap)?;
+        let n_fields = r.get_u64().map_err(emap)? as usize;
+        let activation = match r.get_u8().map_err(emap)? {
+            0 => Activation::Tanh,
+            1 => Activation::Sin,
+            t => {
+                return Err(SpecDecodeError::Malformed(format!(
+                    "unknown activation tag {t}"
+                )))
+            }
+        };
+        Ok(ModelSpec {
+            name,
+            seed,
+            net: FieldNetConfig {
+                coords,
+                rff,
+                hidden,
+                n_fields,
+                activation,
+            },
+        })
+    }
+
+    /// Replay construction: rebuild the [`FieldNet`] this spec
+    /// describes, then check the rebuilt parameter registration against
+    /// `params` (the snapshot's decoded set) name-by-name and
+    /// shape-by-shape. A mismatch means the snapshot and spec disagree —
+    /// serving it would silently evaluate garbage, so it is an error.
+    pub fn rebuild(&self, params: &ParamSet) -> Result<FieldNet, SpecDecodeError> {
+        let mut fresh = ParamSet::new();
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let net = FieldNet::new(&mut fresh, &mut rng, &self.net, &self.name);
+        if fresh.len() != params.len() {
+            return Err(SpecDecodeError::ParamMismatch(format!(
+                "spec registers {} tensors, snapshot has {}",
+                fresh.len(),
+                params.len()
+            )));
+        }
+        for ((_, want_name, want_t), (_, got_name, got_t)) in fresh.iter().zip(params.iter()) {
+            if want_name != got_name {
+                return Err(SpecDecodeError::ParamMismatch(format!(
+                    "parameter `{got_name}` where spec expects `{want_name}`"
+                )));
+            }
+            if want_t.shape().dims() != got_t.shape().dims() {
+                return Err(SpecDecodeError::ParamMismatch(format!(
+                    "parameter `{got_name}`: shape {:?} vs spec {:?}",
+                    got_t.shape().dims(),
+                    want_t.shape().dims()
+                )));
+            }
+        }
+        Ok(net)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn sample_spec() -> ModelSpec {
+        ModelSpec {
+            name: "tdse".into(),
+            seed: 42,
+            net: FieldNetConfig::standard_wave(12.0, 1.0, 16, 2),
+        }
+    }
+
+    #[test]
+    fn encode_decode_roundtrips() {
+        let spec = sample_spec();
+        let bytes = spec.encode();
+        assert!(ModelSpec::sniff(&bytes));
+        let back = ModelSpec::decode(&bytes).unwrap();
+        assert_eq!(back.name, spec.name);
+        assert_eq!(back.seed, spec.seed);
+        assert_eq!(back.net.hidden, spec.net.hidden);
+        assert_eq!(back.net.n_fields, spec.net.n_fields);
+        assert_eq!(back.net.coords.len(), spec.net.coords.len());
+        let r = back.net.rff.unwrap();
+        let r0 = spec.net.rff.unwrap();
+        assert_eq!(r.n_features, r0.n_features);
+        assert_eq!(r.sigma, r0.sigma);
+    }
+
+    #[test]
+    fn rebuild_replays_construction_bit_exactly() {
+        let spec = sample_spec();
+        // "Original" construction, as the train job does it.
+        let mut params = ParamSet::new();
+        let mut rng = StdRng::seed_from_u64(spec.seed);
+        let original = FieldNet::new(&mut params, &mut rng, &spec.net, &spec.name);
+        // Registry-side rebuild from the spec + decoded params.
+        let rebuilt = spec.rebuild(&params).unwrap();
+        let pts = vec![vec![0.3, 0.1], vec![-2.0, 0.8], vec![5.0, 0.5]];
+        let a = original.predict(&params, &pts);
+        let b = rebuilt.predict(&params, &pts);
+        for (x, y) in a.data().iter().zip(b.data()) {
+            assert_eq!(x.to_bits(), y.to_bits(), "rebuild is not bit-exact");
+        }
+    }
+
+    #[test]
+    fn rebuild_rejects_mismatched_params() {
+        let spec = sample_spec();
+        let mut wrong = ParamSet::new();
+        wrong.add("oops", qpinn_tensor::Tensor::from_slice(&[1.0]));
+        assert!(matches!(
+            spec.rebuild(&wrong),
+            Err(SpecDecodeError::ParamMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn decode_rejects_garbage_without_panicking() {
+        assert!(ModelSpec::decode(b"").is_err());
+        assert!(ModelSpec::decode(b"nope").is_err());
+        assert!(ModelSpec::decode(b"QSRV").is_err());
+        let mut bytes = sample_spec().encode();
+        bytes.truncate(bytes.len() / 2);
+        assert!(ModelSpec::decode(&bytes).is_err());
+    }
+}

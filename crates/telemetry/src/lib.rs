@@ -49,6 +49,7 @@
 
 pub mod event;
 pub mod metrics;
+pub mod names;
 pub mod prometheus;
 pub mod registry;
 pub mod sink;

@@ -1,0 +1,61 @@
+//! Canonical metric names for the serving plane.
+//!
+//! Metrics in this registry are created on first use by name, so nothing
+//! enforces spelling at the call site; the `qpinn-serve` instrument
+//! points and the tests/CI that assert on them both import these
+//! constants so the two cannot drift. (Training-side names — the
+//! `train.progress.*` gauges, `persist.checkpoint.*` counters,
+//! `span.*_ns` histograms — predate this module and remain string
+//! literals at their single emit sites.)
+//!
+//! Prometheus exposition mangles `.` to `_` and suffixes counters with
+//! `_total`, so e.g. [`SERVE_SHED`] scrapes as `qpinn_serve_http_shed_total`.
+
+/// Counter: HTTP requests accepted by the inference server, by outcome
+/// of routing (incremented once per handled connection).
+pub const SERVE_REQUESTS: &str = "serve.http.requests";
+
+/// Counter: requests shed with `429 Too Many Requests` (connection
+/// queue full or per-model admission cap exceeded).
+pub const SERVE_SHED: &str = "serve.http.shed";
+
+/// Counter: requests that failed with a `5xx` status.
+pub const SERVE_ERRORS: &str = "serve.http.errors";
+
+/// Histogram: end-to-end request latency in microseconds, measured from
+/// parse to response write.
+pub const SERVE_LATENCY_US: &str = "serve.http.latency_us";
+
+/// Histogram: number of eval requests coalesced into one forward pass.
+/// A recorded value ≥ 2 proves batching happened.
+pub const SERVE_BATCH_SIZE: &str = "serve.batch.size";
+
+/// Histogram: total points per dispatched forward-pass batch.
+pub const SERVE_BATCH_POINTS: &str = "serve.batch.points";
+
+/// Counter: forward-pass batches dispatched.
+pub const SERVE_BATCH_FLUSHES: &str = "serve.batch.flushes";
+
+/// Gauge: eval requests queued (all models) at last batch dispatch.
+pub const SERVE_QUEUE_DEPTH: &str = "serve.queue.depth";
+
+/// Counter: models loaded from disk into the registry.
+pub const SERVE_REGISTRY_LOADS: &str = "serve.registry.loads";
+
+/// Counter: resolve calls served from the in-memory registry cache.
+pub const SERVE_REGISTRY_HITS: &str = "serve.registry.hits";
+
+/// Counter: models evicted to stay under the registry byte budget.
+pub const SERVE_REGISTRY_EVICTIONS: &str = "serve.registry.evictions";
+
+/// Gauge: bytes of model snapshots currently resident in the registry.
+pub const SERVE_REGISTRY_BYTES: &str = "serve.registry.bytes";
+
+/// Counter: train jobs accepted via `POST /v1/train`.
+pub const SERVE_JOBS_STARTED: &str = "serve.jobs.started";
+
+/// Counter: train jobs that completed and published a model version.
+pub const SERVE_JOBS_COMPLETED: &str = "serve.jobs.completed";
+
+/// Counter: train jobs that failed (training error or publish failure).
+pub const SERVE_JOBS_FAILED: &str = "serve.jobs.failed";

@@ -36,6 +36,7 @@ fn main() {
     //    /progress with zero trainer wiring.
     let server = MetricsServer::start("127.0.0.1:0").unwrap();
     let addr = server.local_addr();
+    println!("bound port {} (picked by the OS via port 0)", addr.port());
     println!("metrics endpoint: http://{addr}/metrics");
     println!("progress:         http://{addr}/progress\n");
 

@@ -27,6 +27,7 @@ pub use qpinn_persist as persist;
 pub use qpinn_problems as problems;
 pub use qpinn_qcircuit as qcircuit;
 pub use qpinn_sampling as sampling;
+pub use qpinn_serve as serve;
 pub use qpinn_solvers as solvers;
 pub use qpinn_telemetry as telemetry;
 pub use qpinn_tensor as tensor;

@@ -1,0 +1,370 @@
+//! End-to-end exercise of the `qpinn-serve` inference plane over real
+//! TCP: train a model *through the server*, poll its progress, then
+//! check that batched `/v1/eval` responses are bit-identical to direct
+//! in-process evaluation — including when many clients overlap and
+//! coalesce into shared forward passes — and that admission control and
+//! failure injection degrade the way the design promises.
+
+use qpinn::core::report::Json;
+use qpinn::core::task::TdseTask;
+use qpinn::core::trainer::Trainer;
+use qpinn::nn::ParamSet;
+use qpinn::serve::{BatchConfig, ServeConfig, ServeServer, TrainRequest};
+use qpinn::telemetry;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// `ServeServer::start` installs a progress-tracker telemetry sink, and
+/// the coalescing assertions read process-global histograms; keep the
+/// tests that do either from overlapping.
+static SERVE_LOCK: Mutex<()> = Mutex::new(());
+
+fn tmp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("qpinn-serve-e2e-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Send one HTTP request, return (full header block, parsed JSON body).
+/// The first line of the header block is the status line.
+fn http(addr: SocketAddr, method: &str, path: &str, body: Option<&str>) -> (String, Json) {
+    let mut s = TcpStream::connect(addr).unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(120))).unwrap();
+    match body {
+        Some(b) => write!(
+            s,
+            "{method} {path} HTTP/1.1\r\nHost: t\r\nContent-Type: application/json\r\n\
+             Content-Length: {}\r\n\r\n{b}",
+            b.len()
+        )
+        .unwrap(),
+        None => write!(s, "{method} {path} HTTP/1.1\r\nHost: t\r\n\r\n").unwrap(),
+    }
+    let mut buf = String::new();
+    s.read_to_string(&mut buf).unwrap();
+    let (head, body) = buf.split_once("\r\n\r\n").expect("header/body split");
+    let json = Json::parse(body).unwrap_or(Json::Null);
+    (head.to_string(), json)
+}
+
+fn poll_to_completion(addr: SocketAddr, job_id: &str) -> Json {
+    let deadline = Instant::now() + Duration::from_secs(300);
+    let mut saw_progress = false;
+    loop {
+        let (status, doc) = http(addr, "GET", &format!("/v1/jobs/{job_id}/progress"), None);
+        assert!(
+            status.contains("200"),
+            "progress poll failed: {status} {}",
+            doc.to_string()
+        );
+        let state = doc.get("state").unwrap().as_str().unwrap().to_string();
+        if doc.get("epoch").unwrap().as_num().unwrap() > 0.0 {
+            saw_progress = true;
+        }
+        if state == "completed" {
+            assert!(saw_progress, "never observed a live epoch count while polling");
+            return doc;
+        }
+        assert_ne!(state, "failed", "job failed: {}", doc.to_string());
+        assert!(Instant::now() < deadline, "job did not finish in time");
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+const TRAIN_BODY: &str = r#"{"model_id":"e2e","problem":"harmonic","width":8,"depth":1,
+    "epochs":8,"seed":33,"n_collocation":48}"#;
+
+/// The tentpole acceptance path: train via the server, poll progress to
+/// completion, evaluate >1000 points over HTTP, and compare every f64
+/// bit-for-bit against the same trainer run in-process.
+#[test]
+fn train_poll_eval_matches_in_process_training_bitwise() {
+    let _guard = SERVE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let dir = tmp_dir("train-eval");
+    let server = ServeServer::start("127.0.0.1:0", ServeConfig::new(&dir)).unwrap();
+    let addr = server.local_addr();
+
+    let (status, doc) = http(addr, "GET", "/healthz", None);
+    assert!(status.contains("200 OK"), "{status}");
+    assert_eq!(doc.get("status").unwrap().as_str(), Some("ok"));
+
+    // Submit the train job and follow it to completion.
+    let (status, accepted) = http(addr, "POST", "/v1/train", Some(TRAIN_BODY));
+    assert!(status.contains("202"), "{status}");
+    let job_id = accepted.get("job_id").unwrap().as_str().unwrap().to_string();
+    let done = poll_to_completion(addr, &job_id);
+    assert_eq!(done.get("version").unwrap().as_num(), Some(1.0));
+
+    // The model shows up in the registry listing.
+    let (_, models) = http(addr, "GET", "/v1/models", None);
+    let rows = match models.get("models").unwrap() {
+        Json::Arr(rows) => rows,
+        other => panic!("models is not an array: {}", other.to_string()),
+    };
+    assert!(rows
+        .iter()
+        .any(|m| m.get("id").unwrap().as_str() == Some("e2e")));
+
+    // Reference: the identical training run, entirely in-process. The
+    // stack is bit-deterministic at any pool width, so equality here is
+    // exact, not approximate.
+    let req = TrainRequest::from_json(&Json::parse(TRAIN_BODY).unwrap()).unwrap();
+    let (problem, cfg) = qpinn::serve::jobs::job_task_config(&req).unwrap();
+    let mut params = ParamSet::new();
+    let mut rng = StdRng::seed_from_u64(req.seed);
+    let mut task = TdseTask::new(problem, &cfg, &mut params, &mut rng);
+    Trainer::new(qpinn::serve::jobs::job_train_config(&req, None)).train(&mut task, &mut params);
+
+    // 1050 points on a grid over the domain.
+    let pts: Vec<(f64, f64)> = (0..1050)
+        .map(|i| {
+            let x = -6.0 + 12.0 * ((i % 50) as f64 / 49.0);
+            let t = 0.5 * ((i / 50) as f64 / 20.0);
+            (x, t)
+        })
+        .collect();
+    let coords: Vec<f64> = pts.iter().flat_map(|&(x, t)| [x, t]).collect();
+    let expect = task.net().predict_batch(&params, &coords);
+    let expect = expect.data();
+
+    let points_json = pts
+        .iter()
+        .map(|(x, t)| format!("[{x},{t}]"))
+        .collect::<Vec<_>>()
+        .join(",");
+    let (status, reply) = http(
+        addr,
+        "POST",
+        "/v1/eval",
+        Some(&format!(
+            r#"{{"model":"e2e@latest","points":[{points_json}]}}"#
+        )),
+    );
+    assert!(status.contains("200 OK"), "{status} {}", reply.to_string());
+    assert_eq!(reply.get("version").unwrap().as_num(), Some(1.0));
+    let values = match reply.get("values").unwrap() {
+        Json::Arr(rows) => rows,
+        other => panic!("values is not an array: {}", other.to_string()),
+    };
+    assert_eq!(values.len(), pts.len());
+    // JSON carries f64s through Rust's shortest-roundtrip formatting and
+    // correctly-rounded parse, so even transport preserves the bits.
+    let mut idx = 0usize;
+    for row in values {
+        let Json::Arr(fields) = row else { panic!("row is not an array") };
+        assert_eq!(fields.len(), 2);
+        for f in fields {
+            let got = f.as_num().unwrap();
+            assert_eq!(
+                got.to_bits(),
+                expect[idx].to_bits(),
+                "served value differs from in-process at flat index {idx}"
+            );
+            idx += 1;
+        }
+    }
+
+    server.stop();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Concurrent clients must coalesce into shared forward passes —
+/// observed through the `serve.batch.size` histogram — while every
+/// client still gets bit-identical answers to a solo request.
+#[test]
+fn overlapping_clients_coalesce_and_stay_bit_identical() {
+    let _guard = SERVE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let dir = tmp_dir("coalesce");
+    let mut cfg = ServeConfig::new(&dir);
+    // A generous linger window makes coalescing deterministic under load.
+    cfg.batch = BatchConfig {
+        window: Duration::from_millis(250),
+        ..BatchConfig::default()
+    };
+    cfg.workers = 8;
+    let server = ServeServer::start("127.0.0.1:0", cfg).unwrap();
+    let addr = server.local_addr();
+
+    let (status, accepted) = http(
+        addr,
+        "POST",
+        "/v1/train",
+        Some(r#"{"model_id":"cc","width":8,"depth":1,"epochs":4,"seed":5,"n_collocation":32}"#),
+    );
+    assert!(status.contains("202"), "{status}");
+    let job_id = accepted.get("job_id").unwrap().as_str().unwrap().to_string();
+    poll_to_completion(addr, &job_id);
+
+    // Solo references, one request per client payload, sequentially
+    // (nothing to coalesce with ⇒ batch of 1).
+    let payloads: Vec<String> = (0..6)
+        .map(|c| {
+            let pts = (0..8)
+                .map(|j| format!("[{},{}]", -5.0 + c as f64 + 0.11 * j as f64, 0.02 * j as f64))
+                .collect::<Vec<_>>()
+                .join(",");
+            format!(r#"{{"model":"cc","points":[{pts}]}}"#)
+        })
+        .collect();
+    let solo: Vec<String> = payloads
+        .iter()
+        .map(|p| {
+            let (status, body) = http(addr, "POST", "/v1/eval", Some(p));
+            assert!(status.contains("200 OK"), "{status}");
+            body.get("values").unwrap().to_string()
+        })
+        .collect();
+
+    let before = telemetry::histogram(telemetry::names::SERVE_BATCH_SIZE).snapshot();
+
+    // Now all six at once, inside one linger window.
+    let clients: Vec<_> = payloads
+        .iter()
+        .cloned()
+        .map(|p| {
+            std::thread::spawn(move || {
+                let (status, body) = http(addr, "POST", "/v1/eval", Some(&p));
+                assert!(status.contains("200 OK"), "{status}");
+                body.get("values").unwrap().to_string()
+            })
+        })
+        .collect();
+    let concurrent: Vec<String> = clients.into_iter().map(|c| c.join().unwrap()).collect();
+    for (got, want) in concurrent.iter().zip(&solo) {
+        assert_eq!(got, want, "coalesced response differs from solo response");
+    }
+
+    // The histogram must have recorded a batch of >= 2 requests during
+    // the concurrent round (the acceptance criterion for coalescing).
+    let after = telemetry::histogram(telemetry::names::SERVE_BATCH_SIZE).snapshot();
+    let new_ge2: u64 = after
+        .buckets
+        .iter()
+        .zip(before.buckets.iter())
+        .enumerate()
+        // log2 buckets: index 0 holds value 1; index >= 1 holds values >= 2.
+        .skip(1)
+        .map(|(_, (a, b))| a - b)
+        .sum();
+    assert!(
+        new_ge2 >= 1,
+        "no eval batch with >=2 coalesced requests was recorded; before={:?} after={:?}",
+        before.buckets,
+        after.buckets
+    );
+
+    server.stop();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Admission control: with a zero-slot eval queue every request sheds
+/// with `429` and a `Retry-After` header instead of queueing without
+/// bound, and unknown models/jobs map to clean 4xx.
+#[test]
+fn admission_and_error_mapping() {
+    let _guard = SERVE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let dir = tmp_dir("admission");
+    let mut cfg = ServeConfig::new(&dir);
+    cfg.batch = BatchConfig {
+        queue_cap: 0,
+        ..BatchConfig::default()
+    };
+    let server = ServeServer::start("127.0.0.1:0", cfg).unwrap();
+    let addr = server.local_addr();
+
+    // Publish a model directly through the registry (no training needed
+    // to exercise admission).
+    {
+        use qpinn::core::model::{FieldNet, FieldNetConfig};
+        let spec = qpinn::serve::ModelSpec {
+            name: "tdse".into(),
+            seed: 3,
+            net: FieldNetConfig::standard_wave(12.0, 1.0, 8, 1),
+        };
+        let mut params = ParamSet::new();
+        let mut rng = StdRng::seed_from_u64(spec.seed);
+        let _ = FieldNet::new(&mut params, &mut rng, &spec.net, &spec.name);
+        server
+            .registry()
+            .publish("full", &spec, &params, Default::default(), 1, 0.0)
+            .unwrap();
+    }
+    let (status, _) = http(addr, "POST", "/v1/eval", Some(r#"{"model":"full","points":[[0,0]]}"#));
+    assert!(status.contains("429"), "{status}");
+    assert!(status.contains("Retry-After:"), "missing Retry-After in:\n{status}");
+
+    let (status, _) = http(addr, "POST", "/v1/eval", Some(r#"{"model":"ghost","points":[[0,0]]}"#));
+    assert!(status.contains("404"), "{status}");
+    let (status, _) = http(addr, "POST", "/v1/eval", Some(r#"{"model":"bad@ref@","points":[[0,0]]}"#));
+    assert!(status.contains("400"), "{status}");
+    let (status, _) = http(addr, "POST", "/v1/eval", Some("not json"));
+    assert!(status.contains("400"), "{status}");
+    let (status, _) = http(addr, "GET", "/v1/jobs/job-77/progress", None);
+    assert!(status.contains("404"), "{status}");
+    let (status, _) = http(addr, "POST", "/v1/train", Some(r#"{"problem":"harmonic"}"#));
+    assert!(status.contains("400"), "{status}");
+    let (status, _) = http(addr, "DELETE", "/v1/models", None);
+    assert!(status.contains("405"), "{status}");
+
+    server.stop();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Chaos: arm the `fs.enospc` failpoint during a train job's registry
+/// publish. The job must degrade to `503` on its progress route while
+/// the previously published model stays intact and servable.
+#[test]
+fn enospc_during_publish_degrades_without_corrupting_served_models() {
+    let _guard = SERVE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let dir = tmp_dir("enospc");
+    let server = ServeServer::start("127.0.0.1:0", ServeConfig::new(&dir)).unwrap();
+    let addr = server.local_addr();
+
+    // First job publishes version 1 cleanly.
+    let body = r#"{"model_id":"dura","width":8,"depth":1,"epochs":3,"seed":9,"n_collocation":32}"#;
+    let (_, accepted) = http(addr, "POST", "/v1/train", Some(body));
+    let job1 = accepted.get("job_id").unwrap().as_str().unwrap().to_string();
+    poll_to_completion(addr, &job1);
+    let (status, reply) = http(addr, "POST", "/v1/eval", Some(r#"{"model":"dura","points":[[0.5,0.1]]}"#));
+    assert!(status.contains("200 OK"), "{status} {}", reply.to_string());
+
+    // Second job trains fine but hits a full disk at publish time.
+    let _fp = qpinn::testkit::arm("fs.enospc", qpinn::testkit::Trigger::Always);
+    let (_, accepted) = http(addr, "POST", "/v1/train", Some(body));
+    let job2 = accepted.get("job_id").unwrap().as_str().unwrap().to_string();
+    let deadline = Instant::now() + Duration::from_secs(300);
+    loop {
+        let (status, doc) = http(addr, "GET", &format!("/v1/jobs/{job2}/progress"), None);
+        let state = doc.get("state").unwrap().as_str().unwrap().to_string();
+        if state == "failed" {
+            // The failed job is served under 503 with the cause attached.
+            assert!(status.contains("503"), "{status}");
+            let err = doc.get("error").unwrap().as_str().unwrap();
+            assert!(err.contains("publish failed"), "unexpected error: {err}");
+            break;
+        }
+        assert_ne!(state, "completed", "publish should have failed under enospc");
+        assert!(Instant::now() < deadline, "job did not fail in time");
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    drop(_fp);
+
+    // Version 1 is still intact, still resolvable, still serving.
+    let (status, reply) = http(addr, "POST", "/v1/eval", Some(r#"{"model":"dura@1","points":[[0.5,0.1]]}"#));
+    assert!(status.contains("200 OK"), "{status} {}", reply.to_string());
+    let (_, models) = http(addr, "GET", "/v1/models", None);
+    let Json::Arr(rows) = models.get("models").unwrap() else { panic!() };
+    let dura: Vec<_> = rows
+        .iter()
+        .filter(|m| m.get("id").unwrap().as_str() == Some("dura"))
+        .collect();
+    assert_eq!(dura.len(), 1, "failed publish must not leave a second version");
+    assert_eq!(dura[0].get("intact").unwrap(), &Json::Bool(true));
+
+    server.stop();
+    let _ = std::fs::remove_dir_all(&dir);
+}
