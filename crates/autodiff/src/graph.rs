@@ -1,6 +1,6 @@
 //! The tape: eagerly evaluated ops, reverse-mode gradient accumulation.
 
-use qpinn_tensor::Tensor;
+use qpinn_tensor::{pool, FusedAct, Tensor};
 
 /// Handle to a node on a [`Graph`]. Cheap to copy; only meaningful for the
 /// graph that created it.
@@ -38,6 +38,17 @@ enum Op {
     Matmul(usize, usize),
     AddBias(usize, usize),
     Tanh(usize),
+    OneMinusSquare(usize),
+    Affine {
+        x: usize,
+        w: usize,
+        b: usize,
+    },
+    AffineTanh {
+        x: usize,
+        w: usize,
+        b: usize,
+    },
     Sin(usize),
     Cos(usize),
     Exp(usize),
@@ -215,6 +226,55 @@ impl Graph {
         self.push(Op::Tanh(a.0), v, ng)
     }
 
+    /// `tanh a` and `1 − tanh²a` as two nodes sharing one fused forward
+    /// sweep ([`Tensor::tanh_with_deriv`]). The derivative node is recorded
+    /// as `OneMinusSquare` of the tanh node, so second-order (gradient of
+    /// gradient) flows through the tape unchanged.
+    pub fn tanh_with_deriv(&mut self, a: Var) -> (Var, Var) {
+        let (t, d) = self.value(a).tanh_with_deriv();
+        let ng = self.ng(a.0);
+        let tv = self.push(Op::Tanh(a.0), t, ng);
+        let dv = self.push(Op::OneMinusSquare(tv.0), d, ng);
+        (tv, dv)
+    }
+
+    /// Fused affine layer `x · w + b` (bias broadcast over rows), one kernel
+    /// and one output allocation instead of the `matmul` → `add_bias` pair.
+    pub fn affine(&mut self, x: Var, w: Var, b: Var) -> Var {
+        let v = self
+            .value(x)
+            .affine_act(self.value(w), self.value(b), FusedAct::Identity);
+        let ng = self.ng(x.0) || self.ng(w.0) || self.ng(b.0);
+        self.push(
+            Op::Affine {
+                x: x.0,
+                w: w.0,
+                b: b.0,
+            },
+            v,
+            ng,
+        )
+    }
+
+    /// Fused dense layer `tanh(x · w + b)`: the pre-activation matrix is
+    /// never materialized; backward reconstructs its gradient from the
+    /// stored activation via the fused [`Tensor::grad_tanh`] kernel.
+    pub fn affine_tanh(&mut self, x: Var, w: Var, b: Var) -> Var {
+        let v = self
+            .value(x)
+            .affine_act(self.value(w), self.value(b), FusedAct::Tanh);
+        let ng = self.ng(x.0) || self.ng(w.0) || self.ng(b.0);
+        self.push(
+            Op::AffineTanh {
+                x: x.0,
+                w: w.0,
+                b: b.0,
+            },
+            v,
+            ng,
+        )
+    }
+
     /// Elementwise sine.
     pub fn sin(&mut self, a: Var) -> Var {
         let v = self.value(a).sin();
@@ -361,11 +421,13 @@ impl Graph {
 
     // ----- composites -----
 
-    /// `1 - a²`, the derivative of tanh given its output.
+    /// `1 - a²`, the derivative of tanh given its output — a single fused
+    /// node (one kernel sweep) instead of the old `square → neg →
+    /// add_scalar` chain of three tape nodes and three temporaries.
     pub fn one_minus_square(&mut self, a: Var) -> Var {
-        let s = self.square(a);
-        let n = self.neg(s);
-        self.add_scalar(n, 1.0)
+        let v = self.value(a).one_minus_square();
+        let ng = self.ng(a.0);
+        self.push(Op::OneMinusSquare(a.0), v, ng)
     }
 
     /// Linear combination `Σ cᵢ·aᵢ` of equally shaped nodes.
@@ -386,7 +448,12 @@ impl Graph {
 
     fn accumulate(slot: &mut Option<Tensor>, delta: Tensor) {
         match slot {
-            Some(t) => t.axpy(1.0, &delta),
+            Some(t) => {
+                t.axpy(1.0, &delta);
+                // The delta was folded in and is dead; hand its buffer back
+                // to the kernel pool instead of the allocator.
+                pool::recycle(delta);
+            }
             None => *slot = Some(delta),
         }
     }
@@ -484,9 +551,37 @@ impl Graph {
                     }
                 }
                 Op::Tanh(a) => {
-                    // d tanh = 1 - tanh², using the stored output.
-                    let d = node.value.map(|t| 1.0 - t * t);
-                    Self::accumulate(&mut g[*a], out_grad.mul(&d));
+                    // g · (1 − tanh²), one fused sweep over the stored
+                    // output — no derivative temporary.
+                    Self::accumulate(&mut g[*a], out_grad.grad_tanh(&node.value));
+                    pool::recycle(out_grad);
+                }
+                Op::OneMinusSquare(a) => {
+                    // d(1 − a²)/da = −2a.
+                    let d = out_grad.mul(&self.nodes[*a].value).scale(-2.0);
+                    Self::accumulate(&mut g[*a], d);
+                    pool::recycle(out_grad);
+                }
+                Op::Affine { x, w, b } | Op::AffineTanh { x, w, b } => {
+                    // For the tanh variant, first pull the gradient back
+                    // through the activation using the stored output.
+                    let dz = if matches!(node.op, Op::AffineTanh { .. }) {
+                        let dz = out_grad.grad_tanh(&node.value);
+                        pool::recycle(out_grad);
+                        dz
+                    } else {
+                        out_grad
+                    };
+                    if self.ng(*x) {
+                        Self::accumulate(&mut g[*x], dz.matmul_nt(&self.nodes[*w].value));
+                    }
+                    if self.ng(*w) {
+                        Self::accumulate(&mut g[*w], self.nodes[*x].value.matmul_tn(&dz));
+                    }
+                    if self.ng(*b) {
+                        Self::accumulate(&mut g[*b], dz.sum_rows());
+                    }
+                    pool::recycle(dz);
                 }
                 Op::Sin(a) => {
                     let d = self.nodes[*a].value.cos();
@@ -704,6 +799,85 @@ mod tests {
         let grads = g.backward(loss);
         // d/dr_i = 2 w_i r_i / n
         assert_eq!(grads.get(r).unwrap().data(), &[2.0, -1.0]);
+    }
+
+    #[test]
+    fn fused_affine_tanh_matches_unfused_gradients() {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(42);
+        let xs = Tensor::randn([5, 3], 1.0, &mut rng);
+        let ws = Tensor::randn([3, 4], 1.0, &mut rng);
+        let bs = Tensor::randn([4], 1.0, &mut rng);
+
+        // Unfused reference: matmul → add_bias → tanh.
+        let mut g1 = Graph::new();
+        let (x1, w1, b1) = (
+            g1.input(xs.clone()),
+            g1.input(ws.clone()),
+            g1.input(bs.clone()),
+        );
+        let mm = g1.matmul(x1, w1);
+        let z1 = g1.add_bias(mm, b1);
+        let y1 = g1.tanh(z1);
+        let l1 = g1.mse(y1);
+        let r1 = g1.backward(l1);
+
+        // Fused path.
+        let mut g2 = Graph::new();
+        let (x2, w2, b2) = (
+            g2.input(xs.clone()),
+            g2.input(ws.clone()),
+            g2.input(bs.clone()),
+        );
+        let y2 = g2.affine_tanh(x2, w2, b2);
+        let l2 = g2.mse(y2);
+        assert!(g2.value(y2).approx_eq(g1.value(y1), 1e-12));
+        let r2 = g2.backward(l2);
+        for (u, f) in [(x1, x2), (w1, w2), (b1, b2)] {
+            assert!(
+                r2.get(f).unwrap().approx_eq(r1.get(u).unwrap(), 1e-12),
+                "fused affine_tanh gradient diverged"
+            );
+        }
+
+        // Identity affine as well.
+        let mut g3 = Graph::new();
+        let (x3, w3, b3) = (g3.input(xs), g3.input(ws), g3.input(bs));
+        let y3 = g3.affine(x3, w3, b3);
+        let l3 = g3.mse(y3);
+        let r3 = g3.backward(l3);
+        let mm3 = g1.matmul(x1, w1);
+        let z3 = g1.add_bias(mm3, b1);
+        let l1b = g1.mse(z3);
+        let r1b = g1.backward(l1b);
+        for (u, f) in [(x1, x3), (w1, w3), (b1, b3)] {
+            assert!(
+                r3.get(f).unwrap().approx_eq(r1b.get(u).unwrap(), 1e-12),
+                "fused affine gradient diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn tanh_with_deriv_nodes_match_composites() {
+        let xs = Tensor::from_slice(&[-1.2, -0.3, 0.0, 0.4, 2.5]);
+        let mut g = Graph::new();
+        let x = g.input(xs.clone());
+        let (t, d) = g.tanh_with_deriv(x);
+        let tr = g.tanh(x);
+        let dr = g.one_minus_square(tr);
+        assert!(g.value(t).approx_eq(g.value(tr), 0.0));
+        assert!(g.value(d).approx_eq(g.value(dr), 0.0));
+        // Gradients through the derivative node: loss = sum(1 − tanh²x),
+        // dloss/dx = −2·tanh·(1 − tanh²).
+        let loss = g.sum(d);
+        let grads = g.backward(loss);
+        let gx = grads.get(x).unwrap();
+        for (gi, &xi) in gx.data().iter().zip(xs.data()) {
+            let t = xi.tanh();
+            let manual = -2.0 * t * (1.0 - t * t);
+            assert!((gi - manual).abs() < 1e-12);
+        }
     }
 
     #[test]

@@ -167,9 +167,12 @@ impl Jet {
 
     /// Tanh nonlinearity with derivatives expressed through the output:
     /// `σ' = 1 − u²`, `σ'' = −2u(1 − u²)`.
+    ///
+    /// The value and `σ'` come from the fused
+    /// [`Graph::tanh_with_deriv`] — one sweep instead of the four-node
+    /// `tanh → square → neg → add_scalar` chain.
     pub fn tanh(&self, g: &mut Graph) -> Jet {
-        let u = g.tanh(self.v);
-        let sp = g.one_minus_square(u);
+        let (u, sp) = g.tanh_with_deriv(self.v);
         let minus_two_u = g.scale(u, -2.0);
         let spp = g.mul(minus_two_u, sp);
         let mut d = Vec::with_capacity(self.n_coords());

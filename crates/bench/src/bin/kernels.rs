@@ -12,7 +12,10 @@
 //! Run with `--full` for more repetitions, and under
 //! `RAYON_NUM_THREADS=<n>` (or inside `ThreadPool::install`) to probe a
 //! specific pool width — kernels produce bit-identical results at every
-//! width, so only the timings move.
+//! width, so only the timings move. The suite also runs once with the
+//! SIMD dispatch forced to scalar (`QPINN_SIMD=scalar` equivalent) and
+//! reports the per-kernel speedup the vector paths buy; the record
+//! carries both series under `gflops_w1` / `gflops_w<dispatched>` keys.
 
 use qpinn_bench::{banner, save, RunOpts};
 use qpinn_core::report::{Json, TextTable};
@@ -49,13 +52,9 @@ struct Row {
     gflops: f64,
 }
 
-fn main() {
-    let opts = RunOpts::from_args();
-    banner("KERNELS", "tensor kernel microbenchmarks", &opts);
-    println!(
-        "pool width: {} thread(s)\n",
-        rayon::current_num_threads()
-    );
+/// Run the full kernel suite at whatever SIMD width is currently
+/// dispatched and return one row per kernel.
+fn run_suite(opts: &RunOpts) -> Vec<Row> {
     let reps = opts.pick(5, 20);
     let mut rows: Vec<Row> = Vec::new();
 
@@ -112,6 +111,18 @@ fn main() {
         gflops: (3 * len) as f64 / secs / 1e9,
     });
 
+    // The fused dense-layer kernel: bias-seeded matmul with the activation
+    // applied in place, one pass instead of matmul → add_bias → tanh.
+    let bias = qpinn_tensor::Tensor::from_vec([n], vec![4.0; n]);
+    let secs = time_trimmed(reps, || {
+        let _ = a.affine_act(&b, &bias, qpinn_tensor::FusedAct::Tanh);
+    });
+    rows.push(Row {
+        name: "affine_act  (dense+tanh)",
+        secs,
+        gflops: mm_flops / secs / 1e9,
+    });
+
     // Ordered parallel reduction at loss-vector size.
     let secs = time_trimmed(reps, || {
         let _ = x.sum();
@@ -121,13 +132,52 @@ fn main() {
         secs,
         gflops: len as f64 / secs / 1e9,
     });
+    rows
+}
 
-    let mut table = TextTable::new(&["kernel", "ms (trimmed mean)", "GFLOP/s"]);
-    for r in &rows {
+fn main() {
+    let opts = RunOpts::from_args();
+    banner("KERNELS", "tensor kernel microbenchmarks", &opts);
+    let simd_w = qpinn_tensor::simd::width();
+    println!(
+        "pool width: {} thread(s), simd dispatch width: {simd_w}\n",
+        rayon::current_num_threads()
+    );
+
+    // Suite at the dispatched SIMD width, then forced scalar for the
+    // speedup column. Outputs are bit-identical either way; the dispatch
+    // layer only moves the clock.
+    let rows = run_suite(&opts);
+    let scalar_rows = if simd_w > 1 {
+        qpinn_tensor::simd::set_width(1);
+        let r = run_suite(&opts);
+        qpinn_tensor::simd::set_width(simd_w);
+        Some(r)
+    } else {
+        None
+    };
+
+    let mut table = TextTable::new(&[
+        "kernel",
+        "ms (trimmed mean)",
+        "GFLOP/s",
+        "scalar GF/s",
+        "simd speedup",
+    ]);
+    for (i, r) in rows.iter().enumerate() {
+        let (scalar, speedup) = match &scalar_rows {
+            Some(s) => (
+                format!("{:.2}", s[i].gflops),
+                format!("{:.2}×", r.gflops / s[i].gflops),
+            ),
+            None => ("-".into(), "-".into()),
+        };
         table.row(&[
             r.name.to_string(),
             format!("{:.3}", r.secs * 1e3),
             format!("{:.2}", r.gflops),
+            scalar,
+            speedup,
         ]);
     }
     println!("{}", table.render());
@@ -156,21 +206,36 @@ fn main() {
         pool_table.render()
     );
 
-    save(
-        "kernels",
-        &Json::obj(vec![
-            ("id", Json::Str("KERNELS".into())),
-            ("threads", Json::Num(rayon::current_num_threads() as f64)),
-            ("matmul_shape", Json::nums(&[m as f64, k as f64, n as f64])),
-            ("elementwise_len", Json::Num(len as f64)),
-            (
-                "ms",
-                Json::nums(&rows.iter().map(|r| r.secs * 1e3).collect::<Vec<_>>()),
-            ),
-            (
-                "gflops",
-                Json::nums(&rows.iter().map(|r| r.gflops).collect::<Vec<_>>()),
-            ),
-        ]),
-    );
+    let (m, k, n) = (opts.pick(2048, 8192), 32, 32);
+    let len = opts.pick(1 << 16, 1 << 20);
+    let mut record = Json::obj(vec![
+        ("id", Json::Str("KERNELS".into())),
+        ("threads", Json::Num(rayon::current_num_threads() as f64)),
+        ("simd_width", Json::Num(simd_w as f64)),
+        ("matmul_shape", Json::nums(&[m as f64, k as f64, n as f64])),
+        ("elementwise_len", Json::Num(len as f64)),
+        (
+            "ms",
+            Json::nums(&rows.iter().map(|r| r.secs * 1e3).collect::<Vec<_>>()),
+        ),
+        (
+            "gflops",
+            Json::nums(&rows.iter().map(|r| r.gflops).collect::<Vec<_>>()),
+        ),
+    ]);
+    // Per-width GFLOP/s under width-suffixed keys (`gflops_w1`,
+    // `gflops_w4`, ...) so regression tooling can compare dispatch paths.
+    if let Json::Obj(pairs) = &mut record {
+        pairs.push((
+            format!("gflops_w{simd_w}"),
+            Json::nums(&rows.iter().map(|r| r.gflops).collect::<Vec<_>>()),
+        ));
+        if let Some(s) = &scalar_rows {
+            pairs.push((
+                "gflops_w1".to_string(),
+                Json::nums(&s.iter().map(|r| r.gflops).collect::<Vec<_>>()),
+            ));
+        }
+    }
+    save("kernels", &record);
 }

@@ -202,6 +202,7 @@ pub fn save(id: &str, value: &Json) {
     }
     if telemetry::enabled() {
         qpinn_core::obs::emit_pool_stats(id);
+        qpinn_core::obs::emit_buffer_pool_stats(id);
         let snap = telemetry::global().snapshot();
         telemetry::emit(snap.to_event("final_metrics"));
         let path = std::path::Path::new("target")

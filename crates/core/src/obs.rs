@@ -8,8 +8,31 @@
 //! (so the final metrics snapshot carries pool balance) plus one
 //! `pool_stats` mark event per call (so a JSONL stream shows how balance
 //! evolved over a run).
+//!
+//! The tensor crate's buffer pool gets the same treatment:
+//! [`emit_buffer_pool_stats`] mirrors its reuse/allocation counters, so a
+//! run's telemetry shows how many allocations the fused-kernel buffer
+//! recycling actually saved.
 
 use qpinn_telemetry as telemetry;
+
+/// Mirror the tensor buffer-pool counters ([`qpinn_tensor::pool::stats`])
+/// into registry gauges (`tensor_pool.{reused,allocated,recycled}`) and —
+/// when a sink is installed — emit a `tensor_pool_stats` event tagged with
+/// `context`. `reused` counts output allocations the pool avoided.
+pub fn emit_buffer_pool_stats(context: &str) {
+    let s = qpinn_tensor::pool::stats();
+    telemetry::gauge("tensor_pool.reused").set(s.reused as f64);
+    telemetry::gauge("tensor_pool.allocated").set(s.allocated as f64);
+    telemetry::gauge("tensor_pool.recycled").set(s.recycled as f64);
+    telemetry::mark("tensor_pool_stats", |e| {
+        e.field("context", context)
+            .field("reused", s.reused)
+            .field("allocated", s.allocated)
+            .field("recycled", s.recycled)
+            .field("simd_width", qpinn_tensor::simd::width())
+    });
+}
 
 /// Sample the pool counters, mirror them into registry gauges
 /// (`pool.worker<i>.{tasks,steals,idle_waits}`, `pool.launcher.*`), and —
@@ -81,5 +104,29 @@ mod tests {
         assert!(e.fields.iter().any(|(k, _)| k == "total_tasks"));
         // Gauges mirrored for the snapshot path.
         assert!(qpinn_telemetry::gauge("pool.sets_launched").get() >= 1.0);
+    }
+
+    #[test]
+    fn buffer_pool_stats_reach_telemetry() {
+        // Generate some pool traffic first.
+        let t = qpinn_tensor::Tensor::full([256], 1.5);
+        let u = t.add(&t);
+        qpinn_tensor::pool::recycle(u);
+        let _reuse = t.mul(&t);
+
+        let mem = Arc::new(MemorySink::default());
+        qpinn_telemetry::install(mem.clone());
+        emit_buffer_pool_stats("test");
+        qpinn_telemetry::shutdown();
+
+        let events = mem.events.lock().unwrap();
+        let e = events
+            .iter()
+            .find(|e| e.name == "tensor_pool_stats")
+            .expect("tensor_pool_stats event emitted");
+        for key in ["reused", "allocated", "recycled", "simd_width"] {
+            assert!(e.fields.iter().any(|(k, _)| k == key), "missing {key}");
+        }
+        assert!(qpinn_telemetry::gauge("tensor_pool.recycled").get() >= 1.0);
     }
 }

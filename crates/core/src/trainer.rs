@@ -486,6 +486,7 @@ impl Trainer {
             }
         }
         crate::obs::emit_pool_stats("train_segment");
+        crate::obs::emit_buffer_pool_stats("train_segment");
 
         if let Some(max_iters) = self.cfg.lbfgs_polish {
             let x0 = params.flatten();

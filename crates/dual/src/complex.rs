@@ -9,7 +9,12 @@ use crate::scalar::Scalar;
 use core::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
 
 /// A complex number `re + i·im` over scalar type `S`.
+///
+/// `repr(C)` guarantees the `[re, im]` memory layout, which the
+/// statevector simulator's f64 SIMD fast path relies on to reinterpret
+/// `&[Cplx<f64>]` as interleaved doubles.
 #[derive(Clone, Copy, Debug, PartialEq)]
+#[repr(C)]
 pub struct Cplx<S> {
     /// Real part.
     pub re: S,

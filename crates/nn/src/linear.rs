@@ -49,21 +49,29 @@ impl Dense {
         (self.w, self.b)
     }
 
-    /// Plain forward pass.
+    /// Plain forward pass, via the fused affine kernel (one sweep, no
+    /// intermediate `x·W` tensor).
     pub fn forward(&self, ctx: &mut GraphCtx<'_>, x: Var) -> Var {
         let w = ctx.param(self.w);
         let b = ctx.param(self.b);
-        let z = ctx.g.matmul(x, w);
-        ctx.g.add_bias(z, b)
+        ctx.g.affine(x, w, b)
+    }
+
+    /// Fused forward pass `tanh(x·W + b)` — the dense-plus-activation step
+    /// of every hidden MLP layer collapsed into a single tape node.
+    pub fn forward_tanh(&self, ctx: &mut GraphCtx<'_>, x: Var) -> Var {
+        let w = ctx.param(self.w);
+        let b = ctx.param(self.b);
+        ctx.g.affine_tanh(x, w, b)
     }
 
     /// Jet forward pass: the affine map is linear, so derivative slots pass
-    /// through the weight matrix and the bias touches only the value slot.
+    /// through the weight matrix and the bias touches only the value slot
+    /// (which uses the fused affine kernel).
     pub fn forward_jet(&self, ctx: &mut GraphCtx<'_>, x: &Jet) -> Jet {
         let w = ctx.param(self.w);
         let b = ctx.param(self.b);
-        let zv = ctx.g.matmul(x.v, w);
-        let v = ctx.g.add_bias(zv, b);
+        let v = ctx.g.affine(x.v, w, b);
         let d = x.d.iter().map(|&s| ctx.g.matmul(s, w)).collect();
         let dd = x.dd.iter().map(|&s| ctx.g.matmul(s, w)).collect();
         Jet { v, d, dd }

@@ -67,14 +67,23 @@ impl Mlp {
         &self.layers
     }
 
-    /// Plain forward pass on `[batch, input_dim]`.
+    /// Plain forward pass on `[batch, input_dim]`. Hidden tanh layers run
+    /// through the fused `affine_tanh` kernel (one node per layer instead
+    /// of matmul → bias → tanh).
     pub fn forward(&self, ctx: &mut GraphCtx<'_>, x: Var) -> Var {
         let mut h = x;
         let last = self.layers.len() - 1;
         for (i, layer) in self.layers.iter().enumerate() {
-            h = layer.forward(ctx, h);
             if i < last {
-                h = self.activation.forward(ctx, h);
+                h = match self.activation {
+                    Activation::Tanh => layer.forward_tanh(ctx, h),
+                    _ => {
+                        let z = layer.forward(ctx, h);
+                        self.activation.forward(ctx, z)
+                    }
+                };
+            } else {
+                h = layer.forward(ctx, h);
             }
         }
         h

@@ -15,7 +15,7 @@
 
 use crate::gates;
 use crate::state::State;
-use qpinn_dual::Scalar;
+use qpinn_dual::{Cplx, Scalar};
 
 /// The ansatz family.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -81,7 +81,35 @@ impl Ansatz {
             "{}: wrong per-layer parameter count",
             self.name()
         );
-        self.apply_layer_inner(state, layer, params);
+        self.apply_layer_inner(state, layer, params, None);
+    }
+
+    /// Apply one ansatz layer with a per-qubit **pre-gate** fused into the
+    /// layer's leading single-qubit rotation: the two 2×2 matrices are
+    /// pre-multiplied, so the state sees one gate sweep instead of two.
+    /// `pre[q]` is applied *before* the layer's rotation on qubit `q`
+    /// (matrix product `rotation · pre`). Used by data re-uploading, where
+    /// every layer is preceded by an `RX` embedding on each qubit.
+    ///
+    /// # Panics
+    /// Panics on a parameter-count mismatch or when `pre` does not hold
+    /// one gate per qubit.
+    pub fn apply_layer_fused<S: Scalar>(
+        &self,
+        state: &mut State<S>,
+        layer: usize,
+        params: &[S],
+        pre: &[[[Cplx<S>; 2]; 2]],
+    ) {
+        let nq = state.n_qubits();
+        assert_eq!(
+            params.len(),
+            self.params_per_layer(nq),
+            "{}: wrong per-layer parameter count",
+            self.name()
+        );
+        assert_eq!(pre.len(), nq, "one pre-gate per qubit");
+        self.apply_layer_inner(state, layer, params, Some(pre));
     }
 
     /// Apply the full ansatz to `state` using `params` (length must equal
@@ -98,19 +126,45 @@ impl Ansatz {
             self.name()
         );
         let per = self.params_per_layer(nq);
+        if matches!(self, Ansatz::NoEntangling) {
+            // Cross-layer gate fusion: with no entangler between layers,
+            // each qubit sees `layers` consecutive `Rot` gates. Their 2×2
+            // product is computed once and applied in a single sweep over
+            // the state — `nq` gate applications total instead of
+            // `nq · layers`.
+            for q in 0..nq {
+                let pq = 3 * q;
+                let mut g = gates::rot(params[pq], params[pq + 1], params[pq + 2]);
+                for layer in 1..layers {
+                    let p = layer * per + pq;
+                    g = gates::mat_mul(&gates::rot(params[p], params[p + 1], params[p + 2]), &g);
+                }
+                state.apply_1q(q, &g);
+            }
+            return;
+        }
         for layer in 0..layers {
-            self.apply_layer_inner(state, layer, &params[layer * per..(layer + 1) * per]);
+            self.apply_layer_inner(state, layer, &params[layer * per..(layer + 1) * per], None);
         }
     }
 
-    fn apply_layer_inner<S: Scalar>(&self, state: &mut State<S>, layer: usize, params: &[S]) {
+    fn apply_layer_inner<S: Scalar>(
+        &self,
+        state: &mut State<S>,
+        layer: usize,
+        params: &[S],
+        pre: Option<&[[[Cplx<S>; 2]; 2]]>,
+    ) {
         let nq = state.n_qubits();
         {
             let mut p = 0usize;
             match self {
                 Ansatz::BasicEntangling | Ansatz::StronglyEntangling | Ansatz::NoEntangling => {
                     for q in 0..nq {
-                        let g = gates::rot(params[p], params[p + 1], params[p + 2]);
+                        let mut g = gates::rot(params[p], params[p + 1], params[p + 2]);
+                        if let Some(pre) = pre {
+                            g = gates::mat_mul(&g, &pre[q]);
+                        }
                         state.apply_1q(q, &g);
                         p += 3;
                     }
@@ -136,7 +190,11 @@ impl Ansatz {
                 }
                 Ansatz::CrossMeshCrz => {
                     for q in 0..nq {
-                        state.apply_1q(q, &gates::rx(params[p]));
+                        let mut g = gates::rx(params[p]);
+                        if let Some(pre) = pre {
+                            g = gates::mat_mul(&g, &pre[q]);
+                        }
+                        state.apply_1q(q, &g);
                         p += 1;
                     }
                     for c in 0..nq {

@@ -51,16 +51,19 @@ impl QuantumLayer {
         debug_assert_eq!(angles.len(), self.n_qubits);
         let mut state: State<S> = angle_embed(angles);
         if self.reupload {
-            // embedding → layer → embedding → layer → …
+            // embedding → layer → embedding → layer → … with the repeated
+            // RX embedding fused into each layer's leading rotations (one
+            // gate sweep per qubit instead of two).
             let per = self.ansatz.params_per_layer(self.n_qubits);
+            let embed: Vec<_> = angles.iter().map(|&a| crate::gates::rx(a)).collect();
             for layer in 0..self.layers {
+                let slice = &theta[layer * per..(layer + 1) * per];
                 if layer > 0 {
-                    for (q, &a) in angles.iter().enumerate() {
-                        state.apply_1q(q, &crate::gates::rx(a));
-                    }
+                    self.ansatz
+                        .apply_layer_fused(&mut state, layer, slice, &embed);
+                } else {
+                    self.ansatz.apply_layer(&mut state, layer, slice);
                 }
-                self.ansatz
-                    .apply_layer(&mut state, layer, &theta[layer * per..(layer + 1) * per]);
             }
         } else {
             self.ansatz.apply(&mut state, self.layers, theta);

@@ -1,13 +1,17 @@
 //! Elementwise kernels: unary maps, same-shape binary zips, and the row
 //! broadcast used for bias addition.
 //!
-//! Kernels run serially below [`crate::tune::PAR_THRESHOLD`] elements and
-//! switch to rayon `par_chunks` above it, so the fork/join overhead is only
-//! paid where it is amortized. Chunk size and cutoff both live in
-//! [`crate::tune`].
+//! The named operations (`add`/`mul`/`tanh`/…) run on the dispatched SIMD
+//! width via [`crate::simd`]; the closure-based [`Tensor::map`]/
+//! [`Tensor::zip`] remain for arbitrary functions. All output buffers come
+//! from the thread-local pool ([`crate::pool`]) instead of fresh
+//! allocations. Kernels run serially below [`crate::tune::PAR_THRESHOLD`]
+//! elements and switch to rayon `par_chunks` above it, so the fork/join
+//! overhead is only paid where it is amortized. Chunk size and cutoff both
+//! live in [`crate::tune`].
 
 use crate::tune::CHUNK;
-use crate::{Shape, Tensor, PAR_THRESHOLD};
+use crate::{pool, simd, Shape, Tensor, PAR_THRESHOLD};
 use rayon::prelude::*;
 
 #[inline]
@@ -57,9 +61,39 @@ impl Tensor {
         );
     }
 
+    /// Run a SIMD-dispatched unary kernel (`c` is the op's scalar operand)
+    /// into a pooled output buffer.
+    pub(crate) fn map_simd<O: simd::MapOp>(&self, c: f64) -> Tensor {
+        let mut out = pool::take(self.len());
+        let src = self.data();
+        if src.len() >= PAR_THRESHOLD {
+            out.par_chunks_mut(CHUNK)
+                .zip(src.par_chunks(CHUNK))
+                .for_each(|(d, s)| simd::map_k::<O>(c, s, d));
+        } else {
+            simd::map_k::<O>(c, src, &mut out);
+        }
+        Tensor::from_vec(self.shape().clone(), out)
+    }
+
+    /// Run a SIMD-dispatched binary kernel into a pooled output buffer.
+    pub(crate) fn zip_simd<O: simd::BinOp>(&self, other: &Tensor, op: &str) -> Tensor {
+        self.assert_same_shape(other, op);
+        let mut out = pool::take(self.len());
+        let (a, b) = (self.data(), other.data());
+        if a.len() >= PAR_THRESHOLD {
+            out.par_chunks_mut(CHUNK)
+                .zip(a.par_chunks(CHUNK).zip(b.par_chunks(CHUNK)))
+                .for_each(|(d, (x, y))| simd::bin_k::<O>(x, y, d));
+        } else {
+            simd::bin_k::<O>(a, b, &mut out);
+        }
+        Tensor::from_vec(self.shape().clone(), out)
+    }
+
     /// Apply `f` to every element, producing a new tensor.
     pub fn map(&self, f: impl Fn(f64) -> f64 + Sync + Send) -> Tensor {
-        let mut out = Vec::new();
+        let mut out = pool::take(self.len());
         map_into(self.data(), &mut out, f);
         Tensor::from_vec(self.shape().clone(), out)
     }
@@ -70,29 +104,29 @@ impl Tensor {
     /// Panics on shape mismatch.
     pub fn zip(&self, other: &Tensor, f: impl Fn(f64, f64) -> f64 + Sync + Send) -> Tensor {
         self.assert_same_shape(other, "zip");
-        let mut out = Vec::new();
+        let mut out = pool::take(self.len());
         zip_into(self.data(), other.data(), &mut out, f);
         Tensor::from_vec(self.shape().clone(), out)
     }
 
     /// Elementwise sum.
     pub fn add(&self, other: &Tensor) -> Tensor {
-        self.zip(other, |a, b| a + b)
+        self.zip_simd::<simd::OpAdd>(other, "add")
     }
 
     /// Elementwise difference.
     pub fn sub(&self, other: &Tensor) -> Tensor {
-        self.zip(other, |a, b| a - b)
+        self.zip_simd::<simd::OpSub>(other, "sub")
     }
 
     /// Elementwise (Hadamard) product.
     pub fn mul(&self, other: &Tensor) -> Tensor {
-        self.zip(other, |a, b| a * b)
+        self.zip_simd::<simd::OpMul>(other, "mul")
     }
 
     /// Elementwise quotient.
     pub fn div(&self, other: &Tensor) -> Tensor {
-        self.zip(other, |a, b| a / b)
+        self.zip_simd::<simd::OpDiv>(other, "div")
     }
 
     /// In-place `self += alpha * other` (the axpy kernel optimizers use).
@@ -106,51 +140,45 @@ impl Tensor {
             self.data_mut()
                 .par_chunks_mut(CHUNK)
                 .zip(src.par_chunks(CHUNK))
-                .for_each(|(d, s)| {
-                    for (di, si) in d.iter_mut().zip(s) {
-                        *di += alpha * si;
-                    }
-                });
+                .for_each(|(d, s)| simd::vaxpy(alpha, s, d));
         } else {
-            for (di, si) in self.data_mut().iter_mut().zip(other.data()) {
-                *di += alpha * si;
-            }
+            simd::vaxpy(alpha, other.data(), self.data_mut());
         }
     }
 
     /// Negation.
     pub fn neg(&self) -> Tensor {
-        self.map(|a| -a)
+        self.map_simd::<simd::OpNeg>(0.0)
     }
 
     /// Multiply every element by `c`.
     pub fn scale(&self, c: f64) -> Tensor {
-        self.map(move |a| c * a)
+        self.map_simd::<simd::OpScale>(c)
     }
 
     /// Add `c` to every element.
     pub fn add_scalar(&self, c: f64) -> Tensor {
-        self.map(move |a| a + c)
+        self.map_simd::<simd::OpAddScalar>(c)
     }
 
     /// Elementwise square.
     pub fn square(&self) -> Tensor {
-        self.map(|a| a * a)
+        self.map_simd::<simd::OpSquare>(0.0)
     }
 
     /// Elementwise square root.
     pub fn sqrt(&self) -> Tensor {
-        self.map(f64::sqrt)
+        self.map_simd::<simd::OpSqrt>(0.0)
     }
 
     /// Elementwise reciprocal.
     pub fn recip(&self) -> Tensor {
-        self.map(f64::recip)
+        self.map_simd::<simd::OpRecipOf>(1.0)
     }
 
     /// Elementwise absolute value.
     pub fn abs(&self) -> Tensor {
-        self.map(f64::abs)
+        self.map_simd::<simd::OpAbs>(0.0)
     }
 
     /// Elementwise integer power.
@@ -168,14 +196,16 @@ impl Tensor {
         self.map(f64::cos)
     }
 
-    /// Elementwise hyperbolic tangent.
+    /// Elementwise hyperbolic tangent (vectorized; matches libm to a few
+    /// ulp and is bit-identical at every dispatch width).
     pub fn tanh(&self) -> Tensor {
-        self.map(f64::tanh)
+        self.map_simd::<simd::OpTanh>(0.0)
     }
 
-    /// Elementwise natural exponential.
+    /// Elementwise natural exponential (vectorized; matches libm to a few
+    /// ulp and is bit-identical at every dispatch width).
     pub fn exp(&self) -> Tensor {
-        self.map(f64::exp)
+        self.map_simd::<simd::OpExp>(0.0)
     }
 
     /// Add a rank-1 bias of length `ncols` to every row of a rank-2 tensor.
@@ -195,15 +225,11 @@ impl Tensor {
         let mut out = self.data().to_vec();
         if out.len() >= PAR_THRESHOLD {
             out.par_chunks_mut(n).for_each(|row| {
-                for (r, bi) in row.iter_mut().zip(b) {
-                    *r += bi;
-                }
+                simd::vaxpy(1.0, b, row);
             });
         } else {
             for row in out.chunks_mut(n) {
-                for (r, bi) in row.iter_mut().zip(b) {
-                    *r += bi;
-                }
+                simd::vaxpy(1.0, b, row);
             }
         }
         let _ = m;
@@ -221,9 +247,7 @@ impl Tensor {
         let wv = w.data();
         let mut out = self.data().to_vec();
         for (i, row) in out.chunks_mut(n).enumerate() {
-            for r in row.iter_mut() {
-                *r *= wv[i];
-            }
+            simd::map_inplace_k::<simd::OpScale>(wv[i], row);
         }
         Tensor::from_vec(Shape::new(&[m, n]), out)
     }
@@ -251,8 +275,12 @@ mod tests {
         assert_eq!(a.add_scalar(1.0).data(), &[1.0, 2.0, -1.0]);
         assert_eq!(a.square().data(), &[0.0, 1.0, 4.0]);
         assert_eq!(a.abs().data(), &[0.0, 1.0, 2.0]);
-        assert!((a.tanh().data()[1] - 1f64.tanh()).abs() < 1e-15);
+        assert!((a.tanh().data()[1] - 1f64.tanh()).abs() < 1e-14);
         assert!((a.sin().data()[2] - (-2f64).sin()).abs() < 1e-15);
+        assert!((a.exp().data()[2] - (-2f64).exp()).abs() < 1e-15);
+        assert!((a.recip().data()[2] + 0.5).abs() < 1e-15);
+        let s = Tensor::from_slice(&[4.0, 9.0]);
+        assert_eq!(s.sqrt().data(), &[2.0, 3.0]);
     }
 
     #[test]

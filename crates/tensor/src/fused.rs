@@ -1,0 +1,196 @@
+//! Fused single-pass kernels for the chains that dominate PINN residuals.
+//!
+//! The reverse-mode tape historically materialized every link of
+//! `tanh → square → neg → add_scalar` and `matmul → add_bias → tanh` as a
+//! separate tensor. These kernels collapse the two hottest chains:
+//!
+//! * [`Tensor::tanh_with_deriv`] — `tanh x` and `1 − tanh²x` in one sweep
+//!   over the input (the forward value and the exact backward factor);
+//! * [`Tensor::affine_act`] — `act(X·W + b)` with the bias seeded into the
+//!   output accumulator and the activation applied in place per row block,
+//!   so the pre-activation matrix never exists.
+//!
+//! Both draw their outputs from the buffer pool ([`crate::pool`]) and run
+//! on the dispatched SIMD width ([`crate::simd`]). Accumulation order in
+//! `affine_act` is bias-first then ascending `k`, fixed by the blocking
+//! constants — bit-identical at any pool width, though (by design) not
+//! bit-identical to the unfused `matmul` + `add_row_broadcast` pair, whose
+//! rounding sequence differs.
+
+use crate::tune::{CHUNK, K_BLOCK, PAR_FLOPS, ROW_BLOCK};
+use crate::{pool, simd, Tensor, PAR_THRESHOLD};
+use rayon::prelude::*;
+
+/// Activation fused into [`Tensor::affine_act`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FusedAct {
+    /// No activation: plain `X·W + b`.
+    Identity,
+    /// Hyperbolic tangent applied in place after accumulation.
+    Tanh,
+}
+
+impl Tensor {
+    /// `(tanh x, 1 − tanh²x)` in a single pass: the forward activation and
+    /// its derivative, sharing one traversal of the input.
+    pub fn tanh_with_deriv(&self) -> (Tensor, Tensor) {
+        let n = self.len();
+        let mut t = pool::take(n);
+        let mut d = pool::take(n);
+        let src = self.data();
+        if n >= PAR_THRESHOLD {
+            t.par_chunks_mut(CHUNK)
+                .zip(d.par_chunks_mut(CHUNK).zip(src.par_chunks(CHUNK)))
+                .for_each(|(tc, (dc, sc))| simd::vtanh_with_deriv(sc, tc, dc));
+        } else {
+            simd::vtanh_with_deriv(src, &mut t, &mut d);
+        }
+        (
+            Tensor::from_vec(self.shape().clone(), t),
+            Tensor::from_vec(self.shape().clone(), d),
+        )
+    }
+
+    /// Elementwise `1 − x²` (the tanh derivative from a stored activation),
+    /// fused into one kernel instead of `square → neg → add_scalar`.
+    pub fn one_minus_square(&self) -> Tensor {
+        self.map_simd::<simd::OpConstMinusSquare>(1.0)
+    }
+
+    /// Elementwise `self · (1 − y²)` — the tanh backward (upstream gradient
+    /// times activation derivative) in one pass.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn grad_tanh(&self, y: &Tensor) -> Tensor {
+        self.zip_simd::<simd::OpGradTanh>(y, "grad_tanh")
+    }
+
+    /// Fused affine layer `act(self · w + bias)` for rank-2 `self[m,k]`,
+    /// `w[k,n]` and rank-1 `bias[n]`.
+    ///
+    /// The output block is seeded with the bias, the `X·W` contraction
+    /// accumulates on top in ascending `k`, and the activation is applied
+    /// in place per row block — one output allocation, no intermediate
+    /// pre-activation tensor.
+    ///
+    /// # Panics
+    /// Panics when shapes are incompatible.
+    pub fn affine_act(&self, w: &Tensor, bias: &Tensor, act: FusedAct) -> Tensor {
+        let (m, k) = (self.shape().nrows(), self.shape().ncols());
+        let (kb, n) = (w.shape().nrows(), w.shape().ncols());
+        assert_eq!(k, kb, "affine_act: {} · {}", self.shape(), w.shape());
+        assert_eq!(
+            bias.shape().dims(),
+            &[n],
+            "affine_act bias shape {} incompatible with {}",
+            bias.shape(),
+            w.shape()
+        );
+        let a = self.data();
+        let wd = w.data();
+        let bd = bias.data();
+        let mut out = pool::take(m * n);
+        if out.is_empty() {
+            return Tensor::from_vec([m, n], out);
+        }
+        let body = |blk: usize, out_blk: &mut [f64]| {
+            let i0 = blk * ROW_BLOCK;
+            let rows = out_blk.len() / n;
+            for row in out_blk.chunks_mut(n) {
+                row.copy_from_slice(bd);
+            }
+            let mut kb0 = 0;
+            while kb0 < k {
+                let kb1 = (kb0 + K_BLOCK).min(k);
+                for r in 0..rows {
+                    let a_row = &a[(i0 + r) * k..(i0 + r) * k + k];
+                    let row_out = &mut out_blk[r * n..(r + 1) * n];
+                    simd::vaxpy_panel(&a_row[kb0..kb1], 1, kb1 - kb0, &wd[kb0 * n..kb1 * n], n, row_out);
+                }
+                kb0 = kb1;
+            }
+            if matches!(act, FusedAct::Tanh) {
+                simd::map_inplace_k::<simd::OpTanh>(0.0, out_blk);
+            }
+        };
+        if m * k.max(1) * n >= PAR_FLOPS && m > ROW_BLOCK {
+            out.par_chunks_mut(ROW_BLOCK * n)
+                .enumerate()
+                .for_each(|(blk, chunk)| body(blk, chunk));
+        } else {
+            for (blk, chunk) in out.chunks_mut(ROW_BLOCK * n).enumerate() {
+                body(blk, chunk);
+            }
+        }
+        Tensor::from_vec([m, n], out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tanh_with_deriv_matches_separate_ops() {
+        let x = Tensor::from_slice(&[-3.0, -0.5, 0.0, 0.3, 2.0, 25.0, -0.625]);
+        let (t, d) = x.tanh_with_deriv();
+        for (i, &xi) in x.data().iter().enumerate() {
+            assert!((t.data()[i] - xi.tanh()).abs() < 1e-14);
+            let want = 1.0 - xi.tanh() * xi.tanh();
+            assert!((d.data()[i] - want).abs() < 1e-14, "deriv at {xi}");
+        }
+    }
+
+    #[test]
+    fn one_minus_square_and_grad_tanh() {
+        let y = Tensor::from_slice(&[0.5, -0.25, 0.0, 0.99]);
+        let g = Tensor::from_slice(&[2.0, 1.0, -1.0, 0.5]);
+        let d = y.one_minus_square();
+        for (di, yi) in d.data().iter().zip(y.data()) {
+            assert!((di - (1.0 - yi * yi)).abs() < 1e-15);
+        }
+        let gt = g.grad_tanh(&y);
+        for ((gi, yi), oi) in g.data().iter().zip(y.data()).zip(gt.data()) {
+            assert!((oi - gi * (1.0 - yi * yi)).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn affine_act_matches_unfused_chain() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(5);
+        for (m, k, n) in [(3, 4, 5), (17, 33, 9), (40, 7, 65), (1, 1, 1)] {
+            let x = Tensor::from_vec(
+                [m, k],
+                (0..m * k).map(|_| rng.gen_range(-2.0..2.0)).collect::<Vec<_>>(),
+            );
+            let w = Tensor::from_vec(
+                [k, n],
+                (0..k * n).map(|_| rng.gen_range(-2.0..2.0)).collect::<Vec<_>>(),
+            );
+            let b = Tensor::from_vec(
+                [n],
+                (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect::<Vec<_>>(),
+            );
+            let want_lin = x.matmul(&w).add_row_broadcast(&b);
+            let got_lin = x.affine_act(&w, &b, FusedAct::Identity);
+            assert!(got_lin.approx_eq(&want_lin, 1e-12), "identity {m}x{k}x{n}");
+            let got_tanh = x.affine_act(&w, &b, FusedAct::Tanh);
+            assert!(
+                got_tanh.approx_eq(&want_lin.tanh(), 1e-12),
+                "tanh {m}x{k}x{n}"
+            );
+        }
+    }
+
+    #[test]
+    fn affine_act_zero_inner_dim_is_bias_row() {
+        let x = Tensor::zeros([2, 0]);
+        let w = Tensor::zeros([0, 3]);
+        let b = Tensor::from_slice(&[1.0, -2.0, 0.5]);
+        let y = x.affine_act(&w, &b, FusedAct::Identity);
+        assert_eq!(y.row(0), &[1.0, -2.0, 0.5]);
+        assert_eq!(y.row(1), &[1.0, -2.0, 0.5]);
+    }
+}

@@ -12,8 +12,17 @@
 //! * data-parallel kernels via rayon: matrix multiplication is blocked over
 //!   output rows with `par_chunks_mut`, elementwise kernels parallelize only
 //!   above a size threshold so small tensors do not pay fork/join overhead;
-//! * no `unsafe`; bounds checks are hoisted by slice patterns in the hot
-//!   loops.
+//! * a runtime-dispatched SIMD layer ([`simd`]): every inner loop runs one
+//!   shared algorithm instantiated at scalar, AVX2 (4-lane) and AVX-512
+//!   (8-lane) widths, selected once at startup from CPUID and overridable
+//!   via `QPINN_SIMD`. Results are bit-identical across widths *and* thread
+//!   counts — reductions keep eight fixed accumulation lanes at every
+//!   width, and transcendentals share one branch-free polynomial kernel.
+//!   `unsafe` is confined to that module's intrinsic calls behind runtime
+//!   feature detection; everything above it is safe slice code;
+//! * fused kernels ([`Tensor::tanh_with_deriv`], [`Tensor::affine_act`])
+//!   collapse the hottest forward/backward chains into single sweeps, with
+//!   outputs drawn from a thread-local buffer [`pool`].
 //!
 //! ```
 //! use qpinn_tensor::Tensor;
@@ -26,12 +35,16 @@
 #![deny(missing_docs)]
 
 mod elementwise;
+mod fused;
 mod matmul;
+pub mod pool;
 mod random;
 mod reduce;
 mod shape;
+pub mod simd;
 mod tensor;
 
+pub use fused::FusedAct;
 pub use shape::Shape;
 pub use tensor::Tensor;
 

@@ -9,47 +9,30 @@
 //!
 //! Kernel shape, per the tuning constants in [`crate::tune`]:
 //!
-//! * the inner loops are **branchless** unit-stride `axpy`/dot sweeps —
-//!   the old per-element `aik == 0.0` skip was a mispredict tax on dense
-//!   activations and is gone;
+//! * the inner loops are **branchless** unit-stride `axpy`/dot sweeps on
+//!   the dispatched SIMD width (see [`crate::simd`]) — the old per-element
+//!   `aik == 0.0` skip was a mispredict tax on dense activations and is
+//!   gone. Dispatch happens once per K/J panel (`vaxpy_panel` /
+//!   `vdot_panel`), not per sweep, so short inner rows don't pay an
+//!   atomic load and an uninlinable `#[target_feature]` call per `k`;
 //! * work above [`crate::tune::PAR_FLOPS`] is parallelized over
 //!   [`crate::tune::ROW_BLOCK`]-row output blocks on the real rayon pool;
 //! * each task's loops are cache-blocked ([`crate::tune::K_BLOCK`] /
 //!   [`crate::tune::J_BLOCK`]) so the shared B panel stays in L1/L2 while
 //!   a block of output rows streams against it;
-//! * `matmul_nt`'s row-dot kernel accumulates in four independent lanes to
+//! * `matmul_nt`'s row-dot kernel accumulates in eight fixed lanes to
 //!   break the FP add dependency chain.
 //!
 //! Determinism: accumulation order over the contraction dimension is fixed
 //! by the blocking constants and never by the thread count, so every
-//! product is bit-identical at any pool width (the blocked `i-k-j` loops
-//! accumulate in ascending `k` exactly like the unblocked form).
+//! product is bit-identical at any pool width. The axpy inner loop is a
+//! per-element multiply-add chain (no FMA, no reassociation), and the
+//! row-dot's eight-lane split is the same at every dispatch width, so
+//! products are also bit-identical across scalar/AVX2/AVX-512 dispatch.
 
 use crate::tune::{J_BLOCK, K_BLOCK, PAR_FLOPS, ROW_BLOCK};
-use crate::Tensor;
+use crate::{simd, Tensor};
 use rayon::prelude::*;
-
-/// Dot product in four independent accumulator lanes plus a tail, combined
-/// pairwise. The lane split is fixed, so the result does not depend on the
-/// thread count.
-#[inline]
-fn dot4(x: &[f64], y: &[f64]) -> f64 {
-    let quads = x.len() / 4 * 4;
-    let (x4, xr) = x.split_at(quads);
-    let (y4, yr) = y.split_at(quads);
-    let mut acc = [0.0f64; 4];
-    for (xc, yc) in x4.chunks_exact(4).zip(y4.chunks_exact(4)) {
-        acc[0] += xc[0] * yc[0];
-        acc[1] += xc[1] * yc[1];
-        acc[2] += xc[2] * yc[2];
-        acc[3] += xc[3] * yc[3];
-    }
-    let mut tail = 0.0;
-    for (xi, yi) in xr.iter().zip(yr) {
-        tail += xi * yi;
-    }
-    (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail
-}
 
 impl Tensor {
     /// Standard product `C[m,n] = A[m,k] · B[k,n]`.
@@ -80,13 +63,7 @@ impl Tensor {
                 for r in 0..rows {
                     let a_row = &a[(i0 + r) * k..(i0 + r) * k + k];
                     let row_out = &mut out_blk[r * n..(r + 1) * n];
-                    for kk in kb0..kb1 {
-                        let aik = a_row[kk];
-                        let b_row = &bd[kk * n..kk * n + n];
-                        for (o, &bv) in row_out.iter_mut().zip(b_row) {
-                            *o += aik * bv;
-                        }
-                    }
+                    simd::vaxpy_panel(&a_row[kb0..kb1], 1, kb1 - kb0, &bd[kb0 * n..kb1 * n], n, row_out);
                 }
                 kb0 = kb1;
             }
@@ -129,13 +106,7 @@ impl Tensor {
                 for r in 0..rows {
                     let p = p0 + r;
                     let row_out = &mut out_blk[r * n..(r + 1) * n];
-                    for i in ib0..ib1 {
-                        let aip = a[i * k + p];
-                        let b_row = &bd[i * n..i * n + n];
-                        for (o, &bv) in row_out.iter_mut().zip(b_row) {
-                            *o += aip * bv;
-                        }
-                    }
+                    simd::vaxpy_panel(&a[ib0 * k + p..], k, ib1 - ib0, &bd[ib0 * n..ib1 * n], n, row_out);
                 }
                 ib0 = ib1;
             }
@@ -179,9 +150,7 @@ impl Tensor {
                 for r in 0..rows {
                     let a_row = &a[(i0 + r) * n..(i0 + r) * n + n];
                     let row_out = &mut out_blk[r * k..(r + 1) * k];
-                    for (p, o) in row_out[pb0..pb1].iter_mut().enumerate() {
-                        *o = dot4(a_row, &bd[(pb0 + p) * n..(pb0 + p) * n + n]);
-                    }
+                    simd::vdot_panel(a_row, &bd[pb0 * n..pb1 * n], n, &mut row_out[pb0..pb1]);
                 }
                 pb0 = pb1;
             }
@@ -205,11 +174,7 @@ impl Tensor {
     /// Panics on length mismatch.
     pub fn dot(&self, other: &Tensor) -> f64 {
         assert_eq!(self.len(), other.len(), "dot length mismatch");
-        self.data()
-            .iter()
-            .zip(other.data().iter())
-            .map(|(a, b)| a * b)
-            .sum()
+        simd::vdot(self.data(), other.data())
     }
 }
 

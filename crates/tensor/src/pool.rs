@@ -1,0 +1,129 @@
+//! A thread-local free list of `Vec<f64>` buffers so the map/zip/fused
+//! kernels stop allocating a fresh output per call.
+//!
+//! The reverse-mode tape materializes short-lived tensors at a furious
+//! rate (activation derivatives, gradient deltas); most die within one
+//! backward step. [`take`] hands such code a recycled buffer when one with
+//! enough capacity is available, and [`recycle`] returns a dead tensor's
+//! storage to the calling thread's free list. Under rayon, each worker
+//! keeps its own list — no locks on the hot path, and a buffer recycled on
+//! one thread simply becomes available to that thread.
+//!
+//! Three process-wide counters track the traffic so the telemetry plane
+//! (`qpinn-core`'s obs bridge) can report how many allocations the pool
+//! saved: `reused` (allocations avoided), `allocated` (pool misses that
+//! hit the system allocator), and `recycled` (buffers returned).
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+/// Buffers kept per thread; beyond this, recycled buffers are dropped.
+const MAX_POOLED: usize = 32;
+/// Buffers above this length are never pooled (a stray giant buffer would
+/// otherwise pin tens of megabytes per thread).
+const MAX_LEN: usize = 1 << 22;
+
+static REUSED: AtomicU64 = AtomicU64::new(0);
+static ALLOCATED: AtomicU64 = AtomicU64::new(0);
+static RECYCLED: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    static FREE: RefCell<Vec<Vec<f64>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// A zeroed buffer of `len` elements, reusing pooled storage when a buffer
+/// with enough capacity is available on this thread.
+pub(crate) fn take(len: usize) -> Vec<f64> {
+    let got = FREE.with(|f| {
+        let mut f = f.borrow_mut();
+        f.iter()
+            .rposition(|b| b.capacity() >= len)
+            .map(|i| f.swap_remove(i))
+    });
+    match got {
+        Some(mut v) => {
+            REUSED.fetch_add(1, Relaxed);
+            v.clear();
+            v.resize(len, 0.0);
+            v
+        }
+        None => {
+            ALLOCATED.fetch_add(1, Relaxed);
+            vec![0.0; len]
+        }
+    }
+}
+
+/// Return a dead tensor's storage to this thread's free list. Call this on
+/// hot-path temporaries whose lifetime is provably over (e.g. backward-pass
+/// deltas after they are accumulated); it is always safe to simply drop a
+/// tensor instead.
+pub fn recycle(t: crate::Tensor) {
+    let v = t.into_vec();
+    if v.capacity() == 0 || v.capacity() > MAX_LEN {
+        return;
+    }
+    RECYCLED.fetch_add(1, Relaxed);
+    FREE.with(|f| {
+        let mut f = f.borrow_mut();
+        if f.len() < MAX_POOLED {
+            f.push(v);
+        }
+    });
+}
+
+/// Cumulative buffer-pool counters (process-wide, monotonically
+/// increasing).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Allocations avoided by handing out a pooled buffer.
+    pub reused: u64,
+    /// Pool misses that fell through to the system allocator.
+    pub allocated: u64,
+    /// Buffers returned to a free list via [`recycle`].
+    pub recycled: u64,
+}
+
+/// Snapshot the pool counters.
+pub fn stats() -> PoolStats {
+    PoolStats {
+        reused: REUSED.load(Relaxed),
+        allocated: ALLOCATED.load(Relaxed),
+        recycled: RECYCLED.load(Relaxed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Tensor;
+
+    #[test]
+    fn recycled_buffer_is_reused_and_counted() {
+        let before = stats();
+        let t = Tensor::from_vec([512], take(512));
+        recycle(t);
+        let v = take(512);
+        assert_eq!(v.len(), 512);
+        assert!(v.iter().all(|&x| x == 0.0), "reused buffer must be zeroed");
+        let after = stats();
+        assert!(after.recycled > before.recycled);
+        assert!(after.reused > before.reused);
+    }
+
+    #[test]
+    fn smaller_requests_fit_bigger_buffers() {
+        recycle(Tensor::zeros([1024]));
+        let before = stats();
+        let v = take(100);
+        assert_eq!(v.len(), 100);
+        assert!(v.capacity() >= 1024 || stats().reused == before.reused);
+    }
+
+    #[test]
+    fn oversize_buffers_are_not_pooled() {
+        let before = stats();
+        recycle(Tensor::zeros([MAX_LEN + 1]));
+        assert_eq!(stats().recycled, before.recycled);
+    }
+}

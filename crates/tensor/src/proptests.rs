@@ -1,7 +1,30 @@
-//! Property-based tests for tensor algebra invariants.
+//! Property-based tests for tensor algebra invariants, plus the
+//! SIMD-vs-scalar conformance suite: every dispatched kernel must produce
+//! bit-identical results at widths 1 (forced scalar), 4 (AVX2) and 8
+//! (AVX-512) across ragged shapes whose tails do not divide the lane count.
 
-use crate::Tensor;
+use crate::simd::{with_width, WIDTH_LOCK};
+use crate::{FusedAct, Tensor};
 use proptest::prelude::*;
+
+/// Run `f` at forced-scalar width and at every wider width the host
+/// supports, asserting the results are bit-identical to the scalar
+/// reference (which also bounds them within the 1e-12 contract).
+fn assert_width_invariant(f: impl Fn() -> Vec<f64>) {
+    let _g = WIDTH_LOCK.lock().unwrap();
+    let want = with_width(1, &f).expect("scalar always available");
+    for w in [4usize, 8] {
+        if let Some(got) = with_width(w, &f) {
+            assert_eq!(got.len(), want.len());
+            for (i, (g, s)) in got.iter().zip(&want).enumerate() {
+                assert!(
+                    g.to_bits() == s.to_bits(),
+                    "width {w} diverged from scalar at [{i}]: {g} vs {s}"
+                );
+            }
+        }
+    }
+}
 
 /// Strategy: a rank-2 tensor with bounded dims and moderate values.
 fn mat(max: usize) -> impl Strategy<Value = Tensor> {
@@ -98,6 +121,95 @@ proptest! {
         let refs: Vec<&Tensor> = cols.iter().collect();
         let stacked = Tensor::hstack(&refs);
         prop_assert!(stacked.approx_eq(&t, 0.0));
+    }
+
+    #[test]
+    fn simd_elementwise_width_invariant(
+        v in proptest::collection::vec(-6.0..6.0f64, 1..67),
+        c in -3.0..3.0f64,
+    ) {
+        // Ragged 1..67 lengths hit every n % 4 and n % 8 tail case.
+        let x = Tensor::from_slice(&v);
+        let y = x.map(|e| e * 0.37 - 0.11);
+        assert_width_invariant(|| {
+            let mut out = Vec::new();
+            out.extend_from_slice(x.add(&y).data());
+            out.extend_from_slice(x.sub(&y).data());
+            out.extend_from_slice(x.mul(&y).data());
+            out.extend_from_slice(x.div(&y.abs().add_scalar(1.0)).data());
+            out.extend_from_slice(x.scale(c).data());
+            out.extend_from_slice(x.add_scalar(c).data());
+            out.extend_from_slice(x.neg().data());
+            out.extend_from_slice(x.square().data());
+            out.extend_from_slice(x.abs().sqrt().data());
+            out.extend_from_slice(x.abs().add_scalar(0.5).recip().data());
+            out.extend_from_slice(x.tanh().data());
+            out.extend_from_slice(x.exp().data());
+            let mut acc = y.clone();
+            acc.axpy(c, &x);
+            out.extend_from_slice(acc.data());
+            out
+        });
+    }
+
+    #[test]
+    fn simd_reductions_width_invariant(
+        v in proptest::collection::vec(-6.0..6.0f64, 1..131),
+    ) {
+        let x = Tensor::from_slice(&v);
+        let y = x.map(|e| e.cos());
+        assert_width_invariant(|| {
+            vec![x.sum(), x.sum_sq(), x.dot(&y)]
+        });
+    }
+
+    #[test]
+    fn simd_matmul_width_invariant((a, b) in mat_pair(9)) {
+        assert_width_invariant(|| {
+            let c = a.matmul(&b);
+            let mut out = Vec::new();
+            out.extend_from_slice(c.data());
+            out.extend_from_slice(a.matmul_tn(&c).data());
+            out.extend_from_slice(c.matmul_nt(&b).data());
+            out
+        });
+    }
+
+    #[test]
+    fn simd_fused_width_invariant((a, b) in mat_pair(9)) {
+        let bias = Tensor::from_vec(
+            [b.shape().ncols()],
+            (0..b.shape().ncols()).map(|j| (j as f64) * 0.21 - 0.4).collect::<Vec<_>>(),
+        );
+        assert_width_invariant(|| {
+            let (t, d) = a.tanh_with_deriv();
+            let mut out = Vec::new();
+            out.extend_from_slice(t.data());
+            out.extend_from_slice(d.data());
+            out.extend_from_slice(a.one_minus_square().data());
+            out.extend_from_slice(a.affine_act(&b, &bias, FusedAct::Identity).data());
+            out.extend_from_slice(a.affine_act(&b, &bias, FusedAct::Tanh).data());
+            out
+        });
+    }
+
+    #[test]
+    fn simd_tanh_matches_scalar_reference(
+        v in proptest::collection::vec(-40.0..40.0f64, 1..50),
+    ) {
+        // Accuracy against libm (not just cross-width consistency): the
+        // shared polynomial kernel must stay within 1e-12 of `f64::tanh`
+        // and `f64::exp` everywhere the PINN stack evaluates them.
+        let x = Tensor::from_slice(&v);
+        let t = x.tanh();
+        for (got, xi) in t.data().iter().zip(&v) {
+            prop_assert!((got - xi.tanh()).abs() <= 1e-12);
+        }
+        let clipped = x.scale(0.25);
+        for (got, xi) in clipped.exp().data().iter().zip(clipped.data()) {
+            let want = xi.exp();
+            prop_assert!(((got - want) / want).abs() <= 1e-12);
+        }
     }
 
     #[test]

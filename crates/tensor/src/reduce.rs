@@ -1,25 +1,25 @@
 //! Reductions: sums, means, norms, axis reductions.
 //!
-//! Parallel reductions are **thread-count invariant at the bit level**:
-//! partials are computed over fixed [`crate::tune::CHUNK`]-element blocks
-//! and combined in chunk-index order (the ordered `sum` consumer in the
-//! vendored rayon), so the floating-point association is a function of the
-//! chunk size only — never of how many workers ran.
+//! Parallel reductions are **thread-count and SIMD-width invariant at the
+//! bit level**: partials are computed over fixed
+//! [`crate::tune::CHUNK`]-element blocks and combined in chunk-index order
+//! (the ordered `sum` consumer in the vendored rayon), and within a chunk
+//! the [`crate::simd`] kernels accumulate in eight fixed lanes at every
+//! dispatch width. The floating-point association is therefore a function
+//! of the chunk size and the eight-lane tree only — never of how many
+//! workers ran or which instruction set executed.
 
 use crate::tune::CHUNK;
-use crate::{Tensor, PAR_THRESHOLD};
+use crate::{simd, Tensor, PAR_THRESHOLD};
 use rayon::prelude::*;
 
 impl Tensor {
     /// Sum of all elements.
     pub fn sum(&self) -> f64 {
         if self.len() >= PAR_THRESHOLD {
-            self.data()
-                .par_chunks(CHUNK)
-                .map(|c| c.iter().sum::<f64>())
-                .sum()
+            self.data().par_chunks(CHUNK).map(simd::vsum).sum()
         } else {
-            self.data().iter().sum()
+            simd::vsum(self.data())
         }
     }
 
@@ -35,12 +35,9 @@ impl Tensor {
     /// Sum of squares of all elements.
     pub fn sum_sq(&self) -> f64 {
         if self.len() >= PAR_THRESHOLD {
-            self.data()
-                .par_chunks(CHUNK)
-                .map(|c| c.iter().map(|x| x * x).sum::<f64>())
-                .sum()
+            self.data().par_chunks(CHUNK).map(simd::vsum_sq).sum()
         } else {
-            self.data().iter().map(|x| x * x).sum()
+            simd::vsum_sq(self.data())
         }
     }
 
@@ -91,9 +88,7 @@ impl Tensor {
         let (m, n) = (self.shape().nrows(), self.shape().ncols());
         let mut out = vec![0.0; n];
         for i in 0..m {
-            for (o, &v) in out.iter_mut().zip(self.row(i)) {
-                *o += v;
-            }
+            simd::vaxpy(1.0, self.row(i), &mut out);
         }
         Tensor::from_vec([n], out)
     }
@@ -101,11 +96,7 @@ impl Tensor {
     /// Row sums of a rank-2 tensor, as a `[nrows, 1]` column.
     pub fn sum_cols(&self) -> Tensor {
         let n = self.shape().ncols();
-        let sums: Vec<f64> = self
-            .data()
-            .chunks(n)
-            .map(|row| row.iter().sum::<f64>())
-            .collect();
+        let sums: Vec<f64> = self.data().chunks(n).map(simd::vsum).collect();
         Tensor::column(&sums)
     }
 
