@@ -48,6 +48,12 @@ pub struct RunOpts {
     /// metrics routes for the lifetime of the process. Useful for
     /// driving load against a bench-built binary.
     pub serve: Option<String>,
+    /// Access-log path for the inference server (`--access-log PATH`,
+    /// only meaningful with `--serve`). Every request — including sheds
+    /// and errors — is appended as one `qpinn-access-v1` JSON line with
+    /// its trace id and queue/batch/compute/serialize latency split;
+    /// feed the file to `qpinn-obs requests` / `qpinn-obs slo`.
+    pub access_log: Option<std::path::PathBuf>,
 }
 
 impl RunOpts {
@@ -87,6 +93,11 @@ impl RunOpts {
             .position(|a| a == "--serve")
             .and_then(|i| args.get(i + 1))
             .cloned();
+        let access_log = args
+            .iter()
+            .position(|a| a == "--access-log")
+            .and_then(|i| args.get(i + 1))
+            .map(std::path::PathBuf::from);
         if let Some(addr) = &serve {
             let models_dir = args
                 .iter()
@@ -94,10 +105,9 @@ impl RunOpts {
                 .and_then(|i| args.get(i + 1))
                 .map(std::path::PathBuf::from)
                 .unwrap_or_else(|| std::path::Path::new("target").join("models"));
-            match qpinn_serve::ServeServer::start(
-                addr.as_str(),
-                qpinn_serve::ServeConfig::new(&models_dir),
-            ) {
+            let mut cfg = qpinn_serve::ServeConfig::new(&models_dir);
+            cfg.trace.access_log = access_log.clone();
+            match qpinn_serve::ServeServer::start(addr.as_str(), cfg) {
                 Ok(server) => {
                     println!(
                         "serving inference on http://{} (models: {})",
@@ -146,6 +156,7 @@ impl RunOpts {
             epochs,
             serve_metrics,
             serve,
+            access_log,
         }
     }
 
@@ -260,6 +271,7 @@ mod tests {
             epochs: None,
             serve_metrics: None,
             serve: None,
+            access_log: None,
         };
         let full = RunOpts {
             full: true,
@@ -269,6 +281,7 @@ mod tests {
             epochs: None,
             serve_metrics: None,
             serve: None,
+            access_log: None,
         };
         assert_eq!(quick.pick(1, 10), 1);
         assert_eq!(full.pick(1, 10), 10);
@@ -285,6 +298,7 @@ mod tests {
             epochs: None,
             serve_metrics: None,
             serve: None,
+            access_log: None,
         };
         assert_eq!(opts.pick_epochs(100, 1000), 100);
         opts.full = true;

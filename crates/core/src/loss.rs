@@ -67,6 +67,17 @@ pub fn total_loss(g: &mut Graph, terms: &[(f64, Var)]) -> Var {
     g.lincomb(terms)
 }
 
+/// Mirror each *unweighted* named loss term into a `train.loss.<name>`
+/// gauge, so `/metrics` and final snapshots expose the loss
+/// decomposition (pde vs ic vs conservation …), not just the weighted
+/// total the trainer logs. Forward values are already computed during
+/// graph construction, so this reads existing numbers — no extra passes.
+pub fn publish_components(g: &Graph, terms: &[(&str, Var)]) {
+    for (name, v) in terms {
+        qpinn_telemetry::gauge(&format!("train.loss.{name}")).set(g.value(*v).item());
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

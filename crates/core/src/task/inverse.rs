@@ -194,6 +194,7 @@ impl PinnTask for InverseTdseTask {
         let ict = ctx.g.constant(self.ic_cols.1.clone());
         let lic = loss::ic_loss(ctx, &self.net, &[icx, ict], &self.ic_target);
 
+        loss::publish_components(ctx.g, &[("pde", lpde), ("data", ldata), ("ic", lic)]);
         loss::total_loss(ctx.g, &[(1.0, lpde), (self.w_data, ldata), (10.0, lic)])
     }
 

@@ -211,6 +211,12 @@ impl PinnTask for NlsTask {
                 *n0,
             );
             terms.push((self.weights.conservation, lcons));
+            loss::publish_components(
+                ctx.g,
+                &[("pde", lpde), ("ic", lic), ("conservation", lcons)],
+            );
+        } else {
+            loss::publish_components(ctx.g, &[("pde", lpde), ("ic", lic)]);
         }
         loss::total_loss(ctx.g, &terms)
     }

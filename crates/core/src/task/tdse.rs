@@ -243,6 +243,12 @@ impl PinnTask for TdseTask {
                 *n0,
             );
             terms.push((self.weights.conservation, lcons));
+            loss::publish_components(
+                ctx.g,
+                &[("pde", lpde), ("ic", lic), ("conservation", lcons)],
+            );
+        } else {
+            loss::publish_components(ctx.g, &[("pde", lpde), ("ic", lic)]);
         }
         loss::total_loss(ctx.g, &terms)
     }

@@ -239,6 +239,12 @@ impl PinnTask for Tdse2dTask {
             let drift = ctx.g.add_scalar(norm, -n0);
             let lcons = ctx.g.mse(drift);
             terms.push((self.weights.conservation, lcons));
+            loss::publish_components(
+                ctx.g,
+                &[("pde", lpde), ("ic", lic), ("conservation", lcons)],
+            );
+        } else {
+            loss::publish_components(ctx.g, &[("pde", lpde), ("ic", lic)]);
         }
         loss::total_loss(ctx.g, &terms)
     }

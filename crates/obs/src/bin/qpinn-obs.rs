@@ -5,10 +5,12 @@
 //! qpinn-obs flame RUN.jsonl [--top N]       # per-phase self/total time
 //! qpinn-obs pool  RUN.jsonl                 # work-stealing balance
 //! qpinn-obs check --baseline B.json --current C.json [--threshold PCT]
+//! qpinn-obs requests ACCESS.jsonl           # per-route RED table
+//! qpinn-obs slo ACCESS.jsonl --objective '/v1/eval p99_ms<=50'
 //! ```
 //!
-//! Exit codes: 0 success, 1 perf regression (`check` only), 2 usage or
-//! I/O/parse error.
+//! Exit codes: 0 success, 1 perf regression / SLO violation / corrupt
+//! snapshot, 2 usage or I/O/parse error.
 
 use qpinn_core::report::Json;
 use std::process::ExitCode;
@@ -40,9 +42,24 @@ USAGE:
         walks one level of subdirectories (a qpinn-serve models dir).
         Exit 1 when any file fails its CRC.
 
+    qpinn-obs requests ACCESS.jsonl
+        Per-route RED table over a qpinn-access-v1 access log (written
+        by qpinn-serve or fetched from /v1/traces): request count,
+        rate, error %, shed %, and exact p50/p99/max latency computed
+        from the recorded samples.
+
+    qpinn-obs slo ACCESS.jsonl --objective 'ROUTE METRIC<=VALUE' ...
+        Evaluate latency / error-budget objectives against an access
+        log. ROUTE is a path or `*`; METRIC is one of p50_ms, p99_ms,
+        max_ms, error_pct, shed_pct. Repeat --objective, or load one
+        objective per line from a file with --objectives FILE (blank
+        lines and `#` comments skipped). Exit 1 if any objective is
+        violated or has no matching records.
+
 EXIT CODES:
     0  success / no regression
-    1  perf regression (check) or corrupt snapshot (snapshots)
+    1  perf regression (check), corrupt snapshot (snapshots), or SLO
+       violation (slo)
     2  usage, I/O, or parse error
 ";
 
@@ -68,6 +85,8 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         "pool" => cmd_pool(&args[1..]),
         "check" => cmd_check(&args[1..]),
         "snapshots" => cmd_snapshots(&args[1..]),
+        "requests" => cmd_requests(&args[1..]),
+        "slo" => cmd_slo(&args[1..]),
         "-h" | "--help" | "help" => {
             print!("{USAGE}");
             Ok(ExitCode::SUCCESS)
@@ -170,6 +189,53 @@ fn cmd_snapshots(args: &[String]) -> Result<ExitCode, String> {
         ExitCode::SUCCESS
     } else {
         eprintln!("qpinn-obs: {corrupt} corrupt snapshot file(s)");
+        ExitCode::from(1)
+    })
+}
+
+fn cmd_requests(args: &[String]) -> Result<ExitCode, String> {
+    let [input] = args else {
+        return Err("requests takes exactly one ACCESS.jsonl input".into());
+    };
+    print!("{}", qpinn_obs::requests::report(&read_file(input)?)?);
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_slo(args: &[String]) -> Result<ExitCode, String> {
+    let mut input: Option<&str> = None;
+    let mut objectives = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--objective" => {
+                objectives.push(qpinn_obs::slo::parse_objective(
+                    it.next().ok_or("--objective needs `ROUTE METRIC<=VALUE`")?,
+                )?);
+            }
+            "--objectives" => {
+                let path = it.next().ok_or("--objectives needs a file path")?;
+                for line in read_file(path)?.lines() {
+                    let line = line.trim();
+                    if line.is_empty() || line.starts_with('#') {
+                        continue;
+                    }
+                    objectives.push(qpinn_obs::slo::parse_objective(line)?);
+                }
+            }
+            flag if flag.starts_with('-') => return Err(format!("unknown flag `{flag}`")),
+            path => {
+                if input.replace(path).is_some() {
+                    return Err("slo takes exactly one ACCESS.jsonl input".into());
+                }
+            }
+        }
+    }
+    let input = input.ok_or("slo needs an ACCESS.jsonl input")?;
+    let report = qpinn_obs::slo::evaluate(&read_file(input)?, &objectives)?;
+    print!("{}", report.render());
+    Ok(if report.passed() {
+        ExitCode::SUCCESS
+    } else {
         ExitCode::from(1)
     })
 }

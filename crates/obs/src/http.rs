@@ -27,6 +27,10 @@ pub struct Request {
     pub path: String,
     /// The query string after `?`, when present (undecoded).
     pub query: Option<String>,
+    /// All request headers as `(lowercased-name, trimmed-value)` pairs,
+    /// in arrival order (the serve plane reads `x-qpinn-trace` from here
+    /// to adopt an upstream trace id).
+    pub headers: Vec<(String, String)>,
     /// Raw request body (empty unless `Content-Length` was sent).
     pub body: Vec<u8>,
 }
@@ -35,6 +39,14 @@ impl Request {
     /// Body as UTF-8, for JSON request payloads.
     pub fn body_str(&self) -> Result<&str, String> {
         std::str::from_utf8(&self.body).map_err(|e| format!("body is not UTF-8: {e}"))
+    }
+
+    /// First header value with the given name (case-insensitive).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
     }
 }
 
@@ -53,21 +65,29 @@ pub fn read_request(stream: TcpStream) -> std::io::Result<(Request, TcpStream)> 
         Some((p, q)) => (p.to_string(), Some(q.to_string())),
         None => (target.to_string(), None),
     };
-    // Drain headers; the only one that changes framing is Content-Length.
+    // Collect headers; the only one that changes framing is
+    // Content-Length, but the rest are kept (lowercased names) for
+    // routes that read them, e.g. trace-id propagation.
     let mut content_length = 0usize;
+    let mut headers = Vec::new();
     let mut line = String::new();
     loop {
         line.clear();
         if reader.read_line(&mut line)? == 0 || line == "\r\n" || line == "\n" {
             break;
         }
+        if headers.len() >= 100 {
+            return Err(Error::new(ErrorKind::InvalidData, "too many headers"));
+        }
         if let Some((name, value)) = line.split_once(':') {
-            if name.trim().eq_ignore_ascii_case("content-length") {
+            let name = name.trim().to_ascii_lowercase();
+            let value = value.trim().to_string();
+            if name == "content-length" {
                 content_length = value
-                    .trim()
                     .parse()
                     .map_err(|_| Error::new(ErrorKind::InvalidData, "bad Content-Length"))?;
             }
+            headers.push((name, value));
         }
     }
     if content_length > MAX_BODY_BYTES {
@@ -85,6 +105,7 @@ pub fn read_request(stream: TcpStream) -> std::io::Result<(Request, TcpStream)> 
             method,
             path,
             query,
+            headers,
             body,
         },
         reader.into_inner(),
@@ -197,6 +218,8 @@ mod tests {
         assert_eq!(req.method, "GET");
         assert_eq!(req.path, "/v1/models");
         assert_eq!(req.query.as_deref(), Some("full=1"));
+        assert_eq!(req.header("Host"), Some("t"));
+        assert!(req.header("x-qpinn-trace").is_none());
         assert!(req.body.is_empty());
         assert!(raw.starts_with("HTTP/1.1 200 OK\r\n"), "{raw}");
         assert!(raw.contains("Content-Length: 11\r\n"), "{raw}");

@@ -29,9 +29,17 @@
 //! * [`snapshots`] — checkpoint-directory inspection (`qpinn-obs
 //!   snapshots DIR`): id/version/epoch/bytes/CRC status per `.qps` file
 //!   without decoding full tensors.
+//! * [`requests`] — per-route RED table (`qpinn-obs requests`) over a
+//!   `qpinn-access-v1` access log produced by the serve plane: request
+//!   rate, error/shed percentages, and exact p50/p99/max latency from
+//!   the recorded samples.
+//! * [`slo`] — declarative latency / error-budget objectives
+//!   (`qpinn-obs slo`) evaluated against an access log, with
+//!   pass/violated exit codes mirroring [`check`].
 //!
 //! The `qpinn-obs` binary exposes [`trace`], [`flame`], [`pool`],
-//! [`check`], and [`snapshots`] as subcommands; see its `--help`.
+//! [`check`], [`snapshots`], [`requests`], and [`slo`] as subcommands;
+//! see its `--help`.
 
 #![deny(missing_docs)]
 
@@ -40,7 +48,9 @@ pub mod flame;
 pub mod http;
 pub mod pool;
 pub mod progress;
+pub mod requests;
 pub mod server;
+pub mod slo;
 pub mod snapshots;
 pub mod trace;
 

@@ -1,0 +1,275 @@
+//! Declarative SLO evaluation over a `qpinn-access-v1` access log.
+//!
+//! `qpinn-obs slo ACCESS.jsonl --objective '/v1/eval p99_ms<=50'` parses
+//! each objective as `ROUTE METRIC<=VALUE`, evaluates it against the
+//! exact recorded samples, and exits 0 (all met) / 1 (violated) /
+//! 2 (usage or parse error) — the same contract as `qpinn-obs check`.
+//!
+//! * `ROUTE` is a request path (`/v1/eval`) or `*` for all records.
+//! * `METRIC` is one of `p50_ms`, `p99_ms`, `max_ms` (end-to-end latency
+//!   quantiles over non-shed requests), `error_pct` (5xx share of all
+//!   matching records), or `shed_pct` (429 share).
+//! * An objective with **no matching records fails**: an SLO that was
+//!   never exercised is not met, and a gate that silently passes on an
+//!   empty log would hide a broken capture pipeline.
+
+use crate::requests::{parse_access_log, quantile_exact, AccessEntry};
+
+/// Which measurement an objective constrains.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Metric {
+    /// Median end-to-end latency, milliseconds (non-shed requests).
+    P50Ms,
+    /// 99th-percentile end-to-end latency, milliseconds (non-shed).
+    P99Ms,
+    /// Worst observed end-to-end latency, milliseconds (non-shed).
+    MaxMs,
+    /// Percentage of matching records with a 5xx status.
+    ErrorPct,
+    /// Percentage of matching records shed with a 429.
+    ShedPct,
+}
+
+impl Metric {
+    fn name(self) -> &'static str {
+        match self {
+            Metric::P50Ms => "p50_ms",
+            Metric::P99Ms => "p99_ms",
+            Metric::MaxMs => "max_ms",
+            Metric::ErrorPct => "error_pct",
+            Metric::ShedPct => "shed_pct",
+        }
+    }
+}
+
+/// One parsed objective: `ROUTE METRIC<=VALUE`.
+#[derive(Clone, Debug)]
+pub struct Objective {
+    /// Route to match, or `*` for every record.
+    pub route: String,
+    /// Constrained measurement.
+    pub metric: Metric,
+    /// Inclusive upper bound.
+    pub max: f64,
+}
+
+/// Parse `ROUTE METRIC<=VALUE` (whitespace between route and the rest).
+pub fn parse_objective(spec: &str) -> Result<Objective, String> {
+    let spec = spec.trim();
+    let (route, rest) = spec
+        .split_once(char::is_whitespace)
+        .ok_or_else(|| format!("objective {spec:?}: expected `ROUTE METRIC<=VALUE`"))?;
+    let (metric_name, value) = rest
+        .trim()
+        .split_once("<=")
+        .ok_or_else(|| format!("objective {spec:?}: expected `METRIC<=VALUE`"))?;
+    let metric = match metric_name.trim() {
+        "p50_ms" => Metric::P50Ms,
+        "p99_ms" => Metric::P99Ms,
+        "max_ms" => Metric::MaxMs,
+        "error_pct" => Metric::ErrorPct,
+        "shed_pct" => Metric::ShedPct,
+        other => {
+            return Err(format!(
+                "objective {spec:?}: unknown metric {other:?} \
+                 (want p50_ms|p99_ms|max_ms|error_pct|shed_pct)"
+            ))
+        }
+    };
+    let max: f64 = value
+        .trim()
+        .parse()
+        .map_err(|_| format!("objective {spec:?}: bad bound {value:?}"))?;
+    if !max.is_finite() || max < 0.0 {
+        return Err(format!("objective {spec:?}: bound must be finite and >= 0"));
+    }
+    Ok(Objective {
+        route: route.to_string(),
+        metric,
+        max,
+    })
+}
+
+/// The outcome of one objective against one log.
+#[derive(Clone, Debug)]
+pub struct SloOutcome {
+    /// The objective evaluated.
+    pub objective: Objective,
+    /// Observed value, or `None` when no records matched the route.
+    pub observed: Option<f64>,
+    /// Matching record count.
+    pub n: u64,
+    /// Whether the objective is met.
+    pub pass: bool,
+}
+
+/// All outcomes for one evaluation run.
+#[derive(Clone, Debug, Default)]
+pub struct SloReport {
+    /// One row per objective, in input order.
+    pub rows: Vec<SloOutcome>,
+}
+
+impl SloReport {
+    /// True when every objective is met.
+    pub fn passed(&self) -> bool {
+        self.rows.iter().all(|r| r.pass)
+    }
+
+    /// Human-readable table, one line per objective.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for r in &self.rows {
+            let observed = match r.observed {
+                Some(v) => format!("{v:.3}"),
+                None => "no data".to_string(),
+            };
+            out.push_str(&format!(
+                "{} {:<24} {:>9} <= {:<9} observed {:>9}  (n={})\n",
+                if r.pass { "PASS" } else { "FAIL" },
+                r.objective.route,
+                r.objective.metric.name(),
+                format!("{:.3}", r.objective.max),
+                observed,
+                r.n,
+            ));
+        }
+        let verdict = if self.passed() {
+            "SLO: all objectives met"
+        } else {
+            "SLO: VIOLATED"
+        };
+        out.push_str(verdict);
+        out.push('\n');
+        out
+    }
+}
+
+fn observe(entries: &[&AccessEntry], metric: Metric) -> Option<f64> {
+    if entries.is_empty() {
+        return None;
+    }
+    let pct_where = |pred: fn(&AccessEntry) -> bool| {
+        let hits = entries.iter().filter(|e| pred(e)).count();
+        Some(100.0 * hits as f64 / entries.len() as f64)
+    };
+    match metric {
+        Metric::ErrorPct => pct_where(|e| e.status >= 500),
+        Metric::ShedPct => pct_where(|e| e.status == 429),
+        lat => {
+            let mut served: Vec<u64> = entries
+                .iter()
+                .filter(|e| e.status != 429)
+                .map(|e| e.total_ns)
+                .collect();
+            if served.is_empty() {
+                return None;
+            }
+            served.sort_unstable();
+            let ns = match lat {
+                Metric::P50Ms => quantile_exact(&served, 0.50),
+                Metric::P99Ms => quantile_exact(&served, 0.99),
+                _ => *served.last().unwrap(),
+            };
+            Some(ns as f64 / 1e6)
+        }
+    }
+}
+
+/// Evaluate objectives against a `qpinn-access-v1` JSONL log.
+pub fn evaluate(jsonl: &str, objectives: &[Objective]) -> Result<SloReport, String> {
+    if objectives.is_empty() {
+        return Err("no objectives given".to_string());
+    }
+    let entries = parse_access_log(jsonl)?;
+    let mut rows = Vec::with_capacity(objectives.len());
+    for o in objectives {
+        let matching: Vec<&AccessEntry> = entries
+            .iter()
+            .filter(|e| o.route == "*" || e.route == o.route)
+            .collect();
+        let observed = observe(&matching, o.metric);
+        let pass = observed.is_some_and(|v| v <= o.max);
+        rows.push(SloOutcome {
+            objective: o.clone(),
+            observed,
+            n: matching.len() as u64,
+            pass,
+        });
+    }
+    Ok(SloReport { rows })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(route: &str, status: u16, shed: &str, total_ns: u64) -> String {
+        format!(
+            r#"{{"v":"qpinn-access-v1","trace":"t","ts_ns":1,"route":"{route}","model":"m@1","status":{status},"shed":"{shed}","batch":1,"points":2,"queue_ns":10,"batch_ns":20,"compute_ns":30,"serialize_ns":5,"total_ns":{total_ns}}}"#
+        )
+    }
+
+    fn sample_log() -> String {
+        [
+            line("/v1/eval", 200, "", 2_000_000),
+            line("/v1/eval", 200, "", 4_000_000),
+            line("/v1/eval", 429, "queue_full", 10_000),
+            line("/v1/eval", 500, "", 9_000_000),
+        ]
+        .join("\n")
+    }
+
+    #[test]
+    fn parses_objectives_and_rejects_bad_specs() {
+        let o = parse_objective("/v1/eval p99_ms<=50").unwrap();
+        assert_eq!(o.route, "/v1/eval");
+        assert_eq!(o.metric, Metric::P99Ms);
+        assert_eq!(o.max, 50.0);
+        let o = parse_objective("  *  error_pct<=0.5 ").unwrap();
+        assert_eq!(o.route, "*");
+        assert_eq!(o.metric, Metric::ErrorPct);
+        assert!(parse_objective("p99_ms<=50").is_err());
+        assert!(parse_objective("/v1/eval p42_ms<=50").is_err());
+        assert!(parse_objective("/v1/eval p99_ms<=banana").is_err());
+        assert!(parse_objective("/v1/eval p99_ms<=-1").is_err());
+    }
+
+    #[test]
+    fn evaluates_latency_error_and_shed_objectives() {
+        let log = sample_log();
+        let objectives = vec![
+            parse_objective("/v1/eval p50_ms<=5").unwrap(),
+            parse_objective("/v1/eval max_ms<=5").unwrap(),
+            parse_objective("* error_pct<=30").unwrap(),
+            parse_objective("* shed_pct<=10").unwrap(),
+        ];
+        let report = evaluate(&log, &objectives).unwrap();
+        assert!(report.rows[0].pass, "{}", report.render());
+        // max latency is 9ms > 5ms.
+        assert!(!report.rows[1].pass, "{}", report.render());
+        // 1 of 4 is 5xx = 25% <= 30.
+        assert!(report.rows[2].pass, "{}", report.render());
+        // 1 of 4 shed = 25% > 10.
+        assert!(!report.rows[3].pass, "{}", report.render());
+        assert!(!report.passed());
+        assert!(report.render().contains("SLO: VIOLATED"));
+    }
+
+    #[test]
+    fn no_matching_records_fails() {
+        let report = evaluate(
+            &sample_log(),
+            &[parse_objective("/v1/train p50_ms<=100").unwrap()],
+        )
+        .unwrap();
+        assert!(!report.rows[0].pass);
+        assert!(report.rows[0].observed.is_none());
+        assert!(report.render().contains("no data"), "{}", report.render());
+    }
+
+    #[test]
+    fn empty_objective_list_is_a_usage_error() {
+        assert!(evaluate(&sample_log(), &[]).is_err());
+    }
+}

@@ -16,6 +16,13 @@
 //! Threads are numbered in order of first appearance and named via
 //! `thread_name` metadata events, so the viewer shows `main`,
 //! `qpinn-worker-0`, … as separate tracks.
+//!
+//! Serve-plane span events that carry a `trace` field (the per-request
+//! spans: `request`, `request/queue`, `request/compute`, …) are routed
+//! onto one track **per request** (`req:<trace-id>`) instead of their
+//! emitting thread, so a Perfetto timeline shows each request's
+//! queue → flush → compute decomposition alongside the pool and phase
+//! tracks.
 
 use crate::field_num;
 use qpinn_core::report::Json;
@@ -31,8 +38,18 @@ pub fn chrome_trace(jsonl: &str) -> Result<Json, String> {
         let name = e.get("name").and_then(Json::as_str).unwrap_or("?");
         let ts_ns = e.get("ts_ns").and_then(Json::as_num).unwrap_or(0.0);
         let thread = e.get("thread").and_then(Json::as_str).unwrap_or("?");
+        // A traced request gets its own track regardless of which
+        // worker/dispatcher thread emitted the span.
+        let track = match e
+            .get("fields")
+            .and_then(|f| f.get("trace"))
+            .and_then(Json::as_str)
+        {
+            Some(trace) if kind == "span" => format!("req:{trace}"),
+            _ => thread.to_string(),
+        };
         let next_tid = tids.len() as f64;
-        let tid = *tids.entry(thread.to_string()).or_insert_with(|| {
+        let tid = *tids.entry(track.clone()).or_insert_with(|| {
             out.push(Json::obj(vec![
                 ("name", Json::Str("thread_name".into())),
                 ("ph", Json::Str("M".into())),
@@ -40,7 +57,7 @@ pub fn chrome_trace(jsonl: &str) -> Result<Json, String> {
                 ("tid", Json::Num(next_tid)),
                 (
                     "args",
-                    Json::obj(vec![("name", Json::Str(thread.into()))]),
+                    Json::obj(vec![("name", Json::Str(track.clone()))]),
                 ),
             ]));
             next_tid
@@ -145,6 +162,40 @@ mod tests {
         assert!(!events
             .iter()
             .any(|e| e.get("name").and_then(Json::as_str) == Some("final_metrics")));
+    }
+
+    #[test]
+    fn traced_request_spans_share_one_per_request_track() {
+        let jsonl = concat!(
+            r#"{"v":1,"ts_ns":5000,"kind":"span","name":"request","thread":"qpinn-serve-worker-0","fields":{"path":"request","dur_ns":4000,"trace":"cafe01","route":"/v1/eval"}}"#,
+            "\n",
+            r#"{"v":1,"ts_ns":4000,"kind":"span","name":"request_compute","thread":"qpinn-batch-m@1","fields":{"path":"request/compute","dur_ns":1000,"trace":"cafe01"}}"#,
+            "\n",
+            r#"{"v":1,"ts_ns":6000,"kind":"span","name":"epoch","thread":"main","fields":{"path":"epoch","dur_ns":100}}"#,
+            "\n",
+        );
+        let doc = chrome_trace(jsonl).unwrap();
+        let events = match doc.get("traceEvents").unwrap() {
+            Json::Arr(v) => v,
+            other => panic!("not an array: {other:?}"),
+        };
+        let spans: Vec<&Json> = events
+            .iter()
+            .filter(|e| e.get("cat").and_then(Json::as_str) == Some("span"))
+            .collect();
+        assert_eq!(spans.len(), 3);
+        // Both traced spans land on the same tid despite different
+        // emitting threads; the untraced epoch span does not.
+        let req_tid = spans[0].get("tid").and_then(Json::as_num).unwrap();
+        assert_eq!(spans[1].get("tid").and_then(Json::as_num), Some(req_tid));
+        assert_ne!(spans[2].get("tid").and_then(Json::as_num), Some(req_tid));
+        // The track is named after the trace id.
+        assert!(events.iter().any(|e| {
+            e.get("ph").and_then(Json::as_str) == Some("M")
+                && e.get("tid").and_then(Json::as_num) == Some(req_tid)
+                && e.get("args").and_then(|a| a.get("name")).and_then(Json::as_str)
+                    == Some("req:cafe01")
+        }));
     }
 
     #[test]

@@ -18,7 +18,8 @@
 //! [`FieldNet::predict_batch`]: qpinn_core::model::FieldNet::predict_batch
 
 use crate::registry::LoadedModel;
-use qpinn_telemetry::names;
+use qpinn_telemetry::event::now_ns;
+use qpinn_telemetry::{names, Event, Kind, TraceCtx};
 use std::collections::VecDeque;
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
@@ -57,7 +58,40 @@ struct EvalJob {
     /// Flattened coordinates, `n_points * n_coords` long.
     coords: Vec<f64>,
     n_points: usize,
-    tx: mpsc::Sender<Result<Vec<f64>, String>>,
+    /// Trace id of the originating request (empty when tracing is off
+    /// or the caller has no request scope).
+    trace: String,
+    /// [`now_ns`] when the job entered the queue; anchors `queue_ns`.
+    enq_ns: u64,
+    tx: mpsc::Sender<Result<(Vec<f64>, EvalTiming), String>>,
+}
+
+/// Where one request's time went inside the batcher, in nanoseconds on
+/// the process telemetry clock ([`now_ns`]). `compute_ns` is the wall
+/// time of the shared forward pass, attributed whole to every request
+/// in the batch (a request cannot finish before its batch does).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EvalTiming {
+    /// Wait from enqueue until the dispatcher began forming the batch.
+    pub queue_ns: u64,
+    /// Linger while the batch filled (0 for the job that opened it).
+    pub batch_ns: u64,
+    /// Forward-pass wall time of the dispatched batch.
+    pub compute_ns: u64,
+    /// Requests coalesced into the batch that served this one.
+    pub batch_size: u64,
+    /// [`now_ns`] when the forward pass finished; the server anchors
+    /// its serialization stage here.
+    pub compute_end_ns: u64,
+}
+
+/// A successful evaluation: the request's output rows plus its latency
+/// decomposition.
+pub struct EvalOutput {
+    /// Output rows, `n_points * n_fields` long.
+    pub rows: Vec<f64>,
+    /// Stage timings for this request.
+    pub timing: EvalTiming,
 }
 
 /// Why a submission was refused without being queued.
@@ -125,6 +159,19 @@ impl Batcher {
     /// containing this request is dispatched and returns this request's
     /// output rows, `n_points * n_fields` long.
     pub fn eval(&self, coords: Vec<f64>) -> Result<Vec<f64>, SubmitError> {
+        self.eval_traced(coords, &TraceCtx::disabled())
+            .map(|out| out.rows)
+    }
+
+    /// Like [`Batcher::eval`] but carries the request's [`TraceCtx`]
+    /// into the queue and returns the latency decomposition alongside
+    /// the rows. The trace id rides the job through the dispatcher
+    /// flush, so the flush span event can name every request it served.
+    pub fn eval_traced(
+        &self,
+        coords: Vec<f64>,
+        trace: &TraceCtx,
+    ) -> Result<EvalOutput, SubmitError> {
         let arity = self.model.net.n_coords();
         if arity == 0 || coords.len() % arity != 0 || coords.is_empty() {
             return Err(SubmitError::BadShape {
@@ -145,13 +192,15 @@ impl Batcher {
             q.jobs.push_back(EvalJob {
                 coords,
                 n_points,
+                trace: if trace.on { trace.id.clone() } else { String::new() },
+                enq_ns: now_ns(),
                 tx,
             });
             qpinn_telemetry::gauge(names::SERVE_QUEUE_DEPTH).set(q.jobs.len() as f64);
         }
         self.signal.notify_one();
         match rx.recv() {
-            Ok(Ok(rows)) => Ok(rows),
+            Ok(Ok((rows, timing))) => Ok(EvalOutput { rows, timing }),
             // An eval failure surfaces as a 500 on this request only.
             Ok(Err(_msg)) => Err(SubmitError::Closed),
             Err(_) => Err(SubmitError::Closed),
@@ -171,7 +220,7 @@ impl Batcher {
     /// scatter.
     fn run(&self) {
         loop {
-            let batch = {
+            let (batch, linger_start_ns, drain_ns) = {
                 let mut q = self.queue.lock().unwrap_or_else(|e| e.into_inner());
                 // Wait for the first job (or shutdown).
                 while q.jobs.is_empty() {
@@ -180,6 +229,9 @@ impl Batcher {
                     }
                     q = self.signal.wait(q).unwrap_or_else(|e| e.into_inner());
                 }
+                // The batch starts forming now: everything a queued job
+                // waited before this point is its queue_ns.
+                let linger_start_ns = now_ns();
                 // Linger: give concurrent requests a window to coalesce.
                 let deadline = Instant::now() + self.cfg.window;
                 loop {
@@ -216,15 +268,23 @@ impl Batcher {
                     batch.push(q.jobs.pop_front().unwrap());
                 }
                 qpinn_telemetry::gauge(names::SERVE_QUEUE_DEPTH).set(q.jobs.len() as f64);
-                batch
+                (batch, linger_start_ns, now_ns())
             };
-            self.dispatch(batch);
+            self.dispatch(batch, linger_start_ns, drain_ns);
         }
     }
 
-    fn dispatch(&self, batch: Vec<EvalJob>) {
+    fn dispatch(&self, batch: Vec<EvalJob>, linger_start_ns: u64, drain_ns: u64) {
         if batch.is_empty() {
             return;
+        }
+        // Chaos hook: a stalled flush delays this batch's responses and
+        // backs up the queue, which the next batch's `queue_ns` must
+        // expose. The queue lock is NOT held here, so admission control
+        // (and its 429/Retry-After sheds) keeps running during the
+        // stall.
+        if qpinn_testkit::should_fail("serve.flush_stall") {
+            std::thread::sleep(Duration::from_millis(25));
         }
         let total_points: usize = batch.iter().map(|j| j.n_points).sum();
         qpinn_telemetry::histogram(names::SERVE_BATCH_SIZE).record(batch.len() as u64);
@@ -235,9 +295,38 @@ impl Batcher {
         for job in &batch {
             coords.extend_from_slice(&job.coords);
         }
+        let compute_start_ns = now_ns();
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             self.model.net.predict_batch(&self.model.params, &coords)
         }));
+        let compute_end_ns = now_ns();
+        if qpinn_telemetry::enabled() {
+            // One span event per flush, naming every traced request it
+            // served so a timeline can join flushes back to requests.
+            let mut e = Event::new(Kind::Span, "serve_flush")
+                .field("path", "serve_flush")
+                .field("dur_ns", compute_end_ns.saturating_sub(linger_start_ns))
+                .field("model", self.model.qualified_name())
+                .field("batch", batch.len() as u64)
+                .field("points", total_points as u64);
+            let traces: Vec<&str> = batch
+                .iter()
+                .filter(|j| !j.trace.is_empty())
+                .map(|j| j.trace.as_str())
+                .collect();
+            if !traces.is_empty() {
+                e = e.field("traces", traces.join(","));
+            }
+            qpinn_telemetry::emit(e);
+        }
+        let batch_size = batch.len() as u64;
+        let timing_for = move |job: &EvalJob| EvalTiming {
+            queue_ns: linger_start_ns.saturating_sub(job.enq_ns),
+            batch_ns: drain_ns.saturating_sub(job.enq_ns.max(linger_start_ns)),
+            compute_ns: compute_end_ns.saturating_sub(compute_start_ns),
+            batch_size,
+            compute_end_ns,
+        };
         match result {
             Ok(out) => {
                 let n_fields = out.shape().dims()[1];
@@ -247,7 +336,8 @@ impl Batcher {
                     let lo = row * n_fields;
                     let hi = (row + job.n_points) * n_fields;
                     row += job.n_points;
-                    let _ = job.tx.send(Ok(data[lo..hi].to_vec()));
+                    let timing = timing_for(&job);
+                    let _ = job.tx.send(Ok((data[lo..hi].to_vec(), timing)));
                 }
             }
             Err(_) => {

@@ -20,7 +20,7 @@ use qpinn_nn::ParamSet;
 use qpinn_optim::LrSchedule;
 use qpinn_persist::TrainLogRecord;
 use qpinn_problems::TdseProblem;
-use qpinn_telemetry::names;
+use qpinn_telemetry::{names, TraceCtx};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::HashMap;
@@ -161,6 +161,10 @@ pub enum JobStatus {
 /// Mutable state of one job, shared with its training thread.
 struct JobEntry {
     model_id: String,
+    /// Trace id of the submitting HTTP request (empty when tracing was
+    /// off); echoed in the progress document so a poller can join a job
+    /// back to the access log.
+    trace: String,
     status: JobStatus,
     progress: Progress,
 }
@@ -185,10 +189,14 @@ impl JobManager {
     }
 
     /// Start a training thread for `req`; returns the job id to poll.
-    pub fn submit(&self, req: TrainRequest) -> String {
+    /// The submitting request's [`TraceCtx`] (if tracing is on) is
+    /// stored on the job and stamped onto its `train_job` span.
+    pub fn submit(&self, req: TrainRequest, ctx: &TraceCtx) -> String {
         let id = format!("job-{}", self.next_id.fetch_add(1, Ordering::Relaxed));
+        let trace = if ctx.on { ctx.id.clone() } else { String::new() };
         let entry = Arc::new(Mutex::new(JobEntry {
             model_id: req.model_id.clone(),
+            trace: trace.clone(),
             status: JobStatus::Queued,
             progress: Progress::default(),
         }));
@@ -201,7 +209,7 @@ impl JobManager {
         let thread_id = id.clone();
         let handle = std::thread::Builder::new()
             .name(format!("qpinn-train-{thread_id}"))
-            .spawn(move || run_job(registry, entry, req))
+            .spawn(move || run_job(registry, entry, req, thread_id, trace))
             .expect("spawn train thread");
         self.handles
             .lock()
@@ -242,6 +250,9 @@ impl JobManager {
             ("eta_s", Json::Num(e.progress.eta_s)),
             ("wall_s", Json::Num(e.progress.wall_s)),
         ];
+        if !e.trace.is_empty() {
+            fields.push(("trace", Json::Str(e.trace.clone())));
+        }
         let mut failed = false;
         match &e.status {
             JobStatus::Completed {
@@ -280,7 +291,21 @@ fn fail(entry: &Arc<Mutex<JobEntry>>, error: String) {
     entry.lock().unwrap_or_else(|e| e.into_inner()).status = JobStatus::Failed { error };
 }
 
-fn run_job(registry: Arc<ModelRegistry>, entry: Arc<Mutex<JobEntry>>, req: TrainRequest) {
+fn run_job(
+    registry: Arc<ModelRegistry>,
+    entry: Arc<Mutex<JobEntry>>,
+    req: TrainRequest,
+    job_id: String,
+    trace: String,
+) {
+    // The whole job runs under one span: the trainer's epoch/step spans
+    // nest inside it, and the trace id (when the submitting request was
+    // traced) lets a timeline tie the training track to that request.
+    let mut job_span = qpinn_telemetry::span("train_job");
+    job_span.field("job", job_id).field("model", req.model_id.clone());
+    if !trace.is_empty() {
+        job_span.field("trace", trace);
+    }
     entry.lock().unwrap_or_else(|e| e.into_inner()).status = JobStatus::Running;
     let hook_entry = entry.clone();
     let hook = ProgressHook::new(move |p: &Progress| {
@@ -394,7 +419,7 @@ mod tests {
         let registry =
             Arc::new(ModelRegistry::open(RegistryConfig::new(&dir)).unwrap());
         let jobs = JobManager::new(registry.clone());
-        let id = jobs.submit(tiny_request("served"));
+        let id = jobs.submit(tiny_request("served"), &TraceCtx::disabled());
         // Poll to completion.
         let deadline = std::time::Instant::now() + Duration::from_secs(120);
         loop {

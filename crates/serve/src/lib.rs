@@ -45,10 +45,10 @@ pub mod registry;
 pub mod server;
 pub mod spec;
 
-pub use batch::{BatchConfig, Batcher, SubmitError};
+pub use batch::{BatchConfig, Batcher, EvalOutput, EvalTiming, SubmitError};
 pub use jobs::{JobManager, JobStatus, TrainRequest};
 pub use registry::{
     LoadedModel, ModelInfo, ModelRegistry, RegistryConfig, RegistryError,
 };
-pub use server::{ServeConfig, ServeServer};
+pub use server::{ServeConfig, ServeServer, TraceConfig};
 pub use spec::{ModelSpec, SpecDecodeError};

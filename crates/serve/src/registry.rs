@@ -83,6 +83,14 @@ pub struct LoadedModel {
     pub eval_error: f64,
 }
 
+impl LoadedModel {
+    /// `id@version`, the form access-log records and trace spans use to
+    /// name a model.
+    pub fn qualified_name(&self) -> String {
+        format!("{}@{}", self.id, self.version)
+    }
+}
+
 /// One row of [`ModelRegistry::list`].
 #[derive(Clone, Debug)]
 pub struct ModelInfo {

@@ -17,8 +17,24 @@
 //! | `/v1/train`                | POST   | train request → `202` + job id     |
 //! | `/v1/jobs/<id>/progress`   | GET    | live epoch/loss/ETA (failed → 503) |
 //! | `/v1/evict`                | POST   | `{"model"}` → drop resident copy   |
+//! | `/v1/traces`               | GET    | last `?n=K` access records         |
 //! | `/metrics` `/metrics.json` | GET    | shared with `qpinn-obs`            |
 //! | `/progress` `/healthz`     | GET    | shared with `qpinn-obs`            |
+//!
+//! ## Request tracing
+//!
+//! With tracing on ([`TraceConfig::ring`] > 0, the default) every
+//! request is minted a [`TraceCtx`] — adopting a valid inbound
+//! `x-qpinn-trace` header, else generating a fresh id — echoed back as
+//! an `x-qpinn-trace` response header. The context rides through
+//! registry resolution, the batch queue, and the dispatcher flush; on
+//! completion the request's latency decomposition (queue wait, batch
+//! linger, compute, serialization) lands in the
+//! `serve.latency.{queue,batch,compute,total}_ns` histograms, in span
+//! events (per-request tracks in `qpinn-obs trace`), and in one
+//! `qpinn-access-v1` record in the bounded access ring that
+//! `GET /v1/traces` serves. Tracing never changes response bytes; off,
+//! its cost is one relaxed atomic load per request.
 
 use crate::batch::{BatchConfig, Batcher, SubmitError};
 use crate::jobs::{JobManager, TrainRequest};
@@ -27,7 +43,8 @@ use qpinn_core::report::Json;
 use qpinn_obs::http::{read_request, Request, Response};
 use qpinn_obs::progress::ProgressTracker;
 use qpinn_obs::server::metrics_routes;
-use qpinn_telemetry::names;
+use qpinn_telemetry::event::now_ns;
+use qpinn_telemetry::{access, names, AccessRecord, Event, Kind, TraceCtx};
 use std::collections::{HashMap, VecDeque};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -47,16 +64,43 @@ pub struct ServeConfig {
     pub workers: usize,
     /// Connections queued for workers before the accept thread sheds.
     pub pending_cap: usize,
+    /// Request-tracing settings.
+    pub trace: TraceConfig,
+}
+
+/// Request-tracing settings. Tracing state is process-global (the
+/// telemetry access ring): starting a server with `ring > 0` configures
+/// it, `ring == 0` disables it.
+#[derive(Clone, Debug)]
+pub struct TraceConfig {
+    /// Access-ring capacity (last-K requests served by `/v1/traces`).
+    /// 0 disables request tracing entirely — no ids are minted and the
+    /// per-request cost is one relaxed atomic load.
+    pub ring: usize,
+    /// Optional JSONL access-log path; every finished request appends
+    /// one `qpinn-access-v1` line (`qpinn-obs requests`/`slo` input).
+    pub access_log: Option<std::path::PathBuf>,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig {
+            ring: 512,
+            access_log: None,
+        }
+    }
 }
 
 impl ServeConfig {
-    /// Defaults: 8 workers, 64 queued connections, default batching.
+    /// Defaults: 8 workers, 64 queued connections, default batching,
+    /// tracing on with a 512-record ring and no access-log file.
     pub fn new(models_dir: impl Into<std::path::PathBuf>) -> Self {
         ServeConfig {
             registry: RegistryConfig::new(models_dir),
             batch: BatchConfig::default(),
             workers: 8,
             pending_cap: 64,
+            trace: TraceConfig::default(),
         }
     }
 }
@@ -101,6 +145,19 @@ impl ServeServer {
         );
         let tracker = Arc::new(ProgressTracker::new());
         qpinn_telemetry::install(tracker.clone());
+        if cfg.trace.ring > 0 {
+            access::configure(cfg.trace.ring);
+            if let Some(path) = &cfg.trace.access_log {
+                if let Err(e) = access::log_to(path) {
+                    qpinn_telemetry::warn(
+                        "access_log_open_failed",
+                        format!("cannot open access log {}: {e}", path.display()),
+                    );
+                }
+            }
+        } else {
+            access::disable();
+        }
         let shared = Arc::new(Shared {
             jobs: JobManager::new(registry.clone()),
             registry,
@@ -191,6 +248,7 @@ impl ServeServer {
             let _ = j.join();
         }
         self.shared.jobs.join_all();
+        access::flush();
     }
 }
 
@@ -220,10 +278,24 @@ fn accept_loop(
             Some(mut stream) => {
                 // Too many connections waiting: refuse before even
                 // reading the request so a flood cannot exhaust memory.
+                // The request line is never read, so the access record
+                // has no route and a freshly minted id (any inbound
+                // x-qpinn-trace header is still on the wire).
                 qpinn_telemetry::counter(names::SERVE_SHED).inc();
-                let _ = err_json("429 Too Many Requests", "server busy, retry later")
-                    .header("Retry-After", "1")
-                    .write_to(&mut stream);
+                let ctx = TraceCtx::mint(None);
+                let mut resp = err_json("429 Too Many Requests", "server busy, retry later")
+                    .header("Retry-After", "1");
+                if ctx.on {
+                    resp = resp.header("x-qpinn-trace", ctx.id.clone());
+                    access::record(AccessRecord {
+                        trace: ctx.id,
+                        ts_ns: now_ns(),
+                        status: 429,
+                        shed: "pending_cap".into(),
+                        ..AccessRecord::default()
+                    });
+                }
+                let _ = resp.write_to(&mut stream);
             }
             None => shared.signal.notify_one(),
         }
@@ -248,21 +320,156 @@ fn worker_loop(shared: Arc<Shared>) {
     }
 }
 
+/// What a route learned about its request, accumulated for the latency
+/// histograms and the access record. Zeros mean "stage did not apply"
+/// (only eval requests reach a batcher).
+#[derive(Default)]
+struct ReqMeta {
+    /// `id@version` once a model resolved, else empty.
+    model: String,
+    /// Metric-name key for the model ([`names::model_key`]).
+    model_key: String,
+    /// Shed reason (`"queue_full"`); accept-queue sheds never get here.
+    shed: &'static str,
+    batch: u64,
+    points: u64,
+    queue_ns: u64,
+    batch_ns: u64,
+    compute_ns: u64,
+    /// [`now_ns`] when the forward pass finished (0 = no dispatch).
+    compute_end_ns: u64,
+}
+
 fn handle_connection(stream: TcpStream, shared: &Shared) -> std::io::Result<()> {
     let t0 = Instant::now();
+    let start_ns = now_ns();
     let (req, mut stream) = match read_request(stream) {
         Ok(ok) => ok,
         Err(e) => return Err(e),
     };
     qpinn_telemetry::counter(names::SERVE_REQUESTS).inc();
-    let response = route(&req, shared);
+    let ctx = TraceCtx::mint(req.header("x-qpinn-trace"));
+    let mut meta = ReqMeta::default();
+    let mut response = route(&req, shared, &ctx, &mut meta);
+    if ctx.on {
+        response = response.header("x-qpinn-trace", ctx.id.clone());
+    }
     if response.status.starts_with('5') {
         qpinn_telemetry::counter(names::SERVE_ERRORS).inc();
     }
+    let status = status_code(response.status);
     let out = response.write_to(&mut stream);
+    let end_ns = now_ns();
+    let total_ns = end_ns.saturating_sub(start_ns);
+    // Serialization = everything after the forward pass finished
+    // (scatter, JSON build, socket write); for routes that never
+    // dispatched, everything after routing is lumped here too via the
+    // total, and the stage is reported as the post-route remainder.
+    let serialize_ns = if meta.compute_end_ns > 0 {
+        end_ns.saturating_sub(meta.compute_end_ns)
+    } else {
+        0
+    };
     qpinn_telemetry::histogram(names::SERVE_LATENCY_US)
         .record(t0.elapsed().as_micros() as u64);
+    record_latency(&req.path, &meta, total_ns);
+    if ctx.on {
+        emit_request_spans(&ctx, &req.path, &meta, status, total_ns, serialize_ns, end_ns);
+        access::record(AccessRecord {
+            trace: ctx.id,
+            ts_ns: end_ns,
+            route: req.path.clone(),
+            model: meta.model,
+            status,
+            shed: meta.shed.to_string(),
+            batch: meta.batch,
+            points: meta.points,
+            queue_ns: meta.queue_ns,
+            batch_ns: meta.batch_ns,
+            compute_ns: meta.compute_ns,
+            serialize_ns,
+            total_ns,
+        });
+    }
     out
+}
+
+/// Numeric status from a `"200 OK"`-style status line.
+fn status_code(status: &str) -> u16 {
+    status
+        .split_whitespace()
+        .next()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0)
+}
+
+/// Feed the `serve.latency.*` histograms: base + per-route total, and
+/// the batcher stages (+ per-model) when the request was dispatched.
+fn record_latency(path: &str, meta: &ReqMeta, total_ns: u64) {
+    use qpinn_telemetry::histogram;
+    histogram(names::SERVE_LAT_TOTAL_NS).record(total_ns);
+    let rk = names::route_key(path);
+    histogram(&format!("{}.by_route.{rk}", names::SERVE_LAT_TOTAL_NS)).record(total_ns);
+    if meta.compute_end_ns > 0 {
+        histogram(names::SERVE_LAT_QUEUE_NS).record(meta.queue_ns);
+        histogram(names::SERVE_LAT_BATCH_NS).record(meta.batch_ns);
+        histogram(names::SERVE_LAT_COMPUTE_NS).record(meta.compute_ns);
+        if !meta.model_key.is_empty() {
+            for (base, v) in [
+                (names::SERVE_LAT_QUEUE_NS, meta.queue_ns),
+                (names::SERVE_LAT_BATCH_NS, meta.batch_ns),
+                (names::SERVE_LAT_COMPUTE_NS, meta.compute_ns),
+                (names::SERVE_LAT_TOTAL_NS, total_ns),
+            ] {
+                histogram(&format!("{base}.by_model.{}", meta.model_key)).record(v);
+            }
+        }
+    }
+}
+
+/// Emit the per-request span events a Chrome/Perfetto timeline renders
+/// as one track per trace id: a `request` root plus its stages, each
+/// stamped with a reconstructed end timestamp so they tile in order.
+fn emit_request_spans(
+    ctx: &TraceCtx,
+    path: &str,
+    meta: &ReqMeta,
+    status: u16,
+    total_ns: u64,
+    serialize_ns: u64,
+    end_ns: u64,
+) {
+    if !qpinn_telemetry::enabled() {
+        return;
+    }
+    let mut root = Event::new(Kind::Span, "request")
+        .field("path", "request")
+        .field("dur_ns", total_ns)
+        .field("trace", ctx.id.clone())
+        .field("route", path.to_string())
+        .field("status", status as u64);
+    if !meta.model.is_empty() {
+        root = root.field("model", meta.model.clone());
+    }
+    root.ts_ns = end_ns;
+    qpinn_telemetry::emit(root);
+    if meta.compute_end_ns > 0 {
+        let drain_ns = meta.compute_end_ns.saturating_sub(meta.compute_ns);
+        let stages = [
+            ("request_queue", "request/queue", meta.queue_ns, drain_ns.saturating_sub(meta.batch_ns)),
+            ("request_batch", "request/batch", meta.batch_ns, drain_ns),
+            ("request_compute", "request/compute", meta.compute_ns, meta.compute_end_ns),
+            ("request_serialize", "request/serialize", serialize_ns, end_ns),
+        ];
+        for (name, span_path, dur, ts) in stages {
+            let mut e = Event::new(Kind::Span, name)
+                .field("path", span_path)
+                .field("dur_ns", dur)
+                .field("trace", ctx.id.clone());
+            e.ts_ns = ts;
+            qpinn_telemetry::emit(e);
+        }
+    }
 }
 
 fn err_json(status: &'static str, msg: &str) -> Response {
@@ -272,7 +479,7 @@ fn err_json(status: &'static str, msg: &str) -> Response {
     )
 }
 
-fn route(req: &Request, shared: &Shared) -> Response {
+fn route(req: &Request, shared: &Shared, ctx: &TraceCtx, meta: &mut ReqMeta) -> Response {
     // The read-only observability routes are shared verbatim with the
     // qpinn-obs metrics endpoint.
     if let Some(r) = metrics_routes(&req.method, &req.path, &shared.tracker, shared.started) {
@@ -280,13 +487,29 @@ fn route(req: &Request, shared: &Shared) -> Response {
     }
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/v1/models") => models_route(shared),
-        ("POST", "/v1/eval") => eval_route(req, shared),
-        ("POST", "/v1/train") => train_route(req, shared),
+        ("POST", "/v1/eval") => eval_route(req, shared, ctx, meta),
+        ("POST", "/v1/train") => train_route(req, shared, ctx),
         ("POST", "/v1/evict") => evict_route(req, shared),
+        ("GET", "/v1/traces") => traces_route(req),
         ("GET", path) if path.starts_with("/v1/jobs/") => jobs_route(path, shared),
         ("POST", _) | ("GET", _) => err_json("404 Not Found", "no such route"),
         _ => err_json("405 Method Not Allowed", "method not allowed"),
     }
+}
+
+/// `GET /v1/traces?n=K`: the last K (default 64) access records from
+/// the ring, oldest first — sheds and errors included.
+fn traces_route(req: &Request) -> Response {
+    let n = req
+        .query
+        .as_deref()
+        .into_iter()
+        .flat_map(|q| q.split('&'))
+        .find_map(|kv| kv.strip_prefix("n="))
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(64)
+        .min(4096);
+    Response::json(access::render_traces(&access::last(n), access::enabled()))
 }
 
 fn models_route(shared: &Shared) -> Response {
@@ -321,14 +544,25 @@ fn registry_error_response(e: RegistryError) -> Response {
 }
 
 /// Fetch (or lazily spawn) the batcher for a resolved model version.
+/// With tracing on, registry resolution gets its own span event tied
+/// to the request's trace id (cache hits and cold loads both).
 fn batcher_for(
     shared: &Shared,
     model_ref: &str,
+    ctx: &TraceCtx,
 ) -> Result<Arc<Batcher>, Response> {
-    let model = shared
-        .registry
-        .resolve(model_ref)
-        .map_err(registry_error_response)?;
+    let resolve_start = now_ns();
+    let resolved = shared.registry.resolve(model_ref);
+    if ctx.on && qpinn_telemetry::enabled() {
+        let mut e = Event::new(Kind::Span, "request_resolve")
+            .field("path", "request/resolve")
+            .field("dur_ns", now_ns().saturating_sub(resolve_start))
+            .field("trace", ctx.id.clone())
+            .field("ok", resolved.is_ok());
+        e.ts_ns = now_ns();
+        qpinn_telemetry::emit(e);
+    }
+    let model = resolved.map_err(registry_error_response)?;
     let key = (model.id.clone(), model.version);
     let mut map = shared.batchers.lock().unwrap_or_else(|e| e.into_inner());
     if let Some(b) = map.get(&key) {
@@ -344,7 +578,7 @@ fn batcher_for(
     Ok(b)
 }
 
-fn eval_route(req: &Request, shared: &Shared) -> Response {
+fn eval_route(req: &Request, shared: &Shared, ctx: &TraceCtx, meta: &mut ReqMeta) -> Response {
     let body = match req.body_str().map_err(|e| e.to_string()).and_then(|s| {
         Json::parse(s).map_err(|e| format!("invalid JSON body: {e}"))
     }) {
@@ -359,10 +593,13 @@ fn eval_route(req: &Request, shared: &Shared) -> Response {
         Some(Json::Arr(rows)) if !rows.is_empty() => rows,
         _ => return err_json("400 Bad Request", "field `points` must be a non-empty array"),
     };
-    let batcher = match batcher_for(shared, model_ref) {
+    let batcher = match batcher_for(shared, model_ref, ctx) {
         Ok(b) => b,
         Err(resp) => return resp,
     };
+    meta.model = batcher.model().qualified_name();
+    meta.model_key = names::model_key(&batcher.model().id, batcher.model().version);
+    meta.points = points.len() as u64;
     let arity = batcher.model().net.n_coords();
     let n_fields = batcher.model().net.n_fields();
     let mut coords = Vec::with_capacity(points.len() * arity);
@@ -382,9 +619,15 @@ fn eval_route(req: &Request, shared: &Shared) -> Response {
             );
         }
     }
-    match batcher.eval(coords) {
-        Ok(values) => {
-            let rows: Vec<Json> = values
+    match batcher.eval_traced(coords, ctx) {
+        Ok(out) => {
+            meta.queue_ns = out.timing.queue_ns;
+            meta.batch_ns = out.timing.batch_ns;
+            meta.compute_ns = out.timing.compute_ns;
+            meta.compute_end_ns = out.timing.compute_end_ns;
+            meta.batch = out.timing.batch_size;
+            let rows: Vec<Json> = out
+                .rows
                 .chunks(n_fields)
                 .map(|row| Json::nums(row))
                 .collect();
@@ -400,6 +643,7 @@ fn eval_route(req: &Request, shared: &Shared) -> Response {
             )
         }
         Err(SubmitError::QueueFull) => {
+            meta.shed = "queue_full";
             err_json("429 Too Many Requests", "eval queue full, retry later")
                 .header("Retry-After", "1")
         }
@@ -413,7 +657,7 @@ fn eval_route(req: &Request, shared: &Shared) -> Response {
     }
 }
 
-fn train_route(req: &Request, shared: &Shared) -> Response {
+fn train_route(req: &Request, shared: &Shared, ctx: &TraceCtx) -> Response {
     let parsed = req
         .body_str()
         .map_err(|e| e.to_string())
@@ -422,7 +666,7 @@ fn train_route(req: &Request, shared: &Shared) -> Response {
     match parsed {
         Ok(train) => {
             let model_id = train.model_id.clone();
-            let job_id = shared.jobs.submit(train);
+            let job_id = shared.jobs.submit(train, ctx);
             Response::json_status(
                 "202 Accepted",
                 Json::obj(vec![

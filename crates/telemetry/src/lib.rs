@@ -21,6 +21,11 @@
 //! * **Exposition** ([`prometheus`]) — renders a [`MetricsSnapshot`] as a
 //!   Prometheus text-format page; `qpinn-obs`'s embedded HTTP server
 //!   serves it at `/metrics`.
+//! * **Request tracing** ([`trace`], [`access`]) — a per-request
+//!   [`TraceCtx`] minted by the serve plane plus a bounded ring-buffer
+//!   access log (`qpinn-access-v1`) recording every request's latency
+//!   decomposition; backs `GET /v1/traces` and `qpinn-obs requests`/
+//!   `slo`. Off by default: one relaxed atomic load per request.
 //!
 //! ## Event schema (v1)
 //!
@@ -47,6 +52,7 @@
 
 #![deny(missing_docs)]
 
+pub mod access;
 pub mod event;
 pub mod metrics;
 pub mod names;
@@ -54,8 +60,11 @@ pub mod prometheus;
 pub mod registry;
 pub mod sink;
 pub mod span;
+pub mod trace;
 
+pub use access::AccessRecord;
 pub use event::{Event, Kind, Value, SCHEMA_VERSION};
+pub use trace::TraceCtx;
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
 pub use registry::{counter, gauge, global, histogram, MetricsSnapshot, Registry};
 pub use sink::{

@@ -129,6 +129,26 @@ impl Histogram {
         self.max.fetch_max(v, Ordering::Relaxed);
     }
 
+    /// Record a non-negative `f64` sample scaled to nano-units (×1e9),
+    /// so magnitudes down to 1e-9 land in distinct log2 buckets — the
+    /// scale gradient norms live at. Negative, NaN, and sub-nano values
+    /// record as 0; values past `u64::MAX / 1e9` saturate at the top
+    /// bucket.
+    #[inline]
+    pub fn record_f64(&self, v: f64) {
+        let scaled = v * 1e9;
+        let sample = if scaled.is_finite() && scaled > 0.0 {
+            if scaled >= u64::MAX as f64 {
+                u64::MAX
+            } else {
+                scaled as u64
+            }
+        } else {
+            0
+        };
+        self.record(sample);
+    }
+
     /// Materialize the current contents.
     pub fn snapshot(&self) -> HistogramSnapshot {
         let buckets: Vec<u64> = self

@@ -39,6 +39,43 @@ pub const SERVE_BATCH_FLUSHES: &str = "serve.batch.flushes";
 /// Gauge: eval requests queued (all models) at last batch dispatch.
 pub const SERVE_QUEUE_DEPTH: &str = "serve.queue.depth";
 
+/// Histogram: nanoseconds an eval request waited in the per-model batch
+/// queue before the dispatcher began forming its batch. Per-route /
+/// per-model variants append `.by_route.<route>` / `.by_model.<id.vN>`
+/// to this and the other `serve.latency.*` bases (see
+/// [`route_key`] / [`model_key`]).
+pub const SERVE_LAT_QUEUE_NS: &str = "serve.latency.queue_ns";
+
+/// Histogram: nanoseconds a batched request spent lingering while the
+/// dispatcher filled its batch (0 for the job that opened the batch).
+pub const SERVE_LAT_BATCH_NS: &str = "serve.latency.batch_ns";
+
+/// Histogram: forward-pass wall time of the batch that served a request,
+/// attributed whole to every request coalesced into it.
+pub const SERVE_LAT_COMPUTE_NS: &str = "serve.latency.compute_ns";
+
+/// Histogram: end-to-end request latency in nanoseconds (same window as
+/// [`SERVE_LATENCY_US`], finer unit, decomposable against the stage
+/// histograms above: queue + batch + compute ≤ total).
+pub const SERVE_LAT_TOTAL_NS: &str = "serve.latency.total_ns";
+
+/// Label key for a route path, usable as a metric-name suffix: `/`
+/// separators become `.`-free underscores (`/v1/eval` → `v1_eval`).
+/// Prometheus exposition then mangles the result like any other name.
+pub fn route_key(path: &str) -> String {
+    path.trim_matches('/').replace(['/', '.'], "_")
+}
+
+/// Label key for `model@version`, usable as a metric-name suffix
+/// (`heat@3` → `heat.v3`; non-name characters become `_`).
+pub fn model_key(id: &str, version: u64) -> String {
+    let safe: String = id
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect();
+    format!("{safe}.v{version}")
+}
+
 /// Counter: models loaded from disk into the registry.
 pub const SERVE_REGISTRY_LOADS: &str = "serve.registry.loads";
 

@@ -17,6 +17,7 @@
 //! | `persist.bitflip`     | persist store, post-publish   | one byte flipped in the published snapshot (silent corruption) |
 //! | `telemetry.sink_err`  | JSONL sink record path        | write skipped, counted via `telemetry.write_errors` |
 //! | `pool.steal_stall`    | rayon worker loop             | worker sleeps 2 ms before running a claimed task |
+//! | `serve.flush_stall`   | serve batcher, before a flush | dispatcher sleeps 25 ms before `predict_batch`; admission keeps shedding, the stall shows up in the next batch's `serve.latency.queue_ns` |
 //!
 //! ## Arming
 //!

@@ -1,7 +1,9 @@
 //! Golden-file conformance suite: freezes the externally observable
 //! formats — the `qpinn-snapshot` binary container, the
-//! `qpinn-metrics-v1` JSON schema, and the Prometheus text exposition —
-//! against fixtures committed under `tests/fixtures/`.
+//! `qpinn-metrics-v1` JSON schema, the Prometheus text exposition, the
+//! `qpinn-access-v1` access-log JSONL, and the `qpinn-traces-v1`
+//! `/v1/traces` document — against fixtures committed under
+//! `tests/fixtures/`.
 //!
 //! A diff in any of these files is a *format break*, not a test fluke:
 //! old checkpoints, dashboards, and scrapers all parse these bytes. To
@@ -147,6 +149,97 @@ fn metrics_v1_json_schema_is_frozen() {
     let json = pinned_registry().snapshot().to_json();
     assert!(json.starts_with("{\"schema\":\"qpinn-metrics-v1\""));
     assert_matches_fixture("metrics_v1.json", json.as_bytes());
+}
+
+/// Pinned access records covering the three observable request shapes:
+/// a batched success, a queue-full shed, and a server error.
+fn pinned_access_records() -> Vec<qpinn::telemetry::AccessRecord> {
+    use qpinn::telemetry::AccessRecord;
+    vec![
+        AccessRecord {
+            trace: "00c0ffee00c0ffee".into(),
+            ts_ns: 1_000_000_000,
+            route: "/v1/eval".into(),
+            model: "tdse@3".into(),
+            status: 200,
+            shed: String::new(),
+            batch: 4,
+            points: 128,
+            queue_ns: 150_000,
+            batch_ns: 2_000_000,
+            compute_ns: 5_500_000,
+            serialize_ns: 90_000,
+            total_ns: 7_900_000,
+        },
+        AccessRecord {
+            trace: "deadbeefcafe1234".into(),
+            ts_ns: 1_500_000_000,
+            route: "/v1/eval".into(),
+            model: "tdse@3".into(),
+            status: 429,
+            shed: "queue_full".into(),
+            batch: 0,
+            points: 16,
+            queue_ns: 0,
+            batch_ns: 0,
+            compute_ns: 0,
+            serialize_ns: 12_000,
+            total_ns: 85_000,
+        },
+        AccessRecord {
+            trace: "0123456789abcdef".into(),
+            ts_ns: 2_000_000_000,
+            route: "/v1/train".into(),
+            model: String::new(),
+            status: 500,
+            shed: String::new(),
+            batch: 0,
+            points: 0,
+            queue_ns: 0,
+            batch_ns: 0,
+            compute_ns: 0,
+            serialize_ns: 40_000,
+            total_ns: 600_000,
+        },
+    ]
+}
+
+#[test]
+fn access_v1_jsonl_schema_is_frozen() {
+    let jsonl: String = pinned_access_records()
+        .iter()
+        .map(|r| r.to_json_line() + "\n")
+        .collect();
+    // Spot-check the schema contract before byte-freezing: versioned
+    // lines, the full latency split, and the shed reason.
+    assert!(jsonl.starts_with("{\"v\":\"qpinn-access-v1\""));
+    assert!(jsonl.contains("\"shed\":\"queue_full\""));
+    for key in ["queue_ns", "batch_ns", "compute_ns", "serialize_ns", "total_ns"] {
+        assert!(jsonl.contains(&format!("\"{key}\":")), "missing {key}");
+    }
+    assert_matches_fixture("access_v1.jsonl", jsonl.as_bytes());
+    // The frozen bytes must round-trip through the obs-side parser.
+    let entries = qpinn::obs::requests::parse_access_log(
+        &String::from_utf8(std::fs::read(fixture_path("access_v1.jsonl")).unwrap()).unwrap(),
+    )
+    .expect("committed fixture must parse");
+    assert_eq!(entries.len(), 3);
+    assert_eq!(entries[1].shed, "queue_full");
+    assert_eq!(entries[2].status, 500);
+}
+
+#[test]
+fn traces_v1_document_shape_is_frozen() {
+    let doc = qpinn::telemetry::access::render_traces(&pinned_access_records(), true);
+    assert!(doc.starts_with("{\"schema\":\"qpinn-traces-v1\""));
+    assert_matches_fixture("traces_v1.json", doc.as_bytes());
+    // The frozen document must stay machine-readable.
+    let parsed = qpinn::core::report::Json::parse(
+        &String::from_utf8(std::fs::read(fixture_path("traces_v1.json")).unwrap()).unwrap(),
+    )
+    .unwrap();
+    assert_eq!(parsed.get("count").unwrap().as_num(), Some(3.0));
+    assert_eq!(parsed.get("enabled").unwrap(), &qpinn::core::report::Json::Bool(true));
 }
 
 #[test]

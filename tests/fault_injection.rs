@@ -348,6 +348,140 @@ fn pool_stall_neither_deadlocks_nor_changes_ordered_reductions() {
 }
 
 // ---------------------------------------------------------------------------
+// Invariant 5: a stalled serve flush is visible in the latency split but
+// never loses, duplicates, or perturbs a response — and admission control
+// keeps shedding with Retry-After while the dispatcher is stuck.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn serve_flush_stall_shows_in_queue_latency_without_losing_requests() {
+    use qpinn::serve::{ServeConfig, ServeServer};
+    use std::io::{Read, Write};
+    use std::net::TcpStream;
+
+    let _g = serial();
+
+    fn http(addr: std::net::SocketAddr, body: &str) -> (String, String) {
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.set_read_timeout(Some(std::time::Duration::from_secs(120))).unwrap();
+        write!(
+            s,
+            "POST /v1/eval HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        )
+        .unwrap();
+        let mut buf = String::new();
+        s.read_to_string(&mut buf).unwrap();
+        let (head, body) = buf.split_once("\r\n\r\n").unwrap();
+        (head.to_string(), body.to_string())
+    }
+
+    fn publish(server: &ServeServer) {
+        let spec = qpinn::serve::ModelSpec {
+            name: "tdse".into(),
+            seed: 3,
+            net: qpinn::core::model::FieldNetConfig::standard_wave(12.0, 1.0, 8, 1),
+        };
+        let mut params = ParamSet::new();
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(spec.seed);
+        let _ = qpinn::core::model::FieldNet::new(&mut params, &mut rng, &spec.net, &spec.name);
+        server
+            .registry()
+            .publish("stall", &spec, &params, Default::default(), 1, 0.0)
+            .unwrap();
+    }
+
+    let dir = test_dir("flush-stall");
+    let mut cfg = ServeConfig::new(dir.join("models"));
+    cfg.workers = 8;
+    let server = ServeServer::start("127.0.0.1:0", cfg).unwrap();
+    let addr = server.local_addr();
+    publish(&server);
+
+    // Unstalled solo references, one per payload.
+    let payloads: Vec<String> = (0..6)
+        .map(|i| format!(r#"{{"model":"stall","points":[[{}.5,0.1],[-1.0,0.2]]}}"#, i))
+        .collect();
+    let solo: Vec<String> = payloads
+        .iter()
+        .map(|p| {
+            let (head, body) = http(addr, p);
+            assert!(head.contains("200 OK"), "{head}");
+            body
+        })
+        .collect();
+
+    let before = qpinn::telemetry::histogram(qpinn::telemetry::names::SERVE_LAT_QUEUE_NS).snapshot();
+
+    // Stall every flush, then stagger the clients: the first request's
+    // batch stalls 25 ms inside dispatch, so the rest pile up in the
+    // queue and their recorded queue wait absorbs the stall.
+    let stalled: Vec<String> = {
+        let _arm = testkit::arm("serve.flush_stall", Trigger::Always);
+        let first = {
+            let p = payloads[0].clone();
+            std::thread::spawn(move || http(addr, &p))
+        };
+        std::thread::sleep(std::time::Duration::from_millis(8));
+        let rest: Vec<_> = payloads[1..]
+            .iter()
+            .cloned()
+            .map(|p| std::thread::spawn(move || http(addr, &p)))
+            .collect();
+        let mut out = vec![first.join().unwrap()];
+        out.extend(rest.into_iter().map(|c| c.join().unwrap()));
+        assert!(testkit::fired("serve.flush_stall") >= 1, "stall never fired");
+        out.into_iter()
+            .map(|(head, body)| {
+                assert!(head.contains("200 OK"), "{head}");
+                body
+            })
+            .collect()
+    };
+
+    // No request lost, none double-answered, every byte identical to
+    // the unstalled solo answer.
+    assert_eq!(stalled.len(), payloads.len());
+    for (got, want) in stalled.iter().zip(&solo) {
+        assert_eq!(got, want, "stalled flush changed a response");
+    }
+
+    // The stall is visible where the design says: queue wait. At least
+    // one of the piled-up requests waited ≈ the 25 ms stall.
+    let after = qpinn::telemetry::histogram(qpinn::telemetry::names::SERVE_LAT_QUEUE_NS).snapshot();
+    assert!(after.count > before.count, "no queue-wait samples recorded");
+    assert!(
+        after.max >= 10_000_000,
+        "queue-wait max {} ns does not show the 25 ms stall",
+        after.max
+    );
+    server.stop();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Admission control is untouched by a stalled dispatcher: a
+    // zero-slot queue still sheds immediately with Retry-After.
+    let dir2 = test_dir("flush-stall-shed");
+    let mut cfg = ServeConfig::new(dir2.join("models"));
+    cfg.batch = qpinn::serve::BatchConfig {
+        queue_cap: 0,
+        ..Default::default()
+    };
+    let server = ServeServer::start("127.0.0.1:0", cfg).unwrap();
+    publish(&server);
+    {
+        let _arm = testkit::arm("serve.flush_stall", Trigger::Always);
+        let (head, _) = http(
+            server.local_addr(),
+            r#"{"model":"stall","points":[[0.5,0.1]]}"#,
+        );
+        assert!(head.contains("429"), "{head}");
+        assert!(head.contains("Retry-After:"), "shed lost Retry-After under stall:\n{head}");
+    }
+    server.stop();
+    let _ = std::fs::remove_dir_all(&dir2);
+}
+
+// ---------------------------------------------------------------------------
 // Determinism of the plane itself, through the public spec syntax.
 // ---------------------------------------------------------------------------
 

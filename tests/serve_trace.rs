@@ -1,0 +1,295 @@
+//! End-to-end request tracing through the serve plane: every request —
+//! success, shed, and error — lands in the `qpinn-access-v1` access log
+//! exactly once with a latency decomposition that sums below the
+//! end-to-end total; trace ids round-trip through the `x-qpinn-trace`
+//! header; `/v1/traces` exposes the ring; and with tracing disabled the
+//! response bytes are bit-identical and header-free.
+
+use qpinn::core::model::{FieldNet, FieldNetConfig};
+use qpinn::core::report::Json;
+use qpinn::nn::ParamSet;
+use qpinn::serve::{BatchConfig, ServeConfig, ServeServer};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// The access ring and trace switch are process-global (configured by
+/// `ServeServer::start`), so the servers in this file must not overlap.
+static SERVE_LOCK: Mutex<()> = Mutex::new(());
+
+fn tmp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("qpinn-serve-trace-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// One HTTP request with optional extra headers; returns (header block,
+/// raw body text) so bodies can be compared byte-for-byte.
+fn http_raw(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+    extra_headers: &[(&str, &str)],
+) -> (String, String) {
+    let mut s = TcpStream::connect(addr).unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(120))).unwrap();
+    let extras: String = extra_headers
+        .iter()
+        .map(|(k, v)| format!("{k}: {v}\r\n"))
+        .collect();
+    match body {
+        Some(b) => write!(
+            s,
+            "{method} {path} HTTP/1.1\r\nHost: t\r\n{extras}Content-Type: application/json\r\n\
+             Content-Length: {}\r\n\r\n{b}",
+            b.len()
+        )
+        .unwrap(),
+        None => write!(s, "{method} {path} HTTP/1.1\r\nHost: t\r\n{extras}\r\n").unwrap(),
+    }
+    let mut buf = String::new();
+    s.read_to_string(&mut buf).unwrap();
+    let (head, body) = buf.split_once("\r\n\r\n").expect("header/body split");
+    (head.to_string(), body.to_string())
+}
+
+/// Case-insensitive response-header lookup inside a raw header block.
+fn header_value(head: &str, name: &str) -> Option<String> {
+    head.lines().skip(1).find_map(|l| {
+        let (k, v) = l.split_once(':')?;
+        k.trim()
+            .eq_ignore_ascii_case(name)
+            .then(|| v.trim().to_string())
+    })
+}
+
+/// Publish a deterministic untrained model directly through the
+/// registry, so tracing tests don't pay for an HTTP training job.
+fn publish_model(server: &ServeServer, id: &str) {
+    let spec = qpinn::serve::ModelSpec {
+        name: "tdse".into(),
+        seed: 3,
+        net: FieldNetConfig::standard_wave(12.0, 1.0, 8, 1),
+    };
+    let mut params = ParamSet::new();
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let _ = FieldNet::new(&mut params, &mut rng, &spec.net, &spec.name);
+    server
+        .registry()
+        .publish(id, &spec, &params, Default::default(), 1, 0.0)
+        .unwrap();
+}
+
+const EVAL_BODY: &str = r#"{"model":"traced","points":[[0.5,0.1],[-1.0,0.2],[2.0,0.0]]}"#;
+
+/// Tentpole acceptance: 100% of requests (success, client error,
+/// unknown model) appear exactly once in the access log, with a
+/// decomposition that sums to ≤ the end-to-end total, and the ring
+/// behind `/v1/traces` mirrors the same records.
+#[test]
+fn every_request_lands_in_the_access_log_exactly_once() {
+    let _guard = SERVE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let dir = tmp_dir("coverage");
+    let log_path = dir.join("access.jsonl");
+    std::fs::create_dir_all(&dir).unwrap();
+    let mut cfg = ServeConfig::new(dir.join("models"));
+    cfg.trace.access_log = Some(log_path.clone());
+    let server = ServeServer::start("127.0.0.1:0", cfg).unwrap();
+    let addr = server.local_addr();
+    publish_model(&server, "traced");
+
+    fn collect(head: &str, trace_ids: &mut Vec<String>) {
+        let id = header_value(head, "x-qpinn-trace")
+            .unwrap_or_else(|| panic!("response missing x-qpinn-trace:\n{head}"));
+        assert!(
+            id.len() == 16 && id.chars().all(|c| c.is_ascii_hexdigit()),
+            "malformed trace id {id:?}"
+        );
+        trace_ids.push(id);
+    }
+    let mut trace_ids: Vec<String> = Vec::new();
+
+    // A mixed workload: health check, successful evals, a malformed
+    // body (400), and an unknown model (404).
+    let (head, _) = http_raw(addr, "GET", "/healthz", None, &[]);
+    assert!(head.contains("200 OK"), "{head}");
+    collect(&head, &mut trace_ids);
+    for _ in 0..6 {
+        let (head, body) = http_raw(addr, "POST", "/v1/eval", Some(EVAL_BODY), &[]);
+        assert!(head.contains("200 OK"), "{head} {body}");
+        collect(&head, &mut trace_ids);
+    }
+    let (head, _) = http_raw(addr, "POST", "/v1/eval", Some("not json"), &[]);
+    assert!(head.contains("400"), "{head}");
+    collect(&head, &mut trace_ids);
+    let (head, _) = http_raw(addr, "POST", "/v1/eval", Some(r#"{"model":"ghost","points":[[0,0]]}"#), &[]);
+    assert!(head.contains("404"), "{head}");
+    collect(&head, &mut trace_ids);
+
+    // Inbound trace ids are adopted, not replaced.
+    let (head, _) = http_raw(
+        addr,
+        "POST",
+        "/v1/eval",
+        Some(EVAL_BODY),
+        &[("x-qpinn-trace", "deadbeefcafe1234")],
+    );
+    assert_eq!(
+        header_value(&head, "x-qpinn-trace").as_deref(),
+        Some("deadbeefcafe1234"),
+        "inbound trace id was not adopted:\n{head}"
+    );
+    collect(&head, &mut trace_ids);
+
+    // The ring endpoint mirrors the same records (the in-flight GET
+    // itself is only logged after its response is written).
+    let (head, body) = http_raw(addr, "GET", "/v1/traces?n=100", None, &[]);
+    assert!(head.contains("200 OK"), "{head}");
+    let doc = Json::parse(&body).unwrap();
+    assert_eq!(doc.get("schema").unwrap().as_str(), Some("qpinn-traces-v1"));
+    assert_eq!(doc.get("enabled").unwrap(), &Json::Bool(true));
+    let Json::Arr(ring) = doc.get("traces").unwrap() else {
+        panic!("traces is not an array: {body}")
+    };
+    assert_eq!(
+        doc.get("count").unwrap().as_num(),
+        Some(ring.len() as f64)
+    );
+    let ring_ids: Vec<&str> = ring
+        .iter()
+        .map(|r| r.get("trace").unwrap().as_str().unwrap())
+        .collect();
+    for id in &trace_ids {
+        assert_eq!(
+            ring_ids.iter().filter(|r| *r == id).count(),
+            1,
+            "trace {id} not exactly-once in /v1/traces: {ring_ids:?}"
+        );
+    }
+    collect(&head, &mut trace_ids);
+
+    // Stop flushes the JSONL access log; coverage check on disk.
+    server.stop();
+    let text = std::fs::read_to_string(&log_path).unwrap();
+    let records: Vec<Json> = text.lines().map(|l| Json::parse(l).unwrap()).collect();
+    assert_eq!(
+        records.len(),
+        trace_ids.len(),
+        "access log line count != requests made:\n{text}"
+    );
+    let mut logged: Vec<&str> = records
+        .iter()
+        .map(|r| r.get("trace").unwrap().as_str().unwrap())
+        .collect();
+    let mut expected: Vec<&str> = trace_ids.iter().map(String::as_str).collect();
+    logged.sort_unstable();
+    expected.sort_unstable();
+    assert_eq!(logged, expected, "access log ids != client-observed ids");
+
+    // Schema + decomposition invariants per record.
+    let num = |r: &Json, k: &str| r.get(k).and_then(Json::as_num).unwrap() as u64;
+    let mut served_evals = 0;
+    for r in &records {
+        assert_eq!(r.get("v").unwrap().as_str(), Some("qpinn-access-v1"));
+        let status = num(r, "status");
+        let total = num(r, "total_ns");
+        assert!(total > 0, "zero total_ns: {}", r.to_string());
+        let decomposed = num(r, "queue_ns") + num(r, "batch_ns") + num(r, "compute_ns");
+        assert!(
+            decomposed <= total,
+            "stage sum {decomposed} exceeds total {total}: {}",
+            r.to_string()
+        );
+        if r.get("route").unwrap().as_str() == Some("/v1/eval") && status == 200 {
+            served_evals += 1;
+            assert_eq!(r.get("model").unwrap().as_str(), Some("traced@1"));
+            assert!(num(r, "compute_ns") > 0, "no compute time: {}", r.to_string());
+            assert!(num(r, "batch") >= 1);
+            assert_eq!(num(r, "points"), 3);
+        }
+    }
+    assert_eq!(served_evals, 7, "expected 7 successful eval records");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Sheds are first-class traced requests: with a zero-slot queue the
+/// 429 carries both `Retry-After` and a trace id, and the access record
+/// names the shed reason.
+#[test]
+fn shed_requests_are_traced_with_their_reason() {
+    let _guard = SERVE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let dir = tmp_dir("shed");
+    let mut cfg = ServeConfig::new(dir.join("models"));
+    cfg.batch = BatchConfig {
+        queue_cap: 0,
+        ..BatchConfig::default()
+    };
+    let server = ServeServer::start("127.0.0.1:0", cfg).unwrap();
+    let addr = server.local_addr();
+    publish_model(&server, "traced");
+
+    let (head, _) = http_raw(addr, "POST", "/v1/eval", Some(EVAL_BODY), &[]);
+    assert!(head.contains("429"), "{head}");
+    assert!(head.contains("Retry-After:"), "missing Retry-After:\n{head}");
+    let id = header_value(&head, "x-qpinn-trace").expect("shed response must carry a trace id");
+
+    let (_, body) = http_raw(addr, "GET", "/v1/traces?n=10", None, &[]);
+    let doc = Json::parse(&body).unwrap();
+    let Json::Arr(ring) = doc.get("traces").unwrap() else { panic!("{body}") };
+    let rec = ring
+        .iter()
+        .find(|r| r.get("trace").unwrap().as_str() == Some(id.as_str()))
+        .unwrap_or_else(|| panic!("shed trace {id} not in ring: {body}"));
+    assert_eq!(rec.get("status").unwrap().as_num(), Some(429.0));
+    assert_eq!(rec.get("shed").unwrap().as_str(), Some("queue_full"));
+    assert_eq!(rec.get("route").unwrap().as_str(), Some("/v1/eval"));
+
+    server.stop();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The dormant-path contract: with `trace.ring = 0` responses carry no
+/// trace header, `/v1/traces` reports disabled, and eval bodies are
+/// byte-identical to a traced server's — tracing never perturbs results.
+#[test]
+fn tracing_off_is_header_free_and_bit_identical() {
+    let _guard = SERVE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+
+    // Reference body from a traced server.
+    let dir_on = tmp_dir("bits-on");
+    let server = ServeServer::start("127.0.0.1:0", ServeConfig::new(dir_on.join("models"))).unwrap();
+    publish_model(&server, "traced");
+    let (head_on, body_on) = http_raw(server.local_addr(), "POST", "/v1/eval", Some(EVAL_BODY), &[]);
+    assert!(head_on.contains("200 OK"), "{head_on}");
+    assert!(header_value(&head_on, "x-qpinn-trace").is_some());
+    server.stop();
+
+    // Same model, tracing disabled.
+    let dir_off = tmp_dir("bits-off");
+    let mut cfg = ServeConfig::new(dir_off.join("models"));
+    cfg.trace.ring = 0;
+    let server = ServeServer::start("127.0.0.1:0", cfg).unwrap();
+    publish_model(&server, "traced");
+    let addr = server.local_addr();
+    let (head_off, body_off) = http_raw(addr, "POST", "/v1/eval", Some(EVAL_BODY), &[]);
+    assert!(head_off.contains("200 OK"), "{head_off}");
+    assert!(
+        header_value(&head_off, "x-qpinn-trace").is_none(),
+        "tracing off must not add the header:\n{head_off}"
+    );
+    assert_eq!(body_on, body_off, "response bytes differ with tracing on vs off");
+
+    let (head, body) = http_raw(addr, "GET", "/v1/traces", None, &[]);
+    assert!(head.contains("200 OK"), "{head}");
+    let doc = Json::parse(&body).unwrap();
+    assert_eq!(doc.get("enabled").unwrap(), &Json::Bool(false));
+    assert_eq!(doc.get("count").unwrap().as_num(), Some(0.0));
+
+    server.stop();
+    let _ = std::fs::remove_dir_all(&dir_on);
+    let _ = std::fs::remove_dir_all(&dir_off);
+}
