@@ -40,6 +40,7 @@ fn main() {
         checkpoint: None,
         divergence: None,
         progress: None,
+        run: None,
     })
     .train(&mut task, &mut params);
 

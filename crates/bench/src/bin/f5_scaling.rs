@@ -232,6 +232,10 @@ fn main() {
     ]);
     if let Json::Obj(pairs) = &mut record {
         pairs.extend(width_keys);
+        // Attribution for the committed record: which revision and
+        // machine shape produced these numbers. `qpinn-obs check` skips
+        // the provenance keys (no perf-direction suffix).
+        pairs.push(("provenance".to_string(), qpinn_bench::provenance()));
     }
     save("f5_scaling", &record);
 

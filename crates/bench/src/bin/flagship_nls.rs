@@ -46,6 +46,7 @@ fn main() {
         // explodes instead of polishing a diverged run with L-BFGS.
         divergence: Some(qpinn_core::DivergenceGuard::default()),
         progress: None,
+        run: None,
     });
     // With --ckpt, pick up an interrupted run from its newest intact
     // snapshot instead of starting over.

@@ -33,6 +33,16 @@ fn main() {
                 .every((epochs / 4).max(1))
                 .run_id(format!("t1-{problem}-s{seed}"))
         });
+        cfg.run = opts.run_cfg(
+            &format!("t1/{problem}"),
+            seed,
+            Json::obj(vec![
+                ("problem", Json::Str(problem.to_string())),
+                ("width", Json::Num(w as f64)),
+                ("depth", Json::Num(d as f64)),
+                ("n_collocation", Json::Num(n_coll as f64)),
+            ]),
+        );
         cfg
     };
 

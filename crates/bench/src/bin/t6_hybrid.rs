@@ -32,6 +32,7 @@ fn train_cfg(epochs: usize) -> TrainConfig {
         checkpoint: None,
         divergence: None,
         progress: None,
+        run: None,
     }
 }
 

@@ -63,6 +63,7 @@ fn main() {
             checkpoint: None,
             divergence: None,
             progress: None,
+            run: None,
         })
         .train(&mut task, &mut params);
         let omega = task.omega(&params);

@@ -54,6 +54,13 @@ pub struct RunOpts {
     /// its trace id and queue/batch/compute/serialize latency split;
     /// feed the file to `qpinn-obs requests` / `qpinn-obs slo`.
     pub access_log: Option<std::path::PathBuf>,
+    /// `qpinn-run-v1` run-record store directory (`--runs DIR`). When
+    /// set, every training run the experiment performs writes a durable
+    /// manifest + epoch series under `DIR/<run_id>/` (via
+    /// [`RunOpts::run_cfg`]), the experiment record lists the session's
+    /// run ids, and `--serve` jobs record there too. Inspect with
+    /// `qpinn-obs runs list/show/diff/regress`.
+    pub runs: Option<std::path::PathBuf>,
 }
 
 impl RunOpts {
@@ -98,6 +105,11 @@ impl RunOpts {
             .position(|a| a == "--access-log")
             .and_then(|i| args.get(i + 1))
             .map(std::path::PathBuf::from);
+        let runs = args
+            .iter()
+            .position(|a| a == "--runs")
+            .and_then(|i| args.get(i + 1))
+            .map(std::path::PathBuf::from);
         if let Some(addr) = &serve {
             let models_dir = args
                 .iter()
@@ -107,6 +119,7 @@ impl RunOpts {
                 .unwrap_or_else(|| std::path::Path::new("target").join("models"));
             let mut cfg = qpinn_serve::ServeConfig::new(&models_dir);
             cfg.trace.access_log = access_log.clone();
+            cfg.runs = runs.clone();
             match qpinn_serve::ServeServer::start(addr.as_str(), cfg) {
                 Ok(server) => {
                     println!(
@@ -157,7 +170,18 @@ impl RunOpts {
             serve_metrics,
             serve,
             access_log,
+            runs,
         }
+    }
+
+    /// A [`qpinn_core::runs::RunConfig`] for one training run of this
+    /// experiment, or `None` when `--runs` was not given. `task` is the
+    /// `runs list` label (e.g. `t1/harmonic`), `config` the document
+    /// hashed into the manifest's `config_hash`.
+    pub fn run_cfg(&self, task: &str, seed: u64, config: Json) -> Option<qpinn_core::runs::RunConfig> {
+        self.runs
+            .as_ref()
+            .map(|dir| qpinn_core::runs::RunConfig::new(dir, task, seed).config(config))
     }
 
     /// The seed list for multi-seed experiments.
@@ -196,11 +220,82 @@ pub fn banner(id: &str, title: &str, opts: &RunOpts) {
     println!("==========================================================");
 }
 
-/// Persist the experiment record and report the path. With telemetry
-/// enabled, also samples the pool counters into the event stream, writes
-/// the final metrics-registry snapshot to
+/// The git revision the binary runs from, read straight from
+/// `.git/HEAD` (resolving one level of `ref:` indirection) walking up
+/// from the working directory — no `git` subprocess. `None` outside a
+/// checkout or on an unborn branch.
+pub fn git_rev() -> Option<String> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let head = dir.join(".git").join("HEAD");
+        if let Ok(text) = std::fs::read_to_string(&head) {
+            let text = text.trim();
+            let rev = match text.strip_prefix("ref: ") {
+                Some(refname) => std::fs::read_to_string(dir.join(".git").join(refname.trim()))
+                    .ok()
+                    .map(|s| s.trim().to_string())
+                    // Packed refs: fall back to scanning .git/packed-refs.
+                    .or_else(|| {
+                        let packed =
+                            std::fs::read_to_string(dir.join(".git").join("packed-refs")).ok()?;
+                        packed.lines().find_map(|l| {
+                            l.strip_suffix(refname.trim())
+                                .map(|hash| hash.trim().to_string())
+                        })
+                    })?,
+                None => text.to_string(),
+            };
+            return (!rev.is_empty()).then_some(rev);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+/// Build-provenance stamp attached to every experiment record: git
+/// revision, resolved SIMD dispatch width, and work-stealing pool
+/// width — so a committed `BENCH_*.json` entry is attributable to the
+/// code and machine shape that produced it. The keys deliberately
+/// carry no perf-direction suffix, so `qpinn-obs check` never gates on
+/// them.
+pub fn provenance() -> Json {
+    Json::obj(vec![
+        (
+            "git_rev",
+            git_rev().map(Json::Str).unwrap_or(Json::Null),
+        ),
+        ("simd", Json::Num(qpinn_tensor::simd::width() as f64)),
+        ("threads", Json::Num(rayon::current_num_threads() as f64)),
+    ])
+}
+
+/// Persist the experiment record and report the path. Top-level object
+/// records gain a `provenance` stamp ([`provenance`]) and, when the
+/// process recorded `qpinn-run-v1` runs (`--runs DIR`), the session's
+/// `run_ids`. With telemetry enabled, also samples the pool counters
+/// into the event stream, writes the final metrics-registry snapshot to
 /// `target/experiments/<id>.metrics.json`, and flushes all sinks.
 pub fn save(id: &str, value: &Json) {
+    let stamped;
+    let value = match value {
+        Json::Obj(fields) => {
+            let mut fields = fields.clone();
+            if !fields.iter().any(|(k, _)| k == "provenance") {
+                fields.push(("provenance".to_string(), provenance()));
+            }
+            let run_ids = qpinn_core::runs::session_run_ids();
+            if !run_ids.is_empty() && !fields.iter().any(|(k, _)| k == "run_ids") {
+                fields.push((
+                    "run_ids".to_string(),
+                    Json::Arr(run_ids.into_iter().map(Json::Str).collect()),
+                ));
+            }
+            stamped = Json::Obj(fields);
+            &stamped
+        }
+        other => other,
+    };
     match qpinn_core::report::write_experiment_json(id, value) {
         Ok(p) => println!("\n[written {}]", p.display()),
         Err(e) => {
@@ -254,6 +349,7 @@ pub fn standard_train(epochs: usize) -> qpinn_core::TrainConfig {
         // rather than burning the rest of the budget.
         divergence: Some(qpinn_core::DivergenceGuard::default()),
         progress: None,
+        run: None,
     }
 }
 
@@ -272,6 +368,7 @@ mod tests {
             serve_metrics: None,
             serve: None,
             access_log: None,
+            runs: None,
         };
         let full = RunOpts {
             full: true,
@@ -282,6 +379,7 @@ mod tests {
             serve_metrics: None,
             serve: None,
             access_log: None,
+            runs: None,
         };
         assert_eq!(quick.pick(1, 10), 1);
         assert_eq!(full.pick(1, 10), 10);
@@ -299,6 +397,7 @@ mod tests {
             serve_metrics: None,
             serve: None,
             access_log: None,
+            runs: None,
         };
         assert_eq!(opts.pick_epochs(100, 1000), 100);
         opts.full = true;

@@ -135,6 +135,7 @@ mod tests {
             checkpoint: None,
             divergence: None,
             progress: None,
+            run: None,
         };
         let runs = run_seeds(&[1, 2, 3, 4], &cfg, |seed| {
             let mut rng = StdRng::seed_from_u64(seed);
@@ -174,6 +175,7 @@ mod tests {
                 ),
                 divergence: None,
                 progress: None,
+                run: None,
             },
             |seed| {
                 let mut rng = StdRng::seed_from_u64(seed);

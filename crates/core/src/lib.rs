@@ -17,7 +17,10 @@
 //!   series;
 //! * [`report`] — aligned text tables and a small JSON writer for the
 //!   experiment harness;
-//! * [`experiment`] — multi-seed sweep running with mean/std aggregation.
+//! * [`experiment`] — multi-seed sweep running with mean/std aggregation;
+//! * [`runs`] — the `qpinn-run-v1` durable run-record store (manifest +
+//!   epoch series per training run, consumed by `qpinn-obs runs` and the
+//!   `/v1/runs` HTTP routes).
 
 #![deny(missing_docs)]
 
@@ -30,10 +33,12 @@ pub mod model;
 pub mod obs;
 pub mod report;
 pub mod residual;
+pub mod runs;
 pub mod task;
 pub mod trainer;
 
 pub use model::{CoordSpec, FieldNet, FieldNetConfig};
+pub use runs::{RunConfig, RunOutcome};
 pub use trainer::{
     CheckpointConfig, DivergenceGuard, PinnTask, Progress, ProgressHook, TrainConfig, TrainLog,
     Trainer,

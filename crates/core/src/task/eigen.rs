@@ -294,6 +294,7 @@ mod tests {
             checkpoint: None,
             divergence: None,
             progress: None,
+            run: None,
         });
         let _log = trainer.train(&mut task, &mut params);
         let e = task.energy(&params);

@@ -264,6 +264,7 @@ mod tests {
             checkpoint: None,
             divergence: None,
             progress: None,
+            run: None,
         })
         .train(&mut task, &mut params);
         let e1 = task.eval_error(&params);

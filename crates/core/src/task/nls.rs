@@ -284,6 +284,7 @@ mod tests {
             checkpoint: None,
             divergence: None,
             progress: None,
+            run: None,
         });
         let log = trainer.train(&mut task, &mut params);
         assert!(log.final_loss < log.loss[0]);

@@ -332,6 +332,7 @@ mod tests {
             checkpoint: None,
             divergence: None,
             progress: None,
+            run: None,
         });
         let log = trainer.train(&mut task, &mut params);
         assert!(

@@ -326,6 +326,7 @@ mod tests {
             checkpoint: None,
             divergence: None,
             progress: None,
+            run: None,
         })
         .train(&mut task, &mut params);
         assert!(log.final_loss < log.loss[0], "loss did not drop");

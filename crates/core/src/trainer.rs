@@ -16,6 +16,8 @@
 //! [`TrainLog::warnings`]. All of it is dormant (one atomic load per
 //! span) unless a sink is installed.
 
+use crate::report::Json;
+use crate::runs::{EpochPoint, LayerGrad, RunOutcome, RunRecorder};
 use qpinn_autodiff::Graph;
 use qpinn_nn::{GraphCtx, ParamSet};
 use qpinn_optim::{clip, Adam, Lbfgs, LbfgsConfig, LrSchedule, Optimizer};
@@ -187,6 +189,10 @@ pub struct TrainConfig {
     /// Independent of telemetry sinks: the hook fires even when the
     /// event layer is dormant.
     pub progress: Option<ProgressHook>,
+    /// Optional durable `qpinn-run-v1` run record (see [`crate::runs`]):
+    /// an atomic manifest plus an append-only epoch series under
+    /// `<dir>/<run_id>/`. `None` leaves no record behind.
+    pub run: Option<crate::runs::RunConfig>,
 }
 
 impl Default for TrainConfig {
@@ -208,6 +214,7 @@ impl Default for TrainConfig {
             checkpoint: None,
             divergence: None,
             progress: None,
+            run: None,
         }
     }
 }
@@ -239,6 +246,9 @@ pub struct TrainLog {
     /// checkpoint directory, failed snapshot saves, non-finite losses).
     /// Run-transient: not persisted into checkpoints.
     pub warnings: Vec<String>,
+    /// Id of the durable `qpinn-run-v1` record this run wrote, when
+    /// [`TrainConfig::run`] was set and the record opened successfully.
+    pub run_id: Option<String>,
 }
 
 /// Drives a [`PinnTask`] to convergence.
@@ -353,6 +363,43 @@ impl Trainer {
                 }
             }
         });
+        // Durable run record: opened here so its manifest reflects the
+        // actual pool/SIMD widths of the executing segment. An unopenable
+        // record degrades to a warning — same policy as checkpoints.
+        let mut recorder = self.cfg.run.as_ref().and_then(|rc| {
+            let train = Json::obj(vec![
+                ("epochs", Json::Num(self.cfg.epochs as f64)),
+                ("lr0", Json::Num(self.cfg.schedule.at(0))),
+                ("log_every", Json::Num(self.cfg.log_every as f64)),
+                (
+                    "clip",
+                    self.cfg.clip.map(Json::Num).unwrap_or(Json::Null),
+                ),
+                (
+                    "lbfgs_polish",
+                    self.cfg
+                        .lbfgs_polish
+                        .map(|n| Json::Num(n as f64))
+                        .unwrap_or(Json::Null),
+                ),
+            ]);
+            match RunRecorder::begin(rc, self.cfg.epochs, train) {
+                Ok(r) => Some(r),
+                Err(e) => {
+                    let msg = telemetry::warn(
+                        "run_record_unavailable",
+                        format!(
+                            "cannot open run record under {}: {e}; continuing WITHOUT a run record",
+                            rc.dir.display()
+                        ),
+                    );
+                    eprintln!("warning: {msg}");
+                    log.warnings.push(msg);
+                    None
+                }
+            }
+        });
+        log.run_id = recorder.as_ref().map(|r| r.run_id().to_string());
         // A resumed segment that has nothing left to do must still report
         // the loss the run ended on.
         let mut last_loss = if start_epoch == 0 {
@@ -385,11 +432,12 @@ impl Trainer {
                 );
                 log.warnings.push(msg);
             }
-            // Per-layer gradient-norm histograms, recorded *pre-clip* (the
+            // Per-layer gradient norm + variance, recorded *pre-clip* (the
             // raw optimization signal, like `log.grad_norm`) and only at
             // log intervals so the hot loop stays flat.
+            let mut layer_stats = Vec::new();
             if epoch % self.cfg.log_every.max(1) == 0 {
-                record_layer_grad_norms(params, &grads);
+                layer_stats = layer_grad_stats(params, &grads);
             }
             let gnorm = match self.cfg.clip {
                 Some(c) => clip::clip_global_norm(&mut grads, c),
@@ -430,6 +478,17 @@ impl Trainer {
                         .field("s_per_epoch", progress.s_per_epoch)
                         .field("eta_s", progress.eta_s)
                 });
+                if let Some(rec) = recorder.as_mut() {
+                    rec.epoch(&EpochPoint {
+                        epoch,
+                        loss: loss_val,
+                        grad_norm: gnorm,
+                        lr,
+                        epoch_ms: progress.s_per_epoch * 1e3,
+                        components: loss_components(),
+                        layers: std::mem::take(&mut layer_stats),
+                    });
+                }
                 if let Some(guard) = &self.cfg.divergence {
                     let bad = !loss_val.is_finite()
                         || (min_loss.is_finite() && loss_val > guard.factor * min_loss);
@@ -449,6 +508,9 @@ impl Trainer {
                         log.warnings.push(msg);
                         log.diverged = true;
                         log.stop_epoch = Some(epoch);
+                        if let Some(rec) = recorder.as_mut() {
+                            rec.diverged(epoch, loss_val, min_loss);
+                        }
                         break;
                     }
                 }
@@ -482,11 +544,20 @@ impl Trainer {
                         log: log_to_record(&saved_log),
                         task_state: task.export_state(),
                     };
-                    if let Err(e) = store.save(&snap, &ckpt.retention) {
-                        let msg =
-                            telemetry::warn("checkpoint_save_failed", format!("checkpoint save failed: {e}"));
-                        eprintln!("warning: {msg}");
-                        log.warnings.push(msg);
+                    match store.save(&snap, &ckpt.retention) {
+                        Ok(path) => {
+                            if let Some(rec) = recorder.as_mut() {
+                                rec.checkpoint(next_epoch, &path);
+                            }
+                        }
+                        Err(e) => {
+                            let msg = telemetry::warn(
+                                "checkpoint_save_failed",
+                                format!("checkpoint save failed: {e}"),
+                            );
+                            eprintln!("warning: {msg}");
+                            log.warnings.push(msg);
+                        }
                     }
                 }
             }
@@ -523,6 +594,27 @@ impl Trainer {
         log.final_loss = last_loss;
         log.final_error = task.eval_error(params);
         log.wall_s = prior_wall + start.elapsed().as_secs_f64();
+        // Publish the terminal manifest. A failed finalize leaves the
+        // intact start-of-run manifest behind (outcome `incomplete`),
+        // which is exactly what a crash would have left.
+        if let Some(mut rec) = recorder.take() {
+            let outcome = if log.diverged {
+                RunOutcome::Diverged
+            } else if !log.final_loss.is_finite() {
+                RunOutcome::Error
+            } else {
+                RunOutcome::Converged
+            };
+            let epochs_run = log.stop_epoch.unwrap_or(self.cfg.epochs);
+            if let Err(e) = rec.finalize(outcome, epochs_run, log.final_loss, log.final_error) {
+                let msg = telemetry::warn(
+                    "run_finalize_failed",
+                    format!("run {} finalize failed: {e}", rec.run_id()),
+                );
+                eprintln!("warning: {msg}");
+                log.warnings.push(msg);
+            }
+        }
         // Telemetry sinks swallow I/O errors on the dispatch path (a full
         // disk must not kill training); surface any accumulated failure
         // here, where emitting a warn event is re-entrancy-safe.
@@ -553,17 +645,55 @@ fn publish_progress(p: &Progress) {
     telemetry::gauge("train.progress.wall_s").set(p.wall_s);
 }
 
-/// Record one `train.grad.norm.<layer>` histogram sample per parameter
-/// tensor. `grads` is the [`ParamSet`]-ordered vector from
-/// `collect_grads`, so zipping with [`ParamSet::iter`] pairs each norm
-/// with its layer name. Values go through [`telemetry::Histogram::record_f64`]
-/// (nano-unit scaling), so the log2 buckets resolve gradient magnitudes
-/// down to 1e-9.
-fn record_layer_grad_norms(params: &ParamSet, grads: &[qpinn_tensor::Tensor]) {
-    for ((_, name, _), g) in params.iter().zip(grads) {
-        let norm = g.data().iter().map(|v| v * v).sum::<f64>().sqrt();
-        telemetry::histogram(&format!("train.grad.norm.{name}")).record_f64(norm);
-    }
+/// Per-layer gradient norm + variance: one `train.grad.norm.<layer>`
+/// and one `train.grad.var.<layer>` histogram sample per parameter
+/// tensor, returned as [`LayerGrad`] rows for the run-record series.
+/// `grads` is the [`ParamSet`]-ordered vector from `collect_grads`, so
+/// zipping with [`ParamSet::iter`] pairs each stat with its layer name.
+/// Values go through [`telemetry::Histogram::record_f64`] (nano-unit
+/// scaling), so the log2 buckets resolve magnitudes down to 1e-9. The
+/// variance is the population variance of the layer's gradient *entries*
+/// — the barren-plateau signal: it collapsing toward zero across depth
+/// is what the mitigation literature tracks.
+fn layer_grad_stats(params: &ParamSet, grads: &[qpinn_tensor::Tensor]) -> Vec<LayerGrad> {
+    params
+        .iter()
+        .zip(grads)
+        .map(|((_, name, _), g)| {
+            let data = g.data();
+            let n = data.len().max(1) as f64;
+            let (mut sum, mut sum_sq) = (0.0, 0.0);
+            for v in data {
+                sum += v;
+                sum_sq += v * v;
+            }
+            let norm = sum_sq.sqrt();
+            let mean = sum / n;
+            let var = (sum_sq / n - mean * mean).max(0.0);
+            telemetry::histogram(&format!("train.grad.norm.{name}")).record_f64(norm);
+            telemetry::histogram(&format!("train.grad.var.{name}")).record_f64(var);
+            LayerGrad {
+                name: name.to_string(),
+                norm,
+                var,
+            }
+        })
+        .collect()
+}
+
+/// Snapshot the named `train.loss.<component>` gauges (set by the loss
+/// assembly every build) for the run-record series. The registry is
+/// process-global, so concurrently training seeds can interleave these;
+/// the per-run `loss`/`grad_norm` fields are always exact.
+fn loss_components() -> Vec<(String, f64)> {
+    let snap = telemetry::global().snapshot();
+    snap.gauges
+        .iter()
+        .filter_map(|(name, v)| {
+            name.strip_prefix("train.loss.")
+                .map(|c| (c.to_string(), *v))
+        })
+        .collect()
 }
 
 /// Cached handle for the `train.grad_evals` counter so the per-epoch hot
@@ -604,6 +734,7 @@ fn record_to_log(rec: &TrainLogRecord) -> TrainLog {
         diverged: false,
         stop_epoch: None,
         warnings: Vec::new(),
+        run_id: None,
     }
 }
 
@@ -672,6 +803,7 @@ mod tests {
             checkpoint: None,
             divergence: None,
             progress: None,
+            run: None,
         });
         let log = trainer.train(&mut task, &mut params);
         assert!(log.final_error < 1e-3, "err {}", log.final_error);
@@ -692,6 +824,7 @@ mod tests {
             checkpoint: None,
             divergence: None,
             progress: None,
+            run: None,
         });
         let log = trainer.train(&mut task, &mut params);
         assert!(log.final_error < 1e-8, "err {}", log.final_error);
@@ -711,6 +844,7 @@ mod tests {
             checkpoint: None,
             divergence: None,
             progress: None,
+            run: None,
         });
         let log = trainer.train(&mut task, &mut params);
         // pre-clip norms are recorded; the *updates* were clipped, so the
@@ -732,6 +866,7 @@ mod tests {
             checkpoint: None,
             divergence: None,
             progress: None,
+            run: None,
         });
         trainer.train(&mut task, &mut params);
         let snap = telemetry::global().snapshot();

@@ -7,6 +7,8 @@
 //! qpinn-obs check --baseline B.json --current C.json [--threshold PCT]
 //! qpinn-obs requests ACCESS.jsonl           # per-route RED table
 //! qpinn-obs slo ACCESS.jsonl --objective '/v1/eval p99_ms<=50'
+//! qpinn-obs runs list [--dir DIR]           # run-record table
+//! qpinn-obs runs diff A B [--dir DIR]       # config + metric delta
 //! ```
 //!
 //! Exit codes: 0 success, 1 perf regression / SLO violation / corrupt
@@ -56,10 +58,29 @@ USAGE:
         lines and `#` comments skipped). Exit 1 if any objective is
         violated or has no matching records.
 
+    qpinn-obs runs list [--dir DIR]
+        Table of recorded training runs under the qpinn-run-v1 store
+        (default target/runs): id, task, seed, final loss, outcome.
+
+    qpinn-obs runs show ID [--dir DIR]
+        Manifest, loss/gradient trajectories, last per-layer gradient
+        norm/variance, and checkpoint/divergence events of one run.
+
+    qpinn-obs runs diff A B [--dir DIR]
+        Configuration delta and metric delta between two runs. Two
+        runs with identical config hash and seed are expected to match
+        bit-for-bit; a nonzero metric delta there is flagged as a
+        determinism violation.
+
+    qpinn-obs runs regress RUN --baseline ID [--dir DIR] [--threshold PCT]
+        Gate RUN against a baseline run: final loss / final error must
+        not grow beyond the threshold (default 20%), and a run whose
+        baseline converged must itself converge. Exit 1 on regression.
+
 EXIT CODES:
     0  success / no regression
-    1  perf regression (check), corrupt snapshot (snapshots), or SLO
-       violation (slo)
+    1  perf regression (check / runs regress), corrupt snapshot
+       (snapshots), or SLO violation (slo)
     2  usage, I/O, or parse error
 ";
 
@@ -87,6 +108,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         "snapshots" => cmd_snapshots(&args[1..]),
         "requests" => cmd_requests(&args[1..]),
         "slo" => cmd_slo(&args[1..]),
+        "runs" => cmd_runs(&args[1..]),
         "-h" | "--help" | "help" => {
             print!("{USAGE}");
             Ok(ExitCode::SUCCESS)
@@ -273,4 +295,79 @@ fn cmd_check(args: &[String]) -> Result<ExitCode, String> {
     } else {
         ExitCode::from(1)
     })
+}
+
+fn cmd_runs(args: &[String]) -> Result<ExitCode, String> {
+    let Some(sub) = args.first() else {
+        return Err("runs needs a subcommand: list | show | diff | regress".into());
+    };
+    // Every subcommand takes --dir DIR (default target/runs); positional
+    // arguments are run ids.
+    let mut dir = qpinn_core::runs::default_dir();
+    let mut ids: Vec<&str> = Vec::new();
+    let mut baseline: Option<&str> = None;
+    let mut threshold = 20.0f64;
+    let mut it = args[1..].iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--dir" => dir = it.next().ok_or("--dir needs a path")?.into(),
+            "--baseline" => baseline = Some(it.next().ok_or("--baseline needs a run id")?),
+            "--threshold" => {
+                threshold = it
+                    .next()
+                    .ok_or("--threshold needs a percentage")?
+                    .parse()
+                    .map_err(|e| format!("--threshold: {e}"))?;
+                if !threshold.is_finite() || threshold < 0.0 {
+                    return Err("--threshold must be a non-negative percentage".into());
+                }
+            }
+            flag if flag.starts_with('-') => return Err(format!("unknown flag `{flag}`")),
+            id => ids.push(id),
+        }
+    }
+    let load = |id: &str| {
+        qpinn_core::runs::load_run(&dir, id)
+            .map_err(|e| format!("loading run {id} from {}: {e}", dir.display()))
+    };
+    match sub.as_str() {
+        "list" => {
+            if !ids.is_empty() {
+                return Err("runs list takes no run ids".into());
+            }
+            let text = qpinn_obs::runs::list_report(&dir)
+                .map_err(|e| format!("listing {}: {e}", dir.display()))?;
+            print!("{text}");
+            Ok(ExitCode::SUCCESS)
+        }
+        "show" => {
+            let [id] = ids[..] else {
+                return Err("runs show takes exactly one run id".into());
+            };
+            print!("{}", qpinn_obs::runs::show_report(&load(id)?));
+            Ok(ExitCode::SUCCESS)
+        }
+        "diff" => {
+            let [a, b] = ids[..] else {
+                return Err("runs diff takes exactly two run ids".into());
+            };
+            let report = qpinn_obs::runs::diff(&load(a)?, &load(b)?);
+            print!("{}", report.render());
+            Ok(ExitCode::SUCCESS)
+        }
+        "regress" => {
+            let [id] = ids[..] else {
+                return Err("runs regress takes exactly one run id".into());
+            };
+            let baseline = baseline.ok_or("runs regress needs --baseline ID")?;
+            let report = qpinn_obs::runs::regress(&load(id)?, &load(baseline)?, threshold);
+            print!("{}", report.render());
+            Ok(if report.passed() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            })
+        }
+        other => Err(format!("unknown runs subcommand `{other}`")),
+    }
 }

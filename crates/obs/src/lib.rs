@@ -36,10 +36,14 @@
 //! * [`slo`] — declarative latency / error-budget objectives
 //!   (`qpinn-obs slo`) evaluated against an access log, with
 //!   pass/violated exit codes mirroring [`check`].
+//! * [`runs`] — cross-run training forensics (`qpinn-obs runs
+//!   {list,show,diff,regress}`) over the durable `qpinn-run-v1` store
+//!   written by `qpinn_core::runs`: run tables, trajectory views,
+//!   config/metric diffs, and a regression gate against a baseline run.
 //!
 //! The `qpinn-obs` binary exposes [`trace`], [`flame`], [`pool`],
-//! [`check`], [`snapshots`], [`requests`], and [`slo`] as subcommands;
-//! see its `--help`.
+//! [`check`], [`snapshots`], [`requests`], [`slo`], and [`runs`] as
+//! subcommands; see its `--help`.
 
 #![deny(missing_docs)]
 
@@ -49,6 +53,7 @@ pub mod http;
 pub mod pool;
 pub mod progress;
 pub mod requests;
+pub mod runs;
 pub mod server;
 pub mod slo;
 pub mod snapshots;

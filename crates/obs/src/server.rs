@@ -10,6 +10,8 @@
 //! | `/metrics.json` | `qpinn-metrics-v1` snapshot JSON                  |
 //! | `/progress`     | current epoch / loss / s-per-epoch / ETA          |
 //! | `/healthz`      | `{"status":"ok",...}` liveness probe              |
+//! | `/v1/runs`      | `qpinn-run-v1` run-record index (see [`runs_routes`]) |
+//! | `/v1/runs/<id>` | one run's manifest + epoch series                 |
 //!
 //! One accept thread handles connections sequentially; every response
 //! closes the connection. That is the right shape for a scrape endpoint
@@ -150,18 +152,91 @@ pub fn metrics_routes(
     })
 }
 
+/// Build the response for a `qpinn-run-v1` store request, or `None`
+/// when the path is not a runs route. Shared with `qpinn-serve`, which
+/// mounts the same routes on its inference server against its
+/// configured store directory.
+///
+/// | route           | body                                            |
+/// |-----------------|-------------------------------------------------|
+/// | `/v1/runs`      | `{"runs":[{run_id,task,seed,final_loss,...}]}`  |
+/// | `/v1/runs/<id>` | `{"manifest":{...},"series":[...]}`             |
+pub fn runs_routes(method: &str, path: &str, dir: &std::path::Path) -> Option<Response> {
+    use qpinn_core::report::Json;
+    if method != "GET" {
+        return None;
+    }
+    if path == "/v1/runs" {
+        let summaries = match qpinn_core::runs::list_runs(dir) {
+            Ok(s) => s,
+            Err(e) => {
+                return Some(Response::json_status(
+                    "500 Internal Server Error",
+                    Json::obj(vec![("error", Json::Str(e.to_string()))]).to_string(),
+                ))
+            }
+        };
+        let rows = summaries
+            .iter()
+            .map(|s| {
+                Json::obj(vec![
+                    ("run_id", Json::Str(s.run_id.clone())),
+                    ("task", Json::Str(s.task.clone())),
+                    (
+                        "seed",
+                        s.seed.map(|v| Json::Num(v as f64)).unwrap_or(Json::Null),
+                    ),
+                    (
+                        "final_loss",
+                        s.final_loss.map(Json::Num).unwrap_or(Json::Null),
+                    ),
+                    ("outcome", Json::Str(s.outcome.clone())),
+                    ("start_unix_ms", Json::Num(s.start_unix_ms as f64)),
+                ])
+            })
+            .collect();
+        let doc = Json::obj(vec![("runs", Json::Arr(rows))]);
+        return Some(Response::json(doc.to_string()));
+    }
+    if let Some(id) = path.strip_prefix("/v1/runs/") {
+        // Run ids are 16 hex digits; reject anything that could walk the
+        // filesystem before it reaches a path join.
+        if id.is_empty() || !id.bytes().all(|b| b.is_ascii_alphanumeric() || b == b'-') {
+            return Some(Response::json_status(
+                "400 Bad Request",
+                "{\"error\":\"invalid run id\"}",
+            ));
+        }
+        return Some(match qpinn_core::runs::load_run(dir, id) {
+            Ok(rec) => {
+                let doc = Json::obj(vec![
+                    ("manifest", rec.manifest.to_json()),
+                    ("series", Json::Arr(rec.series)),
+                ]);
+                Response::json(doc.to_string())
+            }
+            Err(e) => Response::json_status(
+                "404 Not Found",
+                Json::obj(vec![("error", Json::Str(format!("run {id}: {e}")))]).to_string(),
+            ),
+        });
+    }
+    None
+}
+
 fn handle_connection(stream: TcpStream, state: &ServerState) -> std::io::Result<()> {
     let (req, mut stream) = read_request(stream)?;
     let response = if req.method != "GET" {
         Response::text("405 Method Not Allowed", "method not allowed\n")
     } else {
-        match metrics_routes(&req.method, &req.path, &state.tracker, state.started) {
-            Some(r) => r,
-            None => Response::text(
-                "404 Not Found",
-                "not found; try /metrics /metrics.json /progress /healthz\n",
-            ),
-        }
+        metrics_routes(&req.method, &req.path, &state.tracker, state.started)
+            .or_else(|| runs_routes(&req.method, &req.path, &qpinn_core::runs::default_dir()))
+            .unwrap_or_else(|| {
+                Response::text(
+                    "404 Not Found",
+                    "not found; try /metrics /metrics.json /progress /healthz /v1/runs\n",
+                )
+            })
     };
     response.write_to(&mut stream)
 }

@@ -206,3 +206,113 @@ fn trace_flame_pool_run_over_one_stream() {
     assert!(out.status.success());
     assert!(stdout(&out).contains("steal ratio"), "{}", stdout(&out));
 }
+
+/// Build a synthetic two-run `qpinn-run-v1` store on disk: a converged
+/// baseline and a worse, differently-configured current run.
+fn run_store(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("qpinn-obs-cli-{}-{tag}-store", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let manifest = |id: &str, lr: f64, hash: &str, final_loss: f64| {
+        format!(
+            concat!(
+                r#"{{"schema":"qpinn-run-v1","run_id":"{id}","task":"t1/demo","seed":7,"#,
+                r#""config":{{"train":{{"lr0":{lr}}}}},"config_hash":"{hash}","threads":1,"simd":1,"#,
+                r#""env":{{}},"trace":"","start_unix_ms":1000,"end_unix_ms":2000,"#,
+                r#""outcome":"converged","epochs_planned":20,"epochs_run":20,"#,
+                r#""final_loss":{fl},"final_error":{fe}}}"#
+            ),
+            id = id,
+            lr = lr,
+            hash = hash,
+            fl = final_loss,
+            fe = final_loss * 0.5,
+        )
+    };
+    let series = |l0: f64, l1: f64| {
+        format!(
+            "{{\"kind\":\"epoch\",\"epoch\":0,\"loss\":{l0},\"grad_norm\":1.0,\"lr\":0.001,\"epoch_ms\":2.0,\"components\":{{}},\"grad\":{{\"w\":{{\"norm\":1.0,\"var\":0.1}}}}}}\n\
+             {{\"kind\":\"epoch\",\"epoch\":10,\"loss\":{l1},\"grad_norm\":0.5,\"lr\":0.001,\"epoch_ms\":2.0,\"components\":{{}},\"grad\":{{\"w\":{{\"norm\":0.5,\"var\":0.05}}}}}}\n"
+        )
+    };
+    for (id, lr, hash, fl) in [
+        ("aaaaaaaaaaaaaaaa", 1e-3, "0000000000000001", 1e-4),
+        ("bbbbbbbbbbbbbbbb", 1e-1, "0000000000000002", 5e-2),
+    ] {
+        let run_dir = dir.join(id);
+        std::fs::create_dir_all(&run_dir).unwrap();
+        std::fs::write(run_dir.join("manifest.json"), manifest(id, lr, hash, fl)).unwrap();
+        std::fs::write(run_dir.join("series.jsonl"), series(1.0, fl * 2.0)).unwrap();
+    }
+    dir
+}
+
+#[test]
+fn runs_list_show_and_diff_over_a_store() {
+    let dir = run_store("lsd");
+    let out = bin().args(["runs", "list", "--dir"]).arg(&dir).output().unwrap();
+    assert!(out.status.success(), "{}", stdout(&out));
+    let text = stdout(&out);
+    assert!(text.contains("aaaaaaaaaaaaaaaa"), "{text}");
+    assert!(text.contains("bbbbbbbbbbbbbbbb"), "{text}");
+    assert!(text.contains("t1/demo"), "{text}");
+    assert!(text.contains("converged"), "{text}");
+
+    let out = bin()
+        .args(["runs", "show", "aaaaaaaaaaaaaaaa", "--dir"])
+        .arg(&dir)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", stdout(&out));
+    let text = stdout(&out);
+    assert!(text.contains("t1/demo"), "{text}");
+    assert!(text.contains("loss"), "{text}");
+    assert!(text.contains("grad var"), "{text}");
+
+    let out = bin()
+        .args(["runs", "diff", "aaaaaaaaaaaaaaaa", "bbbbbbbbbbbbbbbb", "--dir"])
+        .arg(&dir)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", stdout(&out));
+    let text = stdout(&out);
+    assert!(text.contains("lr0"), "config delta missing lr0: {text}");
+    assert!(text.contains("final_loss"), "{text}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn runs_regress_exit_codes_follow_the_check_contract() {
+    let dir = run_store("regress");
+    // Baseline against itself: exit 0.
+    let out = bin()
+        .args(["runs", "regress", "aaaaaaaaaaaaaaaa", "--baseline", "aaaaaaaaaaaaaaaa", "--dir"])
+        .arg(&dir)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", stdout(&out));
+    assert!(stdout(&out).contains("PASS"), "{}", stdout(&out));
+
+    // The 500x-worse run against the baseline: exit 1.
+    let out = bin()
+        .args(["runs", "regress", "bbbbbbbbbbbbbbbb", "--baseline", "aaaaaaaaaaaaaaaa", "--dir"])
+        .arg(&dir)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1), "{}", stdout(&out));
+    assert!(stdout(&out).contains("REGRESSED"), "{}", stdout(&out));
+
+    // Unknown run id / missing --baseline: usage errors, exit 2.
+    let out = bin()
+        .args(["runs", "regress", "cccccccccccccccc", "--baseline", "aaaaaaaaaaaaaaaa", "--dir"])
+        .arg(&dir)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2), "{}", stdout(&out));
+    let out = bin().args(["runs", "regress", "aaaaaaaaaaaaaaaa", "--dir"]).arg(&dir).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let out = bin().args(["runs", "bogus"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

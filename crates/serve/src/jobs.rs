@@ -165,6 +165,10 @@ struct JobEntry {
     /// off); echoed in the progress document so a poller can join a job
     /// back to the access log.
     trace: String,
+    /// `qpinn-run-v1` run id (pre-minted at submit when the manager
+    /// records runs, so pollers can follow `/v1/runs/<id>` while the
+    /// job is still training); empty when run recording is off.
+    run_id: String,
     status: JobStatus,
     progress: Progress,
 }
@@ -175,6 +179,7 @@ pub struct JobManager {
     jobs: Mutex<HashMap<String, Arc<Mutex<JobEntry>>>>,
     handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
     next_id: AtomicU64,
+    runs: Option<std::path::PathBuf>,
 }
 
 impl JobManager {
@@ -185,7 +190,16 @@ impl JobManager {
             jobs: Mutex::new(HashMap::new()),
             handles: Mutex::new(Vec::new()),
             next_id: AtomicU64::new(1),
+            runs: None,
         }
+    }
+
+    /// Record every submitted job into the `qpinn-run-v1` store under
+    /// `dir` (manifest + epoch series, stamped with the submitting
+    /// request's trace id).
+    pub fn record_runs(mut self, dir: Option<std::path::PathBuf>) -> Self {
+        self.runs = dir;
+        self
     }
 
     /// Start a training thread for `req`; returns the job id to poll.
@@ -194,9 +208,28 @@ impl JobManager {
     pub fn submit(&self, req: TrainRequest, ctx: &TraceCtx) -> String {
         let id = format!("job-{}", self.next_id.fetch_add(1, Ordering::Relaxed));
         let trace = if ctx.on { ctx.id.clone() } else { String::new() };
+        // Pre-mint the run id so the progress document can point at the
+        // run record from the very first poll.
+        let run = self.runs.as_ref().map(|dir| {
+            let run_id = qpinn_telemetry::trace::fresh_id();
+            qpinn_core::runs::RunConfig::new(dir, format!("serve/{}", req.problem), req.seed)
+                .config(Json::obj(vec![
+                    ("model_id", Json::Str(req.model_id.clone())),
+                    ("problem", Json::Str(req.problem.clone())),
+                    ("width", Json::Num(req.width as f64)),
+                    ("depth", Json::Num(req.depth as f64)),
+                    ("n_collocation", Json::Num(req.n_collocation as f64)),
+                ]))
+                .trace(trace.clone())
+                .run_id(run_id)
+        });
         let entry = Arc::new(Mutex::new(JobEntry {
             model_id: req.model_id.clone(),
             trace: trace.clone(),
+            run_id: run
+                .as_ref()
+                .and_then(|r| r.run_id.clone())
+                .unwrap_or_default(),
             status: JobStatus::Queued,
             progress: Progress::default(),
         }));
@@ -209,7 +242,7 @@ impl JobManager {
         let thread_id = id.clone();
         let handle = std::thread::Builder::new()
             .name(format!("qpinn-train-{thread_id}"))
-            .spawn(move || run_job(registry, entry, req, thread_id, trace))
+            .spawn(move || run_job(registry, entry, req, thread_id, trace, run))
             .expect("spawn train thread");
         self.handles
             .lock()
@@ -252,6 +285,9 @@ impl JobManager {
         ];
         if !e.trace.is_empty() {
             fields.push(("trace", Json::Str(e.trace.clone())));
+        }
+        if !e.run_id.is_empty() {
+            fields.push(("run_id", Json::Str(e.run_id.clone())));
         }
         let mut failed = false;
         match &e.status {
@@ -297,6 +333,7 @@ fn run_job(
     req: TrainRequest,
     job_id: String,
     trace: String,
+    run: Option<qpinn_core::runs::RunConfig>,
 ) {
     // The whole job runs under one span: the trainer's epoch/step spans
     // nest inside it, and the trace id (when the submitting request was
@@ -321,7 +358,9 @@ fn run_job(
         let mut params = ParamSet::new();
         let mut rng = StdRng::seed_from_u64(req.seed);
         let mut task = TdseTask::new(problem, &cfg, &mut params, &mut rng);
-        let trainer = Trainer::new(job_train_config(&req, Some(hook)));
+        let mut train_cfg = job_train_config(&req, Some(hook));
+        train_cfg.run = run;
+        let trainer = Trainer::new(train_cfg);
         let log = trainer.train(&mut task, &mut params);
         Ok::<_, String>((spec, params, log))
     }));

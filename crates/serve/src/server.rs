@@ -17,7 +17,8 @@
 //! | `/v1/train`                | POST   | train request → `202` + job id     |
 //! | `/v1/jobs/<id>/progress`   | GET    | live epoch/loss/ETA (failed → 503) |
 //! | `/v1/evict`                | POST   | `{"model"}` → drop resident copy   |
-//! | `/v1/traces`               | GET    | last `?n=K` access records         |
+//! | `/v1/traces`               | GET    | last `?n=K` access records (`?route=` filters) |
+//! | `/v1/runs` `/v1/runs/<id>` | GET    | `qpinn-run-v1` records, shared with `qpinn-obs` |
 //! | `/metrics` `/metrics.json` | GET    | shared with `qpinn-obs`            |
 //! | `/progress` `/healthz`     | GET    | shared with `qpinn-obs`            |
 //!
@@ -66,6 +67,12 @@ pub struct ServeConfig {
     pub pending_cap: usize,
     /// Request-tracing settings.
     pub trace: TraceConfig,
+    /// `qpinn-run-v1` run-record store. `Some(dir)` records every
+    /// `POST /v1/train` job under `dir` (manifest + epoch series,
+    /// stamped with the submitting request's trace id) and serves
+    /// `GET /v1/runs` from it; `None` disables recording, and the runs
+    /// routes fall back to the default `target/runs` store read-only.
+    pub runs: Option<std::path::PathBuf>,
 }
 
 /// Request-tracing settings. Tracing state is process-global (the
@@ -101,6 +108,7 @@ impl ServeConfig {
             workers: 8,
             pending_cap: 64,
             trace: TraceConfig::default(),
+            runs: None,
         }
     }
 }
@@ -118,6 +126,7 @@ struct Shared {
     batcher_joins: Mutex<Vec<JoinHandle<()>>>,
     tracker: Arc<ProgressTracker>,
     started: Instant,
+    runs_dir: std::path::PathBuf,
     queue: Mutex<ConnQueue>,
     signal: Condvar,
 }
@@ -159,13 +168,17 @@ impl ServeServer {
             access::disable();
         }
         let shared = Arc::new(Shared {
-            jobs: JobManager::new(registry.clone()),
+            jobs: JobManager::new(registry.clone()).record_runs(cfg.runs.clone()),
             registry,
             batch_cfg: cfg.batch,
             batchers: Mutex::new(HashMap::new()),
             batcher_joins: Mutex::new(Vec::new()),
             tracker,
             started: Instant::now(),
+            runs_dir: cfg
+                .runs
+                .clone()
+                .unwrap_or_else(qpinn_core::runs::default_dir),
             queue: Mutex::new(ConnQueue {
                 conns: VecDeque::new(),
                 shutdown: false,
@@ -485,6 +498,9 @@ fn route(req: &Request, shared: &Shared, ctx: &TraceCtx, meta: &mut ReqMeta) -> 
     if let Some(r) = metrics_routes(&req.method, &req.path, &shared.tracker, shared.started) {
         return r;
     }
+    if let Some(r) = qpinn_obs::server::runs_routes(&req.method, &req.path, &shared.runs_dir) {
+        return r;
+    }
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/v1/models") => models_route(shared),
         ("POST", "/v1/eval") => eval_route(req, shared, ctx, meta),
@@ -497,19 +513,36 @@ fn route(req: &Request, shared: &Shared, ctx: &TraceCtx, meta: &mut ReqMeta) -> 
     }
 }
 
-/// `GET /v1/traces?n=K`: the last K (default 64) access records from
-/// the ring, oldest first — sheds and errors included.
+/// `GET /v1/traces?n=K&route=PATH`: the last K (default 64) access
+/// records from the ring, oldest first — sheds and errors included.
+/// `route=` keeps only records whose route key matches exactly (e.g.
+/// `route=/v1/eval`; accept-queue sheds have an empty route), applied
+/// before the last-K cut so K filtered records come back.
 fn traces_route(req: &Request) -> Response {
-    let n = req
-        .query
-        .as_deref()
-        .into_iter()
-        .flat_map(|q| q.split('&'))
-        .find_map(|kv| kv.strip_prefix("n="))
+    let param = |key: &str| -> Option<String> {
+        req.query
+            .as_deref()
+            .into_iter()
+            .flat_map(|q| q.split('&'))
+            .find_map(|kv| kv.strip_prefix(key))
+            .map(str::to_string)
+    };
+    let n = param("n=")
         .and_then(|v| v.parse::<usize>().ok())
         .unwrap_or(64)
         .min(4096);
-    Response::json(access::render_traces(&access::last(n), access::enabled()))
+    let records = match param("route=") {
+        Some(route) => {
+            let mut all = access::last(4096);
+            all.retain(|r| r.route == route);
+            if all.len() > n {
+                all.drain(..all.len() - n);
+            }
+            all
+        }
+        None => access::last(n),
+    };
+    Response::json(access::render_traces(&records, access::enabled()))
 }
 
 fn models_route(shared: &Shared) -> Response {

@@ -51,6 +51,14 @@ impl TraceCtx {
     }
 }
 
+/// Mint a fresh 16-hex-digit id from the process-global splitmix64
+/// stream, independent of whether tracing is enabled. Run records
+/// (`qpinn-run-v1`) use this so run ids and request trace ids share one
+/// id scheme and never collide within a process.
+pub fn fresh_id() -> String {
+    next_id()
+}
+
 /// An inbound id is acceptable when it is 1–32 ASCII hex digits — wide
 /// enough for 128-bit upstream ids, narrow enough to bound the echo.
 fn is_valid_id(s: &str) -> bool {

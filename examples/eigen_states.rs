@@ -33,6 +33,7 @@ fn main() {
         checkpoint: None,
         divergence: None,
         progress: None,
+        run: None,
     };
 
     let mut prev_states = Vec::new();

@@ -64,6 +64,7 @@ fn main() {
         checkpoint: None,
         divergence: None,
         progress: None,
+        run: None,
     })
     .train(&mut task, &mut params);
     for (e, l) in log.epochs.iter().zip(&log.loss) {

@@ -46,6 +46,7 @@ fn main() {
         checkpoint: None,
         divergence: None,
         progress: None,
+        run: None,
     })
     .train(&mut task, &mut params);
     println!(

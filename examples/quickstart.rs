@@ -49,6 +49,7 @@ fn main() {
         checkpoint: None,
         divergence: None,
         progress: None,
+        run: None,
     });
     let log = trainer.train(&mut task, &mut params);
     for (e, l) in log.epochs.iter().zip(&log.loss) {

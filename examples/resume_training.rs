@@ -37,6 +37,7 @@ fn config(ckpt_dir: &std::path::Path) -> TrainConfig {
         ),
         divergence: None,
         progress: None,
+        run: None,
     }
 }
 

@@ -62,6 +62,7 @@ fn main() {
         checkpoint: None,
         divergence: None,
         progress: Some(server.progress_hook()),
+        run: None,
     });
     let log = trainer.train(&mut task, &mut params);
     println!("trained to loss {:.3e} in {:.1}s\n", log.final_loss, log.wall_s);

@@ -48,6 +48,7 @@ fn main() {
         checkpoint: None,
         divergence: None,
         progress: None,
+        run: None,
     })
     .train(&mut task, &mut params);
     println!("loss: {}", sparkline_log(&log.loss));

@@ -1,8 +1,9 @@
 //! Golden-file conformance suite: freezes the externally observable
 //! formats — the `qpinn-snapshot` binary container, the
 //! `qpinn-metrics-v1` JSON schema, the Prometheus text exposition, the
-//! `qpinn-access-v1` access-log JSONL, and the `qpinn-traces-v1`
-//! `/v1/traces` document — against fixtures committed under
+//! `qpinn-access-v1` access-log JSONL, the `qpinn-traces-v1`
+//! `/v1/traces` document, and the `qpinn-run-v1` run-record manifest +
+//! epoch-series line — against fixtures committed under
 //! `tests/fixtures/`.
 //!
 //! A diff in any of these files is a *format break*, not a test fluke:
@@ -251,4 +252,103 @@ fn prometheus_exposition_is_frozen() {
     assert!(page.contains("qpinn_train_grad_evals_total"));
     assert!(page.contains("le=\"+Inf\""));
     assert_matches_fixture("prometheus_v1.txt", page.as_bytes());
+}
+
+/// A fully pinned `qpinn-run-v1` manifest: fixed id, timestamps, and
+/// environment — nothing here touches the clock or RNG.
+fn pinned_run_manifest() -> qpinn::core::runs::Manifest {
+    use qpinn::core::report::Json;
+    use qpinn::core::runs::{fnv1a64, Manifest, RunOutcome};
+    let config = Json::obj(vec![
+        ("task", Json::obj(vec![("problem", Json::Str("free-packet".into()))])),
+        (
+            "train",
+            Json::obj(vec![
+                ("epochs", Json::Num(2000.0)),
+                ("lr0", Json::Num(1e-3)),
+                ("log_every", Json::Num(50.0)),
+            ]),
+        ),
+    ]);
+    let config_hash = format!("{:016x}", fnv1a64(&config.to_string()));
+    Manifest {
+        run_id: "00c0ffee00c0ffee".into(),
+        task: "t1/free-packet".into(),
+        seed: 7,
+        config,
+        config_hash,
+        threads: 4,
+        simd: 4,
+        env: vec![
+            ("QPINN_SIMD".into(), "4".into()),
+            ("QPINN_TRACE".into(), "1".into()),
+        ],
+        trace: "deadbeefcafe1234".into(),
+        start_unix_ms: 1_700_000_000_000,
+        end_unix_ms: Some(1_700_000_120_000),
+        outcome: RunOutcome::Converged,
+        epochs_planned: 2000,
+        epochs_run: Some(2000),
+        final_loss: Some(1.25e-4),
+        final_error: Some(3.5e-3),
+    }
+}
+
+#[test]
+fn run_manifest_v1_schema_is_frozen() {
+    let manifest = pinned_run_manifest();
+    let doc = manifest.to_json().to_string() + "\n";
+    assert!(doc.starts_with("{\"schema\":\"qpinn-run-v1\""));
+    assert_matches_fixture("run_manifest_v1.json", doc.as_bytes());
+    // The frozen bytes must round-trip through the manifest parser —
+    // `runs list/diff/regress` all read old stores through it.
+    let parsed = qpinn::core::report::Json::parse(
+        &String::from_utf8(std::fs::read(fixture_path("run_manifest_v1.json")).unwrap()).unwrap(),
+    )
+    .unwrap();
+    let back = qpinn::core::runs::Manifest::from_json(&parsed)
+        .expect("committed fixture must parse");
+    assert_eq!(back.run_id, manifest.run_id);
+    assert_eq!(back.config_hash, manifest.config_hash);
+    assert_eq!(back.seed, manifest.seed);
+    assert_eq!(back.outcome, manifest.outcome);
+    assert_eq!(back.env, manifest.env);
+    assert_eq!(back.final_loss, manifest.final_loss);
+    assert_eq!(back.end_unix_ms, manifest.end_unix_ms);
+}
+
+#[test]
+fn run_series_v1_epoch_line_is_frozen() {
+    use qpinn::core::runs::{EpochPoint, LayerGrad};
+    let point = EpochPoint {
+        epoch: 50,
+        loss: 0.125,
+        grad_norm: 2.5,
+        lr: 1e-3,
+        epoch_ms: 12.5,
+        components: vec![
+            ("pde".into(), 0.1),
+            ("ic".into(), 0.02),
+            ("norm".into(), 0.005),
+        ],
+        layers: vec![
+            LayerGrad { name: "w1".into(), norm: 1.5, var: 0.25 },
+            LayerGrad { name: "w2".into(), norm: 0.5, var: 0.0625 },
+        ],
+    };
+    let line = point.to_json().to_string() + "\n";
+    // Spot-check the per-layer barren-plateau signal before freezing:
+    // every layer entry carries both the norm and the variance.
+    assert!(line.contains("\"grad\":{\"w1\":{\"norm\":"));
+    assert!(line.contains("\"var\":0.0625"));
+    assert_matches_fixture("run_series_v1.jsonl", line.as_bytes());
+    // And the frozen line must stay machine-readable.
+    let parsed = qpinn::core::report::Json::parse(
+        String::from_utf8(std::fs::read(fixture_path("run_series_v1.jsonl")).unwrap())
+            .unwrap()
+            .trim(),
+    )
+    .unwrap();
+    assert_eq!(parsed.get("kind").and_then(|v| v.as_str()), Some("epoch"));
+    assert_eq!(parsed.get("epoch").and_then(|v| v.as_num()), Some(50.0));
 }

@@ -34,6 +34,7 @@ fn tdse2d_trains_and_respects_double_periodicity() {
         checkpoint: None,
         divergence: None,
         progress: None,
+        run: None,
     })
     .train(&mut task, &mut params);
     assert!(log.final_loss < log.loss[0], "2D loss did not drop");

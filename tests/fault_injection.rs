@@ -17,6 +17,7 @@
 //! and `--test-threads=1` and diffs the output to pin determinism.
 
 use qpinn::autodiff::Var;
+use qpinn::core::report::Json;
 use qpinn::core::trainer::{CheckpointConfig, PinnTask, TrainConfig, Trainer};
 use qpinn::nn::{GraphCtx, ParamSet};
 use qpinn::optim::LrSchedule;
@@ -81,6 +82,7 @@ fn quad_cfg(epochs: usize, ckpt: Option<CheckpointConfig>) -> TrainConfig {
         checkpoint: ckpt,
         divergence: None,
         progress: None,
+        run: None,
     }
 }
 
@@ -203,6 +205,62 @@ fn trainer_survives_checkpoint_faults_with_identical_trajectory() {
     let store = SnapshotStore::open(&dir).unwrap();
     let epochs: Vec<u64> = store.list().into_iter().map(|(e, _)| e).collect();
     assert_eq!(epochs, vec![10, 30, 40]);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------------
+// Invariant 1b: a torn run-record finalize degrades to `incomplete`,
+// never to corrupt JSON or a crashed trainer.
+// ---------------------------------------------------------------------------
+
+/// Tear the `qpinn-run-v1` manifest rewrite at finalize (the atomic
+/// tmp+rename is interrupted mid-tmp-write): training still completes,
+/// warns, and leaves behind the *intact* begin-time manifest — so
+/// `runs list` reports the run as `incomplete` and every JSON artifact
+/// on disk still parses.
+#[test]
+fn torn_run_manifest_finalize_lists_as_incomplete() {
+    use qpinn::core::runs::{list_runs, load_run, RunConfig};
+    let _g = serial();
+    let dir = test_dir("runs-torn");
+
+    let (mut task, mut params) = quad_fixture();
+    let mut cfg = quad_cfg(20, None);
+    cfg.run = Some(RunConfig::new(&dir, "chaos/quad", 0));
+    let log = {
+        // Hit 1 is begin's manifest write (must land intact); hit 2 is
+        // the finalize rewrite, torn halfway through the tmp file.
+        let _arm = testkit::arm("runs.manifest_torn", Trigger::Nth(2));
+        Trainer::new(cfg).train(&mut task, &mut params)
+    };
+
+    // Training itself is unharmed and the failure is surfaced.
+    assert!(log.final_loss.is_finite());
+    assert!(
+        log.warnings.iter().any(|w| w.contains("finalize failed")),
+        "missing finalize-failed warning: {:?}",
+        log.warnings
+    );
+    let run_id = log.run_id.clone().expect("run id assigned at begin");
+
+    // The store still lists the run — as incomplete, from the intact
+    // begin-time manifest.
+    let listed = list_runs(&dir).unwrap();
+    assert_eq!(listed.len(), 1);
+    assert_eq!(listed[0].run_id, run_id);
+    assert_eq!(listed[0].outcome, "incomplete");
+    assert_eq!(listed[0].final_loss, None);
+
+    // Every byte on disk is still valid: the manifest parses (schema
+    // intact, no finals), and the epoch series has no torn lines.
+    let rec = load_run(&dir, &run_id).unwrap();
+    assert_eq!(rec.manifest.task, "chaos/quad");
+    assert_eq!(rec.manifest.end_unix_ms, None);
+    assert!(!rec.series.is_empty(), "epoch series should have landed");
+    let manifest_text =
+        std::fs::read_to_string(dir.join(&run_id).join("manifest.json")).unwrap();
+    Json::parse(&manifest_text).expect("manifest must never be torn");
+
     let _ = std::fs::remove_dir_all(&dir);
 }
 

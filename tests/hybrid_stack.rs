@@ -37,6 +37,7 @@ fn hybrid_training_lowers_the_rayleigh_quotient() {
         checkpoint: None,
         divergence: None,
         progress: None,
+        run: None,
     })
     .train(&mut task, &mut params);
     let e_after = task.energy(&params);
@@ -194,6 +195,7 @@ fn all_scalings_produce_trainable_hybrids() {
             checkpoint: None,
             divergence: None,
             progress: None,
+            run: None,
         })
         .train(&mut task, &mut params);
         assert!(

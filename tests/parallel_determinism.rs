@@ -142,6 +142,7 @@ fn short_cfg(epochs: usize, checkpoint: Option<CheckpointConfig>) -> TrainConfig
         checkpoint,
         divergence: None,
         progress: None,
+        run: None,
     }
 }
 

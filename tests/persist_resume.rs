@@ -52,6 +52,7 @@ fn cfg_epochs(epochs: usize, checkpoint: Option<CheckpointConfig>) -> TrainConfi
         checkpoint,
         divergence: None,
         progress: None,
+        run: None,
     }
 }
 
@@ -222,6 +223,7 @@ fn task_state_blob_roundtrips_through_resume() {
         checkpoint: ckpt,
         divergence: None,
         progress: None,
+        run: None,
     };
 
     let (mut task1, mut params1) = fresh();

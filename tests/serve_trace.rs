@@ -213,6 +213,142 @@ fn every_request_lands_in_the_access_log_exactly_once() {
         }
     }
     assert_eq!(served_evals, 7, "expected 7 successful eval records");
+
+    // CI's live-capture SLO gate sets QPINN_KEEP_ACCESS_LOG to keep this
+    // test's real access log around for `qpinn-obs slo` after the test
+    // process (and its temp dir) are gone.
+    if let Ok(keep) = std::env::var("QPINN_KEEP_ACCESS_LOG") {
+        if !keep.is_empty() {
+            std::fs::copy(&log_path, &keep).expect("QPINN_KEEP_ACCESS_LOG copy failed");
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `GET /v1/traces?route=` filters on the exact access-record route key,
+/// composing with `?n=K`; an unmatched route yields an empty (not
+/// erroneous) trace list.
+#[test]
+fn traces_route_filter_returns_only_matching_records() {
+    let _guard = SERVE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let dir = tmp_dir("route-filter");
+    let server = ServeServer::start("127.0.0.1:0", ServeConfig::new(dir.join("models"))).unwrap();
+    let addr = server.local_addr();
+    publish_model(&server, "traced");
+
+    for _ in 0..3 {
+        let (head, _) = http_raw(addr, "POST", "/v1/eval", Some(EVAL_BODY), &[]);
+        assert!(head.contains("200 OK"), "{head}");
+    }
+    let (head, _) = http_raw(addr, "GET", "/healthz", None, &[]);
+    assert!(head.contains("200 OK"), "{head}");
+
+    let traces = |query: &str| -> Vec<Json> {
+        let (head, body) = http_raw(addr, "GET", &format!("/v1/traces{query}"), None, &[]);
+        assert!(head.contains("200 OK"), "{head}");
+        match Json::parse(&body).unwrap().get("traces") {
+            Some(Json::Arr(v)) => v.clone(),
+            other => panic!("traces is not an array: {other:?}"),
+        }
+    };
+
+    let evals = traces("?route=/v1/eval");
+    assert_eq!(evals.len(), 3, "expected exactly the 3 eval records");
+    assert!(evals
+        .iter()
+        .all(|r| r.get("route").unwrap().as_str() == Some("/v1/eval")));
+
+    // n=K composes: the last K *matching* records come back.
+    assert_eq!(traces("?route=/v1/eval&n=2").len(), 2);
+    assert_eq!(traces("?n=2&route=/v1/eval").len(), 2);
+
+    let health = traces("?route=/healthz");
+    assert_eq!(health.len(), 1);
+    assert_eq!(
+        health[0].get("route").unwrap().as_str(),
+        Some("/healthz")
+    );
+
+    // Exact match only — no prefix matching, and unknown routes are empty.
+    assert!(traces("?route=/v1").is_empty());
+    assert!(traces("?route=/v1/evict").is_empty());
+
+    server.stop();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The access ring under concurrent writers at widths 1 and 4: after a
+/// wraparound-forcing burst, the ring holds exactly its capacity of
+/// records, and the JSONL log has every exchanged record exactly once —
+/// no loss, no duplication, no torn lines.
+#[test]
+fn access_ring_is_exactly_once_under_concurrent_writers() {
+    use qpinn::telemetry::{access, AccessRecord};
+    let _guard = SERVE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let dir = tmp_dir("ring-writers");
+    std::fs::create_dir_all(&dir).unwrap();
+
+    for writers in [1usize, 4] {
+        let cap = 8; // far below the record count, forcing wraparound
+        let per_writer = 200usize;
+        access::configure(cap);
+        let log_path = dir.join(format!("ring-{writers}.jsonl"));
+        access::log_to(&log_path).unwrap();
+
+        std::thread::scope(|scope| {
+            for w in 0..writers {
+                scope.spawn(move || {
+                    for i in 0..per_writer {
+                        access::record(AccessRecord {
+                            trace: format!("{w:08x}{i:08x}"),
+                            status: 200,
+                            route: "/v1/eval".into(),
+                            total_ns: 1,
+                            ..AccessRecord::default()
+                        });
+                    }
+                });
+            }
+        });
+        access::flush();
+
+        // Ring: wraparound leaves exactly `cap` records, all distinct.
+        let ring = access::last(10_000);
+        assert_eq!(ring.len(), cap, "ring not at capacity (writers={writers})");
+        let mut ring_ids: Vec<&str> = ring.iter().map(|r| r.trace.as_str()).collect();
+        ring_ids.sort_unstable();
+        ring_ids.dedup();
+        assert_eq!(ring_ids.len(), cap, "duplicate records in ring (writers={writers})");
+
+        // Log: every record exactly once, each line intact JSON.
+        let text = std::fs::read_to_string(&log_path).unwrap();
+        let mut logged: Vec<String> = text
+            .lines()
+            .map(|l| {
+                Json::parse(l)
+                    .unwrap_or_else(|e| panic!("torn log line (writers={writers}): {e}: {l}"))
+                    .get("trace")
+                    .unwrap()
+                    .as_str()
+                    .unwrap()
+                    .to_string()
+            })
+            .collect();
+        assert_eq!(
+            logged.len(),
+            writers * per_writer,
+            "log line count (writers={writers})"
+        );
+        logged.sort_unstable();
+        logged.dedup();
+        assert_eq!(
+            logged.len(),
+            writers * per_writer,
+            "duplicated log records (writers={writers})"
+        );
+    }
+
+    access::disable();
     let _ = std::fs::remove_dir_all(&dir);
 }
 

@@ -47,6 +47,7 @@ fn tiny_nls(epochs: usize) -> (NlsTask, ParamSet, TrainConfig) {
         checkpoint: None,
         divergence: None,
         progress: None,
+        run: None,
     };
     (task, params, train)
 }

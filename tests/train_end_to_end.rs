@@ -20,6 +20,7 @@ fn quick_train(epochs: usize) -> TrainConfig {
         checkpoint: None,
         divergence: None,
         progress: None,
+        run: None,
     }
 }
 
