@@ -353,6 +353,34 @@ pub fn standard_train(epochs: usize) -> qpinn_core::TrainConfig {
     }
 }
 
+/// The value following `--NAME` in an argument list, if any. The shared
+/// primitive behind the registry-facing flags (`--problem`, `--ansatz`)
+/// so binaries and tests parse them identically.
+pub fn flag_value(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+/// Resolve a `--problem KEY` value against the problem registry. The
+/// error message lists every registered key (it is shown verbatim to the
+/// user before exiting with status 2).
+pub fn resolve_problem(key: &str) -> Result<Box<dyn qpinn_problems::PdeProblem>, String> {
+    qpinn_problems::lookup(key).map_err(|e| format!("--problem: {e}"))
+}
+
+/// Resolve an `--ansatz NAME` value against the named ansatz table. As
+/// with [`resolve_problem`], the error lists the valid names.
+pub fn resolve_ansatz(name: &str) -> Result<qpinn_qcircuit::Ansatz, String> {
+    qpinn_qcircuit::Ansatz::from_name(name).ok_or_else(|| {
+        format!(
+            "--ansatz: unknown ansatz '{name}'; registered: {}",
+            qpinn_qcircuit::Ansatz::names().join(", ")
+        )
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -404,5 +432,47 @@ mod tests {
         assert_eq!(opts.pick_epochs(100, 1000), 1000);
         opts.epochs = Some(7);
         assert_eq!(opts.pick_epochs(100, 1000), 7);
+    }
+
+    #[test]
+    fn flag_value_parses_pairs_and_ignores_missing() {
+        let args: Vec<String> = ["sweep", "--problem", "helmholtz", "--ansatz", "layered"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(flag_value(&args, "--problem").as_deref(), Some("helmholtz"));
+        assert_eq!(flag_value(&args, "--ansatz").as_deref(), Some("layered"));
+        assert_eq!(flag_value(&args, "--epochs"), None);
+        // trailing flag with no value
+        let args = vec!["sweep".to_string(), "--problem".to_string()];
+        assert_eq!(flag_value(&args, "--problem"), None);
+    }
+
+    #[test]
+    fn every_registry_key_round_trips_through_the_problem_flag() {
+        for key in qpinn_problems::keys() {
+            let p = resolve_problem(key).unwrap_or_else(|e| panic!("{e}"));
+            assert_eq!(p.key(), key);
+        }
+    }
+
+    #[test]
+    fn every_ansatz_name_round_trips_through_the_ansatz_flag() {
+        for name in qpinn_qcircuit::Ansatz::names() {
+            let a = resolve_ansatz(name).unwrap_or_else(|e| panic!("{e}"));
+            assert_eq!(a.name(), name);
+        }
+    }
+
+    #[test]
+    fn unknown_flag_values_error_and_list_the_registry() {
+        let err = match resolve_problem("not-a-problem") {
+            Ok(p) => panic!("resolved unknown key to {}", p.key()),
+            Err(e) => e,
+        };
+        assert!(err.contains("helmholtz"), "should list keys: {err}");
+        assert!(err.contains("gray-scott"), "should list keys: {err}");
+        let err = resolve_ansatz("not-an-ansatz").unwrap_err();
+        assert!(err.contains("layered"), "should list names: {err}");
     }
 }

@@ -24,6 +24,7 @@
 
 #![deny(missing_docs)]
 
+pub mod catalog;
 pub mod causal;
 pub mod experiment;
 pub mod hybrid;
@@ -37,7 +38,9 @@ pub mod runs;
 pub mod task;
 pub mod trainer;
 
+pub use catalog::{problems_doc, PROBLEMS_DOC_VERSION};
 pub use model::{CoordSpec, FieldNet, FieldNetConfig};
+pub use task::{ZooTask, ZooTaskConfig};
 pub use runs::{RunConfig, RunOutcome};
 pub use trainer::{
     CheckpointConfig, DivergenceGuard, PinnTask, Progress, ProgressHook, TrainConfig, TrainLog,

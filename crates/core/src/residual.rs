@@ -23,6 +23,14 @@ pub fn split_complex(g: &mut Graph, out: &Jet) -> SplitPsi {
     }
 }
 
+/// Split an `n_fields`-column output jet into one jet per field, in
+/// column order. The generic registry task uses this to hand each
+/// [`qpinn_problems::PdeProblem`] residual builder a per-component view
+/// regardless of the problem's output arity.
+pub fn split_fields(g: &mut Graph, out: &Jet, n_fields: usize) -> Vec<Jet> {
+    (0..n_fields).map(|i| out.col(g, i)).collect()
+}
+
 /// TDSE residuals for `i ψ_t = −½ψ_xx + Vψ`, as the real pair
 ///
 /// `r_u = u_t + ½ v_xx − V v`,

@@ -7,12 +7,14 @@ pub mod inverse;
 pub mod nls;
 pub mod tdse;
 pub mod tdse2d;
+pub mod zoo;
 
 pub use eigen::{EigenTask, EigenTaskConfig};
 pub use inverse::{InverseTaskConfig, InverseTdseTask};
 pub use nls::{NlsTask, NlsTaskConfig};
 pub use tdse::{TdseTask, TdseTaskConfig};
 pub use tdse2d::{Tdse2dTask, Tdse2dTaskConfig};
+pub use zoo::{net_config_for, ZooTask, ZooTaskConfig};
 
 /// Loss-term weights shared by the wave tasks (the `λ` multipliers of the
 /// total loss `L = L_pde + λ_ic·L_ic + λ_cons·L_cons`).

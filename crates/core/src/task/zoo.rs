@@ -1,0 +1,339 @@
+//! The generic registry-driven training task: one [`PinnTask`]
+//! implementation that trains *any* [`PdeProblem`] from the problem
+//! registry — vector-valued outputs, derivative-valued conditions, and
+//! arbitrary coordinate counts included. This is what makes a new PDE
+//! family trainable by registering data instead of writing a task.
+
+use crate::loss;
+use crate::model::{CoordSpec, FieldNet, FieldNetConfig, RffSpec};
+use crate::residual::split_fields;
+use crate::trainer::PinnTask;
+use qpinn_autodiff::Var;
+use qpinn_nn::{Activation, GraphCtx, ParamSet};
+use qpinn_problems::zoo::{lookup, CoordKind, Fidelity, PdeProblem, RefSolution, UnknownProblem};
+use qpinn_sampling::{latin_hypercube, Domain};
+use qpinn_tensor::Tensor;
+use rand::rngs::StdRng;
+
+/// Configuration of a [`ZooTask`].
+#[derive(Clone, Debug)]
+pub struct ZooTaskConfig {
+    /// Hidden width of the MLP trunk.
+    pub width: usize,
+    /// Hidden depth.
+    pub depth: usize,
+    /// Random-Fourier-feature layer on/off.
+    pub rff: bool,
+    /// Number of interior collocation points (Latin hypercube).
+    pub n_collocation: usize,
+    /// Points per IC/BC condition set.
+    pub n_condition: usize,
+    /// Weight of each condition term relative to the PDE residual.
+    pub cond_weight: f64,
+    /// Reference resolution.
+    pub fidelity: Fidelity,
+    /// Budget of reference-evaluation points for the L2 metric
+    /// (distributed as a tensor grid over the coordinates).
+    pub eval_budget: usize,
+}
+
+impl ZooTaskConfig {
+    /// Bench-grade defaults.
+    pub fn standard() -> Self {
+        ZooTaskConfig {
+            width: 48,
+            depth: 3,
+            rff: true,
+            n_collocation: 2048,
+            n_condition: 256,
+            cond_weight: 10.0,
+            fidelity: Fidelity::Full,
+            eval_budget: 4096,
+        }
+    }
+
+    /// Small and fast for smoke tests and CI.
+    pub fn quick() -> Self {
+        ZooTaskConfig {
+            width: 16,
+            depth: 2,
+            rff: false,
+            n_collocation: 128,
+            n_condition: 48,
+            cond_weight: 10.0,
+            fidelity: Fidelity::Quick,
+            eval_budget: 512,
+        }
+    }
+}
+
+/// Map a problem's coordinate metadata to a [`FieldNetConfig`].
+pub fn net_config_for(problem: &dyn PdeProblem, cfg: &ZooTaskConfig) -> FieldNetConfig {
+    let coords = problem
+        .coords()
+        .iter()
+        .map(|c| match c.kind {
+            CoordKind::Periodic => CoordSpec::Periodic { length: c.span() },
+            CoordKind::Bounded => CoordSpec::Raw,
+            CoordKind::Time => CoordSpec::LearnedPeriod {
+                period0: 4.0 * c.span(),
+            },
+        })
+        .collect();
+    FieldNetConfig {
+        coords,
+        rff: cfg.rff.then_some(RffSpec {
+            n_features: 32,
+            sigma: 1.0,
+        }),
+        hidden: vec![cfg.width; cfg.depth],
+        n_fields: problem.n_outputs(),
+        activation: Activation::Tanh,
+    }
+}
+
+struct PreparedCondition {
+    name: &'static str,
+    deriv: Option<usize>,
+    cols: Vec<Tensor>,
+    target: Tensor,
+}
+
+/// A registry problem assembled into a trainable task.
+pub struct ZooTask {
+    problem: Box<dyn PdeProblem>,
+    net: FieldNet,
+    points: Vec<Vec<f64>>,
+    point_cols: Vec<Tensor>,
+    conditions: Vec<PreparedCondition>,
+    cond_weight: f64,
+    reference: Box<dyn RefSolution>,
+    eval_points: Vec<Vec<f64>>,
+    eval_ref: Vec<f64>,
+}
+
+impl ZooTask {
+    /// Assemble a task straight from a registry key.
+    pub fn from_key(
+        key: &str,
+        cfg: &ZooTaskConfig,
+        params: &mut ParamSet,
+        rng: &mut StdRng,
+    ) -> Result<Self, UnknownProblem> {
+        Ok(ZooTask::new(lookup(key)?, cfg, params, rng))
+    }
+
+    /// Assemble a task from a boxed problem definition. Network parameters
+    /// are registered into `params` under the problem key, so a serve-side
+    /// spec rebuild with `name = key` replays the construction bit-exactly.
+    pub fn new(
+        problem: Box<dyn PdeProblem>,
+        cfg: &ZooTaskConfig,
+        params: &mut ParamSet,
+        rng: &mut StdRng,
+    ) -> Self {
+        let net_cfg = net_config_for(problem.as_ref(), cfg);
+        let net = FieldNet::new(params, rng, &net_cfg, problem.key());
+
+        let coords = problem.coords();
+        let ranges: Vec<(f64, f64)> = coords.iter().map(|c| (c.lo, c.hi)).collect();
+        let domain = Domain::new(&ranges);
+        let points = latin_hypercube(&domain, cfg.n_collocation, rng);
+        let point_cols = columns_of(&points, coords.len());
+
+        let conditions = problem
+            .conditions(cfg.n_condition)
+            .into_iter()
+            .map(|c| {
+                let n_out = problem.n_outputs();
+                let flat: Vec<f64> = c.targets.iter().flatten().copied().collect();
+                PreparedCondition {
+                    name: c.name,
+                    deriv: c.deriv,
+                    cols: columns_of(&c.points, coords.len()),
+                    target: Tensor::from_vec([c.points.len(), n_out], flat),
+                }
+            })
+            .collect();
+
+        let reference = problem.reference(cfg.fidelity);
+        // Tensor evaluation grid: spread the budget evenly over the axes.
+        let per_axis = (cfg.eval_budget as f64)
+            .powf(1.0 / coords.len() as f64)
+            .round()
+            .max(5.0) as usize;
+        let mut eval_points = vec![Vec::new()];
+        for c in &coords {
+            let n = per_axis;
+            let denom = match c.kind {
+                CoordKind::Periodic => n as f64,
+                _ => (n - 1) as f64,
+            };
+            let axis: Vec<f64> = (0..n).map(|i| c.lo + c.span() * i as f64 / denom).collect();
+            eval_points = eval_points
+                .into_iter()
+                .flat_map(|p| {
+                    axis.iter().map(move |&v| {
+                        let mut q = p.clone();
+                        q.push(v);
+                        q
+                    })
+                })
+                .collect();
+        }
+        let eval_ref: Vec<f64> = eval_points
+            .iter()
+            .flat_map(|p| reference.sample(p))
+            .collect();
+
+        ZooTask {
+            problem,
+            net,
+            points,
+            point_cols,
+            conditions,
+            cond_weight: cfg.cond_weight,
+            reference,
+            eval_points,
+            eval_ref,
+        }
+    }
+
+    /// The problem definition.
+    pub fn problem(&self) -> &dyn PdeProblem {
+        self.problem.as_ref()
+    }
+
+    /// The surrogate network.
+    pub fn net(&self) -> &FieldNet {
+        &self.net
+    }
+
+    /// The reference solution the error metric is scored against.
+    pub fn reference(&self) -> &dyn RefSolution {
+        self.reference.as_ref()
+    }
+}
+
+fn columns_of(points: &[Vec<f64>], n_coords: usize) -> Vec<Tensor> {
+    (0..n_coords)
+        .map(|c| Tensor::column(&points.iter().map(|p| p[c]).collect::<Vec<_>>()))
+        .collect()
+}
+
+impl PinnTask for ZooTask {
+    fn build_loss(&mut self, ctx: &mut GraphCtx<'_>) -> Var {
+        let cols: Vec<Var> = {
+            let _span = qpinn_telemetry::span("sample");
+            qpinn_telemetry::counter("train.collocation_points").add(self.points.len() as u64);
+            self.point_cols
+                .iter()
+                .map(|t| ctx.g.constant(t.clone()))
+                .collect()
+        };
+        let fields = {
+            let _span = qpinn_telemetry::span("forward");
+            let out = self.net.forward_jet(ctx, &cols);
+            split_fields(ctx.g, &out, self.net.n_fields())
+        };
+        let residual_span = qpinn_telemetry::span("residual");
+        let residuals = self
+            .problem
+            .residuals(ctx.g, &fields, &self.points);
+        let mut lpde = loss::residual_mse(ctx.g, residuals[0], None);
+        for &r in &residuals[1..] {
+            let l = loss::residual_mse(ctx.g, r, None);
+            lpde = ctx.g.add(lpde, l);
+        }
+        drop(residual_span);
+
+        let mut terms = vec![(1.0, lpde)];
+        let mut components = vec![("pde", lpde)];
+        for cond in &self.conditions {
+            let ccols: Vec<Var> = cond
+                .cols
+                .iter()
+                .map(|t| ctx.g.constant(t.clone()))
+                .collect();
+            let l = match cond.deriv {
+                None => loss::ic_loss(ctx, &self.net, &ccols, &cond.target),
+                Some(c) => {
+                    // Derivative-valued condition (e.g. initial velocity):
+                    // constrain ∂(fields)/∂coord_c at the condition points.
+                    let jet = self.net.forward_jet(ctx, &ccols);
+                    let tgt = ctx.g.constant(cond.target.clone());
+                    let diff = ctx.g.sub(jet.d[c], tgt);
+                    ctx.g.mse(diff)
+                }
+            };
+            terms.push((self.cond_weight, l));
+            components.push((cond.name, l));
+        }
+        loss::publish_components(ctx.g, &components);
+        loss::total_loss(ctx.g, &terms)
+    }
+
+    fn eval_error(&self, params: &ParamSet) -> f64 {
+        let pred = self.net.predict(params, &self.eval_points);
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for (p, r) in pred.data().iter().zip(&self.eval_ref) {
+            num += (p - r) * (p - r);
+            den += r * r;
+        }
+        if den == 0.0 {
+            num.sqrt()
+        } else {
+            (num / den).sqrt()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gray_scott_task_is_vector_valued_and_finite() {
+        let mut params = ParamSet::new();
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut task =
+            ZooTask::from_key("gray-scott", &ZooTaskConfig::quick(), &mut params, &mut rng)
+                .unwrap();
+        assert_eq!(task.net().n_fields(), 2);
+        let mut g = qpinn_autodiff::Graph::new();
+        let mut ctx = GraphCtx::new(&mut g, &params);
+        let l = task.build_loss(&mut ctx);
+        assert!(g.value(l).item().is_finite());
+    }
+
+    #[test]
+    fn wave_task_includes_velocity_condition_gradients() {
+        let mut params = ParamSet::new();
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut task = ZooTask::from_key("wave", &ZooTaskConfig::quick(), &mut params, &mut rng)
+            .unwrap();
+        let mut g = qpinn_autodiff::Graph::new();
+        let mut ctx = GraphCtx::new(&mut g, &params);
+        let l = task.build_loss(&mut ctx);
+        let mut grads = ctx.g.backward(l);
+        let collected = ctx.collect_grads(&mut grads);
+        let nonzero = collected.iter().filter(|t| t.max_abs() > 0.0).count();
+        assert!(
+            nonzero >= collected.len() - 1,
+            "{nonzero}/{} params got gradients",
+            collected.len()
+        );
+    }
+
+    #[test]
+    fn from_key_propagates_unknown_problem() {
+        let mut params = ParamSet::new();
+        let mut rng = StdRng::seed_from_u64(9);
+        assert!(
+            ZooTask::from_key("not-a-pde", &ZooTaskConfig::quick(), &mut params, &mut rng)
+                .is_err()
+        );
+    }
+}

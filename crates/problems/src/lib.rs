@@ -6,7 +6,13 @@
 //! form solutions where they exist, and reference-solution generation via
 //! `qpinn-solvers`.
 //!
-//! All problems use natural units `ħ = m = 1`.
+//! Since the registry refactor, families are *data*: the [`zoo`] module
+//! defines the [`PdeProblem`] trait (tape residual, domain, condition
+//! sets, reference-solver factory) and a string-keyed registry —
+//! [`lookup`]`("helmholtz")` returns a boxed definition ready for the
+//! generic trainer task, and [`keys`] enumerates everything registered.
+//!
+//! All quantum problems use natural units `ħ = m = 1`.
 
 #![deny(missing_docs)]
 
@@ -16,6 +22,7 @@ pub mod potential;
 pub mod tdse;
 pub mod tdse2d;
 pub mod wavepacket;
+pub mod zoo;
 
 pub use eigen::EigenProblem;
 pub use nls::NlsProblem;
@@ -23,3 +30,7 @@ pub use potential::Potential;
 pub use tdse::{Boundary, TdseProblem};
 pub use tdse2d::{Potential2d, Tdse2dProblem};
 pub use wavepacket::GaussianPacket;
+pub use zoo::{
+    keys, lookup, Condition, CoordDef, CoordKind, Fidelity, PdeProblem, RefSolution,
+    UnknownProblem,
+};

@@ -1,0 +1,126 @@
+//! The 2D Helmholtz boundary-value problem
+//! `u_xx + u_yy + k²u = f(x, y)` on the unit square with homogeneous
+//! Dirichlet boundaries and the QCPINN manufactured solution
+//! `u* = sin(a₁πx) sin(a₂πy)`. The first registered problem with no time
+//! axis; the independent numeric check is the 5-point FD dense-LU solver
+//! in `qpinn-solvers::elliptic`.
+
+use super::{
+    point_column, uniform, AnalyticRef, Condition, CoordDef, CoordKind, Fidelity, PdeProblem,
+    RefSolution,
+};
+use qpinn_autodiff::jet::Jet;
+use qpinn_autodiff::{Graph, Var};
+use qpinn_solvers::helmholtz_fd_solve;
+use std::f64::consts::PI;
+
+const K: f64 = 1.0; // Helmholtz wavenumber
+const A1: f64 = 1.0; // x mode number
+const A2: f64 = 4.0; // y mode number (QCPINN uses (1, 4))
+
+struct Helmholtz;
+
+/// `helmholtz` registry entry.
+pub(super) fn problem() -> Box<dyn PdeProblem> {
+    Box::new(Helmholtz)
+}
+
+fn exact(x: f64, y: f64) -> f64 {
+    (A1 * PI * x).sin() * (A2 * PI * y).sin()
+}
+
+fn forcing(x: f64, y: f64) -> f64 {
+    (K * K - PI * PI * (A1 * A1 + A2 * A2)) * exact(x, y)
+}
+
+impl PdeProblem for Helmholtz {
+    fn key(&self) -> &'static str {
+        "helmholtz"
+    }
+    fn describe(&self) -> &'static str {
+        "2D Helmholtz BVP, manufactured sine solution (QCPINN modes 1×4)"
+    }
+    fn coords(&self) -> Vec<CoordDef> {
+        vec![
+            CoordDef {
+                name: "x",
+                lo: 0.0,
+                hi: 1.0,
+                kind: CoordKind::Bounded,
+            },
+            CoordDef {
+                name: "y",
+                lo: 0.0,
+                hi: 1.0,
+                kind: CoordKind::Bounded,
+            },
+        ]
+    }
+    fn n_outputs(&self) -> usize {
+        1
+    }
+    fn residuals(&self, g: &mut Graph, fields: &[Jet], points: &[Vec<f64>]) -> Vec<Var> {
+        let u = &fields[0];
+        let f_col = point_column(g, points, |p| forcing(p[0], p[1]));
+        // u_xx + u_yy + k²u − f
+        let mut r = g.add(u.dd[0], u.dd[1]);
+        let ku = g.scale(u.v, K * K);
+        r = g.add(r, ku);
+        vec![g.sub(r, f_col)]
+    }
+    fn conditions(&self, n: usize) -> Vec<Condition> {
+        // u = 0 on all four edges, n/4 points per edge.
+        let m = (n / 4).max(2);
+        let s = uniform(0.0, 1.0, m, false);
+        let mut points = Vec::with_capacity(4 * m);
+        for &v in &s {
+            points.push(vec![v, 0.0]);
+            points.push(vec![v, 1.0]);
+            points.push(vec![0.0, v]);
+            points.push(vec![1.0, v]);
+        }
+        let targets = points.iter().map(|_| vec![0.0]).collect();
+        vec![Condition {
+            name: "bc",
+            deriv: None,
+            points,
+            targets,
+        }]
+    }
+    fn analytic(&self, point: &[f64]) -> Option<Vec<f64>> {
+        Some(vec![exact(point[0], point[1])])
+    }
+    fn reference(&self, fidelity: Fidelity) -> Box<dyn RefSolution> {
+        // The manufactured solution *is* the reference; the FD solve below
+        // is the independent numeric leg.
+        let n = match fidelity {
+            Fidelity::Quick => 49,
+            Fidelity::Full => 97,
+        };
+        Box::new(AnalyticRef {
+            f: |p: &[f64]| vec![exact(p[0], p[1])],
+            grids: vec![uniform(0.0, 1.0, n, false), uniform(0.0, 1.0, n, false)],
+        })
+    }
+    fn independent_check(&self) -> Option<Box<dyn RefSolution>> {
+        let sol = helmholtz_fd_solve((0.0, 1.0), (0.0, 1.0), 40, 40, K, &|x, y| forcing(x, y));
+        struct FdRef(qpinn_solvers::HelmholtzFd);
+        impl RefSolution for FdRef {
+            fn sample(&self, point: &[f64]) -> Vec<f64> {
+                vec![self.0.sample(point[0], point[1])]
+            }
+            fn grids(&self) -> Vec<Vec<f64>> {
+                vec![self.0.xs.clone(), self.0.ys.clone()]
+            }
+        }
+        Some(Box::new(FdRef(sol)))
+    }
+    fn check_method(&self) -> &'static str {
+        "manufactured solution vs 5-point FD dense-LU solve"
+    }
+    fn residual_tol(&self) -> f64 {
+        // The forcing has amplitude |k² − 17π²| ≈ 167; FD truncation on
+        // the harness lattice scales with it.
+        2.0
+    }
+}

@@ -1,0 +1,113 @@
+//! The linear Klein-Gordon equation `u_tt = u_xx − m²u` on a periodic
+//! interval. A single Fourier mode oscillates at the relativistic
+//! dispersion `ω = √(k² + m²)` — a closed form that pins both the mass
+//! term's sign and its coupling to the spatial operator.
+
+use super::{uniform, Condition, CoordDef, CoordKind, Fidelity, MolRef, PdeProblem, RefSolution};
+use qpinn_autodiff::jet::Jet;
+use qpinn_autodiff::{Graph, Var};
+use qpinn_solvers::{laplacian_periodic, mol_rk4, Grid1d};
+use std::f64::consts::PI;
+
+const M: f64 = 1.0; // mass
+const K: f64 = 1.0; // wavenumber
+const T_END: f64 = 2.0;
+
+struct KleinGordon;
+
+/// `klein-gordon` registry entry.
+pub(super) fn problem() -> Box<dyn PdeProblem> {
+    Box::new(KleinGordon)
+}
+
+fn omega() -> f64 {
+    (K * K + M * M).sqrt()
+}
+
+fn exact(x: f64, t: f64) -> f64 {
+    (K * x).sin() * (omega() * t).cos()
+}
+
+impl PdeProblem for KleinGordon {
+    fn key(&self) -> &'static str {
+        "klein-gordon"
+    }
+    fn describe(&self) -> &'static str {
+        "linear Klein-Gordon, single mode at relativistic dispersion"
+    }
+    fn coords(&self) -> Vec<CoordDef> {
+        vec![
+            CoordDef {
+                name: "x",
+                lo: 0.0,
+                hi: 2.0 * PI,
+                kind: CoordKind::Periodic,
+            },
+            CoordDef {
+                name: "t",
+                lo: 0.0,
+                hi: T_END,
+                kind: CoordKind::Time,
+            },
+        ]
+    }
+    fn n_outputs(&self) -> usize {
+        1
+    }
+    fn residuals(&self, g: &mut Graph, fields: &[Jet], _points: &[Vec<f64>]) -> Vec<Var> {
+        let u = &fields[0];
+        // u_tt − u_xx + m²u
+        let mut r = g.sub(u.dd[1], u.dd[0]);
+        let mu = g.scale(u.v, M * M);
+        r = g.add(r, mu);
+        vec![r]
+    }
+    fn conditions(&self, n: usize) -> Vec<Condition> {
+        let xs = uniform(0.0, 2.0 * PI, n, true);
+        let points: Vec<Vec<f64>> = xs.iter().map(|&x| vec![x, 0.0]).collect();
+        vec![
+            Condition {
+                name: "ic",
+                deriv: None,
+                points: points.clone(),
+                targets: xs.iter().map(|&x| vec![exact(x, 0.0)]).collect(),
+            },
+            Condition {
+                name: "ic-velocity",
+                deriv: Some(1),
+                points,
+                targets: xs.iter().map(|_| vec![0.0]).collect(),
+            },
+        ]
+    }
+    fn analytic(&self, point: &[f64]) -> Option<Vec<f64>> {
+        Some(vec![exact(point[0], point[1])])
+    }
+    fn reference(&self, fidelity: Fidelity) -> Box<dyn RefSolution> {
+        let (nx, nt, sl) = match fidelity {
+            Fidelity::Quick => (256, 800, 40),
+            Fidelity::Full => (512, 4000, 80),
+        };
+        let grid = Grid1d::periodic(0.0, 2.0 * PI, nx);
+        let n = grid.n;
+        let mut y0 = vec![0.0; 2 * n];
+        for (i, &x) in grid.points().iter().enumerate() {
+            y0[i] = exact(x, 0.0);
+        }
+        let dx = grid.dx();
+        let rhs = move |_t: f64, y: &[f64], dy: &mut [f64]| {
+            let (u, w) = y.split_at(n);
+            let (du, dw) = dy.split_at_mut(n);
+            du.copy_from_slice(w);
+            laplacian_periodic(u, dx, dw);
+            for (d, &ui) in dw.iter_mut().zip(u) {
+                *d -= M * M * ui;
+            }
+        };
+        let field = mol_rk4(&grid, 2, &rhs, &y0, T_END, nt, nt / sl);
+        Box::new(MolRef { field, n_out: 1 })
+    }
+    fn check_method(&self) -> &'static str {
+        "dispersion closed form vs MOL RK4 (first-order system)"
+    }
+}

@@ -1,0 +1,110 @@
+//! The 1D wave equation `u_tt = c² u_xx` on a periodic interval — the
+//! first registered family with a *second-order* time derivative in the
+//! residual (exercised directly through the jet `dd` slot) and a
+//! derivative-valued initial condition (`u_t(x, 0) = 0`).
+
+use super::{uniform, Condition, CoordDef, CoordKind, Fidelity, MolRef, PdeProblem, RefSolution};
+use qpinn_autodiff::jet::Jet;
+use qpinn_autodiff::{Graph, Var};
+use qpinn_solvers::{laplacian_periodic, mol_rk4, Grid1d};
+use std::f64::consts::PI;
+
+const C: f64 = 1.0; // wave speed
+const K: f64 = 1.0; // standing-wave wavenumber
+const T_END: f64 = 2.0;
+
+struct Wave;
+
+/// `wave` registry entry.
+pub(super) fn problem() -> Box<dyn PdeProblem> {
+    Box::new(Wave)
+}
+
+fn exact(x: f64, t: f64) -> f64 {
+    (K * x).sin() * (C * K * t).cos()
+}
+
+impl PdeProblem for Wave {
+    fn key(&self) -> &'static str {
+        "wave"
+    }
+    fn describe(&self) -> &'static str {
+        "1D wave equation, periodic standing wave"
+    }
+    fn coords(&self) -> Vec<CoordDef> {
+        vec![
+            CoordDef {
+                name: "x",
+                lo: 0.0,
+                hi: 2.0 * PI,
+                kind: CoordKind::Periodic,
+            },
+            CoordDef {
+                name: "t",
+                lo: 0.0,
+                hi: T_END,
+                kind: CoordKind::Time,
+            },
+        ]
+    }
+    fn n_outputs(&self) -> usize {
+        1
+    }
+    fn residuals(&self, g: &mut Graph, fields: &[Jet], _points: &[Vec<f64>]) -> Vec<Var> {
+        let u = &fields[0];
+        // u_tt − c² u_xx
+        let c2uxx = g.scale(u.dd[0], C * C);
+        vec![g.sub(u.dd[1], c2uxx)]
+    }
+    fn conditions(&self, n: usize) -> Vec<Condition> {
+        let xs = uniform(0.0, 2.0 * PI, n, true);
+        let points: Vec<Vec<f64>> = xs.iter().map(|&x| vec![x, 0.0]).collect();
+        vec![
+            Condition {
+                name: "ic",
+                deriv: None,
+                points: points.clone(),
+                targets: xs.iter().map(|&x| vec![exact(x, 0.0)]).collect(),
+            },
+            // The wave equation needs both u(x,0) and u_t(x,0): the
+            // standing wave starts at rest.
+            Condition {
+                name: "ic-velocity",
+                deriv: Some(1),
+                points,
+                targets: xs.iter().map(|_| vec![0.0]).collect(),
+            },
+        ]
+    }
+    fn analytic(&self, point: &[f64]) -> Option<Vec<f64>> {
+        Some(vec![exact(point[0], point[1])])
+    }
+    fn reference(&self, fidelity: Fidelity) -> Box<dyn RefSolution> {
+        let (nx, nt, sl) = match fidelity {
+            Fidelity::Quick => (256, 800, 40),
+            Fidelity::Full => (512, 4000, 80),
+        };
+        let grid = Grid1d::periodic(0.0, 2.0 * PI, nx);
+        let n = grid.n;
+        // First-order system (u, w = u_t); the registry exposes u only.
+        let mut y0 = vec![0.0; 2 * n];
+        for (i, &x) in grid.points().iter().enumerate() {
+            y0[i] = exact(x, 0.0);
+        }
+        let dx = grid.dx();
+        let rhs = move |_t: f64, y: &[f64], dy: &mut [f64]| {
+            let (u, w) = y.split_at(n);
+            let (du, dw) = dy.split_at_mut(n);
+            du.copy_from_slice(w);
+            laplacian_periodic(u, dx, dw);
+            for d in dw.iter_mut() {
+                *d *= C * C;
+            }
+        };
+        let field = mol_rk4(&grid, 2, &rhs, &y0, T_END, nt, nt / sl);
+        Box::new(MolRef { field, n_out: 1 })
+    }
+    fn check_method(&self) -> &'static str {
+        "standing-wave closed form vs MOL RK4 (first-order system)"
+    }
+}

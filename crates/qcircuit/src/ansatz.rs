@@ -11,7 +11,24 @@
 //! * [`Ansatz::CrossMeshCrz`] — `RX` per qubit + parametrized `CRZ`
 //!   between every ordered qubit pair ("fully connected");
 //! * [`Ansatz::NoEntangling`] — `Rot` per qubit only (the classical-like
-//!   control).
+//!   control);
+//! * [`Ansatz::Cascade`] — `RY` per qubit + downward CNOT cascade (the
+//!   cheapest entangling template: one parameter per qubit per layer);
+//! * [`Ansatz::Layered`] — `RY`+`RZ` per qubit + open CNOT chain;
+//! * [`Ansatz::Farhi`] — `RX` per qubit followed by parametrized ZZ
+//!   blocks (`CNOT·RZ·CNOT`) on adjacent pairs, after Farhi–Neven-style
+//!   learning circuits;
+//! * [`Ansatz::SimCirc15`] — two `RY` sweeps separated by
+//!   counter-rotating CNOT rings (circuit 15 of the Sim et al.
+//!   expressibility study).
+//!
+//! Templates are addressable by their stable report name through
+//! [`Ansatz::from_name`] — the same key the bench `--ansatz` flag and the
+//! serve training API accept. All templates parametrize only plain
+//! single-qubit Pauli rotations (the `CRZ`s of [`Ansatz::CrossMeshCrz`]
+//! are the one exception), so the two-term parameter-shift rule is an
+//! exact gradient oracle for every family except `cross-mesh-crz`, which
+//! needs the four-term controlled-rotation rule in [`crate::shift`].
 
 use crate::gates;
 use crate::state::State;
@@ -28,17 +45,34 @@ pub enum Ansatz {
     CrossMeshCrz,
     /// Rot only, no two-qubit gates.
     NoEntangling,
+    /// RY + downward CNOT cascade.
+    Cascade,
+    /// RY + RZ + open CNOT chain.
+    Layered,
+    /// RX + parametrized adjacent-pair ZZ blocks.
+    Farhi,
+    /// RY, CNOT ring, RY, counter-rotated CNOT ring.
+    SimCirc15,
 }
 
 impl Ansatz {
     /// All templates, for ablation sweeps.
-    pub fn all() -> [Ansatz; 4] {
+    pub fn all() -> [Ansatz; 8] {
         [
             Ansatz::BasicEntangling,
             Ansatz::StronglyEntangling,
             Ansatz::CrossMeshCrz,
             Ansatz::NoEntangling,
+            Ansatz::Cascade,
+            Ansatz::Layered,
+            Ansatz::Farhi,
+            Ansatz::SimCirc15,
         ]
+    }
+
+    /// All report names, sorted exactly like [`Ansatz::all`].
+    pub fn names() -> Vec<&'static str> {
+        Ansatz::all().iter().map(|a| a.name()).collect()
     }
 
     /// Report name.
@@ -48,7 +82,20 @@ impl Ansatz {
             Ansatz::StronglyEntangling => "strongly-entangling",
             Ansatz::CrossMeshCrz => "cross-mesh-crz",
             Ansatz::NoEntangling => "no-entangling",
+            Ansatz::Cascade => "cascade",
+            Ansatz::Layered => "layered",
+            Ansatz::Farhi => "farhi",
+            Ansatz::SimCirc15 => "sim-circ-15",
         }
+    }
+
+    /// Resolve a report name (as printed by [`Ansatz::name`]) back to the
+    /// template. Underscores are accepted in place of dashes so shell-
+    /// quoted flags like `sim_circ_15` also resolve. Unknown names return
+    /// `None`, never panic.
+    pub fn from_name(name: &str) -> Option<Ansatz> {
+        let normalized = name.replace('_', "-");
+        Ansatz::all().into_iter().find(|a| a.name() == normalized)
     }
 
     /// Number of trainable parameters for `n_qubits` qubits and `layers`
@@ -60,6 +107,10 @@ impl Ansatz {
             }
             // RX per qubit + CRZ per ordered pair
             Ansatz::CrossMeshCrz => layers * (n_qubits + n_qubits * (n_qubits - 1)),
+            Ansatz::Cascade => n_qubits * layers,
+            Ansatz::Layered | Ansatz::SimCirc15 => 2 * n_qubits * layers,
+            // RX per qubit + one ZZ angle per adjacent pair
+            Ansatz::Farhi => layers * (n_qubits + n_qubits.saturating_sub(1)),
         }
     }
 
@@ -206,6 +257,69 @@ impl Ansatz {
                         }
                     }
                 }
+                Ansatz::Cascade => {
+                    for q in 0..nq {
+                        let mut g = gates::ry(params[q]);
+                        if let Some(pre) = pre {
+                            g = gates::mat_mul(&g, &pre[q]);
+                        }
+                        state.apply_1q(q, &g);
+                    }
+                    for q in 0..nq.saturating_sub(1) {
+                        state.apply_cnot(q, q + 1);
+                    }
+                }
+                Ansatz::Layered => {
+                    // The per-qubit RY then RZ collapse into one fused 2×2.
+                    for q in 0..nq {
+                        let mut g =
+                            gates::mat_mul(&gates::rz(params[nq + q]), &gates::ry(params[q]));
+                        if let Some(pre) = pre {
+                            g = gates::mat_mul(&g, &pre[q]);
+                        }
+                        state.apply_1q(q, &g);
+                    }
+                    for q in 0..nq.saturating_sub(1) {
+                        state.apply_cnot(q, q + 1);
+                    }
+                }
+                Ansatz::Farhi => {
+                    for q in 0..nq {
+                        let mut g = gates::rx(params[q]);
+                        if let Some(pre) = pre {
+                            g = gates::mat_mul(&g, &pre[q]);
+                        }
+                        state.apply_1q(q, &g);
+                    }
+                    // exp(−iθ ZZ/2) on (q, q+1) as CNOT · RZ(target) · CNOT
+                    for q in 0..nq.saturating_sub(1) {
+                        state.apply_cnot(q, q + 1);
+                        state.apply_1q(q + 1, &gates::rz(params[nq + q]));
+                        state.apply_cnot(q, q + 1);
+                    }
+                }
+                Ansatz::SimCirc15 => {
+                    for q in 0..nq {
+                        let mut g = gates::ry(params[q]);
+                        if let Some(pre) = pre {
+                            g = gates::mat_mul(&g, &pre[q]);
+                        }
+                        state.apply_1q(q, &g);
+                    }
+                    if nq > 1 {
+                        for q in 0..nq {
+                            state.apply_cnot(q, (q + 1) % nq);
+                        }
+                    }
+                    for q in 0..nq {
+                        state.apply_1q(q, &gates::ry(params[nq + q]));
+                    }
+                    if nq > 1 {
+                        for q in 0..nq {
+                            state.apply_cnot(q, (q + nq - 1) % nq);
+                        }
+                    }
+                }
             }
         }
     }
@@ -230,6 +344,73 @@ mod tests {
         assert_eq!(Ansatz::NoEntangling.n_params(7, 4), 84);
         // 7 RX + 42 CRZ per layer × 4 layers = 196
         assert_eq!(Ansatz::CrossMeshCrz.n_params(7, 4), 196);
+        assert_eq!(Ansatz::Cascade.n_params(7, 4), 28);
+        assert_eq!(Ansatz::Layered.n_params(7, 4), 56);
+        assert_eq!(Ansatz::SimCirc15.n_params(7, 4), 56);
+        // 7 RX + 6 ZZ per layer × 4 layers = 52
+        assert_eq!(Ansatz::Farhi.n_params(7, 4), 52);
+        // degenerate single-qubit circuits still have well-defined counts
+        assert_eq!(Ansatz::Farhi.n_params(1, 3), 3);
+        assert_eq!(Ansatz::Cascade.n_params(1, 3), 3);
+    }
+
+    #[test]
+    fn names_round_trip_through_from_name() {
+        for a in Ansatz::all() {
+            assert_eq!(Ansatz::from_name(a.name()), Some(a));
+        }
+        // underscore spelling resolves too
+        assert_eq!(Ansatz::from_name("sim_circ_15"), Some(Ansatz::SimCirc15));
+        assert_eq!(Ansatz::from_name("no-such-ansatz"), None);
+    }
+
+    #[test]
+    fn cascade_and_layered_entangle_neighbours() {
+        for a in [Ansatz::Cascade, Ansatz::Layered, Ansatz::Farhi, Ansatz::SimCirc15] {
+            // Farhi's entanglers are diagonal, so ⟨Z₂⟩ is exactly blind to
+            // qubit 0's angles at any depth; probe the q0→q1 coupling
+            // there and the full q0→q2 chain everywhere else.
+            let probe = if a == Ansatz::Farhi { 1 } else { 2 };
+            let mut p = random_params(a.n_params(3, 3), 11);
+            let mut s1: State<f64> = State::zero(3);
+            a.apply(&mut s1, 3, &p);
+            let z_before = s1.expectation_z(probe);
+            // perturbing qubit 0's leading angle must reach the probe qubit
+            // through the entangler
+            p[0] += 0.9;
+            let mut s2: State<f64> = State::zero(3);
+            a.apply(&mut s2, 3, &p);
+            assert!(
+                (s2.expectation_z(probe) - z_before).abs() > 1e-6,
+                "{} failed to couple qubit 0 to qubit {probe}",
+                a.name()
+            );
+        }
+    }
+
+    #[test]
+    fn farhi_zz_block_matches_exact_zz_evolution() {
+        // On 2 qubits with zero RX angles, one Farhi layer is exactly
+        // exp(−iθ Z⊗Z/2): ⟨Z⟩ stays 1 on |00⟩ and the acquired phase is
+        // diag(e^{−iθ/2}, e^{iθ/2}, e^{iθ/2}, e^{−iθ/2}).
+        let theta = 0.73f64;
+        let mut s: State<f64> = State::zero(2);
+        // superpose first so phases are visible: H⊗H via RY(π/2) up to sign
+        let h_like = gates::ry(std::f64::consts::FRAC_PI_2);
+        s.apply_1q(0, &h_like);
+        s.apply_1q(1, &h_like);
+        Ansatz::Farhi.apply(&mut s, 1, &[0.0, 0.0, theta]);
+        let amps = s.amplitudes().to_vec();
+        for (i, a) in amps.iter().enumerate() {
+            let parity = ((i.count_ones() % 2) as f64) * 2.0 - 1.0; // +1 odd, −1 even
+            let expect_phase = 0.5 * theta * parity;
+            let rotated = *a * qpinn_dual::Cplx::cis(-expect_phase);
+            assert!(
+                rotated.im.abs() < 1e-12,
+                "amp {i} phase mismatch: {:?}",
+                a
+            );
+        }
     }
 
     #[test]

@@ -370,6 +370,7 @@ mod tests {
         let spec = ModelSpec {
             name: "tdse".into(),
             seed: 7,
+            problem: String::new(),
             net: FieldNetConfig::standard_wave(12.0, 1.0, 8, 1),
         };
         let mut params = ParamSet::new();

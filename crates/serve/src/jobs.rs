@@ -14,7 +14,7 @@
 use crate::registry::{ModelRegistry, RegistryError};
 use crate::spec::ModelSpec;
 use qpinn_core::report::Json;
-use qpinn_core::task::{TdseTask, TdseTaskConfig};
+use qpinn_core::task::{net_config_for, TdseTask, TdseTaskConfig, ZooTask, ZooTaskConfig};
 use qpinn_core::trainer::{Progress, ProgressHook, TrainConfig, TrainLog, Trainer};
 use qpinn_nn::ParamSet;
 use qpinn_optim::LrSchedule;
@@ -32,7 +32,9 @@ use std::sync::{Arc, Mutex};
 pub struct TrainRequest {
     /// Registry id to publish under (required).
     pub model_id: String,
-    /// Problem preset: `free`, `harmonic`, `mild-harmonic`, `barrier`.
+    /// Problem: a legacy TDSE preset (`free`, `harmonic`, `mild-harmonic`,
+    /// `barrier`) or any key from the `qpinn-problems` registry
+    /// (`helmholtz`, `gray-scott`, …).
     pub problem: String,
     /// Hidden-layer width.
     pub width: usize,
@@ -95,34 +97,63 @@ impl TrainRequest {
         if req.epochs > 100_000 || req.width > 512 || req.n_collocation > 65_536 {
             return Err("train request exceeds serving limits".into());
         }
-        problem_by_name(&req.problem)?;
+        job_kind(&req.problem)?;
         Ok(req)
     }
 }
 
-fn problem_by_name(name: &str) -> Result<TdseProblem, String> {
+/// What a train job will actually run: a legacy TDSE preset or a problem
+/// from the `qpinn-problems` registry.
+pub enum JobKind {
+    /// One of the original TDSE presets, trained through [`TdseTask`].
+    Legacy(TdseProblem),
+    /// A registry family, trained through the generic [`ZooTask`].
+    Zoo(Box<dyn qpinn_problems::PdeProblem>),
+}
+
+/// Resolve a problem name: legacy presets first, then the registry.
+pub fn job_kind(name: &str) -> Result<JobKind, String> {
     match name {
-        "free" => Ok(TdseProblem::free_packet()),
-        "harmonic" => Ok(TdseProblem::harmonic_packet()),
-        "mild-harmonic" => Ok(TdseProblem::mild_harmonic()),
-        "barrier" => Ok(TdseProblem::barrier_scattering()),
-        other => Err(format!(
-            "unknown problem `{other}` (expected free|harmonic|mild-harmonic|barrier)"
-        )),
+        "free" => Ok(JobKind::Legacy(TdseProblem::free_packet())),
+        "harmonic" => Ok(JobKind::Legacy(TdseProblem::harmonic_packet())),
+        "mild-harmonic" => Ok(JobKind::Legacy(TdseProblem::mild_harmonic())),
+        "barrier" => Ok(JobKind::Legacy(TdseProblem::barrier_scattering())),
+        other => qpinn_problems::lookup(other)
+            .map(JobKind::Zoo)
+            .map_err(|e| format!("{e} (or a legacy preset free|harmonic|mild-harmonic|barrier)")),
     }
 }
 
-/// Build the task config a serve job trains with: the standard
+/// Build the task config a legacy serve job trains with: the standard
 /// architecture, scaled-down sampling/reference grids so submissions
 /// finish interactively. Public so tests can train the *identical*
 /// config in-process and compare bit-for-bit.
 pub fn job_task_config(req: &TrainRequest) -> Result<(TdseProblem, TdseTaskConfig), String> {
-    let problem = problem_by_name(&req.problem)?;
+    let problem = match job_kind(&req.problem)? {
+        JobKind::Legacy(p) => p,
+        JobKind::Zoo(p) => {
+            return Err(format!(
+                "`{}` is a registry problem; use job_zoo_config",
+                p.key()
+            ))
+        }
+    };
     let mut cfg = TdseTaskConfig::standard(&problem, req.width, req.depth);
     cfg.n_collocation = req.n_collocation;
     cfg.reference = (128, 200, 16);
     cfg.eval_grid = (32, 12);
     Ok((problem, cfg))
+}
+
+/// The [`ZooTaskConfig`] a registry-problem serve job trains with:
+/// quick-fidelity reference and the request's width/depth/collocation.
+/// Public for the in-process bit-exactness tests.
+pub fn job_zoo_config(req: &TrainRequest) -> ZooTaskConfig {
+    let mut cfg = ZooTaskConfig::quick();
+    cfg.width = req.width;
+    cfg.depth = req.depth;
+    cfg.n_collocation = req.n_collocation;
+    cfg
 }
 
 /// The train config a serve job uses (constant LR, progress every
@@ -349,20 +380,39 @@ fn run_job(
         hook_entry.lock().unwrap_or_else(|e| e.into_inner()).progress = *p;
     });
     let trained = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        let (problem, cfg) = job_task_config(&req)?;
-        let spec = ModelSpec {
-            name: "tdse".into(),
-            seed: req.seed,
-            net: cfg.net.clone(),
-        };
         let mut params = ParamSet::new();
         let mut rng = StdRng::seed_from_u64(req.seed);
-        let mut task = TdseTask::new(problem, &cfg, &mut params, &mut rng);
         let mut train_cfg = job_train_config(&req, Some(hook));
         train_cfg.run = run;
         let trainer = Trainer::new(train_cfg);
-        let log = trainer.train(&mut task, &mut params);
-        Ok::<_, String>((spec, params, log))
+        match job_kind(&req.problem)? {
+            JobKind::Legacy(problem) => {
+                let (_, cfg) = job_task_config(&req)?;
+                let spec = ModelSpec {
+                    name: "tdse".into(),
+                    seed: req.seed,
+                    net: cfg.net.clone(),
+                    problem: req.problem.clone(),
+                };
+                let mut task = TdseTask::new(problem, &cfg, &mut params, &mut rng);
+                let log = trainer.train(&mut task, &mut params);
+                Ok::<_, String>((spec, params, log))
+            }
+            JobKind::Zoo(problem) => {
+                let cfg = job_zoo_config(&req);
+                let spec = ModelSpec {
+                    // ZooTask registers parameters under the problem key,
+                    // so a spec rebuild with the same name replays it.
+                    name: problem.key().to_string(),
+                    seed: req.seed,
+                    net: net_config_for(problem.as_ref(), &cfg),
+                    problem: req.problem.clone(),
+                };
+                let mut task = ZooTask::new(problem, &cfg, &mut params, &mut rng);
+                let log = trainer.train(&mut task, &mut params);
+                Ok::<_, String>((spec, params, log))
+            }
+        }
     }));
     let (spec, params, log) = match trained {
         Ok(Ok(t)) => t,
@@ -450,6 +500,53 @@ mod tests {
             &Json::parse(r#"{"model_id":"m","width":1e9}"#).unwrap()
         )
         .is_err());
+    }
+
+    #[test]
+    fn registry_problem_job_trains_and_publishes_vector_output() {
+        // The first vector-valued family through the serve plane: a
+        // gray-scott job must train, publish, rebuild from its spec, and
+        // serve 2-component predictions.
+        let dir = tmp_dir("zoo");
+        let registry = Arc::new(ModelRegistry::open(RegistryConfig::new(&dir)).unwrap());
+        let jobs = JobManager::new(registry.clone());
+        let req = TrainRequest::from_json(
+            &Json::parse(
+                r#"{"model_id":"gs","problem":"gray-scott","width":8,"depth":1,
+                    "epochs":3,"seed":5,"n_collocation":32}"#,
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let id = jobs.submit(req, &TraceCtx::disabled());
+        let deadline = std::time::Instant::now() + Duration::from_secs(180);
+        loop {
+            let (doc, failed) = jobs.progress_json(&id).unwrap();
+            assert!(!failed, "zoo job failed: {}", doc.to_string());
+            if doc.get("state").unwrap().as_str() == Some("completed") {
+                break;
+            }
+            assert!(std::time::Instant::now() < deadline, "zoo job did not finish");
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        jobs.join_all();
+        let model = registry.resolve("gs").unwrap();
+        assert_eq!(model.spec.problem, "gray-scott");
+        assert_eq!(model.net.n_fields(), 2);
+        let out = model.net.predict(&model.params, &[vec![1.0, 0.5]]);
+        assert_eq!(out.shape().dims(), &[1, 2]);
+        assert!(out.all_finite());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unknown_problem_is_rejected_with_registry_listing() {
+        let err = TrainRequest::from_json(
+            &Json::parse(r#"{"model_id":"m","problem":"no-such-pde"}"#).unwrap(),
+        )
+        .unwrap_err();
+        assert!(err.contains("gray-scott"), "listing missing: {err}");
+        assert!(err.contains("legacy preset"), "{err}");
     }
 
     #[test]

@@ -106,6 +106,10 @@ pub struct ModelInfo {
     pub eval_error: Option<f64>,
     /// True when this version is currently resident in memory.
     pub loaded: bool,
+    /// Problem-registry key from the spec (`None` until the version is
+    /// resident — listing never pays a snapshot decode — or when the
+    /// spec predates the tag).
+    pub problem: Option<String>,
 }
 
 /// Registry errors, mapped to HTTP statuses by the server.
@@ -354,8 +358,12 @@ impl ModelRegistry {
                 Err(_) => continue,
             };
             for e in entries {
+                let resident = st.loaded.get(&(id.clone(), e.epoch));
                 out.push(ModelInfo {
-                    loaded: st.loaded.contains_key(&(id.clone(), e.epoch)),
+                    loaded: resident.is_some(),
+                    problem: resident
+                        .map(|m| m.spec.problem.clone())
+                        .filter(|p| !p.is_empty()),
                     id: id.clone(),
                     version: e.epoch,
                     bytes: e.bytes,
@@ -412,6 +420,7 @@ mod tests {
         let spec = ModelSpec {
             name: "tdse".into(),
             seed,
+            problem: "tdse-harmonic".into(),
             net: FieldNetConfig::standard_wave(12.0, 1.0, 8, 1),
         };
         let mut params = ParamSet::new();

@@ -13,6 +13,7 @@
 //! | route                      | method | body                               |
 //! |----------------------------|--------|------------------------------------|
 //! | `/v1/models`               | GET    | registry listing                   |
+//! | `/v1/problems`             | GET    | `qpinn-problems-v1` catalog        |
 //! | `/v1/eval`                 | POST   | `{"model","points"}` → field rows  |
 //! | `/v1/train`                | POST   | train request → `202` + job id     |
 //! | `/v1/jobs/<id>/progress`   | GET    | live epoch/loss/ETA (failed → 503) |
@@ -503,6 +504,7 @@ fn route(req: &Request, shared: &Shared, ctx: &TraceCtx, meta: &mut ReqMeta) -> 
     }
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/v1/models") => models_route(shared),
+        ("GET", "/v1/problems") => problems_route(),
         ("POST", "/v1/eval") => eval_route(req, shared, ctx, meta),
         ("POST", "/v1/train") => train_route(req, shared, ctx),
         ("POST", "/v1/evict") => evict_route(req, shared),
@@ -561,10 +563,23 @@ fn models_route(shared: &Shared) -> Response {
                     m.eval_error.map(Json::Num).unwrap_or(Json::Null),
                 ),
                 ("loaded", Json::Bool(m.loaded)),
+                (
+                    "problem",
+                    m.problem.map(Json::Str).unwrap_or(Json::Null),
+                ),
             ])
         })
         .collect();
     Response::json(Json::obj(vec![("models", Json::Arr(rows))]).to_string())
+}
+
+/// `GET /v1/problems`: the `qpinn-problems-v1` catalog — every
+/// registered PDE family (trainable via `POST /v1/train` with
+/// `"problem": "<key>"`) and every circuit template. Built once and
+/// cached: the registry is compile-time data.
+fn problems_route() -> Response {
+    static DOC: std::sync::OnceLock<String> = std::sync::OnceLock::new();
+    Response::json(DOC.get_or_init(|| qpinn_core::problems_doc().to_string()).clone())
 }
 
 fn registry_error_response(e: RegistryError) -> Response {

@@ -19,7 +19,9 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 /// Spec encoding version; bump on layout change (readers reject newer).
-const SPEC_VERSION: u32 = 1;
+/// v2 added the `problem` registry tag; v1 blobs decode with an empty
+/// tag.
+const SPEC_VERSION: u32 = 2;
 /// Magic prefix distinguishing a serve-model TASK blob from task
 /// curriculum state.
 const SPEC_MAGIC: [u8; 4] = *b"QSRV";
@@ -33,6 +35,9 @@ pub struct ModelSpec {
     pub seed: u64,
     /// The architecture.
     pub net: FieldNetConfig,
+    /// Problem-registry key the model was trained on (`""` for snapshots
+    /// written before v2 or models not tied to a registry family).
+    pub problem: String,
 }
 
 /// Errors from decoding or rebuilding a [`ModelSpec`].
@@ -66,6 +71,7 @@ impl ModelSpec {
         w.put_bytes(&SPEC_MAGIC);
         w.put_u32(SPEC_VERSION);
         w.put_str(&self.name);
+        w.put_str(&self.problem);
         w.put_u64(self.seed);
         w.put_u32(self.net.coords.len() as u32);
         for c in &self.net.coords {
@@ -120,6 +126,11 @@ impl ModelSpec {
             )));
         }
         let name = r.get_str().map_err(emap)?;
+        let problem = if version >= 2 {
+            r.get_str().map_err(emap)?
+        } else {
+            String::new()
+        };
         let seed = r.get_u64().map_err(emap)?;
         let n_coords = r.get_u32().map_err(emap)? as usize;
         if n_coords > 16 {
@@ -175,6 +186,7 @@ impl ModelSpec {
                 n_fields,
                 activation,
             },
+            problem,
         })
     }
 
@@ -221,7 +233,50 @@ mod tests {
             name: "tdse".into(),
             seed: 42,
             net: FieldNetConfig::standard_wave(12.0, 1.0, 16, 2),
+            problem: "tdse-harmonic".into(),
         }
+    }
+
+    #[test]
+    fn v1_blob_without_problem_tag_still_decodes() {
+        // Hand-assemble a version-1 blob (no problem string) and check it
+        // decodes with an empty tag: forward compatibility for snapshots
+        // published before the registry refactor.
+        let spec = sample_spec();
+        let mut w = Writer::new();
+        w.put_bytes(&SPEC_MAGIC);
+        w.put_u32(1);
+        w.put_str(&spec.name);
+        w.put_u64(spec.seed);
+        w.put_u32(spec.net.coords.len() as u32);
+        for c in &spec.net.coords {
+            match c {
+                CoordSpec::Raw => w.put_u8(0),
+                CoordSpec::Periodic { length } => {
+                    w.put_u8(1);
+                    w.put_f64(*length);
+                }
+                CoordSpec::LearnedPeriod { period0 } => {
+                    w.put_u8(2);
+                    w.put_f64(*period0);
+                }
+            }
+        }
+        match &spec.net.rff {
+            Some(r) => {
+                w.put_u8(1);
+                w.put_u64(r.n_features as u64);
+                w.put_f64(r.sigma);
+            }
+            None => w.put_u8(0),
+        }
+        w.put_usize_slice(&spec.net.hidden);
+        w.put_u64(spec.net.n_fields as u64);
+        w.put_u8(0);
+        let back = ModelSpec::decode(&w.into_bytes()).unwrap();
+        assert_eq!(back.name, spec.name);
+        assert_eq!(back.problem, "");
+        assert_eq!(back.net.hidden, spec.net.hidden);
     }
 
     #[test]
@@ -231,6 +286,7 @@ mod tests {
         assert!(ModelSpec::sniff(&bytes));
         let back = ModelSpec::decode(&bytes).unwrap();
         assert_eq!(back.name, spec.name);
+        assert_eq!(back.problem, spec.problem);
         assert_eq!(back.seed, spec.seed);
         assert_eq!(back.net.hidden, spec.net.hidden);
         assert_eq!(back.net.n_fields, spec.net.n_fields);

@@ -13,7 +13,12 @@
 //! * [`eigensolver`] — finite-difference bound states of
 //!   `−½∂²/∂x² + V(x)` via Sturm bisection + inverse iteration;
 //! * [`observables`] — norms, energies and expectation values used by the
-//!   conservation diagnostics.
+//!   conservation diagnostics;
+//! * [`mol`] — a generic method-of-lines RK4 stepper (plus a Strang-split
+//!   spectral reaction-diffusion integrator) for the real-valued and
+//!   coupled families of the problem registry;
+//! * [`elliptic`] — dense-LU finite-difference Helmholtz boundary-value
+//!   solver used as an independent elliptic cross-check.
 //!
 //! Units are natural (`ħ = m = 1`) throughout: `i ∂ψ/∂t = −½ ∂²ψ/∂x² + Vψ`.
 //!
@@ -29,15 +34,21 @@
 
 pub mod crank_nicolson;
 pub mod eigensolver;
+pub mod elliptic;
 pub mod field;
 pub mod grid;
+pub mod mol;
 pub mod observables;
 pub mod split_step;
 pub mod split_step_2d;
 
 pub use crank_nicolson::crank_nicolson_tdse;
 pub use eigensolver::{bound_states, BoundState};
+pub use elliptic::{helmholtz_fd_solve, HelmholtzFd};
 pub use field::Field1d;
 pub use grid::{Grid1d, GridKind};
+pub use mol::{
+    gradient_periodic, laplacian_periodic, mol_rk4, reaction_diffusion_spectral, FieldR1d,
+};
 pub use split_step::{split_step_evolve, Nonlinearity};
 pub use split_step_2d::{split_step_evolve_2d, Field2d};

@@ -1,10 +1,19 @@
 #!/bin/sh
 # Run every reconstructed table/figure experiment (quick mode by default;
-# pass --full for paper-scale settings).
+# pass --full for paper-scale settings), then sweep the full problem zoo.
 set -e
 for bin in t1_accuracy t2_eigen t3_arch t4_ablation t5_solvers t6_hybrid t7_inverse \
            f1_convergence f2_slices f3_collocation f4_norm_drift f5_scaling f6_tdse2d; do
   echo "=== $bin ==="
   ./target/release/$bin "$@"
+  echo
+done
+
+# The zoo sweep enumerates from the registry itself (sweep
+# --list-problems), so newly registered families join the run without
+# touching this script.
+./target/release/sweep --list-problems | while read -r key; do
+  echo "=== sweep: $key ==="
+  ./target/release/sweep --problem "$key" "$@"
   echo
 done

@@ -352,3 +352,37 @@ fn run_series_v1_epoch_line_is_frozen() {
     assert_eq!(parsed.get("kind").and_then(|v| v.as_str()), Some("epoch"));
     assert_eq!(parsed.get("epoch").and_then(|v| v.as_num()), Some(50.0));
 }
+
+#[test]
+fn problems_doc_matches_fixture() {
+    // The `qpinn-problems-v1` listing (served at `/v1/problems` and
+    // embedded in experiment records) is pure compile-time data: keys,
+    // coordinates, output arities, cross-check methods, tolerances, and
+    // the named ansatz table. Freezing the rendered JSON pins the
+    // registry's externally visible shape — adding a family regenerates
+    // the fixture; *losing* one (or its cross-check flags) is a diff a
+    // reviewer must see.
+    let doc = qpinn::core::problems_doc();
+    assert_eq!(
+        doc.get("version").and_then(|v| v.as_str()),
+        Some(qpinn::core::PROBLEMS_DOC_VERSION)
+    );
+    let rendered = doc.to_string() + "\n";
+    assert_matches_fixture("problems_v1.json", rendered.as_bytes());
+    // The frozen document must stay machine-readable and list every
+    // registered key in registry order.
+    let parsed = qpinn::core::report::Json::parse(
+        String::from_utf8(std::fs::read(fixture_path("problems_v1.json")).unwrap())
+            .unwrap()
+            .trim(),
+    )
+    .unwrap();
+    let listed: Vec<String> = match parsed.get("problems") {
+        Some(qpinn::core::report::Json::Arr(items)) => items
+            .iter()
+            .map(|p| p.get("key").and_then(|k| k.as_str()).unwrap().to_string())
+            .collect(),
+        other => panic!("problems must be an array, got {other:?}"),
+    };
+    assert_eq!(listed, qpinn::problems::keys());
+}

@@ -438,6 +438,7 @@ fn serve_flush_stall_shows_in_queue_latency_without_losing_requests() {
         let spec = qpinn::serve::ModelSpec {
             name: "tdse".into(),
             seed: 3,
+            problem: String::new(),
             net: qpinn::core::model::FieldNetConfig::standard_wave(12.0, 1.0, 8, 1),
         };
         let mut params = ParamSet::new();

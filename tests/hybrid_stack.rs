@@ -206,3 +206,77 @@ fn all_scalings_produce_trainable_hybrids() {
         assert!(params.tensors().iter().all(|t| t.all_finite()));
     }
 }
+
+#[test]
+fn gradcheck_matrix_every_named_ansatz_at_two_to_six_qubits() {
+    // The full template table × qubit widths 2–6: autodiff (dual-number
+    // jacobians) and the parameter-shift rule are methodologically
+    // independent exact-gradient routes, so any disagreement beyond
+    // float noise is a bug in one of them. CrossMeshCrz carries
+    // controlled rotations whose generator has a zero eigenvalue — the
+    // 2-term rule is wrong there, the 4-term rule is exact for both gate
+    // classes, so it covers the mixed circuit.
+    for ansatz in Ansatz::all() {
+        for nq in 2..=6usize {
+            let layer = QuantumLayer {
+                n_qubits: nq,
+                layers: 2,
+                ansatz,
+                scaling: InputScaling::Acos,
+                reupload: false,
+            };
+            let mut rng = StdRng::seed_from_u64(31 * nq as u64 + ansatz as u64);
+            let theta = layer.init_params(&mut rng);
+            // Acos scaling wants inputs in [-1, 1].
+            let a: Vec<f64> = (0..nq).map(|i| -0.8 + 1.6 * i as f64 / nq as f64).collect();
+            let (_, _, jt) = layer.jacobians_sample(&a, &theta);
+            let f = |t: &[f64]| -> f64 { layer.forward_sample(&a, t).iter().sum() };
+            let shift = if ansatz == Ansatz::CrossMeshCrz {
+                qpinn::qcircuit::shift::controlled_shift_gradient(&f, &theta)
+            } else {
+                parameter_shift_gradient(&f, &theta)
+            };
+            assert_eq!(shift.len(), theta.len());
+            for p in 0..theta.len() {
+                let dual: f64 = jt[p].iter().sum();
+                assert!(
+                    (dual - shift[p]).abs() < 1e-9,
+                    "{}@{nq}q param {p}: dual {dual} vs shift {}",
+                    ansatz.name(),
+                    shift[p]
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn gradcheck_matrix_reuploading_variants() {
+    // Data re-uploading re-applies the input embedding between layers;
+    // the shift rule must still hold because the embedding angles are
+    // not differentiated.
+    for ansatz in [Ansatz::Cascade, Ansatz::Layered, Ansatz::Farhi, Ansatz::SimCirc15] {
+        let layer = QuantumLayer {
+            n_qubits: 3,
+            layers: 2,
+            ansatz,
+            scaling: InputScaling::Pi,
+            reupload: true,
+        };
+        let mut rng = StdRng::seed_from_u64(77);
+        let theta = layer.init_params(&mut rng);
+        let a = [0.3, -0.2, 0.5];
+        let (_, _, jt) = layer.jacobians_sample(&a, &theta);
+        let f = |t: &[f64]| -> f64 { layer.forward_sample(&a, t).iter().sum() };
+        let shift = parameter_shift_gradient(&f, &theta);
+        for p in 0..theta.len() {
+            let dual: f64 = jt[p].iter().sum();
+            assert!(
+                (dual - shift[p]).abs() < 1e-9,
+                "{}+reupload param {p}: dual {dual} vs shift {}",
+                ansatz.name(),
+                shift[p]
+            );
+        }
+    }
+}

@@ -283,6 +283,7 @@ fn admission_and_error_mapping() {
         let spec = qpinn::serve::ModelSpec {
             name: "tdse".into(),
             seed: 3,
+            problem: String::new(),
             net: FieldNetConfig::standard_wave(12.0, 1.0, 8, 1),
         };
         let mut params = ParamSet::new();
@@ -364,6 +365,113 @@ fn enospc_during_publish_degrades_without_corrupting_served_models() {
         .collect();
     assert_eq!(dura.len(), 1, "failed publish must not leave a second version");
     assert_eq!(dura[0].get("intact").unwrap(), &Json::Bool(true));
+
+    server.stop();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+const GS_TRAIN_BODY: &str = r#"{"model_id":"gs-e2e","problem":"gray-scott","width":8,"depth":1,
+    "epochs":6,"seed":91,"n_collocation":40}"#;
+
+/// The first vector-valued family through the whole persistence loop:
+/// train a 2-component Gray–Scott surrogate via the server, evict it
+/// from memory by restarting on the same model directory (so `/v1/eval`
+/// must rebuild from the published snapshot), and require every served
+/// f64 to match the identical in-process training run bit-for-bit.
+#[test]
+fn gray_scott_trains_persists_and_serves_bit_exactly() {
+    let _guard = SERVE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let dir = tmp_dir("gs-train-eval");
+    let server = ServeServer::start("127.0.0.1:0", ServeConfig::new(&dir)).unwrap();
+    let addr = server.local_addr();
+
+    let (status, accepted) = http(addr, "POST", "/v1/train", Some(GS_TRAIN_BODY));
+    assert!(status.contains("202"), "{status}");
+    let job_id = accepted.get("job_id").unwrap().as_str().unwrap().to_string();
+    poll_to_completion(addr, &job_id);
+    server.stop();
+
+    // A fresh server over the same directory has only the snapshot on
+    // disk — the eval path below exercises decode + spec rebuild, not a
+    // warm cache.
+    let server = ServeServer::start("127.0.0.1:0", ServeConfig::new(&dir)).unwrap();
+    let addr = server.local_addr();
+
+    // Reference: identical training entirely in-process.
+    let req = TrainRequest::from_json(&Json::parse(GS_TRAIN_BODY).unwrap()).unwrap();
+    let cfg = qpinn::serve::jobs::job_zoo_config(&req);
+    let problem = qpinn::problems::lookup(&req.problem).unwrap();
+    let mut params = ParamSet::new();
+    let mut rng = StdRng::seed_from_u64(req.seed);
+    let mut task = qpinn::core::ZooTask::new(problem, &cfg, &mut params, &mut rng);
+    Trainer::new(qpinn::serve::jobs::job_train_config(&req, None)).train(&mut task, &mut params);
+    assert_eq!(task.net().n_fields(), 2, "gray-scott must be 2-component");
+
+    // A 40×10 grid over the periodic x interval and the time horizon.
+    let pts: Vec<[f64; 2]> = (0..400)
+        .map(|i| {
+            let x = 2.0 * std::f64::consts::PI * ((i % 40) as f64 / 39.0);
+            let t = 4.0 * ((i / 40) as f64 / 9.0);
+            [x, t]
+        })
+        .collect();
+    let coords: Vec<f64> = pts.iter().flatten().copied().collect();
+    let expect = task.net().predict_batch(&params, &coords);
+    let expect = expect.data();
+
+    let points_json = pts
+        .iter()
+        .map(|p| format!("[{},{}]", p[0], p[1]))
+        .collect::<Vec<_>>()
+        .join(",");
+    let (status, reply) = http(
+        addr,
+        "POST",
+        "/v1/eval",
+        Some(&format!(
+            r#"{{"model":"gs-e2e@latest","points":[{points_json}]}}"#
+        )),
+    );
+    assert!(status.contains("200 OK"), "{status} {}", reply.to_string());
+    let values = match reply.get("values").unwrap() {
+        Json::Arr(rows) => rows,
+        other => panic!("values is not an array: {}", other.to_string()),
+    };
+    assert_eq!(values.len(), pts.len());
+    let mut idx = 0usize;
+    for row in values {
+        let Json::Arr(fields) = row else { panic!("row is not an array") };
+        assert_eq!(fields.len(), 2, "both u and v components must be served");
+        for f in fields {
+            let got = f.as_num().unwrap();
+            assert_eq!(
+                got.to_bits(),
+                expect[idx].to_bits(),
+                "served value differs from in-process at flat index {idx}"
+            );
+            idx += 1;
+        }
+    }
+
+    // The registry listing tags the resident model with its problem key.
+    let (_, models) = http(addr, "GET", "/v1/models", None);
+    let rows = match models.get("models").unwrap() {
+        Json::Arr(rows) => rows,
+        other => panic!("models is not an array: {}", other.to_string()),
+    };
+    let gs = rows
+        .iter()
+        .find(|m| m.get("id").unwrap().as_str() == Some("gs-e2e"))
+        .expect("gray-scott model missing from listing");
+    assert_eq!(gs.get("problem").unwrap().as_str(), Some("gray-scott"));
+
+    // And the problem catalog is served alongside the models.
+    let (status, doc) = http(addr, "GET", "/v1/problems", None);
+    assert!(status.contains("200 OK"), "{status}");
+    assert_eq!(
+        doc.get("version").and_then(|v| v.as_str()),
+        Some(qpinn::core::PROBLEMS_DOC_VERSION)
+    );
 
     server.stop();
     let _ = std::fs::remove_dir_all(&dir);

@@ -73,6 +73,7 @@ fn publish_model(server: &ServeServer, id: &str) {
     let spec = qpinn::serve::ModelSpec {
         name: "tdse".into(),
         seed: 3,
+        problem: String::new(),
         net: FieldNetConfig::standard_wave(12.0, 1.0, 8, 1),
     };
     let mut params = ParamSet::new();

@@ -145,3 +145,118 @@ fn fd_eigenstate_is_stationary_under_cn() {
     let diff = (got - want).abs().min(2.0 * std::f64::consts::PI - (got - want).abs());
     assert!(diff < 1e-3, "phase {got} vs {want}");
 }
+
+// ---------------------------------------------------------------------------
+// Registry-wide cross-checks: every family in the problem zoo must earn
+// its reference. These iterate `qpinn::problems::keys()`, so registering
+// a family without a working cross-check fails CI here — removing a
+// family's check is equally visible because the coverage counters below
+// are floors, not snapshots.
+
+use qpinn::problems::{Fidelity, RefSolution};
+
+/// Interior sample points of a reference solution: grid nodes with two
+/// boundary nodes skipped per axis, subsampled to at most 4 per axis.
+fn interior_nodes(reference: &dyn RefSolution) -> Vec<Vec<f64>> {
+    let grids = reference.grids();
+    let mut per_axis: Vec<Vec<f64>> = Vec::new();
+    for axis in &grids {
+        let (lo, hi) = (2usize, axis.len().saturating_sub(2));
+        assert!(hi > lo, "reference grid too coarse: {} nodes", axis.len());
+        let stride = ((hi - lo) / 4).max(1);
+        per_axis.push((lo..hi).step_by(stride).map(|i| axis[i]).collect());
+    }
+    let mut out: Vec<Vec<f64>> = vec![Vec::new()];
+    for axis in &per_axis {
+        let mut next = Vec::with_capacity(out.len() * axis.len());
+        for tail in &out {
+            for &x in axis {
+                let mut t = tail.clone();
+                t.push(x);
+                next.push(t);
+            }
+        }
+        out = next;
+    }
+    out
+}
+
+/// Relative L2 distance between two references sampled at `points`.
+fn rel_l2(a: &dyn RefSolution, b: &dyn RefSolution, points: &[Vec<f64>]) -> f64 {
+    let (mut num, mut den) = (0.0f64, 0.0f64);
+    for p in points {
+        for (x, y) in a.sample(p).iter().zip(b.sample(p)) {
+            num += (x - y) * (x - y);
+            den += y * y;
+        }
+    }
+    (num / den.max(1e-300)).sqrt()
+}
+
+#[test]
+fn every_family_has_an_analytic_or_independent_cross_check() {
+    let mut analytic_families = 0;
+    let mut independent_families = 0;
+    for key in qpinn::problems::keys() {
+        let problem = qpinn::problems::lookup(key).unwrap();
+        let coords = problem.coords();
+        let midpoint: Vec<f64> = coords.iter().map(|c| 0.5 * (c.lo + c.hi)).collect();
+        let has_analytic = problem.analytic(&midpoint).is_some();
+        let has_independent = problem.independent_check().is_some();
+        assert!(
+            has_analytic || has_independent,
+            "{key}: no closed form and no independent solver — \
+             the registry requires one of the two"
+        );
+        assert!(
+            !problem.check_method().is_empty(),
+            "{key}: check_method must document the cross-check"
+        );
+        analytic_families += has_analytic as usize;
+        independent_families += has_independent as usize;
+    }
+    // Coverage floors: dropping a cross-check fails here even when the
+    // family still has the other kind.
+    assert!(analytic_families >= 7, "only {analytic_families} closed forms left");
+    assert!(independent_families >= 4, "only {independent_families} independent solvers left");
+}
+
+#[test]
+fn independent_solvers_agree_with_the_primary_reference() {
+    let mut checked = 0;
+    for key in qpinn::problems::keys() {
+        let problem = qpinn::problems::lookup(key).unwrap();
+        let Some(independent) = problem.independent_check() else {
+            continue;
+        };
+        let reference = problem.reference(Fidelity::Quick);
+        let points = interior_nodes(reference.as_ref());
+        let rel = rel_l2(reference.as_ref(), independent.as_ref(), &points);
+        assert!(
+            rel < 0.05,
+            "{key}: primary reference and independent solver disagree \
+             (rel-L2 {rel:.3e}) — methodologically independent \
+             discretizations must converge to the same field"
+        );
+        checked += 1;
+    }
+    assert!(checked >= 4, "only {checked} families ran the two-solver check");
+}
+
+#[test]
+fn quick_and_full_fidelity_references_converge_to_each_other() {
+    // Resolution-doubling consistency: Quick and Full are the *same*
+    // method at different resolutions, so disagreement means the solver
+    // has not converged at Quick fidelity (which every smoke test uses).
+    for key in qpinn::problems::keys() {
+        let problem = qpinn::problems::lookup(key).unwrap();
+        let quick = problem.reference(Fidelity::Quick);
+        let full = problem.reference(Fidelity::Full);
+        let points = interior_nodes(quick.as_ref());
+        let rel = rel_l2(quick.as_ref(), full.as_ref(), &points);
+        assert!(
+            rel < 0.05,
+            "{key}: Quick-fidelity reference is not converged (rel-L2 {rel:.3e} vs Full)"
+        );
+    }
+}
